@@ -1,0 +1,1 @@
+bench/experiments.ml: Addr Array Bmx Bmx_baseline Bmx_dsm Bmx_gc Bmx_memory Bmx_netsim Bmx_rvm Bmx_util Bmx_workload Fmt Harness Ids List Printf Result Rng Stats Table

@@ -1,0 +1,1 @@
+bench/harness.ml: Addr Bmx Bmx_dsm Bmx_memory Bmx_netsim Bmx_util Bmx_workload Int64 List Monotonic_clock Stats

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bmx_util Experiments List Micro Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bmx Bmx_dsm Bmx_memory Bmx_util Bmx_workload Hashtbl Instance List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,54 @@
+(* Shared helpers for the experiment harness. *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Net = Bmx_netsim.Net
+
+let now_ns () = Monotonic_clock.now ()
+
+let time_ms f =
+  let t0 = now_ns () in
+  let x = f () in
+  let t1 = now_ns () in
+  (x, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let gc_token_traffic c =
+  Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+  + Stats.get (Cluster.stats c) "dsm.gc.acquire_write"
+
+let gc_invalidations c = Stats.get (Cluster.stats c) "dsm.gc.invalidations"
+
+let kind_count c kind = Net.sent (Cluster.net c) kind
+
+let snapshot c = Stats.counters (Cluster.stats c)
+
+let delta ~before c name =
+  Stats.get (Cluster.stats c) name
+  - (try List.assoc name before with Not_found -> 0)
+
+(* A replicated working heap: one bunch of [objects] linked objects owned
+   by node 0, with read replicas on [replicas] other nodes. *)
+let replicated_bunch ?(objects = 64) ~replicas () =
+  let c = Cluster.create ~nodes:(replicas + 1) () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let head = Bmx_workload.Graphgen.linked_list c ~node:0 ~bunch:b ~len:objects in
+  Cluster.add_root c ~node:0 head;
+  (* Replicate the whole list on each replica node by walking it. *)
+  for n = 1 to replicas do
+    let rec walk addr =
+      let a = Cluster.acquire_read c ~node:n addr in
+      Cluster.release c ~node:n a;
+      match Cluster.read c ~node:n a 0 with
+      | Bmx_memory.Value.Ref next when not (Addr.is_null next) -> walk next
+      | _ -> ()
+    in
+    walk head;
+    Cluster.add_root c ~node:n head
+  done;
+  ignore (Cluster.drain c);
+  (c, b, head)
+
+let bool_cell b = if b then "yes" else "no"

@@ -1,0 +1,60 @@
+(* Experiment harness entry point.
+
+   `dune exec bench/main.exe` prints every experiment table (E1-E13);
+   `dune exec bench/main.exe -- e5` prints one; `-- micro` runs the
+   Bechamel micro-benchmarks (E11/E12). *)
+
+let experiments =
+  [
+    ("e1", Experiments.e1);
+    ("e2", Experiments.e2);
+    ("e3", Experiments.e3);
+    ("e4", Experiments.e4);
+    ("e5", Experiments.e5);
+    ("e6", Experiments.e6);
+    ("e7", Experiments.e7);
+    ("e8", Experiments.e8);
+    ("e9", Experiments.e9);
+    ("e10", Experiments.e10);
+    ("e13", Experiments.e13);
+    ("e14", Experiments.e14);
+    ("e15", Experiments.e15);
+    ("e16", Experiments.e16);
+    ("e17", Experiments.e17);
+    ("e18", Experiments.e18);
+    ("micro", Micro.run);
+  ]
+
+let print_tables tables =
+  List.iter
+    (fun t ->
+      Bmx_util.Table.print t;
+      print_newline ())
+    tables
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      print_endline "BMX experiment harness - reproducing Ferreira & Shapiro, OSDI '94";
+      print_endline "(figures E1-E4 as executable scenarios; claims E5-E13 as measurements)";
+      print_newline ();
+      List.iter
+        (fun (name, f) ->
+          if name <> "micro" then begin
+            Printf.printf "### %s\n\n" (String.uppercase_ascii name);
+            print_tables (f ())
+          end)
+        experiments;
+      Printf.printf "### MICRO (E11/E12)\n\n";
+      print_tables (Micro.run ())
+  | _ :: names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt (String.lowercase_ascii name) experiments with
+          | Some f -> print_tables (f ())
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s\n" name
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        names
+  | [] -> assert false

@@ -1,0 +1,106 @@
+(* E11/E12: Bechamel micro-benchmarks of the mechanisms the paper costs
+   out: the write barrier (§3.2, citing Hosking et al.), copy/scan/alloc
+   (§4.2), and the forwarding-aware pointer comparison (§4.2/§8). *)
+
+open Bechamel
+open Toolkit
+module Cluster = Bmx.Cluster
+module Value = Bmx_memory.Value
+
+let make_world () =
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let x1 = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Data 0; Value.Data 0 |] in
+  let x2 = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Data 0 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b2 [| Value.Data 0 |] in
+  Cluster.add_root c ~node:0 x1;
+  Cluster.add_root c ~node:0 y;
+  (c, b1, b2, x1, x2, y)
+
+let test_data_store =
+  Test.make ~name:"store: data word (barrier checks, no SSP)"
+    (let c, _, _, x1, _, _ = make_world () in
+     Staged.stage (fun () -> Cluster.write c ~node:0 x1 0 (Value.Data 42)))
+
+let test_intra_store =
+  Test.make ~name:"store: intra-bunch pointer (barrier, no SSP)"
+    (let c, _, _, x1, x2, _ = make_world () in
+     Staged.stage (fun () -> Cluster.write c ~node:0 x1 1 (Value.Ref x2)))
+
+let test_inter_store =
+  Test.make ~name:"store: inter-bunch pointer (barrier + SSP dedup)"
+    (let c, _, _, x1, _, y = make_world () in
+     Staged.stage (fun () -> Cluster.write c ~node:0 x1 1 (Value.Ref y)))
+
+let test_raw_store =
+  Test.make ~name:"store: raw (no barrier, DSM checks only)"
+    (let c, _, _, x1, _, _ = make_world () in
+     let proto = Cluster.proto c in
+     Staged.stage (fun () ->
+         Bmx_dsm.Protocol.write_field_raw proto ~node:0 x1 0 (Value.Data 7)))
+
+let test_alloc =
+  Test.make ~name:"alloc: 2-word object"
+    (let c, b1, _, _, _, _ = make_world () in
+     Staged.stage (fun () ->
+         ignore (Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Data 1; Value.Data 2 |])))
+
+let test_ptr_eq_direct =
+  Test.make ~name:"ptr_eq: no forwarding"
+    (let c, _, _, x1, x2, _ = make_world () in
+     Staged.stage (fun () -> ignore (Cluster.ptr_eq c ~node:0 x1 x2)))
+
+let test_ptr_eq_forwarded =
+  Test.make ~name:"ptr_eq: through forwarder chain"
+    (let c, b1, _, x1, _, _ = make_world () in
+     let _ = Cluster.bgc c ~node:0 ~bunch:b1 in
+     let x1' = Bmx_memory.Store.current_addr (Bmx_dsm.Protocol.store (Cluster.proto c) 0) x1 in
+     Staged.stage (fun () -> ignore (Cluster.ptr_eq c ~node:0 x1 x1')))
+
+let test_bgc_small =
+  Test.make ~name:"BGC: 64-object bunch (copy+scan+tables)"
+    (Staged.stage (fun () ->
+         let c = Cluster.create ~nodes:1 () in
+         let b = Cluster.new_bunch c ~home:0 in
+         let h = Bmx_workload.Graphgen.linked_list c ~node:0 ~bunch:b ~len:64 in
+         Cluster.add_root c ~node:0 h;
+         ignore (Cluster.bgc c ~node:0 ~bunch:b)))
+
+let benchmarks =
+  [
+    test_raw_store;
+    test_data_store;
+    test_intra_store;
+    test_inter_store;
+    test_alloc;
+    test_ptr_eq_direct;
+    test_ptr_eq_forwarded;
+    test_bgc_small;
+  ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let table =
+    Bmx_util.Table.create
+      ~title:"E11/E12: micro-costs (Bechamel, monotonic clock)"
+      ~columns:[ "operation"; "ns/run" ]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Bmx_util.Table.add_row table [ name; Printf.sprintf "%.1f" est ]
+          | Some _ | None -> Bmx_util.Table.add_row table [ name; "n/a" ])
+        analyzed)
+    benchmarks;
+  [ table ]

@@ -1,0 +1,233 @@
+(* bmxctl — command-line driver for the BMX platform simulator.
+
+   Subcommands:
+     bmxctl scenario <fig1|fig2|fig3|fig4>   narrate a figure from the paper
+     bmxctl workload [options]               run a mixed workload, summarize
+     bmxctl stats [options]                  workload + full counter dump
+     bmxctl oo7 [options]                    OO7-style design-database run *)
+
+open Cmdliner
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Driver = Bmx_workload.Driver
+module Scenario = Bmx_workload.Scenario
+
+(* ------------------------------------------------------------- scenario *)
+
+let run_scenario name =
+  match name with
+  | "fig1" ->
+      let f = Scenario.figure1 () in
+      let c = f.Scenario.f1_cluster in
+      Printf.printf
+        "Figure 1 built: B%d on {N%d,N%d}, B%d on {N%d}; o3->o5 stub at N%d, \
+         scion at N%d; intra SSP stub@N%d -> scion@N%d.\n"
+        f.f1_b1 f.f1_n1 f.f1_n2 f.f1_b2 f.f1_n3 f.f1_n2 f.f1_n3 f.f1_n1 f.f1_n2;
+      Printf.printf "safety: %s\n"
+        (match Bmx.Audit.check_safety c with Ok () -> "ok" | Error m -> m);
+      `Ok ()
+  | "fig4" ->
+      let f = Scenario.figure4 () in
+      let c = f.Scenario.f4_cluster in
+      Printf.printf "Figure 4 built: o1 on N1,N2,N3; owner N%d; root at N%d.\n"
+        f.f4_n2 f.f4_n1;
+      Cluster.remove_root c ~node:f.f4_n1 f.f4_o1;
+      let reclaimed = Cluster.collect_until_quiescent c () in
+      Printf.printf "root dropped; %d objects reclaimed across the cluster; %d copies left.\n"
+        reclaimed (Bmx.Audit.total_cached_copies c);
+      `Ok ()
+  | "fig2" ->
+      let f = Scenario.figure1 () in
+      let c = f.Scenario.f1_cluster in
+      let r = Cluster.bgc c ~node:f.f1_n2 ~bunch:f.f1_b1 in
+      Printf.printf
+        "Figure 2: BGC of B%d at N%d copied %d object(s) (only the locally \
+         owned o2), scanned %d in place, acquired %d tokens.\n"
+        f.f1_b1 f.f1_n2 r.Bmx_gc.Collect.r_copied
+        r.Bmx_gc.Collect.r_scanned_in_place
+        (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+        + Stats.get (Cluster.stats c) "dsm.gc.acquire_write");
+      `Ok ()
+  | "fig3" ->
+      List.iter
+        (fun (name, case) ->
+          let f = Scenario.figure3 ~case in
+          let c = f.Scenario.f3_cluster in
+          let o1 = Cluster.acquire_write c ~node:f.f3_n2 f.Scenario.f3_o1 in
+          Cluster.release c ~node:f.f3_n2 o1;
+          Printf.printf
+            "case %s: write acquire of o1 by N%d ok; N%d now owner: %b\n" name
+            f.f3_n2 f.f3_n2
+            (Bmx_dsm.Protocol.owner_of (Cluster.proto c) f.Scenario.f3_o1_uid
+            = Some f.f3_n2))
+        [
+          ("(a)", Scenario.Case_a);
+          ("(b)", Scenario.Case_b);
+          ("(c)", Scenario.Case_c);
+          ("(d)", Scenario.Case_d);
+        ];
+      `Ok ()
+  | other ->
+      `Error (false, Printf.sprintf "unknown scenario %S (try fig1, fig2, fig3, fig4)" other)
+
+let scenario_cmd =
+  let scenario_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Build and narrate one of the paper's figures")
+    Term.(ret (const run_scenario $ scenario_arg))
+
+(* ------------------------------------------------------------- workload *)
+
+let mode_conv =
+  let parse = function
+    | "distributed" -> Ok Bmx_dsm.Protocol.Distributed
+    | "centralized" -> Ok Bmx_dsm.Protocol.Centralized
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf = function
+    | Bmx_dsm.Protocol.Distributed -> Format.pp_print_string ppf "distributed"
+    | Bmx_dsm.Protocol.Centralized -> Format.pp_print_string ppf "centralized"
+  in
+  Arg.conv (parse, print)
+
+let run_workload nodes bunches objects ops seed mode collect ggc dump trace =
+  let cfg =
+    {
+      Driver.default with
+      nodes;
+      bunches;
+      objects_per_bunch = objects;
+      ops;
+      seed;
+      mode;
+    }
+  in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  if trace then Bmx_util.Tracelog.set_enabled (Cluster.tracer c) true;
+  Driver.run_ops d ();
+  let reclaimed = if collect then Cluster.collect_until_quiescent c () else 0 in
+  let ggc_reclaimed =
+    if ggc then
+      List.fold_left
+        (fun acc node -> acc + (Cluster.ggc c ~node).Bmx_gc.Collect.r_reclaimed)
+        0 (Cluster.nodes c)
+    else 0
+  in
+  ignore (Cluster.drain c);
+  let stats = Cluster.stats c in
+  Printf.printf "workload: %d nodes, %d bunches, %d objects, %d ops (seed %d)\n"
+    nodes bunches (bunches * objects) ops seed;
+  Printf.printf "app acquires: %d read, %d write; invalidations: %d; hops: %d\n"
+    (Stats.get stats "dsm.app.acquire_read")
+    (Stats.get stats "dsm.app.acquire_write")
+    (Stats.get stats "dsm.app.invalidations")
+    (Stats.get stats "dsm.app.hops");
+  Printf.printf "collector: %d objects reclaimed (+%d by GGC), token acquires %d\n"
+    reclaimed ggc_reclaimed
+    (Stats.get stats "dsm.gc.acquire_read" + Stats.get stats "dsm.gc.acquire_write");
+  Printf.printf "network: %d messages, %d bytes\n"
+    (Bmx_netsim.Net.total_messages (Cluster.net c))
+    (Bmx_netsim.Net.total_bytes (Cluster.net c));
+  Printf.printf "heap: %d copies cached, %d reachable, %d retained garbage\n"
+    (Bmx.Audit.total_cached_copies c)
+    (Ids.Uid_set.cardinal (Bmx.Audit.union_reachable c))
+    (Ids.Uid_set.cardinal (Bmx.Audit.garbage_retained c));
+  Printf.printf "safety: %s\n"
+    (match Bmx.Audit.check_safety c with Ok () -> "ok" | Error m -> m);
+  if dump then begin
+    print_endline "--- counters";
+    List.iter
+      (fun (k, v) -> if v <> 0 then Printf.printf "%-45s %d\n" k v)
+      (Stats.counters stats)
+  end;
+  if trace then begin
+    print_endline "--- last 40 trace events";
+    List.iter
+      (fun e -> Format.printf "%a@." Bmx_util.Tracelog.pp_event e)
+      (Bmx_util.Tracelog.recent (Cluster.tracer c) 40)
+  end
+
+let workload_term dump_default =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~doc:"Cluster size") in
+  let bunches = Arg.(value & opt int 4 & info [ "bunches"; "b" ] ~doc:"Bunch count") in
+  let objects =
+    Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Objects per bunch")
+  in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"Mutator operations") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed") in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Bmx_dsm.Protocol.Distributed
+      & info [ "mode" ] ~doc:"Copy-set mode: distributed or centralized")
+  in
+  let collect =
+    Arg.(value & flag & info [ "collect" ] ~doc:"Run BGC rounds to quiescence")
+  in
+  let ggc = Arg.(value & flag & info [ "ggc" ] ~doc:"Run a GGC at every node") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Record and print the event trace")
+  in
+  Term.(
+    const run_workload $ nodes $ bunches $ objects $ ops $ seed $ mode $ collect
+    $ ggc $ const dump_default $ trace)
+
+let workload_cmd =
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run a mixed mutator workload and summarize")
+    (workload_term false)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Run a workload and dump every counter")
+    (workload_term true)
+
+(* ------------------------------------------------------------------ oo7 *)
+
+let run_oo7 levels fanout comps atomics bunches seed =
+  let cfg =
+    {
+      Bmx_workload.Oo7.levels;
+      assembly_fanout = fanout;
+      comp_per_base = comps;
+      atomic_per_comp = atomics;
+      part_bunches = bunches;
+      seed;
+    }
+  in
+  let c = Cluster.create ~nodes:2 ~seed () in
+  let m = Bmx_workload.Oo7.build c ~node:0 cfg in
+  Printf.printf "module: %d objects\n" (Bmx_workload.Oo7.size m);
+  Printf.printf "T1 visited %d atomic parts\n" (Bmx_workload.Oo7.t1 m ~node:1);
+  Printf.printf "T2 updated %d atomic parts\n" (Bmx_workload.Oo7.t2 m ~node:1);
+  Printf.printf "churn superseded %d objects\n" (Bmx_workload.Oo7.churn m ~node:0);
+  Printf.printf "collector reclaimed %d copies (gc tokens: %d)\n"
+    (Cluster.collect_until_quiescent c ())
+    (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write");
+  Printf.printf "safety: %s\n"
+    (match Bmx.Audit.check_safety c with Ok () -> "ok" | Error m -> m)
+
+let oo7_cmd =
+  let levels = Arg.(value & opt int 3 & info [ "levels" ] ~doc:"Assembly depth") in
+  let fanout = Arg.(value & opt int 3 & info [ "fanout" ] ~doc:"Assembly fanout") in
+  let comps = Arg.(value & opt int 3 & info [ "composites" ] ~doc:"Composites per base") in
+  let atomics = Arg.(value & opt int 8 & info [ "atomics" ] ~doc:"Atomic parts per composite") in
+  let bunches = Arg.(value & opt int 3 & info [ "part-bunches" ] ~doc:"Bunches for parts") in
+  let seed = Arg.(value & opt int 13 & info [ "seed" ] ~doc:"Deterministic seed") in
+  Cmd.v
+    (Cmd.info "oo7" ~doc:"Run the OO7-style design-database workload")
+    Term.(const run_oo7 $ levels $ fanout $ comps $ atomics $ bunches $ seed)
+
+let main =
+  Cmd.group
+    (Cmd.info "bmxctl" ~version:"1.0"
+       ~doc:
+         "Drive the BMX platform simulator (Ferreira & Shapiro, OSDI '94 \
+          reproduction)")
+    [ scenario_cmd; workload_cmd; stats_cmd; oo7_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bank_ledger.ml: Addr Array Bmx Bmx_memory Bmx_util Printf Rng Stats

@@ -1,0 +1,1 @@
+examples/design_db.ml: Bmx Bmx_dsm Bmx_memory Bmx_rvm Bmx_util List Printf Stats

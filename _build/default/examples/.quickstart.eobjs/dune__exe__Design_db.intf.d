@@ -1,0 +1,1 @@
+examples/design_db.mli:

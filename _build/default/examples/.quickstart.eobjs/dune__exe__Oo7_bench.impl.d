@@ -1,0 +1,1 @@
+examples/oo7_bench.ml: Bmx Bmx_util Bmx_workload Printf

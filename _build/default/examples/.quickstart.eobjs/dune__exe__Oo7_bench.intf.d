@@ -1,0 +1,1 @@
+examples/oo7_bench.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bmx Bmx_gc Bmx_memory Bmx_util Printf

@@ -1,0 +1,1 @@
+examples/txn_transfer.ml: Array Bmx Bmx_memory Bmx_rvm Bmx_txn Bmx_util Printf Rng Stats

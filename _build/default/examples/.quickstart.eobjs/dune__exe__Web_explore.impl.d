@@ -1,0 +1,1 @@
+examples/web_explore.ml: Addr Array Bmx Bmx_gc Bmx_memory Bmx_util Bmx_workload Ids List Printf Rng

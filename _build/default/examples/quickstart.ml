@@ -1,0 +1,64 @@
+(* Quickstart: the BMX platform in ~60 lines.
+
+   Three nodes share a persistent object graph through weakly consistent
+   DSM; the copying collector runs per bunch, per node, without ever
+   acquiring a token.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Cluster = Bmx.Cluster
+module Value = Bmx_memory.Value
+
+let () =
+  (* A cluster of three nodes sharing one 64-bit address space. *)
+  let c = Cluster.create ~nodes:3 () in
+  let n0 = 0 and n1 = 1 in
+
+  (* Objects are allocated from bunches; a bunch is the unit of
+     clustering, replication and collection. *)
+  let bunch = Cluster.new_bunch c ~home:n0 in
+
+  (* Allocate a two-cell list at N0: cell = [next; payload]. *)
+  let tail = Cluster.alloc c ~node:n0 ~bunch [| Value.nil; Value.Data 42 |] in
+  let head = Cluster.alloc c ~node:n0 ~bunch [| Value.Ref tail; Value.Data 1 |] in
+
+  (* Persistence by reachability: whatever the root reaches stays. *)
+  Cluster.add_root c ~node:n0 head;
+
+  (* N1 reads the list through the entry-consistency protocol: acquire a
+     read token, follow pointers, release. *)
+  let head_at_n1 = Cluster.acquire_read c ~node:n1 head in
+  let next = Cluster.read c ~node:n1 head_at_n1 0 in
+  Cluster.release c ~node:n1 head_at_n1;
+  (match next with
+  | Value.Ref t ->
+      let t' = Cluster.acquire_read c ~node:n1 t in
+      (match Cluster.read c ~node:n1 t' 1 with
+      | Value.Data v -> Printf.printf "N1 read tail payload: %d\n" v
+      | _ -> assert false);
+      Cluster.release c ~node:n1 t'
+  | _ -> assert false);
+
+  (* N1 updates the list: acquire the write token (ownership moves), store
+     through the write barrier, release. *)
+  let h = Cluster.acquire_write c ~node:n1 head in
+  Cluster.write c ~node:n1 h 1 (Value.Data 2);
+  Cluster.release c ~node:n1 h;
+
+  (* Make some garbage and collect it — at each node independently. *)
+  let _dropped = Cluster.alloc c ~node:n0 ~bunch [| Value.Data 0 |] in
+  let report = Cluster.bgc c ~node:n0 ~bunch in
+  Printf.printf "BGC at N0: %d live, %d copied, %d reclaimed\n"
+    report.Bmx_gc.Collect.r_live report.Bmx_gc.Collect.r_copied
+    report.Bmx_gc.Collect.r_reclaimed;
+  ignore (Cluster.drain c);
+
+  (* The collector never touched a token: *)
+  Printf.printf "collector token acquires: %d (the paper's core claim)\n"
+    (Bmx_util.Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Bmx_util.Stats.get (Cluster.stats c) "dsm.gc.acquire_write");
+
+  (* And the heap is intact. *)
+  match Bmx.Audit.check_safety c with
+  | Ok () -> print_endline "heap audit: ok"
+  | Error m -> failwith m

@@ -1,0 +1,1 @@
+lib/baseline/locking_gc.mli: Bmx_gc Bmx_util

@@ -1,0 +1,1 @@
+lib/baseline/msweep_gc.ml: Bmx_dsm Bmx_gc Bmx_memory List

@@ -1,0 +1,1 @@
+lib/baseline/msweep_gc.mli: Bmx_gc Bmx_util

@@ -1,0 +1,1 @@
+lib/baseline/refcount.ml: Bmx Bmx_dsm Bmx_memory Bmx_util Ids List Queue Rng

@@ -1,0 +1,1 @@
+lib/baseline/refcount.mli: Bmx Bmx_util

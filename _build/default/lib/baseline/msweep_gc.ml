@@ -1,0 +1,18 @@
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+
+(* Acquire a read token for every local object: marking then proceeds
+   over consistent copies, the way strongly consistent mark&sweep
+   requires. *)
+let consistent_read_sweep gc ~node ~bunch =
+  let proto = Bmx_gc.Gc_state.proto gc in
+  let store = Protocol.store proto node in
+  List.iter
+    (fun (addr, _obj) ->
+      let addr' = Protocol.acquire proto ~actor:Protocol.Gc ~node addr `Read in
+      Protocol.release proto ~node addr')
+    (Store.objects_of_bunch store bunch)
+
+let run gc ~node ~bunch =
+  consistent_read_sweep gc ~node ~bunch;
+  Bmx_gc.Collect.run gc ~node ~bunches:[ bunch ] ~group_mode:false ~copy:false ()

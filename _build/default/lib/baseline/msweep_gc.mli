@@ -1,0 +1,23 @@
+(** Baseline: strongly consistent mark-and-sweep (Kordale-style, §9).
+
+    The second comparator the paper's Related Work names: "this GC
+    algorithm is based on the mark & sweep technique, and objects are
+    kept strongly consistent".  The model here:
+
+    - {b strong consistency for marking}: before tracing, the collector
+      acquires a read token for every local object of the bunch (so it
+      marks the consistent object graph, not the local possibly stale
+      copies) — DSM traffic attributed to the collector, like the
+      locking copier;
+    - {b no compaction}: live objects stay where they are.  Dead cells
+      are removed and the reachability tables are regenerated, but
+      segments never empty out and can never be handed back — the
+      fragmentation the paper's copying design exists to avoid (§1),
+      measured by experiment E18. *)
+
+val run :
+  Bmx_gc.Gc_state.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  Bmx_gc.Collect.report
+(** Mark (under read tokens) and sweep the bunch's replica at [node]. *)

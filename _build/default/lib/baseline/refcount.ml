@@ -1,0 +1,136 @@
+open Bmx_util
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+module Heap_obj = Bmx_memory.Heap_obj
+
+type outcome = {
+  rc_reclaimed : int;
+  rc_leaked : int;
+  rc_premature : int;
+  rc_cycle_garbage : int;
+  rc_messages : int;
+}
+
+(* The authoritative reference graph: the owner's copy of each object (or
+   any replica if ownership is ambiguous), uid -> outgoing target uids,
+   one entry per reference (reference counting counts occurrences). *)
+let authoritative_edges c =
+  let proto = Bmx.Cluster.proto c in
+  let edges : Ids.Uid.t list ref Ids.Uid_tbl.t = Ids.Uid_tbl.create 256 in
+  let all = Bmx.Audit.cached_anywhere c in
+  Ids.Uid_set.iter
+    (fun uid ->
+      let node =
+        match Protocol.owner_of proto uid with
+        | Some n -> Some n
+        | None -> (
+            match Protocol.replica_nodes proto uid with n :: _ -> Some n | [] -> None)
+      in
+      match node with
+      | None -> ()
+      | Some n -> (
+          let store = Protocol.store proto n in
+          match Store.addr_of_uid store uid with
+          | None -> ()
+          | Some a -> (
+              match Store.resolve store a with
+              | None -> ()
+              | Some (_, obj) ->
+                  let targets =
+                    List.filter_map
+                      (Protocol.uid_of_addr proto)
+                      (Heap_obj.pointers obj)
+                  in
+                  Ids.Uid_tbl.replace edges uid (ref targets))))
+    all;
+  edges
+
+let initial_counts c edges =
+  let counts : int ref Ids.Uid_tbl.t = Ids.Uid_tbl.create 256 in
+  let bump uid =
+    match Ids.Uid_tbl.find_opt counts uid with
+    | Some r -> incr r
+    | None -> Ids.Uid_tbl.add counts uid (ref 1)
+  in
+  Ids.Uid_set.iter
+    (fun uid ->
+      if not (Ids.Uid_tbl.mem counts uid) then Ids.Uid_tbl.add counts uid (ref 0))
+    (Bmx.Audit.cached_anywhere c);
+  Ids.Uid_tbl.iter (fun _ targets -> List.iter bump !targets) edges;
+  (* Every mutator root contributes one count. *)
+  let proto = Bmx.Cluster.proto c in
+  List.iter
+    (fun node ->
+      List.iter
+        (fun addr ->
+          match Protocol.uid_of_addr proto addr with
+          | Some uid -> bump uid
+          | None -> ())
+        (Bmx.Cluster.roots c ~node))
+    (Bmx.Cluster.nodes c);
+  counts
+
+(* Cascade deletion: free every object whose count is zero; each freed
+   object sends one decrement message per outgoing reference, subject to
+   loss and duplication. *)
+let cascade edges counts ~loss ~dup ~rng =
+  (* Deep copy: the counts are refs, and each cascade must run against
+     its own mutable state. *)
+  let counts =
+    let fresh = Ids.Uid_tbl.create (Ids.Uid_tbl.length counts) in
+    Ids.Uid_tbl.iter (fun uid r -> Ids.Uid_tbl.add fresh uid (ref !r)) counts;
+    fresh
+  in
+  let freed = ref Ids.Uid_set.empty in
+  let messages = ref 0 in
+  let queue = Queue.create () in
+  Ids.Uid_tbl.iter (fun uid r -> if !r = 0 then Queue.add uid queue) counts;
+  let dec uid =
+    match Ids.Uid_tbl.find_opt counts uid with
+    | None -> ()
+    | Some r ->
+        r := !r - 1;
+        if !r <= 0 && not (Ids.Uid_set.mem uid !freed) then Queue.add uid queue
+  in
+  while not (Queue.is_empty queue) do
+    let uid = Queue.take queue in
+    if not (Ids.Uid_set.mem uid !freed) then begin
+      freed := Ids.Uid_set.add uid !freed;
+      let targets =
+        match Ids.Uid_tbl.find_opt edges uid with Some r -> !r | None -> []
+      in
+      List.iter
+        (fun v ->
+          incr messages;
+          let lost = match rng with Some g -> Rng.float g 1.0 < loss | None -> false in
+          if not lost then begin
+            dec v;
+            let dupd = match rng with Some g -> Rng.float g 1.0 < dup | None -> false in
+            if dupd then dec v
+          end)
+        targets
+    end
+  done;
+  (!freed, !messages)
+
+let analyze c ?(loss_prob = 0.0) ?(dup_prob = 0.0) ?rng () =
+  let edges = authoritative_edges c in
+  let counts = initial_counts c edges in
+  let reachable = Bmx.Audit.union_reachable c in
+  let cached = Bmx.Audit.cached_anywhere c in
+  let garbage = Ids.Uid_set.diff cached reachable in
+  (* Ground truth for what counting can reclaim at all: a perfect channel. *)
+  let freed_perfect, _ = cascade edges counts ~loss:0.0 ~dup:0.0 ~rng:None in
+  let cycle_garbage = Ids.Uid_set.diff garbage freed_perfect in
+  let freed, messages =
+    cascade edges counts ~loss:loss_prob ~dup:dup_prob ~rng
+  in
+  {
+    rc_reclaimed = Ids.Uid_set.cardinal (Ids.Uid_set.inter freed garbage);
+    rc_leaked =
+      Ids.Uid_set.cardinal
+        (Ids.Uid_set.diff (Ids.Uid_set.diff garbage freed) cycle_garbage);
+    rc_premature = Ids.Uid_set.cardinal (Ids.Uid_set.inter freed reachable);
+    rc_cycle_garbage = Ids.Uid_set.cardinal cycle_garbage;
+    rc_messages = messages;
+  }

@@ -1,0 +1,36 @@
+(** Baseline: distributed reference counting with increment/decrement
+    messages (Bevan-style, the alternative §6.1 argues against).
+
+    The counter model reproduces the two well-known properties the paper's
+    idempotent-table design avoids:
+
+    - {b cycles are never reclaimed} (experiment E9);
+    - {b increment/decrement messages are not idempotent}: a lost
+      decrement leaks the object forever, a lost increment (or a
+      duplicated decrement) frees a live object (experiment E10).
+
+    The collector runs against a cluster snapshot: counts are initialized
+    from the actual heap, then root drops inject decrement traffic through
+    the (possibly faulty) simulated channel. *)
+
+type outcome = {
+  rc_reclaimed : int;  (** objects whose count correctly reached zero *)
+  rc_leaked : int;  (** garbage retained because a decrement was lost *)
+  rc_premature : int;  (** live objects freed (safety violations) *)
+  rc_cycle_garbage : int;  (** unreachable objects kept alive by a cycle *)
+  rc_messages : int;  (** increment/decrement messages sent *)
+}
+
+val analyze :
+  Bmx.Cluster.t ->
+  ?loss_prob:float ->
+  ?dup_prob:float ->
+  ?rng:Bmx_util.Rng.t ->
+  unit ->
+  outcome
+(** Initialize per-object counts from the cluster's current heap (one
+    count per incoming reference or root), then tear down: process every
+    unreachable object's death as cascading decrement messages, each
+    subject to [loss_prob] / [dup_prob].  What the counting scheme frees,
+    leaks, or frees wrongly is reported against the ground truth of
+    {!Bmx.Audit.union_reachable}. *)

@@ -1,0 +1,1 @@
+lib/bmx/audit.ml: Addr Bmx_dsm Bmx_memory Bmx_util Cluster Ids List Option Printf String

@@ -1,0 +1,1 @@
+lib/bmx/audit.mli: Bmx_util Cluster

@@ -1,0 +1,1 @@
+lib/bmx/cluster.ml: Addr Array Bmx_dsm Bmx_gc Bmx_memory Bmx_netsim Bmx_util List Rng Stats

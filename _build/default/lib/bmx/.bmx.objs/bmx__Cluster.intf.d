@@ -1,0 +1,1 @@
+lib/bmx/cluster.mli: Bmx_dsm Bmx_gc Bmx_memory Bmx_netsim Bmx_util

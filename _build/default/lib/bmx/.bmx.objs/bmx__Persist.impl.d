@@ -1,0 +1,1 @@
+lib/bmx/persist.ml: Addr Bmx_dsm Bmx_memory Bmx_netsim Bmx_rvm Bmx_util Cluster Hashtbl Ids List

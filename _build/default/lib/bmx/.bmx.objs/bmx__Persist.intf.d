@@ -1,0 +1,1 @@
+lib/bmx/persist.mli: Bmx_memory Bmx_rvm Bmx_util Cluster

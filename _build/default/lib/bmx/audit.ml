@@ -1,0 +1,171 @@
+open Bmx_util
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+module Heap_obj = Bmx_memory.Heap_obj
+
+let cached_anywhere t =
+  let proto = Cluster.proto t in
+  List.fold_left
+    (fun acc node ->
+      let store = Protocol.store proto node in
+      let local = ref acc in
+      Store.iter store (fun _ cell ->
+          match cell with
+          | Store.Object obj -> local := Ids.Uid_set.add obj.Heap_obj.uid !local
+          | Store.Forwarder _ -> ());
+      !local)
+    Ids.Uid_set.empty (Cluster.nodes t)
+
+(* Authoritative graph: uid -> pointer targets (as uids) taken from the
+   OWNER's copy of each object — the consistent version a token acquire
+   would deliver.  Stale replicas may hold extra pointers, but their
+   contents are undefined under entry consistency: a mutator can only
+   legally obtain a pointer through a token (getting the owner's version)
+   or by already holding it in a root.  Edges from non-owner copies are
+   used only as a fallback when no owner copy exists. *)
+let union_edges t =
+  let proto = Cluster.proto t in
+  let edges : Ids.Uid_set.t ref Ids.Uid_tbl.t = Ids.Uid_tbl.create 256 in
+  let add u v =
+    match Ids.Uid_tbl.find_opt edges u with
+    | Some s -> s := Ids.Uid_set.add v !s
+    | None -> Ids.Uid_tbl.add edges u (ref (Ids.Uid_set.singleton v))
+  in
+  let targets_at node uid =
+    let store = Protocol.store proto node in
+    match Store.addr_of_uid store uid with
+    | None -> None
+    | Some a -> (
+        match Store.resolve store a with
+        | Some (_, obj) ->
+            Some
+              (List.filter_map (Protocol.uid_of_addr proto) (Heap_obj.pointers obj))
+        | None -> None)
+  in
+  Ids.Uid_set.iter
+    (fun uid ->
+      let node =
+        match Protocol.owner_of proto uid with
+        | Some owner when targets_at owner uid <> None -> Some owner
+        | Some _ | None -> (
+            match Protocol.replica_nodes proto uid with n :: _ -> Some n | [] -> None)
+      in
+      match node with
+      | None -> ()
+      | Some n -> (
+          match targets_at n uid with
+          | Some ts -> List.iter (add uid) ts
+          | None -> ()))
+    (cached_anywhere t);
+  edges
+
+let root_uids t =
+  let proto = Cluster.proto t in
+  List.fold_left
+    (fun acc node ->
+      List.fold_left
+        (fun acc addr ->
+          match Protocol.uid_of_addr proto addr with
+          | Some u -> Ids.Uid_set.add u acc
+          | None -> acc)
+        acc
+        (Cluster.roots t ~node))
+    Ids.Uid_set.empty (Cluster.nodes t)
+
+let union_reachable t =
+  let edges = union_edges t in
+  let seen = ref Ids.Uid_set.empty in
+  let rec visit u =
+    if not (Ids.Uid_set.mem u !seen) then begin
+      seen := Ids.Uid_set.add u !seen;
+      match Ids.Uid_tbl.find_opt edges u with
+      | Some s -> Ids.Uid_set.iter visit !s
+      | None -> ()
+    end
+  in
+  Ids.Uid_set.iter visit (root_uids t);
+  !seen
+
+let lost_objects t = Ids.Uid_set.diff (union_reachable t) (cached_anywhere t)
+let garbage_retained t = Ids.Uid_set.diff (cached_anywhere t) (union_reachable t)
+
+let check_safety t =
+  let lost = lost_objects t in
+  if not (Ids.Uid_set.is_empty lost) then
+    Error
+      (Printf.sprintf "lost reachable objects: %s"
+         (String.concat ", "
+            (List.map Ids.Uid.to_string (Ids.Uid_set.elements lost))))
+  else begin
+    (* Every mutator root must still resolve at its own node. *)
+    let proto = Cluster.proto t in
+    let bad =
+      List.concat_map
+        (fun node ->
+          let store = Protocol.store proto node in
+          List.filter_map
+            (fun addr ->
+              match Store.resolve store addr with
+              | Some _ -> None
+              | None ->
+                  Some (Printf.sprintf "root %s dangling at N%d" (Addr.to_string addr) node))
+            (Cluster.roots t ~node))
+        (Cluster.nodes t)
+    in
+    match bad with [] -> Ok () | msgs -> Error (String.concat "; " msgs)
+  end
+
+let check_tokens t =
+  let proto = Cluster.proto t in
+  let module D = Bmx_dsm.Directory in
+  (* uid -> (owners, writers, readers) *)
+  let acc : (int * int * int) Ids.Uid_tbl.t = Ids.Uid_tbl.create 256 in
+  let violation = ref None in
+  let note uid f =
+    let o, w, r =
+      Option.value ~default:(0, 0, 0) (Ids.Uid_tbl.find_opt acc uid)
+    in
+    Ids.Uid_tbl.replace acc uid (f (o, w, r))
+  in
+  List.iter
+    (fun node ->
+      let dir = Protocol.directory proto node in
+      let store = Protocol.store proto node in
+      D.iter dir (fun rec_ ->
+          let uid = rec_.D.uid in
+          if rec_.D.is_owner then note uid (fun (o, w, r) -> (o + 1, w, r));
+          (match rec_.D.state with
+          | D.Write -> note uid (fun (o, w, r) -> (o, w + 1, r))
+          | D.Read -> note uid (fun (o, w, r) -> (o, w, r + 1))
+          | D.Invalid -> ());
+          if
+            rec_.D.state <> D.Invalid
+            && Store.addr_of_uid store uid = None
+            && !violation = None
+          then
+            violation :=
+              Some
+                (Printf.sprintf "N%d holds a %s token for o%d but no copy" node
+                   (D.token_state_to_string rec_.D.state)
+                   uid)))
+    (Cluster.nodes t);
+  Ids.Uid_tbl.iter
+    (fun uid (owners, writers, readers) ->
+      if !violation = None then
+        if owners > 1 then
+          violation := Some (Printf.sprintf "o%d has %d owners" uid owners)
+        else if writers > 1 then
+          violation := Some (Printf.sprintf "o%d has %d write tokens" uid writers)
+        else if writers = 1 && readers > 0 then
+          violation :=
+            Some
+              (Printf.sprintf "o%d has a write token alongside %d read tokens"
+                 uid readers))
+    acc;
+  match !violation with None -> Ok () | Some m -> Error m
+
+let total_cached_copies t =
+  let proto = Cluster.proto t in
+  List.fold_left
+    (fun acc node -> acc + Store.object_count (Protocol.store proto node))
+    0 (Cluster.nodes t)

@@ -1,0 +1,47 @@
+(** Whole-cluster verification oracles (tests and property checks only —
+    a real node could never compute these; they peek at every store).
+
+    The central safety property of the collector is that no object a
+    mutator can still legally reach is ever lost.  Reachability is
+    computed from every node's roots over the {e authoritative graph}:
+    the edges of each object are read from its owner's copy — the
+    consistent version a token acquire delivers.  Pointers surviving only
+    in stale, invalidated replicas are {e not} edges: under entry
+    consistency their contents are undefined and can never be legally
+    obtained again (§2.2), which is exactly why the stub-regeneration
+    rule of §4.3 may drop a stub as soon as the local object no longer
+    contains the reference.  The BGC scanning stale copies keeps strictly
+    more alive than this bar requires — the safe direction. *)
+
+val union_reachable : Cluster.t -> Bmx_util.Ids.Uid_set.t
+(** Uids reachable from every node's mutator roots over the
+    authoritative graph. *)
+
+val cached_anywhere : Cluster.t -> Bmx_util.Ids.Uid_set.t
+(** Uids with at least one cached copy on some node. *)
+
+val lost_objects : Cluster.t -> Bmx_util.Ids.Uid_set.t
+(** Safety violation witnesses: reachable uids with no copy anywhere.
+    Must always be empty. *)
+
+val garbage_retained : Cluster.t -> Bmx_util.Ids.Uid_set.t
+(** Unreachable uids still cached somewhere (waiting for collection). *)
+
+val check_safety : Cluster.t -> (unit, string) result
+(** [Ok ()] when no reachable object has been lost and every locally
+    reachable address still resolves at its node; [Error msg] otherwise. *)
+
+val total_cached_copies : Cluster.t -> int
+(** Sum over nodes of cached object copies (replicas counted once per
+    node). *)
+
+val check_tokens : Cluster.t -> (unit, string) result
+(** Entry-consistency token discipline (§2.2), cluster-wide:
+
+    - at most one owner per object;
+    - at most one write token per object, and never alongside read
+      tokens elsewhere ("several read tokens, or one exclusive write
+      token");
+    - a node with a valid (read/write) token actually caches a copy.
+
+    [Error msg] names the first violation. *)

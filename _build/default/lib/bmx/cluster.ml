@@ -1,0 +1,159 @@
+open Bmx_util
+module Net = Bmx_netsim.Net
+module Protocol = Bmx_dsm.Protocol
+module Registry = Bmx_memory.Registry
+module Store = Bmx_memory.Store
+module Value = Bmx_memory.Value
+module Gc_state = Bmx_gc.Gc_state
+module Barrier = Bmx_gc.Barrier
+module Invariants = Bmx_gc.Invariants
+module Bgc = Bmx_gc.Bgc
+module Ggc = Bmx_gc.Ggc
+module Reclaim = Bmx_gc.Reclaim
+
+type t = {
+  proto : Protocol.t;
+  gc : Gc_state.t;
+  net : (int -> unit) Net.t;
+  stats : Stats.registry;
+  rng : Rng.t;
+  mutable next_node : int;
+  mutable next_bunch : int;
+}
+
+let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) () =
+  let stats = Stats.create_registry () in
+  let net = Net.create ~stats () in
+  let registry = Registry.create () in
+  let proto = Protocol.create ~net ~registry ?mode ?update_policy () in
+  let gc = Gc_state.create ~proto in
+  Invariants.install gc;
+  Net.set_handler net (fun env -> env.Net.payload env.Net.seq);
+  let t =
+    { proto; gc; net; stats; rng = Rng.make seed; next_node = 0; next_bunch = 0 }
+  in
+  for _ = 1 to nodes do
+    Protocol.add_node proto t.next_node;
+    t.next_node <- t.next_node + 1
+  done;
+  t
+
+let proto t = t.proto
+let gc t = t.gc
+let net t = t.net
+let stats t = t.stats
+let tracer t = Protocol.tracer t.proto
+let rng t = t.rng
+let nodes t = Protocol.nodes t.proto
+
+let add_node t =
+  let n = t.next_node in
+  t.next_node <- t.next_node + 1;
+  Protocol.add_node t.proto n;
+  n
+
+let new_bunch t ~home =
+  let b = t.next_bunch in
+  t.next_bunch <- t.next_bunch + 1;
+  Protocol.declare_bunch t.proto ~bunch:b ~home;
+  ignore (Store.fresh_segment (Protocol.store t.proto home) ~bunch:b ());
+  b
+
+let alloc t ~node ~bunch fields =
+  (* Allocate with blank fields, then initialize through the barrier so
+     inter-bunch references present at birth create their SSPs (§3.2). *)
+  let blank = Array.map (fun _ -> Value.Data 0) fields in
+  let addr = Protocol.alloc t.proto ~node ~bunch ~fields:blank in
+  Array.iteri (fun i v -> Barrier.write_field t.gc ~node addr i v) fields;
+  addr
+
+let acquire_read t ~node addr = Protocol.acquire t.proto ~node addr `Read
+let acquire_write t ~node addr = Protocol.acquire t.proto ~node addr `Write
+let release t ~node addr = Protocol.release t.proto ~node addr
+let demand_fetch t ~node addr = Protocol.demand_fetch t.proto ~node addr
+let read t ?weak ~node addr i = Protocol.read_field t.proto ?weak ~node addr i
+let write t ~node addr i v = Barrier.write_field t.gc ~node addr i v
+let ptr_eq t ~node a b = Protocol.ptr_eq t.proto ~node a b
+let add_root t ~node addr = Gc_state.add_root t.gc ~node addr
+
+let remove_root t ~node addr =
+  (* The collector rewrites stack roots through forwarders at each local
+     collection (§4.4), so the caller's remembered address may be an
+     older name for the same object: match by identity, exact address
+     first. *)
+  let roots = Gc_state.roots t.gc ~node in
+  if List.exists (Addr.equal addr) roots then Gc_state.remove_root t.gc ~node addr
+  else
+    match Protocol.uid_of_addr t.proto addr with
+    | None -> ()
+    | Some uid -> (
+        let same_object r = Protocol.uid_of_addr t.proto r = Some uid in
+        match List.find_opt same_object roots with
+        | Some r -> Gc_state.remove_root t.gc ~node r
+        | None -> ())
+let roots t ~node = Gc_state.roots t.gc ~node
+let bgc t ~node ~bunch = Bgc.run t.gc ~node ~bunch
+let ggc t ~node = Ggc.run t.gc ~node ()
+let reclaim_from_space t ~node ~bunch = Reclaim.run t.gc ~node ~bunch
+let drain t = Net.drain t.net
+
+let gc_round t =
+  let reclaimed = ref 0 in
+  List.iter
+    (fun bunch ->
+      (* Every node that caches the bunch OR holds GC tables for it runs
+         its local BGC: a node can hold scions for a bunch it has no
+         copies of, and those tables must keep being advertised. *)
+      let nodes =
+        List.filter
+          (fun node ->
+            Protocol.store t.proto node |> fun s ->
+            Bmx_memory.Store.objects_of_bunch s bunch <> []
+            || Bmx_gc.Gc_state.inter_scions t.gc ~node ~bunch <> []
+            || Bmx_gc.Gc_state.intra_scions t.gc ~node ~bunch <> []
+            || Bmx_gc.Gc_state.inter_stubs t.gc ~node ~bunch <> []
+            (* Peers that once received this node's tables keep getting
+               rebroadcasts: that is the §6.1 retransmission that repairs
+               losses without acknowledgements. *)
+            || Bmx_gc.Gc_state.last_broadcast_dests t.gc ~node ~bunch <> [])
+          (Protocol.nodes t.proto)
+      in
+      List.iter
+        (fun node ->
+          let r = Bgc.run t.gc ~node ~bunch in
+          reclaimed := !reclaimed + r.Bmx_gc.Collect.r_reclaimed)
+        nodes)
+    (Protocol.bunches t.proto);
+  ignore (Net.drain t.net);
+  !reclaimed
+
+let collect_until_quiescent t ?max_rounds () =
+  (* A zero-reclaim round can still make progress: its trailing drain may
+     remove scions or entering entries that enable reclamation several
+     rounds later, one cleaner hop per round.  Chains are bounded by the
+     cluster size, so quiescence needs (nodes + 1) empty rounds in a
+     row. *)
+  let quiet_needed = List.length (Protocol.nodes t.proto) + 1 in
+  let max_rounds =
+    match max_rounds with Some m -> m | None -> 10 + (3 * quiet_needed)
+  in
+  let rec go total zeros rounds =
+    if rounds = 0 || zeros >= quiet_needed then total
+    else
+      let n = gc_round t in
+      go (total + n) (if n = 0 then zeros + 1 else 0) (rounds - 1)
+  in
+  go 0 0 max_rounds
+
+let uid_at t ~node addr =
+  match Store.resolve (Protocol.store t.proto node) addr with
+  | Some (_, obj) -> obj.Bmx_memory.Heap_obj.uid
+  | None -> (
+      match Protocol.uid_of_addr t.proto addr with
+      | Some uid -> uid
+      | None -> failwith "Cluster.uid_at: dangling address")
+
+let cached_at t ~node ~uid =
+  Store.addr_of_uid (Protocol.store t.proto node) uid <> None
+
+let owner_of t ~uid = Protocol.owner_of t.proto uid

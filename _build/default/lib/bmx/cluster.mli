@@ -1,0 +1,125 @@
+(** The BMX platform facade: a simulated cluster of nodes sharing a
+    persistent, weakly consistent distributed memory with copying garbage
+    collection.
+
+    This is the API a BMX application links against (the BMX-client
+    library of §8).  It wires together the substrates: the network
+    simulator, the single-address-space segment registry, the
+    entry-consistency protocol, and the collector — with the write barrier
+    on every pointer store and the §5 invariants installed. *)
+
+type t
+
+val create :
+  ?nodes:int ->
+  ?mode:Bmx_dsm.Protocol.mode ->
+  ?update_policy:Bmx_dsm.Protocol.update_policy ->
+  ?seed:int ->
+  unit ->
+  t
+(** A cluster of [nodes] (default 3) with ids [0 .. nodes-1].  [mode]
+    selects distributed (default) or centralized copy-sets; [seed] feeds
+    the deterministic generators. *)
+
+val proto : t -> Bmx_dsm.Protocol.t
+val gc : t -> Bmx_gc.Gc_state.t
+val net : t -> (int -> unit) Bmx_netsim.Net.t
+val stats : t -> Bmx_util.Stats.registry
+
+val tracer : t -> Bmx_util.Tracelog.t
+(** The shared structured event trace (disabled by default); enable with
+    {!Bmx_util.Tracelog.set_enabled} to record token grants, ownership
+    transfers, invalidations, collections and cleaner activity. *)
+
+val rng : t -> Bmx_util.Rng.t
+val nodes : t -> Bmx_util.Ids.Node.t list
+
+val add_node : t -> Bmx_util.Ids.Node.t
+(** Grow the cluster by one node; returns its id. *)
+
+(** {1 Bunches} *)
+
+val new_bunch : t -> home:Bmx_util.Ids.Node.t -> Bmx_util.Ids.Bunch.t
+(** Create a bunch whose home (rendezvous) node is [home]; an initial
+    segment is mapped there. *)
+
+(** {1 Mutator operations}
+
+    These are the operations the instrumented application performs (§8):
+    allocation, token acquire/release, field access through the write
+    barrier, and forwarding-aware pointer comparison. *)
+
+val alloc :
+  t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  Bmx_memory.Value.t array ->
+  Bmx_util.Addr.t
+(** Allocate and initialize an object.  Initializing stores run the write
+    barrier, so inter-bunch references present at birth get their SSPs. *)
+
+val acquire_read : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> Bmx_util.Addr.t
+val acquire_write : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> Bmx_util.Addr.t
+val release : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> unit
+
+val demand_fetch : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> Bmx_util.Addr.t
+(** Fault-driven access without tokens (§5): install an inconsistent
+    copy supplied by the owner, with location updates piggybacked on the
+    reply.  Read it with [read ~weak]. *)
+
+val read : t -> ?weak:bool -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> int
+  -> Bmx_memory.Value.t
+
+val write :
+  t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> int -> Bmx_memory.Value.t
+  -> unit
+(** Field store through the write barrier (§3.2). *)
+
+val ptr_eq : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> Bmx_util.Addr.t -> bool
+
+(** {1 Roots (persistence by reachability)} *)
+
+val add_root : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> unit
+
+val remove_root : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> unit
+(** Remove one root naming the same object as the address (local
+    collections rewrite stack roots through forwarders, so the caller's
+    remembered address may be an older name for the rooted object). *)
+
+val roots : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t list
+
+(** {1 Garbage collection} *)
+
+val bgc :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> Bmx_gc.Collect.report
+
+val ggc : t -> node:Bmx_util.Ids.Node.t -> Bmx_gc.Collect.report
+
+val reclaim_from_space :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> Bmx_gc.Reclaim.report
+
+val drain : t -> int
+(** Deliver all pending background messages (stub tables, scion messages,
+    address updates); returns how many were delivered. *)
+
+val gc_round : t -> int
+(** One cluster-wide round: BGC on every replica of every bunch, then
+    drain.  Returns the number of objects reclaimed in the round.
+    Distributed acyclic garbage needs at most one round per ownerPtr hop;
+    cross-replica chains converge in a few rounds (§6.2). *)
+
+val collect_until_quiescent : t -> ?max_rounds:int -> unit -> int
+(** Iterate {!gc_round} until (cluster size + 1) consecutive rounds
+    reclaim nothing — zero-reclaim rounds can still shorten cleaner
+    chains by one hop each — or until [max_rounds] (default scales with
+    the cluster).  Returns total objects reclaimed. *)
+
+(** {1 Introspection} *)
+
+val uid_at : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> Bmx_util.Ids.Uid.t
+(** Stable identity behind a (possibly forwarded) address. *)
+
+val cached_at : t -> node:Bmx_util.Ids.Node.t -> uid:Bmx_util.Ids.Uid.t -> bool
+val owner_of : t -> uid:Bmx_util.Ids.Uid.t -> Bmx_util.Ids.Node.t option

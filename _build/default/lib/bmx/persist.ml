@@ -1,0 +1,75 @@
+open Bmx_util
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+module Heap_obj = Bmx_memory.Heap_obj
+module Rvm = Bmx_rvm.Rvm
+module Directory = Bmx_dsm.Directory
+
+type disk = (Addr.t * Heap_obj.t) Rvm.t
+
+let create_disk () = Rvm.create ~copy:(fun (a, o) -> (a, Heap_obj.clone o)) ()
+
+(* Objects of [bunch] reachable from the node's local roots, traced over
+   the local replica (the same reachability the BGC computes). *)
+let reachable_cells c ~node ~bunch =
+  let proto = Cluster.proto c in
+  let store = Protocol.store proto node in
+  let seen = Ids.Uid_tbl.create 64 in
+  let out = ref [] in
+  let rec visit addr =
+    match Store.resolve store addr with
+    | None -> ()
+    | Some (a, obj) ->
+        if not (Ids.Uid_tbl.mem seen obj.Heap_obj.uid) then begin
+          Ids.Uid_tbl.add seen obj.Heap_obj.uid ();
+          if Ids.Bunch.equal obj.Heap_obj.bunch bunch then out := (a, obj) :: !out;
+          List.iter visit (Heap_obj.pointers obj)
+        end
+  in
+  List.iter visit (Cluster.roots c ~node);
+  !out
+
+let checkpoint c ~node ~bunch disk =
+  let cells = reachable_cells c ~node ~bunch in
+  let keep = Hashtbl.create 64 in
+  List.iter (fun (a, _) -> Hashtbl.replace keep a ()) cells;
+  let stale =
+    Rvm.fold disk ~init:[] ~f:(fun a _ acc ->
+        if Hashtbl.mem keep a then acc else a :: acc)
+  in
+  Rvm.begin_tx disk;
+  List.iter (Rvm.delete disk) stale;
+  List.iter (fun (a, obj) -> Rvm.set disk a (a, Heap_obj.clone obj)) cells;
+  Rvm.commit disk;
+  List.length cells
+
+let restore c ~node disk =
+  let proto = Cluster.proto c in
+  let store = Protocol.store proto node in
+  let dir = Protocol.directory proto node in
+  Rvm.fold disk ~init:0 ~f:(fun _key (addr, obj) count ->
+      let obj = Heap_obj.clone obj in
+      let uid = obj.Heap_obj.uid in
+      Store.install store addr obj;
+      (* If the object still has a live owner elsewhere (only this node's
+         memory was lost), come back as an ordinary inconsistent replica;
+         orphaned objects get this node as their owner. *)
+      (match Protocol.owner_of proto uid with
+      | Some owner when not (Ids.Node.equal owner node) ->
+          ignore (Directory.ensure dir ~uid ~prob_owner:owner);
+          Directory.add_entering
+            (Protocol.directory proto owner)
+            ~seq:
+              (Bmx_netsim.Net.current_seq (Protocol.net proto) ~src:node ~dst:owner)
+            ~uid ~from:node
+      | Some _ | None ->
+          (* Orphan: adopt ownership with a READ state — replicas elsewhere
+             may legitimately hold read tokens (MRSW, §2.2). *)
+          let r = Directory.ensure dir ~uid ~prob_owner:node in
+          r.Directory.is_owner <- true;
+          r.Directory.prob_owner <- node;
+          if r.Directory.state = Directory.Invalid then
+            r.Directory.state <- Directory.Read);
+      Protocol.register_copy_location proto ~uid ~addr;
+      Cluster.add_root c ~node addr;
+      count + 1)

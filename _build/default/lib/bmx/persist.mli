@@ -1,0 +1,39 @@
+(** Persistence by reachability (§1, §2.1).
+
+    "Objects can become persistent by reachability, that is, they are
+    persistent if reachable from the persistent root ... objects that are
+    no longer reachable from the persistent root should not be stored on
+    disk."  This module implements exactly that contract on top of the
+    RVM substrate: a checkpoint of a bunch stores the objects of the
+    bunch reachable from the node's roots — and {e only} those — into a
+    recoverable store, atomically (one RVM transaction per checkpoint,
+    retiring stale entries).  [restore] rebuilds a node's replica of the
+    bunch from the recovered image, re-registering ownership.
+
+    The reachability decision is the collector's: checkpointing is "run
+    the local trace, persist the survivors", which is why persistence by
+    reachability needs a GC in the first place (§1). *)
+
+type disk = (Bmx_util.Addr.t * Bmx_memory.Heap_obj.t) Bmx_rvm.Rvm.t
+
+val create_disk : unit -> disk
+(** A fresh recoverable store for heap cells. *)
+
+val checkpoint :
+  Cluster.t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> disk
+  -> int
+(** Persist the bunch's locally reachable objects into [disk] within one
+    RVM transaction; previously persisted cells that are no longer
+    reachable are deleted (persistence {e by reachability}).  Returns the
+    number of objects persisted.  Raises [Failure] if the disk has an
+    open transaction. *)
+
+val restore :
+  Cluster.t -> node:Bmx_util.Ids.Node.t -> disk -> int
+(** Install every recovered cell into the node's store at its persisted
+    address and root it (the recovered persistent state).  Objects whose
+    owner still exists elsewhere come back as ordinary (inconsistent)
+    replicas; orphaned objects get [node] as owner.  Returns the number
+    of objects restored.  Intended for a rebooted or replacement node of
+    the {e same} cluster — addresses and identities live in the cluster's
+    single address space — after [Bmx_rvm.Rvm.recover] on the disk. *)

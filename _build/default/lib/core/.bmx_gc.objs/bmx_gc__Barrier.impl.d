@@ -1,0 +1,1 @@
+lib/core/barrier.ml: Addr Bmx_dsm Bmx_memory Bmx_netsim Bmx_util Gc_state Ids Ssp Stats

@@ -1,0 +1,1 @@
+lib/core/barrier.mli: Bmx_memory Bmx_util Gc_state

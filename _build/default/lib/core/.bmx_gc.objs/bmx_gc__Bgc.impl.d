@@ -1,0 +1,1 @@
+lib/core/bgc.ml: Bmx_dsm Collect Gc_state List

@@ -1,0 +1,1 @@
+lib/core/bgc.mli: Bmx_util Collect Gc_state

@@ -1,0 +1,1 @@
+lib/core/collect.ml: Addr Array Bmx_dsm Bmx_memory Bmx_util Format Gc_state Hashtbl Ids List Option Queue Scion_cleaner Ssp Stats String

@@ -1,0 +1,1 @@
+lib/core/collect.mli: Bmx_util Format Gc_state

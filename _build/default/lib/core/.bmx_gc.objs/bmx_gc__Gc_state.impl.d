@@ -1,0 +1,1 @@
+lib/core/gc_state.ml: Addr Bmx_dsm Bmx_util Format Hashtbl Ids List Ssp

@@ -1,0 +1,1 @@
+lib/core/gc_state.mli: Bmx_dsm Bmx_util Format Ssp

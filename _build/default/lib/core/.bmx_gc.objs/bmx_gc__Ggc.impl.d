@@ -1,0 +1,1 @@
+lib/core/ggc.ml: Bmx_dsm Bmx_memory Collect Gc_state

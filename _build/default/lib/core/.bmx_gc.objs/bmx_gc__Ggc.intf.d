@@ -1,0 +1,1 @@
+lib/core/ggc.mli: Bmx_util Collect Gc_state

@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Bmx_dsm Bmx_memory Bmx_netsim Bmx_util Gc_state Ids List Ssp Stats

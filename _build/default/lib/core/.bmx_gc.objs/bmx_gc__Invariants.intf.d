@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Bmx_util Gc_state

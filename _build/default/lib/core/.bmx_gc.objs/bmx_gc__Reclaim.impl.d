@@ -1,0 +1,1 @@
+lib/core/reclaim.ml: Addr Array Bmx_dsm Bmx_memory Bmx_netsim Bmx_util Gc_state Ids List Stats

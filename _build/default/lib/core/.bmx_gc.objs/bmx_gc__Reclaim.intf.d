@@ -1,0 +1,1 @@
+lib/core/reclaim.mli: Bmx_util Gc_state

@@ -1,0 +1,1 @@
+lib/core/scion_cleaner.ml: Bmx_dsm Bmx_memory Bmx_netsim Bmx_util Gc_state Ids List Ssp Stats

@@ -1,0 +1,1 @@
+lib/core/scion_cleaner.mli: Bmx_util Gc_state Ssp

@@ -1,0 +1,1 @@
+lib/core/ssp.ml: Addr Bmx_util Format Ids

@@ -1,0 +1,1 @@
+lib/core/ssp.mli: Bmx_util Format

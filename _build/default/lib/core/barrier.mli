@@ -1,0 +1,28 @@
+(** The write barrier (§3.2).
+
+    Every pointer store an application performs goes through this barrier
+    (the paper instruments writes with a C++ macro; here the mutator API
+    is the instrumentation point).  When the barrier detects the creation
+    of an inter-bunch reference it constructs the corresponding
+    inter-bunch SSP immediately: stub and scion locally when the target
+    bunch is mapped on this node, otherwise the stub locally and a
+    {e scion-message} to a node mapping the target bunch (§3.2). *)
+
+val write_field :
+  Gc_state.t ->
+  node:Bmx_util.Ids.Node.t ->
+  Bmx_util.Addr.t ->
+  int ->
+  Bmx_memory.Value.t ->
+  unit
+(** Store a value into a field of the object at the address, running the
+    write barrier.  Requires the write token (enforced by the DSM layer).
+    Raises [Failure] like {!Bmx_dsm.Protocol.write_field_raw} on token
+    violations. *)
+
+val scion_target :
+  Gc_state.t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> Bmx_util.Ids.Node.t
+(** Where the scion for a new inter-bunch reference created at [node]
+    towards [bunch] will live: [node] itself when the bunch is locally
+    mapped, else the bunch's home node. *)

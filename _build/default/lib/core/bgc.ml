@@ -1,0 +1,7 @@
+let run t ~node ~bunch = Collect.run t ~node ~bunches:[ bunch ] ~group_mode:false ()
+
+let run_all_replicas t ~bunch =
+  let proto = Gc_state.proto t in
+  List.map
+    (fun node -> run t ~node ~bunch)
+    (Bmx_dsm.Protocol.bunch_replica_nodes proto bunch)

@@ -1,0 +1,20 @@
+(** The bunch garbage collector (§4).
+
+    A BGC collects one local replica of one bunch, independently of any
+    other bunch and of the other replicas of the same bunch.  Based on the
+    concurrent compacting collector of O'Toole et al. (§4.1): small flip,
+    no virtual-memory tricks, non-destructive copying. *)
+
+val run :
+  Gc_state.t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> Collect.report
+(** Collect the replica of [bunch] cached at [node].  Acquires no token
+    and sends no synchronous message; the reconstructed reachability
+    tables go out as background messages (deliver them with
+    {!Bmx_netsim.Net.drain}). *)
+
+val run_all_replicas :
+  Gc_state.t -> bunch:Bmx_util.Ids.Bunch.t -> Collect.report list
+(** Convenience for tests and benchmarks: run the BGC on every node that
+    caches the bunch, in node order (still one independent local
+    collection per replica). *)

@@ -1,0 +1,149 @@
+open Bmx_util
+
+type node_state = {
+  mutable roots : Addr.t list;
+  inter_stubs : Ssp.inter_stub list ref Ids.Bunch_tbl.t; (* by source bunch *)
+  intra_stubs : Ssp.intra_stub list ref Ids.Bunch_tbl.t;
+  inter_scions : Ssp.inter_scion list ref Ids.Bunch_tbl.t; (* by target bunch *)
+  intra_scions : Ssp.intra_scion list ref Ids.Bunch_tbl.t;
+  last_seq : (Ids.Node.t * Ids.Bunch.t, int) Hashtbl.t;
+  last_exiting : (Ids.Uid.t * Ids.Node.t) list ref Ids.Bunch_tbl.t;
+  last_dests : Ids.Node.t list ref Ids.Bunch_tbl.t;
+}
+
+type t = { proto : Bmx_dsm.Protocol.t; per_node : node_state Ids.Node_tbl.t }
+
+let create ~proto = { proto; per_node = Ids.Node_tbl.create 8 }
+let proto t = t.proto
+let stats t = Bmx_dsm.Protocol.stats t.proto
+
+let node_state t node =
+  match Ids.Node_tbl.find_opt t.per_node node with
+  | Some ns -> ns
+  | None ->
+      let ns =
+        {
+          roots = [];
+          inter_stubs = Ids.Bunch_tbl.create 8;
+          intra_stubs = Ids.Bunch_tbl.create 8;
+          inter_scions = Ids.Bunch_tbl.create 8;
+          intra_scions = Ids.Bunch_tbl.create 8;
+          last_seq = Hashtbl.create 16;
+          last_exiting = Ids.Bunch_tbl.create 8;
+          last_dests = Ids.Bunch_tbl.create 8;
+        }
+      in
+      Ids.Node_tbl.add t.per_node node ns;
+      ns
+
+let add_root t ~node a =
+  let ns = node_state t node in
+  ns.roots <- a :: ns.roots
+
+let remove_root t ~node a =
+  let ns = node_state t node in
+  let rec drop_one = function
+    | [] -> []
+    | x :: rest -> if Addr.equal x a then rest else x :: drop_one rest
+  in
+  ns.roots <- drop_one ns.roots
+
+let roots t ~node = (node_state t node).roots
+
+let set_roots t ~node roots =
+  let ns = node_state t node in
+  ns.roots <- roots
+
+let tbl_get tbl bunch =
+  match Ids.Bunch_tbl.find_opt tbl bunch with Some r -> !r | None -> []
+
+let tbl_add tbl bunch ~eq item =
+  match Ids.Bunch_tbl.find_opt tbl bunch with
+  | Some r -> if not (List.exists (eq item) !r) then r := item :: !r
+  | None -> Ids.Bunch_tbl.add tbl bunch (ref [ item ])
+
+let tbl_remove tbl bunch pred =
+  match Ids.Bunch_tbl.find_opt tbl bunch with
+  | None -> 0
+  | Some r ->
+      let keep, drop = List.partition (fun x -> not (pred x)) !r in
+      r := keep;
+      List.length drop
+
+let inter_stubs t ~node ~bunch = tbl_get (node_state t node).inter_stubs bunch
+let intra_stubs t ~node ~bunch = tbl_get (node_state t node).intra_stubs bunch
+
+let add_inter_stub t ~node (s : Ssp.inter_stub) =
+  tbl_add (node_state t node).inter_stubs s.Ssp.is_src_bunch ~eq:( = ) s
+
+let add_intra_stub t ~node (s : Ssp.intra_stub) =
+  tbl_add (node_state t node).intra_stubs s.Ssp.ns_bunch ~eq:( = ) s
+
+let replace_stub_tables t ~node ~bunch ~inter ~intra =
+  let ns = node_state t node in
+  Ids.Bunch_tbl.replace ns.inter_stubs bunch (ref inter);
+  Ids.Bunch_tbl.replace ns.intra_stubs bunch (ref intra)
+
+let inter_scions t ~node ~bunch = tbl_get (node_state t node).inter_scions bunch
+let intra_scions t ~node ~bunch = tbl_get (node_state t node).intra_scions bunch
+
+let add_inter_scion t ~node (s : Ssp.inter_scion) =
+  tbl_add (node_state t node).inter_scions s.Ssp.xs_target_bunch ~eq:( = ) s
+
+let add_intra_scion t ~node (s : Ssp.intra_scion) =
+  tbl_add (node_state t node).intra_scions s.Ssp.xn_bunch ~eq:( = ) s
+
+let remove_inter_scions t ~node ~bunch pred =
+  tbl_remove (node_state t node).inter_scions bunch pred
+
+let remove_intra_scions t ~node ~bunch pred =
+  tbl_remove (node_state t node).intra_scions bunch pred
+
+let last_exiting t ~node ~bunch = tbl_get (node_state t node).last_exiting bunch
+
+let record_exiting t ~node ~bunch exiting =
+  Ids.Bunch_tbl.replace (node_state t node).last_exiting bunch (ref exiting)
+
+let last_broadcast_dests t ~node ~bunch =
+  tbl_get (node_state t node).last_dests bunch
+
+let record_broadcast_dests t ~node ~bunch dests =
+  Ids.Bunch_tbl.replace (node_state t node).last_dests bunch (ref dests)
+
+let last_table_seq t ~node ~sender ~bunch =
+  Hashtbl.find_opt (node_state t node).last_seq (sender, bunch)
+
+let record_table_seq t ~node ~sender ~bunch ~seq =
+  Hashtbl.replace (node_state t node).last_seq (sender, bunch) seq
+
+let bunches_with_tables t ~node =
+  let ns = node_state t node in
+  let collect tbl acc =
+    Ids.Bunch_tbl.fold (fun b _ acc -> Ids.Bunch_set.add b acc) tbl acc
+  in
+  Ids.Bunch_set.elements
+    (collect ns.inter_stubs
+       (collect ns.intra_stubs
+          (collect ns.inter_scions (collect ns.intra_scions Ids.Bunch_set.empty))))
+
+let pp_node t ppf node =
+  let ns = node_state t node in
+  Format.fprintf ppf "@[<v>node %a gc-state:@," Ids.Node.pp node;
+  Ids.Bunch_tbl.iter
+    (fun b r ->
+      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_inter_stub s) !r;
+      ignore b)
+    ns.inter_stubs;
+  Ids.Bunch_tbl.iter
+    (fun _ r ->
+      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_intra_stub s) !r)
+    ns.intra_stubs;
+  Ids.Bunch_tbl.iter
+    (fun _ r ->
+      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_inter_scion s) !r)
+    ns.inter_scions;
+  Ids.Bunch_tbl.iter
+    (fun _ r ->
+      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_intra_scion s) !r)
+    ns.intra_scions;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,112 @@
+(** Per-node garbage-collection state: stub and scion tables, mutator
+    roots, and the FIFO bookkeeping of the scion cleaner (§3, §6.1).
+
+    Tables are held per node per bunch — every cached copy of a bunch
+    carries its own stub table and scion table (§3), which is what makes a
+    replica collectable in isolation. *)
+
+type node_state
+
+type t
+
+val create : proto:Bmx_dsm.Protocol.t -> t
+val proto : t -> Bmx_dsm.Protocol.t
+val stats : t -> Bmx_util.Stats.registry
+
+val node_state : t -> Bmx_util.Ids.Node.t -> node_state
+(** Created lazily per node. *)
+
+(** {1 Mutator roots}
+
+    The local root includes the mutator stacks (Figure 1). *)
+
+val add_root : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> unit
+val remove_root : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> unit
+(** Removes one occurrence. *)
+
+val roots : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t list
+val set_roots : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t list -> unit
+
+(** {1 Stub tables} *)
+
+val inter_stubs :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> Ssp.inter_stub list
+
+val intra_stubs :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> Ssp.intra_stub list
+
+val add_inter_stub : t -> node:Bmx_util.Ids.Node.t -> Ssp.inter_stub -> unit
+(** Idempotent (duplicate stubs are suppressed). *)
+
+val add_intra_stub : t -> node:Bmx_util.Ids.Node.t -> Ssp.intra_stub -> unit
+
+val replace_stub_tables :
+  t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  inter:Ssp.inter_stub list ->
+  intra:Ssp.intra_stub list ->
+  unit
+(** Install the tables a BGC reconstructed (§4.3). *)
+
+(** {1 Scion tables} *)
+
+val inter_scions :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> Ssp.inter_scion list
+(** Scions protecting objects of [bunch] at [node]. *)
+
+val intra_scions :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> Ssp.intra_scion list
+
+val add_inter_scion : t -> node:Bmx_util.Ids.Node.t -> Ssp.inter_scion -> unit
+(** Idempotent. *)
+
+val add_intra_scion : t -> node:Bmx_util.Ids.Node.t -> Ssp.intra_scion -> unit
+
+val remove_inter_scions :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> (Ssp.inter_scion -> bool) -> int
+(** Remove scions satisfying the predicate; returns how many. *)
+
+val remove_intra_scions :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> (Ssp.intra_scion -> bool) -> int
+
+(** {1 Exiting-ownerPtr lists}
+
+    The list a BGC last constructed for a bunch (§4.3); kept so the next
+    broadcast can also reach nodes that dropped out of it. *)
+
+val last_exiting :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list
+
+val record_exiting :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list -> unit
+
+val last_broadcast_dests :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> Bmx_util.Ids.Node.t list
+(** Where the previous reachability broadcast for the bunch went.  A
+    resend after a loss must still reach peers whose scions the replaced
+    tables no longer mention (§6.1's retransmission tolerance). *)
+
+val record_broadcast_dests :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> Bmx_util.Ids.Node.t list -> unit
+
+(** {1 Scion-cleaner FIFO state (§6.1)} *)
+
+val last_table_seq :
+  t -> node:Bmx_util.Ids.Node.t -> sender:Bmx_util.Ids.Node.t
+  -> bunch:Bmx_util.Ids.Bunch.t -> int option
+
+val record_table_seq :
+  t -> node:Bmx_util.Ids.Node.t -> sender:Bmx_util.Ids.Node.t
+  -> bunch:Bmx_util.Ids.Bunch.t -> seq:int -> unit
+
+(** {1 Introspection} *)
+
+val bunches_with_tables : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Ids.Bunch.t list
+val pp_node : t -> Format.formatter -> Bmx_util.Ids.Node.t -> unit

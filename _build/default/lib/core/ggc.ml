@@ -1,0 +1,9 @@
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+
+let group t ~node =
+  Store.mapped_bunches (Protocol.store (Gc_state.proto t) node)
+
+let run t ~node ?bunches () =
+  let bunches = match bunches with Some bs -> bs | None -> group t ~node in
+  Collect.run t ~node ~bunches ~group_mode:true ()

@@ -1,0 +1,19 @@
+(** The group garbage collector (§7).
+
+    One GGC per node; it collects a {e group} of bunches local to the node
+    with the same engine as the BGC.  Inter-bunch scions corresponding to
+    SSPs that originate within the group are not part of the root, so
+    inter-bunch cycles of garbage wholly inside the group are reclaimed.
+    Bunches are grouped by the locality heuristic: every bunch mapped in
+    memory at the site (no disk I/O). *)
+
+val group : Gc_state.t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Ids.Bunch.t list
+(** The locality-based group: all bunches currently mapped at the node. *)
+
+val run :
+  Gc_state.t ->
+  node:Bmx_util.Ids.Node.t ->
+  ?bunches:Bmx_util.Ids.Bunch.t list ->
+  unit ->
+  Collect.report
+(** Collect [bunches] (default: {!group}) together at [node]. *)

@@ -1,0 +1,219 @@
+open Bmx_util
+module Net = Bmx_netsim.Net
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+module Segment = Bmx_memory.Segment
+module Heap_obj = Bmx_memory.Heap_obj
+module Value = Bmx_memory.Value
+
+type report = {
+  q_segments_freed : int;
+  q_bytes_freed : int;
+  q_forwarders_dropped : int;
+  q_copy_requests : int;
+  q_updates_broadcast : int;
+}
+
+let bump t name = Stats.incr (Gc_state.stats t) name
+
+(* Allocate a fresh copy of [fields] for [uid] at [node], guaranteed to
+   land outside [range] — the whole point of the protocol is to empty that
+   range, so an evacuation must never target it. *)
+let alloc_outside t ~node ~bunch ~uid ~fields ~range =
+  let proto = Gc_state.proto t in
+  let store = Protocol.store proto node in
+  let candidate = Store.alloc store ~bunch ~uid ~fields in
+  if not (Addr.Range.contains range candidate) then candidate
+  else begin
+    (* The node's active segment is the very range being reclaimed: retire
+       the doomed copy and retarget allocation at a fresh segment. *)
+    Store.remove store candidate;
+    let seg = Store.fresh_segment store ~bunch () in
+    Store.set_active_segment store ~bunch seg;
+    Store.alloc store ~bunch ~uid ~fields
+  end
+
+(* The owner evacuates its local copy out of the address range the
+   requester wants to reuse, and reports where the object now lives. *)
+let owner_evacuate t ~owner ~uid ~range =
+  let proto = Gc_state.proto t in
+  let store = Protocol.store proto owner in
+  match Store.addr_of_uid store uid with
+  | None -> None
+  | Some a ->
+      if not (Addr.Range.contains range a) then
+        Some { Protocol.lu_uid = uid; old_addr = a; new_addr = a }
+      else (
+        match Store.resolve store a with
+        | None -> None
+        | Some (_, obj) ->
+            let bunch = obj.Heap_obj.bunch in
+            let new_addr =
+              alloc_outside t ~node:owner ~bunch ~uid
+                ~fields:(Array.copy obj.Heap_obj.fields) ~range
+            in
+            Store.set_forwarder store ~at:a ~target:new_addr;
+            Protocol.register_copy_location proto ~uid ~addr:new_addr;
+            bump t "gc.reclaim.owner_copies";
+            Some { Protocol.lu_uid = uid; old_addr = a; new_addr })
+
+(* Rewrite every locally held pointer (mutator roots and object fields)
+   through the local forwarder chains, so the forwarders in the doomed
+   segment are no longer needed on this node. *)
+let fix_local_pointers t ~node =
+  let proto = Gc_state.proto t in
+  let store = Protocol.store proto node in
+  Gc_state.set_roots t ~node
+    (List.map (Store.current_addr store) (Gc_state.roots t ~node));
+  Store.iter store (fun obj_addr cell ->
+      match cell with
+      | Store.Forwarder _ -> ()
+      | Store.Object obj ->
+          Array.iteri
+            (fun i v ->
+              match v with
+              | Value.Ref p when not (Addr.is_null p) ->
+                  let p' = Store.current_addr store p in
+                  if not (Addr.equal p p') then begin
+                    Heap_obj.set obj i (Value.Ref p');
+                    Store.note_field_write store ~obj_addr ~index:i (Value.Ref p')
+                  end
+              | Value.Ref _ | Value.Data _ -> ())
+            obj.Heap_obj.fields)
+
+let run t ~node ~bunch =
+  let proto = Gc_state.proto t in
+  let store = Protocol.store proto node in
+  let replicas =
+    List.filter
+      (fun n -> not (Ids.Node.equal n node))
+      (Protocol.bunch_replica_nodes proto bunch)
+  in
+  let segments_freed = ref 0
+  and bytes_freed = ref 0
+  and forwarders_dropped = ref 0
+  and copy_requests = ref 0
+  and updates_broadcast = ref 0 in
+  List.iter
+    (fun seg ->
+      if seg.Segment.role = Segment.From_space then begin
+        let range = seg.Segment.range in
+        let cells = Store.cells_in_range store range in
+        (* A live copy whose recorded owner can no longer help (the
+           owner's own replica died first) must not go down with the
+           segment: this node adopts ownership and evacuates it itself. *)
+        let evacuate_locally uid (obj : Heap_obj.t) addr =
+          let new_addr =
+            alloc_outside t ~node ~bunch ~uid
+              ~fields:(Array.copy obj.Heap_obj.fields) ~range
+          in
+          Store.set_forwarder store ~at:addr ~target:new_addr;
+          Protocol.register_copy_location proto ~uid ~addr:new_addr
+        in
+        (* Ask owners to pull their live objects out of the segment; apply
+           the replies locally so our own copies leave the range too. *)
+        List.iter
+          (fun (addr, cell) ->
+            match cell with
+            | Store.Forwarder _ -> ()
+            | Store.Object obj -> (
+                let uid = obj.Heap_obj.uid in
+                match Protocol.owner_of proto uid with
+                | Some owner when Ids.Node.equal owner node ->
+                    (* Locally owned stragglers (allocated since the last
+                       BGC): evacuate directly. *)
+                    evacuate_locally uid obj addr
+                | Some owner -> (
+                    Net.record_rpc (Protocol.net proto) ~src:node ~dst:owner
+                      ~kind:Net.Reclaim_request ();
+                    incr copy_requests;
+                    match owner_evacuate t ~owner ~uid ~range with
+                    | Some update ->
+                        Net.record_rpc (Protocol.net proto) ~src:owner ~dst:node
+                          ~kind:Net.Reclaim_reply ~bytes:24 ();
+                        (* Relocate the local replica to the owner's
+                           current address — also when the owner did not
+                           need to move (its copy was already outside the
+                           range, but ours is inside and about to go). *)
+                        (match Store.cell store addr with
+                        | Some (Store.Object local)
+                          when not (Addr.equal addr update.Protocol.new_addr) ->
+                            Store.install store update.Protocol.new_addr local;
+                            Store.set_forwarder store ~at:addr
+                              ~target:update.Protocol.new_addr
+                        | Some _ | None -> ());
+                        Protocol.apply_location_updates proto ~node [ update ]
+                    | None ->
+                        Net.record_rpc (Protocol.net proto) ~src:owner ~dst:node
+                          ~kind:Net.Reclaim_reply ();
+                        bump t "gc.reclaim.ownership_adopted";
+                        Protocol.adopt_ownership proto ~node ~uid;
+                        evacuate_locally uid obj addr)
+                | None ->
+                    bump t "gc.reclaim.ownership_adopted";
+                    Protocol.adopt_ownership proto ~node ~uid;
+                    evacuate_locally uid obj addr))
+          cells;
+        (* Collect the address changes the segment's forwarders record. *)
+        let updates =
+          List.filter_map
+            (fun (addr, cell) ->
+              match cell with
+              | Store.Forwarder _ ->
+                  let cur = Store.current_addr store addr in
+                  (match Protocol.uid_of_addr proto cur with
+                  | Some uid when not (Addr.equal cur addr) ->
+                      Some { Protocol.lu_uid = uid; old_addr = addr; new_addr = cur }
+                  | Some _ | None -> None)
+              | Store.Object _ -> None)
+            (Store.cells_in_range store range)
+        in
+        (* §4.5 is explicit that reuse waits for acknowledgements: "Once
+           the local node receives the replies to the above messages, the
+           from-space segment can be fully reused or freed."  So this is
+           a request/reply exchange, not fire-and-forget — otherwise a
+           token grant racing with the reuse could hand out an address
+           whose forwarder no longer exists anywhere. *)
+        if updates <> [] then
+          List.iter
+            (fun dst ->
+              Net.record_rpc (Protocol.net proto) ~src:node ~dst
+                ~kind:Net.Addr_update
+                ~bytes:(24 * List.length updates)
+                ();
+              Protocol.apply_location_updates proto ~node:dst updates;
+              Net.record_rpc (Protocol.net proto) ~src:dst ~dst:node
+                ~kind:Net.Reclaim_reply ();
+              incr updates_broadcast)
+            replicas;
+        (* Everything left in the range is a forwarder or dead: fix local
+           pointers, then drop the segment wholesale. *)
+        fix_local_pointers t ~node;
+        List.iter
+          (fun (addr, cell) ->
+            (match cell with
+            | Store.Forwarder _ -> incr forwarders_dropped
+            | Store.Object _ -> ());
+            Store.remove store addr)
+          (Store.cells_in_range store range);
+        Segment.reset seg;
+        (* The range is retired, never reallocated: numeric address
+           recycling would let addresses still present in in-flight
+           metadata alias fresh objects.  The 63-bit space is
+           inexhaustible in simulation; what §4.5 reclaims — the
+           segment's memory — is returned (the maps and cells are gone),
+           and accounting (E18) measures live footprint as non-Free
+           segment bytes. *)
+        Segment.seal seg;
+        incr segments_freed;
+        bytes_freed := !bytes_freed + Addr.Range.size range;
+        bump t "gc.reclaim.segments_freed"
+      end)
+    (Store.segments_of_bunch store bunch);
+  {
+    q_segments_freed = !segments_freed;
+    q_bytes_freed = !bytes_freed;
+    q_forwarders_dropped = !forwarders_dropped;
+    q_copy_requests = !copy_requests;
+    q_updates_broadcast = !updates_broadcast;
+  }

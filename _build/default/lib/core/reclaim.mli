@@ -1,0 +1,24 @@
+(** From-space reuse (§4.5).
+
+    After a local BGC, a from-space segment may still hold forwarding
+    headers and live non-owned objects, so it cannot be recycled
+    immediately.  To reuse or free it, the node (a) informs every node
+    affected by the address changes recorded in the segment's forwarders,
+    and (b) asks the owners of the remaining live objects to copy them out
+    — then drops the segment wholesale.  Both the address-change messages
+    and the copy requests are request/reply exchanges: §4.5 is explicit
+    that the segment is reused only "once the local node receives the
+    replies".  These are the collector's only synchronous round-trips,
+    and they happen off the application's critical path. *)
+
+type report = {
+  q_segments_freed : int;
+  q_bytes_freed : int;
+  q_forwarders_dropped : int;
+  q_copy_requests : int;  (** live non-owned objects evacuated by owners *)
+  q_updates_broadcast : int;  (** address-change exchanges acknowledged *)
+}
+
+val run :
+  Gc_state.t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> report
+(** Free every from-space segment of the bunch's local replica. *)

@@ -1,0 +1,165 @@
+open Bmx_util
+module Net = Bmx_netsim.Net
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+module Heap_obj = Bmx_memory.Heap_obj
+module Directory = Bmx_dsm.Directory
+
+type table_msg = {
+  tm_sender : Ids.Node.t;
+  tm_bunch : Ids.Bunch.t;
+  tm_inter_stubs : Ssp.inter_stub list;
+  tm_intra_stubs : Ssp.intra_stub list;
+  tm_exiting : (Ids.Uid.t * Ids.Node.t) list;
+}
+
+let msg_bytes m =
+  16
+  + (40 * List.length m.tm_inter_stubs)
+  + (24 * List.length m.tm_intra_stubs)
+  + (16 * List.length m.tm_exiting)
+
+let bump t name = Stats.incr (Gc_state.stats t) name
+
+let receive t ~at ~seq msg =
+  let fresh =
+    match
+      Gc_state.last_table_seq t ~node:at ~sender:msg.tm_sender ~bunch:msg.tm_bunch
+    with
+    | Some last -> seq > last
+    | None -> true
+  in
+  if not fresh then bump t "gc.cleaner.stale_ignored"
+  else begin
+    Gc_state.record_table_seq t ~node:at ~sender:msg.tm_sender ~bunch:msg.tm_bunch
+      ~seq;
+    bump t "gc.cleaner.processed";
+    (let tr = Protocol.tracer (Gc_state.proto t) in
+     if Bmx_util.Tracelog.enabled tr then
+       Bmx_util.Tracelog.recordf tr ~category:"cleaner"
+         "N%d processed tables from N%d for B%d (seq %d)" at msg.tm_sender
+         msg.tm_bunch seq);
+    let proto = Gc_state.proto t in
+    (* Inter-bunch scions held here whose stub lived in the sender's copy
+       of the bunch: drop those the new stub table no longer covers. *)
+    List.iter
+      (fun target_bunch ->
+        let removed =
+          Gc_state.remove_inter_scions t ~node:at ~bunch:target_bunch
+            (fun scion ->
+              Ids.Node.equal scion.Ssp.xs_src_node msg.tm_sender
+              && Ids.Bunch.equal scion.Ssp.xs_src_bunch msg.tm_bunch
+              && not
+                   (List.exists
+                      (fun stub -> Ssp.inter_stub_matches stub scion)
+                      msg.tm_inter_stubs))
+        in
+        if removed > 0 then
+          Stats.incr (Gc_state.stats t) ~by:removed "gc.cleaner.inter_scions_removed")
+      (Gc_state.bunches_with_tables t ~node:at);
+    (* Intra-bunch scions for this bunch whose owner side is the sender:
+       keep only those the sender's intra stubs still name. *)
+    let removed_intra =
+      Gc_state.remove_intra_scions t ~node:at ~bunch:msg.tm_bunch (fun scion ->
+          Ids.Node.equal scion.Ssp.xn_owner_side msg.tm_sender
+          && not
+               (List.exists
+                  (fun stub -> Ssp.intra_stub_matches ~holder:at stub scion)
+                  msg.tm_intra_stubs))
+    in
+    if removed_intra > 0 then
+      Stats.incr (Gc_state.stats t) ~by:removed_intra
+        "gc.cleaner.intra_scions_removed";
+    (* Entering ownerPtrs: reconcile the entries originating at the sender
+       for objects of this bunch against the sender's exiting list. *)
+    let dir = Protocol.directory proto at in
+    let store = Protocol.store proto at in
+    let claimed =
+      List.filter_map
+        (fun (uid, target) ->
+          if Ids.Node.equal target at then Some uid else None)
+        msg.tm_exiting
+    in
+    List.iter
+      (fun uid ->
+        if Ids.Node_set.mem msg.tm_sender (Directory.entering dir uid) then begin
+          let belongs_to_bunch =
+            match Store.addr_of_uid store uid with
+            | Some a -> (
+                match Store.resolve store a with
+                | Some (_, obj) -> Ids.Bunch.equal obj.Heap_obj.bunch msg.tm_bunch
+                | None -> false)
+            | None -> false
+          in
+          let registered_after_send =
+            Directory.entering_registration_seq dir ~uid ~from:msg.tm_sender
+            >= seq
+          in
+          if belongs_to_bunch && (not (List.mem uid claimed))
+             && not registered_after_send
+          then begin
+            Directory.remove_entering dir ~uid ~from:msg.tm_sender;
+            bump t "gc.cleaner.entering_removed"
+          end
+        end)
+      (Directory.entering_uids dir);
+    List.iter
+      (fun uid -> Directory.add_entering dir ~seq ~uid ~from:msg.tm_sender)
+      claimed
+  end
+
+let destinations t ~node ~bunch ~old_inter ~new_inter ~old_intra ~new_intra
+    ~exiting =
+  let proto = Gc_state.proto t in
+  let replicas = Protocol.bunch_replica_nodes proto bunch in
+  let scion_holders =
+    List.map (fun (s : Ssp.inter_stub) -> s.Ssp.is_scion_at) (old_inter @ new_inter)
+    @ List.map (fun (s : Ssp.intra_stub) -> s.Ssp.ns_holder) (old_intra @ new_intra)
+  in
+  let owners =
+    List.map snd exiting @ List.map snd (Gc_state.last_exiting t ~node ~bunch)
+  in
+  List.sort_uniq Ids.Node.compare (replicas @ scion_holders @ owners)
+  |> List.filter (fun n -> not (Ids.Node.equal n node))
+
+let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
+  let proto = Gc_state.proto t in
+  let new_inter = Gc_state.inter_stubs t ~node ~bunch in
+  let new_intra = Gc_state.intra_stubs t ~node ~bunch in
+  let msg =
+    {
+      tm_sender = node;
+      tm_bunch = bunch;
+      tm_inter_stubs = new_inter;
+      tm_intra_stubs = new_intra;
+      tm_exiting = exiting;
+    }
+  in
+  let dests =
+    destinations t ~node ~bunch ~old_inter ~new_inter ~old_intra ~new_intra
+      ~exiting
+  in
+  (* A resend must also reach last round's destinations: after a loss the
+     replaced tables no longer name the peers whose scions must go. *)
+  let dests =
+    List.sort_uniq Ids.Node.compare
+      (dests @ Gc_state.last_broadcast_dests t ~node ~bunch)
+    |> List.filter (fun n -> not (Ids.Node.equal n node))
+  in
+  Gc_state.record_broadcast_dests t ~node ~bunch dests;
+  List.iter
+    (fun dst ->
+      Net.send (Protocol.net proto) ~src:node ~dst ~kind:Net.Stub_table
+        ~bytes:(msg_bytes msg)
+        (fun seq -> receive t ~at:dst ~seq msg))
+    dests;
+  (* The scion cleaner is a per-node service operating on all local
+     bunches (§6.1): the node's own scions matching its own regenerated
+     stub tables are processed by direct hand-off, no message needed. *)
+  let self_seq =
+    match Gc_state.last_table_seq t ~node ~sender:node ~bunch with
+    | Some s -> s + 1
+    | None -> 1
+  in
+  receive t ~at:node ~seq:self_seq msg;
+  List.length dests

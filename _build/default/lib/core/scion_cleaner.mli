@@ -1,0 +1,59 @@
+(** The scion cleaner (§6).
+
+    After a BGC reconstructs a bunch replica's stub table and exiting
+    ownerPtr list (§4.3), the full tables are sent to every node that
+    either caches a copy of the same bunch or holds scions matching stubs
+    of the old or new tables.  The cleaner at each receiver removes every
+    scion no longer covered by a stub, and reconciles the entering
+    ownerPtrs with the sender's exiting list — thereby updating the roots
+    of the receiver's next BGC.
+
+    Because each message carries the {e complete} reachability tables, the
+    messages are idempotent: losses are repaired by the next send and
+    duplicates are harmless; the only transport requirement is per-pair
+    FIFO, enforced with the sequence numbers the network already stamps
+    (§6.1). *)
+
+type table_msg = {
+  tm_sender : Bmx_util.Ids.Node.t;
+  tm_bunch : Bmx_util.Ids.Bunch.t;
+  tm_inter_stubs : Ssp.inter_stub list;
+  tm_intra_stubs : Ssp.intra_stub list;
+  tm_exiting : (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list;
+      (** the sender's exiting ownerPtrs: object and the owner node the
+          sender believes in *)
+}
+
+val msg_bytes : table_msg -> int
+
+val receive : Gc_state.t -> at:Bmx_util.Ids.Node.t -> seq:int -> table_msg -> unit
+(** Process one reachability message at node [at].  Stale or duplicated
+    messages (sequence number not beyond the last processed for the same
+    (sender, bunch) stream) are ignored. *)
+
+val destinations :
+  Gc_state.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  old_inter:Ssp.inter_stub list ->
+  new_inter:Ssp.inter_stub list ->
+  old_intra:Ssp.intra_stub list ->
+  new_intra:Ssp.intra_stub list ->
+  exiting:(Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list ->
+  Bmx_util.Ids.Node.t list
+(** The nodes a BGC's reachability information must reach (§4.1): replicas
+    of the bunch, scion holders of old and new stubs, and the owners the
+    exiting list names. *)
+
+val broadcast :
+  Gc_state.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  old_inter:Ssp.inter_stub list ->
+  old_intra:Ssp.intra_stub list ->
+  exiting:(Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list ->
+  int
+(** Send the node's (already replaced) current tables for the bunch to all
+    {!destinations} as background messages; returns the number of messages
+    sent.  Re-running after a loss simply resends — idempotence makes that
+    safe. *)

@@ -1,0 +1,57 @@
+open Bmx_util
+
+type inter_stub = {
+  is_src_bunch : Ids.Bunch.t;
+  is_src_uid : Ids.Uid.t;
+  is_created_at : Ids.Node.t;
+  is_target_uid : Ids.Uid.t;
+  is_target_bunch : Ids.Bunch.t;
+  is_target_addr : Addr.t;
+  is_scion_at : Ids.Node.t;
+}
+
+type inter_scion = {
+  xs_src_bunch : Ids.Bunch.t;
+  xs_src_uid : Ids.Uid.t;
+  xs_src_node : Ids.Node.t;
+  xs_target_uid : Ids.Uid.t;
+  xs_target_bunch : Ids.Bunch.t;
+}
+
+type intra_stub = { ns_bunch : Ids.Bunch.t; ns_uid : Ids.Uid.t; ns_holder : Ids.Node.t }
+
+type intra_scion = {
+  xn_bunch : Ids.Bunch.t;
+  xn_uid : Ids.Uid.t;
+  xn_owner_side : Ids.Node.t;
+}
+
+let inter_stub_matches stub scion =
+  Ids.Bunch.equal stub.is_src_bunch scion.xs_src_bunch
+  && Ids.Uid.equal stub.is_src_uid scion.xs_src_uid
+  && Ids.Node.equal stub.is_created_at scion.xs_src_node
+  && Ids.Uid.equal stub.is_target_uid scion.xs_target_uid
+
+let intra_stub_matches ~holder stub scion =
+  Ids.Bunch.equal stub.ns_bunch scion.xn_bunch
+  && Ids.Uid.equal stub.ns_uid scion.xn_uid
+  && Ids.Node.equal stub.ns_holder holder
+
+let pp_inter_stub ppf s =
+  Format.fprintf ppf "@[<h>stub[%a:%a@%a -> %a:%a sc@%a]@]" Ids.Bunch.pp
+    s.is_src_bunch Ids.Uid.pp s.is_src_uid Ids.Node.pp s.is_created_at
+    Ids.Bunch.pp s.is_target_bunch Ids.Uid.pp s.is_target_uid Ids.Node.pp
+    s.is_scion_at
+
+let pp_inter_scion ppf s =
+  Format.fprintf ppf "@[<h>scion[%a:%a <- %a:%a@%a]@]" Ids.Bunch.pp
+    s.xs_target_bunch Ids.Uid.pp s.xs_target_uid Ids.Bunch.pp s.xs_src_bunch
+    Ids.Uid.pp s.xs_src_uid Ids.Node.pp s.xs_src_node
+
+let pp_intra_stub ppf s =
+  Format.fprintf ppf "@[<h>intra-stub[%a:%a holder=%a]@]" Ids.Bunch.pp s.ns_bunch
+    Ids.Uid.pp s.ns_uid Ids.Node.pp s.ns_holder
+
+let pp_intra_scion ppf s =
+  Format.fprintf ppf "@[<h>intra-scion[%a:%a owner=%a]@]" Ids.Bunch.pp s.xn_bunch
+    Ids.Uid.pp s.xn_uid Ids.Node.pp s.xn_owner_side

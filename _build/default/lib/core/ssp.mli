@@ -1,0 +1,64 @@
+(** Stub–scion pairs (§3.1).
+
+    SSPs isolate each bunch replica so it can be collected with purely
+    local information.  A {e stub} describes an outgoing reference held by
+    this replica; the matching {e scion} is a GC root at the side being
+    referenced.  Unlike the SSPs of RPC systems, they are auxiliary
+    descriptions only: no indirection, no marshaling.
+
+    Two kinds exist:
+
+    - an {b inter-bunch SSP} follows the direction of a cross-bunch
+      reference: stub at the node that created the reference (which held
+      the write token, so it was the object's owner at the time), scion at
+      a node where the target bunch is mapped;
+    - an {b intra-bunch SSP} points {e against} the ownerPtr direction: the
+      stub lives at the object's current owner and the scion at a previous
+      owner that still holds inter-bunch stubs for the object, preserving
+      that replica — and through it the inter-bunch stubs — until the
+      owner-side copy dies (§3.2, §6.2). *)
+
+type inter_stub = {
+  is_src_bunch : Bmx_util.Ids.Bunch.t;  (** bunch of the referencing object *)
+  is_src_uid : Bmx_util.Ids.Uid.t;  (** the referencing object *)
+  is_created_at : Bmx_util.Ids.Node.t;  (** node holding this stub *)
+  is_target_uid : Bmx_util.Ids.Uid.t;
+  is_target_bunch : Bmx_util.Ids.Bunch.t;
+  is_target_addr : Bmx_util.Addr.t;  (** address of the target at creation *)
+  is_scion_at : Bmx_util.Ids.Node.t;  (** node holding the matching scion *)
+}
+
+type inter_scion = {
+  xs_src_bunch : Bmx_util.Ids.Bunch.t;
+  xs_src_uid : Bmx_util.Ids.Uid.t;
+  xs_src_node : Bmx_util.Ids.Node.t;  (** node holding the matching stub *)
+  xs_target_uid : Bmx_util.Ids.Uid.t;
+  xs_target_bunch : Bmx_util.Ids.Bunch.t;
+}
+
+type intra_stub = {
+  ns_bunch : Bmx_util.Ids.Bunch.t;
+  ns_uid : Bmx_util.Ids.Uid.t;
+  ns_holder : Bmx_util.Ids.Node.t;
+      (** previous owner holding the inter-bunch stub(s); the matching
+          scion lives there *)
+}
+
+type intra_scion = {
+  xn_bunch : Bmx_util.Ids.Bunch.t;
+  xn_uid : Bmx_util.Ids.Uid.t;
+  xn_owner_side : Bmx_util.Ids.Node.t;
+      (** the (then-)current owner holding the matching stub *)
+}
+
+val inter_stub_matches : inter_stub -> inter_scion -> bool
+(** Stub and scion of the same inter-bunch SSP? *)
+
+val intra_stub_matches : holder:Bmx_util.Ids.Node.t -> intra_stub -> intra_scion -> bool
+(** Does the stub (held at the scion's [xn_owner_side]) match a scion held
+    at [holder]? *)
+
+val pp_inter_stub : Format.formatter -> inter_stub -> unit
+val pp_inter_scion : Format.formatter -> inter_scion -> unit
+val pp_intra_stub : Format.formatter -> intra_stub -> unit
+val pp_intra_scion : Format.formatter -> intra_scion -> unit

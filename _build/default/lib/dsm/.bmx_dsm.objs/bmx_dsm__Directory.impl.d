@@ -1,0 +1,1 @@
+lib/dsm/directory.ml: Bmx_util Format Hashtbl Ids List Option

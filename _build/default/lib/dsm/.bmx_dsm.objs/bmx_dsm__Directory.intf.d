@@ -1,0 +1,1 @@
+lib/dsm/directory.mli: Bmx_util Format

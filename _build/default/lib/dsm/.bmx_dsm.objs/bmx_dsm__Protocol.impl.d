@@ -1,0 +1,1 @@
+lib/dsm/protocol.ml: Addr Array Bmx_memory Bmx_netsim Bmx_util Directory Hashtbl Ids List Option Printf Stats Tracelog

@@ -1,0 +1,1 @@
+lib/dsm/protocol.mli: Bmx_memory Bmx_netsim Bmx_util Directory

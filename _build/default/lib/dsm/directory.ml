@@ -1,0 +1,116 @@
+open Bmx_util
+
+type token_state = Invalid | Read | Write
+
+let token_state_to_string = function
+  | Invalid -> "i"
+  | Read -> "r"
+  | Write -> "w"
+
+type record = {
+  uid : Ids.Uid.t;
+  mutable state : token_state;
+  mutable held : bool;
+  mutable is_owner : bool;
+  mutable prob_owner : Ids.Node.t;
+  mutable copyset : Ids.Node_set.t;
+}
+
+type t = {
+  node : Ids.Node.t;
+  records : record Ids.Uid_tbl.t;
+  (* uid -> (origin node -> registration seq) *)
+  entering : (Ids.Node.t, int) Hashtbl.t Ids.Uid_tbl.t;
+}
+
+let create ~node =
+  { node; records = Ids.Uid_tbl.create 128; entering = Ids.Uid_tbl.create 32 }
+
+let node t = t.node
+let find t uid = Ids.Uid_tbl.find_opt t.records uid
+
+let ensure t ~uid ~prob_owner =
+  match find t uid with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          uid;
+          state = Invalid;
+          held = false;
+          is_owner = false;
+          prob_owner;
+          copyset = Ids.Node_set.empty;
+        }
+      in
+      Ids.Uid_tbl.add t.records uid r;
+      r
+
+let register_new_object t ~uid =
+  let r =
+    {
+      uid;
+      state = Write;
+      held = false;
+      is_owner = true;
+      prob_owner = t.node;
+      copyset = Ids.Node_set.empty;
+    }
+  in
+  Ids.Uid_tbl.replace t.records uid r;
+  r
+
+let forget t uid =
+  Ids.Uid_tbl.remove t.records uid;
+  Ids.Uid_tbl.remove t.entering uid
+
+let add_entering t ~seq ~uid ~from =
+  if not (Ids.Node.equal from t.node) then begin
+    let tbl =
+      match Ids.Uid_tbl.find_opt t.entering uid with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 4 in
+          Ids.Uid_tbl.add t.entering uid tbl;
+          tbl
+    in
+    let prev = Option.value ~default:(-1) (Hashtbl.find_opt tbl from) in
+    if seq > prev then Hashtbl.replace tbl from seq
+  end
+
+let remove_entering t ~uid ~from =
+  match Ids.Uid_tbl.find_opt t.entering uid with
+  | None -> ()
+  | Some tbl ->
+      Hashtbl.remove tbl from;
+      if Hashtbl.length tbl = 0 then Ids.Uid_tbl.remove t.entering uid
+
+let entering t uid =
+  match Ids.Uid_tbl.find_opt t.entering uid with
+  | Some tbl -> Hashtbl.fold (fun n _ acc -> Ids.Node_set.add n acc) tbl Ids.Node_set.empty
+  | None -> Ids.Node_set.empty
+
+let entering_registration_seq t ~uid ~from =
+  match Ids.Uid_tbl.find_opt t.entering uid with
+  | Some tbl -> Option.value ~default:0 (Hashtbl.find_opt tbl from)
+  | None -> 0
+
+let entering_uids t =
+  Ids.Uid_tbl.fold
+    (fun uid tbl acc -> if Hashtbl.length tbl = 0 then acc else uid :: acc)
+    t.entering []
+
+  |> List.sort Ids.Uid.compare
+
+let iter t f = Ids.Uid_tbl.iter (fun _ r -> f r) t.records
+
+let records t =
+  Ids.Uid_tbl.fold (fun _ r acc -> r :: acc) t.records []
+  |> List.sort (fun a b -> Ids.Uid.compare a.uid b.uid)
+
+let pp_record ppf r =
+  Format.fprintf ppf "@[<h>%a:%s%s%s->%a@]" Ids.Uid.pp r.uid
+    (token_state_to_string r.state)
+    (if r.is_owner then "o" else "")
+    (if r.held then "!" else "")
+    Ids.Node.pp r.prob_owner

@@ -1,0 +1,715 @@
+open Bmx_util
+module Net = Bmx_netsim.Net
+module Store = Bmx_memory.Store
+module Registry = Bmx_memory.Registry
+module Heap_obj = Bmx_memory.Heap_obj
+module Value = Bmx_memory.Value
+
+type mode = Centralized | Distributed
+type update_policy = Eager | Lazy
+type actor = App | Gc
+
+type location_update = { lu_uid : Ids.Uid.t; old_addr : Addr.t; new_addr : Addr.t }
+
+type hooks = {
+  before_write_grant :
+    granter:Ids.Node.t -> requester:Ids.Node.t -> uid:Ids.Uid.t -> unit;
+}
+
+let no_hooks = { before_write_grant = (fun ~granter:_ ~requester:_ ~uid:_ -> ()) }
+
+type t = {
+  net : (int -> unit) Net.t;
+  registry : Registry.t;
+  mode : mode;
+  update_policy : update_policy;
+  mutable hooks : hooks;
+  stores : Store.t Ids.Node_tbl.t;
+  dirs : Directory.t Ids.Node_tbl.t;
+  homes : Ids.Node.t Ids.Bunch_tbl.t;
+  uidgen : Ids.Uid.gen;
+  addr_oracle : (Addr.t, Ids.Uid.t) Hashtbl.t;
+  tracer : Tracelog.t;
+}
+
+let create ~net ~registry ?(mode = Distributed) ?(update_policy = Lazy) () =
+  {
+    net;
+    registry;
+    mode;
+    update_policy;
+    hooks = no_hooks;
+    stores = Ids.Node_tbl.create 8;
+    dirs = Ids.Node_tbl.create 8;
+    homes = Ids.Bunch_tbl.create 8;
+    uidgen = Ids.Uid.generator ();
+    addr_oracle = Hashtbl.create 1024;
+    tracer = (let tr = Tracelog.create () in Tracelog.set_enabled tr false; tr);
+  }
+
+let set_hooks t hooks = t.hooks <- hooks
+let tracer t = t.tracer
+
+let trace t category fmt = Tracelog.recordf t.tracer ~category fmt
+let net t = t.net
+let stats t = Net.stats t.net
+let registry t = t.registry
+let mode t = t.mode
+
+let add_node t node =
+  if Ids.Node_tbl.mem t.stores node then
+    invalid_arg "Protocol.add_node: duplicate node";
+  Ids.Node_tbl.add t.stores node (Store.create ~registry:t.registry ~node);
+  Ids.Node_tbl.add t.dirs node (Directory.create ~node)
+
+let nodes t =
+  Ids.Node_tbl.fold (fun n _ acc -> n :: acc) t.stores []
+  |> List.sort Ids.Node.compare
+
+let store t node =
+  match Ids.Node_tbl.find_opt t.stores node with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Protocol.store: unknown node N%d" node)
+
+let directory t node =
+  match Ids.Node_tbl.find_opt t.dirs node with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Protocol.directory: unknown node N%d" node)
+
+let declare_bunch t ~bunch ~home =
+  ignore (store t home);
+  Ids.Bunch_tbl.replace t.homes bunch home
+
+let bunch_home t bunch =
+  match Ids.Bunch_tbl.find_opt t.homes bunch with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Protocol.bunch_home: unknown bunch B%d" bunch)
+
+let bunches t =
+  Ids.Bunch_tbl.fold (fun b _ acc -> b :: acc) t.homes []
+  |> List.sort Ids.Bunch.compare
+
+let actor_prefix = function App -> "dsm.app" | Gc -> "dsm.gc"
+let bump t name = Stats.incr (stats t) name
+
+(* ------------------------------------------------------------------ *)
+(* Allocation and the address oracle.                                  *)
+
+let alloc t ~node ~bunch ~fields =
+  let uid = Ids.Uid.fresh t.uidgen in
+  let addr = Store.alloc (store t node) ~bunch ~uid ~fields in
+  ignore (Directory.register_new_object (directory t node) ~uid);
+  Hashtbl.replace t.addr_oracle addr uid;
+  bump t "dsm.alloc";
+  addr
+
+let register_copy_location t ~uid ~addr = Hashtbl.replace t.addr_oracle addr uid
+let uid_of_addr t addr = Hashtbl.find_opt t.addr_oracle addr
+
+(* ------------------------------------------------------------------ *)
+(* Oracles.                                                            *)
+
+let owner_of t uid =
+  Ids.Node_tbl.fold
+    (fun node d acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match Directory.find d uid with
+          | Some r when r.Directory.is_owner -> Some node
+          | Some _ | None -> None))
+    t.dirs None
+
+let replica_nodes t uid =
+  Ids.Node_tbl.fold
+    (fun node s acc ->
+      match Store.addr_of_uid s uid with Some _ -> node :: acc | None -> acc)
+    t.stores []
+  |> List.sort Ids.Node.compare
+
+(* Resolve an address to the identity of the object it names, from the
+   point of view of node [n].  Normally the local store knows; otherwise
+   the address oracle (standing in for the BMX-server's bunch directory,
+   §8) answers, and we account one request to the bunch's home node. *)
+let locate t n addr =
+  match Store.resolve (store t n) addr with
+  | Some (_, obj) -> obj.Heap_obj.uid
+  | None -> (
+      match Hashtbl.find_opt t.addr_oracle addr with
+      | Some uid ->
+          (match Registry.bunch_of_addr t.registry addr with
+          | Some bunch when Ids.Bunch_tbl.mem t.homes bunch ->
+              let home = bunch_home t bunch in
+              if not (Ids.Node.equal home n) then
+                Net.record_rpc t.net ~src:n ~dst:home ~kind:Net.Object_fetch ()
+          | Some _ | None -> ());
+          uid
+      | None ->
+          failwith
+            (Printf.sprintf "Protocol.locate: dangling address %s at N%d"
+               (Addr.to_string addr) n))
+
+(* Follow the ownerPtr (probable-owner) chain from [start] to the current
+   owner, recording one forwarded request message per hop.  Returns the
+   owner and the chain of intermediate nodes visited. *)
+let chase_owner t ~actor ~start uid =
+  let rec go node visited fuel =
+    if fuel = 0 then failwith "Protocol.chase_owner: ownerPtr cycle"
+    else
+      match Directory.find (directory t node) uid with
+      | Some r when r.Directory.is_owner -> (node, List.rev visited)
+      | Some r ->
+          let next = r.Directory.prob_owner in
+          Net.record_rpc t.net ~src:node ~dst:next ~kind:Net.Token_request ();
+          bump t (actor_prefix actor ^ ".hops");
+          go next (node :: visited) (fuel - 1)
+      | None -> (
+          (* This node never heard of the object; the owner oracle stands in
+             for the BMX-server's directory. *)
+          match owner_of t uid with
+          | Some owner ->
+              if not (Ids.Node.equal owner node) then begin
+                Net.record_rpc t.net ~src:node ~dst:owner ~kind:Net.Token_request ();
+                bump t (actor_prefix actor ^ ".hops")
+              end;
+              (owner, List.rev visited)
+          | None ->
+              failwith
+                (Printf.sprintf "Protocol.chase_owner: no owner for %s"
+                   (Ids.Uid.to_string uid)))
+  in
+  go start [] 64
+
+(* First node along the chain from [start] that holds a valid token
+   (read-token grants can come from any read-token holder, §2.2). *)
+let find_read_granter t ~actor ~start uid =
+  match t.mode with
+  | Centralized -> chase_owner t ~actor ~start uid
+  | Distributed ->
+      let rec go node visited fuel =
+        if fuel = 0 then failwith "Protocol.find_read_granter: cycle"
+        else
+          match Directory.find (directory t node) uid with
+          | Some r
+            when (not (Ids.Node.equal node start))
+                 && (r.Directory.state = Directory.Read
+                    || r.Directory.state = Directory.Write) ->
+              (node, List.rev visited)
+          | Some r when r.Directory.is_owner -> (node, List.rev visited)
+          | Some r ->
+              let next = r.Directory.prob_owner in
+              Net.record_rpc t.net ~src:node ~dst:next ~kind:Net.Token_request ();
+              bump t (actor_prefix actor ^ ".hops");
+              go next (node :: visited) (fuel - 1)
+          | None -> (
+              match owner_of t uid with
+              | Some owner ->
+                  if not (Ids.Node.equal owner node) then begin
+                    Net.record_rpc t.net ~src:node ~dst:owner
+                      ~kind:Net.Token_request ();
+                    bump t (actor_prefix actor ^ ".hops")
+                  end;
+                  (owner, List.rev visited)
+              | None -> failwith "Protocol.find_read_granter: no owner")
+      in
+      (* Start the chase at the requester's own ownerPtr. *)
+      let first =
+        match Directory.find (directory t start) uid with
+        | Some r when not r.Directory.is_owner -> r.Directory.prob_owner
+        | Some _ | None -> start
+      in
+      if Ids.Node.equal first start then go start [] 64
+      else begin
+        Net.record_rpc t.net ~src:start ~dst:first ~kind:Net.Token_request ();
+        bump t (actor_prefix actor ^ ".hops");
+        go first [ start ] 64
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Location updates (§4.4, §5 invariants 1 and 2).                     *)
+
+let update_bytes = 24
+
+(* New-location information node [g] can piggyback about the object [uid]
+   it is granting, plus everything the granted copy references directly:
+   for each, the two newest addresses [g] itself has seen.  Composed purely
+   from [g]'s local knowledge. *)
+let compute_updates t ~granter:g ~requested addr gobj =
+  let gstore = store t g in
+  let for_uid uid =
+    match Store.address_history gstore uid with
+    | newest :: prev :: _ -> Some { lu_uid = uid; old_addr = prev; new_addr = newest }
+    | [ _ ] | [] -> None
+  in
+  let acquired =
+    let u = gobj.Heap_obj.uid in
+    match for_uid u with
+    | Some up -> [ up ]
+    | None ->
+        if Addr.equal requested addr then []
+        else [ { lu_uid = u; old_addr = requested; new_addr = addr } ]
+  in
+  let referents =
+    List.filter_map
+      (fun a ->
+        let cur = Store.current_addr gstore a in
+        match Hashtbl.find_opt t.addr_oracle cur with
+        | None -> None
+        | Some u -> (
+            match for_uid u with
+            | Some up -> Some up
+            | None ->
+                if Addr.equal cur a then None
+                else Some { lu_uid = u; old_addr = a; new_addr = cur }))
+      (Heap_obj.pointers gobj)
+  in
+  acquired @ referents
+
+(* Rewrite the pointer fields of a local object copy through the local
+   forwarder chains (Figure 3 case (d): references to from-space forwarding
+   pointers are retargeted to to-space directly). *)
+let fix_fields_through_forwarders t node obj_addr (obj : Heap_obj.t) =
+  let s = store t node in
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Value.Ref a when not (Addr.is_null a) ->
+          let a' = Store.current_addr s a in
+          if not (Addr.equal a a') then begin
+            Heap_obj.set obj i (Value.Ref a');
+            Store.note_field_write s ~obj_addr ~index:i (Value.Ref a');
+            bump t "dsm.ref_fixes"
+          end
+      | Value.Ref _ | Value.Data _ -> ())
+    obj.Heap_obj.fields
+
+let rec apply_location_updates t ~node updates =
+  let s = store t node in
+  let d = directory t node in
+  let changed =
+    List.filter
+      (fun { lu_uid; old_addr; new_addr } ->
+        if Addr.equal old_addr new_addr then false
+        else begin
+          let already =
+            Store.current_addr s old_addr = new_addr
+            && Store.addr_of_uid s lu_uid <> Some old_addr
+          in
+          if already then false
+          else begin
+            (* Move the local copy, if any, to the new address; leave a
+               forwarding header behind (§4.4: "o2 is copied to the
+               indicated address, and all the local references are updated
+               accordingly without requiring any token"). *)
+            (match Store.addr_of_uid s lu_uid with
+            | Some cur when not (Addr.equal cur new_addr) -> (
+                match Store.cell s cur with
+                | Some (Store.Object obj) ->
+                    Store.install s new_addr obj;
+                    Store.set_forwarder s ~at:cur ~target:new_addr
+                | Some (Store.Forwarder _) | None -> ())
+            | Some _ | None -> ());
+            (* Always install the forwarder at the old published address so
+               stale pointers held locally keep resolving. *)
+            (match Store.cell s old_addr with
+            | Some (Store.Object obj) when Heap_obj.(obj.uid) = lu_uid ->
+                Store.install s new_addr obj;
+                Store.set_forwarder s ~at:old_addr ~target:new_addr
+            | Some (Store.Object _) | Some (Store.Forwarder _) -> ()
+            | None -> Store.set_forwarder s ~at:old_addr ~target:new_addr);
+            true
+          end
+        end)
+      updates
+  in
+  (match t.update_policy with
+  | Eager ->
+      (* Sweep local copies, rewriting pointers through forwarders now
+         rather than at the next BGC. *)
+      Store.iter s (fun a c ->
+          match c with
+          | Store.Object obj -> fix_fields_through_forwarders t node a obj
+          | Store.Forwarder _ -> ())
+  | Lazy -> ());
+  (* Invariant 2 (§5): forward fresh information to every node in the
+     local copy-set for the object, the way read-copy invalidations
+     propagate.  Background messages; receivers recurse. *)
+  List.iter
+    (fun ({ lu_uid; _ } as up) ->
+      match Directory.find d lu_uid with
+      | None -> ()
+      | Some r ->
+          Ids.Node_set.iter
+            (fun peer ->
+              Net.send t.net ~src:node ~dst:peer ~kind:Net.Addr_update
+                ~bytes:update_bytes
+                (fun _seq -> apply_location_updates t ~node:peer [ up ]))
+            r.Directory.copyset)
+    changed
+
+let send_location_updates t ~src ~dst updates =
+  Net.send t.net ~src ~dst ~kind:Net.Addr_update
+    ~bytes:(List.length updates * update_bytes)
+    (fun _seq -> apply_location_updates t ~node:dst updates)
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation of the read copy-set tree (write-token acquire).       *)
+
+let rec invalidate_subtree t ~actor ~skip node uid =
+  let d = directory t node in
+  match Directory.find d uid with
+  | None -> ()
+  | Some r ->
+      let grantees = r.Directory.copyset in
+      r.Directory.copyset <- Ids.Node_set.empty;
+      Ids.Node_set.iter
+        (fun peer ->
+          if not (Ids.Node.equal peer node) then begin
+            Net.record_rpc t.net ~src:node ~dst:peer ~kind:Net.Invalidate ();
+            if Tracelog.enabled t.tracer then
+              trace t "dsm" "invalidate %s at N%d (from N%d)"
+                (Ids.Uid.to_string uid) peer node;
+            bump t (actor_prefix actor ^ ".invalidations");
+            invalidate_subtree t ~actor ~skip peer uid
+          end)
+        grantees;
+      if not (Ids.Node.equal node skip) then begin
+        if r.Directory.held && r.Directory.state <> Directory.Invalid then
+          failwith "Protocol: invalidating a held token (missing release?)";
+        r.Directory.state <- Directory.Invalid
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Token acquisition.                                                  *)
+
+let grant_bytes obj updates =
+  32 + Heap_obj.size_bytes obj + (List.length updates * update_bytes)
+
+let install_granted t ~node ~gaddr gobj =
+  let s = store t node in
+  let prev = Store.addr_of_uid s gobj.Heap_obj.uid in
+  (* Always install a fresh clone: [Store.install] maintains the object
+     and reference maps, which a field-level overwrite would not. *)
+  Store.install s gaddr (Heap_obj.clone gobj);
+  (match prev with
+  | Some p when not (Addr.equal p gaddr) -> Store.set_forwarder s ~at:p ~target:gaddr
+  | Some _ | None -> ());
+  match Store.cell s gaddr with
+  | Some (Store.Object obj) ->
+      fix_fields_through_forwarders t node gaddr obj;
+      obj
+  | Some (Store.Forwarder _) | None -> assert false
+
+let acquire t ?(actor = App) ~node:n addr kind =
+  let pfx = actor_prefix actor in
+  let uid = locate t n addr in
+  let s_n = store t n in
+  let d_n = directory t n in
+  let kind_str = match kind with `Read -> "read" | `Write -> "write" in
+  bump t (pfx ^ ".acquire_" ^ kind_str);
+  let local_ok =
+    match Directory.find d_n uid with
+    | Some r -> (
+        match kind with
+        | `Read ->
+            (r.Directory.state = Directory.Read
+            || r.Directory.state = Directory.Write)
+            && Store.addr_of_uid s_n uid <> None
+        | `Write ->
+            r.Directory.is_owner
+            && r.Directory.state = Directory.Write
+            && Store.addr_of_uid s_n uid <> None)
+    | None -> false
+  in
+  if local_ok then begin
+    bump t (pfx ^ ".acquire_local");
+    let r = Option.get (Directory.find d_n uid) in
+    r.Directory.held <- true;
+    Option.get (Store.addr_of_uid s_n uid)
+  end
+  else begin
+    match kind with
+    | `Read ->
+        (* Conflict check: a held write token anywhere blocks readers. *)
+        (match owner_of t uid with
+        | Some o when not (Ids.Node.equal o n) -> (
+            match Directory.find (directory t o) uid with
+            | Some ro
+              when ro.Directory.held && ro.Directory.state = Directory.Write ->
+                failwith "Protocol.acquire: write token held elsewhere"
+            | Some _ | None -> ())
+        | Some _ | None -> ());
+        let granter, _visited = find_read_granter t ~actor ~start:n uid in
+        let g_dir = directory t granter in
+        let g_rec =
+          match Directory.find g_dir uid with
+          | Some r -> r
+          | None -> failwith "Protocol.acquire: granter lost the record"
+        in
+        (* An owner holding the write token downgrades to read: several
+           read tokens or one write token, never both (§2.2). *)
+        if g_rec.Directory.state = Directory.Write then
+          g_rec.Directory.state <- Directory.Read;
+        if g_rec.Directory.state <> Directory.Read then
+          failwith "Protocol.acquire: granter has no valid copy";
+        g_rec.Directory.copyset <- Ids.Node_set.add n g_rec.Directory.copyset;
+        Directory.add_entering g_dir
+          ~seq:(Net.current_seq t.net ~src:n ~dst:granter)
+          ~uid ~from:n;
+        let g_store = store t granter in
+        let gaddr, gobj =
+          match Store.addr_of_uid g_store uid with
+          | Some a -> (
+              match Store.resolve g_store a with
+              | Some (a', o) -> (a', o)
+              | None -> failwith "Protocol.acquire: granter copy vanished")
+          | None -> failwith "Protocol.acquire: granter has no copy"
+        in
+        let updates = compute_updates t ~granter ~requested:addr gaddr gobj in
+        Net.record_rpc t.net ~src:granter ~dst:n ~kind:Net.Token_grant
+          ~bytes:(grant_bytes gobj updates) ();
+        if updates <> [] then
+          Net.record_piggyback t.net ~kind:Net.Token_grant
+            ~bytes:(List.length updates * update_bytes);
+        if Tracelog.enabled t.tracer then
+          trace t "dsm" "read grant %s: N%d -> N%d (%d updates)"
+            (Ids.Uid.to_string uid) granter n (List.length updates);
+        let r_n =
+          Directory.ensure d_n ~uid
+            ~prob_owner:
+              (if g_rec.Directory.is_owner then granter
+               else g_rec.Directory.prob_owner)
+        in
+        ignore (install_granted t ~node:n ~gaddr gobj);
+        r_n.Directory.state <- Directory.Read;
+        r_n.Directory.held <- true;
+        if not r_n.Directory.is_owner then
+          r_n.Directory.prob_owner <-
+            (if g_rec.Directory.is_owner then granter
+             else g_rec.Directory.prob_owner);
+        (* Invariant 1 completes before the acquire returns. *)
+        apply_location_updates t ~node:n updates;
+        Option.get (Store.addr_of_uid s_n uid)
+    | `Write ->
+        let owner, visited = chase_owner t ~actor ~start:n uid in
+        if Ids.Node.equal owner n then begin
+          (* We were the owner all along (stale local state); revalidate. *)
+          let r = Directory.ensure d_n ~uid ~prob_owner:n in
+          r.Directory.is_owner <- true;
+          invalidate_subtree t ~actor ~skip:n owner uid;
+          r.Directory.state <- Directory.Write;
+          r.Directory.held <- true;
+          match Store.addr_of_uid s_n uid with
+          | Some a -> a
+          | None -> failwith "Protocol.acquire: owner without a copy"
+        end
+        else begin
+          let o_dir = directory t owner in
+          let o_rec =
+            match Directory.find o_dir uid with
+            | Some r -> r
+            | None -> failwith "Protocol.acquire: owner lost the record"
+          in
+          if o_rec.Directory.held then
+            failwith "Protocol.acquire: write token held elsewhere";
+          (* Invalidate every read copy (the requester keeps its cached
+             data; it is about to receive the authoritative copy). *)
+          invalidate_subtree t ~actor ~skip:n owner uid;
+          (* Invariant 3 (§5): intra-bunch SSPs are created before the
+             grant message is sent. *)
+          t.hooks.before_write_grant ~granter:owner ~requester:n ~uid;
+          let o_store = store t owner in
+          let gaddr, gobj =
+            match Store.addr_of_uid o_store uid with
+            | Some a -> (
+                match Store.resolve o_store a with
+                | Some (a', o) -> (a', o)
+                | None -> failwith "Protocol.acquire: owner copy vanished")
+            | None -> failwith "Protocol.acquire: owner has no copy"
+          in
+          let updates = compute_updates t ~granter:owner ~requested:addr gaddr gobj in
+          Net.record_rpc t.net ~src:owner ~dst:n ~kind:Net.Token_grant
+            ~bytes:(grant_bytes gobj updates) ();
+          if updates <> [] then
+            Net.record_piggyback t.net ~kind:Net.Token_grant
+              ~bytes:(List.length updates * update_bytes);
+          (* Ownership transfer: the old owner keeps an inconsistent copy
+             (Figure 1: o3 marked "i" at N2) and its ownerPtr now exits
+             towards the new owner. *)
+          if Tracelog.enabled t.tracer then
+            trace t "dsm" "ownership %s: N%d -> N%d (%d updates)"
+              (Ids.Uid.to_string uid) owner n (List.length updates);
+          o_rec.Directory.state <- Directory.Invalid;
+          o_rec.Directory.is_owner <- false;
+          o_rec.Directory.prob_owner <- n;
+          o_rec.Directory.copyset <- Ids.Node_set.empty;
+          let r_n = Directory.ensure d_n ~uid ~prob_owner:n in
+          ignore (install_granted t ~node:n ~gaddr gobj);
+          r_n.Directory.state <- Directory.Write;
+          r_n.Directory.is_owner <- true;
+          r_n.Directory.held <- true;
+          r_n.Directory.prob_owner <- n;
+          r_n.Directory.copyset <- Ids.Node_set.empty;
+          Directory.add_entering d_n
+            ~seq:(Net.current_seq t.net ~src:owner ~dst:n)
+            ~uid ~from:owner;
+          (* Path compression: nodes along the chase now point at the new
+             owner, and their replicas become entering ownerPtrs here. *)
+          List.iter
+            (fun v ->
+              if not (Ids.Node.equal v n) then begin
+                (match Directory.find (directory t v) uid with
+                | Some rv when not rv.Directory.is_owner ->
+                    rv.Directory.prob_owner <- n
+                | Some _ | None -> ());
+                if Store.addr_of_uid (store t v) uid <> None then
+                  Directory.add_entering d_n
+                    ~seq:(Net.current_seq t.net ~src:v ~dst:n)
+                    ~uid ~from:v
+              end)
+            visited;
+          apply_location_updates t ~node:n updates;
+          Option.get (Store.addr_of_uid s_n uid)
+        end
+  end
+
+let release t ~node addr =
+  let uid = locate t node addr in
+  match Directory.find (directory t node) uid with
+  | Some r -> r.Directory.held <- false
+  | None -> ()
+
+let demand_fetch t ?(actor = App) ~node:n addr =
+  let uid = locate t n addr in
+  let s_n = store t n in
+  match Store.addr_of_uid s_n uid with
+  | Some a -> a
+  | None ->
+      bump t (actor_prefix actor ^ ".faults");
+      let supplier, _ = chase_owner t ~actor ~start:n uid in
+      let sup_store = store t supplier in
+      let gaddr, gobj =
+        match Store.addr_of_uid sup_store uid with
+        | Some a -> (
+            match Store.resolve sup_store a with
+            | Some (a', o) -> (a', o)
+            | None -> failwith "Protocol.demand_fetch: supplier copy vanished")
+        | None -> failwith "Protocol.demand_fetch: supplier has no copy"
+      in
+      let updates = compute_updates t ~granter:supplier ~requested:addr gaddr gobj in
+      Net.record_rpc t.net ~src:n ~dst:supplier ~kind:Net.Object_fetch ();
+      Net.record_rpc t.net ~src:supplier ~dst:n ~kind:Net.Token_grant
+        ~bytes:(grant_bytes gobj updates) ();
+      (* The fetched copy carries no token: it is inconsistent from the
+         start, exactly like an invalidated replica. *)
+      let r_n = Directory.ensure (directory t n) ~uid ~prob_owner:supplier in
+      ignore (install_granted t ~node:n ~gaddr gobj);
+      r_n.Directory.state <- Directory.Invalid;
+      (* The supplier (owner) must keep the object alive for us. *)
+      Directory.add_entering (directory t supplier)
+        ~seq:(Net.current_seq t.net ~src:n ~dst:supplier)
+        ~uid ~from:n;
+      apply_location_updates t ~node:n updates;
+      Option.get (Store.addr_of_uid s_n uid)
+
+(* ------------------------------------------------------------------ *)
+(* Data access.                                                        *)
+
+let resolve_local t node addr =
+  let s = store t node in
+  match Store.resolve s addr with
+  | Some (a, obj) -> (a, obj)
+  | None -> (
+      (* The address may be stale beyond the local forwarder chain; the
+         stable identity recovers the local copy if one exists. *)
+      match uid_of_addr t addr with
+      | Some uid -> (
+          match Store.addr_of_uid s uid with
+          | Some a -> (
+              match Store.resolve s a with
+              | Some (a', obj) -> (a', obj)
+              | None -> failwith "Protocol: local index out of date")
+          | None ->
+              failwith
+                (Printf.sprintf "Protocol: no local copy of %s at N%d"
+                   (Ids.Uid.to_string uid) node))
+      | None ->
+          failwith
+            (Printf.sprintf "Protocol: dangling address %s" (Addr.to_string addr)))
+
+let read_field t ?(weak = false) ~node addr index =
+  let _, obj = resolve_local t node addr in
+  if not weak then begin
+    match Directory.find (directory t node) obj.Heap_obj.uid with
+    | Some r when r.Directory.state <> Directory.Invalid -> ()
+    | Some _ | None ->
+        failwith "Protocol.read_field: no read token (use ~weak for stale reads)"
+  end;
+  Heap_obj.get obj index
+
+let write_field_raw t ~node addr index v =
+  let a, obj = resolve_local t node addr in
+  (match Directory.find (directory t node) obj.Heap_obj.uid with
+  | Some r when r.Directory.state = Directory.Write && r.Directory.is_owner -> ()
+  | Some _ | None -> failwith "Protocol.write_field_raw: no write token");
+  Heap_obj.set obj index v;
+  Store.note_field_write (store t node) ~obj_addr:a ~index v
+
+let ptr_eq t ~node a b =
+  if Addr.is_null a || Addr.is_null b then Addr.equal a b
+  else
+    let s = store t node in
+    let a' = Store.current_addr s a and b' = Store.current_addr s b in
+    if Addr.equal a' b' then true
+    else
+      match (uid_of_addr t a', uid_of_addr t b') with
+      | Some ua, Some ub -> Ids.Uid.equal ua ub
+      | _ -> false
+
+let bunch_replica_nodes t bunch =
+  Ids.Node_tbl.fold
+    (fun node s acc ->
+      if Store.objects_of_bunch s bunch <> [] then node :: acc else acc)
+    t.stores []
+  |> List.sort Ids.Node.compare
+
+let forget_replica t ~node ~uid = Directory.forget (directory t node) uid
+
+let adopt_ownership t ~node ~uid =
+  if Store.addr_of_uid (store t node) uid = None then
+    invalid_arg "Protocol.adopt_ownership: adopting node has no copy";
+  let old_owner = owner_of t uid in
+  (match old_owner with
+  | Some o when not (Ids.Node.equal o node) ->
+      if Store.addr_of_uid (store t o) uid <> None then
+        invalid_arg "Protocol.adopt_ownership: recorded owner still has a copy";
+      (* One exchange rewires the old owner's record towards us. *)
+      Net.record_rpc t.net ~src:node ~dst:o ~kind:Net.Token_request ();
+      Net.record_rpc t.net ~src:o ~dst:node ~kind:Net.Token_grant ();
+      (match Directory.find (directory t o) uid with
+      | Some r ->
+          r.Directory.is_owner <- false;
+          r.Directory.prob_owner <- node
+      | None -> ())
+  | Some _ | None -> ());
+  let r = Directory.ensure (directory t node) ~uid ~prob_owner:node in
+  r.Directory.is_owner <- true;
+  r.Directory.prob_owner <- node;
+  (* Adopt with a READ state: other replicas may legitimately hold read
+     tokens, and an owner may be in the downgraded-read state (§2.2).
+     The adopted copy is the best surviving version of the data. *)
+  if r.Directory.state = Directory.Invalid then r.Directory.state <- Directory.Read;
+  if Tracelog.enabled t.tracer then
+    trace t "dsm" "ownership of %s adopted by N%d" (Ids.Uid.to_string uid) node
+
+let exiting_ownerptrs t ~node ~bunch =
+  let s = store t node in
+  let d = directory t node in
+  List.filter_map
+    (fun (_, obj) ->
+      match Directory.find d obj.Heap_obj.uid with
+      | Some r when not r.Directory.is_owner ->
+          Some (obj.Heap_obj.uid, r.Directory.prob_owner)
+      | Some _ | None -> None)
+    (Store.objects_of_bunch s bunch)
+  |> List.sort_uniq compare

@@ -1,0 +1,1 @@
+lib/memory/heap_obj.ml: Addr Array Bmx_util Format Ids Value

@@ -1,0 +1,1 @@
+lib/memory/heap_obj.mli: Bmx_util Format Value

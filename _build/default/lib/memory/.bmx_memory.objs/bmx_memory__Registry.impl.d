@@ -1,0 +1,1 @@
+lib/memory/registry.ml: Addr Bmx_util Ids List Option Segment

@@ -1,0 +1,1 @@
+lib/memory/registry.mli: Bmx_util

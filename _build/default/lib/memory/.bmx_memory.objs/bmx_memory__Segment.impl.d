@@ -1,0 +1,1 @@
+lib/memory/segment.ml: Addr Bitmap Bmx_util Format Ids List

@@ -1,0 +1,1 @@
+lib/memory/segment.mli: Bmx_util Format

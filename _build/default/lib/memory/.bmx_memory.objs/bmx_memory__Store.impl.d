@@ -1,0 +1,1 @@
+lib/memory/store.ml: Addr Array Bitmap Bmx_util Format Hashtbl Heap_obj Ids List Registry Segment Value

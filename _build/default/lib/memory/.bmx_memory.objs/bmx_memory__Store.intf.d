@@ -1,0 +1,1 @@
+lib/memory/store.mli: Bmx_util Format Heap_obj Registry Segment Value

@@ -1,0 +1,1 @@
+lib/memory/value.ml: Bmx_util Format Int

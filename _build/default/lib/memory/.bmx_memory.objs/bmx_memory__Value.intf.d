@@ -1,0 +1,1 @@
+lib/memory/value.mli: Bmx_util Format

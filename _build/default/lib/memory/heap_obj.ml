@@ -1,0 +1,38 @@
+open Bmx_util
+
+type t = {
+  uid : Ids.Uid.t;
+  bunch : Ids.Bunch.t;
+  fields : Value.t array;
+  mutable version : int;
+}
+
+let make ~uid ~bunch ~fields = { uid; bunch; fields; version = 0 }
+let num_fields t = Array.length t.fields
+let header_bytes = 2 * Addr.word
+let size_bytes t = header_bytes + (num_fields t * Addr.word)
+let get t i = t.fields.(i)
+
+let set t i v =
+  t.fields.(i) <- v;
+  t.version <- t.version + 1
+
+let clone t =
+  { uid = t.uid; bunch = t.bunch; fields = Array.copy t.fields; version = t.version }
+
+let overwrite t ~from =
+  if t.uid <> from.uid then invalid_arg "Heap_obj.overwrite: uid mismatch";
+  if Array.length t.fields <> Array.length from.fields then
+    invalid_arg "Heap_obj.overwrite: arity mismatch";
+  Array.blit from.fields 0 t.fields 0 (Array.length t.fields);
+  t.version <- from.version
+
+let pointers t =
+  Array.fold_right
+    (fun v acc -> match v with Value.Ref a when not (Addr.is_null a) -> a :: acc | _ -> acc)
+    t.fields []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@%a{%a}@]" Ids.Uid.pp t.uid Ids.Bunch.pp t.bunch
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Value.pp)
+    (Array.to_list t.fields)

@@ -1,0 +1,49 @@
+(** A node's local copy of a shared object.
+
+    Each object has a header preceding its data with system information such
+    as the object's size (§2.1).  Because bunches are replicated, every node
+    holds its {e own} copy record for an object — copies may be mutually
+    inconsistent between synchronization points, which is precisely what the
+    BGC tolerates (§4.2).  The [uid] is the stable cross-node identity used
+    by DSM token bookkeeping; mutators only ever see addresses. *)
+
+type t = private {
+  uid : Bmx_util.Ids.Uid.t;
+  bunch : Bmx_util.Ids.Bunch.t;  (** bunch the object was allocated from *)
+  fields : Value.t array;  (** mutable data words *)
+  mutable version : int;  (** bumped on every write; consistency checking *)
+}
+
+val make :
+  uid:Bmx_util.Ids.Uid.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  fields:Value.t array ->
+  t
+
+val num_fields : t -> int
+
+val size_bytes : t -> int
+(** Header (two words) plus one word per field. *)
+
+val header_bytes : int
+
+val get : t -> int -> Value.t
+(** Raises [Invalid_argument] on out-of-range index. *)
+
+val set : t -> int -> Value.t -> unit
+(** Writes the field and bumps [version]. *)
+
+val clone : t -> t
+(** Deep copy (fresh field array), same uid — a new replica or a GC copy.
+    The paper's BGC copies objects non-destructively (§4.1). *)
+
+val overwrite : t -> from:t -> unit
+(** Replace [t]'s contents with [from]'s in place.  The two must have the
+    same uid and arity.  (The DSM installs grants as fresh clones so the
+    segment maps stay accurate; this is for callers managing their own
+    copies.) *)
+
+val pointers : t -> Bmx_util.Addr.t list
+(** Addresses of all non-null pointer fields, in field order. *)
+
+val pp : Format.formatter -> t -> unit

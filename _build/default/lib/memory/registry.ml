@@ -1,0 +1,35 @@
+open Bmx_util
+
+type entry = { range : Addr.Range.t; bunch : Ids.Bunch.t; origin : Ids.Node.t }
+
+type t = {
+  mutable next : Addr.t;
+  mutable entries : entry list; (* newest first *)
+  by_bunch : entry list ref Ids.Bunch_tbl.t;
+}
+
+let create ?(first_addr = Addr.page_size) () =
+  { next = Addr.align_up first_addr; entries = []; by_bunch = Ids.Bunch_tbl.create 16 }
+
+let alloc_range t ~bunch ~origin ?(bytes = Segment.default_bytes) () =
+  let range = Addr.Range.make ~lo:t.next ~size:(Addr.align_up bytes) in
+  t.next <- range.Addr.Range.hi;
+  let e = { range; bunch; origin } in
+  t.entries <- e :: t.entries;
+  (match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
+  | Some r -> r := e :: !r
+  | None -> Ids.Bunch_tbl.add t.by_bunch bunch (ref [ e ]));
+  range
+
+let find t a =
+  List.find_opt (fun e -> Addr.Range.contains e.range a) t.entries
+
+let bunch_of_addr t a = Option.map (fun e -> e.bunch) (find t a)
+
+let entries_of_bunch t bunch =
+  match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
+  | Some r -> List.rev !r
+  | None -> []
+
+let total_bytes t =
+  List.fold_left (fun acc e -> acc + Addr.Range.size e.range) 0 t.entries

@@ -1,0 +1,42 @@
+(** The BMX-server's segment registry.
+
+    A BMX-server runs on every node and provides allocation of
+    non-overlapping segments (§8).  We centralize that service: the
+    registry is the single authority handing out address ranges, so no two
+    segments — whether allocation spaces or to-spaces created by concurrent
+    BGCs on different replicas — can ever collide.  This is what lets the
+    owner of an object pick its new to-space address unilaterally (§4.2):
+    the address is globally fresh by construction. *)
+
+type entry = {
+  range : Bmx_util.Addr.Range.t;
+  bunch : Bmx_util.Ids.Bunch.t;
+  origin : Bmx_util.Ids.Node.t;  (** node the range was handed to *)
+}
+
+type t
+
+val create : ?first_addr:Bmx_util.Addr.t -> unit -> t
+(** Ranges are carved sequentially starting at [first_addr] (default one
+    page past null, so that null is never inside a segment). *)
+
+val alloc_range :
+  t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  origin:Bmx_util.Ids.Node.t ->
+  ?bytes:int ->
+  unit ->
+  Bmx_util.Addr.Range.t
+(** A fresh, globally non-overlapping range ([bytes] defaults to
+    {!Segment.default_bytes}), registered to [bunch]. *)
+
+val find : t -> Bmx_util.Addr.t -> entry option
+(** The entry whose range contains the address, if any. *)
+
+val bunch_of_addr : t -> Bmx_util.Addr.t -> Bmx_util.Ids.Bunch.t option
+
+val entries_of_bunch : t -> Bmx_util.Ids.Bunch.t -> entry list
+(** All ranges registered to the bunch, oldest first. *)
+
+val total_bytes : t -> int
+(** Total address-space bytes handed out so far. *)

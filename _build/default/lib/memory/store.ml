@@ -1,0 +1,216 @@
+open Bmx_util
+
+type cell = Object of Heap_obj.t | Forwarder of Addr.t
+
+type t = {
+  node : Ids.Node.t;
+  registry : Registry.t;
+  cells : (Addr.t, cell) Hashtbl.t;
+  segments : (Addr.t, Segment.t) Hashtbl.t; (* keyed by range.lo *)
+  seg_order : Addr.t list ref Ids.Bunch_tbl.t; (* range.lo per bunch, oldest first *)
+  active : Segment.t Ids.Bunch_tbl.t; (* current allocation segment per bunch *)
+  uid_index : Addr.t Ids.Uid_tbl.t;
+  known_addrs : Addr.t list ref Ids.Uid_tbl.t; (* newest first *)
+}
+
+let create ~registry ~node =
+  {
+    node;
+    registry;
+    cells = Hashtbl.create 256;
+    segments = Hashtbl.create 16;
+    seg_order = Ids.Bunch_tbl.create 8;
+    active = Ids.Bunch_tbl.create 8;
+    uid_index = Ids.Uid_tbl.create 256;
+    known_addrs = Ids.Uid_tbl.create 256;
+  }
+
+let node t = t.node
+let registry t = t.registry
+
+let add_segment t seg =
+  let lo = seg.Segment.range.Addr.Range.lo in
+  Hashtbl.replace t.segments lo seg;
+  let bunch = seg.Segment.bunch in
+  match Ids.Bunch_tbl.find_opt t.seg_order bunch with
+  | Some r -> r := !r @ [ lo ]
+  | None -> Ids.Bunch_tbl.add t.seg_order bunch (ref [ lo ])
+
+let segment_at t a =
+  match Registry.find t.registry a with
+  | None -> None
+  | Some e -> Hashtbl.find_opt t.segments e.Registry.range.Addr.Range.lo
+
+let ensure_segment t ~range ~bunch =
+  match Hashtbl.find_opt t.segments range.Addr.Range.lo with
+  | Some seg -> seg
+  | None ->
+      let seg = Segment.make ~range ~bunch in
+      (* This is a view of a range some other node allocates into: local
+         bump allocation there would collide with the real allocator. *)
+      Segment.seal seg;
+      add_segment t seg;
+      seg
+
+let fresh_segment t ~bunch ?bytes () =
+  let range = Registry.alloc_range t.registry ~bunch ~origin:t.node ?bytes () in
+  let seg = Segment.make ~range ~bunch in
+  add_segment t seg;
+  seg
+
+let segments_of_bunch t bunch =
+  match Ids.Bunch_tbl.find_opt t.seg_order bunch with
+  | None -> []
+  | Some r -> List.filter_map (Hashtbl.find_opt t.segments) !r
+
+let set_active_segment t ~bunch seg = Ids.Bunch_tbl.replace t.active bunch seg
+
+let cells_in_range t range =
+  Hashtbl.fold
+    (fun a c acc -> if Addr.Range.contains range a then (a, c) :: acc else acc)
+    t.cells []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+
+let mapped_bunches t =
+  Ids.Bunch_tbl.fold (fun b _ acc -> b :: acc) t.seg_order []
+  |> List.sort_uniq Ids.Bunch.compare
+
+let cell t a = Hashtbl.find_opt t.cells a
+
+let note_maps t a (obj : Heap_obj.t) =
+  match segment_at t a with
+  | None -> ()
+  | Some seg ->
+      Bitmap.set seg.Segment.object_map a;
+      Array.iteri
+        (fun i v ->
+          let field_addr = Addr.add a (Heap_obj.header_bytes + (i * Addr.word)) in
+          if Segment.contains seg field_addr then
+            Segment.note_pointer seg field_addr ~is_pointer:(Value.is_pointer v))
+        obj.Heap_obj.fields
+
+let install t a obj =
+  Hashtbl.replace t.cells a (Object obj);
+  Ids.Uid_tbl.replace t.uid_index obj.Heap_obj.uid a;
+  (match Ids.Uid_tbl.find_opt t.known_addrs obj.Heap_obj.uid with
+  | Some r -> if (match !r with a' :: _ -> not (Addr.equal a a') | [] -> true) then r := a :: !r
+  | None -> Ids.Uid_tbl.add t.known_addrs obj.Heap_obj.uid (ref [ a ]));
+  (* Make sure the containing segment is mapped locally so the object-map
+     stays accurate even for remotely allocated ranges. *)
+  (match segment_at t a with
+  | Some _ -> ()
+  | None -> (
+      match Registry.find t.registry a with
+      | Some e -> ignore (ensure_segment t ~range:e.Registry.range ~bunch:e.Registry.bunch)
+      | None -> ()));
+  note_maps t a obj
+
+let set_forwarder t ~at ~target =
+  Hashtbl.replace t.cells at (Forwarder target);
+  match segment_at t at with
+  | Some seg -> Segment.clear_object seg at
+  | None -> ()
+
+let remove t a =
+  (match Hashtbl.find_opt t.cells a with
+  | Some (Object obj) ->
+      if Ids.Uid_tbl.find_opt t.uid_index obj.Heap_obj.uid = Some a then
+        Ids.Uid_tbl.remove t.uid_index obj.Heap_obj.uid
+  | Some (Forwarder _) | None -> ());
+  Hashtbl.remove t.cells a;
+  match segment_at t a with
+  | Some seg -> Segment.clear_object seg a
+  | None -> ()
+
+let resolve t a =
+  (* Follow the forwarder chain, then path-compress it: every visited
+     forwarder is retargeted at the endpoint, so chains stay short no
+     matter how many times the object has moved. *)
+  let rec go a visited fuel =
+    if fuel = 0 then None
+    else
+      match Hashtbl.find_opt t.cells a with
+      | Some (Object obj) -> Some (a, obj, visited)
+      | Some (Forwarder target) -> go target (a :: visited) (fuel - 1)
+      | None -> None
+  in
+  match go a [] 4096 with
+  | None -> None
+  | Some (endpoint, obj, visited) ->
+      List.iter
+        (fun hop ->
+          if not (Addr.equal hop endpoint) then
+            Hashtbl.replace t.cells hop (Forwarder endpoint))
+        visited;
+      Some (endpoint, obj)
+
+let current_addr t a = match resolve t a with Some (a', _) -> a' | None -> a
+
+let note_field_write t ~obj_addr ~index v =
+  match segment_at t obj_addr with
+  | None -> ()
+  | Some seg ->
+      let field_addr =
+        Addr.add obj_addr (Heap_obj.header_bytes + (index * Addr.word))
+      in
+      if Segment.contains seg field_addr then
+        Segment.note_pointer seg field_addr ~is_pointer:(Value.is_pointer v)
+
+let alloc_into t ~seg ~uid ~fields =
+  let obj = Heap_obj.make ~uid ~bunch:seg.Segment.bunch ~fields in
+  match Segment.alloc seg ~size:(Heap_obj.size_bytes obj) with
+  | None -> None
+  | Some a ->
+      install t a obj;
+      Some a
+
+let alloc t ~bunch ~uid ~fields =
+  let seg =
+    match Ids.Bunch_tbl.find_opt t.active bunch with
+    | Some seg -> seg
+    | None ->
+        let seg =
+          match
+            List.find_opt
+              (fun s -> s.Segment.role = Segment.Active)
+              (segments_of_bunch t bunch)
+          with
+          | Some s -> s
+          | None -> fresh_segment t ~bunch ()
+        in
+        Ids.Bunch_tbl.replace t.active bunch seg;
+        seg
+  in
+  match alloc_into t ~seg ~uid ~fields with
+  | Some a -> a
+  | None ->
+      (* Segment overflow: grow the bunch (§2.1). *)
+      let seg = fresh_segment t ~bunch () in
+      Ids.Bunch_tbl.replace t.active bunch seg;
+      (match alloc_into t ~seg ~uid ~fields with
+      | Some a -> a
+      | None -> failwith "Store.alloc: object larger than a segment")
+
+let objects_of_bunch t bunch =
+  Hashtbl.fold
+    (fun a c acc ->
+      match c with
+      | Object obj when Ids.Bunch.equal obj.Heap_obj.bunch bunch -> (a, obj) :: acc
+      | Object _ | Forwarder _ -> acc)
+    t.cells []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+
+let addr_of_uid t uid = Ids.Uid_tbl.find_opt t.uid_index uid
+
+let address_history t uid =
+  match Ids.Uid_tbl.find_opt t.known_addrs uid with Some r -> !r | None -> []
+let iter t f = Hashtbl.iter f t.cells
+
+let object_count t =
+  Hashtbl.fold
+    (fun _ c acc -> match c with Object _ -> acc + 1 | Forwarder _ -> acc)
+    t.cells 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>store %a: %d objects, %d cells@]" Ids.Node.pp t.node
+    (object_count t) (Hashtbl.length t.cells)

@@ -1,0 +1,99 @@
+(** A node's view of the shared address space.
+
+    Every node caches copies of the objects it has mapped; the same global
+    address resolves, on each node, to that node's local copy (or to a
+    forwarding header left by a BGC, §4.2).  The store also owns the node's
+    local [Segment] views — object-map and reference-map state is
+    per-replica, since replicas of a bunch are collected independently. *)
+
+type cell =
+  | Object of Heap_obj.t  (** a local copy of the object at this address *)
+  | Forwarder of Bmx_util.Addr.t
+      (** header left in from-space after a copy: "a forwarding pointer is
+          written into the object's header, which is left in from-space"
+          (§4.2) *)
+
+type t
+
+val create : registry:Registry.t -> node:Bmx_util.Ids.Node.t -> t
+val node : t -> Bmx_util.Ids.Node.t
+val registry : t -> Registry.t
+
+val alloc :
+  t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  uid:Bmx_util.Ids.Uid.t ->
+  fields:Value.t array ->
+  Bmx_util.Addr.t
+(** Allocate a new object in the node's active segment for [bunch],
+    growing the bunch with a fresh registry range on segment overflow.
+    Reference-map bits are set for pointer fields. *)
+
+val alloc_into :
+  t -> seg:Segment.t -> uid:Bmx_util.Ids.Uid.t -> fields:Value.t array
+  -> Bmx_util.Addr.t option
+(** Allocate directly into a specific segment (BGC copying into to-space). *)
+
+val segment_at : t -> Bmx_util.Addr.t -> Segment.t option
+(** The local segment view containing the address, if mapped. *)
+
+val ensure_segment :
+  t -> range:Bmx_util.Addr.Range.t -> bunch:Bmx_util.Ids.Bunch.t -> Segment.t
+(** Local view of a (possibly remotely allocated) range; created on first
+    use — mapping a segment of a replicated bunch. *)
+
+val fresh_segment :
+  t -> bunch:Bmx_util.Ids.Bunch.t -> ?bytes:int -> unit -> Segment.t
+(** Allocate a brand-new range from the registry and map it locally. *)
+
+val segments_of_bunch : t -> Bmx_util.Ids.Bunch.t -> Segment.t list
+(** Locally mapped segments of the bunch, oldest first. *)
+
+val set_active_segment : t -> bunch:Bmx_util.Ids.Bunch.t -> Segment.t -> unit
+(** Make [seg] the bunch's current allocation target (a BGC retargets
+    allocation at the to-space after a flip). *)
+
+val cells_in_range : t -> Bmx_util.Addr.Range.t -> (Bmx_util.Addr.t * cell) list
+(** All cells whose address falls in the range, by address. *)
+
+val mapped_bunches : t -> Bmx_util.Ids.Bunch.t list
+
+val cell : t -> Bmx_util.Addr.t -> cell option
+
+val install : t -> Bmx_util.Addr.t -> Heap_obj.t -> unit
+(** Bind the address to a local object copy (token grant, GC copy, or
+    address-update installation).  Maintains the segment maps. *)
+
+val set_forwarder : t -> at:Bmx_util.Addr.t -> target:Bmx_util.Addr.t -> unit
+(** Replace the cell at [at] with a forwarding header to [target]. *)
+
+val remove : t -> Bmx_util.Addr.t -> unit
+(** Drop the cell (object reclaimed or forwarder retired). *)
+
+val resolve : t -> Bmx_util.Addr.t -> (Bmx_util.Addr.t * Heap_obj.t) option
+(** Follow the local forwarder chain from the address to the current local
+    copy; [None] if the address is unknown here or leads nowhere. *)
+
+val current_addr : t -> Bmx_util.Addr.t -> Bmx_util.Addr.t
+(** Endpoint of the local forwarder chain ([a] itself if not forwarded).
+    The paper's pointer-comparison operation (§4.2) compares these. *)
+
+val note_field_write : t -> obj_addr:Bmx_util.Addr.t -> index:int -> Value.t -> unit
+(** Maintain the reference-map bit for field [index] of the object at
+    [obj_addr] after a write. *)
+
+val objects_of_bunch : t -> Bmx_util.Ids.Bunch.t -> (Bmx_util.Addr.t * Heap_obj.t) list
+(** All local object copies (not forwarders) of the bunch, by address. *)
+
+val addr_of_uid : t -> Bmx_util.Ids.Uid.t -> Bmx_util.Addr.t option
+(** Current local address of the object with this uid, if cached. *)
+
+val address_history : t -> Bmx_util.Ids.Uid.t -> Bmx_util.Addr.t list
+(** Addresses this node has seen the object at, newest first.  This is the
+    node-local knowledge from which new-location messages (§4.4) are
+    composed: the head is where the node currently publishes the object,
+    the second entry is where its peers may still believe it lives. *)
+
+val iter : t -> (Bmx_util.Addr.t -> cell -> unit) -> unit
+val object_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type t = Ref of Bmx_util.Addr.t | Data of int
+
+let nil = Ref Bmx_util.Addr.null
+let is_pointer = function Ref a -> not (Bmx_util.Addr.is_null a) | Data _ -> false
+
+let equal v1 v2 =
+  match (v1, v2) with
+  | Ref a, Ref b -> Bmx_util.Addr.equal a b
+  | Data x, Data y -> Int.equal x y
+  | Ref _, Data _ | Data _, Ref _ -> false
+
+let pp ppf = function
+  | Ref a when Bmx_util.Addr.is_null a -> Format.pp_print_string ppf "nil"
+  | Ref a -> Format.fprintf ppf "&%a" Bmx_util.Addr.pp a
+  | Data n -> Format.fprintf ppf "#%d" n

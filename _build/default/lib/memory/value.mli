@@ -1,0 +1,19 @@
+(** Field values stored inside objects.
+
+    An object is a contiguous sequence of 4-byte words (§2.1); each word is
+    either an ordinary pointer (an address — "object references are
+    therefore ordinary pointers") or raw data.  The reference-map bit for a
+    word says which (§8). *)
+
+type t =
+  | Ref of Bmx_util.Addr.t  (** a pointer; [Ref Addr.null] is a nil pointer *)
+  | Data of int  (** uninterpreted data word *)
+
+val nil : t
+(** [Ref Addr.null]. *)
+
+val is_pointer : t -> bool
+(** [true] for [Ref a] with non-null [a]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Bmx_util Format Hashtbl Ids Queue Rng Stats

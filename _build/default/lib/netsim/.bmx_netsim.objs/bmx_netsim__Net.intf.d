@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Bmx_util Format

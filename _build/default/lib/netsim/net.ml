@@ -1,0 +1,141 @@
+open Bmx_util
+
+type kind =
+  | Token_request
+  | Token_grant
+  | Invalidate
+  | Object_fetch
+  | Scion_message
+  | Stub_table
+  | Addr_update
+  | Reclaim_request
+  | Reclaim_reply
+  | Refcount_op
+  | App_message
+
+let kind_to_string = function
+  | Token_request -> "token_request"
+  | Token_grant -> "token_grant"
+  | Invalidate -> "invalidate"
+  | Object_fetch -> "object_fetch"
+  | Scion_message -> "scion_message"
+  | Stub_table -> "stub_table"
+  | Addr_update -> "addr_update"
+  | Reclaim_request -> "reclaim_request"
+  | Reclaim_reply -> "reclaim_reply"
+  | Refcount_op -> "refcount_op"
+  | App_message -> "app_message"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let all_kinds =
+  [
+    Token_request; Token_grant; Invalidate; Object_fetch; Scion_message;
+    Stub_table; Addr_update; Reclaim_request; Reclaim_reply; Refcount_op;
+    App_message;
+  ]
+
+type 'p envelope = {
+  src : Ids.Node.t;
+  dst : Ids.Node.t;
+  kind : kind;
+  seq : int;
+  payload : 'p;
+}
+
+type fault = { drop : float; dup : float; rng : Rng.t }
+
+type 'p t = {
+  stats : Stats.registry;
+  queue : 'p envelope Queue.t;
+  seqs : (Ids.Node.t * Ids.Node.t, int ref) Hashtbl.t;
+  faults : (kind, fault) Hashtbl.t;
+  mutable handler : ('p envelope -> unit) option;
+}
+
+let create ~stats () =
+  {
+    stats;
+    queue = Queue.create ();
+    seqs = Hashtbl.create 16;
+    faults = Hashtbl.create 4;
+    handler = None;
+  }
+
+let stats t = t.stats
+let set_handler t f = t.handler <- Some f
+
+let next_seq t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.seqs key with
+  | Some r ->
+      incr r;
+      !r
+  | None ->
+      Hashtbl.add t.seqs key (ref 1);
+      1
+
+let account t ~kind ~bytes =
+  Stats.incr t.stats ("net.sent." ^ kind_to_string kind);
+  Stats.incr t.stats "net.sent.total";
+  Stats.incr t.stats ~by:bytes ("net.bytes." ^ kind_to_string kind);
+  Stats.incr t.stats ~by:bytes "net.bytes.total"
+
+let send t ~src ~dst ~kind ?(bytes = 64) payload =
+  let seq = next_seq t ~src ~dst in
+  let env = { src; dst; kind; seq; payload } in
+  match Hashtbl.find_opt t.faults kind with
+  | Some { drop; dup; rng } ->
+      if Rng.float rng 1.0 < drop then begin
+        Stats.incr t.stats ("net.dropped." ^ kind_to_string kind);
+        Stats.incr t.stats "net.dropped.total"
+      end
+      else begin
+        account t ~kind ~bytes;
+        Queue.add env t.queue;
+        if Rng.float rng 1.0 < dup then begin
+          Stats.incr t.stats ("net.duplicated." ^ kind_to_string kind);
+          account t ~kind ~bytes;
+          Queue.add env t.queue
+        end
+      end
+  | None ->
+      account t ~kind ~bytes;
+      Queue.add env t.queue
+
+let record_rpc t ~src ~dst ~kind ?(bytes = 64) () =
+  ignore (next_seq t ~src ~dst);
+  account t ~kind ~bytes
+
+let record_piggyback t ~kind ~bytes =
+  Stats.incr t.stats ("net.piggyback." ^ kind_to_string kind);
+  Stats.incr t.stats ~by:bytes ("net.bytes." ^ kind_to_string kind);
+  Stats.incr t.stats ~by:bytes "net.bytes.total";
+  Stats.incr t.stats ~by:bytes "net.bytes.piggyback"
+
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> false
+  | Some env ->
+      let handler =
+        match t.handler with
+        | Some h -> h
+        | None -> failwith "Net.step: no handler installed"
+      in
+      Stats.incr t.stats ("net.delivered." ^ kind_to_string env.kind);
+      handler env;
+      true
+
+let drain t =
+  let rec go n = if step t then go (n + 1) else n in
+  go 0
+
+let pending t = Queue.length t.queue
+
+let current_seq t ~src ~dst =
+  match Hashtbl.find_opt t.seqs (src, dst) with Some r -> !r | None -> 0
+let set_fault t ~kind ~drop ~dup ~rng = Hashtbl.replace t.faults kind { drop; dup; rng }
+let clear_faults t = Hashtbl.reset t.faults
+let sent t kind = Stats.get t.stats ("net.sent." ^ kind_to_string kind)
+let total_messages t = Stats.get t.stats "net.sent.total"
+let total_bytes t = Stats.get t.stats "net.bytes.total"

@@ -1,0 +1,111 @@
+(** Deterministic message-passing network between simulated nodes.
+
+    The paper's loosely coupled network of workstations (§2, §8) is modelled
+    by point-to-point channels with the two properties the GC design
+    actually relies on:
+
+    - {b FIFO per pair} (§6.1): messages carrying reachability tables are
+      sequence-numbered per (sender, receiver) stream so the scion cleaner
+      can discard stale or duplicated tables;
+    - {b no reliability requirement} (§6.1): the transport may drop or
+      duplicate messages; fault injection reproduces this for experiment
+      E10.
+
+    Two transmission modes mirror the paper's accounting:
+
+    - [send] enqueues a background message ("exchanged in the background",
+      §4.4) to be delivered by [step]/[drain];
+    - [record_rpc] accounts for a synchronous request/reply pair performed
+      on behalf of an application (token acquire, §2.2) that the caller
+      executes inline; [record_piggyback] accounts for extra GC payload
+      bytes riding such a message without adding a message (§4.4, §8). *)
+
+type kind =
+  | Token_request  (** read/write token acquire request (§2.2) *)
+  | Token_grant  (** reply granting a token, may carry GC piggyback (§5) *)
+  | Invalidate  (** read-copy invalidation on write-token acquire *)
+  | Object_fetch  (** demand fetch of an object's contents *)
+  | Scion_message  (** creation of a remote inter-bunch scion (§3.2) *)
+  | Stub_table  (** reachability tables for the scion cleaner (§4.3, §6) *)
+  | Addr_update  (** explicit new-location message (non-piggyback mode, §4.4) *)
+  | Reclaim_request  (** from-space reuse protocol: ask owner to copy (§4.5) *)
+  | Reclaim_reply  (** reply enabling from-space reuse (§4.5) *)
+  | Refcount_op  (** baseline only: Bevan-style increment/decrement *)
+  | App_message  (** application-level traffic *)
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val all_kinds : kind list
+
+type 'p envelope = {
+  src : Bmx_util.Ids.Node.t;
+  dst : Bmx_util.Ids.Node.t;
+  kind : kind;
+  seq : int;  (** per (src, dst) stream sequence number *)
+  payload : 'p;
+}
+
+type 'p t
+
+val create : stats:Bmx_util.Stats.registry -> unit -> 'p t
+
+val stats : 'p t -> Bmx_util.Stats.registry
+
+val set_handler : 'p t -> ('p envelope -> unit) -> unit
+(** Install the delivery handler (the cluster dispatch).  Must be set
+    before the first [step]. *)
+
+val send :
+  'p t ->
+  src:Bmx_util.Ids.Node.t ->
+  dst:Bmx_util.Ids.Node.t ->
+  kind:kind ->
+  ?bytes:int ->
+  'p ->
+  unit
+(** Enqueue a background message.  Subject to fault injection. *)
+
+val record_rpc :
+  'p t ->
+  src:Bmx_util.Ids.Node.t ->
+  dst:Bmx_util.Ids.Node.t ->
+  kind:kind ->
+  ?bytes:int ->
+  unit ->
+  unit
+(** Account for one synchronous message executed inline by the caller. *)
+
+val record_piggyback : 'p t -> kind:kind -> bytes:int -> unit
+(** Account for GC payload bytes piggybacked onto an existing message of
+    [kind]; adds no message count. *)
+
+val step : 'p t -> bool
+(** Deliver the oldest pending message (globally).  Returns [false] if the
+    queue was empty. *)
+
+val drain : 'p t -> int
+(** Deliver until quiescent; returns the number of messages delivered.
+    Messages sent by handlers during the drain are delivered too. *)
+
+val pending : 'p t -> int
+
+val set_fault :
+  'p t -> kind:kind -> drop:float -> dup:float -> rng:Bmx_util.Rng.t -> unit
+(** Drop (resp. duplicate) messages of [kind] with the given probability.
+    Dropped messages consume a sequence number — receivers observe a gap,
+    as over a real lossy transport. *)
+
+val clear_faults : 'p t -> unit
+
+val current_seq :
+  'p t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> int
+(** The last sequence number stamped on the (src, dst) stream (0 if no
+    message was ever sent).  Receivers use it as a logical clock: state
+    registered during a synchronous exchange is newer than any message of
+    the same stream sent before it. *)
+
+val sent : 'p t -> kind -> int
+(** Total messages of [kind] accounted so far (sent + rpc, not drops). *)
+
+val total_messages : 'p t -> int
+val total_bytes : 'p t -> int

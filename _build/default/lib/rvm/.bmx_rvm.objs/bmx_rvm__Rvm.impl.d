@@ -1,0 +1,1 @@
+lib/rvm/rvm.ml: Addr Bmx_util Hashtbl List Option

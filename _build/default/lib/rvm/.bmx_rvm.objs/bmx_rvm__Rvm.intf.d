@@ -1,0 +1,1 @@
+lib/rvm/rvm.mli: Bmx_util

@@ -1,0 +1,108 @@
+open Bmx_util
+
+type 'v record = Set of Addr.t * 'v | Delete of Addr.t | Commit
+
+type 'v t = {
+  copy : 'v -> 'v;
+  (* Volatile state. *)
+  mutable image : (Addr.t, 'v) Hashtbl.t;
+  mutable tx : 'v record list option; (* buffered records, reversed *)
+  (* Stable state (the simulated disk). *)
+  stable_image : (Addr.t, 'v) Hashtbl.t;
+  mutable log : 'v record list; (* newest first *)
+}
+
+let create ~copy () =
+  {
+    copy;
+    image = Hashtbl.create 64;
+    tx = None;
+    stable_image = Hashtbl.create 64;
+    log = [];
+  }
+
+let begin_tx t =
+  match t.tx with
+  | Some _ -> failwith "Rvm.begin_tx: transaction already open"
+  | None -> t.tx <- Some []
+
+let in_tx t = t.tx <> None
+
+let buffered t =
+  match t.tx with
+  | Some records -> records
+  | None -> failwith "Rvm: no open transaction"
+
+let set t a v = t.tx <- Some (Set (a, t.copy v) :: buffered t)
+let delete t a = t.tx <- Some (Delete a :: buffered t)
+
+let apply_record image copy = function
+  | Set (a, v) -> Hashtbl.replace image a (copy v)
+  | Delete a -> Hashtbl.remove image a
+  | Commit -> ()
+
+let commit t =
+  let records = List.rev (buffered t) in
+  t.tx <- None;
+  List.iter (apply_record t.image t.copy) records;
+  (* The append of data records plus the commit mark is the atomic step:
+     recovery only honours commit-terminated prefixes. *)
+  t.log <- Commit :: List.rev_append records t.log
+
+let abort t =
+  ignore (buffered t);
+  t.tx <- None
+
+let get t a =
+  (* Uncommitted buffered writes are visible, newest first. *)
+  let rec in_buffer = function
+    | [] -> None
+    | Set (a', v) :: _ when Addr.equal a a' -> Some (Some (t.copy v))
+    | Delete a' :: _ when Addr.equal a a' -> Some None
+    | _ :: rest -> in_buffer rest
+  in
+  match t.tx with
+  | Some records -> (
+      match in_buffer records with
+      | Some answer -> answer
+      | None -> Option.map t.copy (Hashtbl.find_opt t.image a))
+  | None -> Option.map t.copy (Hashtbl.find_opt t.image a)
+
+let fold t ~init ~f = Hashtbl.fold (fun a v acc -> f a v acc) t.image init
+let cardinal t = Hashtbl.length t.image
+
+let crash t =
+  t.image <- Hashtbl.create 64;
+  t.tx <- None
+
+let crash_mid_commit t =
+  let records = List.rev (buffered t) in
+  (* Data records reached the log; the commit mark did not. *)
+  t.log <- List.rev_append records t.log;
+  crash t
+
+let committed_records t =
+  (* Oldest-first records belonging to commit-terminated transactions. *)
+  let oldest_first = List.rev t.log in
+  (* [acc] and [pending] are newest-first; a trailing [pending] with no
+     commit record is a torn tail and is dropped. *)
+  let rec go acc pending = function
+    | [] -> List.rev acc
+    | Commit :: rest -> go (pending @ acc) [] rest
+    | r :: rest -> go acc (r :: pending) rest
+  in
+  go [] [] oldest_first
+
+let recover t =
+  let image = Hashtbl.create 64 in
+  Hashtbl.iter (fun a v -> Hashtbl.replace image a (t.copy v)) t.stable_image;
+  List.iter (apply_record image t.copy) (committed_records t);
+  t.image <- image;
+  t.tx <- None
+
+let checkpoint t =
+  if in_tx t then failwith "Rvm.checkpoint: transaction open";
+  List.iter (apply_record t.stable_image t.copy) (committed_records t);
+  t.log <- []
+
+let log_length t = List.length t.log

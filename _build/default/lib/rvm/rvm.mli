@@ -1,0 +1,77 @@
+(** Lightweight recoverable virtual memory (after Satyanarayanan et al.,
+    as used by BMX §2.1/§8).
+
+    BMX bases recovery on RVM: once a bunch is mapped, every modification
+    to the bunch's address range has an associated log entry and can be
+    recovered after a system failure.  Like the original, this is a
+    redo-log design with simple flat transactions — no nesting, no
+    distribution, no concurrency control (§8).
+
+    The model separates {e volatile} state (lost on [crash]) from {e
+    stable} state (the simulated disk: checkpoint image + log).  A
+    transaction buffers updates; [commit] appends them to the log followed
+    by a commit record, atomically — recovery replays only
+    commit-terminated log prefixes, so a crash mid-transaction is
+    invisible.  [checkpoint] folds the log into the stable image and
+    truncates it, exactly the RVM truncation mechanism.
+
+    The store is polymorphic in the value type; BMX persists heap cells
+    keyed by address (the from-space/to-space-as-files arrangement of
+    O'Toole et al. that §8 adopts). *)
+
+type 'v t
+
+val create : copy:('v -> 'v) -> unit -> 'v t
+(** [copy] must produce an independent duplicate of a value: values are
+    copied on their way to the log and back, like bytes through a file. *)
+
+(** {1 Transactions} *)
+
+val begin_tx : 'v t -> unit
+(** Raises [Failure] if a transaction is already open. *)
+
+val in_tx : 'v t -> bool
+
+val set : 'v t -> Bmx_util.Addr.t -> 'v -> unit
+(** Buffer a write.  Raises [Failure] outside a transaction. *)
+
+val delete : 'v t -> Bmx_util.Addr.t -> unit
+
+val commit : 'v t -> unit
+(** Apply the buffered updates to the volatile image and append them,
+    with a commit record, to the stable log. *)
+
+val abort : 'v t -> unit
+(** Discard the buffered updates. *)
+
+(** {1 Reading} *)
+
+val get : 'v t -> Bmx_util.Addr.t -> 'v option
+(** Read from the volatile image (uncommitted buffered writes of the open
+    transaction are visible, as with mapped RVM regions). *)
+
+val fold : 'v t -> init:'a -> f:(Bmx_util.Addr.t -> 'v -> 'a -> 'a) -> 'a
+val cardinal : 'v t -> int
+
+(** {1 Failure and recovery} *)
+
+val crash : 'v t -> unit
+(** Lose all volatile state, including any open transaction.  If a commit
+    was in flight, its log tail may be torn (no commit record) and will be
+    ignored by recovery. *)
+
+val crash_mid_commit : 'v t -> unit
+(** Like [crash], but taken exactly after the data records of the open
+    transaction reached the log and before the commit record did — the
+    worst-case torn write. *)
+
+val recover : 'v t -> unit
+(** Rebuild the volatile image from the stable checkpoint plus every
+    committed log record.  Idempotent. *)
+
+val checkpoint : 'v t -> unit
+(** RVM truncation: fold the committed log into the stable image and
+    clear the log.  Raises [Failure] inside a transaction. *)
+
+val log_length : 'v t -> int
+(** Number of records currently in the stable log (data + commit marks). *)

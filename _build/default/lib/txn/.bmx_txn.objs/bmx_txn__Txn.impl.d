@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Addr Bmx Bmx_dsm Bmx_gc Bmx_memory Bmx_rvm Bmx_util Ids List

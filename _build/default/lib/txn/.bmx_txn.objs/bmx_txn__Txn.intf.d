@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Bmx Bmx_memory Bmx_rvm Bmx_util

@@ -1,0 +1,1 @@
+lib/util/addr.ml: Format Hashtbl Int Printf

@@ -1,0 +1,1 @@
+lib/util/ids.ml: Format Hashtbl Int Set

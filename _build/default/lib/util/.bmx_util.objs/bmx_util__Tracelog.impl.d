@@ -1,0 +1,1 @@
+lib/util/tracelog.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/util/tracelog.mli: Format

@@ -1,0 +1,68 @@
+type registry = (string, int ref) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 64
+
+let incr reg ?(by = 1) name =
+  match Hashtbl.find_opt reg name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add reg name (ref by)
+
+let get reg name =
+  match Hashtbl.find_opt reg name with Some r -> !r | None -> 0
+
+let reset reg = Hashtbl.iter (fun _ r -> r := 0) reg
+
+let counters reg =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) reg []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let diff ~before ~after =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k (-v)) before;
+  List.iter
+    (fun (k, v) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (prev + v))
+    after;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable samples : float list;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; samples = [] }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.samples <- x :: t.samples
+
+  let n t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let stddev t = if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+  let min t = if t.n = 0 then 0. else t.min
+  let max t = if t.n = 0 then 0. else t.max
+  let total t = t.mean *. float_of_int t.n
+
+  let percentile t p =
+    if t.n = 0 then 0.
+    else begin
+      let arr = Array.of_list t.samples in
+      Array.sort Float.compare arr;
+      let rank = p /. 100. *. float_of_int (Array.length arr - 1) in
+      let lo = int_of_float (Float.round rank) in
+      arr.(Stdlib.max 0 (Stdlib.min (Array.length arr - 1) lo))
+    end
+end

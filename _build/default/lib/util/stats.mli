@@ -1,0 +1,42 @@
+(** Counters and summary statistics for experiments.
+
+    Every subsystem (network, DSM, GC) records into a [registry]; the bench
+    harness snapshots registries before/after a run to build the tables of
+    EXPERIMENTS.md. *)
+
+type registry
+
+val create_registry : unit -> registry
+
+val incr : registry -> ?by:int -> string -> unit
+(** Bump the named counter (created at zero on first use). *)
+
+val get : registry -> string -> int
+(** Current value of a counter (0 if never bumped). *)
+
+val reset : registry -> unit
+(** Zero every counter. *)
+
+val counters : registry -> (string * int) list
+(** All counters, sorted by name. *)
+
+val diff : before:(string * int) list -> after:(string * int) list
+  -> (string * int) list
+(** Per-counter deltas ([after - before]); names absent on one side count
+    as zero. *)
+
+(** Streaming summary of a sample (Welford's algorithm). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0,100]; retains all samples. *)
+end

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the experiment harness.
+
+    The bench executable prints one table per experiment (the rows the
+    paper's missing evaluation section would have reported); this module
+    keeps the formatting in one place. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['|'] into
+    cells: [add_rowf t "%d|%s" 1 "x"]. *)
+
+val render : t -> string
+val print : t -> unit

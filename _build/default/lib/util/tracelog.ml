@@ -1,0 +1,51 @@
+type event = { seq : int; category : string; detail : string }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  buf : event option array;
+  mutable next : int; (* next write slot *)
+  mutable count : int; (* total events ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Tracelog.create: capacity must be positive";
+  { enabled = true; capacity; buf = Array.make capacity None; next = 0; count = 0 }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let record t ~category detail =
+  if t.enabled then begin
+    t.buf.(t.next) <- Some { seq = t.count; category; detail };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.count <- t.count + 1
+  end
+
+let recordf t ~category fmt = Printf.ksprintf (record t ~category) fmt
+
+let events t =
+  (* Walking the ring from [next] visits slots oldest-first. *)
+  let out = ref [] in
+  for i = 0 to t.capacity - 1 do
+    match t.buf.((t.next + i) mod t.capacity) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let recent t n =
+  let all = events t in
+  let len = List.length all in
+  if len <= n then all else List.filteri (fun i _ -> i >= len - n) all
+
+let length t = List.length (events t)
+let total_recorded t = t.count
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%06d] %-8s %s" e.seq e.category e.detail

@@ -1,0 +1,43 @@
+(** A bounded, structured event trace.
+
+    Every subsystem can record one-line events into a shared ring buffer;
+    `bmxctl --trace` and failing tests dump the tail to show {e what the
+    protocol actually did} — token moves, invalidations, collections,
+    table exchanges — in order.  Recording is O(1) and allocation-light;
+    a disabled trace costs one branch. *)
+
+type t
+
+type event = {
+  seq : int;  (** global sequence number, monotonically increasing *)
+  category : string;  (** e.g. "dsm", "gc", "net", "cleaner" *)
+  detail : string;
+}
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of [capacity] events (default 4096), enabled. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> category:string -> string -> unit
+(** Append an event (dropping the oldest when full).  No-op when
+    disabled. *)
+
+val recordf : t -> category:string -> ('a, unit, string, unit) format4 -> 'a
+(** [recordf t ~category fmt ...] — formatted variant.  The format
+    arguments are still evaluated when disabled; prefer [record] with a
+    pre-built string in hot paths guarded by {!enabled}. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val recent : t -> int -> event list
+(** The last [n] events, oldest first. *)
+
+val length : t -> int
+val total_recorded : t -> int
+(** Including events that have been dropped from the ring. *)
+
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit

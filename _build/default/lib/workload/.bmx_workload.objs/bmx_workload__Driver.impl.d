@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Addr Array Bmx Bmx_dsm Bmx_memory Bmx_util Graphgen Ids List Rng

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Bmx Bmx_dsm Bmx_util

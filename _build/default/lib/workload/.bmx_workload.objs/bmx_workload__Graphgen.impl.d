@@ -1,0 +1,1 @@
+lib/workload/graphgen.ml: Array Bmx Bmx_memory Bmx_util Ids List Rng

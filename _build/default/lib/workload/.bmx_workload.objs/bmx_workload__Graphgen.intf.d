@@ -1,0 +1,1 @@
+lib/workload/graphgen.mli: Bmx Bmx_util

@@ -1,0 +1,1 @@
+lib/workload/oo7.ml: Addr Array Bmx Bmx_dsm Bmx_memory Bmx_util Ids List Rng

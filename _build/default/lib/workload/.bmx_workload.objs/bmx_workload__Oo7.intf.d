@@ -1,0 +1,1 @@
+lib/workload/oo7.mli: Bmx Bmx_util

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Addr Bmx Bmx_memory Bmx_util Ids

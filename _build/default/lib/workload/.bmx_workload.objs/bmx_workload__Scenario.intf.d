@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Bmx Bmx_dsm Bmx_util

@@ -1,0 +1,180 @@
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Value = Bmx_memory.Value
+
+type config = {
+  nodes : int;
+  bunches : int;
+  objects_per_bunch : int;
+  out_degree : int;
+  cross_bunch_prob : float;
+  ops : int;
+  write_prob : float;
+  relink_prob : float;
+  root_churn_prob : float;
+  seed : int;
+  mode : Bmx_dsm.Protocol.mode;
+  update_policy : Bmx_dsm.Protocol.update_policy;
+}
+
+let default =
+  {
+    nodes = 4;
+    bunches = 4;
+    objects_per_bunch = 64;
+    out_degree = 2;
+    cross_bunch_prob = 0.2;
+    ops = 2000;
+    write_prob = 0.4;
+    relink_prob = 0.3;
+    root_churn_prob = 0.02;
+    seed = 7;
+    mode = Bmx_dsm.Protocol.Distributed;
+    update_policy = Bmx_dsm.Protocol.Lazy;
+  }
+
+type t = {
+  cfg : config;
+  cluster : Cluster.t;
+  objects : Addr.t array;
+  (* Per node: the address under which the local mutator knows object i. *)
+  handles : Addr.t array Ids.Node_tbl.t;
+  rng : Rng.t;
+  mutable rooted : (Ids.Node.t * int) list; (* (node, object index) *)
+}
+
+let cluster t = t.cluster
+let objects t = t.objects
+let config t = t.cfg
+
+let handle t ~node i =
+  match Ids.Node_tbl.find_opt t.handles node with
+  | Some arr -> arr.(i)
+  | None -> t.objects.(i)
+
+let set_handle t ~node i addr =
+  match Ids.Node_tbl.find_opt t.handles node with
+  | Some arr -> arr.(i) <- addr
+  | None -> ()
+
+let live_roots t = List.length t.rooted
+
+let setup cfg =
+  let c =
+    Cluster.create ~nodes:cfg.nodes ~mode:cfg.mode
+      ~update_policy:cfg.update_policy ~seed:cfg.seed ()
+  in
+  let rng = Rng.make (cfg.seed * 31) in
+  let nodes = Cluster.nodes c in
+  let node_arr = Array.of_list nodes in
+  let bunches =
+    List.init cfg.bunches (fun i ->
+        Cluster.new_bunch c ~home:node_arr.(i mod Array.length node_arr))
+  in
+  (* Each bunch's population is created at its home node; edges through
+     the barrier. *)
+  let objects =
+    Graphgen.random_graph c ~rng ~node:node_arr.(0) ~bunches
+      ~objects:(cfg.bunches * cfg.objects_per_bunch)
+      ~out_degree:cfg.out_degree ~cross_bunch_prob:cfg.cross_bunch_prob
+  in
+  let t =
+    {
+      cfg;
+      cluster = c;
+      objects;
+      handles = Ids.Node_tbl.create cfg.nodes;
+      rng;
+      rooted = [];
+    }
+  in
+  List.iter
+    (fun n -> Ids.Node_tbl.add t.handles n (Array.copy objects))
+    nodes;
+  (* Root a quarter of the population, spread over the nodes, and give
+     every node a replicated working set. *)
+  Array.iteri
+    (fun i addr ->
+      if i mod 4 = 0 then begin
+        let node = node_arr.(i mod Array.length node_arr) in
+        let a = Cluster.acquire_read c ~node addr in
+        Cluster.release c ~node a;
+        set_handle t ~node i a;
+        Cluster.add_root c ~node a;
+        t.rooted <- (node, i) :: t.rooted
+      end)
+    objects;
+  ignore (Cluster.drain c);
+  t
+
+let random_node t =
+  let nodes = Array.of_list (Cluster.nodes t.cluster) in
+  nodes.(Rng.int t.rng (Array.length nodes))
+
+(* A mutator can only name objects it can reach from a root: pointers come
+   from roots or from fields of reachable objects.  The handle table is a
+   testing convenience and must not resurrect unreachable objects. *)
+let reachable_uid t uid =
+  Ids.Uid_set.mem uid (Bmx.Audit.union_reachable t.cluster)
+
+let uid_of_handle t addr = Bmx_dsm.Protocol.uid_of_addr (Cluster.proto t.cluster) addr
+
+let one_op t =
+  let c = t.cluster in
+  let i = Rng.int t.rng (Array.length t.objects) in
+  let node = random_node t in
+  let addr = handle t ~node i in
+  let legal =
+    match uid_of_handle t addr with
+    | Some uid -> reachable_uid t uid
+    | None -> false
+  in
+  if not legal then () else
+  if Rng.float t.rng 1.0 < t.cfg.root_churn_prob && t.rooted <> [] then begin
+    (* Root churn: drop one root, add another — this is what creates
+       garbage for the collector to find. *)
+    match t.rooted with
+    | (rn, ri) :: rest ->
+        Cluster.remove_root c ~node:rn (handle t ~node:rn ri);
+        t.rooted <- rest;
+        let a = Cluster.acquire_read c ~node addr in
+        Cluster.release c ~node a;
+        set_handle t ~node i a;
+        Cluster.add_root c ~node a;
+        t.rooted <- t.rooted @ [ (node, i) ]
+    | [] -> ()
+  end
+  else if Rng.float t.rng 1.0 < t.cfg.write_prob then begin
+    let a = Cluster.acquire_write c ~node addr in
+    set_handle t ~node i a;
+    if Rng.float t.rng 1.0 < t.cfg.relink_prob && t.cfg.out_degree > 0 then begin
+      let j = Rng.int t.rng (Array.length t.objects) in
+      let field = Rng.int t.rng t.cfg.out_degree in
+      let target = handle t ~node j in
+      let alive =
+        match uid_of_handle t target with
+        | Some uid -> reachable_uid t uid
+        | None -> false
+      in
+      if alive then Cluster.write c ~node a field (Value.Ref target)
+      else Cluster.write c ~node a field Value.nil
+    end
+    else
+      Cluster.write c ~node a t.cfg.out_degree (Value.Data (Rng.int t.rng 1000));
+    Cluster.release c ~node a
+  end
+  else begin
+    let a = Cluster.acquire_read c ~node addr in
+    set_handle t ~node i a;
+    ignore (Cluster.read c ~node a t.cfg.out_degree);
+    Cluster.release c ~node a
+  end
+
+let run_ops t ?ops () =
+  let n = match ops with Some n -> n | None -> t.cfg.ops in
+  for _ = 1 to n do
+    (* An op may target an object that has legitimately died (its roots
+       were all dropped and a collection ran): real mutators cannot name
+       such objects, but the driver keeps raw handles.  Skip those ops. *)
+    try one_op t with Failure _ -> ()
+  done

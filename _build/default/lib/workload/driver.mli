@@ -1,0 +1,43 @@
+(** Mixed read/write/ownership-migration workloads over a cluster.
+
+    The driver models the applications of §1: several nodes repeatedly
+    acquire tokens, read and update shared objects, relink references
+    (through the write barrier) and occasionally drop or add roots.  It is
+    the engine behind experiments E5, E6 and E8. *)
+
+type config = {
+  nodes : int;
+  bunches : int;
+  objects_per_bunch : int;
+  out_degree : int;  (** reference fields per object *)
+  cross_bunch_prob : float;
+  ops : int;  (** mutator operations per run *)
+  write_prob : float;  (** probability an op is an update (else a read) *)
+  relink_prob : float;  (** probability an update rewrites a pointer field *)
+  root_churn_prob : float;  (** probability an op drops / re-adds a root *)
+  seed : int;
+  mode : Bmx_dsm.Protocol.mode;
+  update_policy : Bmx_dsm.Protocol.update_policy;
+}
+
+val default : config
+
+type t
+
+val setup : config -> t
+(** Build the cluster and its object population; replicate a working set
+    on every node; drain. *)
+
+val cluster : t -> Bmx.Cluster.t
+val objects : t -> Bmx_util.Addr.t array
+val config : t -> config
+
+val run_ops : t -> ?ops:int -> unit -> unit
+(** Execute mutator operations (default: [config.ops]). *)
+
+val handle : t -> node:Bmx_util.Ids.Node.t -> int -> Bmx_util.Addr.t
+(** The address under which the node's mutator currently knows object
+    [i] — its local handle, updated on every acquire. *)
+
+val live_roots : t -> int
+(** Roots currently held across all nodes. *)

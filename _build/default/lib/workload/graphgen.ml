@@ -1,0 +1,88 @@
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Value = Bmx_memory.Value
+
+let linked_list c ~node ~bunch ~len =
+  if len <= 0 then invalid_arg "Graphgen.linked_list: len must be positive";
+  let rec build i next =
+    if i = 0 then next
+    else
+      let cell = Cluster.alloc c ~node ~bunch [| Value.Ref next; Value.Data i |] in
+      build (i - 1) cell
+  in
+  let tail = Cluster.alloc c ~node ~bunch [| Value.nil; Value.Data len |] in
+  if len = 1 then tail else build (len - 1) tail
+
+let rec binary_tree c ~node ~bunch ~depth =
+  if depth <= 0 then
+    Cluster.alloc c ~node ~bunch [| Value.nil; Value.nil; Value.Data 0 |]
+  else
+    let l = binary_tree c ~node ~bunch ~depth:(depth - 1) in
+    let r = binary_tree c ~node ~bunch ~depth:(depth - 1) in
+    Cluster.alloc c ~node ~bunch [| Value.Ref l; Value.Ref r; Value.Data depth |]
+
+let ring c ~node ~bunch ~len =
+  if len <= 0 then invalid_arg "Graphgen.ring: len must be positive";
+  let first = Cluster.alloc c ~node ~bunch [| Value.nil; Value.Data 0 |] in
+  let rec build i prev =
+    if i = len then prev
+    else
+      let cell = Cluster.alloc c ~node ~bunch [| Value.Ref prev; Value.Data i |] in
+      build (i + 1) cell
+  in
+  let last = build 1 first in
+  let first = Cluster.acquire_write c ~node first in
+  Cluster.write c ~node first 0 (Value.Ref last);
+  Cluster.release c ~node first;
+  first
+
+let cross_bunch_ring c ~node ~bunches ~len =
+  (match bunches with [] -> invalid_arg "Graphgen.cross_bunch_ring: no bunches" | _ -> ());
+  let nb = List.length bunches in
+  let bunch_of i = List.nth bunches (i mod nb) in
+  let first = Cluster.alloc c ~node ~bunch:(bunch_of 0) [| Value.nil; Value.Data 0 |] in
+  let rec build i prev =
+    if i = len then prev
+    else
+      let cell =
+        Cluster.alloc c ~node ~bunch:(bunch_of i) [| Value.Ref prev; Value.Data i |]
+      in
+      build (i + 1) cell
+  in
+  let last = build 1 first in
+  let first = Cluster.acquire_write c ~node first in
+  Cluster.write c ~node first 0 (Value.Ref last);
+  Cluster.release c ~node first;
+  first
+
+let random_graph c ~rng ~node ~bunches ~objects ~out_degree ~cross_bunch_prob =
+  let bunch_arr = Array.of_list bunches in
+  let nb = Array.length bunch_arr in
+  if nb = 0 then invalid_arg "Graphgen.random_graph: no bunches";
+  let objs =
+    Array.init objects (fun i ->
+        let bunch = bunch_arr.(i mod nb) in
+        Cluster.alloc c ~node ~bunch
+          (Array.make (out_degree + 1) (Value.Data i)))
+  in
+  let bunch_of = Array.init objects (fun i -> bunch_arr.(i mod nb)) in
+  Array.iteri
+    (fun i src ->
+      let src = Cluster.acquire_write c ~node src in
+      for f = 0 to out_degree - 1 do
+        (* Prefer a same-bunch target unless the coin says cross-bunch. *)
+        let want_cross = Rng.float rng 1.0 < cross_bunch_prob in
+        let pick () = Rng.int rng objects in
+        let rec target tries =
+          let j = pick () in
+          if tries = 0 then j
+          else if want_cross <> Ids.Bunch.equal bunch_of.(j) bunch_of.(i) then j
+          else target (tries - 1)
+        in
+        let j = target 8 in
+        Cluster.write c ~node src f (Value.Ref objs.(j))
+      done;
+      Cluster.release c ~node src;
+      objs.(i) <- src)
+    objs;
+  objs

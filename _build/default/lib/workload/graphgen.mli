@@ -1,0 +1,58 @@
+(** Synthetic object-graph generators.
+
+    The paper motivates BMX with applications whose object graphs are
+    "very intricate" — financial or design databases, cooperative work,
+    WWW-like exploratory tools (§1).  These generators build such shapes
+    through the public mutator API, so every cross-bunch edge goes through
+    the write barrier and gets its SSP. *)
+
+val linked_list :
+  Bmx.Cluster.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  len:int ->
+  Bmx_util.Addr.t
+(** A singly linked list of [len] cells (field 0 = next, field 1 = data);
+    returns the head.  The caller decides about roots. *)
+
+val binary_tree :
+  Bmx.Cluster.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  depth:int ->
+  Bmx_util.Addr.t
+(** A complete binary tree of the given depth (fields: left, right, data);
+    returns the root object. *)
+
+val ring :
+  Bmx.Cluster.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  len:int ->
+  Bmx_util.Addr.t
+(** A cycle of [len] cells — garbage a reference-counting collector can
+    never reclaim. *)
+
+val cross_bunch_ring :
+  Bmx.Cluster.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunches:Bmx_util.Ids.Bunch.t list ->
+  len:int ->
+  Bmx_util.Addr.t
+(** A cycle whose consecutive cells round-robin over [bunches]: an
+    inter-bunch cycle, the GGC's reason to exist (§7).  All bunches must
+    be mapped at [node]. *)
+
+val random_graph :
+  Bmx.Cluster.t ->
+  rng:Bmx_util.Rng.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunches:Bmx_util.Ids.Bunch.t list ->
+  objects:int ->
+  out_degree:int ->
+  cross_bunch_prob:float ->
+  Bmx_util.Addr.t array
+(** [objects] objects spread round-robin over [bunches], each with
+    [out_degree] reference fields; each edge targets a uniform random
+    object, preferring the same bunch except with [cross_bunch_prob].
+    Returns all objects (callers typically root a subset). *)

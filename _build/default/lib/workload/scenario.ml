@@ -1,0 +1,157 @@
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Value = Bmx_memory.Value
+
+type fig1 = {
+  f1_cluster : Cluster.t;
+  f1_n1 : Ids.Node.t;
+  f1_n2 : Ids.Node.t;
+  f1_n3 : Ids.Node.t;
+  f1_b1 : Ids.Bunch.t;
+  f1_b2 : Ids.Bunch.t;
+  f1_o1 : Addr.t;
+  f1_o2 : Addr.t;
+  f1_o3 : Addr.t;
+  f1_o5 : Addr.t;
+}
+
+let figure1 ?mode () =
+  (* Node 0 stays idle so that node ids match the paper's N1..N3. *)
+  let c = Cluster.create ~nodes:4 ?mode () in
+  let n1 = 1 and n2 = 2 and n3 = 3 in
+  let b1 = Cluster.new_bunch c ~home:n1 in
+  let b2 = Cluster.new_bunch c ~home:n3 in
+  (* o5 lives in B2, which is mapped only on N3. *)
+  let o5 = Cluster.alloc c ~node:n3 ~bunch:b2 [| Value.Data 5 |] in
+  Cluster.add_root c ~node:n3 o5;
+  (* o3 is created at N2 with the inter-bunch reference o3 -> o5; B2 is
+     not mapped at N2, so the barrier sends a scion-message to N3. *)
+  let o3 = Cluster.alloc c ~node:n2 ~bunch:b1 [| Value.Ref o5; Value.nil |] in
+  (* o2 <-> o3 (intra-bunch, both directions: Figure 2 updates pointers
+     inside both o1 and o3 when o2 moves), created at N2. *)
+  let o2 = Cluster.alloc c ~node:n2 ~bunch:b1 [| Value.Ref o3 |] in
+  Cluster.write c ~node:n2 o3 1 (Value.Ref o2);
+  (* o1 -> o2, created at N1. *)
+  let o1 = Cluster.alloc c ~node:n1 ~bunch:b1 [| Value.Ref o2 |] in
+  Cluster.add_root c ~node:n1 o1;
+  (* o3's write token moves from N2 to N1: invariant 3 creates the
+     intra-bunch SSP (stub at N1, scion at N2). *)
+  let o3 = Cluster.acquire_write c ~node:n1 o3 in
+  Cluster.release c ~node:n1 o3;
+  (* Both nodes end up caching o1, o2, o3 (the Figure 2 zoom). *)
+  let o2 = Cluster.acquire_read c ~node:n1 o2 in
+  Cluster.release c ~node:n1 o2;
+  (* N2 caches o1 too; its o3 copy stays from before the transfer, now
+     inconsistent ("i" in Figure 1). *)
+  let o1' = Cluster.acquire_read c ~node:n2 o1 in
+  Cluster.release c ~node:n2 o1';
+  (* N2's mutator works with o1 (Figure 2 keeps o1 live on both nodes). *)
+  Cluster.add_root c ~node:n2 o1';
+  ignore (Cluster.drain c);
+  {
+    f1_cluster = c;
+    f1_n1 = n1;
+    f1_n2 = n2;
+    f1_n3 = n3;
+    f1_b1 = b1;
+    f1_b2 = b2;
+    f1_o1 = o1;
+    f1_o2 = o2;
+    f1_o3 = o3;
+    f1_o5 = o5;
+  }
+
+type fig3_case = Case_a | Case_b | Case_c | Case_d
+
+type fig3 = {
+  f3_cluster : Cluster.t;
+  f3_n1 : Ids.Node.t;
+  f3_n2 : Ids.Node.t;
+  f3_bunch : Ids.Bunch.t;
+  f3_o1 : Addr.t;
+  f3_o2 : Addr.t;
+  f3_o1_uid : Ids.Uid.t;
+  f3_o2_uid : Ids.Uid.t;
+}
+
+let figure3 ~case =
+  let c = Cluster.create ~nodes:3 () in
+  let n1 = 1 and n2 = 2 in
+  let b = Cluster.new_bunch c ~home:n1 in
+  (* In cases a–c, N1 owns o2; in case d, N2 does. *)
+  let o2_creator = match case with Case_d -> n2 | Case_a | Case_b | Case_c -> n1 in
+  let o2 = Cluster.alloc c ~node:o2_creator ~bunch:b [| Value.Data 2 |] in
+  let o1 = Cluster.alloc c ~node:n1 ~bunch:b [| Value.Ref o2 |] in
+  Cluster.add_root c ~node:n1 o1;
+  (* Replicate both objects on the other node. *)
+  let read_both node =
+    let o1' = Cluster.acquire_read c ~node o1 in
+    Cluster.release c ~node o1';
+    let o2' = Cluster.acquire_read c ~node o2 in
+    Cluster.release c ~node o2'
+  in
+  read_both n2;
+  (match case with Case_d -> read_both n1 | Case_a | Case_b | Case_c -> ());
+  Cluster.add_root c ~node:n2 o1;
+  let o1_uid = Cluster.uid_at c ~node:n1 o1 in
+  let o2_uid = Cluster.uid_at c ~node:n1 o2 in
+  (* Run the BGC the case calls for — crucially WITHOUT draining the
+     background messages, so N2 has not yet heard about new locations;
+     only the §5 invariants on the acquire path may inform it. *)
+  (match case with
+  | Case_a -> ()
+  | Case_b | Case_c -> ignore (Cluster.bgc c ~node:n1 ~bunch:b)
+  | Case_d -> ignore (Cluster.bgc c ~node:n2 ~bunch:b));
+  {
+    f3_cluster = c;
+    f3_n1 = n1;
+    f3_n2 = n2;
+    f3_bunch = b;
+    f3_o1 = o1;
+    f3_o2 = o2;
+    f3_o1_uid = o1_uid;
+    f3_o2_uid = o2_uid;
+  }
+
+type fig4 = {
+  f4_cluster : Cluster.t;
+  f4_n1 : Ids.Node.t;
+  f4_n2 : Ids.Node.t;
+  f4_n3 : Ids.Node.t;
+  f4_bunch : Ids.Bunch.t;
+  f4_target_bunch : Ids.Bunch.t;
+  f4_o1 : Addr.t;
+  f4_o1_uid : Ids.Uid.t;
+  f4_target_uid : Ids.Uid.t;
+}
+
+let figure4 () =
+  let c = Cluster.create ~nodes:4 () in
+  let n1 = 1 and n2 = 2 and n3 = 3 in
+  let b = Cluster.new_bunch c ~home:n3 in
+  let tb = Cluster.new_bunch c ~home:n3 in
+  (* N3 creates o1 with an inter-bunch reference (so N3 holds inter-bunch
+     stubs for o1 and the ownership transfer will need an intra SSP). *)
+  let target = Cluster.alloc c ~node:n3 ~bunch:tb [| Value.Data 9 |] in
+  let o1 = Cluster.alloc c ~node:n3 ~bunch:b [| Value.Ref target |] in
+  let target_uid = Cluster.uid_at c ~node:n3 target in
+  let o1_uid = Cluster.uid_at c ~node:n3 o1 in
+  (* Ownership moves to N2: intra SSP stub@N2 -> scion@N3. *)
+  let o1_at_n2 = Cluster.acquire_write c ~node:n2 o1 in
+  Cluster.release c ~node:n2 o1_at_n2;
+  (* N1 acquires a read copy; the only mutator root lives there. *)
+  let o1_at_n1 = Cluster.acquire_read c ~node:n1 o1_at_n2 in
+  Cluster.release c ~node:n1 o1_at_n1;
+  Cluster.add_root c ~node:n1 o1_at_n1;
+  ignore (Cluster.drain c);
+  {
+    f4_cluster = c;
+    f4_n1 = n1;
+    f4_n2 = n2;
+    f4_n3 = n3;
+    f4_bunch = b;
+    f4_target_bunch = tb;
+    f4_o1 = o1_at_n1;
+    f4_o1_uid = o1_uid;
+    f4_target_uid = target_uid;
+  }

@@ -1,0 +1,67 @@
+(** The paper's figures as constructible cluster states.
+
+    Each function builds, through the public mutator API only, the exact
+    situation one of the paper's figures depicts, and returns the cluster
+    plus the named objects so tests and the experiment harness can assert
+    and print the tables the figure shows. *)
+
+type fig1 = {
+  f1_cluster : Bmx.Cluster.t;
+  f1_n1 : Bmx_util.Ids.Node.t;
+  f1_n2 : Bmx_util.Ids.Node.t;
+  f1_n3 : Bmx_util.Ids.Node.t;
+  f1_b1 : Bmx_util.Ids.Bunch.t;
+  f1_b2 : Bmx_util.Ids.Bunch.t;
+  f1_o1 : Bmx_util.Addr.t;  (** reachable from the local root at N1 *)
+  f1_o2 : Bmx_util.Addr.t;  (** o1 -> o2 -> o3, all in B1 *)
+  f1_o3 : Bmx_util.Addr.t;  (** owned by N1 after transfer from N2 *)
+  f1_o5 : Bmx_util.Addr.t;  (** in B2 on N3; target of the inter-bunch ref *)
+}
+
+val figure1 : ?mode:Bmx_dsm.Protocol.mode -> unit -> fig1
+(** Figure 1: bunch B1 mapped on N1 and N2, B2 only on N3; the
+    inter-bunch reference o3→o5 was created at N2 (stub at N2, scion at
+    N3 via a scion-message); o3's write token then moved to N1, creating
+    the intra-bunch SSP stub\@N1 → scion\@N2.  The local root at N1
+    reaches o1 → o2 → o3.  Background messages are drained. *)
+
+type fig3_case = Case_a | Case_b | Case_c | Case_d
+
+type fig3 = {
+  f3_cluster : Bmx.Cluster.t;
+  f3_n1 : Bmx_util.Ids.Node.t;
+  f3_n2 : Bmx_util.Ids.Node.t;
+  f3_bunch : Bmx_util.Ids.Bunch.t;
+  f3_o1 : Bmx_util.Addr.t;  (** as known at N2 before the acquire *)
+  f3_o2 : Bmx_util.Addr.t;  (** as known at N2 before the acquire *)
+  f3_o1_uid : Bmx_util.Ids.Uid.t;
+  f3_o2_uid : Bmx_util.Ids.Uid.t;
+}
+
+val figure3 : case:fig3_case -> fig3
+(** Figure 3: o1 → o2, both cached on N1 and N2; N1 owns o1, and o2's
+    owner depends on the case.  [Case_a]: no BGC anywhere.  [Case_b]: BGC
+    at N1 copied o1 and o2 (N1 owns both).  [Case_c]: BGC at N1 copied o1
+    only (o2 is owned — and has been moved — at N2 as well).  [Case_d]:
+    BGC at N2 copied o2 (owned there); N1 untouched.  The returned state
+    is ready for the write-token acquire of o1 by N2 that §5 walks
+    through. *)
+
+type fig4 = {
+  f4_cluster : Bmx.Cluster.t;
+  f4_n1 : Bmx_util.Ids.Node.t;  (** holds the only mutator root to o1 *)
+  f4_n2 : Bmx_util.Ids.Node.t;  (** current owner of o1 *)
+  f4_n3 : Bmx_util.Ids.Node.t;  (** old owner, holds the inter-bunch stub *)
+  f4_bunch : Bmx_util.Ids.Bunch.t;
+  f4_target_bunch : Bmx_util.Ids.Bunch.t;
+  f4_o1 : Bmx_util.Addr.t;
+  f4_o1_uid : Bmx_util.Ids.Uid.t;
+  f4_target_uid : Bmx_util.Ids.Uid.t;
+      (** the object in the other bunch that o1's inter-bunch reference,
+          created at N3, keeps alive *)
+}
+
+val figure4 : unit -> fig4
+(** Figure 4 / §6.2: o1 cached on N1, N2 and N3; owner N2; intra-bunch SSP
+    stub\@N2 → scion\@N3 (N3 created an inter-bunch reference from o1 when
+    it owned it); the single mutator root is at N1. *)

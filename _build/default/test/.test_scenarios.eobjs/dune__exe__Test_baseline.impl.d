@@ -1,0 +1,1 @@
+test/test_baseline.ml: Addr Alcotest Bmx Bmx_baseline Bmx_dsm Bmx_gc Bmx_memory Bmx_util Bmx_workload List Result Rng Stats

@@ -1,0 +1,1 @@
+test/test_cleaner.ml: Alcotest Bmx Bmx_dsm Bmx_gc Bmx_memory Bmx_netsim Bmx_util Ids List Result Rng Stats

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Addr Alcotest Bmx Bmx_dsm Bmx_gc Bmx_memory Bmx_netsim Bmx_util Bmx_workload List Printf Result Stats Tracelog

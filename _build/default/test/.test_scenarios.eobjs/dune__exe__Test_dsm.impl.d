@@ -1,0 +1,1 @@
+test/test_dsm.ml: Addr Alcotest Bmx Bmx_dsm Bmx_gc Bmx_memory Bmx_netsim Bmx_util Ids List Option Result Stats

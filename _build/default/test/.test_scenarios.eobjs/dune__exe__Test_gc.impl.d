@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Bmx Bmx_dsm Bmx_gc Bmx_memory Bmx_util Bmx_workload List Result Stats

@@ -1,0 +1,1 @@
+test/test_ggc.ml: Alcotest Bmx Bmx_gc Bmx_memory Bmx_workload List Result

@@ -1,0 +1,1 @@
+test/test_integration.ml: Addr Alcotest Bmx Bmx_dsm Bmx_gc Bmx_memory Bmx_netsim Bmx_rvm Bmx_util Bmx_workload Ids List Result Rng Stats

@@ -1,0 +1,1 @@
+test/test_memory.ml: Addr Alcotest Array Bitmap Bmx_memory Bmx_util List Option

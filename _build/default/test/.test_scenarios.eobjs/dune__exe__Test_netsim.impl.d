@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bmx_netsim Bmx_util List Rng Stats

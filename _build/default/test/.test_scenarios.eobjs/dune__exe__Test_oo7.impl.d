@@ -1,0 +1,1 @@
+test/test_oo7.ml: Alcotest Bmx Bmx_util Bmx_workload Result

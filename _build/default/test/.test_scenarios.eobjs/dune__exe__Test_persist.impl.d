@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Bmx Bmx_memory Bmx_rvm Bmx_workload Result

@@ -1,0 +1,1 @@
+test/test_rvm.ml: Alcotest Bmx_rvm Bytes Fun Option

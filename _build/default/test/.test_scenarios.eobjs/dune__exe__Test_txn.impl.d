@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Bmx Bmx_baseline Bmx_dsm Bmx_gc Bmx_memory Bmx_rvm Bmx_txn Bmx_util List QCheck QCheck_alcotest Random Result Stats

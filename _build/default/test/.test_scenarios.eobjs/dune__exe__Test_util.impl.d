@@ -1,0 +1,1 @@
+test/test_util.ml: Addr Alcotest Array Bitmap Bmx_util Fun Ids List Rng Stats String Table Tracelog

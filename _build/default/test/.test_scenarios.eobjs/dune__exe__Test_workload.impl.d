@@ -1,0 +1,1 @@
+test/test_workload.ml: Addr Alcotest Array Bmx Bmx_dsm Bmx_gc Bmx_memory Bmx_netsim Bmx_util Bmx_workload Ids List Result Rng

@@ -1,0 +1,201 @@
+(* The comparator collectors: they must exhibit exactly the pathologies
+   the paper's design avoids. *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Value = Bmx_memory.Value
+module Graphgen = Bmx_workload.Graphgen
+module Locking_gc = Bmx_baseline.Locking_gc
+module Refcount = Bmx_baseline.Refcount
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let replicated_heap () =
+  let c = Cluster.create ~nodes:3 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let head = Graphgen.binary_tree c ~node:0 ~bunch:b ~depth:3 in
+  Cluster.add_root c ~node:0 head;
+  (* Give N1 and N2 read replicas of the root (working set). *)
+  List.iter
+    (fun n ->
+      let h = Cluster.acquire_read c ~node:n head in
+      Cluster.release c ~node:n h)
+    [ 1; 2 ];
+  (c, b, head)
+
+let test_locking_gc_acquires_tokens () =
+  let c, b, _ = replicated_heap () in
+  let r = Locking_gc.run (Cluster.gc c) ~node:0 ~bunch:b in
+  check_bool "collector token traffic" true
+    (Stats.get (Cluster.stats c) "dsm.gc.acquire_write" > 0);
+  check_bool "still collects correctly" true (r.Bmx_gc.Collect.r_live > 0);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_locking_gc_invalidates_readers () =
+  let c, b, head = replicated_heap () in
+  let _ = Locking_gc.run (Cluster.gc c) ~node:0 ~bunch:b in
+  check_bool "reader copies invalidated by the collector" true
+    (Stats.get (Cluster.stats c) "dsm.gc.invalidations" > 0);
+  (* The mutator at N1 must re-fetch: its working set was destroyed. *)
+  let proto = Cluster.proto c in
+  let uid = Cluster.uid_at c ~node:0 head in
+  (match Bmx_dsm.Directory.find (Bmx_dsm.Protocol.directory proto 1) uid with
+  | Some rec1 ->
+      check_bool "N1's copy invalid" true
+        (rec1.Bmx_dsm.Directory.state = Bmx_dsm.Directory.Invalid)
+  | None -> ())
+
+let test_locking_gc_copies_everything () =
+  (* Unlike the BGC, the locking collector moves every live object,
+     having first stolen ownership of all of them. *)
+  let c, b, _ = replicated_heap () in
+  let r1 = Locking_gc.run (Cluster.gc c) ~node:1 ~bunch:b in
+  check_int "all live objects copied at the collecting node"
+    r1.Bmx_gc.Collect.r_live r1.Bmx_gc.Collect.r_copied
+
+let test_bgc_vs_locking_interference () =
+  (* The headline comparison (E5): same heap, same collection work —
+     the paper's collector generates zero collector-attributed DSM
+     traffic, the baseline does not. *)
+  let run collector =
+    let c, b, _ = replicated_heap () in
+    (match collector with
+    | `Bgc -> ignore (Cluster.bgc c ~node:0 ~bunch:b)
+    | `Locking -> ignore (Locking_gc.run (Cluster.gc c) ~node:0 ~bunch:b));
+    Stats.get (Cluster.stats c) "dsm.gc.acquire_write"
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Stats.get (Cluster.stats c) "dsm.gc.invalidations"
+  in
+  check_int "BGC: zero interference" 0 (run `Bgc);
+  check_bool "locking baseline: interference" true (run `Locking > 0)
+
+let test_msweep_reclaims_without_moving () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let live = Graphgen.linked_list c ~node:0 ~bunch:b ~len:5 in
+  let _dead = Graphgen.linked_list c ~node:0 ~bunch:b ~len:4 in
+  Cluster.add_root c ~node:0 live;
+  let r = Bmx_baseline.Msweep_gc.run (Cluster.gc c) ~node:0 ~bunch:b in
+  check_int "dead swept" 4 r.Bmx_gc.Collect.r_reclaimed;
+  check_int "nothing moved" 0 r.Bmx_gc.Collect.r_copied;
+  (* The live list is still at its original addresses. *)
+  check_bool "unmoved" true
+    (Bmx_memory.Store.current_addr
+       (Bmx_dsm.Protocol.store (Cluster.proto c) 0)
+       live
+    = live);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_msweep_acquires_tokens () =
+  let c, b, _ = replicated_heap () in
+  let _ = Bmx_baseline.Msweep_gc.run (Cluster.gc c) ~node:1 ~bunch:b in
+  check_bool "strongly consistent marking costs tokens" true
+    (Stats.get (Cluster.stats c) "dsm.gc.acquire_read" > 0)
+
+let test_msweep_never_frees_segments () =
+  (* Repeated churn + mark&sweep keeps consuming address space; the
+     copying collector with from-space reuse does not (the §1 claim). *)
+  let footprint collector =
+    let c = Cluster.create ~nodes:1 () in
+    let b = Cluster.new_bunch c ~home:0 in
+    let anchor = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 0 |] in
+    Cluster.add_root c ~node:0 anchor;
+    for _ = 1 to 6 do
+      let _junk = Graphgen.linked_list c ~node:0 ~bunch:b ~len:3000 in
+      (match collector with
+      | `Copying ->
+          ignore (Cluster.bgc c ~node:0 ~bunch:b);
+          ignore (Cluster.reclaim_from_space c ~node:0 ~bunch:b)
+      | `Msweep -> ignore (Bmx_baseline.Msweep_gc.run (Cluster.gc c) ~node:0 ~bunch:b));
+      ignore (Cluster.drain c)
+    done;
+    (* Footprint = bytes of segments still holding data (not Free). *)
+    List.fold_left
+      (fun acc seg ->
+        if seg.Bmx_memory.Segment.role = Bmx_memory.Segment.Free then acc
+        else acc + Addr.Range.size seg.Bmx_memory.Segment.range)
+      0
+      (Bmx_memory.Store.segments_of_bunch
+         (Bmx_dsm.Protocol.store (Cluster.proto c) 0)
+         b)
+  in
+  check_bool "copying keeps the footprint smaller" true
+    (footprint `Copying < footprint `Msweep)
+
+let test_refcount_acyclic_ok () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let live = Graphgen.linked_list c ~node:0 ~bunch:b ~len:5 in
+  let _dead = Graphgen.linked_list c ~node:0 ~bunch:b ~len:4 in
+  Cluster.add_root c ~node:0 live;
+  let o = Refcount.analyze c () in
+  check_int "acyclic garbage reclaimed" 4 o.Refcount.rc_reclaimed;
+  check_int "no premature frees" 0 o.Refcount.rc_premature;
+  check_int "no leaks" 0 o.Refcount.rc_leaked;
+  check_bool "messages were needed" true (o.Refcount.rc_messages > 0)
+
+let test_refcount_cannot_collect_cycles () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let _ring = Graphgen.ring c ~node:0 ~bunch:b ~len:6 in
+  let o = Refcount.analyze c () in
+  check_int "cycle uncollectable by counting" 6 o.Refcount.rc_cycle_garbage;
+  check_int "nothing reclaimed" 0 o.Refcount.rc_reclaimed;
+  (* The paper's collector reclaims the same cycle in one local BGC. *)
+  let r = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "BGC reclaims the cycle" 6 r.Bmx_gc.Collect.r_reclaimed
+
+let test_refcount_loss_leaks () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let _dead = Graphgen.linked_list c ~node:0 ~bunch:b ~len:50 in
+  let rng = Rng.make 5 in
+  let o = Refcount.analyze c ~loss_prob:0.3 ~rng () in
+  check_bool "lost decrements leak garbage" true (o.Refcount.rc_leaked > 0);
+  check_int "perfect-channel cycles unaffected" 0 o.Refcount.rc_cycle_garbage
+
+let test_refcount_duplication_frees_live_objects () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  (* A live chain hanging off a dead head: duplicated decrements from the
+     dead head's teardown can free the live tail. *)
+  let live = Graphgen.linked_list c ~node:0 ~bunch:b ~len:10 in
+  Cluster.add_root c ~node:0 live;
+  let _dead_head = Cluster.alloc c ~node:0 ~bunch:b [| Value.Ref live |] in
+  let rng = Rng.make 11 in
+  let o = Refcount.analyze c ~dup_prob:1.0 ~rng () in
+  check_bool "duplicated decrements free live objects" true
+    (o.Refcount.rc_premature > 0)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "locking collector",
+        [
+          Alcotest.test_case "acquires tokens" `Quick test_locking_gc_acquires_tokens;
+          Alcotest.test_case "invalidates readers" `Quick
+            test_locking_gc_invalidates_readers;
+          Alcotest.test_case "copies everything" `Quick test_locking_gc_copies_everything;
+          Alcotest.test_case "interference comparison (E5)" `Quick
+            test_bgc_vs_locking_interference;
+        ] );
+      ( "mark and sweep",
+        [
+          Alcotest.test_case "reclaims without moving" `Quick
+            test_msweep_reclaims_without_moving;
+          Alcotest.test_case "marking acquires tokens" `Quick test_msweep_acquires_tokens;
+          Alcotest.test_case "never frees segments (fragmentation)" `Quick
+            test_msweep_never_frees_segments;
+        ] );
+      ( "reference counting",
+        [
+          Alcotest.test_case "acyclic garbage ok" `Quick test_refcount_acyclic_ok;
+          Alcotest.test_case "cycles never reclaimed (E9)" `Quick
+            test_refcount_cannot_collect_cycles;
+          Alcotest.test_case "loss leaks (E10)" `Quick test_refcount_loss_leaks;
+          Alcotest.test_case "duplication frees live objects (E10)" `Quick
+            test_refcount_duplication_frees_live_objects;
+        ] );
+    ]

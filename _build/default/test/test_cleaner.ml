@@ -1,0 +1,173 @@
+(* The scion cleaner (§6): FIFO ordering, idempotence, loss tolerance. *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Net = Bmx_netsim.Net
+module Value = Bmx_memory.Value
+module Gc_state = Bmx_gc.Gc_state
+module Scion_cleaner = Bmx_gc.Scion_cleaner
+module Directory = Bmx_dsm.Directory
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* A two-node setup with a cross-node inter-bunch SSP: y(B1)@N0 -> x(B2)@N1,
+   stub at N0, scion at N1. *)
+let cross_node_ssp () =
+  let c = Cluster.create ~nodes:2 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:1 in
+  let x = Cluster.alloc c ~node:1 ~bunch:b2 [| Value.Data 1 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Ref x |] in
+  Cluster.add_root c ~node:0 y;
+  ignore (Cluster.drain c);
+  (c, b1, b2, x, y)
+
+let test_scion_survives_while_stub_lives () =
+  let c, b1, b2, _x, _y = cross_node_ssp () in
+  let _ = Cluster.bgc c ~node:0 ~bunch:b1 in
+  ignore (Cluster.drain c);
+  check_int "scion still there" 1
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:1 ~bunch:b2));
+  let r = Cluster.bgc c ~node:1 ~bunch:b2 in
+  check_int "target alive" 0 r.Bmx_gc.Collect.r_reclaimed
+
+let test_scion_removed_when_stub_gone () =
+  let c, b1, b2, _x, y = cross_node_ssp () in
+  Cluster.remove_root c ~node:0 y;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b1 in
+  ignore (Cluster.drain c);
+  check_int "scion removed at N1" 0
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:1 ~bunch:b2));
+  let r = Cluster.bgc c ~node:1 ~bunch:b2 in
+  check_int "target reclaimed" 1 r.Bmx_gc.Collect.r_reclaimed
+
+let test_stale_table_ignored () =
+  let c, _b1, b2, x, _y = cross_node_ssp () in
+  let gc = Cluster.gc c in
+  let x_uid = Cluster.uid_at c ~node:1 x in
+  (* Deliver a fabricated EMPTY table with a stale sequence number: the
+     cleaner must ignore it and keep the scion. *)
+  Gc_state.record_table_seq gc ~node:1 ~sender:0 ~bunch:2 ~seq:0;
+  ignore x_uid;
+  let b1 = 0 in
+  let empty =
+    {
+      Scion_cleaner.tm_sender = 0;
+      tm_bunch = b1;
+      tm_inter_stubs = [];
+      tm_intra_stubs = [];
+      tm_exiting = [];
+    }
+  in
+  (* First deliver with a high seq so the stream position advances. *)
+  let real_stubs = Gc_state.inter_stubs gc ~node:0 ~bunch:b1 in
+  let full = { empty with Scion_cleaner.tm_inter_stubs = real_stubs } in
+  Scion_cleaner.receive gc ~at:1 ~seq:10 full;
+  check_int "scion kept by fresh full table" 1
+    (List.length (Gc_state.inter_scions gc ~node:1 ~bunch:b2));
+  (* Now a stale empty table (seq 5 < 10): must be ignored. *)
+  Scion_cleaner.receive gc ~at:1 ~seq:5 empty;
+  check_int "stale table ignored" 1
+    (List.length (Gc_state.inter_scions gc ~node:1 ~bunch:b2));
+  check_bool "stale counted" true
+    (Stats.get (Cluster.stats c) "gc.cleaner.stale_ignored" > 0);
+  (* A duplicate of the fresh table (same seq) is also ignored: idempotent. *)
+  Scion_cleaner.receive gc ~at:1 ~seq:10 full;
+  check_int "duplicate ignored" 1
+    (List.length (Gc_state.inter_scions gc ~node:1 ~bunch:b2))
+
+let test_loss_tolerance_with_resend () =
+  (* Drop every stub-table message of the first BGC; the scion survives
+     (no unsafety); re-running the BGC resends and the cleaner converges. *)
+  let c, b1, b2, _x, y = cross_node_ssp () in
+  Cluster.remove_root c ~node:0 y;
+  let rng = Rng.make 3 in
+  Net.set_fault (Cluster.net c) ~kind:Net.Stub_table ~drop:1.0 ~dup:0.0 ~rng;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b1 in
+  ignore (Cluster.drain c);
+  check_int "scion survives the loss (conservative)" 1
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:1 ~bunch:b2));
+  (* Transport heals; the next BGC's tables repair everything. *)
+  Net.clear_faults (Cluster.net c);
+  let _ = Cluster.bgc c ~node:0 ~bunch:b1 in
+  ignore (Cluster.drain c);
+  check_int "scion removed after resend" 0
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:1 ~bunch:b2));
+  let r = Cluster.bgc c ~node:1 ~bunch:b2 in
+  check_int "garbage finally reclaimed" 1 r.Bmx_gc.Collect.r_reclaimed;
+  check_bool "safety throughout" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_duplication_tolerance () =
+  let c, b1, b2, _x, _y = cross_node_ssp () in
+  let rng = Rng.make 3 in
+  Net.set_fault (Cluster.net c) ~kind:Net.Stub_table ~drop:0.0 ~dup:1.0 ~rng;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b1 in
+  ignore (Cluster.drain c);
+  check_int "duplicated tables harmless" 1
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:1 ~bunch:b2));
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_entering_reconciliation () =
+  (* N1 caches a replica of x owned by N0.  When N1's BGC stops listing
+     the exiting ownerPtr, the cleaner at N0 drops the entering entry and
+     x can die. *)
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let x_uid = Cluster.uid_at c ~node:0 x in
+  let x1 = Cluster.acquire_read c ~node:1 x in
+  Cluster.release c ~node:1 x1;
+  Cluster.add_root c ~node:1 x1;
+  (* N1's BGC advertises the exiting ownerPtr; N0 keeps x alive. *)
+  let _ = Cluster.bgc c ~node:1 ~bunch:b in
+  ignore (Cluster.drain c);
+  check_bool "entering entry at N0" true
+    (Ids.Node_set.mem 1 (Directory.entering (Protocol.directory (Cluster.proto c) 0) x_uid));
+  let r0 = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "x alive at owner" 0 r0.Bmx_gc.Collect.r_reclaimed;
+  (* Drop N1's root; its BGC reclaims the replica and stops exiting. *)
+  Cluster.remove_root c ~node:1 x1;
+  let r1 = Cluster.bgc c ~node:1 ~bunch:b in
+  check_int "replica reclaimed at N1" 1 r1.Bmx_gc.Collect.r_reclaimed;
+  ignore (Cluster.drain c);
+  check_bool "entering entry gone at N0" false
+    (Ids.Node_set.mem 1 (Directory.entering (Protocol.directory (Cluster.proto c) 0) x_uid));
+  let r0' = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "x reclaimed at owner" 1 r0'.Bmx_gc.Collect.r_reclaimed
+
+let test_destinations () =
+  let c, b1, _b2, _x, _y = cross_node_ssp () in
+  let gc = Cluster.gc c in
+  let old_inter = Gc_state.inter_stubs gc ~node:0 ~bunch:b1 in
+  let dests =
+    Scion_cleaner.destinations gc ~node:0 ~bunch:b1 ~old_inter ~new_inter:old_inter
+      ~old_intra:[] ~new_intra:[] ~exiting:[]
+  in
+  check_bool "scion holder N1 is a destination" true (List.mem 1 dests);
+  check_bool "never includes self" false (List.mem 0 dests)
+
+let () =
+  Alcotest.run "scion_cleaner"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "scion survives while stub lives" `Quick
+            test_scion_survives_while_stub_lives;
+          Alcotest.test_case "scion removed when stub gone" `Quick
+            test_scion_removed_when_stub_gone;
+          Alcotest.test_case "entering ownerPtr reconciliation" `Quick
+            test_entering_reconciliation;
+          Alcotest.test_case "destinations" `Quick test_destinations;
+        ] );
+      ( "robustness (§6.1)",
+        [
+          Alcotest.test_case "stale and duplicate tables ignored" `Quick
+            test_stale_table_ignored;
+          Alcotest.test_case "loss tolerated, repaired by resend" `Quick
+            test_loss_tolerance_with_resend;
+          Alcotest.test_case "duplication harmless" `Quick test_duplication_tolerance;
+        ] );
+    ]

@@ -1,0 +1,371 @@
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Directory = Bmx_dsm.Directory
+module Store = Bmx_memory.Store
+module Value = Bmx_memory.Value
+module Net = Bmx_netsim.Net
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_opt_int = check (Alcotest.option Alcotest.int)
+
+let state c node addr =
+  let proto = Cluster.proto c in
+  let uid = Cluster.uid_at c ~node addr in
+  match Directory.find (Protocol.directory proto node) uid with
+  | Some r -> Some r.Directory.state
+  | None -> None
+
+let two_nodes () =
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  (c, b)
+
+(* -------------------------------------------------------------- acquire *)
+
+let test_alloc_owner_has_write_token () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  check_bool "creator owns" true (Cluster.owner_of c ~uid:(Cluster.uid_at c ~node:0 a) = Some 0);
+  check_bool "write state" true (state c 0 a = Some Directory.Write)
+
+let test_read_acquire_replicates () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 42 |] in
+  let a1 = Cluster.acquire_read c ~node:1 a in
+  check_bool "copy cached at N1" true
+    (Cluster.cached_at c ~node:1 ~uid:(Cluster.uid_at c ~node:0 a));
+  check_bool "reader state" true (state c 1 a1 = Some Directory.Read);
+  check_bool "owner downgraded to read" true (state c 0 a = Some Directory.Read);
+  check_bool "data visible" true
+    (Value.equal (Cluster.read c ~node:1 a1 0) (Value.Data 42));
+  Cluster.release c ~node:1 a1
+
+let test_write_acquire_transfers_ownership () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let uid = Cluster.uid_at c ~node:0 a in
+  let a1 = Cluster.acquire_write c ~node:1 a in
+  check_opt_int "N1 owns now" (Some 1) (Cluster.owner_of c ~uid);
+  check_bool "N1 write state" true (state c 1 a1 = Some Directory.Write);
+  check_bool "old owner invalid" true (state c 0 a = Some Directory.Invalid);
+  Cluster.write c ~node:1 a1 0 (Value.Data 2);
+  Cluster.release c ~node:1 a1;
+  (* N0 reacquires and sees the new value: the consistency guarantee. *)
+  let a0 = Cluster.acquire_read c ~node:0 a in
+  check_bool "N0 sees write" true (Value.equal (Cluster.read c ~node:0 a0 0) (Value.Data 2));
+  Cluster.release c ~node:0 a0
+
+let test_write_invalidates_readers () =
+  let c = Cluster.create ~nodes:4 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  List.iter
+    (fun n ->
+      let an = Cluster.acquire_read c ~node:n a in
+      Cluster.release c ~node:n an)
+    [ 1; 2; 3 ];
+  let before = Stats.get (Cluster.stats c) "dsm.app.invalidations" in
+  let a3 = Cluster.acquire_write c ~node:3 a in
+  Cluster.release c ~node:3 a3;
+  check_bool "read copies invalidated" true
+    (state c 1 a = Some Directory.Invalid && state c 2 a = Some Directory.Invalid);
+  check_bool "invalidation messages counted" true
+    (Stats.get (Cluster.stats c) "dsm.app.invalidations" > before)
+
+let test_local_reacquire_free () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let msgs_before = Net.total_messages (Cluster.net c) in
+  let a' = Cluster.acquire_write c ~node:0 a in
+  Cluster.release c ~node:0 a';
+  check_int "no messages for local reacquire" msgs_before
+    (Net.total_messages (Cluster.net c));
+  check_int "local hit counted" 1 (Stats.get (Cluster.stats c) "dsm.app.acquire_local")
+
+let test_held_token_conflicts () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let a0 = Cluster.acquire_write c ~node:0 a in
+  Alcotest.check_raises "write held blocks write"
+    (Failure "Protocol.acquire: write token held elsewhere") (fun () ->
+      ignore (Cluster.acquire_write c ~node:1 a));
+  Alcotest.check_raises "write held blocks read"
+    (Failure "Protocol.acquire: write token held elsewhere") (fun () ->
+      ignore (Cluster.acquire_read c ~node:1 a));
+  Cluster.release c ~node:0 a0;
+  let a1 = Cluster.acquire_read c ~node:1 a in
+  Cluster.release c ~node:1 a1
+
+let test_read_token_from_reader_distributed () =
+  (* In distributed mode a read token can come from any reader; the
+     owner need not be involved. *)
+  let c = Cluster.create ~nodes:3 ~mode:Protocol.Distributed () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let a1 = Cluster.acquire_read c ~node:1 a in
+  Cluster.release c ~node:1 a1;
+  (* N2's ownerPtr points at N0; but if N2 learned about the object from
+     N1 it may be granted by N1.  Either way the data arrives and the
+     copyset tree stays rooted at the owner. *)
+  let a2 = Cluster.acquire_read c ~node:2 a in
+  check_bool "N2 reads" true (Value.equal (Cluster.read c ~node:2 a2 0) (Value.Data 1));
+  Cluster.release c ~node:2 a2;
+  (* Invalidation from a write must reach every reader through the tree. *)
+  let a0 = Cluster.acquire_write c ~node:0 a in
+  Cluster.release c ~node:0 a0;
+  check_bool "all readers invalidated" true
+    (state c 1 a = Some Directory.Invalid && state c 2 a = Some Directory.Invalid)
+
+let test_centralized_mode () =
+  let c = Cluster.create ~nodes:3 ~mode:Protocol.Centralized () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 5 |] in
+  let a1 = Cluster.acquire_read c ~node:1 a in
+  Cluster.release c ~node:1 a1;
+  let a2 = Cluster.acquire_write c ~node:2 a in
+  check_opt_int "ownership moved" (Some 2)
+    (Cluster.owner_of c ~uid:(Cluster.uid_at c ~node:2 a2));
+  Cluster.write c ~node:2 a2 0 (Value.Data 6);
+  Cluster.release c ~node:2 a2;
+  let a0 = Cluster.acquire_read c ~node:0 a in
+  check_bool "value propagated" true
+    (Value.equal (Cluster.read c ~node:0 a0 0) (Value.Data 6));
+  Cluster.release c ~node:0 a0
+
+let test_ownerptr_chain_and_compression () =
+  (* N3 learns about the object early, so its ownerPtr goes stale as
+     ownership hops 0 -> 1 -> 2.  Its eventual write acquire is forwarded
+     along the chain 0 -> 1 -> 2 and compresses it. *)
+  let c = Cluster.create ~nodes:4 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let uid = Cluster.uid_at c ~node:0 a in
+  let a3 = Cluster.acquire_read c ~node:3 a in
+  Cluster.release c ~node:3 a3;
+  let a1 = Cluster.acquire_write c ~node:1 a in
+  Cluster.release c ~node:1 a1;
+  let a2 = Cluster.acquire_write c ~node:2 a1 in
+  Cluster.release c ~node:2 a2;
+  (* N3's ownerPtr still points at N0; the request must be forwarded
+     0 -> 1 -> 2, counted as hops. *)
+  let hops_before = Stats.get (Cluster.stats c) "dsm.app.hops" in
+  let a3' = Cluster.acquire_write c ~node:3 a3 in
+  Cluster.release c ~node:3 a3';
+  check_opt_int "N3 owns" (Some 3) (Cluster.owner_of c ~uid);
+  check_bool "request was forwarded along the chain" true
+    (Stats.get (Cluster.stats c) "dsm.app.hops" >= hops_before + 2);
+  (* After compression, N0's ownerPtr points directly at N3. *)
+  (match Directory.find (Protocol.directory (Cluster.proto c) 0) uid with
+  | Some r -> check_int "compressed" 3 r.Directory.prob_owner
+  | None -> Alcotest.fail "N0 lost the record")
+
+(* ------------------------------------------------------------ tokens/data *)
+
+let test_read_requires_token () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let a1 = Cluster.acquire_read c ~node:1 a in
+  Cluster.release c ~node:1 a1;
+  let a0 = Cluster.acquire_write c ~node:0 a in
+  Cluster.write c ~node:0 a0 0 (Value.Data 2);
+  Cluster.release c ~node:0 a0;
+  (* N1's copy is now inconsistent: strict reads fail, weak reads see
+     the stale value (entry consistency's undefined state). *)
+  Alcotest.check_raises "strict read without token"
+    (Failure "Protocol.read_field: no read token (use ~weak for stale reads)")
+    (fun () -> ignore (Cluster.read c ~node:1 a1 0));
+  check_bool "weak read sees stale data" true
+    (Value.equal (Cluster.read c ~weak:true ~node:1 a1 0) (Value.Data 1))
+
+let test_write_requires_write_token () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let a1 = Cluster.acquire_read c ~node:1 a in
+  Alcotest.check_raises "read token does not allow writes"
+    (Failure "Protocol.write_field_raw: no write token") (fun () ->
+      Cluster.write c ~node:1 a1 0 (Value.Data 9));
+  Cluster.release c ~node:1 a1
+
+let test_ptr_eq_follows_forwarders () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  (* Move the object via BGC (the owner copies it). *)
+  Cluster.add_root c ~node:0 a;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let uid = Cluster.uid_at c ~node:0 a in
+  let new_addr = Option.get (Store.addr_of_uid (Protocol.store (Cluster.proto c) 0) uid) in
+  check_bool "moved" true (a <> new_addr);
+  check_bool "old and new compare equal" true (Cluster.ptr_eq c ~node:0 a new_addr);
+  let other = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 2 |] in
+  check_bool "different objects differ" false (Cluster.ptr_eq c ~node:0 a other);
+  check_bool "nil equals nil" true (Cluster.ptr_eq c ~node:0 Addr.null Addr.null);
+  check_bool "nil differs from object" false (Cluster.ptr_eq c ~node:0 Addr.null a)
+
+(* ------------------------------------------------- invariants 1 and 2 (§5) *)
+
+let test_invariant1_acquire_returns_fresh_address () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 7 |] in
+  Cluster.add_root c ~node:0 a;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  (* N1 acquires using the stale address it knows; the grant must land it
+     on a valid, current local address. *)
+  let a1 = Cluster.acquire_read c ~node:1 a in
+  check_bool "read works at granted address" true
+    (Value.equal (Cluster.read c ~node:1 a1 0) (Value.Data 7));
+  Cluster.release c ~node:1 a1
+
+let test_invariant2_copyset_forwarding () =
+  (* Build a genuine copy-set TREE for object o: N0 (owner) -> N1 -> N2,
+     where N2's read token was granted by N1 (its stale ownerPtr pointed
+     there).  Then a grant of another object p that references o carries
+     o's new location to N1, and N1 must forward it to N2 — without o's
+     copy-set ever being invalidated. *)
+  let c = Cluster.create ~nodes:3 ~mode:Protocol.Distributed () in
+  let b = Cluster.new_bunch c ~home:1 in
+  (* o starts at N1 so that N2's first read makes its ownerPtr point at
+     N1; ownership then moves to N0. *)
+  let o = Cluster.alloc c ~node:1 ~bunch:b [| Value.Data 1 |] in
+  let o_uid = Cluster.uid_at c ~node:1 o in
+  let o_n2 = Cluster.acquire_read c ~node:2 o in
+  Cluster.release c ~node:2 o_n2;
+  let o_n0 = Cluster.acquire_write c ~node:0 o in
+  Cluster.release c ~node:0 o_n0;
+  Cluster.add_root c ~node:0 o_n0;
+  (* Rebuild the read tree: N1 reads from owner N0; N2 re-reads through
+     its stale ownerPtr (N1), landing in N1's copy-set. *)
+  let o_n1 = Cluster.acquire_read c ~node:1 o in
+  Cluster.release c ~node:1 o_n1;
+  let o_n2 = Cluster.acquire_read c ~node:2 o_n2 in
+  Cluster.release c ~node:2 o_n2;
+  (* p -> o, owned by N0; the BGC at N0 moves both. *)
+  let p = Cluster.alloc c ~node:0 ~bunch:b [| Value.Ref o_n0 |] in
+  Cluster.add_root c ~node:0 p;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let fresh = Store.current_addr (Protocol.store (Cluster.proto c) 0) o_n0 in
+  check_bool "o moved at N0" true (fresh <> o_n0);
+  (* N1 acquires p for the first time: the grant piggybacks o's new
+     location (invariant 1); N1 forwards it to its copy-set for o
+     (invariant 2), reaching N2 in the background. *)
+  let p_n1 = Cluster.acquire_read c ~node:1 p in
+  Cluster.release c ~node:1 p_n1;
+  let n1_store = Protocol.store (Cluster.proto c) 1 in
+  check_opt_int "N1 knows o's new address" (Some fresh)
+    (Store.addr_of_uid n1_store o_uid |> Option.map (Store.current_addr n1_store));
+  ignore (Cluster.drain c);
+  let n2_store = Protocol.store (Cluster.proto c) 2 in
+  check_opt_int "N2 was informed transitively" (Some fresh)
+    (Store.addr_of_uid n2_store o_uid |> Option.map (Store.current_addr n2_store))
+
+let test_exiting_ownerptrs () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let a1 = Cluster.acquire_read c ~node:1 a in
+  Cluster.release c ~node:1 a1;
+  let uid = Cluster.uid_at c ~node:0 a in
+  let exiting = Protocol.exiting_ownerptrs (Cluster.proto c) ~node:1 ~bunch:b in
+  check_bool "N1 exits towards N0" true (List.mem (uid, 0) exiting);
+  check_int "owner has no exiting ptr" 0
+    (List.length (Protocol.exiting_ownerptrs (Cluster.proto c) ~node:0 ~bunch:b));
+  (* Entering side mirrors it. *)
+  let entering = Directory.entering (Protocol.directory (Cluster.proto c) 0) uid in
+  check_bool "N0 sees entering from N1" true (Ids.Node_set.mem 1 entering)
+
+(* ---------------------------------------------------- fault-driven mode *)
+
+let test_demand_fetch_basics () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 33 |] in
+  Cluster.add_root c ~node:0 a;
+  let a1 = Cluster.demand_fetch c ~node:1 a in
+  (* The copy is present but inconsistent: weak reads only. *)
+  check_bool "weak read works" true
+    (Value.equal (Cluster.read c ~weak:true ~node:1 a1 0) (Value.Data 33));
+  Alcotest.check_raises "strict read still fails"
+    (Failure "Protocol.read_field: no read token (use ~weak for stale reads)")
+    (fun () -> ignore (Cluster.read c ~node:1 a1 0));
+  (* The supplier registered the replica: the object survives the owner's
+     BGC even with no root there beyond our fault. *)
+  Cluster.remove_root c ~node:0 a;
+  Cluster.add_root c ~node:1 a1;
+  let r = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "owner copy kept alive by the faulted replica" 0
+    r.Bmx_gc.Collect.r_reclaimed;
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_demand_fetch_carries_updates () =
+  (* The supplier piggybacks new locations on the fault reply (§5). *)
+  let c, b = two_nodes () in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b [| Value.Ref x |] in
+  Cluster.add_root c ~node:0 y;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  (* Fault y at N1: its reference to the moved x must be usable. *)
+  let y1 = Cluster.demand_fetch c ~node:1 y in
+  (match Cluster.read c ~weak:true ~node:1 y1 0 with
+  | Value.Ref p ->
+      let s1 = Protocol.store (Cluster.proto c) 1 in
+      check_bool "referent address resolvable at N1" true
+        (Store.resolve s1 p <> None
+        || Protocol.uid_of_addr (Cluster.proto c) (Store.current_addr s1 p) <> None)
+  | Value.Data _ -> Alcotest.fail "y.f0 should be a pointer");
+  check_bool "fault counted" true (Stats.get (Cluster.stats c) "dsm.app.faults" > 0)
+
+let test_demand_fetch_idempotent () =
+  let c, b = two_nodes () in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let a1 = Cluster.demand_fetch c ~node:1 a in
+  let msgs = Bmx_netsim.Net.total_messages (Cluster.net c) in
+  let a1' = Cluster.demand_fetch c ~node:1 a1 in
+  check_int "second fault is a local hit" msgs
+    (Bmx_netsim.Net.total_messages (Cluster.net c));
+  check_int "same address" a1 a1'
+
+let () =
+  Alcotest.run "dsm"
+    [
+      ( "tokens",
+        [
+          Alcotest.test_case "alloc grants write token" `Quick
+            test_alloc_owner_has_write_token;
+          Alcotest.test_case "read acquire replicates" `Quick test_read_acquire_replicates;
+          Alcotest.test_case "write acquire transfers ownership" `Quick
+            test_write_acquire_transfers_ownership;
+          Alcotest.test_case "write invalidates readers" `Quick
+            test_write_invalidates_readers;
+          Alcotest.test_case "local reacquire is free" `Quick test_local_reacquire_free;
+          Alcotest.test_case "held tokens conflict" `Quick test_held_token_conflicts;
+          Alcotest.test_case "read grant from reader (distributed)" `Quick
+            test_read_token_from_reader_distributed;
+          Alcotest.test_case "centralized copy-sets" `Quick test_centralized_mode;
+          Alcotest.test_case "ownerPtr chains compress" `Quick
+            test_ownerptr_chain_and_compression;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "reads need a token" `Quick test_read_requires_token;
+          Alcotest.test_case "writes need the write token" `Quick
+            test_write_requires_write_token;
+          Alcotest.test_case "ptr_eq follows forwarders" `Quick
+            test_ptr_eq_follows_forwarders;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "invariant 1: fresh addresses on acquire" `Quick
+            test_invariant1_acquire_returns_fresh_address;
+          Alcotest.test_case "invariant 2: copy-set forwarding" `Quick
+            test_invariant2_copyset_forwarding;
+          Alcotest.test_case "entering/exiting ownerPtrs" `Quick test_exiting_ownerptrs;
+        ] );
+      ( "fault-driven (§5)",
+        [
+          Alcotest.test_case "fetch installs an inconsistent copy" `Quick
+            test_demand_fetch_basics;
+          Alcotest.test_case "fetch carries location updates" `Quick
+            test_demand_fetch_carries_updates;
+          Alcotest.test_case "fetch is idempotent" `Quick test_demand_fetch_idempotent;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+module Segment = Bmx_memory.Segment
+module Value = Bmx_memory.Value
+module Gc_state = Bmx_gc.Gc_state
+module Ssp = Bmx_gc.Ssp
+module Collect = Bmx_gc.Collect
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ----------------------------------------------------------- write barrier *)
+
+let test_barrier_same_bunch_no_ssp () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b [| Value.nil |] in
+  Cluster.write c ~node:0 y 0 (Value.Ref x);
+  check_int "no stub for intra-bunch ref" 0
+    (List.length (Gc_state.inter_stubs (Cluster.gc c) ~node:0 ~bunch:b))
+
+let test_barrier_cross_bunch_local_ssp () =
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b2 [| Value.Data 1 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.nil |] in
+  Cluster.write c ~node:0 y 0 (Value.Ref x);
+  let stubs = Gc_state.inter_stubs (Cluster.gc c) ~node:0 ~bunch:b1 in
+  check_int "one stub" 1 (List.length stubs);
+  let stub = List.hd stubs in
+  check_int "scion local (target bunch mapped here)" 0 stub.Ssp.is_scion_at;
+  check_int "matching local scion" 1
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:0 ~bunch:b2));
+  check_int "no scion message needed" 0
+    (Stats.get (Cluster.stats c) "gc.barrier.scion_messages")
+
+let test_barrier_cross_node_scion_message () =
+  let c = Cluster.create ~nodes:2 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:1 in
+  let x = Cluster.alloc c ~node:1 ~bunch:b2 [| Value.Data 1 |] in
+  (* Creating the reference at N0, where B2 is not mapped, must emit a
+     scion-message to B2's home. *)
+  let y = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Ref x |] in
+  ignore y;
+  check_int "scion message sent" 1
+    (Stats.get (Cluster.stats c) "gc.barrier.scion_messages");
+  check_int "scion absent before delivery" 0
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:1 ~bunch:b2));
+  ignore (Cluster.drain c);
+  check_int "scion created at B2's home after delivery" 1
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:1 ~bunch:b2))
+
+let test_barrier_duplicate_suppression () =
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b2 [| Value.Data 1 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.nil |] in
+  Cluster.write c ~node:0 y 0 (Value.Ref x);
+  Cluster.write c ~node:0 y 0 (Value.Ref x);
+  check_int "duplicate stub suppressed" 1
+    (List.length (Gc_state.inter_stubs (Cluster.gc c) ~node:0 ~bunch:b1))
+
+let test_barrier_checks_counted () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 0 |] in
+  Cluster.write c ~node:0 x 0 (Value.Data 1);
+  Cluster.write c ~node:0 x 0 (Value.Data 2);
+  (* alloc initialization also goes through the barrier: 1 + 2 writes *)
+  check_int "every store barrier-checked" 3
+    (Stats.get (Cluster.stats c) "gc.barrier.checks")
+
+(* -------------------------------------------------------------------- BGC *)
+
+let test_bgc_reclaims_unreachable () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let live = Bmx_workload.Graphgen.linked_list c ~node:0 ~bunch:b ~len:5 in
+  let _dead = Bmx_workload.Graphgen.linked_list c ~node:0 ~bunch:b ~len:7 in
+  Cluster.add_root c ~node:0 live;
+  let r = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "live survive" 5 r.Collect.r_live;
+  check_int "dead reclaimed" 7 r.Collect.r_reclaimed;
+  check_int "owned live copied" 5 r.Collect.r_copied;
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_bgc_leaves_forwarders () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  Cluster.add_root c ~node:0 x;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let s = Protocol.store (Cluster.proto c) 0 in
+  (match Store.cell s x with
+  | Some (Store.Forwarder target) ->
+      check_int "forwarder points at the copy" target (Store.current_addr s x)
+  | _ -> Alcotest.fail "expected forwarding header in from-space");
+  check_bool "old address still readable via forwarder" true
+    (Value.equal (Cluster.read c ~node:0 x 0) (Value.Data 1))
+
+let test_bgc_roots_from_scions () =
+  (* An object reachable ONLY from an inter-bunch scion must survive. *)
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b2 [| Value.Data 1 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Ref x |] in
+  Cluster.add_root c ~node:0 y;
+  (* Collect B2 alone: x has no mutator root, only the scion from B1. *)
+  let r = Cluster.bgc c ~node:0 ~bunch:b2 in
+  check_int "scion kept x alive" 0 r.Collect.r_reclaimed;
+  check_bool "x survives" true
+    (Cluster.cached_at c ~node:0 ~uid:(Cluster.uid_at c ~node:0 x))
+
+let test_bgc_roots_from_entering_ownerptrs () =
+  (* An object with no local root but a remote replica must survive at
+     the owner (entering ownerPtr root, §4.1). *)
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let x1 = Cluster.acquire_read c ~node:1 x in
+  Cluster.release c ~node:1 x1;
+  Cluster.add_root c ~node:1 x1;
+  (* No root at N0.  BGC at N0 must keep x because N1's replica enters. *)
+  let r = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "entering ownerPtr kept x alive" 0 r.Collect.r_reclaimed;
+  check_bool "x survives at owner" true
+    (Cluster.cached_at c ~node:0 ~uid:(Cluster.uid_at c ~node:0 x))
+
+let test_bgc_stub_table_regeneration () =
+  (* A dropped inter-bunch reference must disappear from the new stub
+     table; the scion dies at the next cleaner pass; the target at the
+     next BGC. *)
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b2 [| Value.Data 1 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Ref x |] in
+  Cluster.add_root c ~node:0 y;
+  check_int "stub exists" 1
+    (List.length (Gc_state.inter_stubs (Cluster.gc c) ~node:0 ~bunch:b1));
+  (* Drop the reference. *)
+  let y' = Cluster.acquire_write c ~node:0 y in
+  Cluster.write c ~node:0 y' 0 Value.nil;
+  Cluster.release c ~node:0 y';
+  let _ = Cluster.bgc c ~node:0 ~bunch:b1 in
+  check_int "stub dropped from the new table" 0
+    (List.length (Gc_state.inter_stubs (Cluster.gc c) ~node:0 ~bunch:b1));
+  ignore (Cluster.drain c);
+  check_int "scion cleaned" 0
+    (List.length (Gc_state.inter_scions (Cluster.gc c) ~node:0 ~bunch:b2));
+  let r = Cluster.bgc c ~node:0 ~bunch:b2 in
+  check_int "target reclaimed" 1 r.Collect.r_reclaimed
+
+let test_bgc_never_acquires_tokens () =
+  let c = Cluster.create ~nodes:3 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let head = Bmx_workload.Graphgen.binary_tree c ~node:0 ~bunch:b ~depth:4 in
+  Cluster.add_root c ~node:0 head;
+  let h1 = Cluster.acquire_read c ~node:1 head in
+  Cluster.release c ~node:1 h1;
+  List.iter (fun n -> ignore (Cluster.bgc c ~node:n ~bunch:b)) [ 0; 1; 2 ];
+  check_int "zero collector acquires" 0
+    (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write");
+  check_int "zero collector-caused invalidations" 0
+    (Stats.get (Cluster.stats c) "dsm.gc.invalidations")
+
+let test_bgc_flips_segments () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  Cluster.add_root c ~node:0 x;
+  let s = Protocol.store (Cluster.proto c) 0 in
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let roles = List.map (fun seg -> seg.Segment.role) (Store.segments_of_bunch s b) in
+  check_bool "a from-space segment exists" true (List.mem Segment.From_space roles);
+  check_bool "the to-space became the active space" true (List.mem Segment.Active roles);
+  (* New allocation lands in the new active segment, not in from-space. *)
+  let y = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 2 |] in
+  (match Store.segment_at s y with
+  | Some seg -> check_bool "fresh alloc in active space" true (seg.Segment.role = Segment.Active)
+  | None -> Alcotest.fail "no segment for fresh alloc")
+
+let test_bgc_independent_per_replica () =
+  (* Two replicas collect independently; addresses diverge; both mutators
+     keep working; nothing is lost. *)
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 7 |] in
+  Cluster.add_root c ~node:0 x;
+  let x1 = Cluster.acquire_read c ~node:1 x in
+  Cluster.release c ~node:1 x1;
+  Cluster.add_root c ~node:1 x1;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let uid = Cluster.uid_at c ~node:0 x in
+  let a0 = Store.addr_of_uid (Protocol.store (Cluster.proto c) 0) uid in
+  let a1 = Store.addr_of_uid (Protocol.store (Cluster.proto c) 1) uid in
+  check_bool "addresses diverge (owner moved, replica lazy)" true (a0 <> a1);
+  check_bool "weak read still fine at N1" true
+    (Value.equal (Cluster.read c ~weak:true ~node:1 x1 0) (Value.Data 7));
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_bgc_large_heap_multi_segment () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  (* Enough objects to span several segments. *)
+  let head = Bmx_workload.Graphgen.linked_list c ~node:0 ~bunch:b ~len:8000 in
+  Cluster.add_root c ~node:0 head;
+  let r = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "all live copied" 8000 r.Collect.r_copied;
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  (* And a second collection works on the moved heap. *)
+  let r2 = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "still live" 8000 r2.Collect.r_live
+
+let () =
+  Alcotest.run "gc"
+    [
+      ( "barrier",
+        [
+          Alcotest.test_case "intra-bunch stores make no SSP" `Quick
+            test_barrier_same_bunch_no_ssp;
+          Alcotest.test_case "cross-bunch store makes a local SSP" `Quick
+            test_barrier_cross_bunch_local_ssp;
+          Alcotest.test_case "cross-node target needs a scion-message" `Quick
+            test_barrier_cross_node_scion_message;
+          Alcotest.test_case "duplicate stubs suppressed" `Quick
+            test_barrier_duplicate_suppression;
+          Alcotest.test_case "every store checked" `Quick test_barrier_checks_counted;
+        ] );
+      ( "bgc",
+        [
+          Alcotest.test_case "reclaims unreachable objects" `Quick
+            test_bgc_reclaims_unreachable;
+          Alcotest.test_case "leaves forwarding headers" `Quick test_bgc_leaves_forwarders;
+          Alcotest.test_case "scions are roots" `Quick test_bgc_roots_from_scions;
+          Alcotest.test_case "entering ownerPtrs are roots" `Quick
+            test_bgc_roots_from_entering_ownerptrs;
+          Alcotest.test_case "stub tables regenerate" `Quick
+            test_bgc_stub_table_regeneration;
+          Alcotest.test_case "never acquires tokens" `Quick test_bgc_never_acquires_tokens;
+          Alcotest.test_case "segment roles flip" `Quick test_bgc_flips_segments;
+          Alcotest.test_case "replicas collect independently" `Quick
+            test_bgc_independent_per_replica;
+          Alcotest.test_case "multi-segment heap" `Quick test_bgc_large_heap_multi_segment;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* The group garbage collector (§7): inter-bunch cycles. *)
+
+module Cluster = Bmx.Cluster
+module Value = Bmx_memory.Value
+module Graphgen = Bmx_workload.Graphgen
+module Collect = Bmx_gc.Collect
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let test_bgc_cannot_collect_inter_bunch_cycle () =
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let head = Graphgen.cross_bunch_ring c ~node:0 ~bunches:[ b1; b2 ] ~len:6 in
+  ignore head;
+  (* No roots at all: the ring is garbage, but each BGC sees the other
+     bunch's scions as roots and keeps its half alive. *)
+  let r1 = Cluster.bgc c ~node:0 ~bunch:b1 in
+  ignore (Cluster.drain c);
+  let r2 = Cluster.bgc c ~node:0 ~bunch:b2 in
+  ignore (Cluster.drain c);
+  check_int "BGC reclaims none of the cycle" 0
+    (r1.Collect.r_reclaimed + r2.Collect.r_reclaimed);
+  check_int "cycle still cached" 6 (Bmx.Audit.total_cached_copies c)
+
+let test_ggc_collects_inter_bunch_cycle () =
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let _ring = Graphgen.cross_bunch_ring c ~node:0 ~bunches:[ b1; b2 ] ~len:6 in
+  let r = Cluster.ggc c ~node:0 in
+  check_int "GGC reclaims the whole cycle" 6 r.Collect.r_reclaimed;
+  check_int "nothing cached" 0 (Bmx.Audit.total_cached_copies c)
+
+let test_ggc_keeps_rooted_cycle () =
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let ring = Graphgen.cross_bunch_ring c ~node:0 ~bunches:[ b1; b2 ] ~len:6 in
+  Cluster.add_root c ~node:0 ring;
+  let r = Cluster.ggc c ~node:0 in
+  check_int "rooted cycle survives" 0 r.Collect.r_reclaimed;
+  check_int "all cached" 6 (Bmx.Audit.total_cached_copies c);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_ggc_respects_external_scions () =
+  (* A cycle within the group referenced from a bunch OUTSIDE the group
+     must survive a group collection over the cycle's bunches only. *)
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let b3 = Cluster.new_bunch c ~home:0 in
+  let ring = Graphgen.cross_bunch_ring c ~node:0 ~bunches:[ b1; b2 ] ~len:4 in
+  let holder = Cluster.alloc c ~node:0 ~bunch:b3 [| Value.Ref ring |] in
+  Cluster.add_root c ~node:0 holder;
+  (* Group = {b1, b2} only: the scion from b3 is external, hence a root. *)
+  let r = Bmx_gc.Ggc.run (Cluster.gc c) ~node:0 ~bunches:[ b1; b2 ] () in
+  check_int "externally referenced cycle survives" 0 r.Collect.r_reclaimed;
+  (* Drop the external holder; a full-group GGC now reclaims everything. *)
+  Cluster.remove_root c ~node:0 holder;
+  let r2 = Cluster.ggc c ~node:0 in
+  check_int "everything reclaimed" 5 r2.Collect.r_reclaimed
+
+let test_ggc_mixed_live_and_cycle () =
+  let c = Cluster.create ~nodes:1 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:0 in
+  let live = Graphgen.linked_list c ~node:0 ~bunch:b1 ~len:10 in
+  Cluster.add_root c ~node:0 live;
+  let _ring = Graphgen.cross_bunch_ring c ~node:0 ~bunches:[ b1; b2 ] ~len:8 in
+  let r = Cluster.ggc c ~node:0 in
+  check_int "cycle reclaimed" 8 r.Collect.r_reclaimed;
+  check_int "live list survives" 10 r.Collect.r_live;
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_ggc_group_is_local_bunches () =
+  let c = Cluster.create ~nodes:2 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:1 in
+  ignore (Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Data 1 |]);
+  ignore (Cluster.alloc c ~node:1 ~bunch:b2 [| Value.Data 2 |]);
+  let g0 = Bmx_gc.Ggc.group (Cluster.gc c) ~node:0 in
+  check (Alcotest.list Alcotest.int) "locality heuristic: bunches mapped at N0"
+    [ b1 ] g0
+
+let test_ggc_three_bunch_cycle () =
+  let c = Cluster.create ~nodes:1 () in
+  let bunches = List.init 3 (fun _ -> Cluster.new_bunch c ~home:0) in
+  let _ring = Graphgen.cross_bunch_ring c ~node:0 ~bunches ~len:9 in
+  let r = Cluster.ggc c ~node:0 in
+  check_int "three-bunch cycle reclaimed" 9 r.Collect.r_reclaimed
+
+let () =
+  Alcotest.run "ggc"
+    [
+      ( "cycles",
+        [
+          Alcotest.test_case "BGC alone cannot reclaim inter-bunch cycles" `Quick
+            test_bgc_cannot_collect_inter_bunch_cycle;
+          Alcotest.test_case "GGC reclaims an inter-bunch cycle" `Quick
+            test_ggc_collects_inter_bunch_cycle;
+          Alcotest.test_case "rooted cycles survive" `Quick test_ggc_keeps_rooted_cycle;
+          Alcotest.test_case "external scions are roots" `Quick
+            test_ggc_respects_external_scions;
+          Alcotest.test_case "live data survives alongside cycles" `Quick
+            test_ggc_mixed_live_and_cycle;
+          Alcotest.test_case "three-bunch cycle" `Quick test_ggc_three_bunch_cycle;
+        ] );
+      ( "grouping",
+        [
+          Alcotest.test_case "locality-based group" `Quick test_ggc_group_is_local_bunches;
+        ] );
+    ]

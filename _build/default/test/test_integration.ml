@@ -1,0 +1,229 @@
+(* End-to-end: several nodes, several bunches, mutators, every collector
+   component, persistence, and both copy-set modes. *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+module Value = Bmx_memory.Value
+module Graphgen = Bmx_workload.Graphgen
+module Driver = Bmx_workload.Driver
+module Rvm = Bmx_rvm.Rvm
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let test_distributed_acyclic_collection () =
+  (* A chain spanning three nodes and two bunches dies when the single
+     root is dropped; a few asynchronous rounds reclaim every replica. *)
+  let c = Cluster.create ~nodes:3 () in
+  let b1 = Cluster.new_bunch c ~home:0 in
+  let b2 = Cluster.new_bunch c ~home:1 in
+  let tail = Cluster.alloc c ~node:1 ~bunch:b2 [| Value.Data 9 |] in
+  let mid = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Ref tail |] in
+  let head = Cluster.alloc c ~node:0 ~bunch:b1 [| Value.Ref mid |] in
+  Cluster.add_root c ~node:2 (Cluster.acquire_read c ~node:2 head);
+  Cluster.release c ~node:2 head;
+  ignore (Cluster.drain c);
+  ignore (Cluster.collect_until_quiescent c ());
+  check_int "everything survives while rooted" 0
+    (Ids.Uid_set.cardinal (Bmx.Audit.lost_objects c));
+  check_bool "tail alive" true
+    (Cluster.cached_at c ~node:1 ~uid:(Cluster.uid_at c ~node:1 tail));
+  (* Drop the root at N2: all three objects on all nodes must go. *)
+  List.iter (fun a -> Cluster.remove_root c ~node:2 a) (Cluster.roots c ~node:2);
+  ignore (Cluster.collect_until_quiescent c ());
+  check_int "no copies left anywhere" 0 (Bmx.Audit.total_cached_copies c)
+
+let test_full_lifecycle_with_reclaim () =
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let head = Graphgen.linked_list c ~node:0 ~bunch:b ~len:100 in
+  Cluster.add_root c ~node:0 head;
+  (* Replicate some of it at N1. *)
+  let h1 = Cluster.acquire_read c ~node:1 head in
+  Cluster.release c ~node:1 h1;
+  (* Mutate: chop the list in half. *)
+  let rec advance addr n =
+    if n = 0 then addr
+    else
+      match Cluster.read c ~node:0 addr 0 with
+      | Value.Ref next -> advance next (n - 1)
+      | Value.Data _ -> Alcotest.fail "list broken"
+  in
+  let cut = advance head 49 in
+  let cut = Cluster.acquire_write c ~node:0 cut in
+  Cluster.write c ~node:0 cut 0 Value.nil;
+  Cluster.release c ~node:0 cut;
+  (* Collect, reclaim from-space, keep using the heap. *)
+  let r = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "half the list reclaimed" 50 r.Bmx_gc.Collect.r_reclaimed;
+  ignore (Cluster.drain c);
+  let _ = Cluster.reclaim_from_space c ~node:0 ~bunch:b in
+  ignore (Cluster.drain c);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  let head' = Store.current_addr (Protocol.store (Cluster.proto c) 0) head in
+  check_int "fifty survivors walkable" 50
+    (let rec walk addr n =
+       match Cluster.read c ~node:0 addr 0 with
+       | Value.Ref next when not (Addr.is_null next) -> walk next (n + 1)
+       | Value.Ref _ -> n + 1
+       | Value.Data _ -> -1
+     in
+     walk head' 0)
+
+let test_modes_agree_on_reachability () =
+  (* Centralized and distributed copy-set modes must reclaim exactly the
+     same objects for the same workload. *)
+  let outcome mode =
+    let d =
+      Driver.setup { Driver.default with ops = 400; seed = 21; mode; nodes = 3 }
+    in
+    Driver.run_ops d ();
+    let c = Driver.cluster d in
+    ignore (Cluster.collect_until_quiescent c ());
+    check_bool "safe" true (Result.is_ok (Bmx.Audit.check_safety c));
+    Ids.Uid_set.cardinal (Bmx.Audit.union_reachable c)
+  in
+  check_int "same survivors"
+    (outcome Protocol.Centralized)
+    (outcome Protocol.Distributed)
+
+let test_many_nodes_many_bunches () =
+  let d =
+    Driver.setup
+      {
+        Driver.default with
+        nodes = 6;
+        bunches = 8;
+        objects_per_bunch = 32;
+        ops = 1500;
+        seed = 33;
+      }
+  in
+  Driver.run_ops d ();
+  let c = Driver.cluster d in
+  ignore (Cluster.collect_until_quiescent c ());
+  check_bool "safety at scale" true (Result.is_ok (Bmx.Audit.check_safety c));
+  (* The collector still never touched a token. *)
+  check_int "no collector acquires" 0
+    (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write")
+
+let test_ggc_after_workload () =
+  let d = Driver.setup { Driver.default with ops = 600; seed = 17 } in
+  Driver.run_ops d ();
+  let c = Driver.cluster d in
+  ignore (Cluster.collect_until_quiescent c ());
+  let leftover_before =
+    Ids.Uid_set.cardinal (Bmx.Audit.garbage_retained c)
+  in
+  (* Group collections at every node mop up intra-node cross-bunch cycles. *)
+  List.iter (fun n -> ignore (Cluster.ggc c ~node:n)) (Cluster.nodes c);
+  ignore (Cluster.drain c);
+  ignore (Cluster.collect_until_quiescent c ());
+  let leftover_after = Ids.Uid_set.cardinal (Bmx.Audit.garbage_retained c) in
+  check_bool "GGC only helps" true (leftover_after <= leftover_before);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+(* Persistence by reachability: a bunch survives a node crash through the
+   RVM log (the paper's segment-per-file arrangement, §8). *)
+let test_persistence_through_rvm () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let head = Graphgen.linked_list c ~node:0 ~bunch:b ~len:10 in
+  Cluster.add_root c ~node:0 head;
+  (* Persist the bunch replica: one record per cell, committed. *)
+  let store = Protocol.store (Cluster.proto c) 0 in
+  let disk : (Addr.t * Bmx_memory.Heap_obj.t) Rvm.t =
+    Rvm.create ~copy:(fun (a, o) -> (a, Bmx_memory.Heap_obj.clone o)) ()
+  in
+  Rvm.begin_tx disk;
+  List.iter
+    (fun (addr, obj) -> Rvm.set disk addr (addr, obj))
+    (Store.objects_of_bunch store b);
+  Rvm.commit disk;
+  (* Crash; recover; rebuild a fresh node's replica from the image. *)
+  Rvm.crash disk;
+  Rvm.recover disk;
+  let c2 = Cluster.create ~nodes:1 () in
+  let b2 = Cluster.new_bunch c2 ~home:0 in
+  ignore b2;
+  let restored =
+    Rvm.fold disk ~init:0 ~f:(fun _addr (addr, obj) acc ->
+        Store.install (Protocol.store (Cluster.proto c2) 0) addr
+          (Bmx_memory.Heap_obj.clone obj);
+        ignore addr;
+        acc + 1)
+  in
+  check_int "all ten objects recovered" 10 restored
+
+(* A long soak: sustained mutation, every collector component, fault
+   windows, reclaim — safety checked at every epoch. *)
+let test_soak () =
+  let d =
+    Driver.setup
+      {
+        Driver.default with
+        nodes = 5;
+        bunches = 6;
+        objects_per_bunch = 48;
+        ops = 0;
+        seed = 101;
+        root_churn_prob = 0.05;
+      }
+  in
+  let c = Driver.cluster d in
+  let rng = Rng.make 202 in
+  for epoch = 1 to 12 do
+    Driver.run_ops d ~ops:400 ();
+    (* Every third epoch, a lossy window over the GC's table traffic. *)
+    if epoch mod 3 = 0 then
+      Bmx_netsim.Net.set_fault (Cluster.net c) ~kind:Bmx_netsim.Net.Stub_table
+        ~drop:0.25 ~dup:0.1 ~rng;
+    ignore (Cluster.gc_round c);
+    Bmx_netsim.Net.clear_faults (Cluster.net c);
+    (* Occasionally reclaim from-space and run a group collection. *)
+    if epoch mod 4 = 0 then begin
+      List.iter
+        (fun bunch ->
+          List.iter
+            (fun node -> ignore (Cluster.reclaim_from_space c ~node ~bunch))
+            (Protocol.bunch_replica_nodes (Cluster.proto c) bunch))
+        (Protocol.bunches (Cluster.proto c));
+      List.iter (fun n -> ignore (Cluster.ggc c ~node:n)) (Cluster.nodes c);
+      ignore (Cluster.drain c)
+    end;
+    match Bmx.Audit.check_safety c with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "epoch %d: %s" epoch m
+  done;
+  ignore (Cluster.collect_until_quiescent c ~max_rounds:30 ());
+  check_bool "final safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  check_int "collector never acquired a token across the soak" 0
+    (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write")
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "distributed collection",
+        [
+          Alcotest.test_case "acyclic cross-node chain" `Quick
+            test_distributed_acyclic_collection;
+          Alcotest.test_case "full lifecycle with from-space reuse" `Quick
+            test_full_lifecycle_with_reclaim;
+          Alcotest.test_case "copy-set modes agree" `Quick test_modes_agree_on_reachability;
+          Alcotest.test_case "six nodes, eight bunches" `Slow test_many_nodes_many_bunches;
+          Alcotest.test_case "GGC after workload" `Quick test_ggc_after_workload;
+        ] );
+      ( "persistence",
+        [ Alcotest.test_case "bunch survives crash via RVM" `Quick test_persistence_through_rvm ]
+      );
+      ( "soak",
+        [
+          Alcotest.test_case "12 epochs: mutation, loss windows, reclaim, GGC" `Slow
+            test_soak;
+        ] );
+    ]

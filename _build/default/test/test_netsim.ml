@@ -1,0 +1,136 @@
+open Bmx_util
+module Net = Bmx_netsim.Net
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let make () =
+  let stats = Stats.create_registry () in
+  let net : string Net.t = Net.create ~stats () in
+  (net, stats)
+
+let test_fifo_seq_per_pair () =
+  let net, _ = make () in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := (env.Net.src, env.Net.dst, env.Net.seq) :: !seen);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "a";
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "b";
+  Net.send net ~src:0 ~dst:2 ~kind:Net.Stub_table "c";
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Scion_message "d";
+  ignore (Net.drain net);
+  let seqs_01 =
+    List.rev !seen
+    |> List.filter (fun (s, d, _) -> s = 0 && d = 1)
+    |> List.map (fun (_, _, q) -> q)
+  in
+  check (Alcotest.list Alcotest.int) "seqs increase per pair" [ 1; 2; 3 ] seqs_01;
+  let seqs_02 =
+    List.rev !seen |> List.filter (fun (_, d, _) -> d = 2) |> List.map (fun (_, _, q) -> q)
+  in
+  check (Alcotest.list Alcotest.int) "independent stream" [ 1 ] seqs_02
+
+let test_delivery_order_fifo () =
+  let net, _ = make () in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  List.iter (fun p -> Net.send net ~src:0 ~dst:1 ~kind:Net.App_message p)
+    [ "1"; "2"; "3"; "4" ];
+  ignore (Net.drain net);
+  check (Alcotest.list Alcotest.string) "in order" [ "1"; "2"; "3"; "4" ]
+    (List.rev !seen)
+
+let test_handler_can_send () =
+  (* A delivery handler may send more messages; drain keeps going. *)
+  let net, _ = make () in
+  Net.set_handler net (fun env ->
+      if env.Net.payload = "ping" then
+        Net.send net ~src:env.Net.dst ~dst:env.Net.src ~kind:Net.App_message "pong");
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "ping";
+  let delivered = Net.drain net in
+  check_int "both delivered" 2 delivered;
+  check_int "pending empty" 0 (Net.pending net)
+
+let test_accounting () =
+  let net, stats = make () in
+  Net.set_handler net (fun _ -> ());
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table ~bytes:100 "x";
+  Net.record_rpc net ~src:1 ~dst:0 ~kind:Net.Token_grant ~bytes:50 ();
+  Net.record_piggyback net ~kind:Net.Token_grant ~bytes:24;
+  check_int "sent stub_table" 1 (Net.sent net Net.Stub_table);
+  check_int "sent grant" 1 (Net.sent net Net.Token_grant);
+  check_int "total messages" 2 (Net.total_messages net);
+  check_int "total bytes" 174 (Net.total_bytes net);
+  check_int "piggyback count" 1 (Stats.get stats "net.piggyback.token_grant");
+  check_int "piggyback bytes" 24 (Stats.get stats "net.bytes.piggyback")
+
+let test_drop_consumes_seq () =
+  let net, stats = make () in
+  let seqs = ref [] in
+  Net.set_handler net (fun env -> seqs := env.Net.seq :: !seqs);
+  (* Drop everything: the stream sequence numbers advance anyway, as over
+     a real lossy link. *)
+  let rng = Rng.make 1 in
+  Net.set_fault net ~kind:Net.Stub_table ~drop:1.0 ~dup:0.0 ~rng;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "lost";
+  Net.clear_faults net;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "kept";
+  ignore (Net.drain net);
+  check (Alcotest.list Alcotest.int) "gap observed" [ 2 ] !seqs;
+  check_int "drop counted" 1 (Stats.get stats "net.dropped.stub_table");
+  check_int "only one sent" 1 (Net.sent net Net.Stub_table)
+
+let test_duplication () =
+  let net, stats = make () in
+  let count = ref 0 in
+  Net.set_handler net (fun _ -> incr count);
+  let rng = Rng.make 1 in
+  Net.set_fault net ~kind:Net.Stub_table ~drop:0.0 ~dup:1.0 ~rng;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "x";
+  ignore (Net.drain net);
+  check_int "delivered twice" 2 !count;
+  check_int "duplication counted" 1 (Stats.get stats "net.duplicated.stub_table")
+
+let test_fault_scoped_by_kind () =
+  let net, _ = make () in
+  let count = ref 0 in
+  Net.set_handler net (fun _ -> incr count);
+  let rng = Rng.make 1 in
+  Net.set_fault net ~kind:Net.Stub_table ~drop:1.0 ~dup:0.0 ~rng;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Scion_message "untouched";
+  ignore (Net.drain net);
+  check_int "other kinds unaffected" 1 !count
+
+let test_step_empty () =
+  let net, _ = make () in
+  Net.set_handler net (fun _ -> ());
+  check_bool "step on empty queue" false (Net.step net)
+
+let test_kind_names_unique () =
+  let names = List.map Net.kind_to_string Net.all_kinds in
+  check_int "all kind names distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "fifo",
+        [
+          Alcotest.test_case "per-pair sequence numbers" `Quick test_fifo_seq_per_pair;
+          Alcotest.test_case "delivery order" `Quick test_delivery_order_fifo;
+          Alcotest.test_case "handler reentrancy" `Quick test_handler_can_send;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "messages, bytes, piggyback" `Quick test_accounting;
+          Alcotest.test_case "kind names unique" `Quick test_kind_names_unique;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop consumes a sequence number" `Quick
+            test_drop_consumes_seq;
+          Alcotest.test_case "duplication" `Quick test_duplication;
+          Alcotest.test_case "faults scoped by kind" `Quick test_fault_scoped_by_kind;
+          Alcotest.test_case "step on empty" `Quick test_step_empty;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+(* The OO7-flavoured design-database workload. *)
+
+module Cluster = Bmx.Cluster
+module Oo7 = Bmx_workload.Oo7
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let expected_atomics cfg =
+  let bases =
+    int_of_float (float_of_int cfg.Oo7.assembly_fanout ** float_of_int cfg.Oo7.levels)
+  in
+  bases * cfg.Oo7.comp_per_base * cfg.Oo7.atomic_per_comp
+
+let test_build_size () =
+  let c = Cluster.create ~nodes:2 () in
+  let m = Oo7.build c ~node:0 Oo7.default in
+  let cfg = Oo7.config m in
+  let bases =
+    int_of_float (float_of_int cfg.Oo7.assembly_fanout ** float_of_int cfg.Oo7.levels)
+  in
+  let assemblies =
+    (* Complete tree: fanout^0 + ... + fanout^levels. *)
+    let rec sum i acc =
+      if i > cfg.Oo7.levels then acc
+      else sum (i + 1) (acc + int_of_float (float_of_int cfg.Oo7.assembly_fanout ** float_of_int i))
+    in
+    sum 0 0
+  in
+  let comps = bases * cfg.Oo7.comp_per_base in
+  check_int "object inventory" (assemblies + comps + (comps * cfg.Oo7.atomic_per_comp))
+    (Oo7.size m);
+  check_bool "safety after build" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_t1_visits_every_atomic () =
+  let c = Cluster.create ~nodes:2 () in
+  let m = Oo7.build c ~node:0 Oo7.default in
+  check_int "T1 from the home node" (expected_atomics Oo7.default) (Oo7.t1 m ~node:0);
+  (* A remote node traverses through read tokens. *)
+  check_int "T1 from a remote node" (expected_atomics Oo7.default) (Oo7.t1 m ~node:1)
+
+let test_t2_updates () =
+  let c = Cluster.create ~nodes:2 () in
+  let m = Oo7.build c ~node:0 Oo7.default in
+  check_int "T2 updates every atomic" (expected_atomics Oo7.default) (Oo7.t2 m ~node:1);
+  (* A second T2 sees build dates already bumped once (reads the new
+     values through tokens — consistency). *)
+  check_int "T2 again" (expected_atomics Oo7.default) (Oo7.t2 m ~node:0);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_churn_creates_collectable_garbage () =
+  let c = Cluster.create ~nodes:1 () in
+  let m = Oo7.build c ~node:0 Oo7.default in
+  let made_garbage = Oo7.churn m ~node:0 in
+  check_bool "churn replaced parts" true (made_garbage > 0);
+  let reclaimed = Cluster.collect_until_quiescent c () in
+  check_int "old composites and their atomic rings reclaimed" made_garbage reclaimed;
+  (* The module still traverses completely. *)
+  check_int "T1 after churn+GC" (expected_atomics Oo7.default) (Oo7.t1 m ~node:0);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_traversal_under_gc () =
+  let c = Cluster.create ~nodes:2 () in
+  let m = Oo7.build c ~node:0 Oo7.default in
+  (* Interleave collections with traversals at another node. *)
+  ignore (Oo7.t1 m ~node:1);
+  ignore (Cluster.gc_round c);
+  check_int "T1 after a GC round" (expected_atomics Oo7.default) (Oo7.t1 m ~node:1);
+  ignore (Oo7.t2 m ~node:1);
+  ignore (Cluster.gc_round c);
+  check_int "T2 after another round" (expected_atomics Oo7.default) (Oo7.t2 m ~node:0);
+  check_int "collector still token-free" 0
+    (Bmx_util.Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Bmx_util.Stats.get (Cluster.stats c) "dsm.gc.acquire_write")
+
+let () =
+  Alcotest.run "oo7"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "inventory" `Quick test_build_size;
+          Alcotest.test_case "T1 visits every atomic part" `Quick
+            test_t1_visits_every_atomic;
+          Alcotest.test_case "T2 updates every atomic part" `Quick test_t2_updates;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "churn garbage is reclaimed" `Quick
+            test_churn_creates_collectable_garbage;
+          Alcotest.test_case "traversals under GC" `Quick test_traversal_under_gc;
+        ] );
+    ]

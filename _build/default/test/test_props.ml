@@ -1,0 +1,464 @@
+(* Property-based tests (QCheck, run under alcotest).
+
+   The heavyweight property is the collector's central safety claim: for
+   ANY sequence of mutator operations, collections, cleaner deliveries and
+   message-loss windows, no object reachable from any root is ever lost,
+   and pointer equality is stable under GC moves. *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Value = Bmx_memory.Value
+module Net = Bmx_netsim.Net
+
+(* ------------------------------------------------------------ generators *)
+
+(* A program is a list of abstract ops interpreted over a small cluster. *)
+type op =
+  | Op_read of int * int (* node, object index *)
+  | Op_write of int * int * int (* node, object, data *)
+  | Op_relink of int * int * int * int (* node, src, field, target *)
+  | Op_unlink of int * int * int (* node, src, field *)
+  | Op_root_add of int * int
+  | Op_root_drop of int * int
+  | Op_bgc of int * int (* node, bunch index *)
+  | Op_ggc of int
+  | Op_drain
+  | Op_drop_window (* lose all stub-table traffic for a moment *)
+  | Op_txn of int * int * int * bool (* node, src, dst, commit? *)
+  | Op_fetch of int * int (* token-free demand fetch *)
+  | Op_reclaim of int * int (* from-space reuse at (node, bunch) *)
+
+let nodes_count = 3
+let bunches_count = 2
+let objects_count = 12
+let out_degree = 2
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun n i -> Op_read (n, i)) (int_bound (nodes_count - 1)) (int_bound (objects_count - 1)));
+        (3, map3 (fun n i v -> Op_write (n, i, v)) (int_bound (nodes_count - 1)) (int_bound (objects_count - 1)) (int_bound 999));
+        ( 3,
+          map3
+            (fun n s t -> Op_relink (n, s, t mod out_degree, t))
+            (int_bound (nodes_count - 1))
+            (int_bound (objects_count - 1))
+            (int_bound (objects_count - 1)) );
+        ( 1,
+          map3
+            (fun n s f -> Op_unlink (n, s, f mod out_degree))
+            (int_bound (nodes_count - 1))
+            (int_bound (objects_count - 1))
+            (int_bound 7) );
+        (1, map2 (fun n i -> Op_root_add (n, i)) (int_bound (nodes_count - 1)) (int_bound (objects_count - 1)));
+        (2, map2 (fun n i -> Op_root_drop (n, i)) (int_bound (nodes_count - 1)) (int_bound (objects_count - 1)));
+        (2, map2 (fun n b -> Op_bgc (n, b)) (int_bound (nodes_count - 1)) (int_bound (bunches_count - 1)));
+        (1, map (fun n -> Op_ggc n) (int_bound (nodes_count - 1)));
+        (2, return Op_drain);
+        (1, return Op_drop_window);
+        ( 2,
+          map3
+            (fun n s (t, commit) -> Op_txn (n, s, t, commit))
+            (int_bound (nodes_count - 1))
+            (int_bound (objects_count - 1))
+            (pair (int_bound (objects_count - 1)) bool) );
+        (1, map2 (fun n i -> Op_fetch (n, i)) (int_bound (nodes_count - 1)) (int_bound (objects_count - 1)));
+        (1, map2 (fun n b -> Op_reclaim (n, b)) (int_bound (nodes_count - 1)) (int_bound (bunches_count - 1)));
+      ])
+
+let pp_op = function
+  | Op_read (n, i) -> Printf.sprintf "Read(%d,%d)" n i
+  | Op_write (n, i, v) -> Printf.sprintf "Write(%d,%d,%d)" n i v
+  | Op_relink (n, s, f, t) -> Printf.sprintf "Relink(%d,%d.f%d=%d)" n s f t
+  | Op_unlink (n, s, f) -> Printf.sprintf "Unlink(%d,%d.f%d)" n s f
+  | Op_root_add (n, i) -> Printf.sprintf "RootAdd(%d,%d)" n i
+  | Op_root_drop (n, i) -> Printf.sprintf "RootDrop(%d,%d)" n i
+  | Op_bgc (n, b) -> Printf.sprintf "Bgc(%d,%d)" n b
+  | Op_ggc n -> Printf.sprintf "Ggc(%d)" n
+  | Op_drain -> "Drain"
+  | Op_drop_window -> "DropWindow"
+  | Op_txn (n, s, t, c) -> Printf.sprintf "Txn(%d,%d,%d,%b)" n s t c
+  | Op_fetch (n, i) -> Printf.sprintf "Fetch(%d,%d)" n i
+  | Op_reclaim (n, b) -> Printf.sprintf "Reclaim(%d,%d)" n b
+
+let arb_program =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map pp_op l))
+    QCheck.Gen.(list_size (int_range 10 60) gen_op)
+
+(* ------------------------------------------------------------ interpreter *)
+
+type world = {
+  cluster : Cluster.t;
+  bunches : int array;
+  handles : Addr.t array array; (* per node, per object: current handle *)
+  rooted : bool array array; (* per node, per object *)
+  rng : Rng.t;
+}
+
+let build_world ?mode ?(nodes = nodes_count) ?(objects = objects_count) seed =
+  let c = Cluster.create ~nodes ?mode ~seed () in
+  let bunches = Array.init bunches_count (fun i -> Cluster.new_bunch c ~home:(i mod nodes)) in
+  let rng = Rng.make (seed + 1) in
+  let objs =
+    Bmx_workload.Graphgen.random_graph c ~rng ~node:0
+      ~bunches:(Array.to_list bunches) ~objects ~out_degree
+      ~cross_bunch_prob:0.4
+  in
+  let handles = Array.init nodes (fun _ -> Array.copy objs) in
+  let rooted = Array.init nodes (fun _ -> Array.make objects false) in
+  (* Root a few objects at node 0 so something is live. *)
+  List.iter
+    (fun i ->
+      Cluster.add_root c ~node:0 objs.(i);
+      rooted.(0).(i) <- true)
+    [ 0; 3; 7 ];
+  { cluster = c; bunches; handles; rooted; rng }
+
+(* A mutator can only name objects reachable from some root; the handle
+   table must not resurrect unreachable ones. *)
+let legal w addr =
+  match Protocol.uid_of_addr (Cluster.proto w.cluster) addr with
+  | Some uid -> Ids.Uid_set.mem uid (Bmx.Audit.union_reachable w.cluster)
+  | None -> false
+
+let exec_op w op =
+  let c = w.cluster in
+  (* Worlds may be larger or smaller than the generator's constants:
+     indices wrap. *)
+  let nn = Array.length w.handles in
+  let oo = Array.length w.handles.(0) in
+  let wrap_n n = n mod nn and wrap_o i = i mod oo in
+  let op =
+    match op with
+    | Op_read (n, i) -> Op_read (wrap_n n, wrap_o i)
+    | Op_write (n, i, v) -> Op_write (wrap_n n, wrap_o i, v)
+    | Op_relink (n, s, f, t) -> Op_relink (wrap_n n, wrap_o s, f, wrap_o t)
+    | Op_unlink (n, s, f) -> Op_unlink (wrap_n n, wrap_o s, f)
+    | Op_root_add (n, i) -> Op_root_add (wrap_n n, wrap_o i)
+    | Op_root_drop (n, i) -> Op_root_drop (wrap_n n, wrap_o i)
+    | Op_bgc (n, b) -> Op_bgc (wrap_n n, b)
+    | Op_ggc n -> Op_ggc (wrap_n n)
+    | Op_txn (n, s, t, c') -> Op_txn (wrap_n n, wrap_o s, wrap_o t, c')
+    | Op_fetch (n, i) -> Op_fetch (wrap_n n, wrap_o i)
+    | Op_reclaim (n, b) -> Op_reclaim (wrap_n n, b)
+    | (Op_drain | Op_drop_window) as o -> o
+  in
+  let on_object n i k = if legal w w.handles.(n).(i) then k () in
+  try
+    match op with
+    | Op_read (n, i) ->
+        on_object n i (fun () ->
+            let a = Cluster.acquire_read c ~node:n w.handles.(n).(i) in
+            w.handles.(n).(i) <- a;
+            ignore (Cluster.read c ~node:n a out_degree);
+            Cluster.release c ~node:n a)
+    | Op_write (n, i, v) ->
+        on_object n i (fun () ->
+            let a = Cluster.acquire_write c ~node:n w.handles.(n).(i) in
+            w.handles.(n).(i) <- a;
+            Cluster.write c ~node:n a out_degree (Value.Data v);
+            Cluster.release c ~node:n a)
+    | Op_relink (n, s, f, t) ->
+        on_object n s (fun () ->
+            let target = w.handles.(n).(t) in
+            if legal w target then begin
+              let a = Cluster.acquire_write c ~node:n w.handles.(n).(s) in
+              w.handles.(n).(s) <- a;
+              Cluster.write c ~node:n a f (Value.Ref target);
+              Cluster.release c ~node:n a
+            end)
+    | Op_unlink (n, s, f) ->
+        on_object n s (fun () ->
+            let a = Cluster.acquire_write c ~node:n w.handles.(n).(s) in
+            w.handles.(n).(s) <- a;
+            Cluster.write c ~node:n a f Value.nil;
+            Cluster.release c ~node:n a)
+    | Op_root_add (n, i) ->
+        on_object n i (fun () ->
+            if not w.rooted.(n).(i) then begin
+              let a = Cluster.acquire_read c ~node:n w.handles.(n).(i) in
+              w.handles.(n).(i) <- a;
+              Cluster.release c ~node:n a;
+              Cluster.add_root c ~node:n a;
+              w.rooted.(n).(i) <- true
+            end)
+    | Op_root_drop (n, i) ->
+        if w.rooted.(n).(i) then begin
+          Cluster.remove_root c ~node:n w.handles.(n).(i);
+          w.rooted.(n).(i) <- false
+        end
+    | Op_bgc (n, b) -> ignore (Cluster.bgc c ~node:n ~bunch:w.bunches.(b))
+    | Op_ggc n -> ignore (Cluster.ggc c ~node:n)
+    | Op_drain -> ignore (Cluster.drain c)
+    | Op_drop_window ->
+        Net.set_fault (Cluster.net c) ~kind:Net.Stub_table ~drop:1.0 ~dup:0.0
+          ~rng:w.rng;
+        ignore (Cluster.drain c);
+        Net.clear_faults (Cluster.net c)
+    | Op_txn (n, s, t, commit) ->
+        on_object n s (fun () ->
+            if legal w w.handles.(n).(t) then begin
+              let txn = Bmx_txn.Txn.begin_ c ~node:n in
+              (try
+                 Bmx_txn.Txn.write txn w.handles.(n).(s) out_degree (Value.Data 1);
+                 ignore (Bmx_txn.Txn.read txn w.handles.(n).(t) out_degree);
+                 if commit then Bmx_txn.Txn.commit txn else Bmx_txn.Txn.abort txn
+               with Bmx_txn.Txn.Conflict _ -> Bmx_txn.Txn.abort txn)
+            end)
+    | Op_fetch (n, i) ->
+        on_object n i (fun () ->
+            let a = Cluster.demand_fetch c ~node:n w.handles.(n).(i) in
+            w.handles.(n).(i) <- a;
+            ignore (Cluster.read c ~weak:true ~node:n a out_degree))
+    | Op_reclaim (n, b) ->
+        (* From-space reuse rewrites every pointer the node holds (stack
+           and heap) before dropping the doomed forwarders (§4.5).  The
+           handle array models mutator registers, so re-sync it by stable
+           identity after the call. *)
+        let proto = Cluster.proto c in
+        let uids = Array.map (Protocol.uid_of_addr proto) w.handles.(n) in
+        ignore (Cluster.reclaim_from_space c ~node:n ~bunch:w.bunches.(b));
+        let store = Protocol.store proto n in
+        Array.iteri
+          (fun i u ->
+            match u with
+            | Some uid -> (
+                match Bmx_memory.Store.addr_of_uid store uid with
+                | Some a -> w.handles.(n).(i) <- a
+                | None -> ())
+            | None -> ())
+          uids
+  with Failure _ ->
+    (* Token conflicts etc. are legal outcomes of random programs; the
+       properties below are about heap safety, not about programs being
+       well-synchronized. *)
+    ()
+
+(* ------------------------------------------------------------- properties *)
+
+(* Any handle a mutator still roots must dereference to the right object. *)
+let handles_resolve w =
+  let ok = ref true in
+  Array.iteri
+    (fun n per_node ->
+      Array.iteri
+        (fun i addr ->
+          if w.rooted.(n).(i) then
+            match
+              Bmx_memory.Store.resolve (Protocol.store (Cluster.proto w.cluster) n) addr
+            with
+            | Some _ -> ()
+            | None -> ok := false)
+        per_node)
+    w.handles;
+  !ok
+
+let prop_safety =
+  QCheck.Test.make ~name:"no reachable object is ever lost" ~count:100 arb_program
+    (fun program ->
+      let w = build_world 42 in
+      List.iter
+        (fun op ->
+          exec_op w op;
+          (match Bmx.Audit.check_safety w.cluster with
+          | Ok () -> ()
+          | Error msg -> QCheck.Test.fail_reportf "safety broken: %s" msg);
+          match Bmx.Audit.check_tokens w.cluster with
+          | Ok () -> ()
+          | Error msg -> QCheck.Test.fail_reportf "token discipline broken: %s" msg)
+        program;
+      ignore (Cluster.drain w.cluster);
+      (match Bmx.Audit.check_safety w.cluster with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "safety broken at end: %s" msg);
+      handles_resolve w)
+
+let prop_safety_centralized =
+  QCheck.Test.make
+    ~name:"no reachable object is ever lost (centralized copy-sets)" ~count:50
+    arb_program (fun program ->
+      let w = build_world ~mode:Protocol.Centralized 42 in
+      List.iter (exec_op w) program;
+      ignore (Cluster.drain w.cluster);
+      (match Bmx.Audit.check_safety w.cluster with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "safety broken: %s" msg);
+      handles_resolve w)
+
+let prop_safety_large_world =
+  QCheck.Test.make ~name:"no reachable object is ever lost (5 nodes, 24 objects)"
+    ~count:25 arb_program (fun program ->
+      let w = build_world ~nodes:5 ~objects:24 41 in
+      List.iter
+        (fun op ->
+          exec_op w op;
+          match Bmx.Audit.check_safety w.cluster with
+          | Ok () -> ()
+          | Error msg -> QCheck.Test.fail_reportf "safety broken: %s" msg)
+        program;
+      ignore (Cluster.drain w.cluster);
+      Result.is_ok (Bmx.Audit.check_safety w.cluster)
+      && Result.is_ok (Bmx.Audit.check_tokens w.cluster))
+
+let prop_collection_converges =
+  QCheck.Test.make ~name:"repeated rounds stop reclaiming (fixpoint)" ~count:25
+    arb_program (fun program ->
+      let w = build_world 7 in
+      List.iter (exec_op w) program;
+      ignore (Cluster.drain w.cluster);
+      ignore (Cluster.collect_until_quiescent w.cluster ~max_rounds:50 ());
+      (* One more full round must reclaim nothing. *)
+      Cluster.gc_round w.cluster = 0)
+
+let prop_gc_never_acquires =
+  QCheck.Test.make ~name:"collector acquires no token on any schedule" ~count:40
+    arb_program (fun program ->
+      let w = build_world 13 in
+      List.iter (exec_op w) program;
+      Stats.get (Cluster.stats w.cluster) "dsm.gc.acquire_read"
+      + Stats.get (Cluster.stats w.cluster) "dsm.gc.acquire_write"
+      = 0)
+
+let prop_ptr_eq_stable_under_gc =
+  QCheck.Test.make ~name:"ptr_eq is stable under collection" ~count:40 arb_program
+    (fun program ->
+      let w = build_world 99 in
+      let c = w.cluster in
+      let a = w.handles.(0).(0) in
+      List.iter (exec_op w) program;
+      ignore (Cluster.drain c);
+      (* Handle 0 is rooted at node 0 from setup unless a drop removed it;
+         re-fetch its current address and compare with the original. *)
+      if w.rooted.(0).(0) then
+        Cluster.ptr_eq c ~node:0 a w.handles.(0).(0)
+      else true)
+
+(* The reference-map bit arrays (§8) must always agree with the pointer
+   fields of the objects they describe, whatever the mutators and
+   collectors did. *)
+let ref_maps_consistent w =
+  let proto = Cluster.proto w.cluster in
+  let ok = ref true in
+  List.iter
+    (fun node ->
+      let store = Protocol.store proto node in
+      Bmx_memory.Store.iter store (fun addr cell ->
+          match cell with
+          | Bmx_memory.Store.Forwarder _ -> ()
+          | Bmx_memory.Store.Object obj -> (
+              match Bmx_memory.Store.segment_at store addr with
+              | None -> ()
+              | Some seg ->
+                  if not (Bmx_util.Bitmap.get seg.Bmx_memory.Segment.object_map addr)
+                  then ok := false;
+                  Array.iteri
+                    (fun i v ->
+                      let field =
+                        Addr.add addr
+                          (Bmx_memory.Heap_obj.header_bytes + (i * Addr.word))
+                      in
+                      if Bmx_memory.Segment.contains seg field then begin
+                        let bit =
+                          Bmx_util.Bitmap.get seg.Bmx_memory.Segment.ref_map field
+                        in
+                        if bit <> Bmx_memory.Value.is_pointer v then ok := false
+                      end)
+                    obj.Bmx_memory.Heap_obj.fields)))
+    (Cluster.nodes w.cluster);
+  !ok
+
+let prop_refmaps =
+  QCheck.Test.make ~name:"object/reference maps track the heap (§8)" ~count:40
+    arb_program (fun program ->
+      let w = build_world 77 in
+      List.iter (exec_op w) program;
+      ignore (Cluster.drain w.cluster);
+      ref_maps_consistent w)
+
+(* Pure data-structure properties. *)
+
+let prop_bitmap_model =
+  QCheck.Test.make ~name:"bitmap behaves like a set of words" ~count:200
+    QCheck.(list (pair (int_bound 255) bool))
+    (fun ops ->
+      let range = Addr.Range.make ~lo:0 ~size:1024 in
+      let bm = Bitmap.create ~range in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (w, add) ->
+          let addr = w * Addr.word in
+          if add then begin
+            Bitmap.set bm addr;
+            Hashtbl.replace model addr ()
+          end
+          else begin
+            Bitmap.clear bm addr;
+            Hashtbl.remove model addr
+          end)
+        ops;
+      Hashtbl.length model = Bitmap.cardinal bm
+      && Hashtbl.fold (fun a () acc -> acc && Bitmap.get bm a) model true)
+
+let prop_rvm_recover_equals_commit =
+  QCheck.Test.make ~name:"rvm: recover reproduces committed state" ~count:100
+    QCheck.(list (pair (int_bound 31) (option (int_bound 1000))))
+    (fun ops ->
+      let module Rvm = Bmx_rvm.Rvm in
+      let r = Rvm.create ~copy:Fun.id () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let addr = (k + 1) * 4 in
+          Rvm.begin_tx r;
+          (match v with
+          | Some v ->
+              Rvm.set r addr v;
+              Hashtbl.replace model addr v
+          | None ->
+              Rvm.delete r addr;
+              Hashtbl.remove model addr);
+          Rvm.commit r)
+        ops;
+      Rvm.crash r;
+      Rvm.recover r;
+      Hashtbl.length model = Rvm.cardinal r
+      && Hashtbl.fold (fun a v acc -> acc && Rvm.get r a = Some v) model true)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng: int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let g = Rng.make seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let x = Rng.int g bound in
+        if x < 0 || x >= bound then ok := false
+      done;
+      !ok)
+
+(* Pinned randomness: deterministic CI runs; set QCHECK_SEED to explore. *)
+let pinned_to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260704 |]) t
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "collector",
+        List.map pinned_to_alcotest
+          [
+            prop_safety;
+            prop_safety_centralized;
+            prop_safety_large_world;
+            prop_collection_converges;
+            prop_gc_never_acquires;
+            prop_ptr_eq_stable_under_gc;
+            prop_refmaps;
+          ] );
+      ( "substrates",
+        List.map pinned_to_alcotest
+          [ prop_bitmap_model; prop_rvm_recover_equals_commit; prop_rng_int_bounds ]
+      );
+    ]

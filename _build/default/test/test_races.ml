@@ -1,0 +1,243 @@
+(* Deterministic regressions for the protection races of DESIGN.md §5.
+
+   Each of these scenarios was originally found by randomized property
+   testing (often needing thousands of programs); here they are pinned as
+   minimal deterministic reproductions so a regression cannot hide. *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Directory = Bmx_dsm.Directory
+module Store = Bmx_memory.Store
+module Value = Bmx_memory.Value
+module Net = Bmx_netsim.Net
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let alive c uid = Ids.Uid_set.mem uid (Bmx.Audit.cached_anywhere c)
+
+(* Race 1: a scion protecting an object with no local copy at the scion
+   node ("phantom" scion).  The reference s->x is created at N2, where
+   x's bunch is mapped but x itself was never cached; every BGC at x's
+   owner must still keep x alive, via the scion node's conservative
+   exiting entry. *)
+let test_phantom_scion_protects () =
+  let c = Cluster.create ~nodes:3 () in
+  let bt = Cluster.new_bunch c ~home:2 in
+  let bs = Cluster.new_bunch c ~home:1 in
+  let x = Cluster.alloc c ~node:0 ~bunch:bt [| Value.Data 1 |] in
+  let x_uid = Cluster.uid_at c ~node:0 x in
+  (* N2 creates the reference; bt is mapped at N2 (home) but x is not
+     cached there. *)
+  let s = Cluster.alloc c ~node:2 ~bunch:bs [| Value.Ref x |] in
+  Cluster.add_root c ~node:2 s;
+  ignore (Cluster.drain c);
+  check_bool "x not cached at the scion node" false (Cluster.cached_at c ~node:2 ~uid:x_uid);
+  (* The owner's BGC must not reclaim x, round after round. *)
+  for _ = 1 to 3 do
+    ignore (Cluster.bgc c ~node:0 ~bunch:bt);
+    ignore (Cluster.drain c);
+    check_bool "x survives at its owner" true (alive c x_uid)
+  done;
+  ignore (Cluster.gc_round c);
+  check_bool "x survives full rounds" true (alive c x_uid);
+  (* Dropping the reference lets the whole chain unwind. *)
+  let s' = Cluster.acquire_write c ~node:2 s in
+  Cluster.write c ~node:2 s' 0 Value.nil;
+  Cluster.release c ~node:2 s';
+  ignore (Cluster.collect_until_quiescent c ());
+  check_bool "x reclaimed once the reference is gone" false (alive c x_uid)
+
+(* Race 2: an intra-bunch pointer stored at a node that never cached the
+   target.  No SSP describes the dependency; the barrier's immediate
+   entering registration must carry it until the next BGC advertises a
+   conservative exiting entry. *)
+let test_uncached_intra_bunch_store () =
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let x_uid = Cluster.uid_at c ~node:0 x in
+  let s = Cluster.alloc c ~node:0 ~bunch:b [| Value.nil |] in
+  Cluster.add_root c ~node:0 x;
+  Cluster.add_root c ~node:0 s;
+  (* N1 takes s (not x) and links x in; then x's original root drops. *)
+  let s1 = Cluster.acquire_write c ~node:1 s in
+  Cluster.write c ~node:1 s1 0 (Value.Ref x);
+  Cluster.release c ~node:1 s1;
+  check_bool "x not cached at N1" false (Cluster.cached_at c ~node:1 ~uid:x_uid);
+  Cluster.remove_root c ~node:0 x;
+  (* The owner's BGC runs before N1 ever collects: N0's stale copy of s
+     does not show the new edge, so only the barrier registration
+     protects x. *)
+  let r = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "x not reclaimed" 0
+    (if alive c x_uid then 0 else r.Bmx_gc.Collect.r_reclaimed);
+  check_bool "x alive" true (alive c x_uid);
+  ignore (Cluster.collect_until_quiescent c ());
+  check_bool "x still alive at quiescence" true (alive c x_uid);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  (* Unlink: x dies. *)
+  let s1' = Cluster.acquire_write c ~node:1 s1 in
+  Cluster.write c ~node:1 s1' 0 Value.nil;
+  Cluster.release c ~node:1 s1';
+  ignore (Cluster.collect_until_quiescent c ());
+  check_bool "x reclaimed after unlink" false (alive c x_uid)
+
+(* Race 4: a reachability table SENT before a registration but DELIVERED
+   after it must not cancel the registration (stream logical clocks). *)
+let test_stale_table_vs_fresh_registration () =
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let x_uid = Cluster.uid_at c ~node:0 x in
+  let s = Cluster.alloc c ~node:0 ~bunch:b [| Value.nil |] in
+  Cluster.add_root c ~node:0 x;
+  Cluster.add_root c ~node:0 s;
+  (* N1 caches s and runs a BGC: its table (claiming nothing about x) is
+     QUEUED towards N0 but not delivered. *)
+  let s1 = Cluster.acquire_read c ~node:1 s in
+  Cluster.release c ~node:1 s1;
+  let _ = Cluster.bgc c ~node:1 ~bunch:b in
+  check_bool "table in flight" true (Net.pending (Cluster.net c) > 0);
+  (* Now N1 links x into s (registration at N0, logically newer), and
+     x's root drops. *)
+  let s1' = Cluster.acquire_write c ~node:1 s1 in
+  Cluster.write c ~node:1 s1' 0 (Value.Ref x);
+  Cluster.release c ~node:1 s1';
+  Cluster.remove_root c ~node:0 x;
+  (* The stale table arrives AFTER the registration. *)
+  ignore (Cluster.drain c);
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  check_bool "stale table did not cancel the fresh registration" true
+    (alive c x_uid);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+(* Race 5 (§4.5's replies): from-space reuse synchronously informs every
+   replica holder before dropping the forwarders, so a later grant
+   carrying the old address still lands. *)
+let test_reclaim_informs_before_dropping () =
+  let c = Cluster.create ~nodes:3 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 5 |] in
+  let s = Cluster.alloc c ~node:0 ~bunch:b [| Value.Ref x |] in
+  Cluster.add_root c ~node:0 s;
+  (* N1 owns s (with its pointer to x at the old address). *)
+  let s1 = Cluster.acquire_write c ~node:1 s in
+  Cluster.release c ~node:1 s1;
+  (* N0 moves x and reuses its from-space: N1 must be told synchronously. *)
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let _ = Cluster.reclaim_from_space c ~node:0 ~bunch:b in
+  (* A third node acquires s from N1; invariant 1 must give it a valid
+     path to x even though s's field holds x's old address. *)
+  let s2 = Cluster.acquire_read c ~node:2 s1 in
+  (match Cluster.read c ~node:2 s2 0 with
+  | Value.Ref p ->
+      let st2 = Protocol.store (Cluster.proto c) 2 in
+      check_bool "x reachable at N2 through the old address" true
+        (Store.resolve st2 p <> None
+        || Protocol.uid_of_addr (Cluster.proto c) (Store.current_addr st2 p) <> None)
+  | Value.Data _ -> Alcotest.fail "s.f0 should be a pointer");
+  Cluster.release c ~node:2 s2;
+  ignore (Cluster.gc_round c);
+  check_bool "x alive everywhere it should be" true
+    (alive c (Cluster.uid_at c ~node:0 x));
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+(* Race 6: during from-space reuse, the owner's copy may already sit
+   outside the doomed range; the reclaiming node must still move its OWN
+   replica out before dropping the segment. *)
+let test_reclaim_relocates_local_replica () =
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:1 in
+  let x = Cluster.alloc c ~node:1 ~bunch:b [| Value.Data 9 |] in
+  let x_uid = Cluster.uid_at c ~node:1 x in
+  Cluster.add_root c ~node:1 x;
+  (* N0 caches x at the original address and roots it. *)
+  let x0 = Cluster.acquire_read c ~node:0 x in
+  Cluster.release c ~node:0 x0;
+  Cluster.add_root c ~node:0 x0;
+  (* The owner N1 moves its copy (BGC); N0 still holds the old address. *)
+  let _ = Cluster.bgc c ~node:1 ~bunch:b in
+  (* N0 collects and reuses its from-space: its replica (in the doomed
+     range) must be relocated, not dropped. *)
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let _ = Cluster.reclaim_from_space c ~node:0 ~bunch:b in
+  check_bool "replica still cached at N0" true (Cluster.cached_at c ~node:0 ~uid:x_uid);
+  check_bool "root still resolves at N0" true
+    (Store.resolve (Protocol.store (Cluster.proto c) 0) x0 <> None
+    || Store.addr_of_uid (Protocol.store (Cluster.proto c) 0) x_uid <> None);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+(* Race 7: ownership recovery.  The recorded owner's replica can die
+   while another replica survives; the survivor adopts ownership so
+   acquires keep working. *)
+let test_ownership_adoption () =
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 3 |] in
+  let x_uid = Cluster.uid_at c ~node:0 x in
+  let x1 = Cluster.acquire_read c ~node:1 x in
+  Cluster.release c ~node:1 x1;
+  Cluster.add_root c ~node:1 x1;
+  (* Simulate the owner's replica having been collected in an unlucky
+     interleaving: remove it directly. *)
+  let proto = Cluster.proto c in
+  Store.remove (Protocol.store proto 0) x;
+  check_bool "owner record still says N0" true (Protocol.owner_of proto x_uid = Some 0);
+  (* N1 adopts. *)
+  Protocol.adopt_ownership proto ~node:1 ~uid:x_uid;
+  check (Alcotest.option Alcotest.int) "ownership moved" (Some 1)
+    (Protocol.owner_of proto x_uid);
+  (* Acquires route to the new owner and work. *)
+  let xa = Cluster.acquire_write c ~node:1 x1 in
+  Cluster.write c ~node:1 xa 0 (Value.Data 4);
+  Cluster.release c ~node:1 xa;
+  check_bool "data accessible after adoption" true
+    (Value.equal (Cluster.read c ~node:1 xa 0) (Value.Data 4));
+  (* Adoption refuses illegal cases. *)
+  Alcotest.check_raises "cannot adopt without a copy"
+    (Invalid_argument "Protocol.adopt_ownership: adopting node has no copy")
+    (fun () -> Protocol.adopt_ownership proto ~node:0 ~uid:x_uid)
+
+(* Logical clocks: Net.current_seq and registration stamping. *)
+let test_stream_logical_clocks () =
+  let stats = Stats.create_registry () in
+  let net : unit Net.t = Net.create ~stats () in
+  Net.set_handler net (fun _ -> ());
+  check_int "virgin stream" 0 (Net.current_seq net ~src:0 ~dst:1);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table ();
+  Net.record_rpc net ~src:0 ~dst:1 ~kind:Net.Token_request ();
+  check_int "two messages stamped" 2 (Net.current_seq net ~src:0 ~dst:1);
+  check_int "other direction untouched" 0 (Net.current_seq net ~src:1 ~dst:0);
+  (* Directory: newer registrations survive older tables. *)
+  let d = Bmx_dsm.Directory.create ~node:5 in
+  Directory.add_entering d ~seq:7 ~uid:1 ~from:2;
+  check_int "registration seq" 7 (Directory.entering_registration_seq d ~uid:1 ~from:2);
+  Directory.add_entering d ~seq:3 ~uid:1 ~from:2;
+  check_int "seq only moves forward" 7
+    (Directory.entering_registration_seq d ~uid:1 ~from:2);
+  Directory.add_entering d ~seq:9 ~uid:1 ~from:2;
+  check_int "newer seq accepted" 9
+    (Directory.entering_registration_seq d ~uid:1 ~from:2)
+
+let () =
+  Alcotest.run "races"
+    [
+      ( "protection races (DESIGN.md par. 5)",
+        [
+          Alcotest.test_case "phantom scions protect uncached targets" `Quick
+            test_phantom_scion_protects;
+          Alcotest.test_case "uncached intra-bunch stores protected" `Quick
+            test_uncached_intra_bunch_store;
+          Alcotest.test_case "stale tables cannot cancel fresh registrations" `Quick
+            test_stale_table_vs_fresh_registration;
+          Alcotest.test_case "from-space reuse waits for replies" `Quick
+            test_reclaim_informs_before_dropping;
+          Alcotest.test_case "reuse relocates the local replica" `Quick
+            test_reclaim_relocates_local_replica;
+          Alcotest.test_case "ownership adoption" `Quick test_ownership_adoption;
+          Alcotest.test_case "stream logical clocks" `Quick test_stream_logical_clocks;
+        ] );
+    ]

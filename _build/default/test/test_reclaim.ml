@@ -1,0 +1,120 @@
+(* From-space reuse (§4.5). *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+module Segment = Bmx_memory.Segment
+module Value = Bmx_memory.Value
+module Reclaim = Bmx_gc.Reclaim
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let from_space_segments c node bunch =
+  Store.segments_of_bunch (Protocol.store (Cluster.proto c) node) bunch
+  |> List.filter (fun s -> s.Segment.role = Segment.From_space)
+
+let test_reclaim_frees_single_node () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let head = Bmx_workload.Graphgen.linked_list c ~node:0 ~bunch:b ~len:20 in
+  Cluster.add_root c ~node:0 head;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  check_int "one from-space segment" 1 (List.length (from_space_segments c 0 b));
+  let r = Cluster.reclaim_from_space c ~node:0 ~bunch:b in
+  check_int "segment freed" 1 r.Reclaim.q_segments_freed;
+  check_bool "forwarders dropped" true (r.Reclaim.q_forwarders_dropped >= 20);
+  check_int "no from-space left" 0 (List.length (from_space_segments c 0 b));
+  (* The heap is intact and usable. *)
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  let head' = Store.current_addr (Protocol.store (Cluster.proto c) 0) head in
+  check_bool "list still readable" true
+    (match Cluster.read c ~node:0 head' 1 with Value.Data _ -> true | _ -> false)
+
+let test_reclaim_asks_owner_to_copy () =
+  (* N1 caches x but N0 owns it.  After N1's BGC, x sits (scanned, not
+     copied) in N1's from-space; reclaiming it requires asking N0 to
+     evacuate x. *)
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 5 |] in
+  Cluster.add_root c ~node:0 x;
+  let x1 = Cluster.acquire_read c ~node:1 x in
+  Cluster.release c ~node:1 x1;
+  Cluster.add_root c ~node:1 x1;
+  let r1 = Cluster.bgc c ~node:1 ~bunch:b in
+  check_int "nothing copied at N1 (not owner)" 0 r1.Bmx_gc.Collect.r_copied;
+  check_int "x scanned in place" 1 r1.Bmx_gc.Collect.r_scanned_in_place;
+  let rr = Cluster.reclaim_from_space c ~node:1 ~bunch:b in
+  check_int "owner was asked to copy" 1 rr.Reclaim.q_copy_requests;
+  check_bool "owner-side copies counted" true
+    (Stats.get (Cluster.stats c) "gc.reclaim.owner_copies" >= 1);
+  ignore (Cluster.drain c);
+  (* x survives at both nodes, outside the freed range. *)
+  let uid = Cluster.uid_at c ~node:0 x in
+  check_bool "x cached at N1" true (Cluster.cached_at c ~node:1 ~uid);
+  check_bool "x cached at N0" true (Cluster.cached_at c ~node:0 ~uid);
+  check_int "from-space gone at N1" 0 (List.length (from_space_segments c 1 b));
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  (* N1 can still use its (moved) replica through the mutator API. *)
+  let x1' = Cluster.acquire_read c ~node:1 x1 in
+  check_bool "replica readable after reclaim" true
+    (Value.equal (Cluster.read c ~node:1 x1' 0) (Value.Data 5));
+  Cluster.release c ~node:1 x1'
+
+let test_reclaim_broadcasts_updates () =
+  let c = Cluster.create ~nodes:2 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 5 |] in
+  Cluster.add_root c ~node:0 x;
+  let x1 = Cluster.acquire_read c ~node:1 x in
+  Cluster.release c ~node:1 x1;
+  Cluster.add_root c ~node:1 x1;
+  (* Owner-side BGC moves x; the from-space holds the forwarder. *)
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let r = Cluster.reclaim_from_space c ~node:0 ~bunch:b in
+  check_bool "address changes broadcast" true (r.Reclaim.q_updates_broadcast >= 1);
+  ignore (Cluster.drain c);
+  (* N1 learned the new address through the background update. *)
+  let uid = Cluster.uid_at c ~node:0 x in
+  let n0 = Protocol.store (Cluster.proto c) 0 in
+  let n1 = Protocol.store (Cluster.proto c) 1 in
+  check (Alcotest.option Alcotest.int) "N1 converged on the new address"
+    (Store.addr_of_uid n0 uid)
+    (Option.map (Store.current_addr n1) (Store.addr_of_uid n1 uid));
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_reclaim_reuses_bytes () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let head = Bmx_workload.Graphgen.linked_list c ~node:0 ~bunch:b ~len:50 in
+  Cluster.add_root c ~node:0 head;
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  let r = Cluster.reclaim_from_space c ~node:0 ~bunch:b in
+  check_bool "bytes accounted" true (r.Reclaim.q_bytes_freed >= Segment.default_bytes)
+
+let test_reclaim_noop_without_from_space () =
+  let c = Cluster.create ~nodes:1 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  ignore (Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |]);
+  let r = Cluster.reclaim_from_space c ~node:0 ~bunch:b in
+  check_int "nothing to free" 0 r.Reclaim.q_segments_freed
+
+let () =
+  Alcotest.run "reclaim"
+    [
+      ( "from-space reuse",
+        [
+          Alcotest.test_case "frees the segment on a single node" `Quick
+            test_reclaim_frees_single_node;
+          Alcotest.test_case "asks owners to copy live objects out" `Quick
+            test_reclaim_asks_owner_to_copy;
+          Alcotest.test_case "broadcasts address changes" `Quick
+            test_reclaim_broadcasts_updates;
+          Alcotest.test_case "accounts freed bytes" `Quick test_reclaim_reuses_bytes;
+          Alcotest.test_case "no-op without from-space" `Quick
+            test_reclaim_noop_without_from_space;
+        ] );
+    ]

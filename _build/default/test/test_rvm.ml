@@ -1,0 +1,180 @@
+module Rvm = Bmx_rvm.Rvm
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_opt = check (Alcotest.option Alcotest.string)
+
+let make () = Rvm.create ~copy:Fun.id ()
+
+let test_commit_applies () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  Rvm.set r 8 "b";
+  Rvm.commit r;
+  check_opt "read a" (Some "a") (Rvm.get r 4);
+  check_opt "read b" (Some "b") (Rvm.get r 8);
+  check_int "cardinal" 2 (Rvm.cardinal r)
+
+let test_abort_discards () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  Rvm.abort r;
+  check_opt "nothing applied" None (Rvm.get r 4);
+  check_int "log untouched" 0 (Rvm.log_length r)
+
+let test_uncommitted_reads_own_writes () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  check_opt "sees own write" (Some "a") (Rvm.get r 4);
+  Rvm.delete r 4;
+  check_opt "sees own delete" None (Rvm.get r 4);
+  Rvm.abort r
+
+let test_crash_loses_volatile_recover_restores () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  Rvm.commit r;
+  Rvm.crash r;
+  check_opt "volatile lost" None (Rvm.get r 4);
+  Rvm.recover r;
+  check_opt "recovered from log" (Some "a") (Rvm.get r 4)
+
+let test_crash_mid_tx_invisible () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "committed";
+  Rvm.commit r;
+  Rvm.begin_tx r;
+  Rvm.set r 4 "doomed";
+  Rvm.set r 8 "also doomed";
+  Rvm.crash r;
+  Rvm.recover r;
+  check_opt "committed survives" (Some "committed") (Rvm.get r 4);
+  check_opt "uncommitted gone" None (Rvm.get r 8)
+
+let test_torn_commit_ignored () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "safe";
+  Rvm.commit r;
+  Rvm.begin_tx r;
+  Rvm.set r 4 "torn";
+  (* Crash after the data records reached the log, before the commit
+     record: recovery must ignore the tail. *)
+  Rvm.crash_mid_commit r;
+  Rvm.recover r;
+  check_opt "torn tail ignored" (Some "safe") (Rvm.get r 4)
+
+let test_recover_idempotent () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  Rvm.delete r 4;
+  Rvm.set r 4 "b";
+  Rvm.commit r;
+  Rvm.recover r;
+  Rvm.recover r;
+  check_opt "stable" (Some "b") (Rvm.get r 4)
+
+let test_checkpoint_truncates () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  Rvm.commit r;
+  check_bool "log non-empty" true (Rvm.log_length r > 0);
+  Rvm.checkpoint r;
+  check_int "log truncated" 0 (Rvm.log_length r);
+  Rvm.crash r;
+  Rvm.recover r;
+  check_opt "data survives via checkpoint image" (Some "a") (Rvm.get r 4)
+
+let test_delete_logged () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  Rvm.commit r;
+  Rvm.begin_tx r;
+  Rvm.delete r 4;
+  Rvm.commit r;
+  Rvm.crash r;
+  Rvm.recover r;
+  check_opt "delete replayed" None (Rvm.get r 4)
+
+let test_no_nested_tx () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Alcotest.check_raises "nested" (Failure "Rvm.begin_tx: transaction already open")
+    (fun () -> Rvm.begin_tx r);
+  Rvm.abort r;
+  Alcotest.check_raises "set outside tx" (Failure "Rvm: no open transaction")
+    (fun () -> Rvm.set r 4 "x")
+
+let test_values_copied () =
+  (* Mutating a value after set must not corrupt the log (bytes-through-
+     a-file semantics). *)
+  let r = Rvm.create ~copy:Bytes.copy () in
+  let v = Bytes.of_string "abc" in
+  Rvm.begin_tx r;
+  Rvm.set r 4 v;
+  Bytes.set v 0 'X';
+  Rvm.commit r;
+  Rvm.crash r;
+  Rvm.recover r;
+  check_opt "copied at set time" (Some "abc")
+    (Option.map Bytes.to_string (Rvm.get r 4))
+
+(* A GC-flavoured end-to-end: persist a heap image, crash mid-"collection",
+   recover the pre-collection state (the O'Toole from/to-space-as-files
+   arrangement of §8). *)
+let test_heap_image_recovery () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 100 "obj1";
+  Rvm.set r 200 "obj2";
+  Rvm.commit r;
+  (* A "BGC" moves obj1 to 300 inside a transaction, then the node dies
+     before committing. *)
+  Rvm.begin_tx r;
+  Rvm.set r 300 "obj1";
+  Rvm.delete r 100;
+  Rvm.crash r;
+  Rvm.recover r;
+  check_opt "pre-GC state intact" (Some "obj1") (Rvm.get r 100);
+  check_opt "to-space write invisible" None (Rvm.get r 300);
+  (* Re-run the collection and commit this time. *)
+  Rvm.begin_tx r;
+  Rvm.set r 300 "obj1";
+  Rvm.delete r 100;
+  Rvm.commit r;
+  Rvm.crash r;
+  Rvm.recover r;
+  check_opt "post-GC state durable" (Some "obj1") (Rvm.get r 300);
+  check_opt "from-space slot gone" None (Rvm.get r 100)
+
+let () =
+  Alcotest.run "rvm"
+    [
+      ( "transactions",
+        [
+          Alcotest.test_case "commit applies" `Quick test_commit_applies;
+          Alcotest.test_case "abort discards" `Quick test_abort_discards;
+          Alcotest.test_case "reads own writes" `Quick test_uncommitted_reads_own_writes;
+          Alcotest.test_case "no nesting" `Quick test_no_nested_tx;
+          Alcotest.test_case "values copied" `Quick test_values_copied;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "crash/recover" `Quick test_crash_loses_volatile_recover_restores;
+          Alcotest.test_case "crash mid-transaction" `Quick test_crash_mid_tx_invisible;
+          Alcotest.test_case "torn commit ignored" `Quick test_torn_commit_ignored;
+          Alcotest.test_case "recover idempotent" `Quick test_recover_idempotent;
+          Alcotest.test_case "checkpoint truncates" `Quick test_checkpoint_truncates;
+          Alcotest.test_case "deletes replayed" `Quick test_delete_logged;
+          Alcotest.test_case "heap image recovery (E13)" `Quick test_heap_image_recovery;
+        ] );
+    ]

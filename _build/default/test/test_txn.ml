@@ -1,0 +1,223 @@
+(* Transactions over the weakly consistent DSM (§10 future work). *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Value = Bmx_memory.Value
+module Txn = Bmx_txn.Txn
+module Rvm = Bmx_rvm.Rvm
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let setup () =
+  let c = Cluster.create ~nodes:3 () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 10 |] in
+  let y = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 20 |] in
+  Cluster.add_root c ~node:0 x;
+  Cluster.add_root c ~node:0 y;
+  (c, b, x, y)
+
+let data c node addr =
+  match Cluster.read c ~node addr 0 with Value.Data v -> v | _ -> assert false
+
+let test_commit_visible () =
+  let c, _, x, y = setup () in
+  (* Transfer 5 from x to y at node 1, transactionally. *)
+  let t = Txn.begin_ c ~node:1 in
+  let vx = match Txn.read t x 0 with Value.Data v -> v | _ -> assert false in
+  let vy = match Txn.read t y 0 with Value.Data v -> v | _ -> assert false in
+  Txn.write t x 0 (Value.Data (vx - 5));
+  Txn.write t y 0 (Value.Data (vy + 5));
+  check_int "write set" 2 (Txn.write_set_size t);
+  Txn.commit t;
+  check_bool "committed" true (Txn.status t = Txn.Committed);
+  (* Node 2 observes the committed state. *)
+  let x2 = Cluster.acquire_read c ~node:2 x in
+  let y2 = Cluster.acquire_read c ~node:2 y in
+  check_int "x" 5 (data c 2 x2);
+  check_int "y" 25 (data c 2 y2);
+  Cluster.release c ~node:2 x2;
+  Cluster.release c ~node:2 y2
+
+let test_abort_restores () =
+  let c, _, x, y = setup () in
+  let t = Txn.begin_ c ~node:1 in
+  Txn.write t x 0 (Value.Data 999);
+  Txn.write t x 0 (Value.Data 1000);
+  Txn.write t y 0 (Value.Data 0);
+  Txn.abort t;
+  check_bool "aborted" true (Txn.status t = Txn.Aborted);
+  let x0 = Cluster.acquire_read c ~node:0 x in
+  let y0 = Cluster.acquire_read c ~node:0 y in
+  check_int "x restored" 10 (data c 0 x0);
+  check_int "y restored" 20 (data c 0 y0);
+  Cluster.release c ~node:0 x0;
+  Cluster.release c ~node:0 y0
+
+let test_isolation_conflict () =
+  let c, _, x, _ = setup () in
+  let t1 = Txn.begin_ c ~node:1 in
+  Txn.write t1 x 0 (Value.Data 11);
+  (* A concurrent transaction at node 2 cannot touch x. *)
+  let t2 = Txn.begin_ c ~node:2 in
+  check_bool "conflict raised" true
+    (try
+       ignore (Txn.read t2 x 0);
+       false
+     with Txn.Conflict _ -> true);
+  Txn.abort t2;
+  Txn.commit t1;
+  (* After commit, node 2 reads the new value. *)
+  let t3 = Txn.begin_ c ~node:2 in
+  check_bool "post-commit read" true (Txn.read t3 x 0 = Value.Data 11);
+  Txn.commit t3
+
+let test_read_then_upgrade () =
+  let c, _, x, _ = setup () in
+  let t = Txn.begin_ c ~node:1 in
+  ignore (Txn.read t x 0);
+  check_int "read set" 1 (Txn.read_set_size t);
+  Txn.write t x 0 (Value.Data 42);
+  check_int "upgraded to write set" 1 (Txn.write_set_size t);
+  check_int "read set drained" 0 (Txn.read_set_size t);
+  Txn.commit t
+
+let test_alloc_in_aborted_txn_is_garbage () =
+  let c, b, x, _ = setup () in
+  let t = Txn.begin_ c ~node:0 in
+  let fresh = Txn.alloc t ~bunch:b [| Value.Data 7 |] in
+  Txn.write t x 0 (Value.Ref fresh);
+  Txn.abort t;
+  (* x's old value is restored, so the allocation is unreachable. *)
+  let reclaimed = Cluster.collect_until_quiescent c () in
+  check_bool "aborted allocation collected" true (reclaimed >= 1);
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+
+let test_bgc_during_open_txn () =
+  (* The paper's collector runs happily in the middle of a transaction —
+     it acquires no token, so transactional locks cannot block it. *)
+  let c, b, x, _ = setup () in
+  let t = Txn.begin_ c ~node:1 in
+  Txn.write t x 0 (Value.Data 77);
+  let r = Cluster.bgc c ~node:0 ~bunch:b in
+  check_bool "BGC ran under an open transaction" true (r.Bmx_gc.Collect.r_live >= 2);
+  check_int "no collector tokens" 0
+    (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write");
+  (* ... while the strongly consistent baseline collector conflicts. *)
+  check_bool "locking collector blocks on the transaction" true
+    (try
+       ignore (Bmx_baseline.Locking_gc.run (Cluster.gc c) ~node:0 ~bunch:b);
+       false
+     with Failure _ -> true);
+  Txn.commit t;
+  check_bool "txn value committed" true
+    (let x0 = Cluster.acquire_read c ~node:0 x in
+     let v = data c 0 x0 in
+     Cluster.release c ~node:0 x0;
+     v = 77)
+
+let test_durable_commit () =
+  let c, _, x, y = setup () in
+  let disk = Rvm.create ~copy:(fun (a, o) -> (a, Bmx_memory.Heap_obj.clone o)) () in
+  let t = Txn.begin_ c ~node:1 in
+  Txn.write t x 0 (Value.Data 111);
+  Txn.write t y 0 (Value.Data 222);
+  Txn.commit ~durable:disk t;
+  (* Crash the disk and recover: both after-images are there. *)
+  Rvm.crash disk;
+  Rvm.recover disk;
+  check_int "both after-images durable" 2 (Rvm.cardinal disk);
+  let values =
+    Rvm.fold disk ~init:[] ~f:(fun _ (_, o) acc ->
+        (match Bmx_memory.Heap_obj.get o 0 with Value.Data v -> v | _ -> -1) :: acc)
+    |> List.sort compare
+  in
+  check (Alcotest.list Alcotest.int) "values" [ 111; 222 ] values
+
+let test_txn_across_gc_moves () =
+  (* A transaction keeps working on objects the collector moves under
+     it: handles stay valid through [Txn.current]. *)
+  let c, b, x, _ = setup () in
+  let t = Txn.begin_ c ~node:0 in
+  Txn.write t x 0 (Value.Data 5);
+  let _ = Cluster.bgc c ~node:0 ~bunch:b in
+  (* The object moved; the transaction still reads and writes it. *)
+  check_bool "read after move" true (Txn.read t x 0 = Value.Data 5);
+  Txn.write t x 0 (Value.Data 6);
+  Txn.commit t;
+  let x' = Cluster.acquire_read c ~node:0 x in
+  check_int "final value" 6 (data c 0 x');
+  Cluster.release c ~node:0 x'
+
+(* Property: money is conserved across any mix of committed and aborted
+   transfers, with collections interleaved anywhere. *)
+let prop_conservation =
+  QCheck.Test.make ~name:"transfers conserve the total under commit/abort/GC"
+    ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 5 25) (triple (int_bound 7) (int_bound 7) bool))
+    (fun steps ->
+      let c = Cluster.create ~nodes:3 () in
+      let b = Cluster.new_bunch c ~home:0 in
+      let accounts =
+        Array.init 8 (fun _ -> Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 100 |])
+      in
+      Array.iter (fun a -> Cluster.add_root c ~node:0 a) accounts;
+      let step k (src, dst, commit) =
+        let node = k mod 3 in
+        let t = Txn.begin_ c ~node in
+        (try
+           let vs = match Txn.read t accounts.(src) 0 with
+             | Value.Data v -> v
+             | _ -> assert false
+           in
+           Txn.write t accounts.(src) 0 (Value.Data (vs - 7));
+           (* Read the destination AFTER debiting, so self-transfers see
+              their own write (read-your-writes within the txn). *)
+           let vd = match Txn.read t accounts.(dst) 0 with
+             | Value.Data v -> v
+             | _ -> assert false
+           in
+           Txn.write t accounts.(dst) 0 (Value.Data (vd + 7));
+           if commit then Txn.commit t else Txn.abort t
+         with Txn.Conflict _ -> Txn.abort t);
+        if k mod 4 = 0 then ignore (Cluster.gc_round c)
+      in
+      List.iteri step steps;
+      ignore (Cluster.collect_until_quiescent c ());
+      let total =
+        Array.fold_left
+          (fun acc a ->
+            let a' = Cluster.acquire_read c ~node:0 a in
+            let v = data c 0 a' in
+            Cluster.release c ~node:0 a';
+            acc + v)
+          0 accounts
+      in
+      total = 800 && Result.is_ok (Bmx.Audit.check_safety c))
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "acid",
+        [
+          Alcotest.test_case "commit makes effects visible" `Quick test_commit_visible;
+          Alcotest.test_case "abort restores before-images" `Quick test_abort_restores;
+          Alcotest.test_case "isolation via held tokens" `Quick test_isolation_conflict;
+          Alcotest.test_case "read-to-write upgrade" `Quick test_read_then_upgrade;
+          Alcotest.test_case "aborted allocations become garbage" `Quick
+            test_alloc_in_aborted_txn_is_garbage;
+          Alcotest.test_case "durable commit via RVM" `Quick test_durable_commit;
+        ] );
+      ( "gc interplay",
+        [
+          Alcotest.test_case "BGC runs under an open transaction" `Quick
+            test_bgc_during_open_txn;
+          Alcotest.test_case "transaction survives GC moves" `Quick
+            test_txn_across_gc_moves;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260704 |]) prop_conservation ]);
+    ]

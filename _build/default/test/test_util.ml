@@ -1,0 +1,252 @@
+open Bmx_util
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ------------------------------------------------------------------ Addr *)
+
+let test_addr_align () =
+  check_int "aligned stays" 8 (Addr.align_up 8);
+  check_int "rounds up" 8 (Addr.align_up 5);
+  check_int "zero" 0 (Addr.align_up 0);
+  check_bool "is_aligned 4" true (Addr.is_aligned 4);
+  check_bool "is_aligned 6" false (Addr.is_aligned 6)
+
+let test_addr_arith () =
+  check_int "add" 100 (Addr.add 60 40);
+  check_int "diff" 40 (Addr.diff 100 60);
+  check_bool "null" true (Addr.is_null Addr.null);
+  Alcotest.check_raises "overflow" (Invalid_argument "Addr.add: address overflow")
+    (fun () -> ignore (Addr.add max_int 1))
+
+let test_range () =
+  let r = Addr.Range.make ~lo:4096 ~size:8192 in
+  check_int "size" 8192 (Addr.Range.size r);
+  check_bool "contains lo" true (Addr.Range.contains r 4096);
+  check_bool "excludes hi" false (Addr.Range.contains r (4096 + 8192));
+  let r2 = Addr.Range.make ~lo:(4096 + 8192) ~size:4096 in
+  check_bool "adjacent ranges do not overlap" false (Addr.Range.overlaps r r2);
+  let r3 = Addr.Range.make ~lo:8000 ~size:8192 in
+  check_bool "overlapping ranges overlap" true (Addr.Range.overlaps r r3);
+  Alcotest.check_raises "empty range rejected"
+    (Invalid_argument "Addr.Range.make: size must be positive") (fun () ->
+      ignore (Addr.Range.make ~lo:0 ~size:0))
+
+(* ---------------------------------------------------------------- Bitmap *)
+
+let test_bitmap_basic () =
+  let range = Addr.Range.make ~lo:4096 ~size:1024 in
+  let bm = Bitmap.create ~range in
+  check_int "starts empty" 0 (Bitmap.cardinal bm);
+  Bitmap.set bm 4096;
+  Bitmap.set bm 5116;
+  check_bool "get set bit" true (Bitmap.get bm 4096);
+  check_bool "get clear bit" false (Bitmap.get bm 4100);
+  check_int "cardinal" 2 (Bitmap.cardinal bm);
+  Bitmap.clear bm 4096;
+  check_bool "cleared" false (Bitmap.get bm 4096);
+  check_int "cardinal after clear" 1 (Bitmap.cardinal bm)
+
+let test_bitmap_iter () =
+  let range = Addr.Range.make ~lo:0 ~size:256 in
+  let bm = Bitmap.create ~range in
+  List.iter (Bitmap.set bm) [ 0; 12; 200; 252 ];
+  let seen = ref [] in
+  Bitmap.iter_set bm (fun a -> seen := a :: !seen);
+  check (Alcotest.list Alcotest.int) "iter in order" [ 0; 12; 200; 252 ]
+    (List.rev !seen);
+  check (Alcotest.option Alcotest.int) "next_set" (Some 200) (Bitmap.next_set bm 13);
+  check (Alcotest.option Alcotest.int) "next_set beyond" None (Bitmap.next_set bm 253)
+
+let test_bitmap_bounds () =
+  let range = Addr.Range.make ~lo:4096 ~size:64 in
+  let bm = Bitmap.create ~range in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitmap: address out of range")
+    (fun () -> Bitmap.set bm 0);
+  Alcotest.check_raises "unaligned" (Invalid_argument "Bitmap: unaligned address")
+    (fun () -> Bitmap.set bm 4097)
+
+let test_bitmap_copy_independent () =
+  let range = Addr.Range.make ~lo:0 ~size:64 in
+  let bm = Bitmap.create ~range in
+  Bitmap.set bm 0;
+  let bm2 = Bitmap.copy bm in
+  Bitmap.clear bm2 0;
+  check_bool "original unaffected" true (Bitmap.get bm 0)
+
+(* ------------------------------------------------------------------- Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.make 123 and b = Rng.make 123 in
+  for _ = 1 to 50 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let g = Rng.make 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int g 17 in
+    check_bool "in bounds" true (x >= 0 && x < 17)
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float g 2.5 in
+    check_bool "float in bounds" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_split () =
+  let g = Rng.make 7 in
+  let h = Rng.split g in
+  let xs = List.init 10 (fun _ -> Rng.int g 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int h 1000) in
+  check_bool "split streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let g = Rng.make 11 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" (Array.init 20 Fun.id) sorted
+
+(* ----------------------------------------------------------------- Stats *)
+
+let test_stats_counters () =
+  let reg = Stats.create_registry () in
+  Stats.incr reg "a";
+  Stats.incr reg ~by:5 "a";
+  Stats.incr reg "b";
+  check_int "a" 6 (Stats.get reg "a");
+  check_int "b" 1 (Stats.get reg "b");
+  check_int "missing is zero" 0 (Stats.get reg "zzz");
+  let d =
+    Stats.diff
+      ~before:[ ("a", 2); ("c", 1) ]
+      ~after:[ ("a", 6); ("b", 1) ]
+  in
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "diff"
+    [ ("a", 4); ("b", 1); ("c", -1) ]
+    d;
+  Stats.reset reg;
+  check_int "reset" 0 (Stats.get reg "a")
+
+let test_stats_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "n" 5 (Stats.Summary.n s);
+  check (Alcotest.float 1e-9) "mean" 3.0 (Stats.Summary.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.Summary.min s);
+  check (Alcotest.float 1e-9) "max" 5.0 (Stats.Summary.max s);
+  check (Alcotest.float 1e-6) "stddev" (sqrt 2.5) (Stats.Summary.stddev s);
+  check (Alcotest.float 1e-9) "median" 3.0 (Stats.Summary.percentile s 50.0)
+
+(* ----------------------------------------------------------------- Table *)
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~columns:[ "x"; "y" ] in
+  Table.add_row t [ "1"; "foo" ];
+  Table.add_rowf t "%d|%s" 22 "b";
+  let s = Table.render t in
+  check_bool "has title" true (String.length s > 0 && String.sub s 0 4 = "== T");
+  check_bool "contains cell" true
+    (contains_substring s "foo" && contains_substring s "22")
+
+let test_table_width_mismatch () =
+  let t = Table.create ~title:"T" ~columns:[ "x"; "y" ] in
+  Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: row width mismatch")
+    (fun () -> Table.add_row t [ "1" ])
+
+(* -------------------------------------------------------------- Tracelog *)
+
+let test_tracelog_order () =
+  let tr = Tracelog.create ~capacity:8 () in
+  for i = 1 to 5 do
+    Tracelog.recordf tr ~category:"t" "event %d" i
+  done;
+  let evs = Tracelog.events tr in
+  check_int "five events" 5 (List.length evs);
+  check (Alcotest.list Alcotest.int) "oldest first" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun e -> e.Tracelog.seq) evs);
+  check Alcotest.string "detail" "event 3"
+    (List.nth evs 2).Tracelog.detail
+
+let test_tracelog_ring_wraps () =
+  let tr = Tracelog.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Tracelog.recordf tr ~category:"t" "e%d" i
+  done;
+  let evs = Tracelog.events tr in
+  check_int "only capacity retained" 4 (List.length evs);
+  check_int "total counted" 10 (Tracelog.total_recorded tr);
+  check (Alcotest.list Alcotest.string) "last four, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun e -> e.Tracelog.detail) evs);
+  check_int "recent 2" 2 (List.length (Tracelog.recent tr 2))
+
+let test_tracelog_disable_clear () =
+  let tr = Tracelog.create () in
+  Tracelog.set_enabled tr false;
+  Tracelog.record tr ~category:"t" "ignored";
+  check_int "disabled records nothing" 0 (Tracelog.length tr);
+  Tracelog.set_enabled tr true;
+  Tracelog.record tr ~category:"t" "kept";
+  check_int "enabled records" 1 (Tracelog.length tr);
+  Tracelog.clear tr;
+  check_int "cleared" 0 (Tracelog.length tr)
+
+(* ------------------------------------------------------------------- Ids *)
+
+let test_ids () =
+  let g = Ids.Uid.generator () in
+  let a = Ids.Uid.fresh g and b = Ids.Uid.fresh g in
+  check_bool "fresh uids differ" true (not (Ids.Uid.equal a b));
+  check Alcotest.string "node pp" "N3" (Ids.Node.to_string 3);
+  check Alcotest.string "bunch pp" "B7" (Ids.Bunch.to_string 7);
+  check_bool "invalid node is negative" true (Ids.Node.invalid < 0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "align" `Quick test_addr_align;
+          Alcotest.test_case "arith" `Quick test_addr_arith;
+          Alcotest.test_case "range" `Quick test_range;
+        ] );
+      ( "bitmap",
+        [
+          Alcotest.test_case "set/get/clear" `Quick test_bitmap_basic;
+          Alcotest.test_case "iteration" `Quick test_bitmap_iter;
+          Alcotest.test_case "bounds checking" `Quick test_bitmap_bounds;
+          Alcotest.test_case "copy independence" `Quick test_bitmap_copy_independent;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+        ] );
+      ( "tracelog",
+        [
+          Alcotest.test_case "ordering" `Quick test_tracelog_order;
+          Alcotest.test_case "ring wraps" `Quick test_tracelog_ring_wraps;
+          Alcotest.test_case "disable and clear" `Quick test_tracelog_disable_clear;
+        ] );
+      ("ids", [ Alcotest.test_case "generators and printing" `Quick test_ids ]);
+    ]
