@@ -1,0 +1,22 @@
+(* bmx_lint — build-time layering lint (the @lint alias).
+
+   Scans the given directories (default: the collector layer, lib/core)
+   for calls into the DSM token API, which the collector must never
+   make (§5).  Exit status 1 on any finding. *)
+
+let () =
+  let dirs =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib/core" ]
+    | dirs -> dirs
+  in
+  let findings = List.concat_map Bmx_check.Layering.scan_dir dirs in
+  match findings with
+  | [] ->
+      Printf.printf "layering lint: collector layer is token-free (%s)\n"
+        (String.concat " " dirs)
+  | fs ->
+      List.iter
+        (fun f -> Format.eprintf "%a@." Bmx_check.Layering.pp_finding f)
+        fs;
+      exit 1

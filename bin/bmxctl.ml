@@ -4,7 +4,9 @@
      bmxctl scenario <fig1|fig2|fig3|fig4>   narrate a figure from the paper
      bmxctl workload [options]               run a mixed workload, summarize
      bmxctl stats [options]                  workload + full counter dump
-     bmxctl oo7 [options]                    OO7-style design-database run *)
+     bmxctl oo7 [options]                    OO7-style design-database run
+     bmxctl check [--trace FILE] [options]   lint a trace for invariant violations
+     bmxctl explore [--depth N] SCENARIO     explore delivery schedules *)
 
 open Cmdliner
 open Bmx_util
@@ -92,7 +94,8 @@ let mode_conv =
   in
   Arg.conv (parse, print)
 
-let run_workload nodes bunches objects ops seed mode collect ggc dump trace =
+let run_workload nodes bunches objects ops seed mode collect ggc dump trace
+    emit_trace =
   let cfg =
     {
       Driver.default with
@@ -107,6 +110,7 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace =
   let d = Driver.setup cfg in
   let c = Driver.cluster d in
   if trace then Bmx_util.Tracelog.set_enabled (Cluster.tracer c) true;
+  if emit_trace <> None then Cluster.set_event_trace c true;
   Driver.run_ops d ();
   let reclaimed = if collect then Cluster.collect_until_quiescent c () else 0 in
   let ggc_reclaimed =
@@ -148,7 +152,20 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace =
     List.iter
       (fun e -> Format.printf "%a@." Bmx_util.Tracelog.pp_event e)
       (Bmx_util.Tracelog.recent (Cluster.tracer c) 40)
-  end
+  end;
+  match emit_trace with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      let count = ref 0 in
+      List.iter
+        (fun e ->
+          output_string oc (Bmx_util.Trace_event.to_line e);
+          output_char oc '\n';
+          incr count)
+        (Cluster.events c);
+      close_out oc;
+      Printf.printf "trace: %d typed events written to %s\n" !count file
 
 let workload_term dump_default =
   let nodes = Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~doc:"Cluster size") in
@@ -171,9 +188,16 @@ let workload_term dump_default =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Record and print the event trace")
   in
+  let emit_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-trace" ] ~docv:"FILE"
+          ~doc:"Write the typed event trace to $(docv) for 'bmxctl check'")
+  in
   Term.(
     const run_workload $ nodes $ bunches $ objects $ ops $ seed $ mode $ collect
-    $ ggc $ const dump_default $ trace)
+    $ ggc $ const dump_default $ trace $ emit_trace)
 
 let workload_cmd =
   Cmd.v
@@ -222,12 +246,177 @@ let oo7_cmd =
     (Cmd.info "oo7" ~doc:"Run the OO7-style design-database workload")
     Term.(const run_oo7 $ levels $ fanout $ comps $ atomics $ bunches $ seed)
 
+(* ---------------------------------------------------------------- check *)
+
+let load_trace file =
+  let ic = open_in file in
+  let events = ref [] and lineno = ref 0 and bad = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Bmx_util.Trace_event.of_line line with
+         | Ok e -> events := e :: !events
+         | Error m ->
+             incr bad;
+             Printf.eprintf "%s:%d: unparseable event (%s)\n" file !lineno m
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (List.rev !events, !bad)
+
+let run_check trace_file nodes bunches objects ops seed mode =
+  let violations =
+    match trace_file with
+    | Some file ->
+        let events, bad = load_trace file in
+        Printf.printf "linting %d event(s) from %s\n" (List.length events) file;
+        let vs = Bmx_check.Lint.run events in
+        if bad > 0 then
+          {
+            Bmx_check.Lint.rule = Bmx_check.Lint.Incomplete_trace;
+            detail =
+              Printf.sprintf "%d line(s) of %s could not be parsed" bad file;
+          }
+          :: vs
+        else vs
+    | None ->
+        (* No trace file: run a workload in-process with the typed event
+           log on, then lint the live protocol (log + store check). *)
+        let cfg =
+          {
+            Driver.default with
+            nodes;
+            bunches;
+            objects_per_bunch = objects;
+            ops;
+            seed;
+            mode;
+          }
+        in
+        let d = Driver.setup cfg in
+        let c = Driver.cluster d in
+        Cluster.set_event_trace c true;
+        Driver.run_ops d ();
+        ignore (Cluster.collect_until_quiescent c ());
+        ignore (Cluster.drain c);
+        Printf.printf
+          "workload: %d nodes, %d bunches, %d ops (seed %d); linting %d \
+           event(s)\n"
+          nodes bunches ops seed
+          (List.length (Cluster.events c));
+        Bmx_check.Lint.check_all (Cluster.proto c)
+  in
+  match violations with
+  | [] ->
+      print_endline "check: clean — all invariants held";
+      `Ok ()
+  | vs ->
+      List.iter
+        (fun v -> Format.eprintf "%a@." Bmx_check.Lint.pp_violation v)
+        vs;
+      Format.eprintf "check: %d violation(s)@." (List.length vs);
+      exit 1
+
+let check_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Lint a saved trace (from 'workload --emit-trace') instead of \
+                running a workload")
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~doc:"Cluster size") in
+  let bunches = Arg.(value & opt int 4 & info [ "bunches"; "b" ] ~doc:"Bunch count") in
+  let objects =
+    Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Objects per bunch")
+  in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"Mutator operations") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed") in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Bmx_dsm.Protocol.Distributed
+      & info [ "mode" ] ~doc:"Copy-set mode: distributed or centralized")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Replay a typed event trace through the invariant linter (GC never \
+          acquires tokens; §5 invariants 1-3; per-pair FIFO; forwarder \
+          acyclicity)")
+    Term.(
+      ret
+        (const run_check $ trace_file $ nodes $ bunches $ objects $ ops $ seed
+       $ mode))
+
+(* -------------------------------------------------------------- explore *)
+
+let run_explore list_scenarios depth max_schedules name =
+  if list_scenarios then begin
+    List.iter
+      (fun (n, d, _, _) -> Printf.printf "%-16s %s\n" n d)
+      Bmx_check.Explore.builtin_scenarios;
+    `Ok ()
+  end
+  else
+    match name with
+    | None -> `Error (true, "missing SCENARIO argument (or use --list)")
+    | Some name -> (
+        match Bmx_check.Explore.find_scenario name with
+        | None ->
+            `Error
+              ( false,
+                Printf.sprintf
+                  "unknown scenario %S (use --list to see the catalog)" name )
+        | Some (build, locals) ->
+            let c0 = build () in
+            Printf.printf "scenario %s: %d message(s) pending, %d local step(s)\n"
+              name
+              (Bmx_netsim.Net.pending (Cluster.net c0))
+              (List.length locals);
+            let r =
+              Bmx_check.Explore.run ~depth ~max_schedules ~build ~locals ()
+            in
+            Format.printf "%a@." Bmx_check.Explore.pp_report r;
+            if r.Bmx_check.Explore.violations <> [] then exit 1;
+            `Ok ())
+
+let explore_cmd =
+  let list_scenarios =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the built-in scenarios")
+  in
+  let depth =
+    Arg.(
+      value & opt int 6
+      & info [ "depth" ] ~doc:"Exhaustively explored choice points")
+  in
+  let max_schedules =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-schedules" ] ~doc:"Cap on complete schedules")
+  in
+  let scenario =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCENARIO")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Enumerate message delivery schedules of a race scenario (FIFO per \
+          pair preserved) and run the linter plus the safety audit on every \
+          final state")
+    Term.(
+      ret
+        (const run_explore $ list_scenarios $ depth $ max_schedules $ scenario))
+
 let main =
   Cmd.group
     (Cmd.info "bmxctl" ~version:"1.0"
        ~doc:
          "Drive the BMX platform simulator (Ferreira & Shapiro, OSDI '94 \
           reproduction)")
-    [ scenario_cmd; workload_cmd; stats_cmd; oo7_cmd ]
+    [ scenario_cmd; workload_cmd; stats_cmd; oo7_cmd; check_cmd; explore_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -22,10 +22,14 @@ let cached_anywhere t =
    contents are undefined under entry consistency: a mutator can only
    legally obtain a pointer through a token (getting the owner's version)
    or by already holding it in a root.  Edges from non-owner copies are
-   used only as a fallback when no owner copy exists. *)
-let union_edges t =
+   used only as a fallback when no owner copy exists — and the objects
+   forced onto that fallback are reported separately rather than
+   silently conflated with the authoritative ones: their edge sets are
+   best-effort, not something any acquire could still deliver. *)
+let union_edges_report t =
   let proto = Cluster.proto t in
   let edges : Ids.Uid_set.t ref Ids.Uid_tbl.t = Ids.Uid_tbl.create 256 in
+  let stale = ref Ids.Uid_set.empty in
   let add u v =
     match Ids.Uid_tbl.find_opt edges u with
     | Some s -> s := Ids.Uid_set.add v !s
@@ -48,7 +52,13 @@ let union_edges t =
         match Protocol.owner_of proto uid with
         | Some owner when targets_at owner uid <> None -> Some owner
         | Some _ | None -> (
-            match Protocol.replica_nodes proto uid with n :: _ -> Some n | [] -> None)
+            (* No owner copy: fall back to some replica, and remember
+               that this object's edges are not authoritative. *)
+            match Protocol.replica_nodes proto uid with
+            | n :: _ ->
+                stale := Ids.Uid_set.add uid !stale;
+                Some n
+            | [] -> None)
       in
       match node with
       | None -> ()
@@ -57,7 +67,10 @@ let union_edges t =
           | Some ts -> List.iter (add uid) ts
           | None -> ()))
     (cached_anywhere t);
-  edges
+  (edges, !stale)
+
+let union_edges t = fst (union_edges_report t)
+let stale_edge_sources t = snd (union_edges_report t)
 
 let root_uids t =
   let proto = Cluster.proto t in

@@ -27,6 +27,16 @@ val lost_objects : Cluster.t -> Bmx_util.Ids.Uid_set.t
 val garbage_retained : Cluster.t -> Bmx_util.Ids.Uid_set.t
 (** Unreachable uids still cached somewhere (waiting for collection). *)
 
+val stale_edge_sources : Cluster.t -> Bmx_util.Ids.Uid_set.t
+(** Cached uids with {e no} owner copy anywhere: the authoritative-graph
+    construction had to read their edges from a stale, non-owner replica
+    (or found no readable copy at all).  Reachability still uses those
+    edges — the conservative direction — but such objects are reported
+    here rather than silently conflated with authoritative ones, because
+    no token acquire could deliver their contents any more.  Normally
+    empty except transiently during ownership hand-off or from-space
+    reclamation. *)
+
 val check_safety : Cluster.t -> (unit, string) result
 (** [Ok ()] when no reachable object has been lost and every locally
     reachable address still resolves at its node; [Error msg] otherwise. *)

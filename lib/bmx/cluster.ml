@@ -21,11 +21,14 @@ type t = {
   mutable next_bunch : int;
 }
 
-let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) () =
+let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) ?(trace_events = false)
+    () =
   let stats = Stats.create_registry () in
   let net = Net.create ~stats () in
   let registry = Registry.create () in
   let proto = Protocol.create ~net ~registry ?mode ?update_policy () in
+  Net.set_evlog net (Protocol.evlog proto);
+  Trace_event.set_enabled (Protocol.evlog proto) trace_events;
   let gc = Gc_state.create ~proto in
   Invariants.install gc;
   Net.set_handler net (fun env -> env.Net.payload env.Net.seq);
@@ -43,6 +46,9 @@ let gc t = t.gc
 let net t = t.net
 let stats t = t.stats
 let tracer t = Protocol.tracer t.proto
+let evlog t = Protocol.evlog t.proto
+let set_event_trace t b = Trace_event.set_enabled (Protocol.evlog t.proto) b
+let events t = Trace_event.events (Protocol.evlog t.proto)
 let rng t = t.rng
 let nodes t = Protocol.nodes t.proto
 

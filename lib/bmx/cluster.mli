@@ -15,11 +15,14 @@ val create :
   ?mode:Bmx_dsm.Protocol.mode ->
   ?update_policy:Bmx_dsm.Protocol.update_policy ->
   ?seed:int ->
+  ?trace_events:bool ->
   unit ->
   t
 (** A cluster of [nodes] (default 3) with ids [0 .. nodes-1].  [mode]
     selects distributed (default) or centralized copy-sets; [seed] feeds
-    the deterministic generators. *)
+    the deterministic generators.  [trace_events] (default [false])
+    turns on the typed event log from the first operation so the whole
+    run can be replayed through the trace linter. *)
 
 val proto : t -> Bmx_dsm.Protocol.t
 val gc : t -> Bmx_gc.Gc_state.t
@@ -30,6 +33,16 @@ val tracer : t -> Bmx_util.Tracelog.t
 (** The shared structured event trace (disabled by default); enable with
     {!Bmx_util.Tracelog.set_enabled} to record token grants, ownership
     transfers, invalidations, collections and cleaner activity. *)
+
+val evlog : t -> Bmx_util.Trace_event.log
+(** The typed event log shared by the protocol, the network and the
+    collector — the input to the trace linter ([Bmx_check.Lint]). *)
+
+val set_event_trace : t -> bool -> unit
+(** Enable/disable recording into {!evlog}. *)
+
+val events : t -> Bmx_util.Trace_event.t list
+(** Recorded typed events, oldest first. *)
 
 val rng : t -> Bmx_util.Rng.t
 val nodes : t -> Bmx_util.Ids.Node.t list

@@ -1,0 +1,192 @@
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Net = Bmx_netsim.Net
+module Value = Bmx_memory.Value
+
+type choice = Deliver of Ids.Node.t * Ids.Node.t | Local of int
+
+let choice_to_string = function
+  | Deliver (src, dst) -> Printf.sprintf "N%d=>N%d" src dst
+  | Local i -> Printf.sprintf "local#%d" i
+
+type report = {
+  schedules : int;
+  truncated : bool;
+  violations : (choice list * string) list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%d schedule(s) explored%s, %d violation(s)"
+    r.schedules
+    (if r.truncated then " (truncated)" else "")
+    (List.length r.violations);
+  List.iter
+    (fun (sched, msg) ->
+      Format.fprintf ppf "@,  [%s] %s"
+        (String.concat " " (List.map choice_to_string sched))
+        msg)
+    r.violations;
+  Format.fprintf ppf "@]"
+
+let default_check c =
+  match Bmx.Audit.check_safety c with
+  | Error _ as e -> e
+  | Ok () -> Bmx.Audit.check_tokens c
+
+let run ?(depth = 8) ?(max_schedules = 2000) ~build ?(locals = [])
+    ?(check = default_check) () =
+  let locals = Array.of_list locals in
+  let schedules = ref 0 and truncated = ref false and violations = ref [] in
+  let apply c = function
+    | Deliver (src, dst) -> ignore (Net.step_pair (Cluster.net c) ~src ~dst)
+    | Local i -> locals.(i) c
+  in
+  let rec dfs prefix =
+    if !schedules >= max_schedules then truncated := true
+    else begin
+      (* Stateless exploration: replay the deterministic scenario from
+         scratch, then apply the schedule prefix. *)
+      let c = build () in
+      List.iter (apply c) (List.rev prefix);
+      let used i =
+        List.exists (function Local j -> i = j | Deliver _ -> false) prefix
+      in
+      let choices =
+        if List.length prefix >= depth then []
+        else
+          List.map
+            (fun (s, d) -> Deliver (s, d))
+            (Net.deliverable_pairs (Cluster.net c))
+          @ (Array.to_list locals
+            |> List.mapi (fun i _ -> i)
+            |> List.filter_map (fun i -> if used i then None else Some (Local i))
+            )
+      in
+      match choices with
+      | [] ->
+          (* Leaf: run any locals the schedule never placed, drain the
+             rest of the network FIFO, and check the final state. *)
+          Array.iteri
+            (fun i f ->
+              if not (used i) then begin
+                f c;
+                ignore (Cluster.drain c)
+              end)
+            locals;
+          ignore (Cluster.drain c);
+          incr schedules;
+          let sched = List.rev prefix in
+          List.iter
+            (fun v ->
+              violations := (sched, Lint.violation_to_string v) :: !violations)
+            (Lint.check_all (Cluster.proto c));
+          (match check c with
+          | Ok () -> ()
+          | Error m -> violations := (sched, m) :: !violations)
+      | cs -> List.iter (fun ch -> dfs (ch :: prefix)) cs
+    end
+  in
+  dfs [];
+  {
+    schedules = !schedules;
+    truncated = !truncated;
+    violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in scenarios (mirroring the protection races of DESIGN.md §5
+   pinned in test_races.ml, but left with their messages pending so the
+   explorer owns the schedule). *)
+
+(* An intra-bunch pointer stored at a node that never cached the target,
+   then the target's root drops; only the barrier's entering
+   registration protects it.  Locals: BGC at either node. *)
+let uncached_store () =
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let s = Cluster.alloc c ~node:0 ~bunch:b [| Value.nil |] in
+  Cluster.add_root c ~node:0 x;
+  Cluster.add_root c ~node:0 s;
+  let s1 = Cluster.acquire_write c ~node:1 s in
+  Cluster.write c ~node:1 s1 0 (Value.Ref x);
+  Cluster.release c ~node:1 s1;
+  Cluster.remove_root c ~node:0 x;
+  c
+
+let uncached_store_locals =
+  [
+    (fun c -> ignore (Cluster.bgc c ~node:0 ~bunch:0));
+    (fun c -> ignore (Cluster.bgc c ~node:1 ~bunch:0));
+  ]
+
+(* A reachability table queued before a registration but deliverable
+   after it (race 4): the stale table must not cancel the registration,
+   under any interleaving of the pending traffic and the owner's BGC. *)
+let stale_table () =
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let s = Cluster.alloc c ~node:0 ~bunch:b [| Value.nil |] in
+  Cluster.add_root c ~node:0 x;
+  Cluster.add_root c ~node:0 s;
+  let s1 = Cluster.acquire_read c ~node:1 s in
+  Cluster.release c ~node:1 s1;
+  ignore (Cluster.bgc c ~node:1 ~bunch:b);
+  let s1' = Cluster.acquire_write c ~node:1 s1 in
+  Cluster.write c ~node:1 s1' 0 (Value.Ref x);
+  Cluster.release c ~node:1 s1';
+  Cluster.remove_root c ~node:0 x;
+  c
+
+let stale_table_locals = [ (fun c -> ignore (Cluster.bgc c ~node:0 ~bunch:0)) ]
+
+(* Two replicas of the same bunch collect concurrently: their stub
+   tables cross on the wire while a root has just dropped.  Whatever
+   order the tables (and the follow-up BGCs) land in, the freshly linked
+   object must survive. *)
+let crossing_tables () =
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  let s = Cluster.alloc c ~node:0 ~bunch:b [| Value.nil |] in
+  Cluster.add_root c ~node:0 x;
+  Cluster.add_root c ~node:0 s;
+  let s1 = Cluster.acquire_write c ~node:1 s in
+  Cluster.write c ~node:1 s1 0 (Value.Ref x);
+  Cluster.release c ~node:1 s1;
+  ignore (Cluster.bgc c ~node:0 ~bunch:b);
+  ignore (Cluster.bgc c ~node:1 ~bunch:b);
+  Cluster.remove_root c ~node:0 x;
+  c
+
+let crossing_tables_locals =
+  [
+    (fun c -> ignore (Cluster.bgc c ~node:0 ~bunch:0));
+    (fun c -> ignore (Cluster.bgc c ~node:1 ~bunch:0));
+  ]
+
+let builtin_scenarios =
+  [
+    ( "uncached-store",
+      "intra-bunch store at a node without the target cached, root drops, \
+       BGCs race the barrier registration",
+      uncached_store,
+      uncached_store_locals );
+    ( "stale-table",
+      "reachability table queued before a fresh registration races its \
+       delivery (DESIGN.md race 4)",
+      stale_table,
+      stale_table_locals );
+    ( "crossing-tables",
+      "stub tables from two concurrent BGCs cross on the wire while a \
+       root drops",
+      crossing_tables,
+      crossing_tables_locals );
+  ]
+
+let find_scenario name =
+  List.find_map
+    (fun (n, _, build, locals) ->
+      if String.equal n name then Some (build, locals) else None)
+    builtin_scenarios

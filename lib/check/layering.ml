@@ -1,0 +1,199 @@
+type finding = { file : string; line : int; path : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: forbidden DSM token call %s in the collector \
+                      layer"
+    f.file f.line f.path
+
+let forbidden_members = [ "acquire"; "release"; "demand_fetch"; "set_hooks" ]
+let sanctioned = [ ("invariants.ml", "set_hooks") ]
+
+(* ------------------------------------------------------------------ *)
+(* Comment / literal stripping.  Comments nest; strings inside comments
+   protect "*)"; char literals can hold '"' and '('.  Stripped spans are
+   replaced by spaces so line numbers and token boundaries survive. *)
+
+let strip src =
+  let n = String.length src in
+  let buf = Bytes.of_string src in
+  let blank i = if Bytes.get buf i <> '\n' then Bytes.set buf i ' ' in
+  let i = ref 0 in
+  let in_comment = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !in_comment > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr in_comment;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr in_comment;
+        i := !i + 2
+      end
+      else if c = '"' then begin
+        (* A string inside a comment: skip to its closing quote so a
+           "*)" inside it doesn't end the comment. *)
+        blank !i;
+        incr i;
+        let stop = ref false in
+        while (not !stop) && !i < n do
+          (match src.[!i] with
+          | '\\' when !i + 1 < n ->
+              blank !i;
+              blank (!i + 1);
+              incr i
+          | '"' -> stop := true
+          | _ -> ());
+          blank !i;
+          incr i
+        done
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      in_comment := 1;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        (match src.[!i] with
+        | '\\' when !i + 1 < n ->
+            blank !i;
+            blank (!i + 1);
+            incr i
+        | '"' -> stop := true
+        | _ -> ());
+        blank !i;
+        incr i
+      done
+    end
+    else if
+      (* Char literals: '\n', 'x', '"' — but NOT type variables ('a) or
+         primes in identifiers (x').  Only treat as a literal when a
+         closing quote sits where one must. *)
+      c = '\''
+      && (!i + 2 < n && src.[!i + 2] = '\'' && src.[!i + 1] <> '\\'
+         || !i + 3 < n
+            && src.[!i + 1] = '\\'
+            && src.[!i + 3] = '\''
+            && src.[!i + 2] <> 'x')
+    then begin
+      let len = if src.[!i + 1] = '\\' then 4 else 3 in
+      for j = !i to !i + len - 1 do
+        blank j
+      done;
+      i := !i + len
+    end
+    else incr i
+  done;
+  Bytes.to_string buf
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer: dotted identifier paths and '=' are all the lint needs. *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\'' || c = '.'
+
+let tokenize stripped =
+  let n = String.length stripped in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    let c = stripped.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char stripped.[!i] do
+        incr i
+      done;
+      out := (!line, String.sub stripped start (!i - start)) :: !out
+    end
+    else begin
+      if c = '=' then out := (!line, "=") :: !out;
+      incr i
+    end
+  done;
+  List.rev !out
+
+let split_last_dot s =
+  match String.rindex_opt s '.' with
+  | None -> None
+  | Some k ->
+      Some (String.sub s 0 k, String.sub s (k + 1) (String.length s - k - 1))
+
+let scan_source ~file contents =
+  let base = Filename.basename file in
+  let tokens = tokenize (strip contents) in
+  (* Pass 1: names bound (possibly transitively) to the protocol module. *)
+  let aliases = Hashtbl.create 8 in
+  Hashtbl.replace aliases "Protocol" ();
+  Hashtbl.replace aliases "Bmx_dsm.Protocol" ();
+  let rec collect = function
+    | (_, "module") :: (_, name) :: (_, "=") :: (_, rhs) :: rest ->
+        if Hashtbl.mem aliases rhs then Hashtbl.replace aliases name ();
+        collect rest
+    | _ :: rest -> collect rest
+    | [] -> ()
+  in
+  collect tokens;
+  (* Pass 2: dotted uses of a forbidden member through any alias. *)
+  let out = ref [] in
+  List.iter
+    (fun (line, tok) ->
+      match split_last_dot tok with
+      | Some (prefix, member)
+        when Hashtbl.mem aliases prefix
+             && List.mem member forbidden_members
+             && not (List.mem (base, member) sanctioned) ->
+          out := { file; line; path = tok } :: !out
+      | _ -> ())
+    tokens;
+  List.rev !out
+
+let scan_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  scan_source ~file:path contents
+
+let scan_dir dir =
+  let findings = ref [] in
+  let rec walk d =
+    Array.iter
+      (fun entry ->
+        let path = Filename.concat d entry in
+        if Sys.is_directory path then begin
+          if entry <> "_build" && entry.[0] <> '.' then walk path
+        end
+        else if
+          Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+        then findings := scan_file path @ !findings)
+      (Sys.readdir d)
+  in
+  walk dir;
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with
+      | 0 -> compare a.line b.line
+      | c -> c)
+    !findings

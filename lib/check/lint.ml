@@ -1,0 +1,190 @@
+open Bmx_util
+module E = Trace_event
+module Protocol = Bmx_dsm.Protocol
+module Store = Bmx_memory.Store
+
+type rule =
+  | Gc_acquired_token
+  | Invariant1
+  | Invariant2
+  | Invariant3
+  | Fifo_order
+  | Forwarder_cycle
+  | Incomplete_trace
+
+type violation = { rule : rule; detail : string }
+
+let rule_to_string = function
+  | Gc_acquired_token -> "gc-acquired-token"
+  | Invariant1 -> "invariant-1"
+  | Invariant2 -> "invariant-2"
+  | Invariant3 -> "invariant-3"
+  | Fifo_order -> "fifo-order"
+  | Forwarder_cycle -> "forwarder-cycle"
+  | Incomplete_trace -> "incomplete-trace"
+
+let violation_to_string v =
+  Printf.sprintf "[%s] %s" (rule_to_string v.rule) v.detail
+
+let pp_violation ppf v = Format.pp_print_string ppf (violation_to_string v)
+
+let tok_str = function E.Read -> "read" | E.Write -> "write"
+
+let run events =
+  let out = ref [] in
+  let add rule fmt =
+    Printf.ksprintf (fun detail -> out := { rule; detail } :: !out) fmt
+  in
+  (* Outstanding grants: (requester, uid) -> (piggybacked update count,
+     "updates were applied at the requester" flag).  Acquires execute
+     synchronously, so at most one grant per requester is in flight. *)
+  let grants : (int * int, int * bool ref) Hashtbl.t = Hashtbl.create 32 in
+  (* Invariant-3 hook firings not yet consumed by a write grant. *)
+  let hooks : (int * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Invariant-2 obligations: (node, peer, uid) still owed a forward. *)
+  let due : (int * int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let last_sent : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let last_delivered : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun i e ->
+      match e with
+      | E.Acquire_start { actor = E.Gc; node; uid; tok } ->
+          add Gc_acquired_token
+            "event %d: the collector acquired a %s token for o%d at N%d \
+             (actor = Gc on the acquire path)"
+            i (tok_str tok) uid node
+      | E.Acquire_start _ -> ()
+      | E.Grant_sent { granter; requester; uid; tok; updates } ->
+          Hashtbl.replace grants (requester, uid) (updates, ref false);
+          if tok = E.Write then
+            if Hashtbl.mem hooks (granter, requester, uid) then
+              Hashtbl.remove hooks (granter, requester, uid)
+            else
+              add Invariant3
+                "event %d: write grant of o%d (N%d -> N%d) sent without the \
+                 SSP-creation hook having run"
+                i uid granter requester
+      | E.Hook_ssp { granter; requester; uid } ->
+          Hashtbl.replace hooks (granter, requester, uid) ()
+      | E.Updates_applied { node; uids = _ } ->
+          Hashtbl.iter
+            (fun (r, _) (_, applied) -> if r = node then applied := true)
+            grants
+      | E.Acquire_done { actor = _; node; uid; tok; addr_valid } ->
+          if not addr_valid then
+            add Invariant1
+              "event %d: %s acquire of o%d at N%d completed without a valid \
+               local address"
+              i (tok_str tok) uid node;
+          (match Hashtbl.find_opt grants (node, uid) with
+          | Some (updates, applied) ->
+              if updates > 0 && not !applied then
+                add Invariant1
+                  "event %d: the grant for o%d carried %d location updates \
+                   that N%d never applied before the acquire completed"
+                  i uid updates node;
+              Hashtbl.remove grants (node, uid)
+          | None -> ())
+      | E.Forward_due { node; uid; peers } ->
+          List.iter (fun p -> Hashtbl.replace due (node, p, uid) i) peers
+      | E.Copyset_forward { src; dst; uid } ->
+          Hashtbl.remove due (src, dst, uid)
+      | E.Msg_sent { src; dst; kind; seq } ->
+          (match Hashtbl.find_opt last_sent (src, dst) with
+          | Some s when seq <= s ->
+              add Fifo_order
+                "event %d: %s message N%d -> N%d sent with seq %d after seq \
+                 %d on the same stream"
+                i kind src dst seq s
+          | Some _ | None -> ());
+          Hashtbl.replace last_sent (src, dst) seq
+      | E.Msg_delivered { src; dst; kind; seq } ->
+          (match Hashtbl.find_opt last_delivered (src, dst) with
+          | Some s when seq < s ->
+              add Fifo_order
+                "event %d: %s message N%d -> N%d delivered with seq %d after \
+                 seq %d — per-pair FIFO broken"
+                i kind src dst seq s
+          | Some _ | None -> ());
+          Hashtbl.replace last_delivered (src, dst) seq
+      | E.Rpc _ ->
+          (* Synchronous inline exchange: shares the seq counter but is
+             exempt from the background channel's FIFO. *)
+          ()
+      | E.Release _ | E.Invalidate _ | E.Gc_begin _ | E.Gc_end _ -> ())
+    events;
+  Hashtbl.iter
+    (fun (node, peer, uid) i ->
+      add Invariant2
+        "event %d: N%d installed new-location information for o%d but never \
+         forwarded it to copy-set member N%d"
+        i node uid peer)
+    due;
+  List.rev !out
+
+let check_log log =
+  let vs = run (E.events log) in
+  if E.overflowed log then
+    {
+      rule = Incomplete_trace;
+      detail =
+        Printf.sprintf
+          "the event log overflowed after %d events; the trace cannot be \
+           certified"
+          (E.length log);
+    }
+    :: vs
+  else vs
+
+let check_stores proto =
+  let out = ref [] in
+  List.iter
+    (fun node ->
+      let store = Protocol.store proto node in
+      (* Snapshot the forwarder graph, then walk every chain. *)
+      let fwd : (Addr.t, Addr.t) Hashtbl.t = Hashtbl.create 64 in
+      Store.iter store (fun a cell ->
+          match cell with
+          | Store.Forwarder target -> Hashtbl.replace fwd a target
+          | Store.Object _ -> ());
+      let reported = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun start _ ->
+          let visited = Hashtbl.create 8 in
+          let rec walk a =
+            if Hashtbl.mem visited a then begin
+              if not (Hashtbl.mem reported a) then begin
+                (* Mark the whole cycle so each is flagged exactly once. *)
+                let rec mark x =
+                  if not (Hashtbl.mem reported x) then begin
+                    Hashtbl.replace reported x ();
+                    match Hashtbl.find_opt fwd x with
+                    | Some next -> mark next
+                    | None -> ()
+                  end
+                in
+                mark a;
+                out :=
+                  {
+                    rule = Forwarder_cycle;
+                    detail =
+                      Printf.sprintf
+                        "N%d: forwarding-pointer cycle through %s" node
+                        (Addr.to_string a);
+                  }
+                  :: !out
+              end
+            end
+            else begin
+              Hashtbl.replace visited a ();
+              match Hashtbl.find_opt fwd a with
+              | Some next -> walk next
+              | None -> ()
+            end
+          in
+          walk start)
+        fwd)
+    (Protocol.nodes proto);
+  List.rev !out
+
+let check_all proto = check_log (Protocol.evlog proto) @ check_stores proto

@@ -1,0 +1,53 @@
+(** The trace linter: replay a typed event log ({!Bmx_util.Trace_event})
+    against the protocol state machine and report every violation of the
+    GC/DSM non-interference contract.
+
+    Checked rules (paper sections in brackets):
+
+    - {b GC-never-acquires} (§5, central claim): no token acquisition is
+      ever performed by the [Gc] actor — the collector works exclusively
+      on local state and background messages.
+    - {b Invariant 1} (§5): a token grant completes only after the
+      acquiring node holds a valid local address for the object; when the
+      grant piggybacked location updates, they were applied before the
+      acquire returned.
+    - {b Invariant 2} (§5): a node that installed fresh new-location
+      information forwarded it to every node in its local copy-set for
+      the object.
+    - {b Invariant 3} (§5): every write grant that transfers ownership
+      was preceded by the SSP-creation hook for that transfer.
+    - {b FIFO} (§6.1): per (src, dst) stream, sent sequence numbers
+      strictly increase and deliveries never run backwards (drops leave
+      gaps, duplicates repeat a number — both legal).
+    - {b Forwarder convergence} (§4.2, state check): no per-node
+      forwarding-pointer chain contains a cycle — every chain reaches an
+      object or dangles into reclaimed space after finitely many hops.
+    - {b Completeness}: an overflowed (truncated) log cannot be
+      certified. *)
+
+type rule =
+  | Gc_acquired_token
+  | Invariant1
+  | Invariant2
+  | Invariant3
+  | Fifo_order
+  | Forwarder_cycle
+  | Incomplete_trace
+
+type violation = { rule : rule; detail : string }
+
+val rule_to_string : rule -> string
+val violation_to_string : violation -> string
+val pp_violation : Format.formatter -> violation -> unit
+
+val run : Bmx_util.Trace_event.t list -> violation list
+(** Replay the log; empty result means every checked invariant held. *)
+
+val check_log : Bmx_util.Trace_event.log -> violation list
+(** {!run} on the log's events, plus the truncation check. *)
+
+val check_stores : Bmx_dsm.Protocol.t -> violation list
+(** Forwarding-pointer acyclicity on every node's store. *)
+
+val check_all : Bmx_dsm.Protocol.t -> violation list
+(** {!check_log} on the protocol's event log plus {!check_stores}. *)

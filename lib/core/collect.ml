@@ -223,6 +223,10 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
   let set = Ids.Bunch_set.of_list bunches in
   let in_set b = Ids.Bunch_set.mem b set in
   bump t (if group_mode then "gc.ggc.runs" else "gc.bgc.runs");
+  let evlog = Protocol.evlog proto in
+  if Trace_event.enabled evlog then
+    Trace_event.record evlog
+      (Trace_event.Gc_begin { node; group = group_mode; bunches });
 
   (* Flip: allocation spaces of the collected bunches become from-space.
      The to-space segments are created lazily at the first copy; their
@@ -497,6 +501,15 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
       node
       (String.concat "," (List.map Ids.Bunch.to_string bunches))
       (Ids.Uid_tbl.length live) !copied !reclaimed;
+  if Trace_event.enabled evlog then
+    Trace_event.record evlog
+      (Trace_event.Gc_end
+         {
+           node;
+           group = group_mode;
+           live = Ids.Uid_tbl.length live;
+           reclaimed = !reclaimed;
+         });
   {
     r_node = node;
     r_bunches = bunches;

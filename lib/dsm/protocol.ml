@@ -30,6 +30,7 @@ type t = {
   uidgen : Ids.Uid.gen;
   addr_oracle : (Addr.t, Ids.Uid.t) Hashtbl.t;
   tracer : Tracelog.t;
+  evlog : Trace_event.log;
 }
 
 let create ~net ~registry ?(mode = Distributed) ?(update_policy = Lazy) () =
@@ -45,10 +46,17 @@ let create ~net ~registry ?(mode = Distributed) ?(update_policy = Lazy) () =
     uidgen = Ids.Uid.generator ();
     addr_oracle = Hashtbl.create 1024;
     tracer = (let tr = Tracelog.create () in Tracelog.set_enabled tr false; tr);
+    evlog = Trace_event.create_log ();
   }
 
 let set_hooks t hooks = t.hooks <- hooks
 let tracer t = t.tracer
+let evlog t = t.evlog
+
+let ev t e = if Trace_event.enabled t.evlog then Trace_event.record t.evlog e
+
+let ev_actor = function App -> Trace_event.App | Gc -> Trace_event.Gc
+let ev_tok = function `Read -> Trace_event.Read | `Write -> Trace_event.Write
 
 let trace t category fmt = Tracelog.recordf t.tracer ~category fmt
 let net t = t.net
@@ -322,6 +330,10 @@ let rec apply_location_updates t ~node updates =
         end)
       updates
   in
+  if updates <> [] then
+    ev t
+      (Trace_event.Updates_applied
+         { node; uids = List.map (fun u -> u.lu_uid) updates });
   (match t.update_policy with
   | Eager ->
       (* Sweep local copies, rewriting pointers through forwarders now
@@ -339,8 +351,17 @@ let rec apply_location_updates t ~node updates =
       match Directory.find d lu_uid with
       | None -> ()
       | Some r ->
+          if not (Ids.Node_set.is_empty r.Directory.copyset) then
+            ev t
+              (Trace_event.Forward_due
+                 {
+                   node;
+                   uid = lu_uid;
+                   peers = Ids.Node_set.elements r.Directory.copyset;
+                 });
           Ids.Node_set.iter
             (fun peer ->
+              ev t (Trace_event.Copyset_forward { src = node; dst = peer; uid = lu_uid });
               Net.send t.net ~src:node ~dst:peer ~kind:Net.Addr_update
                 ~bytes:update_bytes
                 (fun _seq -> apply_location_updates t ~node:peer [ up ]))
@@ -366,6 +387,7 @@ let rec invalidate_subtree t ~actor ~skip node uid =
         (fun peer ->
           if not (Ids.Node.equal peer node) then begin
             Net.record_rpc t.net ~src:node ~dst:peer ~kind:Net.Invalidate ();
+            ev t (Trace_event.Invalidate { src = node; dst = peer; uid });
             if Tracelog.enabled t.tracer then
               trace t "dsm" "invalidate %s at N%d (from N%d)"
                 (Ids.Uid.to_string uid) peer node;
@@ -407,6 +429,20 @@ let acquire t ?(actor = App) ~node:n addr kind =
   let d_n = directory t n in
   let kind_str = match kind with `Read -> "read" | `Write -> "write" in
   bump t (pfx ^ ".acquire_" ^ kind_str);
+  ev t
+    (Trace_event.Acquire_start
+       { actor = ev_actor actor; node = n; uid; tok = ev_tok kind });
+  let ev_done () =
+    ev t
+      (Trace_event.Acquire_done
+         {
+           actor = ev_actor actor;
+           node = n;
+           uid;
+           tok = ev_tok kind;
+           addr_valid = Store.addr_of_uid s_n uid <> None;
+         })
+  in
   let local_ok =
     match Directory.find d_n uid with
     | Some r -> (
@@ -425,6 +461,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
     bump t (pfx ^ ".acquire_local");
     let r = Option.get (Directory.find d_n uid) in
     r.Directory.held <- true;
+    ev_done ();
     Option.get (Store.addr_of_uid s_n uid)
   end
   else begin
@@ -468,6 +505,15 @@ let acquire t ?(actor = App) ~node:n addr kind =
         let updates = compute_updates t ~granter ~requested:addr gaddr gobj in
         Net.record_rpc t.net ~src:granter ~dst:n ~kind:Net.Token_grant
           ~bytes:(grant_bytes gobj updates) ();
+        ev t
+          (Trace_event.Grant_sent
+             {
+               granter;
+               requester = n;
+               uid;
+               tok = Trace_event.Read;
+               updates = List.length updates;
+             });
         if updates <> [] then
           Net.record_piggyback t.net ~kind:Net.Token_grant
             ~bytes:(List.length updates * update_bytes);
@@ -489,6 +535,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
              else g_rec.Directory.prob_owner);
         (* Invariant 1 completes before the acquire returns. *)
         apply_location_updates t ~node:n updates;
+        ev_done ();
         Option.get (Store.addr_of_uid s_n uid)
     | `Write ->
         let owner, visited = chase_owner t ~actor ~start:n uid in
@@ -499,6 +546,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
           invalidate_subtree t ~actor ~skip:n owner uid;
           r.Directory.state <- Directory.Write;
           r.Directory.held <- true;
+          ev_done ();
           match Store.addr_of_uid s_n uid with
           | Some a -> a
           | None -> failwith "Protocol.acquire: owner without a copy"
@@ -517,6 +565,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
           invalidate_subtree t ~actor ~skip:n owner uid;
           (* Invariant 3 (§5): intra-bunch SSPs are created before the
              grant message is sent. *)
+          ev t (Trace_event.Hook_ssp { granter = owner; requester = n; uid });
           t.hooks.before_write_grant ~granter:owner ~requester:n ~uid;
           let o_store = store t owner in
           let gaddr, gobj =
@@ -530,6 +579,15 @@ let acquire t ?(actor = App) ~node:n addr kind =
           let updates = compute_updates t ~granter:owner ~requested:addr gaddr gobj in
           Net.record_rpc t.net ~src:owner ~dst:n ~kind:Net.Token_grant
             ~bytes:(grant_bytes gobj updates) ();
+          ev t
+            (Trace_event.Grant_sent
+               {
+                 granter = owner;
+                 requester = n;
+                 uid;
+                 tok = Trace_event.Write;
+                 updates = List.length updates;
+               });
           if updates <> [] then
             Net.record_piggyback t.net ~kind:Net.Token_grant
               ~bytes:(List.length updates * update_bytes);
@@ -569,12 +627,14 @@ let acquire t ?(actor = App) ~node:n addr kind =
               end)
             visited;
           apply_location_updates t ~node:n updates;
+          ev_done ();
           Option.get (Store.addr_of_uid s_n uid)
         end
   end
 
 let release t ~node addr =
   let uid = locate t node addr in
+  ev t (Trace_event.Release { node; uid });
   match Directory.find (directory t node) uid with
   | Some r -> r.Directory.held <- false
   | None -> ()

@@ -73,6 +73,16 @@ val tracer : t -> Bmx_util.Tracelog.t
     grants, ownership transfers and invalidations; the collector and the
     cleaner record their phases into the same trace. *)
 
+val evlog : t -> Bmx_util.Trace_event.log
+(** The typed event log consumed by the trace linter
+    ([Bmx_check.Lint]); disabled by default.  The acquire path records
+    acquisition start/completion (with the acting subsystem and whether
+    the local address was valid — §5 invariant 1), grant messages with
+    their piggybacked update counts, the invariant-3 hook firing,
+    invalidations, location-update application and the copy-set forwards
+    of invariant 2.  {!Bmx_netsim.Net.set_evlog} shares the same log
+    with the transport so per-pair FIFO is checkable too. *)
+
 val net : t -> (int -> unit) Bmx_netsim.Net.t
 val stats : t -> Bmx_util.Stats.registry
 val registry : t -> Bmx_memory.Registry.t

@@ -106,10 +106,40 @@ let install t a obj =
   note_maps t a obj
 
 let set_forwarder t ~at ~target =
-  Hashtbl.replace t.cells at (Forwarder target);
-  match segment_at t at with
-  | Some seg -> Segment.clear_object seg at
-  | None -> ()
+  (* The forwarder graph must stay acyclic or [resolve] dies.  A cycle
+     can only appear when the new link's target already chains back to
+     [at] — possible under address reuse: an object moves A -> B -> A and
+     a node that recorded the first hop later learns of the second (or a
+     duplicated location update replays it).  The incoming link is the
+     newest information, so break the stale orientation: re-point every
+     hop of the back-chain at [target] and make [target] the endpoint. *)
+  if not (Addr.equal at target) then begin
+    (match Hashtbl.find_opt t.cells target with
+    | Some (Forwarder _) ->
+        let rec back_chain a acc fuel =
+          if fuel = 0 then None
+          else
+            match Hashtbl.find_opt t.cells a with
+            | Some (Forwarder next) ->
+                if Addr.equal next at then Some (a :: acc)
+                else back_chain next (a :: acc) (fuel - 1)
+            | Some (Object _) | None -> None
+        in
+        (match back_chain target [] 4096 with
+        | Some hops ->
+            List.iter
+              (fun h ->
+                if not (Addr.equal h target) then
+                  Hashtbl.replace t.cells h (Forwarder target))
+              hops;
+            Hashtbl.remove t.cells target
+        | None -> ())
+    | Some (Object _) | None -> ());
+    Hashtbl.replace t.cells at (Forwarder target);
+    match segment_at t at with
+    | Some seg -> Segment.clear_object seg at
+    | None -> ()
+  end
 
 let remove t a =
   (match Hashtbl.find_opt t.cells a with

@@ -65,7 +65,13 @@ val install : t -> Bmx_util.Addr.t -> Heap_obj.t -> unit
     address-update installation).  Maintains the segment maps. *)
 
 val set_forwarder : t -> at:Bmx_util.Addr.t -> target:Bmx_util.Addr.t -> unit
-(** Replace the cell at [at] with a forwarding header to [target]. *)
+(** Replace the cell at [at] with a forwarding header to [target].
+    Keeps the forwarder graph acyclic: a self-link is ignored, and if
+    [target]'s own chain led back to [at] (address reuse — the object
+    moved A -> B -> A and both hops were recorded here), the stale
+    back-chain is re-pointed at [target], which becomes the endpoint.
+    [Bmx_check.Lint.check_stores] verifies this invariant over every
+    node after each run. *)
 
 val remove : t -> Bmx_util.Addr.t -> unit
 (** Drop the cell (object reclaimed or forwarder retired). *)

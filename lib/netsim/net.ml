@@ -51,6 +51,7 @@ type 'p t = {
   seqs : (Ids.Node.t * Ids.Node.t, int ref) Hashtbl.t;
   faults : (kind, fault) Hashtbl.t;
   mutable handler : ('p envelope -> unit) option;
+  mutable evlog : Trace_event.log option;
 }
 
 let create ~stats () =
@@ -60,10 +61,23 @@ let create ~stats () =
     seqs = Hashtbl.create 16;
     faults = Hashtbl.create 4;
     handler = None;
+    evlog = None;
   }
 
 let stats t = t.stats
 let set_handler t f = t.handler <- Some f
+let set_evlog t l = t.evlog <- Some l
+
+let ev t e =
+  match t.evlog with
+  | Some l when Trace_event.enabled l -> Trace_event.record l e
+  | Some _ | None -> ()
+
+let ev_sent t ~src ~dst ~kind ~seq =
+  ev t (Trace_event.Msg_sent { src; dst; kind = kind_to_string kind; seq })
+
+let ev_delivered t ~src ~dst ~kind ~seq =
+  ev t (Trace_event.Msg_delivered { src; dst; kind = kind_to_string kind; seq })
 
 let next_seq t ~src ~dst =
   let key = (src, dst) in
@@ -83,6 +97,7 @@ let account t ~kind ~bytes =
 
 let send t ~src ~dst ~kind ?(bytes = 64) payload =
   let seq = next_seq t ~src ~dst in
+  ev_sent t ~src ~dst ~kind ~seq;
   let env = { src; dst; kind; seq; payload } in
   match Hashtbl.find_opt t.faults kind with
   | Some { drop; dup; rng } ->
@@ -104,7 +119,11 @@ let send t ~src ~dst ~kind ?(bytes = 64) payload =
       Queue.add env t.queue
 
 let record_rpc t ~src ~dst ~kind ?(bytes = 64) () =
-  ignore (next_seq t ~src ~dst);
+  (* Synchronous exchange executed inline by the caller; it overtakes
+     any queued background messages on the (src, dst) stream, so it gets
+     its own event kind rather than a sent/delivered pair. *)
+  let seq = next_seq t ~src ~dst in
+  ev t (Trace_event.Rpc { src; dst; kind = kind_to_string kind; seq });
   account t ~kind ~bytes
 
 let record_piggyback t ~kind ~bytes =
@@ -113,17 +132,60 @@ let record_piggyback t ~kind ~bytes =
   Stats.incr t.stats ~by:bytes "net.bytes.total";
   Stats.incr t.stats ~by:bytes "net.bytes.piggyback"
 
+let deliver t env =
+  let handler =
+    match t.handler with
+    | Some h -> h
+    | None -> failwith "Net.step: no handler installed"
+  in
+  Stats.incr t.stats ("net.delivered." ^ kind_to_string env.kind);
+  ev_delivered t ~src:env.src ~dst:env.dst ~kind:env.kind ~seq:env.seq;
+  handler env
+
 let step t =
   match Queue.take_opt t.queue with
   | None -> false
   | Some env ->
-      let handler =
-        match t.handler with
-        | Some h -> h
-        | None -> failwith "Net.step: no handler installed"
-      in
-      Stats.incr t.stats ("net.delivered." ^ kind_to_string env.kind);
-      handler env;
+      deliver t env;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-global-order delivery for the schedule explorer.  The only
+   ordering guarantee the GC design relies on is FIFO per (src, dst)
+   pair (§6.1), so any interleaving that delivers each pair's messages
+   in queue order is a legal network behaviour.  [deliverable_pairs]
+   enumerates the choice points; [step_pair] commits one choice. *)
+
+let deliverable_pairs t =
+  let seen = Hashtbl.create 8 in
+  Queue.fold
+    (fun acc env ->
+      let key = (env.src, env.dst) in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        key :: acc
+      end)
+    [] t.queue
+  |> List.rev
+
+let step_pair t ~src ~dst =
+  (* Remove the oldest queued message of the pair, preserving the
+     relative order of everything else. *)
+  let all = List.of_seq (Queue.to_seq t.queue) in
+  let rec split acc = function
+    | [] -> None
+    | env :: rest when Ids.Node.equal env.src src && Ids.Node.equal env.dst dst
+      ->
+        Some (env, List.rev_append acc rest)
+    | env :: rest -> split (env :: acc) rest
+  in
+  match split [] all with
+  | None -> false
+  | Some (env, rest) ->
+      Queue.clear t.queue;
+      List.iter (fun e -> Queue.add e t.queue) rest;
+      deliver t env;
       true
 
 let drain t =

@@ -55,6 +55,12 @@ val set_handler : 'p t -> ('p envelope -> unit) -> unit
 (** Install the delivery handler (the cluster dispatch).  Must be set
     before the first [step]. *)
 
+val set_evlog : 'p t -> Bmx_util.Trace_event.log -> unit
+(** Share a structured event log: every message send and delivery is
+    recorded (with its per-pair sequence number) so the trace linter can
+    verify FIFO sequencing.  Synchronous [record_rpc] exchanges record a
+    send and a delivery at once. *)
+
 val send :
   'p t ->
   src:Bmx_util.Ids.Node.t ->
@@ -88,6 +94,24 @@ val drain : 'p t -> int
     Messages sent by handlers during the drain are delivered too. *)
 
 val pending : 'p t -> int
+
+(** {1 Schedule exploration}
+
+    The transport's only ordering guarantee is FIFO per (src, dst) pair
+    (§6.1); the global delivery order across pairs is unconstrained.  The
+    bounded schedule explorer ([Bmx_check.Explore]) enumerates those
+    legal orders through these two operations. *)
+
+val deliverable_pairs :
+  'p t -> (Bmx_util.Ids.Node.t * Bmx_util.Ids.Node.t) list
+(** The (src, dst) pairs with at least one pending message — the legal
+    next-delivery choices.  Listed in queue order, each pair once. *)
+
+val step_pair :
+  'p t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> bool
+(** Deliver the {e oldest} pending message of the pair (preserving
+    per-pair FIFO while allowing any cross-pair interleaving).  Returns
+    [false] if the pair has nothing pending. *)
 
 val set_fault :
   'p t -> kind:kind -> drop:float -> dup:float -> rng:Bmx_util.Rng.t -> unit

@@ -1,0 +1,200 @@
+type actor = App | Gc
+type tok = Read | Write
+
+type t =
+  | Acquire_start of {
+      actor : actor;
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      tok : tok;
+    }
+  | Acquire_done of {
+      actor : actor;
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      tok : tok;
+      addr_valid : bool;
+    }
+  | Release of { node : Ids.Node.t; uid : Ids.Uid.t }
+  | Grant_sent of {
+      granter : Ids.Node.t;
+      requester : Ids.Node.t;
+      uid : Ids.Uid.t;
+      tok : tok;
+      updates : int;
+    }
+  | Hook_ssp of {
+      granter : Ids.Node.t;
+      requester : Ids.Node.t;
+      uid : Ids.Uid.t;
+    }
+  | Invalidate of { src : Ids.Node.t; dst : Ids.Node.t; uid : Ids.Uid.t }
+  | Updates_applied of { node : Ids.Node.t; uids : Ids.Uid.t list }
+  | Forward_due of {
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      peers : Ids.Node.t list;
+    }
+  | Copyset_forward of { src : Ids.Node.t; dst : Ids.Node.t; uid : Ids.Uid.t }
+  | Gc_begin of { node : Ids.Node.t; group : bool; bunches : Ids.Bunch.t list }
+  | Gc_end of { node : Ids.Node.t; group : bool; live : int; reclaimed : int }
+  | Msg_sent of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
+  | Msg_delivered of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+    }
+  | Rpc of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
+
+type log = {
+  mutable log_enabled : bool;
+  mutable rev : t list;
+  mutable count : int;
+  capacity : int;
+  mutable over : bool;
+}
+
+let create_log ?(capacity = 1_000_000) () =
+  if capacity <= 0 then invalid_arg "Trace_event.create_log: capacity";
+  { log_enabled = false; rev = []; count = 0; capacity; over = false }
+
+let enabled l = l.log_enabled
+let set_enabled l b = l.log_enabled <- b
+
+let record l e =
+  if l.log_enabled then begin
+    if l.count >= l.capacity then l.over <- true
+    else begin
+      l.rev <- e :: l.rev;
+      l.count <- l.count + 1
+    end
+  end
+
+let events l = List.rev l.rev
+let length l = l.count
+let overflowed l = l.over
+
+let clear l =
+  l.rev <- [];
+  l.count <- 0;
+  l.over <- false
+
+(* --------------------------------------------------------------- text *)
+
+let actor_str = function App -> "app" | Gc -> "gc"
+let tok_str = function Read -> "r" | Write -> "w"
+let bool_str b = if b then "1" else "0"
+
+(* Int lists print as "-" when empty, else comma-separated. *)
+let ints_str = function
+  | [] -> "-"
+  | l -> String.concat "," (List.map string_of_int l)
+
+let to_line = function
+  | Acquire_start { actor; node; uid; tok } ->
+      Printf.sprintf "acquire_start %s %d %d %s" (actor_str actor) node uid
+        (tok_str tok)
+  | Acquire_done { actor; node; uid; tok; addr_valid } ->
+      Printf.sprintf "acquire_done %s %d %d %s %s" (actor_str actor) node uid
+        (tok_str tok) (bool_str addr_valid)
+  | Release { node; uid } -> Printf.sprintf "release %d %d" node uid
+  | Grant_sent { granter; requester; uid; tok; updates } ->
+      Printf.sprintf "grant_sent %d %d %d %s %d" granter requester uid
+        (tok_str tok) updates
+  | Hook_ssp { granter; requester; uid } ->
+      Printf.sprintf "hook_ssp %d %d %d" granter requester uid
+  | Invalidate { src; dst; uid } ->
+      Printf.sprintf "invalidate %d %d %d" src dst uid
+  | Updates_applied { node; uids } ->
+      Printf.sprintf "updates_applied %d %s" node (ints_str uids)
+  | Forward_due { node; uid; peers } ->
+      Printf.sprintf "forward_due %d %d %s" node uid (ints_str peers)
+  | Copyset_forward { src; dst; uid } ->
+      Printf.sprintf "copyset_forward %d %d %d" src dst uid
+  | Gc_begin { node; group; bunches } ->
+      Printf.sprintf "gc_begin %d %s %s" node (bool_str group) (ints_str bunches)
+  | Gc_end { node; group; live; reclaimed } ->
+      Printf.sprintf "gc_end %d %s %d %d" node (bool_str group) live reclaimed
+  | Msg_sent { src; dst; kind; seq } ->
+      Printf.sprintf "msg_sent %d %d %s %d" src dst kind seq
+  | Msg_delivered { src; dst; kind; seq } ->
+      Printf.sprintf "msg_delivered %d %d %s %d" src dst kind seq
+  | Rpc { src; dst; kind; seq } ->
+      Printf.sprintf "rpc %d %d %s %d" src dst kind seq
+
+exception Parse of string
+
+let of_line line =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt in
+  let int s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail "bad int %S" s
+  in
+  let actor = function
+    | "app" -> App
+    | "gc" -> Gc
+    | s -> fail "bad actor %S" s
+  in
+  let tok = function "r" -> Read | "w" -> Write | s -> fail "bad tok %S" s in
+  let bool = function "1" -> true | "0" -> false | s -> fail "bad bool %S" s in
+  let ints = function
+    | "-" -> []
+    | s -> List.map int (String.split_on_char ',' s)
+  in
+  try
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    with
+    | [ "acquire_start"; a; n; u; k ] ->
+        Ok (Acquire_start { actor = actor a; node = int n; uid = int u; tok = tok k })
+    | [ "acquire_done"; a; n; u; k; v ] ->
+        Ok
+          (Acquire_done
+             {
+               actor = actor a;
+               node = int n;
+               uid = int u;
+               tok = tok k;
+               addr_valid = bool v;
+             })
+    | [ "release"; n; u ] -> Ok (Release { node = int n; uid = int u })
+    | [ "grant_sent"; g; r; u; k; c ] ->
+        Ok
+          (Grant_sent
+             {
+               granter = int g;
+               requester = int r;
+               uid = int u;
+               tok = tok k;
+               updates = int c;
+             })
+    | [ "hook_ssp"; g; r; u ] ->
+        Ok (Hook_ssp { granter = int g; requester = int r; uid = int u })
+    | [ "invalidate"; s; d; u ] ->
+        Ok (Invalidate { src = int s; dst = int d; uid = int u })
+    | [ "updates_applied"; n; us ] ->
+        Ok (Updates_applied { node = int n; uids = ints us })
+    | [ "forward_due"; n; u; ps ] ->
+        Ok (Forward_due { node = int n; uid = int u; peers = ints ps })
+    | [ "copyset_forward"; s; d; u ] ->
+        Ok (Copyset_forward { src = int s; dst = int d; uid = int u })
+    | [ "gc_begin"; n; g; bs ] ->
+        Ok (Gc_begin { node = int n; group = bool g; bunches = ints bs })
+    | [ "gc_end"; n; g; l; r ] ->
+        Ok
+          (Gc_end
+             { node = int n; group = bool g; live = int l; reclaimed = int r })
+    | [ "msg_sent"; s; d; k; q ] ->
+        Ok (Msg_sent { src = int s; dst = int d; kind = k; seq = int q })
+    | [ "msg_delivered"; s; d; k; q ] ->
+        Ok (Msg_delivered { src = int s; dst = int d; kind = k; seq = int q })
+    | [ "rpc"; s; d; k; q ] ->
+        Ok (Rpc { src = int s; dst = int d; kind = k; seq = int q })
+    | w :: _ -> Error (Printf.sprintf "unknown or malformed event %S" w)
+    | [] -> Error "empty line"
+  with Parse m -> Error m
+
+let pp ppf e = Format.pp_print_string ppf (to_line e)

@@ -1,0 +1,100 @@
+(** Structured protocol/GC event trace for mechanical verification.
+
+    Unlike {!Tracelog} (free-form strings for humans), this log records
+    {e typed} events that the offline linter ([Bmx_check.Lint]) can
+    replay against the protocol state machine: token acquisitions with
+    their acting subsystem, grant messages with their piggybacked
+    location-update counts, the §5 invariant hook firings, copy-set
+    forwards, GC phase boundaries, and every network message with its
+    per-pair sequence number.
+
+    The log is an append-only buffer owned by the protocol instance and
+    shared with the network simulator and the collector; it is disabled
+    by default (recording costs one list cons per event when on).  Events
+    serialize to a stable one-line text format so traces can be saved and
+    linted offline ([bmxctl check --trace FILE]). *)
+
+(** Which subsystem performed a token operation.  The paper's central
+    claim (§5) is that [Gc] never appears in an acquisition event. *)
+type actor = App | Gc
+
+type tok = Read | Write
+
+type t =
+  | Acquire_start of {
+      actor : actor;
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      tok : tok;
+    }  (** a node entered the token-acquire path for an object *)
+  | Acquire_done of {
+      actor : actor;
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      tok : tok;
+      addr_valid : bool;
+          (** §5 invariant 1: the acquiring node resolved a valid local
+              address for the object at completion time *)
+    }
+  | Release of { node : Ids.Node.t; uid : Ids.Uid.t }
+  | Grant_sent of {
+      granter : Ids.Node.t;
+      requester : Ids.Node.t;
+      uid : Ids.Uid.t;
+      tok : tok;
+      updates : int;  (** piggybacked location updates (§4.4) *)
+    }
+  | Hook_ssp of {
+      granter : Ids.Node.t;
+      requester : Ids.Node.t;
+      uid : Ids.Uid.t;
+    }  (** §5 invariant 3: the before-write-grant hook ran *)
+  | Invalidate of { src : Ids.Node.t; dst : Ids.Node.t; uid : Ids.Uid.t }
+  | Updates_applied of { node : Ids.Node.t; uids : Ids.Uid.t list }
+      (** a batch of location updates was processed at [node] *)
+  | Forward_due of {
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      peers : Ids.Node.t list;
+    }  (** §5 invariant 2: fresh location info must reach these copy-set
+           members *)
+  | Copyset_forward of { src : Ids.Node.t; dst : Ids.Node.t; uid : Ids.Uid.t }
+  | Gc_begin of { node : Ids.Node.t; group : bool; bunches : Ids.Bunch.t list }
+  | Gc_end of { node : Ids.Node.t; group : bool; live : int; reclaimed : int }
+  | Msg_sent of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
+      (** a background message was enqueued *)
+  | Msg_delivered of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+    }  (** a background message was handed to its handler *)
+  | Rpc of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
+      (** a synchronous request/reply executed inline by the caller; it
+          shares the per-pair sequence counter with background messages
+          but is exempt from their FIFO — it logically overtakes anything
+          still queued *)
+
+type log
+
+val create_log : ?capacity:int -> unit -> log
+(** Disabled by default.  [capacity] (default 1_000_000) bounds memory:
+    past it, recording stops and {!overflowed} reports the truncation so
+    the linter can refuse to certify an incomplete trace. *)
+
+val enabled : log -> bool
+val set_enabled : log -> bool -> unit
+val record : log -> t -> unit
+val events : log -> t list
+(** Oldest first. *)
+
+val length : log -> int
+val overflowed : log -> bool
+val clear : log -> unit
+(** Drop all events and reset the overflow flag; leaves [enabled] alone. *)
+
+(** {1 Serialization} — stable one-line format, [to_line] ∘ [of_line] = id. *)
+
+val to_line : t -> string
+val of_line : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

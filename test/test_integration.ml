@@ -14,10 +14,18 @@ let check = Alcotest.check
 let check_int = check Alcotest.int
 let check_bool = check Alcotest.bool
 
+(* End-to-end runs are also certified by the trace linter: the whole
+   recorded history must satisfy the GC/DSM non-interference contract
+   (see HACKING.md, "Invariant catalog & the checker"). *)
+let assert_lint c =
+  match Bmx_check.Lint.check_all (Cluster.proto c) with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "lint: %s" (Bmx_check.Lint.violation_to_string v)
+
 let test_distributed_acyclic_collection () =
   (* A chain spanning three nodes and two bunches dies when the single
      root is dropped; a few asynchronous rounds reclaim every replica. *)
-  let c = Cluster.create ~nodes:3 () in
+  let c = Cluster.create ~nodes:3 ~trace_events:true () in
   let b1 = Cluster.new_bunch c ~home:0 in
   let b2 = Cluster.new_bunch c ~home:1 in
   let tail = Cluster.alloc c ~node:1 ~bunch:b2 [| Value.Data 9 |] in
@@ -34,10 +42,11 @@ let test_distributed_acyclic_collection () =
   (* Drop the root at N2: all three objects on all nodes must go. *)
   List.iter (fun a -> Cluster.remove_root c ~node:2 a) (Cluster.roots c ~node:2);
   ignore (Cluster.collect_until_quiescent c ());
-  check_int "no copies left anywhere" 0 (Bmx.Audit.total_cached_copies c)
+  check_int "no copies left anywhere" 0 (Bmx.Audit.total_cached_copies c);
+  assert_lint c
 
 let test_full_lifecycle_with_reclaim () =
-  let c = Cluster.create ~nodes:2 () in
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
   let b = Cluster.new_bunch c ~home:0 in
   let head = Graphgen.linked_list c ~node:0 ~bunch:b ~len:100 in
   Cluster.add_root c ~node:0 head;
@@ -71,7 +80,8 @@ let test_full_lifecycle_with_reclaim () =
        | Value.Ref _ -> n + 1
        | Value.Data _ -> -1
      in
-     walk head' 0)
+     walk head' 0);
+  assert_lint c
 
 let test_modes_agree_on_reachability () =
   (* Centralized and distributed copy-set modes must reclaim exactly the
@@ -80,10 +90,12 @@ let test_modes_agree_on_reachability () =
     let d =
       Driver.setup { Driver.default with ops = 400; seed = 21; mode; nodes = 3 }
     in
-    Driver.run_ops d ();
     let c = Driver.cluster d in
+    Cluster.set_event_trace c true;
+    Driver.run_ops d ();
     ignore (Cluster.collect_until_quiescent c ());
     check_bool "safe" true (Result.is_ok (Bmx.Audit.check_safety c));
+    assert_lint c;
     Ids.Uid_set.cardinal (Bmx.Audit.union_reachable c)
   in
   check_int "same survivors"
@@ -102,14 +114,17 @@ let test_many_nodes_many_bunches () =
         seed = 33;
       }
   in
-  Driver.run_ops d ();
   let c = Driver.cluster d in
+  Cluster.set_event_trace c true;
+  Driver.run_ops d ();
   ignore (Cluster.collect_until_quiescent c ());
   check_bool "safety at scale" true (Result.is_ok (Bmx.Audit.check_safety c));
-  (* The collector still never touched a token. *)
+  (* The collector still never touched a token — per the counters AND
+     per the replayed trace. *)
   check_int "no collector acquires" 0
     (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
-    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write")
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write");
+  assert_lint c
 
 let test_ggc_after_workload () =
   let d = Driver.setup { Driver.default with ops = 600; seed = 17 } in
@@ -175,6 +190,7 @@ let test_soak () =
       }
   in
   let c = Driver.cluster d in
+  Cluster.set_event_trace c true;
   let rng = Rng.make 202 in
   for epoch = 1 to 12 do
     Driver.run_ops d ~ops:400 ();
@@ -203,7 +219,8 @@ let test_soak () =
   check_bool "final safety" true (Result.is_ok (Bmx.Audit.check_safety c));
   check_int "collector never acquired a token across the soak" 0
     (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
-    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write")
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write");
+  assert_lint c
 
 let () =
   Alcotest.run "integration"

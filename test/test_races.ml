@@ -18,13 +18,22 @@ let check_bool = check Alcotest.bool
 
 let alive c uid = Ids.Uid_set.mem uid (Bmx.Audit.cached_anywhere c)
 
+(* Every race scenario is recorded (trace_events) and must come out of
+   the trace linter clean: the §5 invariants, GC-never-acquires, and
+   per-pair FIFO hold along the whole history, on top of the scenario's
+   own assertions. *)
+let assert_lint c =
+  match Bmx_check.Lint.check_all (Cluster.proto c) with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "lint: %s" (Bmx_check.Lint.violation_to_string v)
+
 (* Race 1: a scion protecting an object with no local copy at the scion
    node ("phantom" scion).  The reference s->x is created at N2, where
    x's bunch is mapped but x itself was never cached; every BGC at x's
    owner must still keep x alive, via the scion node's conservative
    exiting entry. *)
 let test_phantom_scion_protects () =
-  let c = Cluster.create ~nodes:3 () in
+  let c = Cluster.create ~nodes:3 ~trace_events:true () in
   let bt = Cluster.new_bunch c ~home:2 in
   let bs = Cluster.new_bunch c ~home:1 in
   let x = Cluster.alloc c ~node:0 ~bunch:bt [| Value.Data 1 |] in
@@ -48,14 +57,15 @@ let test_phantom_scion_protects () =
   Cluster.write c ~node:2 s' 0 Value.nil;
   Cluster.release c ~node:2 s';
   ignore (Cluster.collect_until_quiescent c ());
-  check_bool "x reclaimed once the reference is gone" false (alive c x_uid)
+  check_bool "x reclaimed once the reference is gone" false (alive c x_uid);
+  assert_lint c
 
 (* Race 2: an intra-bunch pointer stored at a node that never cached the
    target.  No SSP describes the dependency; the barrier's immediate
    entering registration must carry it until the next BGC advertises a
    conservative exiting entry. *)
 let test_uncached_intra_bunch_store () =
-  let c = Cluster.create ~nodes:2 () in
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
   let b = Cluster.new_bunch c ~home:0 in
   let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
   let x_uid = Cluster.uid_at c ~node:0 x in
@@ -83,12 +93,13 @@ let test_uncached_intra_bunch_store () =
   Cluster.write c ~node:1 s1' 0 Value.nil;
   Cluster.release c ~node:1 s1';
   ignore (Cluster.collect_until_quiescent c ());
-  check_bool "x reclaimed after unlink" false (alive c x_uid)
+  check_bool "x reclaimed after unlink" false (alive c x_uid);
+  assert_lint c
 
 (* Race 4: a reachability table SENT before a registration but DELIVERED
    after it must not cancel the registration (stream logical clocks). *)
 let test_stale_table_vs_fresh_registration () =
-  let c = Cluster.create ~nodes:2 () in
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
   let b = Cluster.new_bunch c ~home:0 in
   let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
   let x_uid = Cluster.uid_at c ~node:0 x in
@@ -112,13 +123,14 @@ let test_stale_table_vs_fresh_registration () =
   let _ = Cluster.bgc c ~node:0 ~bunch:b in
   check_bool "stale table did not cancel the fresh registration" true
     (alive c x_uid);
-  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  assert_lint c
 
 (* Race 5 (§4.5's replies): from-space reuse synchronously informs every
    replica holder before dropping the forwarders, so a later grant
    carrying the old address still lands. *)
 let test_reclaim_informs_before_dropping () =
-  let c = Cluster.create ~nodes:3 () in
+  let c = Cluster.create ~nodes:3 ~trace_events:true () in
   let b = Cluster.new_bunch c ~home:0 in
   let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 5 |] in
   let s = Cluster.alloc c ~node:0 ~bunch:b [| Value.Ref x |] in
@@ -143,13 +155,14 @@ let test_reclaim_informs_before_dropping () =
   ignore (Cluster.gc_round c);
   check_bool "x alive everywhere it should be" true
     (alive c (Cluster.uid_at c ~node:0 x));
-  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  assert_lint c
 
 (* Race 6: during from-space reuse, the owner's copy may already sit
    outside the doomed range; the reclaiming node must still move its OWN
    replica out before dropping the segment. *)
 let test_reclaim_relocates_local_replica () =
-  let c = Cluster.create ~nodes:2 () in
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
   let b = Cluster.new_bunch c ~home:1 in
   let x = Cluster.alloc c ~node:1 ~bunch:b [| Value.Data 9 |] in
   let x_uid = Cluster.uid_at c ~node:1 x in
@@ -168,13 +181,14 @@ let test_reclaim_relocates_local_replica () =
   check_bool "root still resolves at N0" true
     (Store.resolve (Protocol.store (Cluster.proto c) 0) x0 <> None
     || Store.addr_of_uid (Protocol.store (Cluster.proto c) 0) x_uid <> None);
-  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c))
+  check_bool "safety" true (Result.is_ok (Bmx.Audit.check_safety c));
+  assert_lint c
 
 (* Race 7: ownership recovery.  The recorded owner's replica can die
    while another replica survives; the survivor adopts ownership so
    acquires keep working. *)
 let test_ownership_adoption () =
-  let c = Cluster.create ~nodes:2 () in
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
   let b = Cluster.new_bunch c ~home:0 in
   let x = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 3 |] in
   let x_uid = Cluster.uid_at c ~node:0 x in
@@ -199,7 +213,8 @@ let test_ownership_adoption () =
   (* Adoption refuses illegal cases. *)
   Alcotest.check_raises "cannot adopt without a copy"
     (Invalid_argument "Protocol.adopt_ownership: adopting node has no copy")
-    (fun () -> Protocol.adopt_ownership proto ~node:0 ~uid:x_uid)
+    (fun () -> Protocol.adopt_ownership proto ~node:0 ~uid:x_uid);
+  assert_lint c
 
 (* Logical clocks: Net.current_seq and registration stamping. *)
 let test_stream_logical_clocks () =
