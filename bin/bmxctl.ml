@@ -94,8 +94,22 @@ let mode_conv =
   in
   Arg.conv (parse, print)
 
+let kind_of_string = function
+  | "token_request" -> Some Bmx_netsim.Net.Token_request
+  | "token_grant" -> Some Bmx_netsim.Net.Token_grant
+  | "invalidate" -> Some Bmx_netsim.Net.Invalidate
+  | "object_fetch" -> Some Bmx_netsim.Net.Object_fetch
+  | "scion_message" -> Some Bmx_netsim.Net.Scion_message
+  | "stub_table" -> Some Bmx_netsim.Net.Stub_table
+  | "addr_update" -> Some Bmx_netsim.Net.Addr_update
+  | "reclaim_request" -> Some Bmx_netsim.Net.Reclaim_request
+  | "reclaim_reply" -> Some Bmx_netsim.Net.Reclaim_reply
+  | "refcount_op" -> Some Bmx_netsim.Net.Refcount_op
+  | "app_message" -> Some Bmx_netsim.Net.App_message
+  | _ -> None
+
 let run_workload nodes bunches objects ops seed mode collect ggc dump trace
-    emit_trace =
+    emit_trace drop dup fault_kinds crashes =
   let cfg =
     {
       Driver.default with
@@ -109,9 +123,68 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
   in
   let d = Driver.setup cfg in
   let c = Driver.cluster d in
+  let net = Cluster.net c in
   if trace then Bmx_util.Tracelog.set_enabled (Cluster.tracer c) true;
   if emit_trace <> None then Cluster.set_event_trace c true;
-  Driver.run_ops d ();
+  let kinds =
+    List.filter_map
+      (fun s ->
+        let s = String.trim s in
+        if s = "" then None
+        else
+          match kind_of_string s with
+          | Some k -> Some k
+          | None -> failwith (Printf.sprintf "unknown message kind %S" s))
+      (String.split_on_char ',' fault_kinds)
+  in
+  if drop > 0. || dup > 0. then
+    List.iteri
+      (fun i k ->
+        Bmx_netsim.Net.set_fault net ~kind:k ~drop ~dup
+          ~rng:(Rng.make (seed + 101 + i)))
+      kinds;
+  (* With [crashes] > 0 the op stream is cut into chunks; between chunks
+     a victim node checkpoints its bunches (continuous RVM logging,
+     approximated), crashes, restarts and recovers from the image. *)
+  if crashes <= 0 then Driver.run_ops d ()
+  else begin
+    let crash_rng = Rng.make (seed + 77) in
+    let chunk = max 1 (ops / (crashes + 1)) in
+    let disks : (int * int, Bmx.Persist.disk) Hashtbl.t = Hashtbl.create 16 in
+    for cycle = 1 to crashes do
+      Driver.run_ops d ~ops:chunk ();
+      let victims = Cluster.live_nodes c in
+      let victim = List.nth victims (Rng.int crash_rng (List.length victims)) in
+      List.iter
+        (fun bunch ->
+          let disk =
+            match Hashtbl.find_opt disks (victim, bunch) with
+            | Some disk -> disk
+            | None ->
+                let disk = Bmx.Persist.create_disk () in
+                Hashtbl.add disks (victim, bunch) disk;
+                disk
+          in
+          ignore (Bmx.Persist.checkpoint ~gc_roots:true c ~node:victim ~bunch disk))
+        (Bmx_dsm.Protocol.bunches (Cluster.proto c));
+      Cluster.crash_node c ~node:victim;
+      Cluster.restart_node c ~node:victim;
+      let recovered =
+        Bmx.Persist.recover_node c ~node:victim
+          (List.filter_map
+             (fun bunch -> Hashtbl.find_opt disks (victim, bunch))
+             (Bmx_dsm.Protocol.bunches (Cluster.proto c)))
+      in
+      ignore (Cluster.settle c);
+      Printf.printf "crash cycle %d: N%d crashed, %d objects recovered\n" cycle
+        victim recovered
+    done;
+    Driver.run_ops d ~ops:(max 0 (ops - (crashes * chunk))) ()
+  end;
+  if drop > 0. || dup > 0. then begin
+    Bmx_netsim.Net.clear_faults net;
+    ignore (Cluster.settle c)
+  end;
   let reclaimed = if collect then Cluster.collect_until_quiescent c () else 0 in
   let ggc_reclaimed =
     if ggc then
@@ -135,6 +208,19 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
   Printf.printf "network: %d messages, %d bytes\n"
     (Bmx_netsim.Net.total_messages (Cluster.net c))
     (Bmx_netsim.Net.total_bytes (Cluster.net c));
+  if drop > 0. || dup > 0. || crashes > 0 then
+    Printf.printf
+      "faults: %d dropped, %d duplicated, %d retransmitted, %d abandoned; %d \
+       crashes (%d in-flight purged, %d unacked lost, %d evaporated at down \
+       nodes)\n"
+      (Stats.get stats "net.dropped.total")
+      (Stats.get stats "net.duplicated.total")
+      (Stats.get stats "net.retransmit.total")
+      (Stats.get stats "net.rel.abandoned")
+      (Stats.get stats "net.crash.count")
+      (Stats.get stats "net.crash.purged_in_flight")
+      (Stats.get stats "net.crash.lost_unacked")
+      (Stats.get stats "net.down_dropped.total");
   Printf.printf "heap: %d copies cached, %d reachable, %d retained garbage\n"
     (Bmx.Audit.total_cached_copies c)
     (Ids.Uid_set.cardinal (Bmx.Audit.union_reachable c))
@@ -195,9 +281,39 @@ let workload_term dump_default =
       & info [ "emit-trace" ] ~docv:"FILE"
           ~doc:"Write the typed event trace to $(docv) for 'bmxctl check'")
   in
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop" ]
+          ~doc:"Drop probability for the faulted message kinds (0.0-1.0)")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.
+      & info [ "dup" ]
+          ~doc:"Duplication probability for the faulted message kinds")
+  in
+  let fault_kinds =
+    Arg.(
+      value
+      & opt string "stub_table,scion_message,addr_update"
+      & info [ "fault-kinds" ] ~docv:"CSV"
+          ~doc:
+            "Comma-separated message kinds the drop/dup dice apply to (e.g. \
+             stub_table,scion_message,addr_update)")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ]
+          ~doc:
+            "Crash/checkpoint/recover cycles interleaved with the op stream \
+             (a random live node each time)")
+  in
   Term.(
     const run_workload $ nodes $ bunches $ objects $ ops $ seed $ mode $ collect
-    $ ggc $ const dump_default $ trace $ emit_trace)
+    $ ggc $ const dump_default $ trace $ emit_trace $ drop $ dup $ fault_kinds
+    $ crashes)
 
 let workload_cmd =
   Cmd.v
@@ -357,7 +473,9 @@ let check_cmd =
 let run_explore list_scenarios depth max_schedules name =
   if list_scenarios then begin
     List.iter
-      (fun (n, d, _, _) -> Printf.printf "%-16s %s\n" n d)
+      (fun s ->
+        Printf.printf "%-16s %s\n" s.Bmx_check.Explore.sc_name
+          s.Bmx_check.Explore.sc_desc)
       Bmx_check.Explore.builtin_scenarios;
     `Ok ()
   end
@@ -371,14 +489,17 @@ let run_explore list_scenarios depth max_schedules name =
               ( false,
                 Printf.sprintf
                   "unknown scenario %S (use --list to see the catalog)" name )
-        | Some (build, locals) ->
+        | Some sc ->
+            let build = sc.Bmx_check.Explore.sc_build in
+            let locals = sc.Bmx_check.Explore.sc_locals in
             let c0 = build () in
             Printf.printf "scenario %s: %d message(s) pending, %d local step(s)\n"
               name
               (Bmx_netsim.Net.pending (Cluster.net c0))
               (List.length locals);
             let r =
-              Bmx_check.Explore.run ~depth ~max_schedules ~build ~locals ()
+              Bmx_check.Explore.run ~depth ~max_schedules ~build ~locals
+                ~finish:sc.Bmx_check.Explore.sc_finish ()
             in
             Format.printf "%a@." Bmx_check.Explore.pp_report r;
             if r.Bmx_check.Explore.violations <> [] then exit 1;

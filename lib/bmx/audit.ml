@@ -16,6 +16,11 @@ let cached_anywhere t =
       !local)
     Ids.Uid_set.empty (Cluster.nodes t)
 
+type stable_cell = { sc_owned : bool; sc_targets : Ids.Uid.t list }
+
+let stable_uids tbl =
+  Ids.Uid_tbl.fold (fun u _ acc -> Ids.Uid_set.add u acc) tbl Ids.Uid_set.empty
+
 (* Authoritative graph: uid -> pointer targets (as uids) taken from the
    OWNER's copy of each object — the consistent version a token acquire
    would deliver.  Stale replicas may hold extra pointers, but their
@@ -25,8 +30,15 @@ let cached_anywhere t =
    used only as a fallback when no owner copy exists — and the objects
    forced onto that fallback are reported separately rather than
    silently conflated with the authoritative ones: their edge sets are
-   best-effort, not something any acquire could still deliver. *)
-let union_edges_report t =
+   best-effort, not something any acquire could still deliver.
+
+   [stable] is the down-nodes' checkpointed state (§8): while an owner is
+   crashed, its in-memory copy is gone but its stable image is what
+   recovery will reinstate — so an image checkpointed {e as owner}
+   outranks any surviving stale replica.  Without it, mid-crash
+   reachability would follow pointers the authoritative copy severed long
+   ago and "reach" objects the collector rightly reclaimed. *)
+let union_edges_report ?stable t =
   let proto = Cluster.proto t in
   let edges : Ids.Uid_set.t ref Ids.Uid_tbl.t = Ids.Uid_tbl.create 256 in
   let stale = ref Ids.Uid_set.empty in
@@ -46,30 +58,46 @@ let union_edges_report t =
               (List.filter_map (Protocol.uid_of_addr proto) (Heap_obj.pointers obj))
         | None -> None)
   in
+  let stable_find uid =
+    match stable with
+    | None -> None
+    | Some tbl -> Ids.Uid_tbl.find_opt tbl uid
+  in
+  let universe =
+    match stable with
+    | None -> cached_anywhere t
+    | Some tbl -> Ids.Uid_set.union (cached_anywhere t) (stable_uids tbl)
+  in
   Ids.Uid_set.iter
     (fun uid ->
-      let node =
+      let targets =
         match Protocol.owner_of proto uid with
-        | Some owner when targets_at owner uid <> None -> Some owner
+        | Some owner when targets_at owner uid <> None -> targets_at owner uid
         | Some _ | None -> (
-            (* No owner copy: fall back to some replica, and remember
-               that this object's edges are not authoritative. *)
-            match Protocol.replica_nodes proto uid with
-            | n :: _ ->
-                stale := Ids.Uid_set.add uid !stale;
-                Some n
-            | [] -> None)
+            match stable_find uid with
+            | Some { sc_owned = true; sc_targets } -> Some sc_targets
+            | Some _ | None -> (
+                (* No authoritative copy, volatile or stable: fall back
+                   to some replica, and remember that this object's edges
+                   are not authoritative. *)
+                match Protocol.replica_nodes proto uid with
+                | n :: _ ->
+                    stale := Ids.Uid_set.add uid !stale;
+                    targets_at n uid
+                | [] -> (
+                    match stable_find uid with
+                    | Some { sc_targets; _ } ->
+                        stale := Ids.Uid_set.add uid !stale;
+                        Some sc_targets
+                    | None -> None)))
       in
-      match node with
-      | None -> ()
-      | Some n -> (
-          match targets_at n uid with
-          | Some ts -> List.iter (add uid) ts
-          | None -> ()))
-    (cached_anywhere t);
+      match targets with
+      | Some ts -> List.iter (add uid) ts
+      | None -> ())
+    universe;
   (edges, !stale)
 
-let union_edges t = fst (union_edges_report t)
+let union_edges ?stable t = fst (union_edges_report ?stable t)
 let stale_edge_sources t = snd (union_edges_report t)
 
 let root_uids t =
@@ -85,8 +113,8 @@ let root_uids t =
         (Cluster.roots t ~node))
     Ids.Uid_set.empty (Cluster.nodes t)
 
-let union_reachable t =
-  let edges = union_edges t in
+let union_reachable ?stable t =
+  let edges = union_edges ?stable t in
   let seen = ref Ids.Uid_set.empty in
   let rec visit u =
     if not (Ids.Uid_set.mem u !seen) then begin
@@ -99,7 +127,16 @@ let union_reachable t =
   Ids.Uid_set.iter visit (root_uids t);
   !seen
 
-let lost_objects t = Ids.Uid_set.diff (union_reachable t) (cached_anywhere t)
+(* A uid held on a down node's stable store is not lost: recovery will
+   reinstate it (§8). *)
+let lost_objects ?stable t =
+  let recoverable =
+    match stable with
+    | None -> cached_anywhere t
+    | Some tbl -> Ids.Uid_set.union (cached_anywhere t) (stable_uids tbl)
+  in
+  Ids.Uid_set.diff (union_reachable ?stable t) recoverable
+
 let garbage_retained t = Ids.Uid_set.diff (cached_anywhere t) (union_reachable t)
 
 let check_safety t =

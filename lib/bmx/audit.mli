@@ -13,16 +13,37 @@
     contains the reference.  The BGC scanning stale copies keeps strictly
     more alive than this bar requires — the safe direction. *)
 
-val union_reachable : Cluster.t -> Bmx_util.Ids.Uid_set.t
+type stable_cell = {
+  sc_owned : bool;
+      (** the checkpointing node owned the object, so the image is the
+          authoritative contents, not a stale replica *)
+  sc_targets : Bmx_util.Ids.Uid.t list;  (** its pointer fields, as uids *)
+}
+(** One cell of a {e down} node's checkpointed state, as the audit sees
+    it.  While a node is crashed its memory is gone but its stable store
+    is not: recovery will reinstate exactly this (§8), so mid-crash
+    verification must read the authoritative graph through it.  An image
+    checkpointed as owner outranks any surviving stale replica — without
+    that, reachability would follow pointers the (crashed) authoritative
+    copy severed long ago.  Build one entry per uid found on the disks of
+    currently-down nodes; omit the argument when every node is up. *)
+
+val union_reachable :
+  ?stable:stable_cell Bmx_util.Ids.Uid_tbl.t -> Cluster.t
+  -> Bmx_util.Ids.Uid_set.t
 (** Uids reachable from every node's mutator roots over the
-    authoritative graph. *)
+    authoritative graph.  [stable] supplies the checkpointed state of
+    down nodes (see {!type:stable_cell}). *)
 
 val cached_anywhere : Cluster.t -> Bmx_util.Ids.Uid_set.t
 (** Uids with at least one cached copy on some node. *)
 
-val lost_objects : Cluster.t -> Bmx_util.Ids.Uid_set.t
-(** Safety violation witnesses: reachable uids with no copy anywhere.
-    Must always be empty. *)
+val lost_objects :
+  ?stable:stable_cell Bmx_util.Ids.Uid_tbl.t -> Cluster.t
+  -> Bmx_util.Ids.Uid_set.t
+(** Safety violation witnesses: reachable uids with no copy anywhere —
+    neither cached on a live node nor (when [stable] is given) held on a
+    down node's stable store awaiting recovery.  Must always be empty. *)
 
 val garbage_retained : Cluster.t -> Bmx_util.Ids.Uid_set.t
 (** Unreachable uids still cached somewhere (waiting for collection). *)

@@ -21,10 +21,19 @@ type t = {
   mutable next_bunch : int;
 }
 
+(* The kinds carried reliably by default: the two that mutate remote
+   protocol state through one-way background messages.  Stub tables stay
+   unreliable on purpose — §6.1's whole point is that rebroadcast plus
+   the cleaner's seq-freshness check tolerate their loss.  RPC-shaped
+   exchanges (token, fetch, reclaim) execute synchronously in the
+   simulator and need no retransmission. *)
+let default_reliable = [ Net.Scion_message; Net.Addr_update ]
+
 let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) ?(trace_events = false)
-    () =
+    ?(reliable = default_reliable) () =
   let stats = Stats.create_registry () in
   let net = Net.create ~stats () in
+  Net.set_reliable net reliable;
   let registry = Registry.create () in
   let proto = Protocol.create ~net ~registry ?mode ?update_policy () in
   Net.set_evlog net (Protocol.evlog proto);
@@ -58,7 +67,41 @@ let add_node t =
   Protocol.add_node t.proto n;
   n
 
+(** {2 Crash and restart} *)
+
+let node_alive t node = not (Net.is_down t.net node)
+let live_nodes t = List.filter (node_alive t) (Protocol.nodes t.proto)
+
+let check_alive t node op =
+  if Net.is_down t.net node then
+    failwith (Printf.sprintf "Cluster.%s: node %d is crashed" op node)
+
+let record_ev t e =
+  let log = Protocol.evlog t.proto in
+  if Trace_event.enabled log then Trace_event.record log e
+
+let crash_node t ~node =
+  check_alive t node "crash_node";
+  if not (List.mem node (Protocol.nodes t.proto)) then
+    invalid_arg "Cluster.crash_node: unknown node";
+  (* Record the crash first: everything the purges below discard happened
+     strictly before it in trace order. *)
+  record_ev t (Trace_event.Crash { node });
+  (* Volatile state dies in three layers: in-flight and unacknowledged
+     messages (network), cached copies / tokens / directory (DSM), and
+     roots / SSP tables / cleaner clocks (GC). *)
+  Net.set_down t.net node;
+  Protocol.crash_node t.proto node;
+  Gc_state.crash_node t.gc ~node
+
+let restart_node t ~node =
+  if not (Net.is_down t.net node) then
+    invalid_arg "Cluster.restart_node: node is not down";
+  Net.set_up t.net node;
+  record_ev t (Trace_event.Restart { node })
+
 let new_bunch t ~home =
+  check_alive t home "new_bunch";
   let b = t.next_bunch in
   t.next_bunch <- t.next_bunch + 1;
   Protocol.declare_bunch t.proto ~bunch:b ~home;
@@ -66,6 +109,7 @@ let new_bunch t ~home =
   b
 
 let alloc t ~node ~bunch fields =
+  check_alive t node "alloc";
   (* Allocate with blank fields, then initialize through the barrier so
      inter-bunch references present at birth create their SSPs (§3.2). *)
   let blank = Array.map (fun _ -> Value.Data 0) fields in
@@ -73,14 +117,35 @@ let alloc t ~node ~bunch fields =
   Array.iteri (fun i v -> Barrier.write_field t.gc ~node addr i v) fields;
   addr
 
-let acquire_read t ~node addr = Protocol.acquire t.proto ~node addr `Read
-let acquire_write t ~node addr = Protocol.acquire t.proto ~node addr `Write
-let release t ~node addr = Protocol.release t.proto ~node addr
-let demand_fetch t ~node addr = Protocol.demand_fetch t.proto ~node addr
-let read t ?weak ~node addr i = Protocol.read_field t.proto ?weak ~node addr i
-let write t ~node addr i v = Barrier.write_field t.gc ~node addr i v
+let acquire_read t ~node addr =
+  check_alive t node "acquire_read";
+  Protocol.acquire t.proto ~node addr `Read
+
+let acquire_write t ~node addr =
+  check_alive t node "acquire_write";
+  Protocol.acquire t.proto ~node addr `Write
+
+let release t ~node addr =
+  check_alive t node "release";
+  Protocol.release t.proto ~node addr
+
+let demand_fetch t ~node addr =
+  check_alive t node "demand_fetch";
+  Protocol.demand_fetch t.proto ~node addr
+
+let read t ?weak ~node addr i =
+  check_alive t node "read";
+  Protocol.read_field t.proto ?weak ~node addr i
+
+let write t ~node addr i v =
+  check_alive t node "write";
+  Barrier.write_field t.gc ~node addr i v
+
 let ptr_eq t ~node a b = Protocol.ptr_eq t.proto ~node a b
-let add_root t ~node addr = Gc_state.add_root t.gc ~node addr
+
+let add_root t ~node addr =
+  check_alive t node "add_root";
+  Gc_state.add_root t.gc ~node addr
 
 let remove_root t ~node addr =
   (* The collector rewrites stack roots through forwarders at each local
@@ -98,10 +163,22 @@ let remove_root t ~node addr =
         | Some r -> Gc_state.remove_root t.gc ~node r
         | None -> ())
 let roots t ~node = Gc_state.roots t.gc ~node
-let bgc t ~node ~bunch = Bgc.run t.gc ~node ~bunch
-let ggc t ~node = Ggc.run t.gc ~node ()
-let reclaim_from_space t ~node ~bunch = Reclaim.run t.gc ~node ~bunch
+
+let bgc t ~node ~bunch =
+  check_alive t node "bgc";
+  Bgc.run t.gc ~node ~bunch
+
+let ggc t ~node =
+  check_alive t node "ggc";
+  Ggc.run t.gc ~node ()
+
+let reclaim_from_space t ~node ~bunch =
+  check_alive t node "reclaim_from_space";
+  Reclaim.run t.gc ~node ~bunch
+
 let drain t = Net.drain t.net
+let tick ?dt t = Net.tick ?dt t.net
+let settle ?max_rounds t = Net.settle ?max_rounds t.net
 
 let gc_round t =
   let reclaimed = ref 0 in
@@ -113,7 +190,11 @@ let gc_round t =
       let nodes =
         List.filter
           (fun node ->
-            Protocol.store t.proto node |> fun s ->
+            (* A crashed node never participates: the round skips it and
+               moves on — degrade, don't block (§8). *)
+            node_alive t node
+            &&
+            (Protocol.store t.proto node |> fun s ->
             Bmx_memory.Store.objects_of_bunch s bunch <> []
             || Bmx_gc.Gc_state.inter_scions t.gc ~node ~bunch <> []
             || Bmx_gc.Gc_state.intra_scions t.gc ~node ~bunch <> []
@@ -121,7 +202,7 @@ let gc_round t =
             (* Peers that once received this node's tables keep getting
                rebroadcasts: that is the §6.1 retransmission that repairs
                losses without acknowledgements. *)
-            || Bmx_gc.Gc_state.last_broadcast_dests t.gc ~node ~bunch <> [])
+            || Bmx_gc.Gc_state.last_broadcast_dests t.gc ~node ~bunch <> []))
           (Protocol.nodes t.proto)
       in
       List.iter

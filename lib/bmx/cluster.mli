@@ -10,19 +10,30 @@
 
 type t
 
+val default_reliable : Bmx_netsim.Net.kind list
+(** [[Scion_message; Addr_update]] — the background messages that mutate
+    remote protocol state and therefore ride the reliable channel.  Stub
+    tables are deliberately {e not} in the set: §6.1's design point is
+    that rebroadcast plus the cleaner's per-(sender, bunch) freshness
+    check tolerate their loss without acknowledgements. *)
+
 val create :
   ?nodes:int ->
   ?mode:Bmx_dsm.Protocol.mode ->
   ?update_policy:Bmx_dsm.Protocol.update_policy ->
   ?seed:int ->
   ?trace_events:bool ->
+  ?reliable:Bmx_netsim.Net.kind list ->
   unit ->
   t
 (** A cluster of [nodes] (default 3) with ids [0 .. nodes-1].  [mode]
     selects distributed (default) or centralized copy-sets; [seed] feeds
     the deterministic generators.  [trace_events] (default [false])
     turns on the typed event log from the first operation so the whole
-    run can be replayed through the trace linter. *)
+    run can be replayed through the trace linter.  [reliable] (default
+    {!default_reliable}) selects the message kinds carried with
+    acknowledgement + retransmission semantics; pass [[]] for the bare
+    §6.1 transport. *)
 
 val proto : t -> Bmx_dsm.Protocol.t
 val gc : t -> Bmx_gc.Gc_state.t
@@ -49,6 +60,27 @@ val nodes : t -> Bmx_util.Ids.Node.t list
 
 val add_node : t -> Bmx_util.Ids.Node.t
 (** Grow the cluster by one node; returns its id. *)
+
+(** {1 Crash and restart (§8 fault tolerance)} *)
+
+val crash_node : t -> node:Bmx_util.Ids.Node.t -> unit
+(** Fail-stop crash: the node loses all volatile state — in-flight
+    messages to and from it, its unacknowledged send buffers, every
+    cached copy and token, its directory, roots and SSP tables.  Other
+    nodes keep their (now possibly stale) records about it; reliable
+    sends addressed to it keep being retried until it returns or the
+    attempt cap abandons them.  Records a [Crash] trace event.
+    Raises [Failure] if the node is already down. *)
+
+val restart_node : t -> node:Bmx_util.Ids.Node.t -> unit
+(** Bring a crashed node back with {e empty} volatile state and record a
+    [Restart] trace event.  Recovering its durable contents is the
+    caller's job: replay RVM with {!Bmx.Persist.recover_node} (or
+    [Rvm.recover] + [Persist.restore] per bunch) after this returns.
+    Raises [Invalid_argument] if the node is not down. *)
+
+val node_alive : t -> Bmx_util.Ids.Node.t -> bool
+val live_nodes : t -> Bmx_util.Ids.Node.t list
 
 (** {1 Bunches} *)
 
@@ -116,6 +148,16 @@ val reclaim_from_space :
 val drain : t -> int
 (** Deliver all pending background messages (stub tables, scion messages,
     address updates); returns how many were delivered. *)
+
+val tick : ?dt:int -> t -> int
+(** Advance the network's virtual clock (see {!Bmx_netsim.Net.tick});
+    returns how many reliable messages were retransmitted. *)
+
+val settle : ?max_rounds:int -> t -> int
+(** Drain and keep advancing the clock until every reliable message is
+    acknowledged or abandoned (see {!Bmx_netsim.Net.settle}); the
+    fault-injection harness calls this after clearing faults to let
+    retransmission repair the losses.  Returns messages delivered. *)
 
 val gc_round : t -> int
 (** One cluster-wide round: BGC on every replica of every bunch, then

@@ -5,13 +5,57 @@ module Heap_obj = Bmx_memory.Heap_obj
 module Rvm = Bmx_rvm.Rvm
 module Directory = Bmx_dsm.Directory
 
-type disk = (Addr.t * Heap_obj.t) Rvm.t
+type disk = (Addr.t * Heap_obj.t * Ids.Node.t list * bool) Rvm.t
 
-let create_disk () = Rvm.create ~copy:(fun (a, o) -> (a, Heap_obj.clone o)) ()
+let create_disk () =
+  Rvm.create
+    ~copy:(fun (a, o, claims, owned) -> (a, Heap_obj.clone o, claims, owned))
+    ()
+
+(* The GC protection metadata is itself recoverable data (§8): for each
+   object the checkpoint records which remote nodes currently claim it —
+   entering-ownerPtr registrations plus the stub-holding side of its
+   scions.  Restore re-registers those claims, so the unprotected window
+   between recovery and the claimants' next reachability rebroadcast
+   cannot let a local collection reclaim an object a survivor still
+   points at. *)
+let claimants c ~node ~bunch =
+  let proto = Cluster.proto c in
+  let gc = Cluster.gc c in
+  let dir = Protocol.directory proto node in
+  let tbl = Ids.Uid_tbl.create 16 in
+  let add uid n =
+    if not (Ids.Node.equal n node) then
+      let s =
+        Option.value
+          (Ids.Uid_tbl.find_opt tbl uid)
+          ~default:Ids.Node_set.empty
+      in
+      Ids.Uid_tbl.replace tbl uid (Ids.Node_set.add n s)
+  in
+  List.iter
+    (fun (s : Bmx_gc.Ssp.inter_scion) ->
+      add s.Bmx_gc.Ssp.xs_target_uid s.Bmx_gc.Ssp.xs_src_node)
+    (Bmx_gc.Gc_state.inter_scions gc ~node ~bunch);
+  List.iter
+    (fun (s : Bmx_gc.Ssp.intra_scion) ->
+      add s.Bmx_gc.Ssp.xn_uid s.Bmx_gc.Ssp.xn_owner_side)
+    (Bmx_gc.Gc_state.intra_scions gc ~node ~bunch);
+  List.iter
+    (fun uid ->
+      Ids.Node_set.iter (fun n -> add uid n) (Directory.entering dir uid))
+    (Directory.entering_uids dir);
+  tbl
 
 (* Objects of [bunch] reachable from the node's local roots, traced over
-   the local replica (the same reachability the BGC computes). *)
-let reachable_cells c ~node ~bunch =
+   the local replica (the same reachability the BGC computes).  With
+   [gc_roots] the root set is widened to everything the BGC treats as a
+   root (§4.3): remotely-referenced objects (scion targets, both kinds)
+   and entering-ownerPtr registrations — so a checkpoint preserves
+   exactly what a local collection would, not just the mutator-visible
+   slice.  That is what a crashed node needs back: its copies may be the
+   only surviving version of objects other nodes still point at. *)
+let reachable_cells ?(gc_roots = false) c ~node ~bunch =
   let proto = Cluster.proto c in
   let store = Protocol.store proto node in
   let seen = Ids.Uid_tbl.create 64 in
@@ -26,11 +70,29 @@ let reachable_cells c ~node ~bunch =
           List.iter visit (Heap_obj.pointers obj)
         end
   in
-  List.iter visit (Cluster.roots c ~node);
+  let roots =
+    let mutator = Cluster.roots c ~node in
+    if not gc_roots then mutator
+    else
+      let gc = Cluster.gc c in
+      let dir = Protocol.directory proto node in
+      let of_uid uid = Store.addr_of_uid store uid in
+      mutator
+      @ List.filter_map
+          (fun (s : Bmx_gc.Ssp.inter_scion) -> of_uid s.Bmx_gc.Ssp.xs_target_uid)
+          (Bmx_gc.Gc_state.inter_scions gc ~node ~bunch)
+      @ List.filter_map
+          (fun (s : Bmx_gc.Ssp.intra_scion) -> of_uid s.Bmx_gc.Ssp.xn_uid)
+          (Bmx_gc.Gc_state.intra_scions gc ~node ~bunch)
+      @ List.filter_map of_uid (Directory.entering_uids dir)
+  in
+  List.iter visit roots;
   !out
 
-let checkpoint c ~node ~bunch disk =
-  let cells = reachable_cells c ~node ~bunch in
+let checkpoint ?gc_roots c ~node ~bunch disk =
+  let cells = reachable_cells ?gc_roots c ~node ~bunch in
+  let claims = claimants c ~node ~bunch in
+  let dir = Protocol.directory (Cluster.proto c) node in
   let keep = Hashtbl.create 64 in
   List.iter (fun (a, _) -> Hashtbl.replace keep a ()) cells;
   let stale =
@@ -39,7 +101,23 @@ let checkpoint c ~node ~bunch disk =
   in
   Rvm.begin_tx disk;
   List.iter (Rvm.delete disk) stale;
-  List.iter (fun (a, obj) -> Rvm.set disk a (a, Heap_obj.clone obj)) cells;
+  List.iter
+    (fun (a, obj) ->
+      let claim =
+        match Ids.Uid_tbl.find_opt claims obj.Heap_obj.uid with
+        | Some s -> Ids.Node_set.elements s
+        | None -> []
+      in
+      (* Whether this node's copy is the authoritative one matters to
+         whoever reads the image later: a recovered replica is stale
+         data, a recovered owner copy is the object's true contents. *)
+      let owned =
+        match Directory.find dir obj.Heap_obj.uid with
+        | Some r -> r.Directory.is_owner
+        | None -> false
+      in
+      Rvm.set disk a (a, Heap_obj.clone obj, claim, owned))
+    cells;
   Rvm.commit disk;
   List.length cells
 
@@ -47,29 +125,69 @@ let restore c ~node disk =
   let proto = Cluster.proto c in
   let store = Protocol.store proto node in
   let dir = Protocol.directory proto node in
-  Rvm.fold disk ~init:0 ~f:(fun _key (addr, obj) count ->
+  Rvm.fold disk ~init:0 ~f:(fun _key (addr, obj, claim, _owned) count ->
       let obj = Heap_obj.clone obj in
       let uid = obj.Heap_obj.uid in
       Store.install store addr obj;
       (* If the object still has a live owner elsewhere (only this node's
          memory was lost), come back as an ordinary inconsistent replica;
          orphaned objects get this node as their owner. *)
-      (match Protocol.owner_of proto uid with
-      | Some owner when not (Ids.Node.equal owner node) ->
-          ignore (Directory.ensure dir ~uid ~prob_owner:owner);
-          Directory.add_entering
-            (Protocol.directory proto owner)
-            ~seq:
-              (Bmx_netsim.Net.current_seq (Protocol.net proto) ~src:node ~dst:owner)
-            ~uid ~from:node
-      | Some _ | None ->
-          (* Orphan: adopt ownership with a READ state — replicas elsewhere
-             may legitimately hold read tokens (MRSW, §2.2). *)
-          let r = Directory.ensure dir ~uid ~prob_owner:node in
-          r.Directory.is_owner <- true;
-          r.Directory.prob_owner <- node;
-          if r.Directory.state = Directory.Invalid then
-            r.Directory.state <- Directory.Read);
+      let owner_here =
+        match Protocol.owner_of proto uid with
+        | Some owner
+          when (not (Ids.Node.equal owner node))
+               && not (Bmx_netsim.Net.is_down (Protocol.net proto) owner) ->
+            ignore (Directory.ensure dir ~uid ~prob_owner:owner);
+            Directory.add_entering
+              (Protocol.directory proto owner)
+              ~seq:
+                (Bmx_netsim.Net.current_seq (Protocol.net proto) ~src:node
+                   ~dst:owner)
+              ~uid ~from:node;
+            (* Re-join the owner's copyset: the restored copy must be
+               invalidated like any other when a write token moves. *)
+            (match Directory.find (Protocol.directory proto owner) uid with
+            | Some orec ->
+                orec.Directory.copyset <-
+                  Ids.Node_set.add node orec.Directory.copyset
+            | None -> ());
+            false
+        | Some _ | None ->
+            (* Orphaned (no recorded owner survives, or the recorded owner
+               is down): the recovered copy is the best surviving version,
+               so claim ownership through the protocol's recovery path. *)
+            Protocol.adopt_ownership proto ~node ~uid;
+            true
+      in
+      (* Owner-side protection comes back with the data: every persisted
+         remote claim is re-registered as an entering ownerPtr, stamped
+         with the claimant pair's current sequence number so the cleaner's
+         freshness check retires it on the claimant's next reachability
+         broadcast.  A claimant that is itself down is registered all the
+         same — dead-sender entries are quarantined, never dropped. *)
+      if owner_here then
+        List.iter
+          (fun from ->
+            if not (Ids.Node.equal from node) then
+              Directory.add_entering dir
+                ~seq:
+                  (Bmx_netsim.Net.current_seq (Protocol.net proto) ~src:from
+                     ~dst:node)
+                ~uid ~from)
+          claim;
       Protocol.register_copy_location proto ~uid ~addr;
+      (* Local protection (stubs, scions, conservative registrations) is
+         derivable from the recovered cells: replay the barrier over the
+         restored pointer fields. *)
+      Bmx_gc.Barrier.reassert_protection (Cluster.gc c) ~node addr;
       Cluster.add_root c ~node addr;
       count + 1)
+
+let recover_node c ~node disks =
+  if not (Cluster.node_alive c node) then
+    invalid_arg "Persist.recover_node: restart the node first";
+  List.fold_left
+    (fun count disk ->
+      Rvm.recover disk;
+      count + restore c ~node disk)
+    0 disks

@@ -14,19 +14,38 @@
     the local trace, persist the survivors", which is why persistence by
     reachability needs a GC in the first place (§1). *)
 
-type disk = (Bmx_util.Addr.t * Bmx_memory.Heap_obj.t) Bmx_rvm.Rvm.t
+type disk =
+  (Bmx_util.Addr.t * Bmx_memory.Heap_obj.t * Bmx_util.Ids.Node.t list * bool)
+  Bmx_rvm.Rvm.t
+(** One recoverable cell: address, object, the remote nodes claiming the
+    object at checkpoint time (entering-ownerPtr registrations plus the
+    stub side of its scions), and whether this node owned the object.
+    The GC protection metadata is itself recoverable data (§8): without
+    it, a recovered owner could collect an object a surviving node still
+    points at before that node's next reachability rebroadcast re-asserts
+    the claim.  The ownership bit distinguishes an authoritative image
+    from a checkpointed stale replica — the audit's stable-store view
+    ({!Audit.union_reachable}) relies on it while the node is down. *)
 
 val create_disk : unit -> disk
 (** A fresh recoverable store for heap cells. *)
 
 val checkpoint :
+  ?gc_roots:bool ->
   Cluster.t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> disk
   -> int
 (** Persist the bunch's locally reachable objects into [disk] within one
     RVM transaction; previously persisted cells that are no longer
     reachable are deleted (persistence {e by reachability}).  Returns the
     number of objects persisted.  Raises [Failure] if the disk has an
-    open transaction. *)
+    open transaction.
+
+    With [gc_roots] (default [false]) the trace starts from everything
+    the local BGC treats as a root (§4.3) — mutator roots {e plus} scion
+    targets and entering-ownerPtr registrations — so remotely-referenced
+    objects survive the checkpoint too.  This is the mode a
+    crash-tolerant deployment wants: after the node crashes, its copies
+    may be the only surviving version of objects other nodes point at. *)
 
 val restore :
   Cluster.t -> node:Bmx_util.Ids.Node.t -> disk -> int
@@ -36,4 +55,15 @@ val restore :
     replicas; orphaned objects get [node] as owner.  Returns the number
     of objects restored.  Intended for a rebooted or replacement node of
     the {e same} cluster — addresses and identities live in the cluster's
-    single address space — after [Bmx_rvm.Rvm.recover] on the disk. *)
+    single address space — after [Bmx_rvm.Rvm.recover] on the disk.
+    Objects whose recorded owner is itself down are treated as orphans
+    and adopted ({!Bmx_dsm.Protocol.adopt_ownership}): never block
+    recovery on a dead peer. *)
+
+val recover_node :
+  Cluster.t -> node:Bmx_util.Ids.Node.t -> disk list -> int
+(** Full recovery for a restarted node: [Bmx_rvm.Rvm.recover] each disk
+    (replaying committed log prefixes, discarding torn tails), then
+    {!restore} its contents.  Call after {!Cluster.restart_node};
+    raises [Invalid_argument] while the node is still down.  Returns
+    total objects restored. *)

@@ -34,7 +34,7 @@ let default_check c =
   | Ok () -> Bmx.Audit.check_tokens c
 
 let run ?(depth = 8) ?(max_schedules = 2000) ~build ?(locals = [])
-    ?(check = default_check) () =
+    ?(finish = fun _ -> ()) ?(check = default_check) () =
   let locals = Array.of_list locals in
   let schedules = ref 0 and truncated = ref false and violations = ref [] in
   let apply c = function
@@ -64,8 +64,10 @@ let run ?(depth = 8) ?(max_schedules = 2000) ~build ?(locals = [])
       in
       match choices with
       | [] ->
-          (* Leaf: run any locals the schedule never placed, drain the
-             rest of the network FIFO, and check the final state. *)
+          (* Leaf: run any locals the schedule never placed, let the
+             scenario finish (e.g. recover a node it crashed), then
+             settle — drain plus enough virtual time for the reliable
+             layer's retransmissions — and check the final state. *)
           Array.iteri
             (fun i f ->
               if not (used i) then begin
@@ -73,7 +75,8 @@ let run ?(depth = 8) ?(max_schedules = 2000) ~build ?(locals = [])
                 ignore (Cluster.drain c)
               end)
             locals;
-          ignore (Cluster.drain c);
+          finish c;
+          ignore (Cluster.settle c);
           incr schedules;
           let sched = List.rev prefix in
           List.iter
@@ -166,27 +169,106 @@ let crossing_tables_locals =
     (fun c -> ignore (Cluster.bgc c ~node:1 ~bunch:0));
   ]
 
+(* Node 0 crashes while the protection traffic of an ownership transfer
+   is still on the wire, at any point the explorer chooses; it may be
+   restarted and recovered at any later point (or, failing that, by the
+   leaf's finish step).  Node 1 takes write ownership of [s] and stores
+   an inter-bunch reference to [x] — whose bunch node 1 does not map —
+   so a reliable scion-message towards node 0 is pending when the
+   explorer takes over.  A crash before its delivery purges it
+   (retransmission repairs that after restart); a crash after its
+   delivery wipes the installed scion (the durable checkpoint repairs
+   that).  Whatever the interleaving of deliveries, crash, recovery and
+   node 1's collection: nothing reachable may be lost and the trace must
+   satisfy the recovery invariants.  The durable image is a [gc_roots]
+   checkpoint taken before the transfer — the disks live outside the
+   builder so the locals can reach them across stateless replays. *)
+let crash_transfer_disks : Bmx.Persist.disk list ref = ref []
+
+let crash_transfer () =
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
+  let bx = Cluster.new_bunch c ~home:0 in
+  let bs = Cluster.new_bunch c ~home:0 in
+  let x = Cluster.alloc c ~node:0 ~bunch:bx [| Value.Data 1 |] in
+  let s = Cluster.alloc c ~node:0 ~bunch:bs [| Value.nil |] in
+  Cluster.add_root c ~node:0 x;
+  Cluster.add_root c ~node:0 s;
+  let dx = Bmx.Persist.create_disk () and ds = Bmx.Persist.create_disk () in
+  ignore (Bmx.Persist.checkpoint ~gc_roots:true c ~node:0 ~bunch:bx dx);
+  ignore (Bmx.Persist.checkpoint ~gc_roots:true c ~node:0 ~bunch:bs ds);
+  crash_transfer_disks := [ dx; ds ];
+  (* Ownership of [s] moves 0 -> 1; the inter-bunch store leaves a
+     scion-message for node 0 pending, with only a provisional entering
+     registration (and, now, the checkpoint) protecting [x]. *)
+  let s1 = Cluster.acquire_write c ~node:1 s in
+  Cluster.write c ~node:1 s1 0 (Value.Ref x);
+  Cluster.release c ~node:1 s1;
+  Cluster.remove_root c ~node:0 x;
+  c
+
+let crash_transfer_recover c =
+  if not (Cluster.node_alive c 0) then begin
+    Cluster.restart_node c ~node:0;
+    ignore (Bmx.Persist.recover_node c ~node:0 !crash_transfer_disks)
+  end
+
+let crash_transfer_locals =
+  [
+    (fun c -> if Cluster.node_alive c 0 then Cluster.crash_node c ~node:0);
+    crash_transfer_recover;
+    (fun c -> ignore (Cluster.bgc c ~node:1 ~bunch:1));
+  ]
+
+type scenario = {
+  sc_name : string;
+  sc_desc : string;
+  sc_build : unit -> Cluster.t;
+  sc_locals : (Cluster.t -> unit) list;
+  sc_finish : Cluster.t -> unit;
+}
+
+let no_finish _ = ()
+
 let builtin_scenarios =
   [
-    ( "uncached-store",
-      "intra-bunch store at a node without the target cached, root drops, \
-       BGCs race the barrier registration",
-      uncached_store,
-      uncached_store_locals );
-    ( "stale-table",
-      "reachability table queued before a fresh registration races its \
-       delivery (DESIGN.md race 4)",
-      stale_table,
-      stale_table_locals );
-    ( "crossing-tables",
-      "stub tables from two concurrent BGCs cross on the wire while a \
-       root drops",
-      crossing_tables,
-      crossing_tables_locals );
+    {
+      sc_name = "uncached-store";
+      sc_desc =
+        "intra-bunch store at a node without the target cached, root drops, \
+         BGCs race the barrier registration";
+      sc_build = uncached_store;
+      sc_locals = uncached_store_locals;
+      sc_finish = no_finish;
+    };
+    {
+      sc_name = "stale-table";
+      sc_desc =
+        "reachability table queued before a fresh registration races its \
+         delivery (DESIGN.md race 4)";
+      sc_build = stale_table;
+      sc_locals = stale_table_locals;
+      sc_finish = no_finish;
+    };
+    {
+      sc_name = "crossing-tables";
+      sc_desc =
+        "stub tables from two concurrent BGCs cross on the wire while a root \
+         drops";
+      sc_build = crossing_tables;
+      sc_locals = crossing_tables_locals;
+      sc_finish = no_finish;
+    };
+    {
+      sc_name = "crash-transfer";
+      sc_desc =
+        "the old owner crashes while an ownership transfer's background \
+         messages are in flight, then restarts and recovers from its RVM \
+         checkpoint";
+      sc_build = crash_transfer;
+      sc_locals = crash_transfer_locals;
+      sc_finish = crash_transfer_recover;
+    };
   ]
 
 let find_scenario name =
-  List.find_map
-    (fun (n, _, build, locals) ->
-      if String.equal n name then Some (build, locals) else None)
-    builtin_scenarios
+  List.find_opt (fun s -> String.equal s.sc_name name) builtin_scenarios

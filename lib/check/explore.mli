@@ -37,6 +37,7 @@ val run :
   ?max_schedules:int ->
   build:(unit -> Bmx.Cluster.t) ->
   ?locals:(Bmx.Cluster.t -> unit) list ->
+  ?finish:(Bmx.Cluster.t -> unit) ->
   ?check:(Bmx.Cluster.t -> (unit, string) result) ->
   unit ->
   report
@@ -44,21 +45,26 @@ val run :
     [depth] (default 8) bounds the exhaustively explored choice points;
     [max_schedules] (default 2000) caps the total schedules.  [locals]
     are node-local steps each schedulable (at most once, at any
-    position) alongside deliveries.  [check] (default: cluster-wide
-    safety + token-discipline audit) runs on every fully drained final
-    state; the trace linter always runs.  [build] must be deterministic
-    and should create the cluster with [~trace_events:true] so the
-    linter sees the whole history. *)
+    position) alongside deliveries.  [finish] (default: nothing) runs at
+    every leaf after the unused locals and before the final settle — a
+    crash scenario uses it to guarantee recovery happens on schedules
+    that never placed the recovery local.  [check] (default:
+    cluster-wide safety + token-discipline audit) runs on every settled
+    final state; the trace linter always runs.  [build] must be
+    deterministic and should create the cluster with
+    [~trace_events:true] so the linter sees the whole history. *)
 
 val default_check : Bmx.Cluster.t -> (unit, string) result
 (** {!Bmx.Audit.check_safety} then {!Bmx.Audit.check_tokens}. *)
 
-val builtin_scenarios :
-  (string * string * (unit -> Bmx.Cluster.t) * (Bmx.Cluster.t -> unit) list)
-  list
-(** Named scenarios for [bmxctl explore]: name, description, builder,
-    local steps. *)
+(** A named scenario for [bmxctl explore]. *)
+type scenario = {
+  sc_name : string;
+  sc_desc : string;
+  sc_build : unit -> Bmx.Cluster.t;
+  sc_locals : (Bmx.Cluster.t -> unit) list;
+  sc_finish : Bmx.Cluster.t -> unit;
+}
 
-val find_scenario :
-  string ->
-  ((unit -> Bmx.Cluster.t) * (Bmx.Cluster.t -> unit) list) option
+val builtin_scenarios : scenario list
+val find_scenario : string -> scenario option

@@ -9,6 +9,8 @@ type rule =
   | Invariant2
   | Invariant3
   | Fifo_order
+  | Reliable_fifo
+  | Dead_node_activity
   | Forwarder_cycle
   | Incomplete_trace
 
@@ -20,6 +22,8 @@ let rule_to_string = function
   | Invariant2 -> "invariant-2"
   | Invariant3 -> "invariant-3"
   | Fifo_order -> "fifo-order"
+  | Reliable_fifo -> "reliable-fifo"
+  | Dead_node_activity -> "dead-node-activity"
   | Forwarder_cycle -> "forwarder-cycle"
   | Incomplete_trace -> "incomplete-trace"
 
@@ -44,7 +48,22 @@ let run events =
   (* Invariant-2 obligations: (node, peer, uid) still owed a forward. *)
   let due : (int * int * int, int) Hashtbl.t = Hashtbl.create 32 in
   let last_sent : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* Delivered-side FIFO is tracked per delivery class: unreliable
+     streams may repeat a sequence number (duplicate) but never run
+     backwards; reliable streams must be handed off strictly in order,
+     exactly once — duplicate suppression makes a repeat a violation. *)
   let last_delivered : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let last_rel_delivered : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* Nodes currently crashed (between their Crash and Restart events). *)
+  let down : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let dead i node fmt =
+    Printf.ksprintf
+      (fun what ->
+        if Hashtbl.mem down node then
+          add Dead_node_activity "event %d: %s at/involving crashed N%d" i what
+            node)
+      fmt
+  in
   List.iteri
     (fun i e ->
       match e with
@@ -52,9 +71,15 @@ let run events =
           add Gc_acquired_token
             "event %d: the collector acquired a %s token for o%d at N%d \
              (actor = Gc on the acquire path)"
-            i (tok_str tok) uid node
-      | E.Acquire_start _ -> ()
+            i (tok_str tok) uid node;
+          dead i node "%s token acquire for o%d" (tok_str tok) uid
+      | E.Acquire_start { node; uid; tok; _ } ->
+          dead i node "%s token acquire for o%d" (tok_str tok) uid
       | E.Grant_sent { granter; requester; uid; tok; updates } ->
+          (* No token resurrects at a crashed node: a dead granter means
+             a token was minted from lost state. *)
+          dead i granter "token grant of o%d (as granter)" uid;
+          dead i requester "token grant of o%d (as requester)" uid;
           Hashtbl.replace grants (requester, uid) (updates, ref false);
           if tok = E.Write then
             if Hashtbl.mem hooks (granter, requester, uid) then
@@ -65,12 +90,16 @@ let run events =
                  SSP-creation hook having run"
                 i uid granter requester
       | E.Hook_ssp { granter; requester; uid } ->
+          dead i granter "SSP hook for o%d (as granter)" uid;
+          dead i requester "SSP hook for o%d (as requester)" uid;
           Hashtbl.replace hooks (granter, requester, uid) ()
       | E.Updates_applied { node; uids = _ } ->
+          dead i node "location updates applied";
           Hashtbl.iter
             (fun (r, _) (_, applied) -> if r = node then applied := true)
             grants
       | E.Acquire_done { actor = _; node; uid; tok; addr_valid } ->
+          dead i node "%s acquire completion for o%d" (tok_str tok) uid;
           if not addr_valid then
             add Invariant1
               "event %d: %s acquire of o%d at N%d completed without a valid \
@@ -89,7 +118,8 @@ let run events =
           List.iter (fun p -> Hashtbl.replace due (node, p, uid) i) peers
       | E.Copyset_forward { src; dst; uid } ->
           Hashtbl.remove due (src, dst, uid)
-      | E.Msg_sent { src; dst; kind; seq } ->
+      | E.Msg_sent { src; dst; kind; seq; rel = _ } ->
+          dead i src "%s message sent to N%d (seq %d)" kind dst seq;
           (match Hashtbl.find_opt last_sent (src, dst) with
           | Some s when seq <= s ->
               add Fifo_order
@@ -98,7 +128,9 @@ let run events =
                 i kind src dst seq s
           | Some _ | None -> ());
           Hashtbl.replace last_sent (src, dst) seq
-      | E.Msg_delivered { src; dst; kind; seq } ->
+      | E.Msg_delivered { src; dst; kind; seq; rel = false } ->
+          dead i src "%s message delivered from it (seq %d)" kind seq;
+          dead i dst "%s message delivered to it (seq %d)" kind seq;
           (match Hashtbl.find_opt last_delivered (src, dst) with
           | Some s when seq < s ->
               add Fifo_order
@@ -107,11 +139,37 @@ let run events =
                 i kind src dst seq s
           | Some _ | None -> ());
           Hashtbl.replace last_delivered (src, dst) seq
+      | E.Msg_delivered { src; dst; kind; seq; rel = true } ->
+          dead i src "reliable %s delivered from it (seq %d)" kind seq;
+          dead i dst "reliable %s delivered to it (seq %d)" kind seq;
+          (match Hashtbl.find_opt last_rel_delivered (src, dst) with
+          | Some s when seq <= s ->
+              add Reliable_fifo
+                "event %d: reliable %s message N%d -> N%d handed off with \
+                 seq %d after seq %d — exactly-once in-order delivery broken"
+                i kind src dst seq s
+          | Some _ | None -> ());
+          Hashtbl.replace last_rel_delivered (src, dst) seq
+      | E.Msg_retransmit { src; dst; kind; seq; attempt = _ } ->
+          (* A dead node's retransmission buffer died with it. *)
+          dead i src "%s retransmission to N%d (seq %d)" kind dst seq
+      | E.Msg_suppressed _ | E.Msg_buffered _ ->
+          (* Receiver-side bookkeeping of the reliable layer. *)
+          ()
       | E.Rpc _ ->
           (* Synchronous inline exchange: shares the seq counter but is
-             exempt from the background channel's FIFO. *)
+             exempt from the background channel's FIFO; recovery-time
+             accounting (ownership adoption) also records these. *)
           ()
-      | E.Release _ | E.Invalidate _ | E.Gc_begin _ | E.Gc_end _ -> ())
+      | E.Crash { node } -> Hashtbl.replace down node ()
+      | E.Restart { node } -> Hashtbl.remove down node
+      | E.Gc_begin { node; _ } -> dead i node "collection started"
+      | E.Gc_end { node; _ } -> dead i node "collection finished"
+      | E.Release { node; uid } -> dead i node "token release for o%d" uid
+      | E.Invalidate { src; dst = _; uid } ->
+          (* An invalidation *to* a dead node is legal — the message just
+             evaporates at the dead host; one *from* a dead node is not. *)
+          dead i src "invalidation of o%d issued" uid)
     events;
   Hashtbl.iter
     (fun (node, peer, uid) i ->

@@ -17,8 +17,17 @@
     - {b Invariant 3} (§5): every write grant that transfers ownership
       was preceded by the SSP-creation hook for that transfer.
     - {b FIFO} (§6.1): per (src, dst) stream, sent sequence numbers
-      strictly increase and deliveries never run backwards (drops leave
-      gaps, duplicates repeat a number — both legal).
+      strictly increase and unreliable deliveries never run backwards
+      (drops leave gaps, duplicates repeat a number — both legal).
+    - {b Reliable FIFO}: messages on a reliable channel are handed to
+      the handler strictly in send order, exactly once — retransmission
+      and duplicate injection must never surface as a repeated or
+      reordered hand-off.
+    - {b Dead-node activity} (recovery): between a node's [Crash] and
+      [Restart] events, the node performs no token operation, grants or
+      receives no token (no token resurrects at a crashed node), starts
+      no collection, and sends, relays or receives no background
+      message.
     - {b Forwarder convergence} (§4.2, state check): no per-node
       forwarding-pointer chain contains a cycle — every chain reaches an
       object or dangles into reclaimed space after finitely many hops.
@@ -31,6 +40,8 @@ type rule =
   | Invariant2
   | Invariant3
   | Fifo_order
+  | Reliable_fifo
+  | Dead_node_activity
   | Forwarder_cycle
   | Incomplete_trace
 

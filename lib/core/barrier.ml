@@ -141,6 +141,28 @@ let protect_uncached_target t ~node ~src_bunch ~target =
         | Some _ | None -> ()
       end
 
+(* Crash recovery re-runs the barrier over recovered contents: the SSPs
+   and entering registrations the original stores created were volatile
+   at the crashed node, and they are derivable from the restored cells —
+   every pointer field gets the same protection a fresh store of that
+   value would have created (§8: the GC metadata is recoverable data).
+   Targets of other not-yet-restored cells are fine: the scion is keyed
+   by uid and protects the cell whenever it appears. *)
+let reassert_protection t ~node addr =
+  let proto = Gc_state.proto t in
+  let store = Protocol.store proto node in
+  match Store.resolve store addr with
+  | None -> ()
+  | Some (src_addr, src_obj) ->
+      List.iter
+        (fun target ->
+          if not (Addr.is_null target) then begin
+            protect_uncached_target t ~node
+              ~src_bunch:src_obj.Heap_obj.bunch ~target;
+            create_inter_ssp t ~node ~src_obj ~src_addr ~target_addr:target
+          end)
+        (Heap_obj.pointers src_obj)
+
 let write_field t ~node addr index v =
   let proto = Gc_state.proto t in
   bump t "gc.barrier.checks";

@@ -20,6 +20,15 @@ val write_field :
     Raises [Failure] like {!Bmx_dsm.Protocol.write_field_raw} on token
     violations. *)
 
+val reassert_protection :
+  Gc_state.t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> unit
+(** Re-run the barrier's protection side (no store) over every pointer
+    field of the object at the address: stubs, scions and conservative
+    entering registrations exactly as the original stores would have
+    created them.  Crash recovery calls this per restored cell — the
+    node's SSP tables were volatile, but they are derivable from the
+    recovered contents (§8). *)
+
 val scion_target :
   Gc_state.t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
   -> Bmx_util.Ids.Node.t

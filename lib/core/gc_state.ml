@@ -36,6 +36,13 @@ let node_state t node =
       Ids.Node_tbl.add t.per_node node ns;
       ns
 
+let crash_node t ~node =
+  (* GC tables are volatile per-node state (they are reconstructed by
+     every local collection, §4.3): a crash loses roots, stub and scion
+     tables, the cleaner's per-sender freshness clocks and the broadcast
+     bookkeeping alike.  The entry regenerates lazily, empty. *)
+  Ids.Node_tbl.remove t.per_node node
+
 let add_root t ~node a =
   let ns = node_state t node in
   ns.roots <- a :: ns.roots

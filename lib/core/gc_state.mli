@@ -16,6 +16,11 @@ val stats : t -> Bmx_util.Stats.registry
 val node_state : t -> Bmx_util.Ids.Node.t -> node_state
 (** Created lazily per node. *)
 
+val crash_node : t -> node:Bmx_util.Ids.Node.t -> unit
+(** Drop the node's whole GC state (roots, SSP tables, cleaner
+    freshness clocks, broadcast bookkeeping) — it died with the node's
+    volatile memory.  The state regenerates lazily, empty. *)
+
 (** {1 Mutator roots}
 
     The local root includes the mutator stacks (Figure 1). *)

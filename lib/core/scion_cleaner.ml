@@ -22,6 +22,10 @@ let msg_bytes m =
 let bump t name = Stats.incr (Gc_state.stats t) name
 
 let receive t ~at ~seq msg =
+  let sender_dead =
+    (not (Ids.Node.equal msg.tm_sender at))
+    && Bmx_netsim.Net.is_down (Protocol.net (Gc_state.proto t)) msg.tm_sender
+  in
   let fresh =
     match
       Gc_state.last_table_seq t ~node:at ~sender:msg.tm_sender ~bunch:msg.tm_bunch
@@ -29,7 +33,13 @@ let receive t ~at ~seq msg =
     | Some last -> seq > last
     | None -> true
   in
-  if not fresh then bump t "gc.cleaner.stale_ignored"
+  if sender_dead then
+    (* Quarantine, don't clean: a table attributed to a crashed node
+       reflects state that died with it.  Acting on it could drop scions
+       (and thus objects) that the recovered node still needs; the next
+       table the node sends after restart supersedes everything. *)
+    bump t "gc.cleaner.quarantined_dead_sender"
+  else if not fresh then bump t "gc.cleaner.stale_ignored"
   else begin
     Gc_state.record_table_seq t ~node:at ~sender:msg.tm_sender ~bunch:msg.tm_bunch
       ~seq;
@@ -147,12 +157,19 @@ let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
     |> List.filter (fun n -> not (Ids.Node.equal n node))
   in
   Gc_state.record_broadcast_dests t ~node ~bunch dests;
+  (* Peers that are down right now are deferred, not forgotten: they stay
+     in the recorded destination list, so the next round's rebroadcast
+     reaches them once they return — the same §6.1 loss-repair path that
+     covers dropped tables.  Never block on a dead peer. *)
+  let live_dests =
+    List.filter (fun d -> not (Net.is_down (Protocol.net proto) d)) dests
+  in
   List.iter
     (fun dst ->
       Net.send (Protocol.net proto) ~src:node ~dst ~kind:Net.Stub_table
         ~bytes:(msg_bytes msg)
         (fun seq -> receive t ~at:dst ~seq msg))
-    dests;
+    live_dests;
   (* The scion cleaner is a per-node service operating on all local
      bunches (§6.1): the node's own scions matching its own regenerated
      stub tables are processed by direct hand-off, no message needed. *)
@@ -162,4 +179,4 @@ let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
     | None -> 1
   in
   receive t ~at:node ~seq:self_seq msg;
-  List.length dests
+  List.length live_dests

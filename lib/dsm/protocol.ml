@@ -735,6 +735,17 @@ let bunch_replica_nodes t bunch =
 
 let forget_replica t ~node ~uid = Directory.forget (directory t node) uid
 
+let crash_node t node =
+  (* The node's volatile DSM state — its cached copies and its directory,
+     including every token it held, its ownerPtrs, copysets and entering
+     tables — is lost wholesale.  The cluster-wide bunch directory
+     (homes, address oracle) is BMX-server state and survives; other
+     nodes keep their possibly-stale records about the crashed node, the
+     same way they would across a real crash. *)
+  ignore (store t node);
+  Ids.Node_tbl.replace t.stores node (Store.create ~registry:t.registry ~node);
+  Ids.Node_tbl.replace t.dirs node (Directory.create ~node)
+
 let adopt_ownership t ~node ~uid =
   if Store.addr_of_uid (store t node) uid = None then
     invalid_arg "Protocol.adopt_ownership: adopting node has no copy";
@@ -759,6 +770,19 @@ let adopt_ownership t ~node ~uid =
      tokens, and an owner may be in the downgraded-read state (§2.2).
      The adopted copy is the best surviving version of the data. *)
   if r.Directory.state = Directory.Invalid then r.Directory.state <- Directory.Read;
+  (* The copyset died with the old owner's volatile memory; rebuild it
+     from the replicas that survive (one query per live node), or a
+     later write grant would skip invalidating their read tokens.
+     Nodes that are down re-register themselves when they recover. *)
+  r.Directory.copyset <-
+    List.fold_left
+      (fun acc n ->
+        if Ids.Node.equal n node || Net.is_down t.net n then acc
+        else begin
+          Net.record_rpc t.net ~src:node ~dst:n ~kind:Net.Token_request ();
+          Ids.Node_set.add n acc
+        end)
+      Ids.Node_set.empty (replica_nodes t uid);
   if Tracelog.enabled t.tracer then
     trace t "dsm" "ownership of %s adopted by N%d" (Ids.Uid.to_string uid) node
 

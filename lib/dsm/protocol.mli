@@ -207,9 +207,17 @@ val adopt_ownership : t -> node:Bmx_util.Ids.Node.t -> uid:Bmx_util.Ids.Uid.t ->
 (** Ownership recovery: a node still holding a live copy claims
     ownership of an object whose recorded owner no longer caches it (the
     owner's replica died while this one survived — e.g. during from-space
-    reuse, §4.5).  Accounts one exchange with the old owner when one
-    exists.  Raises [Invalid_argument] if the recorded owner still has a
-    copy, or if the adopting node has none. *)
+    reuse, §4.5, or a crash, §8).  Accounts one exchange with the old
+    owner when one exists.  Raises [Invalid_argument] if the recorded
+    owner still has a copy, or if the adopting node has none. *)
+
+val crash_node : t -> Bmx_util.Ids.Node.t -> unit
+(** Discard the node's volatile DSM state: its store (every cached
+    copy) and its directory (every token, ownerPtr, copyset and entering
+    table).  The node stays a cluster member with empty state; the
+    cluster-wide bunch directory survives (BMX-server state, §8), as do
+    the other nodes' — now possibly stale — records about this node.
+    Raises [Invalid_argument] on an unknown node. *)
 
 val exiting_ownerptrs :
   t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t

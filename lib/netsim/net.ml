@@ -40,10 +40,27 @@ type 'p envelope = {
   dst : Ids.Node.t;
   kind : kind;
   seq : int;
+  rel : int;
   payload : 'p;
 }
 
 type fault = { drop : float; dup : float; rng : Rng.t }
+
+(* A transmitted-but-unacknowledged reliable message awaiting its
+   retransmission timeout. *)
+type 'p unacked = {
+  u_env : 'p envelope;
+  u_bytes : int;
+  mutable u_due : int;  (* virtual time of the next retransmission *)
+  mutable u_interval : int;  (* current backoff interval *)
+  mutable u_attempts : int;  (* transmissions so far, >= 1 *)
+}
+
+(* Receiver-side state of one reliable (src, dst) stream. *)
+type 'p rstate = {
+  mutable r_next : int;  (* next reliable index to hand to the handler *)
+  r_buf : (int, 'p envelope) Hashtbl.t;  (* arrived ahead of a gap *)
+}
 
 type 'p t = {
   stats : Stats.registry;
@@ -52,6 +69,16 @@ type 'p t = {
   faults : (kind, fault) Hashtbl.t;
   mutable handler : ('p envelope -> unit) option;
   mutable evlog : Trace_event.log option;
+  (* Reliable-delivery layer (opt-in per kind). *)
+  reliable : (kind, unit) Hashtbl.t;
+  mutable rto : int;
+  mutable rto_max : int;
+  mutable max_attempts : int;
+  mutable now : int;  (* virtual clock driving retransmission timers *)
+  rseqs : (Ids.Node.t * Ids.Node.t, int ref) Hashtbl.t;
+  unacked_tbl : (Ids.Node.t * Ids.Node.t, 'p unacked list ref) Hashtbl.t;
+  rstates : (Ids.Node.t * Ids.Node.t, 'p rstate) Hashtbl.t;
+  down : (Ids.Node.t, unit) Hashtbl.t;
 }
 
 let create ~stats () =
@@ -62,22 +89,47 @@ let create ~stats () =
     faults = Hashtbl.create 4;
     handler = None;
     evlog = None;
+    reliable = Hashtbl.create 4;
+    rto = 4;
+    rto_max = 64;
+    max_attempts = 20;
+    now = 0;
+    rseqs = Hashtbl.create 16;
+    unacked_tbl = Hashtbl.create 16;
+    rstates = Hashtbl.create 16;
+    down = Hashtbl.create 4;
   }
 
 let stats t = t.stats
 let set_handler t f = t.handler <- Some f
 let set_evlog t l = t.evlog <- Some l
 
+let set_reliable t ?(rto = 4) ?(rto_max = 64) ?(max_attempts = 20) kinds =
+  if rto <= 0 || rto_max < rto || max_attempts < 1 then
+    invalid_arg "Net.set_reliable: bad retransmission parameters";
+  Hashtbl.reset t.reliable;
+  List.iter (fun k -> Hashtbl.replace t.reliable k ()) kinds;
+  t.rto <- rto;
+  t.rto_max <- rto_max;
+  t.max_attempts <- max_attempts
+
+let reliable_kinds t = List.filter (Hashtbl.mem t.reliable) all_kinds
+let is_reliable t kind = Hashtbl.mem t.reliable kind
+let now t = t.now
+let is_down t node = Hashtbl.mem t.down node
+
 let ev t e =
   match t.evlog with
   | Some l when Trace_event.enabled l -> Trace_event.record l e
   | Some _ | None -> ()
 
-let ev_sent t ~src ~dst ~kind ~seq =
-  ev t (Trace_event.Msg_sent { src; dst; kind = kind_to_string kind; seq })
+let ev_sent t ~src ~dst ~kind ~seq ~rel =
+  ev t (Trace_event.Msg_sent { src; dst; kind = kind_to_string kind; seq; rel })
 
-let ev_delivered t ~src ~dst ~kind ~seq =
-  ev t (Trace_event.Msg_delivered { src; dst; kind = kind_to_string kind; seq })
+let ev_delivered t ~src ~dst ~kind ~seq ~rel =
+  ev t
+    (Trace_event.Msg_delivered
+       { src; dst; kind = kind_to_string kind; seq; rel })
 
 let next_seq t ~src ~dst =
   let key = (src, dst) in
@@ -89,34 +141,103 @@ let next_seq t ~src ~dst =
       Hashtbl.add t.seqs key (ref 1);
       1
 
-let account t ~kind ~bytes =
-  Stats.incr t.stats ("net.sent." ^ kind_to_string kind);
-  Stats.incr t.stats "net.sent.total";
+let next_rseq t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.rseqs key with
+  | Some r ->
+      incr r;
+      !r
+  | None ->
+      Hashtbl.add t.rseqs key (ref 1);
+      1
+
+let rstate t key =
+  match Hashtbl.find_opt t.rstates key with
+  | Some rs -> rs
+  | None ->
+      let rs = { r_next = 1; r_buf = Hashtbl.create 4 } in
+      Hashtbl.add t.rstates key rs;
+      rs
+
+let account_bytes t ~kind ~bytes =
   Stats.incr t.stats ~by:bytes ("net.bytes." ^ kind_to_string kind);
   Stats.incr t.stats ~by:bytes "net.bytes.total"
 
-let send t ~src ~dst ~kind ?(bytes = 64) payload =
-  let seq = next_seq t ~src ~dst in
-  ev_sent t ~src ~dst ~kind ~seq;
-  let env = { src; dst; kind; seq; payload } in
-  match Hashtbl.find_opt t.faults kind with
+let account t ~kind ~bytes =
+  Stats.incr t.stats ("net.sent." ^ kind_to_string kind);
+  Stats.incr t.stats "net.sent.total";
+  account_bytes t ~kind ~bytes
+
+(* Put one copy of [env] on the wire: roll the fault dice, account the
+   bytes of every copy actually enqueued.  Used for reliable transmissions
+   and retransmissions (logical sends are counted separately, once). *)
+let transmit t env ~bytes =
+  match Hashtbl.find_opt t.faults env.kind with
   | Some { drop; dup; rng } ->
       if Rng.float rng 1.0 < drop then begin
-        Stats.incr t.stats ("net.dropped." ^ kind_to_string kind);
+        Stats.incr t.stats ("net.dropped." ^ kind_to_string env.kind);
         Stats.incr t.stats "net.dropped.total"
       end
       else begin
-        account t ~kind ~bytes;
+        account_bytes t ~kind:env.kind ~bytes;
         Queue.add env t.queue;
         if Rng.float rng 1.0 < dup then begin
-          Stats.incr t.stats ("net.duplicated." ^ kind_to_string kind);
-          account t ~kind ~bytes;
+          Stats.incr t.stats ("net.duplicated." ^ kind_to_string env.kind);
+          Stats.incr t.stats "net.duplicated.total";
+          account_bytes t ~kind:env.kind ~bytes;
           Queue.add env t.queue
         end
       end
   | None ->
-      account t ~kind ~bytes;
+      account_bytes t ~kind:env.kind ~bytes;
       Queue.add env t.queue
+
+let send t ~src ~dst ~kind ?(bytes = 64) payload =
+  let seq = next_seq t ~src ~dst in
+  if Hashtbl.mem t.reliable kind then begin
+    ev_sent t ~src ~dst ~kind ~seq ~rel:true;
+    let rel = next_rseq t ~src ~dst in
+    let env = { src; dst; kind; seq; rel; payload } in
+    (* One logical send, however many transmissions it takes. *)
+    Stats.incr t.stats ("net.sent." ^ kind_to_string kind);
+    Stats.incr t.stats "net.sent.total";
+    let u =
+      {
+        u_env = env;
+        u_bytes = bytes;
+        u_due = t.now + t.rto;
+        u_interval = t.rto;
+        u_attempts = 1;
+      }
+    in
+    (match Hashtbl.find_opt t.unacked_tbl (src, dst) with
+    | Some r -> r := !r @ [ u ]
+    | None -> Hashtbl.add t.unacked_tbl (src, dst) (ref [ u ]));
+    transmit t env ~bytes
+  end
+  else begin
+    ev_sent t ~src ~dst ~kind ~seq ~rel:false;
+    let env = { src; dst; kind; seq; rel = 0; payload } in
+    match Hashtbl.find_opt t.faults kind with
+    | Some { drop; dup; rng } ->
+        if Rng.float rng 1.0 < drop then begin
+          Stats.incr t.stats ("net.dropped." ^ kind_to_string kind);
+          Stats.incr t.stats "net.dropped.total"
+        end
+        else begin
+          account t ~kind ~bytes;
+          Queue.add env t.queue;
+          if Rng.float rng 1.0 < dup then begin
+            Stats.incr t.stats ("net.duplicated." ^ kind_to_string kind);
+            Stats.incr t.stats "net.duplicated.total";
+            account t ~kind ~bytes;
+            Queue.add env t.queue
+          end
+        end
+    | None ->
+        account t ~kind ~bytes;
+        Queue.add env t.queue
+  end
 
 let record_rpc t ~src ~dst ~kind ?(bytes = 64) () =
   (* Synchronous exchange executed inline by the caller; it overtakes
@@ -132,15 +253,89 @@ let record_piggyback t ~kind ~bytes =
   Stats.incr t.stats ~by:bytes "net.bytes.total";
   Stats.incr t.stats ~by:bytes "net.bytes.piggyback"
 
-let deliver t env =
+(* Cumulative acknowledgement: everything on the (src, dst) stream up to
+   reliable index [upto] has been handed to the handler; retire the
+   sender's retransmission state for it.  Acks are modeled as
+   instantaneous control traffic (they carry no payload and the layer
+   only needs them eventually; an ack loss is indistinguishable from a
+   late ack, which the duplicate suppression already absorbs). *)
+let ack t ~src ~dst ~upto =
+  match Hashtbl.find_opt t.unacked_tbl (src, dst) with
+  | None -> ()
+  | Some r ->
+      let keep, acked = List.partition (fun u -> u.u_env.rel > upto) !r in
+      if acked <> [] then begin
+        r := keep;
+        Stats.incr t.stats ~by:(List.length acked) "net.rel.acked"
+      end
+
+let handoff t env =
   let handler =
     match t.handler with
     | Some h -> h
     | None -> failwith "Net.step: no handler installed"
   in
   Stats.incr t.stats ("net.delivered." ^ kind_to_string env.kind);
-  ev_delivered t ~src:env.src ~dst:env.dst ~kind:env.kind ~seq:env.seq;
+  ev_delivered t ~src:env.src ~dst:env.dst ~kind:env.kind ~seq:env.seq
+    ~rel:(env.rel > 0);
   handler env
+
+let deliver t env =
+  if Hashtbl.mem t.down env.dst then begin
+    (* The destination host is dead: the message evaporates.  Reliable
+       messages stay in the sender's retransmission buffer and are
+       retried when (if) the node returns. *)
+    Stats.incr t.stats ("net.down_dropped." ^ kind_to_string env.kind);
+    Stats.incr t.stats "net.down_dropped.total"
+  end
+  else if env.rel = 0 then handoff t env
+  else begin
+    let rs = rstate t (env.src, env.dst) in
+    if env.rel < rs.r_next || Hashtbl.mem rs.r_buf env.rel then begin
+      (* Duplicate (fault-injected copy or spurious retransmission). *)
+      Stats.incr t.stats "net.rel.suppressed";
+      ev t
+        (Trace_event.Msg_suppressed
+           {
+             src = env.src;
+             dst = env.dst;
+             kind = kind_to_string env.kind;
+             seq = env.seq;
+           })
+    end
+    else if env.rel > rs.r_next then begin
+      (* Ahead of a gap (an earlier copy was dropped): hold it so the
+         handler observes per-pair FIFO in send order. *)
+      Hashtbl.add rs.r_buf env.rel env;
+      Stats.incr t.stats "net.rel.buffered";
+      ev t
+        (Trace_event.Msg_buffered
+           {
+             src = env.src;
+             dst = env.dst;
+             kind = kind_to_string env.kind;
+             seq = env.seq;
+           })
+    end
+    else begin
+      handoff t env;
+      rs.r_next <- rs.r_next + 1;
+      let rec flush () =
+        match Hashtbl.find_opt rs.r_buf rs.r_next with
+        | Some held ->
+            Hashtbl.remove rs.r_buf rs.r_next;
+            handoff t held;
+            rs.r_next <- rs.r_next + 1;
+            flush ()
+        | None -> ()
+      in
+      flush ()
+    end;
+    (* Only contiguously delivered prefixes are acknowledged: a crash of
+       the receiver can lose buffered-but-unacked messages, never acked
+       ones. *)
+    ack t ~src:env.src ~dst:env.dst ~upto:(rs.r_next - 1)
+  end
 
 let step t =
   match Queue.take_opt t.queue with
@@ -193,6 +388,141 @@ let drain t =
   go 0
 
 let pending t = Queue.length t.queue
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission clock. *)
+
+let unacked_count t =
+  Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.unacked_tbl 0
+
+let tick ?(dt = 1) t =
+  if dt <= 0 then invalid_arg "Net.tick: dt must be positive";
+  t.now <- t.now + dt;
+  let retransmitted = ref 0 in
+  Hashtbl.iter
+    (fun _key r ->
+      r :=
+        List.filter
+          (fun u ->
+            if u.u_due > t.now then true
+            else if u.u_attempts >= t.max_attempts then begin
+              Stats.incr t.stats "net.rel.abandoned";
+              false
+            end
+            else begin
+              u.u_attempts <- u.u_attempts + 1;
+              (* Exponential backoff, capped at [rto_max]. *)
+              u.u_interval <- min (u.u_interval * 2) t.rto_max;
+              u.u_due <- t.now + u.u_interval;
+              incr retransmitted;
+              Stats.incr t.stats
+                ("net.retransmit." ^ kind_to_string u.u_env.kind);
+              Stats.incr t.stats "net.retransmit.total";
+              ev t
+                (Trace_event.Msg_retransmit
+                   {
+                     src = u.u_env.src;
+                     dst = u.u_env.dst;
+                     kind = kind_to_string u.u_env.kind;
+                     seq = u.u_env.seq;
+                     attempt = u.u_attempts;
+                   });
+              (* Retransmissions carry the original sequence number: the
+                 receivers' logical clocks compare against send time, and
+                 the reorder buffer restores handler-visible FIFO. *)
+              transmit t u.u_env ~bytes:u.u_bytes;
+              true
+            end)
+          !r)
+    t.unacked_tbl;
+  !retransmitted
+
+let settle ?(max_rounds = 10_000) t =
+  let delivered = ref (drain t) in
+  let next_due () =
+    Hashtbl.fold
+      (fun _ r acc ->
+        List.fold_left
+          (fun acc u ->
+            match acc with
+            | None -> Some u.u_due
+            | Some d -> Some (min d u.u_due))
+          acc !r)
+      t.unacked_tbl None
+  in
+  let rounds = ref 0 in
+  let rec go () =
+    if unacked_count t > 0 && !rounds < max_rounds then begin
+      incr rounds;
+      match next_due () with
+      | None -> ()
+      | Some due ->
+          (* Jump the virtual clock straight to the next deadline. *)
+          ignore (tick ~dt:(max 1 (due - t.now)) t);
+          delivered := !delivered + drain t;
+          go ()
+    end
+  in
+  go ();
+  !delivered
+
+(* ------------------------------------------------------------------ *)
+(* Node crash/restart.  Volatile per-node channel state dies with the
+   node: queued messages from/to it, its retransmission buffer, and its
+   reorder buffers.  Per-pair sequence counters and the receivers'
+   delivery cursors are stable (tiny, O(nodes^2) integers journalled with
+   the RVM image), the standard at-most-once assumption that lets a
+   stream resume across a crash without an epoch handshake. *)
+
+let set_down t node =
+  if not (Hashtbl.mem t.down node) then begin
+    Hashtbl.replace t.down node ();
+    Stats.incr t.stats "net.crash.count";
+    (* In-flight messages involving the node are lost. *)
+    let keep =
+      Queue.fold
+        (fun acc env ->
+          if Ids.Node.equal env.src node || Ids.Node.equal env.dst node then begin
+            Stats.incr t.stats "net.crash.purged_in_flight";
+            acc
+          end
+          else env :: acc)
+        [] t.queue
+    in
+    Queue.clear t.queue;
+    List.iter (fun e -> Queue.add e t.queue) (List.rev keep);
+    (* The node's own retransmission buffer is volatile. *)
+    Hashtbl.iter
+      (fun (src, _) r ->
+        if Ids.Node.equal src node && !r <> [] then begin
+          Stats.incr t.stats ~by:(List.length !r) "net.crash.lost_unacked";
+          r := []
+        end)
+      t.unacked_tbl;
+    (* Reorder buffers touching the node are volatile; roll the crashed
+       sender's stream counters back to each receiver's contiguous
+       high-water mark so post-restart sends resume gap-free. *)
+    Hashtbl.iter
+      (fun (src, dst) rs ->
+        if Ids.Node.equal src node || Ids.Node.equal dst node then
+          Hashtbl.reset rs.r_buf)
+      t.rstates;
+    Hashtbl.iter
+      (fun (src, dst) r ->
+        if Ids.Node.equal src node then
+          let delivered =
+            match Hashtbl.find_opt t.rstates (src, dst) with
+            | Some rs -> rs.r_next - 1
+            | None -> 0
+          in
+          r := delivered)
+      t.rseqs
+  end
+
+let set_up t node = Hashtbl.remove t.down node
+
+let down_nodes t =
+  Hashtbl.fold (fun n () acc -> n :: acc) t.down [] |> List.sort Ids.Node.compare
 
 let current_seq t ~src ~dst =
   match Hashtbl.find_opt t.seqs (src, dst) with Some r -> !r | None -> 0

@@ -42,6 +42,11 @@ type 'p envelope = {
   dst : Bmx_util.Ids.Node.t;
   kind : kind;
   seq : int;  (** per (src, dst) stream sequence number *)
+  rel : int;
+      (** reliable-stream index (per pair, counting only reliable
+          messages); [0] for kinds outside the reliable set.
+          Retransmissions reuse the original [seq] and [rel]: the
+          sequence number is the message's send-time logical clock. *)
   payload : 'p;
 }
 
@@ -116,10 +121,67 @@ val step_pair :
 val set_fault :
   'p t -> kind:kind -> drop:float -> dup:float -> rng:Bmx_util.Rng.t -> unit
 (** Drop (resp. duplicate) messages of [kind] with the given probability.
-    Dropped messages consume a sequence number — receivers observe a gap,
-    as over a real lossy transport. *)
+    The drop die is rolled first; a kept message then rolls the dup die,
+    so a message is never both dropped and duplicated.  Dropped messages
+    consume a sequence number — receivers observe a gap, as over a real
+    lossy transport.  Faults apply per transmission: retransmissions of
+    a reliable message reroll the dice. *)
 
 val clear_faults : 'p t -> unit
+
+(** {1 Reliable delivery (opt-in per kind)}
+
+    The paper needs no transport reliability for safety (§6.1) — but
+    protocol-critical messages (scion creations, address updates) opt
+    into a classic ack/retransmit layer so the cluster also stays {e
+    live} under sustained loss: per-pair cumulative acknowledgements,
+    retransmission on a virtual-clock timeout with exponential backoff,
+    duplicate suppression and reorder buffering at the receiver keyed by
+    the existing per-pair sequence numbers.  The handler observes each
+    reliable message exactly once, in per-pair send order, whatever the
+    fault injection does to individual transmissions. *)
+
+val set_reliable :
+  'p t -> ?rto:int -> ?rto_max:int -> ?max_attempts:int -> kind list -> unit
+(** Replace the set of reliable kinds.  [rto] (default 4) is the initial
+    retransmission timeout in virtual-clock units, doubling per attempt
+    up to [rto_max] (default 64); after [max_attempts] (default 20)
+    transmissions a message is abandoned (counted in
+    [net.rel.abandoned]) — timeouts, never blocking. *)
+
+val reliable_kinds : 'p t -> kind list
+val is_reliable : 'p t -> kind -> bool
+
+val now : 'p t -> int
+(** The virtual clock (advanced only by {!tick}). *)
+
+val tick : ?dt:int -> 'p t -> int
+(** Advance the virtual clock by [dt] (default 1) and retransmit every
+    reliable message whose timeout expired; returns how many were
+    retransmitted.  Retransmissions reroll the fault dice. *)
+
+val settle : ?max_rounds:int -> 'p t -> int
+(** Drain, then repeatedly jump the clock to the next retransmission
+    deadline and drain again until no unacknowledged messages remain (or
+    every laggard has been abandoned).  Returns total deliveries.  With
+    faults cleared this reliably flushes the reliable streams. *)
+
+val unacked_count : 'p t -> int
+(** Reliable messages sent but not yet acknowledged (or abandoned). *)
+
+(** {1 Node crash/restart}
+
+    A down node's in-flight messages, retransmission buffer and reorder
+    buffers are lost (volatile); messages arriving at it evaporate.
+    Per-pair sequence counters and delivery cursors are stable state —
+    journalled with the RVM image — so streams resume gap-free after a
+    restart and retransmitted-but-already-delivered messages are still
+    recognized as duplicates (at-most-once across crashes). *)
+
+val set_down : 'p t -> Bmx_util.Ids.Node.t -> unit
+val set_up : 'p t -> Bmx_util.Ids.Node.t -> unit
+val is_down : 'p t -> Bmx_util.Ids.Node.t -> bool
+val down_nodes : 'p t -> Bmx_util.Ids.Node.t list
 
 val current_seq :
   'p t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> int

@@ -38,14 +38,42 @@ type t =
   | Copyset_forward of { src : Ids.Node.t; dst : Ids.Node.t; uid : Ids.Uid.t }
   | Gc_begin of { node : Ids.Node.t; group : bool; bunches : Ids.Bunch.t list }
   | Gc_end of { node : Ids.Node.t; group : bool; live : int; reclaimed : int }
-  | Msg_sent of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
+  | Msg_sent of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+      rel : bool;
+    }
   | Msg_delivered of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+      rel : bool;
+    }
+  | Msg_retransmit of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+      attempt : int;
+    }
+  | Msg_suppressed of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+    }
+  | Msg_buffered of {
       src : Ids.Node.t;
       dst : Ids.Node.t;
       kind : string;
       seq : int;
     }
   | Rpc of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
+  | Crash of { node : Ids.Node.t }
+  | Restart of { node : Ids.Node.t }
 
 type log = {
   mutable log_enabled : bool;
@@ -116,12 +144,21 @@ let to_line = function
       Printf.sprintf "gc_begin %d %s %s" node (bool_str group) (ints_str bunches)
   | Gc_end { node; group; live; reclaimed } ->
       Printf.sprintf "gc_end %d %s %d %d" node (bool_str group) live reclaimed
-  | Msg_sent { src; dst; kind; seq } ->
-      Printf.sprintf "msg_sent %d %d %s %d" src dst kind seq
-  | Msg_delivered { src; dst; kind; seq } ->
-      Printf.sprintf "msg_delivered %d %d %s %d" src dst kind seq
+  | Msg_sent { src; dst; kind; seq; rel } ->
+      Printf.sprintf "msg_sent %d %d %s %d %s" src dst kind seq (bool_str rel)
+  | Msg_delivered { src; dst; kind; seq; rel } ->
+      Printf.sprintf "msg_delivered %d %d %s %d %s" src dst kind seq
+        (bool_str rel)
+  | Msg_retransmit { src; dst; kind; seq; attempt } ->
+      Printf.sprintf "msg_retransmit %d %d %s %d %d" src dst kind seq attempt
+  | Msg_suppressed { src; dst; kind; seq } ->
+      Printf.sprintf "msg_suppressed %d %d %s %d" src dst kind seq
+  | Msg_buffered { src; dst; kind; seq } ->
+      Printf.sprintf "msg_buffered %d %d %s %d" src dst kind seq
   | Rpc { src; dst; kind; seq } ->
       Printf.sprintf "rpc %d %d %s %d" src dst kind seq
+  | Crash { node } -> Printf.sprintf "crash %d" node
+  | Restart { node } -> Printf.sprintf "restart %d" node
 
 exception Parse of string
 
@@ -187,12 +224,36 @@ let of_line line =
         Ok
           (Gc_end
              { node = int n; group = bool g; live = int l; reclaimed = int r })
+    (* Traces written before the reliable-delivery layer lack the [rel]
+       field: parse them as unreliable sends/deliveries. *)
     | [ "msg_sent"; s; d; k; q ] ->
-        Ok (Msg_sent { src = int s; dst = int d; kind = k; seq = int q })
+        Ok
+          (Msg_sent
+             { src = int s; dst = int d; kind = k; seq = int q; rel = false })
+    | [ "msg_sent"; s; d; k; q; r ] ->
+        Ok
+          (Msg_sent
+             { src = int s; dst = int d; kind = k; seq = int q; rel = bool r })
     | [ "msg_delivered"; s; d; k; q ] ->
-        Ok (Msg_delivered { src = int s; dst = int d; kind = k; seq = int q })
+        Ok
+          (Msg_delivered
+             { src = int s; dst = int d; kind = k; seq = int q; rel = false })
+    | [ "msg_delivered"; s; d; k; q; r ] ->
+        Ok
+          (Msg_delivered
+             { src = int s; dst = int d; kind = k; seq = int q; rel = bool r })
+    | [ "msg_retransmit"; s; d; k; q; a ] ->
+        Ok
+          (Msg_retransmit
+             { src = int s; dst = int d; kind = k; seq = int q; attempt = int a })
+    | [ "msg_suppressed"; s; d; k; q ] ->
+        Ok (Msg_suppressed { src = int s; dst = int d; kind = k; seq = int q })
+    | [ "msg_buffered"; s; d; k; q ] ->
+        Ok (Msg_buffered { src = int s; dst = int d; kind = k; seq = int q })
     | [ "rpc"; s; d; k; q ] ->
         Ok (Rpc { src = int s; dst = int d; kind = k; seq = int q })
+    | [ "crash"; n ] -> Ok (Crash { node = int n })
+    | [ "restart"; n ] -> Ok (Restart { node = int n })
     | w :: _ -> Error (Printf.sprintf "unknown or malformed event %S" w)
     | [] -> Error "empty line"
   with Parse m -> Error m

@@ -61,19 +61,52 @@ type t =
   | Copyset_forward of { src : Ids.Node.t; dst : Ids.Node.t; uid : Ids.Uid.t }
   | Gc_begin of { node : Ids.Node.t; group : bool; bunches : Ids.Bunch.t list }
   | Gc_end of { node : Ids.Node.t; group : bool; live : int; reclaimed : int }
-  | Msg_sent of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
-      (** a background message was enqueued *)
+  | Msg_sent of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+      rel : bool;  (** sent on a reliable (acked, retransmitted) channel *)
+    }  (** a background message was enqueued (recorded once, at the
+           original send — retransmissions get {!Msg_retransmit}) *)
   | Msg_delivered of {
       src : Ids.Node.t;
       dst : Ids.Node.t;
       kind : string;
       seq : int;
-    }  (** a background message was handed to its handler *)
+      rel : bool;
+    }  (** a background message was handed to its handler.  Reliable
+           deliveries carry the {e original} sequence number and are
+           handed off exactly once, in send order; unreliable ones may
+           repeat (duplicate) or leave gaps (loss). *)
+  | Msg_retransmit of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+      attempt : int;  (** total transmissions so far, >= 2 *)
+    }  (** the reliable layer re-sent an unacknowledged message *)
+  | Msg_suppressed of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+    }  (** receiver-side duplicate suppression swallowed a copy *)
+  | Msg_buffered of {
+      src : Ids.Node.t;
+      dst : Ids.Node.t;
+      kind : string;
+      seq : int;
+    }  (** a reliable message arrived ahead of a gap and was buffered *)
   | Rpc of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
       (** a synchronous request/reply executed inline by the caller; it
           shares the per-pair sequence counter with background messages
           but is exempt from their FIFO — it logically overtakes anything
           still queued *)
+  | Crash of { node : Ids.Node.t }
+      (** the node lost its volatile state (store, tokens, channels) *)
+  | Restart of { node : Ids.Node.t }
+      (** the node rejoined; recovery from the persistent image follows *)
 
 type log
 

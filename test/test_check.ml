@@ -97,8 +97,12 @@ let test_invariant3_flagged () =
   check_bool "hooked write grant is clean" false (has Lint.Invariant3 vs)
 
 let test_fifo_flagged () =
-  let msg seq = E.Msg_sent { src = 0; dst = 1; kind = "addr_update"; seq } in
-  let del seq = E.Msg_delivered { src = 0; dst = 1; kind = "addr_update"; seq } in
+  let msg seq =
+    E.Msg_sent { src = 0; dst = 1; kind = "addr_update"; seq; rel = false }
+  in
+  let del seq =
+    E.Msg_delivered { src = 0; dst = 1; kind = "addr_update"; seq; rel = false }
+  in
   let vs = Lint.run [ msg 2; msg 1 ] in
   check_bool "non-monotonic send seq flagged" true (has Lint.Fifo_order vs);
   let vs = Lint.run [ msg 1; msg 2; del 2; del 1 ] in
@@ -175,8 +179,17 @@ let test_event_roundtrip () =
       E.Copyset_forward { src = 2; dst = 0; uid = 9 };
       E.Gc_begin { node = 0; group = false; bunches = [ 1; 2 ] };
       E.Gc_end { node = 0; group = true; live = 17; reclaimed = 4 };
-      E.Msg_sent { src = 0; dst = 1; kind = "stub_table"; seq = 12 };
-      E.Msg_delivered { src = 0; dst = 1; kind = "stub_table"; seq = 12 };
+      E.Msg_sent { src = 0; dst = 1; kind = "stub_table"; seq = 12; rel = false };
+      E.Msg_delivered
+        { src = 0; dst = 1; kind = "stub_table"; seq = 12; rel = false };
+      E.Msg_sent { src = 0; dst = 1; kind = "scion_message"; seq = 14; rel = true };
+      E.Msg_delivered
+        { src = 0; dst = 1; kind = "scion_message"; seq = 14; rel = true };
+      E.Msg_retransmit { src = 0; dst = 1; kind = "scion_message"; seq = 14; attempt = 2 };
+      E.Msg_suppressed { src = 0; dst = 1; kind = "scion_message"; seq = 14 };
+      E.Msg_buffered { src = 0; dst = 1; kind = "addr_update"; seq = 15 };
+      E.Crash { node = 2 };
+      E.Restart { node = 2 };
       E.Rpc { src = 1; dst = 0; kind = "token_grant"; seq = 13 };
     ]
   in
@@ -193,8 +206,12 @@ let test_event_roundtrip () =
 
 let test_explorer_scenarios_clean () =
   List.iter
-    (fun (name, _desc, build, locals) ->
-      let r = Explore.run ~depth:5 ~max_schedules:500 ~build ~locals () in
+    (fun sc ->
+      let name = sc.Explore.sc_name in
+      let r =
+        Explore.run ~depth:5 ~max_schedules:500 ~build:sc.Explore.sc_build
+          ~locals:sc.Explore.sc_locals ~finish:sc.Explore.sc_finish ()
+      in
       check_bool (name ^ ": explored") true (r.Explore.schedules >= 2);
       (match r.Explore.violations with
       | [] -> ()

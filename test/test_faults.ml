@@ -1,0 +1,541 @@
+(* Randomized fault-injection soak: seeded runs mixing message loss and
+   duplication with node crash/restart cycles, over the full platform
+   (DSM + collector + persistence).  After the faults stop and every
+   node has recovered, each run must converge to a state that passes the
+   cluster-wide safety audit, the token-discipline audit and the trace
+   linter — with nothing stuck on the wire.
+
+   §6.1 argues the GC protocol needs only per-pair FIFO, tolerating loss
+   by retransmission (rebroadcast) and duplicates by the cleaner's
+   freshness clocks; §8 adds crash recovery from the RVM image.  This
+   harness shakes both claims at once.
+
+   50 seeds by default; pass --long (or set BMX_SOAK_LONG) for more. *)
+
+open Bmx_util
+module Net = Bmx_netsim.Net
+module Cluster = Bmx.Cluster
+module Persist = Bmx.Persist
+module Protocol = Bmx_dsm.Protocol
+module Value = Bmx_memory.Value
+module Lint = Bmx_check.Lint
+module E = Trace_event
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let long_mode =
+  Array.exists (fun a -> a = "--long") Sys.argv
+  || Sys.getenv_opt "BMX_SOAK_LONG" <> None
+
+let argv_without_long =
+  Array.of_list (List.filter (fun a -> a <> "--long") (Array.to_list Sys.argv))
+
+let soak_seeds = if long_mode then 200 else 50
+let ops_per_seed = if long_mode then 250 else 120
+
+(* ------------------------------------------------------------- harness *)
+
+type soak = {
+  c : Cluster.t;
+  rng : Rng.t;
+  mutable objs : (Addr.t * int) list;  (** (address, bunch) *)
+  disks : (int * int, Persist.disk) Hashtbl.t;  (** (node, bunch) -> disk *)
+  mutable skipped : int;  (** ops refused because a needed peer was down *)
+}
+
+let live s = Cluster.live_nodes s.c
+let pick s xs = List.nth xs (Rng.int s.rng (List.length xs))
+
+let owner_alive s addr =
+  match Bmx_dsm.Protocol.uid_of_addr (Cluster.proto s.c) addr with
+  | None -> false
+  | Some uid -> (
+      match Cluster.owner_of s.c ~uid with
+      | Some o -> Cluster.node_alive s.c o
+      | None -> false)
+
+(* Client operations can legitimately fail while a peer is unreachable
+   (a broken probable-owner chain, a vanished copy): the platform's
+   contract under partial failure is "fail the operation, never corrupt
+   memory" — so the soak counts those refusals and the end-of-run audit
+   is what actually decides. *)
+let attempt s f = try f () with Failure _ -> s.skipped <- s.skipped + 1
+
+(* The audit's view of what crashed nodes will bring back from their
+   stable stores: one entry per uid found on a down node's disks,
+   marked authoritative when that node checkpointed it as owner. *)
+let stable_view s =
+  let tbl = Ids.Uid_tbl.create 64 in
+  let proto = Cluster.proto s.c in
+  List.iter
+    (fun node ->
+      Hashtbl.iter
+        (fun (n, _) disk ->
+          if n = node then
+            Bmx_rvm.Rvm.fold disk ~init:()
+              ~f:(fun _ (_, (o : Bmx_memory.Heap_obj.t), _, owned) () ->
+                let uid = o.Bmx_memory.Heap_obj.uid in
+                let cell =
+                  {
+                    Bmx.Audit.sc_owned = owned;
+                    sc_targets =
+                      List.filter_map
+                        (Bmx_dsm.Protocol.uid_of_addr proto)
+                        (Bmx_memory.Heap_obj.pointers o);
+                  }
+                in
+                (* An owned image outranks a stale-replica image of the
+                   same object checkpointed by some other down node. *)
+                match Ids.Uid_tbl.find_opt tbl uid with
+                | Some prev when prev.Bmx.Audit.sc_owned && not owned -> ()
+                | _ -> Ids.Uid_tbl.replace tbl uid cell))
+        s.disks)
+    (Net.down_nodes (Cluster.net s.c));
+  tbl
+
+(* The soak's remembered addresses model mutator-held references, and a
+   real mutator can only name an object it can still navigate to from
+   some root — holding a raw pointer outside the heap would have needed
+   a root, which would have kept the object alive.  So every operation
+   target is filtered through current reachability: picking a merely
+   remembered address could resurrect garbage (or a stale pointer inside
+   it) that the collector was right to reclaim. *)
+let reachable_handles s =
+  let reach = Bmx.Audit.union_reachable ~stable:(stable_view s) s.c in
+  List.filter
+    (fun (a, _) ->
+      match Bmx_dsm.Protocol.uid_of_addr (Cluster.proto s.c) a with
+      | Some uid ->
+          Ids.Uid_set.mem uid reach
+          && Bmx_dsm.Protocol.replica_nodes (Cluster.proto s.c) uid <> []
+      | None -> false)
+    s.objs
+
+let pick_handle s =
+  match reachable_handles s with [] -> None | hs -> Some (fst (pick s hs))
+
+let checkpoint_node s node =
+  List.iter
+    (fun bunch ->
+      let disk =
+        match Hashtbl.find_opt s.disks (node, bunch) with
+        | Some d -> d
+        | None ->
+            let d = Persist.create_disk () in
+            Hashtbl.add s.disks (node, bunch) d;
+            d
+      in
+      ignore (Persist.checkpoint ~gc_roots:true s.c ~node ~bunch disk))
+    (Protocol.bunches (Cluster.proto s.c))
+
+let recover_one s node =
+  Cluster.restart_node s.c ~node;
+  ignore
+    (Persist.recover_node s.c ~node
+       (List.filter_map
+          (fun bunch -> Hashtbl.find_opt s.disks (node, bunch))
+          (Protocol.bunches (Cluster.proto s.c))))
+
+let setup seed =
+  let rng = Rng.make (seed * 7919) in
+  let nodes = 3 + Rng.int rng 2 in
+  let c = Cluster.create ~nodes ~seed ~trace_events:true () in
+  let s = { c; rng; objs = []; disks = Hashtbl.create 16; skipped = 0 } in
+  let n_bunches = 2 + Rng.int rng 2 in
+  let bunches =
+    List.init n_bunches (fun i -> Cluster.new_bunch c ~home:(i mod nodes))
+  in
+  List.iter
+    (fun b ->
+      let home = Protocol.bunch_home (Cluster.proto c) b in
+      for _ = 1 to 5 do
+        let a = Cluster.alloc c ~node:home ~bunch:b [| Value.Data 0; Value.nil |] in
+        Cluster.add_root c ~node:home a;
+        s.objs <- (a, b) :: s.objs
+      done)
+    bunches;
+  (* Seed some cross-bunch references so SSP traffic exists from the
+     start. *)
+  for _ = 1 to 2 * n_bunches do
+    let src, _ = pick s s.objs and tgt, _ = pick s s.objs in
+    let home = pick s (live s) in
+    attempt s (fun () ->
+        let a = Cluster.acquire_write c ~node:home src in
+        Cluster.write c ~node:home a 1 (Value.Ref tgt);
+        Cluster.release c ~node:home a)
+  done;
+  ignore (Cluster.drain c);
+  (* Fault the background GC/protocol traffic. *)
+  let rate () = 0.05 +. (float_of_int (Rng.int rng 30) /. 100.) in
+  List.iteri
+    (fun i kind ->
+      Net.set_fault (Cluster.net c) ~kind ~drop:(rate ()) ~dup:(rate ())
+        ~rng:(Rng.make (seed + (31 * i))))
+    [ Net.Stub_table; Net.Scion_message; Net.Addr_update ];
+  s
+
+let only_seed = Option.map int_of_string (Sys.getenv_opt "BMX_SOAK_ONLY")
+let watch_uid = Option.map int_of_string (Sys.getenv_opt "BMX_SOAK_WATCH")
+let dbg_ops = Sys.getenv_opt "BMX_SOAK_DEBUG" <> None
+
+let dbg fmt =
+  if dbg_ops then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr (fmt ^^ "\n%!")
+
+let watch s op =
+  match watch_uid with
+  | None -> ()
+  | Some uid ->
+      let proto = Cluster.proto s.c in
+      let cached = Bmx_dsm.Protocol.replica_nodes proto uid in
+      let reach = Ids.Uid_set.mem uid (Bmx.Audit.union_reachable s.c) in
+      Printf.eprintf "W op=%d u%d cached=[%s] owner=%s reach=%b\n%!" op uid
+        (String.concat "," (List.map string_of_int cached))
+        (match Cluster.owner_of s.c ~uid with
+        | Some o -> string_of_int o
+        | None -> "-")
+        reach
+
+let uid_str s a =
+  match Bmx_dsm.Protocol.uid_of_addr (Cluster.proto s.c) a with
+  | Some u -> "u" ^ string_of_int u
+  | None -> Addr.to_string a
+
+let step op s =
+  let c = s.c in
+  match Rng.int s.rng 100 with
+  | r when r < 18 -> (
+      (* Read access (weak: tolerates inconsistent copies). *)
+      match pick_handle s with
+      | None -> ()
+      | Some a ->
+          let node = pick s (live s) in
+          dbg "OP %d weak-read %s @%d" op (uid_str s a) node;
+          attempt s (fun () ->
+              if owner_alive s a then
+                ignore (Cluster.read c ~weak:true ~node a 0)))
+  | r when r < 40 -> (
+      (* Update: take the write token, store a fresh value or a pointer. *)
+      match pick_handle s with
+      | None -> ()
+      | Some a ->
+          let node = pick s (live s) in
+          attempt s (fun () ->
+              if owner_alive s a then begin
+                let a' = Cluster.acquire_write c ~node a in
+                (match
+                   if Rng.int s.rng 100 < 50 then pick_handle s else None
+                 with
+                | Some tgt ->
+                    dbg "OP %d write %s <- Ref %s @%d" op (uid_str s a)
+                      (uid_str s tgt) node;
+                    Cluster.write c ~node a' 1 (Value.Ref tgt)
+                | None ->
+                    dbg "OP %d write %s <- Data @%d" op (uid_str s a) node;
+                    Cluster.write c ~node a' 0
+                      (Value.Data (Rng.int s.rng 1000)));
+                Cluster.release c ~node a'
+              end))
+  | r when r < 50 -> (
+      (* Read token from wherever. *)
+      match pick_handle s with
+      | None -> ()
+      | Some a ->
+          let node = pick s (live s) in
+          dbg "OP %d read %s @%d" op (uid_str s a) node;
+          attempt s (fun () ->
+              if owner_alive s a then begin
+                let a' = Cluster.acquire_read c ~node a in
+                ignore (Cluster.read c ~node a' 0);
+                Cluster.release c ~node a'
+              end))
+  | r when r < 56 ->
+      (* Fresh allocation at a live bunch home, sometimes rooted. *)
+      let bunches =
+        List.filter
+          (fun b -> Cluster.node_alive c (Protocol.bunch_home (Cluster.proto c) b))
+          (Protocol.bunches (Cluster.proto c))
+      in
+      if bunches <> [] then begin
+        let b = pick s bunches in
+        let home = Protocol.bunch_home (Cluster.proto c) b in
+        let a = Cluster.alloc c ~node:home ~bunch:b [| Value.Data 1; Value.nil |] in
+        dbg "OP %d alloc %s b%d @%d" op (uid_str s a) b home;
+        if Rng.int s.rng 100 < 70 then begin
+          Cluster.add_root c ~node:home a;
+          s.objs <- (a, b) :: s.objs
+        end
+      end
+  | r when r < 62 -> (
+      (* Root churn: drop a root anywhere, or root a still-reachable
+         object at a node that caches it. *)
+      let node = pick s (live s) in
+      if Rng.int s.rng 100 < 30 then begin
+        let a, _ = pick s s.objs in
+        dbg "OP %d unroot %s @%d" op (uid_str s a) node;
+        Cluster.remove_root c ~node a
+      end
+      else
+        match pick_handle s with
+        | Some a
+          when Bmx_memory.Store.resolve (Protocol.store (Cluster.proto c) node) a
+               <> None ->
+            dbg "OP %d root %s @%d" op (uid_str s a) node;
+            Cluster.add_root c ~node a
+        | Some _ | None -> ())
+  | r when r < 72 ->
+      (* Collection pressure: a full round, skipping dead nodes. *)
+      dbg "OP %d gc_round" op;
+      ignore (Cluster.gc_round c)
+  | r when r < 82 ->
+      (* Let time pass: timers fire, retransmissions roll the dice. *)
+      dbg "OP %d tick+drain" op;
+      ignore (Cluster.tick ~dt:(1 + Rng.int s.rng 4) c);
+      ignore (Cluster.drain c)
+  | r when r < 88 ->
+      (* Partial drain only — leaves interleavings for later. *)
+      dbg "OP %d drain" op;
+      ignore (Cluster.drain c)
+  | r when r < 94 ->
+      (* Crash a node (keep a majority up): checkpoint first — the
+         stand-in for RVM's continuous logging — then fail-stop. *)
+      let ls = live s in
+      if List.length ls > 2 then begin
+        let victim = pick s ls in
+        dbg "OP %d crash %d" op victim;
+        checkpoint_node s victim;
+        Cluster.crash_node c ~node:victim
+      end
+  | _ -> (
+      (* Restart + recover a down node, if any. *)
+      match Net.down_nodes (Cluster.net c) with
+      | [] -> ()
+      | down ->
+          let victim = pick s down in
+          dbg "OP %d recover %d" op victim;
+          recover_one s victim)
+
+(* With BMX_SOAK_PARANOID the safety audit runs after every op, so a
+   violation is pinned to the op that caused it instead of surfacing at
+   the end of the run — slow, but invaluable when a seed fails. *)
+let paranoid = Sys.getenv_opt "BMX_SOAK_PARANOID" <> None
+
+let debug_dump s =
+  if Sys.getenv_opt "BMX_SOAK_DEBUG" <> None then begin
+    List.iter
+      (fun e -> Printf.eprintf "EV %s\n" (Trace_event.to_line e))
+      (Cluster.events s.c);
+    let proto = Cluster.proto s.c in
+    List.iter
+      (fun node ->
+        let store = Protocol.store proto node in
+        Printf.eprintf "NODE %d roots=[%s]\n" node
+          (String.concat ","
+             (List.map Addr.to_string (Cluster.roots s.c ~node)));
+        Bmx_dsm.Directory.iter
+          (Protocol.directory proto node)
+          (fun r ->
+            Printf.eprintf "  dir u%d %s%s prob=%d\n" r.Bmx_dsm.Directory.uid
+              (Bmx_dsm.Directory.token_state_to_string
+                 r.Bmx_dsm.Directory.state)
+              (if r.Bmx_dsm.Directory.is_owner then " OWNER" else "")
+              r.Bmx_dsm.Directory.prob_owner);
+        List.iter
+          (fun b ->
+            List.iter
+              (fun (a, (o : Bmx_memory.Heap_obj.t)) ->
+                Printf.eprintf "  cell %s u%d b%d -> [%s]\n"
+                  (Addr.to_string a) o.Bmx_memory.Heap_obj.uid
+                  o.Bmx_memory.Heap_obj.bunch
+                  (String.concat ","
+                     (List.map
+                        (fun p ->
+                          match Protocol.uid_of_addr proto p with
+                          | Some u -> "u" ^ string_of_int u
+                          | None -> "?" ^ Addr.to_string p)
+                        (Bmx_memory.Heap_obj.pointers o))))
+              (Bmx_memory.Store.objects_of_bunch store b))
+          (Protocol.bunches proto))
+      (Protocol.nodes proto);
+    flush stderr
+  end
+
+let soak_one seed =
+  let s = setup seed in
+  for op = 1 to ops_per_seed do
+    step op s;
+    watch s op;
+    if paranoid then begin
+      (* An object whose only copies were at a crashed node is not lost —
+         it is on that node's stable store, awaiting recovery — and the
+         reachability trace reads crashed owners through that store too. *)
+      let lost = Bmx.Audit.lost_objects ~stable:(stable_view s) s.c in
+      if not (Ids.Uid_set.is_empty lost) then begin
+        debug_dump s;
+        Alcotest.failf "seed %d: op %d lost %s" seed op
+          (String.concat ","
+             (List.map Ids.Uid.to_string (Ids.Uid_set.elements lost)))
+      end
+    end
+  done;
+  (* The faults stop; every node comes back; the cluster settles. *)
+  Net.clear_faults (Cluster.net s.c);
+  List.iter (fun n -> recover_one s n) (Net.down_nodes (Cluster.net s.c));
+  ignore (Cluster.settle s.c);
+  ignore (Cluster.collect_until_quiescent s.c ());
+  ignore (Cluster.settle s.c);
+  let name fmt = Printf.sprintf ("seed %d: " ^^ fmt) seed in
+  (match Bmx.Audit.check_safety s.c with
+  | Ok () -> ()
+  | Error m ->
+      debug_dump s;
+      Alcotest.failf "seed %d: safety audit: %s" seed m);
+  (match Bmx.Audit.check_tokens s.c with
+  | Ok () -> ()
+  | Error m ->
+      debug_dump s;
+      Alcotest.failf "seed %d: token audit: %s" seed m);
+  (match Lint.check_all (Cluster.proto s.c) with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "seed %d: linter: %s" seed (Lint.violation_to_string v));
+  check_int (name "wire empty") 0 (Net.pending (Cluster.net s.c));
+  check_int (name "no unacked reliable messages") 0
+    (Net.unacked_count (Cluster.net s.c))
+
+let test_soak () =
+  match only_seed with
+  | Some seed -> soak_one seed
+  | None ->
+      for seed = 1 to soak_seeds do
+        soak_one seed
+      done
+
+(* --------------------------------------- the linter catches bad traces *)
+
+(* Negative tests: hand-built traces modelling BROKEN recovery paths
+   must be flagged by the new rules — shaking the checker, not the
+   platform. *)
+
+let has rule vs = List.exists (fun v -> v.Lint.rule = rule) vs
+
+let test_lint_catches_dead_node_grant () =
+  (* A write grant minted by a node that is down: a token resurrected
+     from lost volatile state. *)
+  let vs =
+    Lint.run
+      [
+        E.Crash { node = 1 };
+        E.Hook_ssp { granter = 1; requester = 2; uid = 7 };
+        E.Grant_sent
+          { granter = 1; requester = 2; uid = 7; tok = E.Write; updates = 0 };
+      ]
+  in
+  check_bool "dead granter flagged" true (has Lint.Dead_node_activity vs);
+  (* The same trace with a restart in between is legitimate. *)
+  let vs =
+    Lint.run
+      [
+        E.Crash { node = 1 };
+        E.Restart { node = 1 };
+        E.Hook_ssp { granter = 1; requester = 2; uid = 7 };
+        E.Grant_sent
+          { granter = 1; requester = 2; uid = 7; tok = E.Write; updates = 0 };
+      ]
+  in
+  check_bool "clean after restart" false (has Lint.Dead_node_activity vs)
+
+let test_lint_catches_dead_node_gc_and_sends () =
+  let vs =
+    Lint.run
+      [
+        E.Crash { node = 0 };
+        E.Gc_begin { node = 0; group = false; bunches = [ 1 ] };
+        E.Gc_end { node = 0; group = false; live = 1; reclaimed = 0 };
+      ]
+  in
+  check_bool "collection at a dead node flagged" true
+    (has Lint.Dead_node_activity vs);
+  let vs =
+    Lint.run
+      [
+        E.Crash { node = 0 };
+        E.Msg_sent { src = 0; dst = 1; kind = "stub_table"; seq = 3; rel = false };
+      ]
+  in
+  check_bool "send from a dead node flagged" true
+    (has Lint.Dead_node_activity vs);
+  (* Sending TO a dead node is legal — the message just evaporates. *)
+  let vs =
+    Lint.run
+      [
+        E.Crash { node = 1 };
+        E.Msg_sent { src = 0; dst = 1; kind = "stub_table"; seq = 3; rel = false };
+        E.Invalidate { src = 0; dst = 1; uid = 9 };
+      ]
+  in
+  check_bool "send/invalidate to a dead node is clean" false
+    (has Lint.Dead_node_activity vs)
+
+let test_lint_catches_reliable_duplicate_handoff () =
+  (* The reliable layer hands a message to the handler twice (duplicate
+     suppression broken): delivered-seq repeats on a reliable stream. *)
+  let del seq =
+    E.Msg_delivered { src = 0; dst = 1; kind = "scion_message"; seq; rel = true }
+  in
+  let vs = Lint.run [ del 4; del 4 ] in
+  check_bool "reliable duplicate handoff flagged" true (has Lint.Reliable_fifo vs);
+  (* Reordered handoff too. *)
+  let vs = Lint.run [ del 5; del 4 ] in
+  check_bool "reliable reorder flagged" true (has Lint.Reliable_fifo vs);
+  (* On an unreliable stream a repeat is a legal duplicate. *)
+  let del_u seq =
+    E.Msg_delivered { src = 0; dst = 1; kind = "stub_table"; seq; rel = false }
+  in
+  let vs = Lint.run [ del_u 4; del_u 4 ] in
+  check_bool "unreliable duplicate is clean" false
+    (has Lint.Fifo_order vs || has Lint.Reliable_fifo vs)
+
+let test_broken_recovery_is_caught_end_to_end () =
+  (* Deliberately break the recovery path of a real run — restore a
+     crashed node's state but "forget" the Restart event, as a buggy
+     recovery that resumes work on a node the rest of the cluster still
+     believes dead — and check the linter refuses the trace. *)
+  let c = Cluster.create ~nodes:2 ~trace_events:true () in
+  let b = Cluster.new_bunch c ~home:0 in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1 |] in
+  Cluster.add_root c ~node:0 a;
+  let d = Persist.create_disk () in
+  ignore (Persist.checkpoint ~gc_roots:true c ~node:0 ~bunch:b d);
+  Cluster.crash_node c ~node:0;
+  (* Broken recovery: bring the net back up WITHOUT the Restart event,
+     then collect at the "dead" node. *)
+  Net.set_up (Cluster.net c) 0;
+  ignore (Persist.recover_node c ~node:0 [ d ]);
+  ignore (Cluster.bgc c ~node:0 ~bunch:b);
+  let vs = Lint.check_all (Cluster.proto c) in
+  check_bool "zombie-node activity flagged" true (has Lint.Dead_node_activity vs)
+
+let () =
+  Alcotest.run ~argv:argv_without_long "faults"
+    [
+      ( "soak",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d seeded fault soaks (%d ops each)" soak_seeds
+               ops_per_seed)
+            `Slow test_soak;
+        ] );
+      ( "lint-negative",
+        [
+          Alcotest.test_case "dead-node grant caught" `Quick
+            test_lint_catches_dead_node_grant;
+          Alcotest.test_case "dead-node GC and sends caught" `Quick
+            test_lint_catches_dead_node_gc_and_sends;
+          Alcotest.test_case "reliable duplicate handoff caught" `Quick
+            test_lint_catches_reliable_duplicate_handoff;
+          Alcotest.test_case "broken recovery caught end-to-end" `Quick
+            test_broken_recovery_is_caught_end_to_end;
+        ] );
+    ]

@@ -1,0 +1,328 @@
+(* The reliable-delivery layer of the network simulator: per-pair
+   acknowledgements, retransmission with exponential backoff, duplicate
+   suppression and reorder buffering (layered over the §6.1 transport —
+   the paper needs none of this for safety; the platform wants it for
+   liveness under sustained loss). *)
+
+open Bmx_util
+module Net = Bmx_netsim.Net
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let make ?(rto = 4) ?(rto_max = 64) ?(max_attempts = 20) kinds =
+  let stats = Stats.create_registry () in
+  let net : string Net.t = Net.create ~stats () in
+  Net.set_reliable net ~rto ~rto_max ~max_attempts kinds;
+  (net, stats)
+
+(* ------------------------------------------------- exactly-once basics *)
+
+let test_no_fault_exactly_once () =
+  let net, _ = make [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  List.iter
+    (fun p -> Net.send net ~src:0 ~dst:1 ~kind:Net.App_message p)
+    [ "a"; "b"; "c" ];
+  ignore (Net.drain net);
+  check (Alcotest.list Alcotest.string) "in order, once" [ "a"; "b"; "c" ]
+    (List.rev !seen);
+  check_int "all acked on delivery" 0 (Net.unacked_count net)
+
+let test_duplicate_suppressed () =
+  let net, stats = make [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.set_fault net ~kind:Net.App_message ~drop:0.0 ~dup:1.0 ~rng:(Rng.make 1);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "x";
+  ignore (Net.drain net);
+  check (Alcotest.list Alcotest.string) "handler saw it once" [ "x" ] !seen;
+  check_int "the injected copy was suppressed" 1
+    (Stats.get stats "net.rel.suppressed");
+  check_int "acked" 0 (Net.unacked_count net)
+
+let test_unreliable_dup_still_delivered_twice () =
+  (* Regression: kinds outside the reliable set keep the raw §6.1
+     semantics — an injected duplicate reaches the handler twice. *)
+  let net, _ = make [] in
+  let seen = ref 0 in
+  Net.set_handler net (fun _ -> incr seen);
+  Net.set_fault net ~kind:Net.Stub_table ~drop:0.0 ~dup:1.0 ~rng:(Rng.make 1);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "t";
+  ignore (Net.drain net);
+  check_int "raw transport delivers both copies" 2 !seen
+
+let test_drop_then_retransmit_repairs () =
+  let net, stats = make [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  (* First transmission lost... *)
+  Net.set_fault net ~kind:Net.App_message ~drop:1.0 ~dup:0.0 ~rng:(Rng.make 1);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "m1";
+  ignore (Net.drain net);
+  check (Alcotest.list Alcotest.string) "nothing arrived" [] !seen;
+  check_int "still unacked" 1 (Net.unacked_count net);
+  (* ...faults clear; the retransmission timer repairs the stream. *)
+  Net.clear_faults net;
+  ignore (Net.settle net);
+  check (Alcotest.list Alcotest.string) "repaired" [ "m1" ] !seen;
+  check_int "acked after repair" 0 (Net.unacked_count net);
+  check_bool "a retransmission happened" true
+    (Stats.get stats "net.retransmit.total" >= 1)
+
+let test_reorder_buffering_restores_fifo () =
+  (* m1's only transmission is lost while m2 gets through: the receiver
+     must hold m2 back (never hand it to the handler ahead of the gap)
+     until m1's retransmission lands. *)
+  let net, stats = make [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.set_fault net ~kind:Net.App_message ~drop:1.0 ~dup:0.0 ~rng:(Rng.make 1);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "m1";
+  Net.clear_faults net;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "m2";
+  ignore (Net.drain net);
+  check (Alcotest.list Alcotest.string) "m2 buffered behind the gap" [] !seen;
+  check_int "buffered" 1 (Stats.get stats "net.rel.buffered");
+  check_int "m1 unacked, m2 undeliverable hence unacked" 2
+    (Net.unacked_count net);
+  ignore (Net.settle net);
+  check (Alcotest.list Alcotest.string) "handed off in send order"
+    [ "m1"; "m2" ]
+    (List.rev !seen);
+  check_int "both acked" 0 (Net.unacked_count net)
+
+(* --------------------------------------------------- backoff and caps *)
+
+let test_backoff_doubles_and_caps () =
+  let net, stats = make ~rto:4 ~rto_max:32 ~max_attempts:8 [ Net.App_message ] in
+  Net.set_handler net (fun _ -> ());
+  (* Black-hole transmissions; watch when the timer fires. *)
+  Net.set_fault net ~kind:Net.App_message ~drop:1.0 ~dup:0.0 ~rng:(Rng.make 1);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "m";
+  let fire_times = ref [] in
+  for _ = 1 to 200 do
+    if Net.tick net > 0 then fire_times := Net.now net :: !fire_times
+  done;
+  let times = List.rev !fire_times in
+  let gaps =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (prev, acc) t -> (t, (t - prev) :: acc))
+            (0, []) times))
+  in
+  (* attempt 1 is the original send; retransmissions fire after 4, then
+     8, 16, 32, and stay capped at 32. *)
+  check (Alcotest.list Alcotest.int) "exponential backoff, capped"
+    [ 4; 8; 16; 32; 32; 32; 32 ]
+    gaps;
+  check_int "abandoned after max_attempts" 1
+    (Stats.get stats "net.rel.abandoned");
+  check_int "no longer tracked" 0 (Net.unacked_count net);
+  (* Quiet after abandonment: no further retransmissions ever. *)
+  let more = ref 0 in
+  for _ = 1 to 100 do
+    more := !more + Net.tick net
+  done;
+  check_int "silent after abandonment" 0 !more
+
+(* ------------------------------------------------------- fault mixing *)
+
+let test_drop_and_dup_same_kind_semantics () =
+  (* Regression pinning Net.set_fault's documented dice order on one
+     kind: the drop die rolls first, only kept messages roll the dup die
+     — a message is never both dropped and duplicated, so over the raw
+     transport [delivered = kept + duplicated] exactly. *)
+  let net, stats = make [] in
+  let seen = ref 0 in
+  Net.set_handler net (fun _ -> incr seen);
+  Net.set_fault net ~kind:Net.Stub_table ~drop:0.4 ~dup:0.5 ~rng:(Rng.make 99);
+  let n = 500 in
+  for i = 1 to n do
+    Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table (string_of_int i)
+  done;
+  ignore (Net.drain net);
+  let dropped = Stats.get stats "net.dropped.stub_table" in
+  let duplicated = Stats.get stats "net.duplicated.stub_table" in
+  check_bool "some dropped" true (dropped > 0);
+  check_bool "some duplicated" true (duplicated > 0);
+  check_int "delivered = kept + duplicated" ((n - dropped) + duplicated) !seen;
+  (* Drops consume sequence numbers: the stream's clock ran to n. *)
+  check_int "seq consumed by drops too" n (Net.current_seq net ~src:0 ~dst:1)
+
+let test_exactly_once_under_heavy_loss_and_dup () =
+  (* The headline property, deterministic per seed: whatever drop+dup do
+     to individual transmissions of a reliable kind, each message is
+     handed off exactly once, in per-pair send order. *)
+  List.iter
+    (fun seed ->
+      let net, _ = make ~rto:2 ~rto_max:8 ~max_attempts:64 [ Net.App_message ] in
+      let seen = Hashtbl.create 16 in
+      let order = ref [] in
+      Net.set_handler net (fun env ->
+          Hashtbl.replace seen env.Net.payload
+            (1
+            + Option.value ~default:0 (Hashtbl.find_opt seen env.Net.payload));
+          order := (env.Net.src, env.Net.dst, env.Net.payload) :: !order);
+      Net.set_fault net ~kind:Net.App_message ~drop:0.4 ~dup:0.4
+        ~rng:(Rng.make seed);
+      let n = 40 in
+      for i = 1 to n do
+        Net.send net ~src:0 ~dst:1 ~kind:Net.App_message ("a" ^ string_of_int i);
+        Net.send net ~src:2 ~dst:1 ~kind:Net.App_message ("b" ^ string_of_int i)
+      done;
+      (* Let the timers grind through the loss while it lasts... *)
+      for _ = 1 to 50 do
+        ignore (Net.tick net);
+        ignore (Net.drain net)
+      done;
+      (* ...then the network heals. *)
+      Net.clear_faults net;
+      ignore (Net.settle net);
+      check_int
+        (Printf.sprintf "seed %d: all messages delivered" seed)
+        (2 * n) (Hashtbl.length seen);
+      Hashtbl.iter
+        (fun p c ->
+          check_int (Printf.sprintf "seed %d: %s exactly once" seed p) 1 c)
+        seen;
+      (* Per-pair FIFO at the handler. *)
+      let stream src =
+        List.rev !order
+        |> List.filter (fun (s, _, _) -> s = src)
+        |> List.map (fun (_, _, p) -> p)
+      in
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "seed %d: stream 0->1 in order" seed)
+        (List.init n (fun i -> "a" ^ string_of_int (i + 1)))
+        (stream 0);
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "seed %d: stream 2->1 in order" seed)
+        (List.init n (fun i -> "b" ^ string_of_int (i + 1)))
+        (stream 2);
+      check_int (Printf.sprintf "seed %d: nothing left" seed) 0
+        (Net.unacked_count net))
+    [ 1; 7; 42; 1234; 9001 ]
+
+(* A property-based restatement: random fault rates, random message
+   counts — exactly-once in-order always holds once the network heals. *)
+let prop_exactly_once =
+  QCheck.Test.make ~count:60 ~name:"reliable delivery is exactly-once in-order"
+    QCheck.(
+      triple (int_bound 30)
+        (pair (float_bound_inclusive 0.6) (float_bound_inclusive 0.6))
+        small_int)
+    (fun (n, (drop, dup), seed) ->
+      let n = n + 1 in
+      let net, _ = make ~rto:2 ~rto_max:8 ~max_attempts:64 [ Net.App_message ] in
+      let seen = ref [] in
+      Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+      Net.set_fault net ~kind:Net.App_message ~drop ~dup ~rng:(Rng.make seed);
+      for i = 1 to n do
+        Net.send net ~src:0 ~dst:1 ~kind:Net.App_message (string_of_int i)
+      done;
+      for _ = 1 to 30 do
+        ignore (Net.tick net);
+        ignore (Net.drain net)
+      done;
+      Net.clear_faults net;
+      ignore (Net.settle net);
+      List.rev !seen = List.init n (fun i -> string_of_int (i + 1))
+      && Net.unacked_count net = 0)
+
+(* --------------------------------------------------- crash interaction *)
+
+let test_crash_purges_and_stream_resumes () =
+  let net, stats = make [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "before";
+  ignore (Net.drain net);
+  (* Two messages in flight when the receiver dies. *)
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "in-flight-1";
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "in-flight-2";
+  Net.set_down net 1;
+  check_int "in-flight copies purged" 2
+    (Stats.get stats "net.crash.purged_in_flight");
+  check_bool "down" true (Net.is_down net 1);
+  (* Retransmissions while down evaporate at the dead host. *)
+  ignore (Net.tick ~dt:4 net);
+  ignore (Net.drain net);
+  check (Alcotest.list Alcotest.string) "nothing delivered while down"
+    [ "before" ] (List.rev !seen);
+  (* The node returns; the sender's buffer repairs the stream in order,
+     exactly once. *)
+  Net.set_up net 1;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "after";
+  ignore (Net.settle net);
+  check (Alcotest.list Alcotest.string) "stream resumed gap-free"
+    [ "before"; "in-flight-1"; "in-flight-2"; "after" ]
+    (List.rev !seen);
+  check_int "all acked" 0 (Net.unacked_count net)
+
+let test_sender_crash_loses_unacked () =
+  (* The sender dies with messages unacknowledged: its retransmission
+     buffer is volatile and dies too — the receiver simply sees a gapless
+     prefix (the §6.1 contract never promises more than FIFO). *)
+  let net, stats = make [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "m1";
+  ignore (Net.drain net);
+  Net.set_fault net ~kind:Net.App_message ~drop:1.0 ~dup:0.0 ~rng:(Rng.make 1);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "m2";
+  Net.clear_faults net;
+  Net.set_down net 0;
+  check_int "unacked buffer died with the sender" 1
+    (Stats.get stats "net.crash.lost_unacked");
+  Net.set_up net 0;
+  (* The restarted sender opens a fresh conversation; delivery works. *)
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "m3";
+  ignore (Net.settle net);
+  check (Alcotest.list Alcotest.string) "prefix + post-restart traffic"
+    [ "m1"; "m3" ]
+    (List.rev !seen);
+  check_int "nothing pending" 0 (Net.unacked_count net)
+
+let () =
+  Alcotest.run "reliable"
+    [
+      ( "exactly-once",
+        [
+          Alcotest.test_case "no faults: in-order, once" `Quick
+            test_no_fault_exactly_once;
+          Alcotest.test_case "duplicate suppressed" `Quick
+            test_duplicate_suppressed;
+          Alcotest.test_case "unreliable kinds keep raw dup semantics" `Quick
+            test_unreliable_dup_still_delivered_twice;
+          Alcotest.test_case "drop repaired by retransmission" `Quick
+            test_drop_then_retransmit_repairs;
+          Alcotest.test_case "reorder buffering restores FIFO" `Quick
+            test_reorder_buffering_restores_fifo;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "doubles, caps, abandons" `Quick
+            test_backoff_doubles_and_caps;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop+dup on one kind: dice order pinned" `Quick
+            test_drop_and_dup_same_kind_semantics;
+          Alcotest.test_case "exactly-once under heavy loss+dup" `Quick
+            test_exactly_once_under_heavy_loss_and_dup;
+          QCheck_alcotest.to_alcotest prop_exactly_once;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "receiver crash: purge, evaporate, resume" `Quick
+            test_crash_purges_and_stream_resumes;
+          Alcotest.test_case "sender crash loses unacked buffer" `Quick
+            test_sender_crash_loses_unacked;
+        ] );
+    ]
