@@ -766,9 +766,85 @@ let e18 () =
     [ 2; 4; 8 ];
   [ t ]
 
+(* ----------------------------------------------------------------- E19 *)
+
+let e19 () =
+  let t =
+    Table.create
+      ~title:
+        "E19 (§6): virtual-time latency — token-acquire and GC-pause \
+         percentiles from the span layer (µsteps; as printed by 'bmxctl \
+         report')"
+      ~columns:[ "span"; "n"; "p50"; "p90"; "p99"; "max" ]
+  in
+  let cfg =
+    {
+      Driver.default with
+      nodes = 4;
+      bunches = 4;
+      objects_per_bunch = 48;
+      ops = 1500;
+      seed = 11;
+    }
+  in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  Cluster.set_event_trace c true;
+  Driver.run_ops d ();
+  ignore (Cluster.collect_until_quiescent c ());
+  ignore (Cluster.settle c);
+  let report =
+    Bmx_obs.Report.of_events
+      ~metrics:(Cluster.metrics c)
+      (Bmx_util.Trace_event.timed_events (Cluster.evlog c))
+  in
+  let families = [ "token_acquire.read"; "token_acquire.write"; "gc.pause" ] in
+  let json_rows =
+    List.filter_map
+      (fun fam ->
+        match Bmx_obs.Report.latency report fam with
+        | None ->
+            Table.add_row t [ fam; "0"; "-"; "-"; "-"; "-" ];
+            None
+        | Some s ->
+            let f v = Printf.sprintf "%.0f" v in
+            Table.add_row t
+              [
+                fam;
+                string_of_int s.Bmx_obs.Metrics.s_count;
+                f s.Bmx_obs.Metrics.s_p50;
+                f s.Bmx_obs.Metrics.s_p90;
+                f s.Bmx_obs.Metrics.s_p99;
+                f s.Bmx_obs.Metrics.s_max;
+              ];
+            Some
+              ( fam,
+                Bmx_obs.Json.Obj
+                  [
+                    ("n", Bmx_obs.Json.Int s.Bmx_obs.Metrics.s_count);
+                    ("p50", Bmx_obs.Json.Float s.Bmx_obs.Metrics.s_p50);
+                    ("p90", Bmx_obs.Json.Float s.Bmx_obs.Metrics.s_p90);
+                    ("p99", Bmx_obs.Json.Float s.Bmx_obs.Metrics.s_p99);
+                    ("max", Bmx_obs.Json.Float s.Bmx_obs.Metrics.s_max);
+                  ] ))
+      families
+  in
+  (* Machine-readable line for the perf-trajectory scraper. *)
+  Printf.printf "BENCH %s\n"
+    (Bmx_obs.Json.to_string
+       (Bmx_obs.Json.Obj
+          [
+            ("experiment", Bmx_obs.Json.String "e19");
+            ("unit", Bmx_obs.Json.String "virtual_usteps");
+            ( "gc_token_acquires",
+              Bmx_obs.Json.Int (Bmx_obs.Report.gc_token_acquires report) );
+            ("latency", Bmx_obs.Json.Obj json_rows);
+          ]));
+  [ t ]
+
 let all () =
   List.concat
     [
       e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
-      e13 (); e14 (); e15 (); e16 (); e17 (); e18 ();
+      e13 (); e14 (); e15 (); e16 (); e17 (); e18 (); e19 ();
     ]

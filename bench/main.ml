@@ -1,6 +1,6 @@
 (* Experiment harness entry point.
 
-   `dune exec bench/main.exe` prints every experiment table (E1-E13);
+   `dune exec bench/main.exe` prints every experiment table (E1-E19);
    `dune exec bench/main.exe -- e5` prints one; `-- micro` runs the
    Bechamel micro-benchmarks (E11/E12). *)
 
@@ -22,6 +22,7 @@ let experiments =
     ("e16", Experiments.e16);
     ("e17", Experiments.e17);
     ("e18", Experiments.e18);
+    ("e19", Experiments.e19);
     ("micro", Micro.run);
   ]
 

@@ -6,7 +6,8 @@
      bmxctl stats [options]                  workload + full counter dump
      bmxctl oo7 [options]                    OO7-style design-database run
      bmxctl check [--trace FILE] [options]   lint a trace for invariant violations
-     bmxctl explore [--depth N] SCENARIO     explore delivery schedules *)
+     bmxctl explore [--depth N] SCENARIO     explore delivery schedules
+     bmxctl report [options]                 metrics + latency report, Perfetto export *)
 
 open Cmdliner
 open Bmx_util
@@ -108,6 +109,17 @@ let kind_of_string = function
   | "app_message" -> Some Bmx_netsim.Net.App_message
   | _ -> None
 
+let parse_fault_kinds fault_kinds =
+  List.filter_map
+    (fun s ->
+      let s = String.trim s in
+      if s = "" then None
+      else
+        match kind_of_string s with
+        | Some k -> Some k
+        | None -> failwith (Printf.sprintf "unknown message kind %S" s))
+    (String.split_on_char ',' fault_kinds)
+
 let run_workload nodes bunches objects ops seed mode collect ggc dump trace
     emit_trace drop dup fault_kinds crashes =
   let cfg =
@@ -126,17 +138,7 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
   let net = Cluster.net c in
   if trace then Bmx_util.Tracelog.set_enabled (Cluster.tracer c) true;
   if emit_trace <> None then Cluster.set_event_trace c true;
-  let kinds =
-    List.filter_map
-      (fun s ->
-        let s = String.trim s in
-        if s = "" then None
-        else
-          match kind_of_string s with
-          | Some k -> Some k
-          | None -> failwith (Printf.sprintf "unknown message kind %S" s))
-      (String.split_on_char ',' fault_kinds)
-  in
+  let kinds = parse_fault_kinds fault_kinds in
   if drop > 0. || dup > 0. then
     List.iteri
       (fun i k ->
@@ -468,6 +470,150 @@ let check_cmd =
         (const run_check $ trace_file $ nodes $ bunches $ objects $ ops $ seed
        $ mode))
 
+(* --------------------------------------------------------------- report *)
+
+let run_report nodes bunches objects ops seed mode ggc drop dup fault_kinds
+    perfetto selfcheck =
+  let cfg =
+    {
+      Driver.default with
+      nodes;
+      bunches;
+      objects_per_bunch = objects;
+      ops;
+      seed;
+      mode;
+    }
+  in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  Cluster.set_event_trace c true;
+  let net = Cluster.net c in
+  if drop > 0. || dup > 0. then
+    List.iteri
+      (fun i k ->
+        Bmx_netsim.Net.set_fault net ~kind:k ~drop ~dup
+          ~rng:(Rng.make (seed + 101 + i)))
+      (parse_fault_kinds fault_kinds);
+  Driver.run_ops d ();
+  if drop > 0. || dup > 0. then Bmx_netsim.Net.clear_faults net;
+  ignore (Cluster.collect_until_quiescent c ());
+  if ggc then
+    List.iter (fun node -> ignore (Cluster.ggc c ~node)) (Cluster.nodes c);
+  (* Flush the reliable streams so message-flight spans close. *)
+  ignore (Cluster.settle c);
+  let report =
+    Bmx_obs.Report.of_events
+      ~metrics:(Cluster.metrics c)
+      (Bmx_util.Trace_event.timed_events (Cluster.evlog c))
+  in
+  Printf.printf "report: %d nodes, %d bunches, %d objects, %d ops (seed %d)\n\n"
+    nodes bunches (bunches * objects) ops seed;
+  print_string (Bmx_obs.Report.to_text report);
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (match perfetto with
+  | None -> ()
+  | Some file ->
+      let spans = Bmx_obs.Report.spans report in
+      Bmx_obs.Perfetto.write_file file spans;
+      Printf.printf "perfetto: %d span(s) written to %s\n" (List.length spans)
+        file;
+      if selfcheck then begin
+        let ic = open_in file in
+        let body = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Bmx_obs.Json.parse body with
+        | Error m -> fail "perfetto JSON does not parse: %s" m
+        | Ok j -> (
+            match Bmx_obs.Json.member "traceEvents" j with
+            | Some (Bmx_obs.Json.List evs) ->
+                Printf.printf "selfcheck: perfetto JSON ok (%d trace events)\n"
+                  (List.length evs)
+            | _ -> fail "perfetto JSON lacks a traceEvents array")
+      end);
+  if selfcheck then begin
+    if Bmx_util.Trace_event.overflowed (Cluster.evlog c) then
+      fail "event log overflowed: report is incomplete";
+    (match Bmx_obs.Report.latency report "token_acquire.read" with
+    | Some s when s.Bmx_obs.Metrics.s_count > 0 -> ()
+    | _ -> fail "no token-acquire latency samples");
+    (match Bmx_obs.Report.latency report "gc.pause" with
+    | Some s when s.Bmx_obs.Metrics.s_count > 0 -> ()
+    | _ -> fail "no GC-pause latency samples")
+  end;
+  if not (Bmx_obs.Report.ok report) then
+    fail "gc.token_acquires = %d (non-interference violated)"
+      (Bmx_obs.Report.gc_token_acquires report);
+  match List.rev !failures with
+  | [] -> `Ok ()
+  | fs ->
+      List.iter (Printf.eprintf "report: FAIL: %s\n") fs;
+      exit 1
+
+let report_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~doc:"Cluster size") in
+  let bunches = Arg.(value & opt int 4 & info [ "bunches"; "b" ] ~doc:"Bunch count") in
+  let objects =
+    Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Objects per bunch")
+  in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"Mutator operations") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed") in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Bmx_dsm.Protocol.Distributed
+      & info [ "mode" ] ~doc:"Copy-set mode: distributed or centralized")
+  in
+  let ggc = Arg.(value & flag & info [ "ggc" ] ~doc:"Run a GGC at every node") in
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop" ]
+          ~doc:"Drop probability for the faulted message kinds (0.0-1.0)")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.
+      & info [ "dup" ]
+          ~doc:"Duplication probability for the faulted message kinds")
+  in
+  let fault_kinds =
+    Arg.(
+      value
+      & opt string "stub_table,scion_message,addr_update"
+      & info [ "fault-kinds" ] ~docv:"CSV"
+          ~doc:"Comma-separated message kinds the drop/dup dice apply to")
+  in
+  let perfetto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write the span timeline as Chrome-trace-event JSON (load at \
+             ui.perfetto.dev)")
+  in
+  let selfcheck =
+    Arg.(
+      value & flag
+      & info [ "selfcheck" ]
+          ~doc:
+            "Re-parse the Perfetto JSON and require latency samples; exit 1 \
+             on any failure (used by the @report smoke alias)")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a workload with the event trace on and print the observability \
+          report: typed metrics, virtual-time latency percentiles \
+          (token-acquire, GC pause) and the gc.token_acquires \
+          non-interference verdict")
+    Term.(
+      ret
+        (const run_report $ nodes $ bunches $ objects $ ops $ seed $ mode $ ggc
+       $ drop $ dup $ fault_kinds $ perfetto $ selfcheck))
+
 (* -------------------------------------------------------------- explore *)
 
 let run_explore list_scenarios depth max_schedules name =
@@ -538,6 +684,14 @@ let main =
        ~doc:
          "Drive the BMX platform simulator (Ferreira & Shapiro, OSDI '94 \
           reproduction)")
-    [ scenario_cmd; workload_cmd; stats_cmd; oo7_cmd; check_cmd; explore_cmd ]
+    [
+      scenario_cmd;
+      workload_cmd;
+      stats_cmd;
+      oo7_cmd;
+      check_cmd;
+      explore_cmd;
+      report_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

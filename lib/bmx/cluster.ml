@@ -16,6 +16,7 @@ type t = {
   gc : Gc_state.t;
   net : (int -> unit) Net.t;
   stats : Stats.registry;
+  obs : Bmx_obs.Metrics.t;
   rng : Rng.t;
   mutable next_node : int;
   mutable next_bunch : int;
@@ -38,11 +39,27 @@ let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) ?(trace_events = false
   let proto = Protocol.create ~net ~registry ?mode ?update_policy () in
   Net.set_evlog net (Protocol.evlog proto);
   Trace_event.set_enabled (Protocol.evlog proto) trace_events;
+  (* Event timestamps are anchored to the network's virtual clock so span
+     durations line up with retransmission timers. *)
+  Trace_event.set_clock (Protocol.evlog proto) (fun () -> Net.now net);
   let gc = Gc_state.create ~proto in
   Invariants.install gc;
+  let obs = Bmx_obs.Metrics.create () in
+  Net.set_metrics net obs;
+  Protocol.set_metrics proto obs;
+  Gc_state.set_metrics gc obs;
   Net.set_handler net (fun env -> env.Net.payload env.Net.seq);
   let t =
-    { proto; gc; net; stats; rng = Rng.make seed; next_node = 0; next_bunch = 0 }
+    {
+      proto;
+      gc;
+      net;
+      stats;
+      obs;
+      rng = Rng.make seed;
+      next_node = 0;
+      next_bunch = 0;
+    }
   in
   for _ = 1 to nodes do
     Protocol.add_node proto t.next_node;
@@ -54,6 +71,7 @@ let proto t = t.proto
 let gc t = t.gc
 let net t = t.net
 let stats t = t.stats
+let metrics t = t.obs
 let tracer t = Protocol.tracer t.proto
 let evlog t = Protocol.evlog t.proto
 let set_event_trace t b = Trace_event.set_enabled (Protocol.evlog t.proto) b

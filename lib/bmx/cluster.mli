@@ -40,6 +40,12 @@ val gc : t -> Bmx_gc.Gc_state.t
 val net : t -> (int -> unit) Bmx_netsim.Net.t
 val stats : t -> Bmx_util.Stats.registry
 
+val metrics : t -> Bmx_obs.Metrics.t
+(** The typed metrics registry every subsystem is wired to at creation:
+    network occupancy gauges ({!Bmx_netsim.Net.set_metrics}), DSM
+    copyset/grant histograms ({!Bmx_dsm.Protocol.set_metrics}) and
+    per-node GC occupancy gauges ({!Bmx_gc.Gc_state.set_metrics}). *)
+
 val tracer : t -> Bmx_util.Tracelog.t
 (** The shared structured event trace (disabled by default); enable with
     {!Bmx_util.Tracelog.set_enabled} to record token grants, ownership

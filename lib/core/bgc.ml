@@ -1,4 +1,7 @@
-let run t ~node ~bunch = Collect.run t ~node ~bunches:[ bunch ] ~group_mode:false ()
+let run t ~node ~bunch =
+  let r = Collect.run t ~node ~bunches:[ bunch ] ~group_mode:false () in
+  Gc_state.sample_node_gauges t ~node;
+  r
 
 let run_all_replicas t ~bunch =
   let proto = Gc_state.proto t in

@@ -493,14 +493,13 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
       Store.set_active_segment store ~bunch seg)
     to_spaces;
 
-  let report_trace = Gc_state.proto t |> Protocol.tracer in
-  if Bmx_util.Tracelog.enabled report_trace then
-    Bmx_util.Tracelog.recordf report_trace ~category:"gc"
-      "%s N%d %s: live=%d copied=%d reclaimed=%d"
-      (if group_mode then "GGC" else "BGC")
-      node
-      (String.concat "," (List.map Ids.Bunch.to_string bunches))
-      (Ids.Uid_tbl.length live) !copied !reclaimed;
+  Bmx_util.Tracelog.recordf
+    (Gc_state.proto t |> Protocol.tracer)
+    ~category:"gc" "%s N%d %s: live=%d copied=%d reclaimed=%d"
+    (if group_mode then "GGC" else "BGC")
+    node
+    (String.concat "," (List.map Ids.Bunch.to_string bunches))
+    (Ids.Uid_tbl.length live) !copied !reclaimed;
   if Trace_event.enabled evlog then
     Trace_event.record evlog
       (Trace_event.Gc_end

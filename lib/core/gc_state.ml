@@ -11,11 +11,17 @@ type node_state = {
   last_dests : Ids.Node.t list ref Ids.Bunch_tbl.t;
 }
 
-type t = { proto : Bmx_dsm.Protocol.t; per_node : node_state Ids.Node_tbl.t }
+type t = {
+  proto : Bmx_dsm.Protocol.t;
+  per_node : node_state Ids.Node_tbl.t;
+  mutable obs : Bmx_obs.Metrics.t option;
+}
 
-let create ~proto = { proto; per_node = Ids.Node_tbl.create 8 }
+let create ~proto = { proto; per_node = Ids.Node_tbl.create 8; obs = None }
 let proto t = t.proto
 let stats t = Bmx_dsm.Protocol.stats t.proto
+let set_metrics t m = t.obs <- Some m
+let metrics t = t.obs
 
 let node_state t node =
   match Ids.Node_tbl.find_opt t.per_node node with
@@ -132,6 +138,33 @@ let bunches_with_tables t ~node =
     (collect ns.inter_stubs
        (collect ns.intra_stubs
           (collect ns.inter_scions (collect ns.intra_scions Ids.Bunch_set.empty))))
+
+let tbl_total tbl = Ids.Bunch_tbl.fold (fun _ r acc -> acc + List.length !r) tbl 0
+
+let sample_ssp_gauges t ~node =
+  match t.obs with
+  | None -> ()
+  | Some m ->
+      let ns = node_state t node in
+      let set name v = Bmx_obs.Metrics.set_gauge m ~node name v in
+      set "gc.stubs.inter" (tbl_total ns.inter_stubs);
+      set "gc.stubs.intra" (tbl_total ns.intra_stubs);
+      set "gc.scion_table.inter" (tbl_total ns.inter_scions);
+      set "gc.scion_table.intra" (tbl_total ns.intra_scions)
+
+let sample_node_gauges t ~node =
+  match t.obs with
+  | None -> ()
+  | Some m ->
+      let store = Bmx_dsm.Protocol.store t.proto node in
+      let module Store = Bmx_memory.Store in
+      let set name v = Bmx_obs.Metrics.set_gauge m ~node name v in
+      set "gc.heap.objects" (Store.object_count store);
+      set "gc.heap.segments"
+        (List.fold_left
+           (fun acc b -> acc + List.length (Store.segments_of_bunch store b))
+           0 (Store.mapped_bunches store));
+      sample_ssp_gauges t ~node
 
 let pp_node t ppf node =
   let ns = node_state t node in

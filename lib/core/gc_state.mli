@@ -13,6 +13,20 @@ val create : proto:Bmx_dsm.Protocol.t -> t
 val proto : t -> Bmx_dsm.Protocol.t
 val stats : t -> Bmx_util.Stats.registry
 
+val set_metrics : t -> Bmx_obs.Metrics.t -> unit
+(** Attach a metrics registry for the occupancy gauges below. *)
+
+val metrics : t -> Bmx_obs.Metrics.t option
+
+val sample_node_gauges : t -> node:Bmx_util.Ids.Node.t -> unit
+(** Refresh the per-node occupancy gauges after a collection:
+    [gc.heap.objects], [gc.heap.segments], [gc.stubs.inter/intra] and
+    [gc.scion_table.inter/intra].  No-op without {!set_metrics}. *)
+
+val sample_ssp_gauges : t -> node:Bmx_util.Ids.Node.t -> unit
+(** Refresh just the stub/scion-table gauges (the cleaner calls this
+    after pruning tables outside any collection). *)
+
 val node_state : t -> Bmx_util.Ids.Node.t -> node_state
 (** Created lazily per node. *)
 

@@ -6,4 +6,6 @@ let group t ~node =
 
 let run t ~node ?bunches () =
   let bunches = match bunches with Some bs -> bs | None -> group t ~node in
-  Collect.run t ~node ~bunches ~group_mode:true ()
+  let r = Collect.run t ~node ~bunches ~group_mode:true () in
+  Gc_state.sample_node_gauges t ~node;
+  r

@@ -44,11 +44,10 @@ let receive t ~at ~seq msg =
     Gc_state.record_table_seq t ~node:at ~sender:msg.tm_sender ~bunch:msg.tm_bunch
       ~seq;
     bump t "gc.cleaner.processed";
-    (let tr = Protocol.tracer (Gc_state.proto t) in
-     if Bmx_util.Tracelog.enabled tr then
-       Bmx_util.Tracelog.recordf tr ~category:"cleaner"
-         "N%d processed tables from N%d for B%d (seq %d)" at msg.tm_sender
-         msg.tm_bunch seq);
+    Bmx_util.Tracelog.recordf
+      (Protocol.tracer (Gc_state.proto t))
+      ~category:"cleaner" "N%d processed tables from N%d for B%d (seq %d)" at
+      msg.tm_sender msg.tm_bunch seq;
     let proto = Gc_state.proto t in
     (* Inter-bunch scions held here whose stub lived in the sender's copy
        of the bunch: drop those the new stub table no longer covers. *)
@@ -115,7 +114,8 @@ let receive t ~at ~seq msg =
       (Directory.entering_uids dir);
     List.iter
       (fun uid -> Directory.add_entering dir ~seq ~uid ~from:msg.tm_sender)
-      claimed
+      claimed;
+    Gc_state.sample_ssp_gauges t ~node:at
   end
 
 let destinations t ~node ~bunch ~old_inter ~new_inter ~old_intra ~new_intra

@@ -31,6 +31,7 @@ type t = {
   addr_oracle : (Addr.t, Ids.Uid.t) Hashtbl.t;
   tracer : Tracelog.t;
   evlog : Trace_event.log;
+  mutable obs : Bmx_obs.Metrics.t option;
 }
 
 let create ~net ~registry ?(mode = Distributed) ?(update_policy = Lazy) () =
@@ -47,11 +48,32 @@ let create ~net ~registry ?(mode = Distributed) ?(update_policy = Lazy) () =
     addr_oracle = Hashtbl.create 1024;
     tracer = (let tr = Tracelog.create () in Tracelog.set_enabled tr false; tr);
     evlog = Trace_event.create_log ();
+    obs = None;
   }
 
 let set_hooks t hooks = t.hooks <- hooks
 let tracer t = t.tracer
 let evlog t = t.evlog
+
+let set_metrics t m =
+  t.obs <- Some m;
+  Bmx_obs.Metrics.gauge_fn m "dsm.oracle.entries" (fun () ->
+      Hashtbl.length t.addr_oracle);
+  (* Largest copyset across every directory — how widely the most shared
+     object has spread (§2.2). *)
+  Bmx_obs.Metrics.gauge_fn m "dsm.copyset.max" (fun () ->
+      Ids.Node_tbl.fold
+        (fun _node dir acc ->
+          List.fold_left
+            (fun acc r ->
+              Stdlib.max acc (Ids.Node_set.cardinal r.Directory.copyset))
+            acc (Directory.records dir))
+        t.dirs 0)
+
+let obs_observe t ?node name v =
+  match t.obs with
+  | None -> ()
+  | Some m -> Bmx_obs.Metrics.observe m ?node name (float_of_int v)
 
 let ev t e = if Trace_event.enabled t.evlog then Trace_event.record t.evlog e
 
@@ -388,9 +410,7 @@ let rec invalidate_subtree t ~actor ~skip node uid =
           if not (Ids.Node.equal peer node) then begin
             Net.record_rpc t.net ~src:node ~dst:peer ~kind:Net.Invalidate ();
             ev t (Trace_event.Invalidate { src = node; dst = peer; uid });
-            if Tracelog.enabled t.tracer then
-              trace t "dsm" "invalidate %s at N%d (from N%d)"
-                (Ids.Uid.to_string uid) peer node;
+            trace t "dsm" "invalidate u%d at N%d (from N%d)" uid peer node;
             bump t (actor_prefix actor ^ ".invalidations");
             invalidate_subtree t ~actor ~skip peer uid
           end)
@@ -490,6 +510,8 @@ let acquire t ?(actor = App) ~node:n addr kind =
         if g_rec.Directory.state <> Directory.Read then
           failwith "Protocol.acquire: granter has no valid copy";
         g_rec.Directory.copyset <- Ids.Node_set.add n g_rec.Directory.copyset;
+        obs_observe t ~node:granter "dsm.copyset.size"
+          (Ids.Node_set.cardinal g_rec.Directory.copyset);
         Directory.add_entering g_dir
           ~seq:(Net.current_seq t.net ~src:n ~dst:granter)
           ~uid ~from:n;
@@ -514,12 +536,12 @@ let acquire t ?(actor = App) ~node:n addr kind =
                tok = Trace_event.Read;
                updates = List.length updates;
              });
+        obs_observe t ~node:granter "dsm.grant.updates" (List.length updates);
         if updates <> [] then
           Net.record_piggyback t.net ~kind:Net.Token_grant
             ~bytes:(List.length updates * update_bytes);
-        if Tracelog.enabled t.tracer then
-          trace t "dsm" "read grant %s: N%d -> N%d (%d updates)"
-            (Ids.Uid.to_string uid) granter n (List.length updates);
+        trace t "dsm" "read grant u%d: N%d -> N%d (%d updates)" uid granter n
+          (List.length updates);
         let r_n =
           Directory.ensure d_n ~uid
             ~prob_owner:
@@ -588,15 +610,15 @@ let acquire t ?(actor = App) ~node:n addr kind =
                  tok = Trace_event.Write;
                  updates = List.length updates;
                });
+          obs_observe t ~node:owner "dsm.grant.updates" (List.length updates);
           if updates <> [] then
             Net.record_piggyback t.net ~kind:Net.Token_grant
               ~bytes:(List.length updates * update_bytes);
           (* Ownership transfer: the old owner keeps an inconsistent copy
              (Figure 1: o3 marked "i" at N2) and its ownerPtr now exits
              towards the new owner. *)
-          if Tracelog.enabled t.tracer then
-            trace t "dsm" "ownership %s: N%d -> N%d (%d updates)"
-              (Ids.Uid.to_string uid) owner n (List.length updates);
+          trace t "dsm" "ownership u%d: N%d -> N%d (%d updates)" uid owner n
+            (List.length updates);
           o_rec.Directory.state <- Directory.Invalid;
           o_rec.Directory.is_owner <- false;
           o_rec.Directory.prob_owner <- n;
@@ -783,8 +805,7 @@ let adopt_ownership t ~node ~uid =
           Ids.Node_set.add n acc
         end)
       Ids.Node_set.empty (replica_nodes t uid);
-  if Tracelog.enabled t.tracer then
-    trace t "dsm" "ownership of %s adopted by N%d" (Ids.Uid.to_string uid) node
+  trace t "dsm" "ownership of u%d adopted by N%d" uid node
 
 let exiting_ownerptrs t ~node ~bunch =
   let s = store t node in

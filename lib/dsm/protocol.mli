@@ -67,6 +67,14 @@ val create :
 
 val set_hooks : t -> hooks -> unit
 
+val set_metrics : t -> Bmx_obs.Metrics.t -> unit
+(** Attach a metrics registry.  Registers callback gauges
+    [dsm.oracle.entries] (address-oracle size) and [dsm.copyset.max]
+    (widest copyset across all directories), and feeds the per-granter
+    histograms [dsm.copyset.size] (copyset cardinality after each read
+    grant) and [dsm.grant.updates] (piggybacked location updates per
+    grant, §4.4). *)
+
 val tracer : t -> Bmx_util.Tracelog.t
 (** The shared event trace; disabled by default (see
     {!Bmx_util.Tracelog.set_enabled}).  The protocol records token

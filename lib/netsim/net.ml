@@ -69,6 +69,7 @@ type 'p t = {
   faults : (kind, fault) Hashtbl.t;
   mutable handler : ('p envelope -> unit) option;
   mutable evlog : Trace_event.log option;
+  mutable obs : Bmx_obs.Metrics.t option;
   (* Reliable-delivery layer (opt-in per kind). *)
   reliable : (kind, unit) Hashtbl.t;
   mutable rto : int;
@@ -89,6 +90,7 @@ let create ~stats () =
     faults = Hashtbl.create 4;
     handler = None;
     evlog = None;
+    obs = None;
     reliable = Hashtbl.create 4;
     rto = 4;
     rto_max = 64;
@@ -266,7 +268,17 @@ let ack t ~src ~dst ~upto =
       let keep, acked = List.partition (fun u -> u.u_env.rel > upto) !r in
       if acked <> [] then begin
         r := keep;
-        Stats.incr t.stats ~by:(List.length acked) "net.rel.acked"
+        Stats.incr t.stats ~by:(List.length acked) "net.rel.acked";
+        match t.obs with
+        | None -> ()
+        | Some m ->
+            (* Transmissions it took to land each reliable message — the
+               retransmit-epoch cost in one histogram. *)
+            List.iter
+              (fun u ->
+                Bmx_obs.Metrics.observe m ~node:src "net.rel.attempts"
+                  (float_of_int u.u_attempts))
+              acked
       end
 
 let handoff t env =
@@ -394,6 +406,13 @@ let pending t = Queue.length t.queue
 
 let unacked_count t =
   Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.unacked_tbl 0
+
+let set_metrics t m =
+  t.obs <- Some m;
+  (* Occupancy levels read lazily at snapshot time — no hot-path cost. *)
+  Bmx_obs.Metrics.gauge_fn m "net.unacked_reliable" (fun () -> unacked_count t);
+  Bmx_obs.Metrics.gauge_fn m "net.pending" (fun () -> Queue.length t.queue);
+  Bmx_obs.Metrics.gauge_fn m "net.vclock" (fun () -> t.now)
 
 let tick ?(dt = 1) t =
   if dt <= 0 then invalid_arg "Net.tick: dt must be positive";

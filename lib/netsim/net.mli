@@ -66,6 +66,13 @@ val set_evlog : 'p t -> Bmx_util.Trace_event.log -> unit
     verify FIFO sequencing.  Synchronous [record_rpc] exchanges record a
     send and a delivery at once. *)
 
+val set_metrics : 'p t -> Bmx_obs.Metrics.t -> unit
+(** Attach a metrics registry.  Registers callback gauges
+    [net.unacked_reliable], [net.pending] and [net.vclock] (sampled at
+    snapshot time), and feeds the per-sender [net.rel.attempts]
+    histogram — transmissions per acknowledged reliable message — as
+    acks retire them. *)
+
 val send :
   'p t ->
   src:Bmx_util.Ids.Node.t ->

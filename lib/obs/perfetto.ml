@@ -1,0 +1,69 @@
+open Bmx_util
+
+let track_tid = function
+  | Span.Dsm -> 0
+  | Span.Gc -> 1
+  | Span.Net -> 2
+  | Span.Cleaner -> 3
+
+let metadata_events nodes =
+  List.concat_map
+    (fun node ->
+      Json.Obj
+        [
+          ("ph", Json.String "M");
+          ("pid", Json.Int node);
+          ("name", Json.String "process_name");
+          ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "node %d" node)) ]);
+        ]
+      :: List.map
+           (fun track ->
+             Json.Obj
+               [
+                 ("ph", Json.String "M");
+                 ("pid", Json.Int node);
+                 ("tid", Json.Int (track_tid track));
+                 ("name", Json.String "thread_name");
+                 ("args", Json.Obj [ ("name", Json.String (Span.track_name track)) ]);
+               ])
+           Span.all_tracks)
+    nodes
+
+let span_event (s : Span.t) =
+  let common =
+    [
+      ("pid", Json.Int s.Span.node);
+      ("tid", Json.Int (track_tid s.Span.track));
+      ("ts", Json.Int s.Span.ts);
+      ("name", Json.String s.Span.name);
+      ("cat", Json.String (Span.track_name s.Span.track));
+      ("args", Json.Obj s.Span.args);
+    ]
+  in
+  match s.Span.dur with
+  | Some d ->
+      Json.Obj (("ph", Json.String "X") :: common @ [ ("dur", Json.Int d) ])
+  | None ->
+      Json.Obj (("ph", Json.String "i") :: ("s", Json.String "t") :: common)
+
+let to_json spans =
+  let nodes =
+    List.fold_left
+      (fun acc (s : Span.t) -> Ids.Node_set.add s.Span.node acc)
+      Ids.Node_set.empty spans
+    |> Ids.Node_set.elements
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (metadata_events nodes @ List.map span_event spans) );
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string spans = Json.to_string (to_json spans)
+
+let write_file path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string spans))

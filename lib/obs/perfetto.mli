@@ -1,0 +1,15 @@
+(** Chrome-trace-event export of a span list (Perfetto-compatible).
+
+    One trace "process" per node (pid = node id, named via [process_name]
+    metadata), one "thread" per {!Span.track} (tid = track index, named
+    via [thread_name]).  Finished spans become complete events
+    ([ph = "X"], with [ts]/[dur] in virtual µsteps), instants become
+    thread-scoped instant events ([ph = "i"]).  Load the output at
+    ui.perfetto.dev or chrome://tracing. *)
+
+val to_json : Span.t list -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val to_string : Span.t list -> string
+
+val write_file : string -> Span.t list -> unit

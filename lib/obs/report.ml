@@ -1,0 +1,96 @@
+type t = {
+  spans : Span.t list;
+  snap : Metrics.snapshot;
+  gc_acquires : int;
+}
+
+let latency_family (s : Span.t) =
+  match s.Span.name with
+  | "acquire.read" ->
+      Some
+        (if s.Span.track = Span.Gc then "token_acquire.gc"
+         else "token_acquire.read")
+  | "acquire.write" ->
+      Some
+        (if s.Span.track = Span.Gc then "token_acquire.gc"
+         else "token_acquire.write")
+  | "gc.bgc" | "gc.ggc" -> Some "gc.pause"
+  | name when String.length name > 4 && String.sub name 0 4 = "msg." ->
+      Some ("msg." ^ String.sub name 4 (String.length name - 4))
+  | _ -> None
+
+let of_events ~metrics timed =
+  let spans = Span.of_events timed in
+  (* Created at zero so the non-interference number is in every report,
+     then bumped per GC-actor acquisition. *)
+  Metrics.incr metrics ~by:0 "gc.token_acquires";
+  List.iter
+    (fun (ev : Span.t) ->
+      (match ev.Span.name with
+      | "acquire.read" | "acquire.write" when ev.Span.track = Span.Gc ->
+          Metrics.incr metrics "gc.token_acquires"
+      | _ -> ());
+      match (latency_family ev, ev.Span.dur) with
+      | Some fam, Some d ->
+          Metrics.observe metrics ("latency." ^ fam) (float_of_int d)
+      | _ -> ())
+    spans;
+  let snap = Metrics.snapshot metrics in
+  {
+    spans;
+    snap;
+    gc_acquires =
+      (match Metrics.get snap "gc.token_acquires" with
+      | Some (Metrics.Counter c) -> c
+      | _ -> 0);
+  }
+
+let spans t = t.spans
+let snapshot t = t.snap
+let gc_token_acquires t = t.gc_acquires
+let ok t = t.gc_acquires = 0
+
+let latency t fam =
+  match Metrics.get t.snap ("latency." ^ fam) with
+  | Some (Metrics.Histogram s) -> Some s
+  | _ -> None
+
+let latency_rows t =
+  List.filter_map
+    (fun ((name, node), v) ->
+      match (node, v) with
+      | None, Metrics.Histogram s
+        when String.length name > 8 && String.sub name 0 8 = "latency." ->
+          Some (name, s)
+      | _ -> None)
+    t.snap
+
+let to_text t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "== metrics ==\n";
+  Buffer.add_string buf (Metrics.to_text t.snap);
+  Buffer.add_string buf "\n== latency (virtual usteps) ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-34s %8s %8s %8s %8s %8s\n" "span" "n" "p50" "p90" "p99"
+       "max");
+  List.iter
+    (fun (name, (s : Metrics.summary)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-34s %8d %8.0f %8.0f %8.0f %8.0f\n" name s.s_count
+           s.s_p50 s.s_p90 s.s_p99 s.s_max))
+    (latency_rows t);
+  Buffer.add_string buf
+    (Printf.sprintf "\nnon-interference: gc.token_acquires = %d%s\n"
+       t.gc_acquires
+       (if ok t then " (OK: GC never blocked on the consistency protocol)"
+        else " (VIOLATION: the GC acquired tokens)"));
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ("metrics", Metrics.to_json t.snap);
+      ("spans", Json.Int (List.length t.spans));
+      ("gc_token_acquires", Json.Int t.gc_acquires);
+      ("ok", Json.Bool (ok t));
+    ]

@@ -1,0 +1,37 @@
+(** End-of-run observability report.
+
+    Combines a metrics registry snapshot with latency histograms derived
+    from the span layer: every finished span feeds a
+    [latency.<family>] histogram ([latency.token_acquire.read],
+    [latency.token_acquire.write], [latency.gc.pause],
+    [latency.msg.<kind>]), in virtual µsteps.
+
+    The paper's non-interference claim (§5) is surfaced as the
+    [gc.token_acquires] counter — the number of token acquisitions
+    performed by the GC actor.  It must read 0; {!ok} says whether it
+    does. *)
+
+open Bmx_util
+
+type t
+
+val of_events : metrics:Metrics.t -> (int * Trace_event.t) list -> t
+(** Derives spans from the timed trace, folds their durations into
+    latency histograms {e inside [metrics]}, then snapshots it.  The
+    [gc.token_acquires] counter is created (at zero) if no GC-actor
+    acquire was ever recorded, so it appears in every report. *)
+
+val spans : t -> Span.t list
+val snapshot : t -> Metrics.snapshot
+
+val gc_token_acquires : t -> int
+val ok : t -> bool
+(** [gc_token_acquires t = 0]. *)
+
+val latency : t -> string -> Metrics.summary option
+(** [latency t "token_acquire.read"] — the [latency.*] histogram. *)
+
+val to_text : t -> string
+(** Metrics table, latency percentile table, non-interference verdict. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,201 @@
+open Bmx_util
+module T = Trace_event
+
+type track = Dsm | Gc | Net | Cleaner
+
+let track_name = function
+  | Dsm -> "dsm"
+  | Gc -> "gc"
+  | Net -> "net"
+  | Cleaner -> "cleaner"
+
+let all_tracks = [ Dsm; Gc; Net; Cleaner ]
+
+type t = {
+  name : string;
+  node : Ids.Node.t;
+  track : track;
+  ts : int;
+  dur : int option;
+  args : (string * Json.t) list;
+}
+
+let tok_name = function T.Read -> "read" | T.Write -> "write"
+let actor_name = function T.App -> "app" | T.Gc -> "gc"
+
+(* Cleaner traffic is interesting precisely because the paper runs it
+   asynchronously (§4.3, §6); give it its own track. *)
+let msg_track kind =
+  match kind with "scion_message" | "stub_table" -> Cleaner | _ -> Net
+
+let of_events timed =
+  let spans = ref [] in
+  let emit s = spans := s :: !spans in
+  (* Open begin-events waiting for their end.  Values carry the start
+     timestamp plus whatever the end event can't reconstruct. *)
+  let open_acq : (T.actor * Ids.Node.t * Ids.Uid.t * T.tok, int) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let open_gc : (Ids.Node.t, int * bool * int) Hashtbl.t = Hashtbl.create 8 in
+  let open_msg :
+      (Ids.Node.t * Ids.Node.t * string * int, int * bool * int ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let open_down : (Ids.Node.t, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (ts, ev) ->
+      match ev with
+      | T.Acquire_start { actor; node; uid; tok } ->
+          Hashtbl.replace open_acq (actor, node, uid, tok) ts
+      | T.Acquire_done { actor; node; uid; tok; addr_valid } ->
+          let key = (actor, node, uid, tok) in
+          let start =
+            match Hashtbl.find_opt open_acq key with
+            | Some s ->
+                Hashtbl.remove open_acq key;
+                s
+            | None -> ts
+          in
+          emit
+            {
+              name = "acquire." ^ tok_name tok;
+              node;
+              track = (match actor with T.App -> Dsm | T.Gc -> Gc);
+              ts = start;
+              dur = Some (ts - start);
+              args =
+                [
+                  ("uid", Json.Int uid);
+                  ("actor", Json.String (actor_name actor));
+                  ("addr_valid", Json.Bool addr_valid);
+                ];
+            }
+      | T.Gc_begin { node; group; bunches } ->
+          Hashtbl.replace open_gc node (ts, group, List.length bunches)
+      | T.Gc_end { node; group; live; reclaimed } ->
+          let start, bunches =
+            match Hashtbl.find_opt open_gc node with
+            | Some (s, _, b) ->
+                Hashtbl.remove open_gc node;
+                (s, b)
+            | None -> (ts, 0)
+          in
+          emit
+            {
+              name = (if group then "gc.ggc" else "gc.bgc");
+              node;
+              track = Gc;
+              ts = start;
+              dur = Some (ts - start);
+              args =
+                [
+                  ("bunches", Json.Int bunches);
+                  ("live", Json.Int live);
+                  ("reclaimed", Json.Int reclaimed);
+                ];
+            }
+      | T.Msg_sent { src; dst; kind; seq; rel } ->
+          Hashtbl.replace open_msg (src, dst, kind, seq) (ts, rel, ref 1)
+      | T.Msg_retransmit { src; dst; kind; seq; attempt } ->
+          (match Hashtbl.find_opt open_msg (src, dst, kind, seq) with
+          | Some (_, _, attempts) -> attempts := attempt
+          | None -> ());
+          emit
+            {
+              name = "retransmit." ^ kind;
+              node = src;
+              track = msg_track kind;
+              ts;
+              dur = None;
+              args =
+                [
+                  ("dst", Json.Int dst);
+                  ("seq", Json.Int seq);
+                  ("attempt", Json.Int attempt);
+                ];
+            }
+      | T.Msg_delivered { src; dst; kind; seq; rel } ->
+          let start, attempts =
+            match Hashtbl.find_opt open_msg (src, dst, kind, seq) with
+            | Some (s, _, a) ->
+                Hashtbl.remove open_msg (src, dst, kind, seq);
+                (s, !a)
+            | None -> (ts, 1)
+          in
+          emit
+            {
+              name = "msg." ^ kind;
+              node = src;
+              track = msg_track kind;
+              ts = start;
+              dur = Some (ts - start);
+              args =
+                [
+                  ("dst", Json.Int dst);
+                  ("seq", Json.Int seq);
+                  ("rel", Json.Bool rel);
+                  ("attempts", Json.Int attempts);
+                ];
+            }
+      | T.Msg_suppressed { src; dst; kind; seq } ->
+          emit
+            {
+              name = "suppressed." ^ kind;
+              node = dst;
+              track = msg_track kind;
+              ts;
+              dur = None;
+              args = [ ("src", Json.Int src); ("seq", Json.Int seq) ];
+            }
+      | T.Msg_buffered { src; dst; kind; seq } ->
+          emit
+            {
+              name = "buffered." ^ kind;
+              node = dst;
+              track = msg_track kind;
+              ts;
+              dur = None;
+              args = [ ("src", Json.Int src); ("seq", Json.Int seq) ];
+            }
+      | T.Crash { node } -> Hashtbl.replace open_down node ts
+      | T.Restart { node } ->
+          let start =
+            match Hashtbl.find_opt open_down node with
+            | Some s ->
+                Hashtbl.remove open_down node;
+                s
+            | None -> ts
+          in
+          emit
+            { name = "down"; node; track = Net; ts = start;
+              dur = Some (ts - start); args = [] }
+      | T.Release _ | T.Grant_sent _ | T.Hook_ssp _ | T.Invalidate _
+      | T.Updates_applied _ | T.Forward_due _ | T.Copyset_forward _
+      | T.Rpc _ ->
+          ())
+    timed;
+  let unfinished name node track ts args =
+    emit { name; node; track; ts; dur = None;
+           args = ("unfinished", Json.Bool true) :: args }
+  in
+  Hashtbl.iter
+    (fun (actor, node, uid, tok) ts ->
+      unfinished ("acquire." ^ tok_name tok) node
+        (match actor with T.App -> Dsm | T.Gc -> Gc)
+        ts
+        [ ("uid", Json.Int uid) ])
+    open_acq;
+  Hashtbl.iter
+    (fun node (ts, group, _) ->
+      unfinished (if group then "gc.ggc" else "gc.bgc") node Gc ts [])
+    open_gc;
+  Hashtbl.iter
+    (fun (src, dst, kind, seq) (ts, rel, _) ->
+      unfinished ("msg." ^ kind) src (msg_track kind) ts
+        [ ("dst", Json.Int dst); ("seq", Json.Int seq); ("rel", Json.Bool rel) ])
+    open_msg;
+  Hashtbl.iter
+    (fun node ts -> unfinished "down" node Net ts [])
+    open_down;
+  List.sort (fun a b -> compare (a.ts, a.node, a.name) (b.ts, b.node, b.name))
+    !spans

@@ -1,0 +1,44 @@
+(** Causal spans derived from the structured event trace.
+
+    A span is an interval on one node's virtual-time line, assembled by
+    pairing begin/end events out of {!Bmx_util.Trace_event}:
+
+    - [acquire.read] / [acquire.write] — token acquisition end-to-end,
+      [Acquire_start] → [Acquire_done] keyed by (actor, node, uid, tok);
+      app acquires land on the [Dsm] track, GC-actor acquires (which the
+      paper forbids, §5) on the [Gc] track.
+    - [gc.bgc] / [gc.ggc] — a collection cycle, [Gc_begin] → [Gc_end]
+      keyed by node.
+    - [msg.<kind>] — a background message flight on the sender's line,
+      [Msg_sent] → [Msg_delivered] keyed by (src, dst, kind, seq).  For
+      reliable kinds this covers the whole retransmit epoch (delivery
+      carries the original seq); the [attempts] arg counts transmissions.
+      Scion-cleaner traffic ([scion_message], [stub_table]) lands on the
+      [Cleaner] track, everything else on [Net].
+    - [down] — [Crash] → [Restart], on [Net].
+
+    Retransmissions, suppressions and buffering become instants
+    ([dur = None]).  A begin event with no matching end (message lost to
+    a crash, trace truncated) yields an instant with ["unfinished"] set
+    in its args.  Durations are in virtual µsteps
+    ({!Bmx_util.Trace_event.quantum} per [Net.now] tick). *)
+
+open Bmx_util
+
+type track = Dsm | Gc | Net | Cleaner
+
+val track_name : track -> string
+val all_tracks : track list
+
+type t = {
+  name : string;
+  node : Ids.Node.t;  (** whose timeline the span sits on *)
+  track : track;
+  ts : int;  (** start, virtual µsteps *)
+  dur : int option;  (** [None] = instant *)
+  args : (string * Json.t) list;
+}
+
+val of_events : (int * Trace_event.t) list -> t list
+(** Input as produced by {!Bmx_util.Trace_event.timed_events} (oldest
+    first); output sorted by [ts]. *)

@@ -28,17 +28,32 @@ let diff ~before ~after =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 module Summary = struct
+  let reservoir_capacity = 1024
+
   type t = {
     mutable n : int;
     mutable mean : float;
     mutable m2 : float;
     mutable min : float;
     mutable max : float;
-    mutable samples : float list;
+    samples : float array;
+    mutable filled : int;
+    rng : Rng.t;
   }
 
-  let create () =
-    { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; samples = [] }
+  let default_seed = 0x5e5a11e
+
+  let create ?(seed = default_seed) () =
+    {
+      n = 0;
+      mean = 0.;
+      m2 = 0.;
+      min = infinity;
+      max = neg_infinity;
+      samples = Array.make reservoir_capacity 0.;
+      filled = 0;
+      rng = Rng.make seed;
+    }
 
   let add t x =
     t.n <- t.n + 1;
@@ -47,7 +62,16 @@ module Summary = struct
     t.m2 <- t.m2 +. (delta *. (x -. t.mean));
     if x < t.min then t.min <- x;
     if x > t.max then t.max <- x;
-    t.samples <- x :: t.samples
+    (* Vitter's algorithm R: every sample has an equal chance of sitting in
+       the reservoir, so percentiles over it are unbiased estimates. *)
+    if t.filled < reservoir_capacity then begin
+      t.samples.(t.filled) <- x;
+      t.filled <- t.filled + 1
+    end
+    else begin
+      let j = Rng.int t.rng t.n in
+      if j < reservoir_capacity then t.samples.(j) <- x
+    end
 
   let n t = t.n
   let mean t = if t.n = 0 then 0. else t.mean
@@ -57,9 +81,9 @@ module Summary = struct
   let total t = t.mean *. float_of_int t.n
 
   let percentile t p =
-    if t.n = 0 then 0.
+    if t.filled = 0 then 0.
     else begin
-      let arr = Array.of_list t.samples in
+      let arr = Array.sub t.samples 0 t.filled in
       Array.sort Float.compare arr;
       let rank = p /. 100. *. float_of_int (Array.length arr - 1) in
       let lo = int_of_float (Float.round rank) in

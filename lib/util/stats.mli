@@ -25,11 +25,26 @@ val diff : before:(string * int) list -> after:(string * int) list
 (** Per-counter deltas ([after - before]); names absent on one side count
     as zero. *)
 
-(** Streaming summary of a sample (Welford's algorithm). *)
+(** Streaming summary of a sample (Welford's algorithm).
+
+    Count, mean, stddev, min and max are exact for every sample ever
+    [add]ed.  Percentiles are computed over a fixed-size reservoir
+    (Vitter's algorithm R, capacity {!Summary.reservoir_capacity}) so a
+    summary uses O(1) memory regardless of how many samples it absorbs;
+    up to the capacity they are exact, beyond it they are an unbiased
+    estimate.  Replacement decisions come from a private deterministic
+    {!Rng} stream, so identical sample sequences always yield identical
+    percentiles. *)
 module Summary : sig
   type t
 
-  val create : unit -> t
+  val reservoir_capacity : int
+  (** Number of samples retained for percentile estimation (1024). *)
+
+  val create : ?seed:int -> unit -> t
+  (** [seed] seeds the reservoir's private RNG (a fixed default keeps
+      existing callers deterministic). *)
+
   val add : t -> float -> unit
   val n : t -> int
   val mean : t -> float
@@ -38,5 +53,6 @@ module Summary : sig
   val max : t -> float
   val total : t -> float
   val percentile : t -> float -> float
-  (** [percentile t p] for [p] in [0,100]; retains all samples. *)
+  (** [percentile t p] for [p] in [0,100]; exact up to
+      {!reservoir_capacity} samples, reservoir-estimated beyond. *)
 end

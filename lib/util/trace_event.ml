@@ -77,36 +77,56 @@ type t =
 
 type log = {
   mutable log_enabled : bool;
-  mutable rev : t list;
+  mutable rev : (int * t) list;
   mutable count : int;
   capacity : int;
   mutable over : bool;
+  mutable clock : unit -> int;
+  mutable last_ts : int;
 }
+
+let quantum = 1000
 
 let create_log ?(capacity = 1_000_000) () =
   if capacity <= 0 then invalid_arg "Trace_event.create_log: capacity";
-  { log_enabled = false; rev = []; count = 0; capacity; over = false }
+  {
+    log_enabled = false;
+    rev = [];
+    count = 0;
+    capacity;
+    over = false;
+    clock = (fun () -> 0);
+    last_ts = 0;
+  }
 
 let enabled l = l.log_enabled
 let set_enabled l b = l.log_enabled <- b
+let set_clock l f = l.clock <- f
 
 let record l e =
   if l.log_enabled then begin
     if l.count >= l.capacity then l.over <- true
     else begin
-      l.rev <- e :: l.rev;
+      (* Virtual-microstep timestamp: the network clock anchors it, and
+         every recorded event advances at least one µstep so intervals
+         between events in the same clock tick still have extent. *)
+      let ts = Stdlib.max (l.last_ts + 1) (l.clock () * quantum) in
+      l.last_ts <- ts;
+      l.rev <- (ts, e) :: l.rev;
       l.count <- l.count + 1
     end
   end
 
-let events l = List.rev l.rev
+let events l = List.rev_map snd l.rev
+let timed_events l = List.rev l.rev
 let length l = l.count
 let overflowed l = l.over
 
 let clear l =
   l.rev <- [];
   l.count <- 0;
-  l.over <- false
+  l.over <- false;
+  l.last_ts <- 0
 
 (* --------------------------------------------------------------- text *)
 

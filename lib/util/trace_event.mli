@@ -117,14 +117,30 @@ val create_log : ?capacity:int -> unit -> log
 
 val enabled : log -> bool
 val set_enabled : log -> bool -> unit
+
+val set_clock : log -> (unit -> int) -> unit
+(** Anchor event timestamps to a virtual clock (typically [Net.now]).
+    The default clock is constantly 0, in which case timestamps are just
+    the event's 1-based position in the log. *)
+
+val quantum : int
+(** Virtual µsteps per clock tick (1000).  {!record} stamps each event
+    [max (previous + 1) (clock () * quantum)]: timestamps are strictly
+    increasing, anchored to the clock, and the slack between ticks counts
+    intervening events — a deterministic measure of protocol work. *)
+
 val record : log -> t -> unit
 val events : log -> t list
 (** Oldest first. *)
 
+val timed_events : log -> (int * t) list
+(** Oldest first, with the µstep timestamp assigned at {!record} time. *)
+
 val length : log -> int
 val overflowed : log -> bool
 val clear : log -> unit
-(** Drop all events and reset the overflow flag; leaves [enabled] alone. *)
+(** Drop all events, reset the overflow flag and the timestamp cursor;
+    leaves [enabled] and the clock alone. *)
 
 (** {1 Serialization} — stable one-line format, [to_line] ∘ [of_line] = id. *)
 

@@ -22,7 +22,9 @@ let record t ~category detail =
     t.count <- t.count + 1
   end
 
-let recordf t ~category fmt = Printf.ksprintf (record t ~category) fmt
+let recordf t ~category fmt =
+  if t.enabled then Printf.ksprintf (record t ~category) fmt
+  else Printf.ikfprintf ignore () fmt
 
 let events t =
   (* Walking the ring from [next] visits slots oldest-first. *)

@@ -25,9 +25,11 @@ val record : t -> category:string -> string -> unit
     disabled. *)
 
 val recordf : t -> category:string -> ('a, unit, string, unit) format4 -> 'a
-(** [recordf t ~category fmt ...] — formatted variant.  The format
-    arguments are still evaluated when disabled; prefer [record] with a
-    pre-built string in hot paths guarded by {!enabled}. *)
+(** [recordf t ~category fmt ...] — formatted variant.  When the trace
+    is disabled no string is built (the arguments are swallowed
+    unformatted), so hot paths need no [enabled] guard — but keep the
+    arguments themselves cheap (immediates, not [to_string] calls):
+    OCaml still evaluates them. *)
 
 val events : t -> event list
 (** Retained events, oldest first. *)
