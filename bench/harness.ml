@@ -23,11 +23,17 @@ let gc_invalidations c = Stats.get (Cluster.stats c) "dsm.gc.invalidations"
 
 let kind_count c kind = Net.sent (Cluster.net c) kind
 
-let snapshot c = Stats.counters (Cluster.stats c)
+(* Counter snapshots answer [delta] lookups in O(1): the registry is read
+   directly at both ends instead of materialising and linearly searching
+   an assoc list of every counter. *)
+let snapshot c =
+  let h = Hashtbl.create 256 in
+  List.iter (fun (k, v) -> Hashtbl.replace h k v) (Stats.counters (Cluster.stats c));
+  h
 
 let delta ~before c name =
   Stats.get (Cluster.stats c) name
-  - (try List.assoc name before with Not_found -> 0)
+  - Option.value ~default:0 (Hashtbl.find_opt before name)
 
 (* A replicated working heap: one bunch of [objects] linked objects owned
    by node 0, with read replicas on [replicas] other nodes. *)

@@ -23,6 +23,8 @@ let experiments =
     ("e17", Experiments.e17);
     ("e18", Experiments.e18);
     ("e19", Experiments.e19);
+    ("e20", Scale.e20);
+    ("e20-smoke", Scale.e20_smoke);
     ("micro", Micro.run);
   ]
 
@@ -39,9 +41,12 @@ let () =
       print_endline "BMX experiment harness - reproducing Ferreira & Shapiro, OSDI '94";
       print_endline "(figures E1-E4 as executable scenarios; claims E5-E13 as measurements)";
       print_newline ();
+      (* The scalability sweep (e20) runs minutes and rewrites
+         BENCH_SCALE.json — run it explicitly, not as part of "all". *)
+      let skip = [ "micro"; "e20"; "e20-smoke" ] in
       List.iter
         (fun (name, f) ->
-          if name <> "micro" then begin
+          if not (List.mem name skip) then begin
             Printf.printf "### %s\n\n" (String.uppercase_ascii name);
             print_tables (f ())
           end)

@@ -1,0 +1,230 @@
+(* E20: scalability sweep — objects-per-bunch × nodes.
+
+   The paper's performance story (§4.3–§4.4, §8) is that BGC costs stay
+   local and cleaner traffic stays background; this experiment measures
+   whether the reproduction scales past toy sizes.  Each configuration
+   runs the mixed mutator workload interleaved with collector waves
+   (as E5/E6 do) and reports wall-clock throughput, GC pause
+   percentiles (virtual time, via bmx_obs spans), and wire totals.  A
+   steady-state phase then runs light-churn cleaner cycles to compare
+   delta-table bytes against full-table bytes.
+
+   Output: a table per run plus a machine-readable BENCH_SCALE.json
+   (also echoed as one "BENCH {...}" line per configuration for the
+   perf-trajectory scraper). *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Protocol = Bmx_dsm.Protocol
+module Net = Bmx_netsim.Net
+module Json = Bmx_obs.Json
+module Driver = Bmx_workload.Driver
+
+type run_result = {
+  r_nodes : int;
+  r_objects_per_bunch : int;
+  r_ops : int;
+  r_elapsed_ms : float;
+  r_ops_per_sec : float;
+  r_gc_pause : Bmx_obs.Metrics.summary option;
+  r_messages : int;
+  r_bytes : int;
+  r_stub_table_msgs : int;
+  r_delta_bytes : int;
+  r_full_bytes : int;
+  r_steady_delta_bytes : int;
+  r_steady_full_bytes : int;
+  r_full_sent : int;
+  r_delta_sent : int;
+  r_resyncs : int;
+  r_gc_token_acquires : int;
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+(* One collector wave: BGC every replicated bunch at every holder, then
+   drain — the E5/E6 shape, kept identical so throughput numbers include
+   collection work. *)
+let gc_wave c =
+  List.iter
+    (fun bunch ->
+      List.iter
+        (fun node -> ignore (Cluster.bgc c ~node ~bunch))
+        (Protocol.bunch_replica_nodes (Cluster.proto c) bunch))
+    (Protocol.bunches (Cluster.proto c));
+  ignore (Cluster.drain c)
+
+let run_config ~nodes ~objects_per_bunch ~ops ~waves =
+  let cfg =
+    {
+      Driver.default with
+      nodes;
+      bunches = nodes;
+      objects_per_bunch;
+      ops;
+      seed = 20;
+    }
+  in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  Cluster.set_event_trace c true;
+  let chunk = max 1 (ops / waves) in
+  let t0 = now_ns () in
+  for _ = 1 to waves do
+    Driver.run_ops d ~ops:chunk ();
+    gc_wave c
+  done;
+  ignore (Cluster.collect_until_quiescent c ());
+  let t1 = now_ns () in
+  let elapsed_ms = Int64.to_float (Int64.sub t1 t0) /. 1e6 in
+  let stats = Cluster.stats c in
+  let delta_before = Stats.get stats "tables.delta_bytes" in
+  let full_before = Stats.get stats "tables.full_bytes" in
+  (* Steady state: light churn between cleaner cycles.  With delta
+     tables, Stub_table bytes here are O(churn), not O(table). *)
+  for _ = 1 to 4 do
+    Driver.run_ops d ~ops:20 ();
+    gc_wave c
+  done;
+  let report =
+    Bmx_obs.Report.of_events
+      ~metrics:(Cluster.metrics c)
+      (Trace_event.timed_events (Cluster.evlog c))
+  in
+  let net = Cluster.net c in
+  {
+    r_nodes = nodes;
+    r_objects_per_bunch = objects_per_bunch;
+    r_ops = ops;
+    r_elapsed_ms = elapsed_ms;
+    r_ops_per_sec =
+      (if elapsed_ms <= 0.0 then 0.0
+       else float_of_int ops /. (elapsed_ms /. 1000.0));
+    r_gc_pause = Bmx_obs.Report.latency report "gc.pause";
+    r_messages = Net.total_messages net;
+    r_bytes = Net.total_bytes net;
+    r_stub_table_msgs = Net.sent net Net.Stub_table;
+    r_delta_bytes = delta_before;
+    r_full_bytes = full_before;
+    r_steady_delta_bytes = Stats.get stats "tables.delta_bytes" - delta_before;
+    r_steady_full_bytes = Stats.get stats "tables.full_bytes" - full_before;
+    r_full_sent = Stats.get stats "gc.cleaner.full_sent";
+    r_delta_sent = Stats.get stats "gc.cleaner.delta_sent";
+    r_resyncs = Stats.get stats "gc.cleaner.resyncs";
+    r_gc_token_acquires =
+      Stats.get stats "dsm.gc.acquire_read"
+      + Stats.get stats "dsm.gc.acquire_write";
+  }
+
+let summary_json = function
+  | None -> Json.Null
+  | Some s ->
+      Json.Obj
+        [
+          ("n", Json.Int s.Bmx_obs.Metrics.s_count);
+          ("p50", Json.Float s.Bmx_obs.Metrics.s_p50);
+          ("p90", Json.Float s.Bmx_obs.Metrics.s_p90);
+          ("p99", Json.Float s.Bmx_obs.Metrics.s_p99);
+          ("max", Json.Float s.Bmx_obs.Metrics.s_max);
+        ]
+
+let result_json r =
+  Json.Obj
+    [
+      ("nodes", Json.Int r.r_nodes);
+      ("objects_per_bunch", Json.Int r.r_objects_per_bunch);
+      ("ops", Json.Int r.r_ops);
+      ("elapsed_ms", Json.Float r.r_elapsed_ms);
+      ("ops_per_sec", Json.Float r.r_ops_per_sec);
+      ("gc_pause_usteps", summary_json r.r_gc_pause);
+      ("messages", Json.Int r.r_messages);
+      ("bytes", Json.Int r.r_bytes);
+      ("stub_table_msgs", Json.Int r.r_stub_table_msgs);
+      ("tables_delta_bytes", Json.Int r.r_delta_bytes);
+      ("tables_full_bytes", Json.Int r.r_full_bytes);
+      ("steady_delta_bytes", Json.Int r.r_steady_delta_bytes);
+      ("steady_full_bytes", Json.Int r.r_steady_full_bytes);
+      ("full_msgs", Json.Int r.r_full_sent);
+      ("delta_msgs", Json.Int r.r_delta_sent);
+      ("resyncs", Json.Int r.r_resyncs);
+      ("gc_token_acquires", Json.Int r.r_gc_token_acquires);
+    ]
+
+let sweep_json results =
+  Json.Obj
+    [
+      ("experiment", Json.String "e20");
+      ("unit", Json.String "ops_per_sec_wallclock");
+      ("configs", Json.List (List.map result_json results));
+    ]
+
+let run_sweep ~configs ~json_path () =
+  let t =
+    Table.create
+      ~title:
+        "E20 (§4.3/§8): scalability sweep — wall-clock throughput with \
+         collector waves, GC pause p99 (virtual µsteps), wire totals and \
+         steady-state cleaner bytes"
+      ~columns:
+        [
+          "nodes";
+          "objs/bunch";
+          "ops";
+          "ms";
+          "ops/sec";
+          "gc p99";
+          "msgs";
+          "steady delta B";
+          "steady full B";
+          "gc tokens";
+        ]
+  in
+  let results =
+    List.map
+      (fun (nodes, objects_per_bunch, ops) ->
+        let r = run_config ~nodes ~objects_per_bunch ~ops ~waves:4 in
+        Table.add_row t
+          [
+            string_of_int r.r_nodes;
+            string_of_int r.r_objects_per_bunch;
+            string_of_int r.r_ops;
+            Printf.sprintf "%.1f" r.r_elapsed_ms;
+            Printf.sprintf "%.0f" r.r_ops_per_sec;
+            (match r.r_gc_pause with
+            | Some s -> Printf.sprintf "%.0f" s.Bmx_obs.Metrics.s_p99
+            | None -> "-");
+            string_of_int r.r_messages;
+            string_of_int r.r_steady_delta_bytes;
+            string_of_int r.r_steady_full_bytes;
+            string_of_int r.r_gc_token_acquires;
+          ];
+        r)
+      configs
+  in
+  let json = sweep_json results in
+  Printf.printf "BENCH %s\n" (Json.to_string json);
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string json);
+      output_string oc "\n";
+      close_out oc);
+  [ t ]
+
+(* Full sweep: the largest configuration is 20× the default
+   objects-per-bunch and 2× the default node count. *)
+let e20 () =
+  run_sweep
+    ~configs:
+      [
+        (4, 64, 2000);
+        (4, 320, 3000);
+        (6, 640, 4000);
+        (8, 1280, 5000);
+      ]
+    ~json_path:(Some "BENCH_SCALE.json") ()
+
+(* Miniature configuration for the @bench-smoke runtest alias. *)
+let e20_smoke () =
+  run_sweep ~configs:[ (3, 48, 400) ] ~json_path:None ()

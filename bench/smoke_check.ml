@@ -1,0 +1,63 @@
+(* Gate for the @bench-smoke alias: re-parse the BENCH line the
+   e20-smoke run printed and fail the build if the run broke one of the
+   tracked invariants — the collector must never touch the DSM token
+   machinery (§5), and the steady-state delta encoding must not cost
+   more than full tables would have. *)
+
+module Json = Bmx_obs.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let int_member name obj =
+  match Json.member name obj with
+  | Some (Json.Int i) -> i
+  | Some _ -> die "bench-smoke: %S is not an integer" name
+  | None -> die "bench-smoke: missing field %S" name
+
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in path in
+  let bench = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line > 6 && String.sub line 0 6 = "BENCH " then
+         bench := Some (String.sub line 6 (String.length line - 6))
+     done
+   with End_of_file -> close_in ic);
+  let raw =
+    match !bench with
+    | Some s -> s
+    | None -> die "bench-smoke: no BENCH line in %s" path
+  in
+  let json =
+    match Json.parse raw with
+    | Ok j -> j
+    | Error e -> die "bench-smoke: BENCH line does not parse: %s" e
+  in
+  let configs =
+    match Json.member "configs" json with
+    | Some (Json.List l) -> l
+    | _ -> die "bench-smoke: no configs list"
+  in
+  if configs = [] then die "bench-smoke: empty configs list";
+  List.iter
+    (fun cfg ->
+      let nodes = int_member "nodes" cfg in
+      let tokens = int_member "gc_token_acquires" cfg in
+      if tokens <> 0 then
+        die "bench-smoke: %d-node run acquired %d GC tokens (must be 0)"
+          nodes tokens;
+      let delta = int_member "steady_delta_bytes" cfg in
+      let full = int_member "steady_full_bytes" cfg in
+      if delta > full then
+        die
+          "bench-smoke: %d-node steady-state delta bytes (%d) exceed \
+           full-table bytes (%d)"
+          nodes delta full;
+      Printf.printf
+        "bench-smoke: %d nodes ok — gc tokens 0, steady delta %dB <= full %dB \
+         (%.1f%%)\n"
+        nodes delta full
+        (if full = 0 then 0.0 else 100.0 *. float_of_int delta /. float_of_int full))
+    configs

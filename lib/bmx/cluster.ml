@@ -213,7 +213,7 @@ let gc_round t =
             node_alive t node
             &&
             (Protocol.store t.proto node |> fun s ->
-            Bmx_memory.Store.objects_of_bunch s bunch <> []
+            Bmx_memory.Store.has_objects_of_bunch s bunch
             || Bmx_gc.Gc_state.inter_scions t.gc ~node ~bunch <> []
             || Bmx_gc.Gc_state.intra_scions t.gc ~node ~bunch <> []
             || Bmx_gc.Gc_state.inter_stubs t.gc ~node ~bunch <> []

@@ -161,9 +161,9 @@ let collect_roots t ~node ~in_set ~group_mode ~include_intra_scions =
   let store = Protocol.store proto node in
   let registry = Protocol.registry proto in
   let dir = Protocol.directory proto node in
-  let root_addrs = ref [] and root_uids = ref [] in
+  let root_addrs = ref [] and root_uids = ref Ids.Uid_set.empty in
   let add_addr a = root_addrs := a :: !root_addrs in
-  let add_uid u = root_uids := u :: !root_uids in
+  let add_uid u = root_uids := Ids.Uid_set.add u !root_uids in
   (* Mutator stacks. *)
   List.iter
     (fun a ->
@@ -172,9 +172,11 @@ let collect_roots t ~node ~in_set ~group_mode ~include_intra_scions =
       | Some _ | None -> ())
     (Gc_state.roots t ~node);
   let bunches =
-    List.filter in_set (Gc_state.bunches_with_tables t ~node)
-    @ List.filter in_set (Store.mapped_bunches store)
-    |> List.sort_uniq Ids.Bunch.compare
+    Ids.Bunch_set.union
+      (Ids.Bunch_set.of_list
+         (List.filter in_set (Gc_state.bunches_with_tables t ~node)))
+      (Ids.Bunch_set.of_list (List.filter in_set (Store.mapped_bunches store)))
+    |> Ids.Bunch_set.elements
   in
   (* Inter-bunch scions protecting objects of the collected bunches.  In
      group mode, scions whose stub lives inside the group at this very
@@ -211,7 +213,7 @@ let collect_roots t ~node ~in_set ~group_mode ~include_intra_scions =
           | Some _ | None -> ())
       | None -> ())
     (Directory.entering_uids dir);
-  (!root_addrs, List.sort_uniq Ids.Uid.compare !root_uids)
+  (!root_addrs, Ids.Uid_set.elements !root_uids)
 
 (* ------------------------------------------------------------------ *)
 (* The collection itself.                                              *)
@@ -271,11 +273,17 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
         seg
   in
   let copied = ref 0 and scanned_in_place = ref 0 in
-  let live_list =
-    Ids.Uid_tbl.fold (fun uid a acc -> (uid, a) :: acc) live []
-    |> List.sort (fun (a, _) (b, _) -> Ids.Uid.compare a b)
-  in
-  List.iter
+  (* Deterministic copy order without rebuilding sorted lists: dump the
+     live index into an array and sort in place by uid. *)
+  let live_arr = Array.make (Ids.Uid_tbl.length live) (0, Addr.null) in
+  let n_live = ref 0 in
+  Ids.Uid_tbl.iter
+    (fun uid a ->
+      live_arr.(!n_live) <- (uid, a);
+      incr n_live)
+    live;
+  Array.sort (fun (a, _) (b, _) -> Ids.Uid.compare a b) live_arr;
+  Array.iter
     (fun (uid, addr) ->
       let obj =
         match Store.resolve store addr with
@@ -320,7 +328,7 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
         incr scanned_in_place;
         if not owned then bump t "gc.objects_scanned_in_place"
       end)
-    live_list;
+    live_arr;
 
   (* Reference updating (§4.4): rewrite pointer fields of every live local
      copy through the local forwarder chains — strictly local, no token. *)
@@ -413,11 +421,13 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
 
   (* Stub-table reconstruction (§4.3) and exiting-ownerPtr lists, then the
      broadcast to the scion cleaners (§6). *)
-  let edge_exists src_uid target_uid =
-    List.exists
-      (fun e -> Ids.Uid.equal e.e_src_uid src_uid && Ids.Uid.equal e.e_target_uid target_uid)
-      edges
+  let edge_tbl : (Ids.Uid.t * Ids.Uid.t, unit) Hashtbl.t =
+    Hashtbl.create (max 16 (2 * List.length edges))
   in
+  List.iter
+    (fun e -> Hashtbl.replace edge_tbl (e.e_src_uid, e.e_target_uid) ())
+    edges;
+  let edge_exists src_uid target_uid = Hashtbl.mem edge_tbl (src_uid, target_uid) in
   let new_inter_total = ref 0
   and new_intra_total = ref 0
   and exiting_total = ref 0

@@ -1,14 +1,239 @@
 open Bmx_util
 
+(* ------------------------------------------------------------------ *)
+(* Indexed SSP tables.
+
+   The old representation was one association list per (node, bunch),
+   deduplicated with [List.exists] on every insert — O(n) on the write
+   barrier's hottest path.  Each table is now a hash-membership set with
+   the insertion-ordered list kept alongside as the public view (newest
+   first, exactly the order the list tables had), plus secondary indexes:
+
+   - [by_uid]   — the SSP's target uid (the object the entry protects);
+   - [by_uid2]  — an optional second uid key (inter stubs: the source
+                  uid, which is what the §5 invariant-3 hook queries);
+   - [by_node]  — the peer node of the entry (scion holder, stub holder,
+                  owner side), which is what the scion cleaner's
+                  destination and per-sender queries need.
+
+   [key_count]/[touched] track the table at {e match-key} granularity
+   (see {!Ssp.inter_stub_key}): the journal records every key whose
+   presence flipped since the last {!rebase_stub_journal}, and the scion
+   cleaner derives reachability-table deltas from it (added = touched
+   key still present, removed = touched key now absent).  Cumulative
+   since the journal base, the delta applies correctly to a mirror in
+   any state between the base and now.  Working on keys rather than
+   records means a BGC that merely relocates targets (new addresses,
+   same edges) journals nothing. *)
+
+type ('a, 'k) table = {
+  key_uid : 'a -> Ids.Uid.t;
+  key_uid2 : ('a -> Ids.Uid.t) option;
+  key_node : 'a -> Ids.Node.t;
+  key_of : 'a -> 'k;
+  mutable view : 'a list; (* newest first *)
+  members : ('a, unit) Hashtbl.t;
+  by_uid : ('a, unit) Hashtbl.t Ids.Uid_tbl.t;
+  by_uid2 : ('a, unit) Hashtbl.t Ids.Uid_tbl.t;
+  by_node : ('a, unit) Hashtbl.t Ids.Node_tbl.t;
+  key_count : ('k, int) Hashtbl.t;
+  touched : ('k, unit) Hashtbl.t;
+}
+
+let t_make ~key_uid ?key_uid2 ~key_node ~key_of () =
+  {
+    key_uid;
+    key_uid2;
+    key_node;
+    key_of;
+    view = [];
+    members = Hashtbl.create 16;
+    by_uid = Ids.Uid_tbl.create 16;
+    by_uid2 = Ids.Uid_tbl.create 16;
+    by_node = Ids.Node_tbl.create 8;
+    key_count = Hashtbl.create 16;
+    touched = Hashtbl.create 16;
+  }
+
+let bucket_add tbl key item =
+  let b =
+    match Ids.Uid_tbl.find_opt tbl key with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 4 in
+        Ids.Uid_tbl.add tbl key b;
+        b
+  in
+  Hashtbl.replace b item ()
+
+let bucket_remove tbl key item =
+  match Ids.Uid_tbl.find_opt tbl key with
+  | None -> ()
+  | Some b ->
+      Hashtbl.remove b item;
+      if Hashtbl.length b = 0 then Ids.Uid_tbl.remove tbl key
+
+let nbucket_add tbl key item =
+  let b =
+    match Ids.Node_tbl.find_opt tbl key with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 4 in
+        Ids.Node_tbl.add tbl key b;
+        b
+  in
+  Hashtbl.replace b item ()
+
+let nbucket_remove tbl key item =
+  match Ids.Node_tbl.find_opt tbl key with
+  | None -> ()
+  | Some b ->
+      Hashtbl.remove b item;
+      if Hashtbl.length b = 0 then Ids.Node_tbl.remove tbl key
+
+let t_index_add tb item =
+  bucket_add tb.by_uid (tb.key_uid item) item;
+  (match tb.key_uid2 with
+  | Some key -> bucket_add tb.by_uid2 (key item) item
+  | None -> ());
+  nbucket_add tb.by_node (tb.key_node item) item
+
+let t_index_remove tb item =
+  bucket_remove tb.by_uid (tb.key_uid item) item;
+  (match tb.key_uid2 with
+  | Some key -> bucket_remove tb.by_uid2 (key item) item
+  | None -> ());
+  nbucket_remove tb.by_node (tb.key_node item) item
+
+let t_key_incr tb k =
+  let c = match Hashtbl.find_opt tb.key_count k with Some c -> c | None -> 0 in
+  Hashtbl.replace tb.key_count k (c + 1);
+  if c = 0 then Hashtbl.replace tb.touched k ()
+
+let t_key_decr tb k =
+  match Hashtbl.find_opt tb.key_count k with
+  | None -> ()
+  | Some 1 ->
+      Hashtbl.remove tb.key_count k;
+      Hashtbl.replace tb.touched k ()
+  | Some c -> Hashtbl.replace tb.key_count k (c - 1)
+
+let t_add tb item =
+  if not (Hashtbl.mem tb.members item) then begin
+    tb.view <- item :: tb.view;
+    Hashtbl.replace tb.members item ();
+    t_index_add tb item;
+    t_key_incr tb (tb.key_of item)
+  end
+
+let t_remove_pred tb pred =
+  let drop = List.filter pred tb.view in
+  match drop with
+  | [] -> 0
+  | _ ->
+      tb.view <- List.filter (fun x -> not (pred x)) tb.view;
+      List.iter
+        (fun x ->
+          Hashtbl.remove tb.members x;
+          t_index_remove tb x;
+          t_key_decr tb (tb.key_of x))
+        drop;
+      List.length drop
+
+let t_replace tb items =
+  (* Wholesale replacement (BGC table reconstruction): journal exactly
+     the keys whose presence flips, so a rebuild that keeps the same
+     edges (even with every record's volatile fields rewritten) adds
+     nothing to the next delta. *)
+  let new_count = Hashtbl.create (max 16 (2 * List.length items)) in
+  let incoming = Hashtbl.create (max 16 (2 * List.length items)) in
+  List.iter
+    (fun x ->
+      if not (Hashtbl.mem incoming x) then begin
+        Hashtbl.replace incoming x ();
+        let k = tb.key_of x in
+        let c =
+          match Hashtbl.find_opt new_count k with Some c -> c | None -> 0
+        in
+        Hashtbl.replace new_count k (c + 1)
+      end)
+    items;
+  Hashtbl.iter
+    (fun k _ ->
+      if not (Hashtbl.mem new_count k) then Hashtbl.replace tb.touched k ())
+    tb.key_count;
+  Hashtbl.iter
+    (fun k _ ->
+      if not (Hashtbl.mem tb.key_count k) then Hashtbl.replace tb.touched k ())
+    new_count;
+  tb.view <- items;
+  Hashtbl.reset tb.members;
+  Ids.Uid_tbl.reset tb.by_uid;
+  Ids.Uid_tbl.reset tb.by_uid2;
+  Ids.Node_tbl.reset tb.by_node;
+  Hashtbl.reset tb.key_count;
+  Hashtbl.iter
+    (fun x () ->
+      Hashtbl.replace tb.members x ();
+      t_index_add tb x)
+    incoming;
+  Hashtbl.iter (fun k c -> Hashtbl.replace tb.key_count k c) new_count
+
+let t_by_uid tb uid =
+  match Ids.Uid_tbl.find_opt tb.by_uid uid with
+  | None -> []
+  | Some b -> Hashtbl.fold (fun x () acc -> x :: acc) b []
+
+let t_by_uid2 tb uid =
+  match Ids.Uid_tbl.find_opt tb.by_uid2 uid with
+  | None -> []
+  | Some b -> Hashtbl.fold (fun x () acc -> x :: acc) b []
+
+let t_has_node tb node =
+  match Ids.Node_tbl.find_opt tb.by_node node with
+  | None -> false
+  | Some b -> Hashtbl.length b > 0
+
+(* ------------------------------------------------------------------ *)
+(* Reachability-table mirrors (§6.1, delta protocol).
+
+   A node receiving delta reachability messages keeps, per (sender,
+   bunch), the key set of the sender's stub tables reassembled from
+   fulls and diffs.  Coverage queries — the cleaner's §6.1 deletion test
+   — are O(1) key lookups.  [mi_basis] identifies the full table the
+   mirror (and every delta the sender emits) builds on; a delta with a
+   different basis is unusable and triggers a resync. *)
+
+type mirror = {
+  mutable mi_basis : int;
+  mi_inter : (Ssp.inter_key, unit) Hashtbl.t;
+  mi_intra : (Ssp.intra_key, unit) Hashtbl.t;
+  mi_exiting : (Ids.Uid.t * Ids.Node.t, unit) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+
 type node_state = {
   mutable roots : Addr.t list;
-  inter_stubs : Ssp.inter_stub list ref Ids.Bunch_tbl.t; (* by source bunch *)
-  intra_stubs : Ssp.intra_stub list ref Ids.Bunch_tbl.t;
-  inter_scions : Ssp.inter_scion list ref Ids.Bunch_tbl.t; (* by target bunch *)
-  intra_scions : Ssp.intra_scion list ref Ids.Bunch_tbl.t;
+  inter_stubs : (Ssp.inter_stub, Ssp.inter_key) table Ids.Bunch_tbl.t;
+      (* by source bunch *)
+  intra_stubs : (Ssp.intra_stub, Ssp.intra_key) table Ids.Bunch_tbl.t;
+  inter_scions : (Ssp.inter_scion, Ssp.inter_key) table Ids.Bunch_tbl.t;
+      (* by target bunch *)
+  intra_scions : (Ssp.intra_scion, unit) table Ids.Bunch_tbl.t;
   last_seq : (Ids.Node.t * Ids.Bunch.t, int) Hashtbl.t;
   last_exiting : (Ids.Uid.t * Ids.Node.t) list ref Ids.Bunch_tbl.t;
   last_dests : Ids.Node.t list ref Ids.Bunch_tbl.t;
+  (* Delta-table state.  Sender side: which basis (full-table id) each
+     destination is believed to hold, and how many broadcasts happened
+     since the journal base.  Receiver side: the mirrors. *)
+  dest_basis : (Ids.Bunch.t * Ids.Node.t, int * int) Hashtbl.t;
+  since_rebase : int ref Ids.Bunch_tbl.t;
+  mirrors : (Ids.Node.t * Ids.Bunch.t, mirror) Hashtbl.t;
+  (* Exiting-ownerPtr journal, same shape as the stub-table journals:
+     present set plus the entries that flipped since the last rebase. *)
+  exiting_cur : (Ids.Uid.t * Ids.Node.t, unit) Hashtbl.t Ids.Bunch_tbl.t;
+  exiting_touched : (Ids.Uid.t * Ids.Node.t, unit) Hashtbl.t Ids.Bunch_tbl.t;
 }
 
 type t = {
@@ -22,6 +247,31 @@ let proto t = t.proto
 let stats t = Bmx_dsm.Protocol.stats t.proto
 let set_metrics t m = t.obs <- Some m
 let metrics t = t.obs
+
+let make_inter_stub_table () =
+  t_make
+    ~key_uid:(fun (s : Ssp.inter_stub) -> s.Ssp.is_target_uid)
+    ~key_uid2:(fun (s : Ssp.inter_stub) -> s.Ssp.is_src_uid)
+    ~key_node:(fun (s : Ssp.inter_stub) -> s.Ssp.is_scion_at)
+    ~key_of:Ssp.inter_stub_key ()
+
+let make_intra_stub_table () =
+  t_make
+    ~key_uid:(fun (s : Ssp.intra_stub) -> s.Ssp.ns_uid)
+    ~key_node:(fun (s : Ssp.intra_stub) -> s.Ssp.ns_holder)
+    ~key_of:Ssp.intra_stub_key ()
+
+let make_inter_scion_table () =
+  t_make
+    ~key_uid:(fun (s : Ssp.inter_scion) -> s.Ssp.xs_target_uid)
+    ~key_node:(fun (s : Ssp.inter_scion) -> s.Ssp.xs_src_node)
+    ~key_of:Ssp.inter_scion_key ()
+
+let make_intra_scion_table () =
+  t_make
+    ~key_uid:(fun (s : Ssp.intra_scion) -> s.Ssp.xn_uid)
+    ~key_node:(fun (s : Ssp.intra_scion) -> s.Ssp.xn_owner_side)
+    ~key_of:(fun _ -> ()) ()
 
 let node_state t node =
   match Ids.Node_tbl.find_opt t.per_node node with
@@ -37,6 +287,11 @@ let node_state t node =
           last_seq = Hashtbl.create 16;
           last_exiting = Ids.Bunch_tbl.create 8;
           last_dests = Ids.Bunch_tbl.create 8;
+          dest_basis = Hashtbl.create 16;
+          since_rebase = Ids.Bunch_tbl.create 8;
+          mirrors = Hashtbl.create 16;
+          exiting_cur = Ids.Bunch_tbl.create 8;
+          exiting_touched = Ids.Bunch_tbl.create 8;
         }
       in
       Ids.Node_tbl.add t.per_node node ns;
@@ -45,8 +300,9 @@ let node_state t node =
 let crash_node t ~node =
   (* GC tables are volatile per-node state (they are reconstructed by
      every local collection, §4.3): a crash loses roots, stub and scion
-     tables, the cleaner's per-sender freshness clocks and the broadcast
-     bookkeeping alike.  The entry regenerates lazily, empty. *)
+     tables, the cleaner's per-sender freshness clocks, the broadcast
+     bookkeeping and the delta-table mirrors and journals alike.  The
+     entry regenerates lazily, empty. *)
   Ids.Node_tbl.remove t.per_node node
 
 let add_root t ~node a =
@@ -67,58 +323,271 @@ let set_roots t ~node roots =
   let ns = node_state t node in
   ns.roots <- roots
 
-let tbl_get tbl bunch =
-  match Ids.Bunch_tbl.find_opt tbl bunch with Some r -> !r | None -> []
-
-let tbl_add tbl bunch ~eq item =
+let find_table make tbl bunch =
   match Ids.Bunch_tbl.find_opt tbl bunch with
-  | Some r -> if not (List.exists (eq item) !r) then r := item :: !r
-  | None -> Ids.Bunch_tbl.add tbl bunch (ref [ item ])
+  | Some tb -> tb
+  | None ->
+      let tb = make () in
+      Ids.Bunch_tbl.add tbl bunch tb;
+      tb
 
-let tbl_remove tbl bunch pred =
-  match Ids.Bunch_tbl.find_opt tbl bunch with
-  | None -> 0
-  | Some r ->
-      let keep, drop = List.partition (fun x -> not (pred x)) !r in
-      r := keep;
-      List.length drop
+let tbl_view tbl bunch =
+  match Ids.Bunch_tbl.find_opt tbl bunch with Some tb -> tb.view | None -> []
 
-let inter_stubs t ~node ~bunch = tbl_get (node_state t node).inter_stubs bunch
-let intra_stubs t ~node ~bunch = tbl_get (node_state t node).intra_stubs bunch
+let inter_stubs t ~node ~bunch = tbl_view (node_state t node).inter_stubs bunch
+let intra_stubs t ~node ~bunch = tbl_view (node_state t node).intra_stubs bunch
 
 let add_inter_stub t ~node (s : Ssp.inter_stub) =
-  tbl_add (node_state t node).inter_stubs s.Ssp.is_src_bunch ~eq:( = ) s
+  t_add
+    (find_table make_inter_stub_table (node_state t node).inter_stubs
+       s.Ssp.is_src_bunch)
+    s
 
 let add_intra_stub t ~node (s : Ssp.intra_stub) =
-  tbl_add (node_state t node).intra_stubs s.Ssp.ns_bunch ~eq:( = ) s
+  t_add
+    (find_table make_intra_stub_table (node_state t node).intra_stubs s.Ssp.ns_bunch)
+    s
 
 let replace_stub_tables t ~node ~bunch ~inter ~intra =
   let ns = node_state t node in
-  Ids.Bunch_tbl.replace ns.inter_stubs bunch (ref inter);
-  Ids.Bunch_tbl.replace ns.intra_stubs bunch (ref intra)
+  t_replace (find_table make_inter_stub_table ns.inter_stubs bunch) inter;
+  t_replace (find_table make_intra_stub_table ns.intra_stubs bunch) intra
 
-let inter_scions t ~node ~bunch = tbl_get (node_state t node).inter_scions bunch
-let intra_scions t ~node ~bunch = tbl_get (node_state t node).intra_scions bunch
+let inter_scions t ~node ~bunch = tbl_view (node_state t node).inter_scions bunch
+let intra_scions t ~node ~bunch = tbl_view (node_state t node).intra_scions bunch
 
 let add_inter_scion t ~node (s : Ssp.inter_scion) =
-  tbl_add (node_state t node).inter_scions s.Ssp.xs_target_bunch ~eq:( = ) s
+  t_add
+    (find_table make_inter_scion_table (node_state t node).inter_scions
+       s.Ssp.xs_target_bunch)
+    s
 
 let add_intra_scion t ~node (s : Ssp.intra_scion) =
-  tbl_add (node_state t node).intra_scions s.Ssp.xn_bunch ~eq:( = ) s
+  t_add
+    (find_table make_intra_scion_table (node_state t node).intra_scions
+       s.Ssp.xn_bunch)
+    s
+
+let remove_in_table tbl bunch pred =
+  match Ids.Bunch_tbl.find_opt tbl bunch with
+  | None -> 0
+  | Some tb -> t_remove_pred tb pred
 
 let remove_inter_scions t ~node ~bunch pred =
-  tbl_remove (node_state t node).inter_scions bunch pred
+  remove_in_table (node_state t node).inter_scions bunch pred
 
 let remove_intra_scions t ~node ~bunch pred =
-  tbl_remove (node_state t node).intra_scions bunch pred
+  remove_in_table (node_state t node).intra_scions bunch pred
 
-let last_exiting t ~node ~bunch = tbl_get (node_state t node).last_exiting bunch
+let has_inter_scions_from t ~node ~bunch ~src =
+  match Ids.Bunch_tbl.find_opt (node_state t node).inter_scions bunch with
+  | None -> false
+  | Some tb -> t_has_node tb src
+
+let has_intra_scions_from t ~node ~bunch ~src =
+  match Ids.Bunch_tbl.find_opt (node_state t node).intra_scions bunch with
+  | None -> false
+  | Some tb -> t_has_node tb src
+
+let inter_stubs_with_src t ~node ~bunch ~uid =
+  match Ids.Bunch_tbl.find_opt (node_state t node).inter_stubs bunch with
+  | None -> []
+  | Some tb -> t_by_uid2 tb uid
+
+let intra_stubs_for_uid t ~node ~bunch ~uid =
+  match Ids.Bunch_tbl.find_opt (node_state t node).intra_stubs bunch with
+  | None -> []
+  | Some tb -> t_by_uid tb uid
+
+let inter_scions_for_uid t ~node ~bunch ~uid =
+  match Ids.Bunch_tbl.find_opt (node_state t node).inter_scions bunch with
+  | None -> []
+  | Some tb -> t_by_uid tb uid
+
+(* ------------------------------------------------------------------ *)
+(* Delta-table journal (sender side).                                  *)
+
+type stub_delta = {
+  sd_add_inter : Ssp.inter_key list;
+  sd_del_inter : Ssp.inter_key list;
+  sd_add_intra : Ssp.intra_key list;
+  sd_del_intra : Ssp.intra_key list;
+  sd_add_exiting : (Ids.Uid.t * Ids.Node.t) list;
+  sd_del_exiting : (Ids.Uid.t * Ids.Node.t) list;
+}
+
+let split_touched tb =
+  Hashtbl.fold
+    (fun k () (added, removed) ->
+      if Hashtbl.mem tb.key_count k then (k :: added, removed)
+      else (added, k :: removed))
+    tb.touched ([], [])
+
+let find_pair_tbl tbl bunch =
+  match Ids.Bunch_tbl.find_opt tbl bunch with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 16 in
+      Ids.Bunch_tbl.add tbl bunch h;
+      h
+
+let note_exiting t ~node ~bunch exiting =
+  (* Reflect the list the BGC just produced in the journal: every entry
+     whose presence flips (in either direction) is marked touched, so
+     cumulative deltas also cover entries that appeared and vanished
+     again between two rebases. *)
+  let ns = node_state t node in
+  let cur = find_pair_tbl ns.exiting_cur bunch in
+  let touched = find_pair_tbl ns.exiting_touched bunch in
+  let next = Hashtbl.create (max 16 (2 * List.length exiting)) in
+  List.iter (fun e -> Hashtbl.replace next e ()) exiting;
+  Hashtbl.iter
+    (fun e () -> if not (Hashtbl.mem next e) then Hashtbl.replace touched e ())
+    cur;
+  Hashtbl.iter
+    (fun e () -> if not (Hashtbl.mem cur e) then Hashtbl.replace touched e ())
+    next;
+  Hashtbl.reset cur;
+  Hashtbl.iter (fun e () -> Hashtbl.replace cur e ()) next
+
+let current_exiting t ~node ~bunch =
+  match Ids.Bunch_tbl.find_opt (node_state t node).exiting_cur bunch with
+  | None -> []
+  | Some h -> Hashtbl.fold (fun e () acc -> e :: acc) h []
+
+let stub_delta t ~node ~bunch =
+  let ns = node_state t node in
+  let add_inter, del_inter =
+    match Ids.Bunch_tbl.find_opt ns.inter_stubs bunch with
+    | None -> ([], [])
+    | Some tb -> split_touched tb
+  in
+  let add_intra, del_intra =
+    match Ids.Bunch_tbl.find_opt ns.intra_stubs bunch with
+    | None -> ([], [])
+    | Some tb -> split_touched tb
+  in
+  let add_exiting, del_exiting =
+    match
+      ( Ids.Bunch_tbl.find_opt ns.exiting_touched bunch,
+        Ids.Bunch_tbl.find_opt ns.exiting_cur bunch )
+    with
+    | None, _ -> ([], [])
+    | Some touched, cur ->
+        let present e =
+          match cur with Some c -> Hashtbl.mem c e | None -> false
+        in
+        Hashtbl.fold
+          (fun e () (a, d) -> if present e then (e :: a, d) else (a, e :: d))
+          touched ([], [])
+  in
+  {
+    sd_add_inter = add_inter;
+    sd_del_inter = del_inter;
+    sd_add_intra = add_intra;
+    sd_del_intra = del_intra;
+    sd_add_exiting = add_exiting;
+    sd_del_exiting = del_exiting;
+  }
+
+let rebase_stub_journal t ~node ~bunch =
+  let ns = node_state t node in
+  (match Ids.Bunch_tbl.find_opt ns.inter_stubs bunch with
+  | Some tb -> Hashtbl.reset tb.touched
+  | None -> ());
+  (match Ids.Bunch_tbl.find_opt ns.intra_stubs bunch with
+  | Some tb -> Hashtbl.reset tb.touched
+  | None -> ());
+  (match Ids.Bunch_tbl.find_opt ns.exiting_touched bunch with
+  | Some h -> Hashtbl.reset h
+  | None -> ());
+  match Ids.Bunch_tbl.find_opt ns.since_rebase bunch with
+  | Some r -> incr r
+  | None -> Ids.Bunch_tbl.add ns.since_rebase bunch (ref 1)
+
+let broadcast_round t ~node ~bunch =
+  match Ids.Bunch_tbl.find_opt (node_state t node).since_rebase bunch with
+  | Some r -> !r
+  | None -> 0
+
+let dest_basis t ~node ~bunch ~dest =
+  Hashtbl.find_opt (node_state t node).dest_basis (bunch, dest)
+
+let record_dest_basis t ~node ~bunch ~dest ~round ~basis =
+  Hashtbl.replace (node_state t node).dest_basis (bunch, dest) (round, basis)
+
+(* ------------------------------------------------------------------ *)
+(* Delta-table mirrors (receiver side).                                *)
+
+let mirror_reset t ~node ~sender ~bunch ~basis ~inter ~intra ~exiting =
+  let ns = node_state t node in
+  let m =
+    {
+      mi_basis = basis;
+      mi_inter = Hashtbl.create (max 16 (2 * List.length inter));
+      mi_intra = Hashtbl.create (max 16 (2 * List.length intra));
+      mi_exiting = Hashtbl.create (max 16 (2 * List.length exiting));
+    }
+  in
+  List.iter (fun s -> Hashtbl.replace m.mi_inter (Ssp.inter_stub_key s) ()) inter;
+  List.iter (fun s -> Hashtbl.replace m.mi_intra (Ssp.intra_stub_key s) ()) intra;
+  List.iter (fun e -> Hashtbl.replace m.mi_exiting e ()) exiting;
+  Hashtbl.replace ns.mirrors (sender, bunch) m
+
+let mirror_find t ~node ~sender ~bunch =
+  Hashtbl.find_opt (node_state t node).mirrors (sender, bunch)
+
+let mirror_basis t ~node ~sender ~bunch =
+  Option.map (fun m -> m.mi_basis) (mirror_find t ~node ~sender ~bunch)
+
+let mirror_apply t ~node ~sender ~bunch ~basis ~seq ~add_inter ~del_inter
+    ~add_intra ~del_intra ~add_exiting ~del_exiting =
+  match mirror_find t ~node ~sender ~bunch with
+  | Some m when m.mi_basis = basis ->
+      (* The delta covers every key touched since its basis, so deletions
+         are applied before additions: a key removed and later re-added
+         appears only on the add side and must end up present. *)
+      List.iter (Hashtbl.remove m.mi_inter) del_inter;
+      List.iter (fun k -> Hashtbl.replace m.mi_inter k ()) add_inter;
+      List.iter (Hashtbl.remove m.mi_intra) del_intra;
+      List.iter (fun k -> Hashtbl.replace m.mi_intra k ()) add_intra;
+      List.iter (Hashtbl.remove m.mi_exiting) del_exiting;
+      List.iter (fun e -> Hashtbl.replace m.mi_exiting e ()) add_exiting;
+      (* Basis chaining: this message's transport seq is what the
+         sender's next delta on this stream will name as its basis. *)
+      m.mi_basis <- seq;
+      true
+  | Some _ | None -> false
+
+let mirror_covers_inter t ~node ~sender ~bunch (scion : Ssp.inter_scion) =
+  match mirror_find t ~node ~sender ~bunch with
+  | None -> false
+  | Some m -> Hashtbl.mem m.mi_inter (Ssp.inter_scion_key scion)
+
+let mirror_covers_intra t ~node ~sender ~bunch ~holder (scion : Ssp.intra_scion) =
+  match mirror_find t ~node ~sender ~bunch with
+  | None -> false
+  | Some m -> Hashtbl.mem m.mi_intra (Ssp.intra_scion_key ~holder scion)
+
+let mirror_exiting t ~node ~sender ~bunch =
+  match mirror_find t ~node ~sender ~bunch with
+  | None -> []
+  | Some m -> Hashtbl.fold (fun e () acc -> e :: acc) m.mi_exiting []
+
+(* ------------------------------------------------------------------ *)
+
+let last_exiting t ~node ~bunch =
+  match Ids.Bunch_tbl.find_opt (node_state t node).last_exiting bunch with
+  | Some r -> !r
+  | None -> []
 
 let record_exiting t ~node ~bunch exiting =
   Ids.Bunch_tbl.replace (node_state t node).last_exiting bunch (ref exiting)
 
 let last_broadcast_dests t ~node ~bunch =
-  tbl_get (node_state t node).last_dests bunch
+  match Ids.Bunch_tbl.find_opt (node_state t node).last_dests bunch with
+  | Some r -> !r
+  | None -> []
 
 let record_broadcast_dests t ~node ~bunch dests =
   Ids.Bunch_tbl.replace (node_state t node).last_dests bunch (ref dests)
@@ -139,7 +608,8 @@ let bunches_with_tables t ~node =
        (collect ns.intra_stubs
           (collect ns.inter_scions (collect ns.intra_scions Ids.Bunch_set.empty))))
 
-let tbl_total tbl = Ids.Bunch_tbl.fold (fun _ r acc -> acc + List.length !r) tbl 0
+let tbl_total tbl =
+  Ids.Bunch_tbl.fold (fun _ tb acc -> acc + Hashtbl.length tb.members) tbl 0
 
 let sample_ssp_gauges t ~node =
   match t.obs with
@@ -170,20 +640,20 @@ let pp_node t ppf node =
   let ns = node_state t node in
   Format.fprintf ppf "@[<v>node %a gc-state:@," Ids.Node.pp node;
   Ids.Bunch_tbl.iter
-    (fun b r ->
-      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_inter_stub s) !r;
+    (fun b tb ->
+      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_inter_stub s) tb.view;
       ignore b)
     ns.inter_stubs;
   Ids.Bunch_tbl.iter
-    (fun _ r ->
-      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_intra_stub s) !r)
+    (fun _ tb ->
+      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_intra_stub s) tb.view)
     ns.intra_stubs;
   Ids.Bunch_tbl.iter
-    (fun _ r ->
-      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_inter_scion s) !r)
+    (fun _ tb ->
+      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_inter_scion s) tb.view)
     ns.inter_scions;
   Ids.Bunch_tbl.iter
-    (fun _ r ->
-      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_intra_scion s) !r)
+    (fun _ tb ->
+      List.iter (fun s -> Format.fprintf ppf "  %a@," Ssp.pp_intra_scion s) tb.view)
     ns.intra_scions;
   Format.fprintf ppf "@]"

@@ -91,6 +91,36 @@ val remove_intra_scions :
   t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
   -> (Ssp.intra_scion -> bool) -> int
 
+(** {1 Indexed queries}
+
+    O(1)-ish views over the secondary indexes; all return the same
+    records the list accessors above would surface, without walking the
+    full table. *)
+
+val has_inter_scions_from :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> src:Bmx_util.Ids.Node.t -> bool
+(** Does [node] hold any inter-bunch scion for [bunch] whose stub lives
+    at [src]?  (The cleaner's per-sender pruning guard.) *)
+
+val has_intra_scions_from :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> src:Bmx_util.Ids.Node.t -> bool
+
+val inter_stubs_with_src :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> uid:Bmx_util.Ids.Uid.t -> Ssp.inter_stub list
+(** Inter-bunch stubs of [bunch] whose {e source} object is [uid] (the
+    §5 invariant-3 write-transfer hook queries by source, not target). *)
+
+val intra_stubs_for_uid :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> uid:Bmx_util.Ids.Uid.t -> Ssp.intra_stub list
+
+val inter_scions_for_uid :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> uid:Bmx_util.Ids.Uid.t -> Ssp.inter_scion list
+
 (** {1 Exiting-ownerPtr lists}
 
     The list a BGC last constructed for a bunch (§4.3); kept so the next
@@ -114,6 +144,126 @@ val last_broadcast_dests :
 val record_broadcast_dests :
   t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
   -> Bmx_util.Ids.Node.t list -> unit
+
+(** {1 Delta reachability tables (§6.1, PR 4)}
+
+    The cleaner ships table {e diffs} instead of full tables whenever a
+    destination is known to sit on the previous round's basis.  The
+    sender side journals every match key whose table presence flipped
+    since the last {!rebase_stub_journal}; {!stub_delta} materialises the
+    diff (covering {e every} touched key, so it is correct against any
+    mirror state reached between the journal base and now).  The journal
+    is rebased after every broadcast round; bases chain per message —
+    each message's transport seq is the basis the next delta on that
+    stream names, and a mismatch (loss, restart) makes the receiver pull
+    a resync over the unreliable [Stub_table] channel.  The receiver
+    side keeps per-(sender, bunch) mirrors keyed by basis id. *)
+
+type stub_delta = {
+  sd_add_inter : Ssp.inter_key list;
+  sd_del_inter : Ssp.inter_key list;
+  sd_add_intra : Ssp.intra_key list;
+  sd_del_intra : Ssp.intra_key list;
+  sd_add_exiting : (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list;
+  sd_del_exiting : (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list;
+}
+
+val note_exiting :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list -> unit
+(** Reflect the exiting-ownerPtr list the BGC just produced in the
+    journal: entries whose presence flips get marked touched, exactly
+    like stub-table keys.  Call before {!stub_delta}. *)
+
+val current_exiting :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list
+(** The exiting list as last journalled by {!note_exiting} (what a
+    resync pull reads). *)
+
+val stub_delta :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> stub_delta
+(** Match keys touched since the journal base that are still present
+    (adds) or now absent (dels).  Does not clear the journal.  Working
+    at key granularity means a BGC rebuild that relocates targets but
+    keeps the same edges contributes nothing. *)
+
+val rebase_stub_journal :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> unit
+(** Close the current broadcast round: clear the journal and advance
+    {!broadcast_round}.  Call after every round's sends — the next
+    round's deltas cover exactly one round of churn. *)
+
+val broadcast_round :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> int
+(** How many broadcast rounds this bunch has completed at [node].
+    Resets only when the node crashes (state dies with it). *)
+
+val dest_basis :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> dest:Bmx_util.Ids.Node.t -> (int * int) option
+(** The [(round, seq)] of the last table message sent to [dest] for
+    [bunch] — [None] until a first send.  [dest] is eligible for a
+    delta only if [round] is the round just before the current one
+    (otherwise it missed a round and the journal no longer covers the
+    gap). *)
+
+val record_dest_basis :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
+  -> dest:Bmx_util.Ids.Node.t -> round:int -> basis:int -> unit
+
+val mirror_reset :
+  t ->
+  node:Bmx_util.Ids.Node.t ->
+  sender:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  basis:int ->
+  inter:Ssp.inter_stub list ->
+  intra:Ssp.intra_stub list ->
+  exiting:(Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list ->
+  unit
+(** Install a full table received from [sender] as the new mirror. *)
+
+val mirror_basis :
+  t -> node:Bmx_util.Ids.Node.t -> sender:Bmx_util.Ids.Node.t
+  -> bunch:Bmx_util.Ids.Bunch.t -> int option
+
+val mirror_apply :
+  t ->
+  node:Bmx_util.Ids.Node.t ->
+  sender:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  basis:int ->
+  seq:int ->
+  add_inter:Ssp.inter_key list ->
+  del_inter:Ssp.inter_key list ->
+  add_intra:Ssp.intra_key list ->
+  del_intra:Ssp.intra_key list ->
+  add_exiting:(Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list ->
+  del_exiting:(Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list ->
+  bool
+(** Apply a delta and advance the mirror basis to [seq] (the transport
+    seq that delivered it — the basis the sender's next delta names);
+    [false] (and no change) if there is no mirror or its basis differs
+    from [basis] — the caller must resync. *)
+
+val mirror_covers_inter :
+  t -> node:Bmx_util.Ids.Node.t -> sender:Bmx_util.Ids.Node.t
+  -> bunch:Bmx_util.Ids.Bunch.t -> Ssp.inter_scion -> bool
+(** Does the mirrored table contain a stub matching this scion (the
+    cleaner's §6.1 deletion test, O(1))? *)
+
+val mirror_covers_intra :
+  t -> node:Bmx_util.Ids.Node.t -> sender:Bmx_util.Ids.Node.t
+  -> bunch:Bmx_util.Ids.Bunch.t -> holder:Bmx_util.Ids.Node.t
+  -> Ssp.intra_scion -> bool
+
+val mirror_exiting :
+  t -> node:Bmx_util.Ids.Node.t -> sender:Bmx_util.Ids.Node.t
+  -> bunch:Bmx_util.Ids.Bunch.t
+  -> (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list
+(** The complete exiting list reassembled from fulls and deltas — what
+    the entering reconciliation consumes. *)
 
 (** {1 Scion-cleaner FIFO state (§6.1)} *)
 

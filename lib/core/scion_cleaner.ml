@@ -5,21 +5,117 @@ module Store = Bmx_memory.Store
 module Heap_obj = Bmx_memory.Heap_obj
 module Directory = Bmx_dsm.Directory
 
+type table_body =
+  | Full of {
+      fb_inter : Ssp.inter_stub list;
+      fb_intra : Ssp.intra_stub list;
+      fb_exiting : (Ids.Uid.t * Ids.Node.t) list;
+    }
+  | Delta of {
+      db_basis : int;
+      db_add_inter : Ssp.inter_key list;
+      db_del_inter : Ssp.inter_key list;
+      db_add_intra : Ssp.intra_key list;
+      db_del_intra : Ssp.intra_key list;
+      db_add_exiting : (Ids.Uid.t * Ids.Node.t) list;
+      db_del_exiting : (Ids.Uid.t * Ids.Node.t) list;
+    }
+
 type table_msg = {
   tm_sender : Ids.Node.t;
   tm_bunch : Ids.Bunch.t;
-  tm_inter_stubs : Ssp.inter_stub list;
-  tm_intra_stubs : Ssp.intra_stub list;
-  tm_exiting : (Ids.Uid.t * Ids.Node.t) list;
+  tm_body : table_body;
 }
 
+(* Deltas ship match keys (four resp. three small ids per entry, 24
+   bytes) and exiting-list diffs, not full stub records and lists; the
+   header is a little larger than a full table's (basis id plus section
+   lengths). *)
 let msg_bytes m =
-  16
-  + (40 * List.length m.tm_inter_stubs)
-  + (24 * List.length m.tm_intra_stubs)
-  + (16 * List.length m.tm_exiting)
+  match m.tm_body with
+  | Full { fb_inter; fb_intra; fb_exiting } ->
+      16
+      + (40 * List.length fb_inter)
+      + (24 * List.length fb_intra)
+      + (16 * List.length fb_exiting)
+  | Delta
+      {
+        db_add_inter;
+        db_del_inter;
+        db_add_intra;
+        db_del_intra;
+        db_add_exiting;
+        db_del_exiting;
+        _;
+      } ->
+      24
+      + (24 * (List.length db_add_inter + List.length db_del_inter))
+      + (24 * (List.length db_add_intra + List.length db_del_intra))
+      + (16 * (List.length db_add_exiting + List.length db_del_exiting))
 
-let bump t name = Stats.incr (Gc_state.stats t) name
+(* How many bytes the same broadcast would have cost as a full table —
+   the counterfactual the [tables.full_bytes] counter accumulates. *)
+let full_bytes_of ~inter ~intra ~exiting =
+  16
+  + (40 * List.length inter)
+  + (24 * List.length intra)
+  + (16 * List.length exiting)
+
+let bump ?by t name = Stats.incr ?by (Gc_state.stats t) name
+
+(* Bring the local mirror of (sender, bunch)'s stub tables up to date
+   from the message body.  Fulls always install.  A delta only applies if
+   the mirror exists and sits on the delta's basis; otherwise the mirror
+   is resynchronised by pulling the sender's current tables — an explicit
+   RPC (it costs a round trip, accounted on the wire) that only happens
+   after losses, restarts or first contact on a delta stream. *)
+let sync_mirror t ~at ~seq msg =
+  let proto = Gc_state.proto t in
+  let sender = msg.tm_sender and bunch = msg.tm_bunch in
+  match msg.tm_body with
+  | Full { fb_inter; fb_intra; fb_exiting } ->
+      Gc_state.mirror_reset t ~node:at ~sender ~bunch ~basis:seq ~inter:fb_inter
+        ~intra:fb_intra ~exiting:fb_exiting
+  | Delta
+      {
+        db_basis;
+        db_add_inter;
+        db_del_inter;
+        db_add_intra;
+        db_del_intra;
+        db_add_exiting;
+        db_del_exiting;
+      } ->
+      let applied =
+        Gc_state.mirror_apply t ~node:at ~sender ~bunch ~basis:db_basis ~seq
+          ~add_inter:db_add_inter ~del_inter:db_del_inter
+          ~add_intra:db_add_intra ~del_intra:db_del_intra
+          ~add_exiting:db_add_exiting ~del_exiting:db_del_exiting
+      in
+      if not applied then begin
+        (* Basis mismatch (or no mirror at all): the delta is unusable.
+           Pull the sender's current tables.  The new basis is the seq of
+           the sender's latest send on this stream — that is the state
+           the pull observes (tables only change at a BGC, which
+           broadcasts immediately), so later deltas chain correctly;
+           any older in-flight message simply resyncs again. *)
+        let inter = Gc_state.inter_stubs t ~node:sender ~bunch in
+        let intra = Gc_state.intra_stubs t ~node:sender ~bunch in
+        let exiting = Gc_state.current_exiting t ~node:sender ~bunch in
+        if not (Ids.Node.equal sender at) then
+          Net.record_rpc (Protocol.net proto) ~src:at ~dst:sender
+            ~kind:Net.Stub_table
+            ~bytes:(full_bytes_of ~inter ~intra ~exiting)
+            ();
+        let basis =
+          match Gc_state.dest_basis t ~node:sender ~bunch ~dest:at with
+          | Some (_, s) -> s
+          | None -> seq
+        in
+        Gc_state.mirror_reset t ~node:at ~sender ~bunch ~basis ~inter ~intra
+          ~exiting;
+        bump t "gc.cleaner.resyncs"
+      end
 
 let receive t ~at ~seq msg =
   let sender_dead =
@@ -49,45 +145,54 @@ let receive t ~at ~seq msg =
       ~category:"cleaner" "N%d processed tables from N%d for B%d (seq %d)" at
       msg.tm_sender msg.tm_bunch seq;
     let proto = Gc_state.proto t in
+    let sender = msg.tm_sender in
+    sync_mirror t ~at ~seq msg;
     (* Inter-bunch scions held here whose stub lived in the sender's copy
-       of the bunch: drop those the new stub table no longer covers. *)
+       of the bunch: drop those the (mirrored) stub table no longer
+       covers.  Coverage is an O(1) key lookup per scion. *)
     List.iter
       (fun target_bunch ->
-        let removed =
-          Gc_state.remove_inter_scions t ~node:at ~bunch:target_bunch
-            (fun scion ->
-              Ids.Node.equal scion.Ssp.xs_src_node msg.tm_sender
-              && Ids.Bunch.equal scion.Ssp.xs_src_bunch msg.tm_bunch
-              && not
-                   (List.exists
-                      (fun stub -> Ssp.inter_stub_matches stub scion)
-                      msg.tm_inter_stubs))
-        in
-        if removed > 0 then
-          Stats.incr (Gc_state.stats t) ~by:removed "gc.cleaner.inter_scions_removed")
+        if Gc_state.has_inter_scions_from t ~node:at ~bunch:target_bunch ~src:sender
+        then
+          let removed =
+            Gc_state.remove_inter_scions t ~node:at ~bunch:target_bunch
+              (fun scion ->
+                Ids.Node.equal scion.Ssp.xs_src_node sender
+                && Ids.Bunch.equal scion.Ssp.xs_src_bunch msg.tm_bunch
+                && not
+                     (Gc_state.mirror_covers_inter t ~node:at ~sender
+                        ~bunch:msg.tm_bunch scion))
+          in
+          if removed > 0 then
+            bump t ~by:removed "gc.cleaner.inter_scions_removed")
       (Gc_state.bunches_with_tables t ~node:at);
     (* Intra-bunch scions for this bunch whose owner side is the sender:
        keep only those the sender's intra stubs still name. *)
-    let removed_intra =
-      Gc_state.remove_intra_scions t ~node:at ~bunch:msg.tm_bunch (fun scion ->
-          Ids.Node.equal scion.Ssp.xn_owner_side msg.tm_sender
-          && not
-               (List.exists
-                  (fun stub -> Ssp.intra_stub_matches ~holder:at stub scion)
-                  msg.tm_intra_stubs))
-    in
-    if removed_intra > 0 then
-      Stats.incr (Gc_state.stats t) ~by:removed_intra
-        "gc.cleaner.intra_scions_removed";
+    if Gc_state.has_intra_scions_from t ~node:at ~bunch:msg.tm_bunch ~src:sender
+    then begin
+      let removed_intra =
+        Gc_state.remove_intra_scions t ~node:at ~bunch:msg.tm_bunch (fun scion ->
+            Ids.Node.equal scion.Ssp.xn_owner_side sender
+            && not
+                 (Gc_state.mirror_covers_intra t ~node:at ~sender
+                    ~bunch:msg.tm_bunch ~holder:at scion))
+      in
+      if removed_intra > 0 then
+        bump t ~by:removed_intra "gc.cleaner.intra_scions_removed"
+    end;
     (* Entering ownerPtrs: reconcile the entries originating at the sender
        for objects of this bunch against the sender's exiting list. *)
     let dir = Protocol.directory proto at in
     let store = Protocol.store proto at in
     let claimed =
-      List.filter_map
-        (fun (uid, target) ->
-          if Ids.Node.equal target at then Some uid else None)
-        msg.tm_exiting
+      (* The complete exiting list, reassembled from fulls and deltas by
+         the mirror — delta messages only carry the flips. *)
+      List.fold_left
+        (fun acc (uid, target) ->
+          if Ids.Node.equal target at then Ids.Uid_set.add uid acc else acc)
+        Ids.Uid_set.empty
+        (Gc_state.mirror_exiting t ~node:at ~sender:msg.tm_sender
+           ~bunch:msg.tm_bunch)
     in
     List.iter
       (fun uid ->
@@ -104,7 +209,8 @@ let receive t ~at ~seq msg =
             Directory.entering_registration_seq dir ~uid ~from:msg.tm_sender
             >= seq
           in
-          if belongs_to_bunch && (not (List.mem uid claimed))
+          if belongs_to_bunch
+             && (not (Ids.Uid_set.mem uid claimed))
              && not registered_after_send
           then begin
             Directory.remove_entering dir ~uid ~from:msg.tm_sender;
@@ -112,7 +218,7 @@ let receive t ~at ~seq msg =
           end
         end)
       (Directory.entering_uids dir);
-    List.iter
+    Ids.Uid_set.iter
       (fun uid -> Directory.add_entering dir ~seq ~uid ~from:msg.tm_sender)
       claimed;
     Gc_state.sample_ssp_gauges t ~node:at
@@ -121,30 +227,34 @@ let receive t ~at ~seq msg =
 let destinations t ~node ~bunch ~old_inter ~new_inter ~old_intra ~new_intra
     ~exiting =
   let proto = Gc_state.proto t in
-  let replicas = Protocol.bunch_replica_nodes proto bunch in
-  let scion_holders =
-    List.map (fun (s : Ssp.inter_stub) -> s.Ssp.is_scion_at) (old_inter @ new_inter)
-    @ List.map (fun (s : Ssp.intra_stub) -> s.Ssp.ns_holder) (old_intra @ new_intra)
+  let open Ids in
+  let add_inter acc (s : Ssp.inter_stub) = Node_set.add s.Ssp.is_scion_at acc in
+  let add_intra acc (s : Ssp.intra_stub) = Node_set.add s.Ssp.ns_holder acc in
+  let add_owner acc (_, n) = Node_set.add n acc in
+  let dests =
+    Node_set.of_list (Protocol.bunch_replica_nodes proto bunch)
+    |> fun acc ->
+    List.fold_left add_inter acc old_inter |> fun acc ->
+    List.fold_left add_inter acc new_inter |> fun acc ->
+    List.fold_left add_intra acc old_intra |> fun acc ->
+    List.fold_left add_intra acc new_intra |> fun acc ->
+    List.fold_left add_owner acc exiting |> fun acc ->
+    List.fold_left add_owner acc (Gc_state.last_exiting t ~node ~bunch)
   in
-  let owners =
-    List.map snd exiting @ List.map snd (Gc_state.last_exiting t ~node ~bunch)
-  in
-  List.sort_uniq Ids.Node.compare (replicas @ scion_holders @ owners)
-  |> List.filter (fun n -> not (Ids.Node.equal n node))
+  Node_set.elements (Node_set.remove node dests)
+
+(* A full table goes out at least every [full_period] rounds even on a
+   healthy delta stream, bounding how long a silently diverged mirror
+   (e.g. a duplicated-then-reordered delta) can last.  The period sets
+   the steady-state floor of the delta encoding: roughly 1/full_period
+   of a quiet stream's bytes are periodic refresh. *)
+let full_period = 64
 
 let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
   let proto = Gc_state.proto t in
+  let net = Protocol.net proto in
   let new_inter = Gc_state.inter_stubs t ~node ~bunch in
   let new_intra = Gc_state.intra_stubs t ~node ~bunch in
-  let msg =
-    {
-      tm_sender = node;
-      tm_bunch = bunch;
-      tm_inter_stubs = new_inter;
-      tm_intra_stubs = new_intra;
-      tm_exiting = exiting;
-    }
-  in
   let dests =
     destinations t ~node ~bunch ~old_inter ~new_inter ~old_intra ~new_intra
       ~exiting
@@ -161,15 +271,66 @@ let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
      in the recorded destination list, so the next round's rebroadcast
      reaches them once they return — the same §6.1 loss-repair path that
      covers dropped tables.  Never block on a dead peer. *)
-  let live_dests =
-    List.filter (fun d -> not (Net.is_down (Protocol.net proto) d)) dests
+  let live_dests = List.filter (fun d -> not (Net.is_down net d)) dests in
+  Gc_state.note_exiting t ~node ~bunch exiting;
+  let full_body =
+    Full { fb_inter = new_inter; fb_intra = new_intra; fb_exiting = exiting }
   in
-  List.iter
-    (fun dst ->
-      Net.send (Protocol.net proto) ~src:node ~dst ~kind:Net.Stub_table
-        ~bytes:(msg_bytes msg)
-        (fun seq -> receive t ~at:dst ~seq msg))
-    live_dests;
+  let full_sz = full_bytes_of ~inter:new_inter ~intra:new_intra ~exiting in
+  let delta = Gc_state.stub_delta t ~node ~bunch in
+  let delta_body_for basis =
+    Delta
+      {
+        db_basis = basis;
+        db_add_inter = delta.Gc_state.sd_add_inter;
+        db_del_inter = delta.Gc_state.sd_del_inter;
+        db_add_intra = delta.Gc_state.sd_add_intra;
+        db_del_intra = delta.Gc_state.sd_del_intra;
+        db_add_exiting = delta.Gc_state.sd_add_exiting;
+        db_del_exiting = delta.Gc_state.sd_del_exiting;
+      }
+  in
+  let delta_sz =
+    msg_bytes { tm_sender = node; tm_bunch = bunch; tm_body = delta_body_for 0 }
+  in
+  (* The journal rebases after every round, so a delta covers exactly
+     one round of churn.  Still send fulls periodically (bounding mirror
+     drift) and whenever the round's churn costs as much as the table
+     itself — common for small tables, where a full is the cheaper and
+     sturdier encoding anyway. *)
+  let round = Gc_state.broadcast_round t ~node ~bunch in
+  let full_round =
+    (round + 1) mod full_period = 0 || 2 * delta_sz >= full_sz
+  in
+  let send_to dst =
+    let body =
+      if full_round then full_body
+      else
+        match Gc_state.dest_basis t ~node ~bunch ~dest:dst with
+        | Some (r, basis) when r = round - 1 -> delta_body_for basis
+        | Some _ | None ->
+            (* First contact, or the peer missed a round (down, or
+               dropped out of the destination set): the journal no
+               longer covers the gap, so restart the stream. *)
+            full_body
+    in
+    let msg = { tm_sender = node; tm_bunch = bunch; tm_body = body } in
+    let wire = msg_bytes msg in
+    bump t ~by:full_sz "tables.full_bytes";
+    bump t ~by:wire "tables.delta_bytes";
+    (match body with
+    | Full _ -> bump t "gc.cleaner.full_sent"
+    | Delta _ -> bump t "gc.cleaner.delta_sent");
+    Net.send net ~src:node ~dst ~kind:Net.Stub_table ~bytes:wire (fun seq ->
+        receive t ~at:dst ~seq msg);
+    (* The transport seq just stamped on this pair is the basis the next
+       round's delta to this peer will name; the receiver's mirror
+       records the same number when it processes the message. *)
+    Gc_state.record_dest_basis t ~node ~bunch ~dest:dst ~round
+      ~basis:(Net.current_seq net ~src:node ~dst)
+  in
+  List.iter send_to live_dests;
+  Gc_state.rebase_stub_journal t ~node ~bunch;
   (* The scion cleaner is a per-node service operating on all local
      bunches (§6.1): the node's own scions matching its own regenerated
      stub tables are processed by direct hand-off, no message needed. *)
@@ -178,5 +339,6 @@ let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
     | Some s -> s + 1
     | None -> 1
   in
-  receive t ~at:node ~seq:self_seq msg;
+  receive t ~at:node ~seq:self_seq
+    { tm_sender = node; tm_bunch = bunch; tm_body = full_body };
   List.length live_dests

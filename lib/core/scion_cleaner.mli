@@ -1,30 +1,55 @@
 (** The scion cleaner (§6).
 
     After a BGC reconstructs a bunch replica's stub table and exiting
-    ownerPtr list (§4.3), the full tables are sent to every node that
-    either caches a copy of the same bunch or holds scions matching stubs
-    of the old or new tables.  The cleaner at each receiver removes every
-    scion no longer covered by a stub, and reconciles the entering
-    ownerPtrs with the sender's exiting list — thereby updating the roots
-    of the receiver's next BGC.
+    ownerPtr list (§4.3), the reachability information is sent to every
+    node that either caches a copy of the same bunch or holds scions
+    matching stubs of the old or new tables.  The cleaner at each
+    receiver removes every scion no longer covered by a stub, and
+    reconciles the entering ownerPtrs with the sender's exiting list —
+    thereby updating the roots of the receiver's next BGC.
 
-    Because each message carries the {e complete} reachability tables, the
-    messages are idempotent: losses are repaired by the next send and
-    duplicates are harmless; the only transport requirement is per-pair
-    FIFO, enforced with the sequence numbers the network already stamps
-    (§6.1). *)
+    Wire format: a message carries either the {e complete} stub tables
+    ([Full]) or a one-round diff ([Delta]) against a basis identified by
+    the transport sequence number of the previous message on the same
+    (sender, bunch, dest) stream — bases chain: each message's own seq
+    becomes the next delta's basis.  A lost message (or a receiver
+    restart) surfaces as a basis mismatch on the next delta and is
+    healed by pulling the sender's current tables; a peer the sender
+    knows missed a round gets a fresh full instead.  Duplicates are
+    suppressed by the per-pair FIFO sequence numbers the network already
+    stamps (§6.1), exactly as for full tables.  The exiting ownerPtr
+    list rides the same encoding: complete in fulls, flips-only in
+    deltas, reassembled by the receiver's mirror before the entering
+    reconciliation runs. *)
+
+type table_body =
+  | Full of {
+      fb_inter : Ssp.inter_stub list;
+      fb_intra : Ssp.intra_stub list;
+      fb_exiting : (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list;
+          (** the sender's complete exiting ownerPtrs: object and the
+              owner node the sender believes in *)
+    }
+  | Delta of {
+      db_basis : int;
+          (** transport seq of the full table this diff builds on *)
+      db_add_inter : Ssp.inter_key list;
+      db_del_inter : Ssp.inter_key list;
+      db_add_intra : Ssp.intra_key list;
+      db_del_intra : Ssp.intra_key list;
+      db_add_exiting : (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list;
+      db_del_exiting : (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list;
+    }
 
 type table_msg = {
   tm_sender : Bmx_util.Ids.Node.t;
   tm_bunch : Bmx_util.Ids.Bunch.t;
-  tm_inter_stubs : Ssp.inter_stub list;
-  tm_intra_stubs : Ssp.intra_stub list;
-  tm_exiting : (Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list;
-      (** the sender's exiting ownerPtrs: object and the owner node the
-          sender believes in *)
+  tm_body : table_body;
 }
 
 val msg_bytes : table_msg -> int
+(** Actual wire size of the message — delta messages are costed by their
+    delta payload, not the full-table formula. *)
 
 val receive : Gc_state.t -> at:Bmx_util.Ids.Node.t -> seq:int -> table_msg -> unit
 (** Process one reachability message at node [at].  Stale or duplicated
@@ -53,7 +78,12 @@ val broadcast :
   old_intra:Ssp.intra_stub list ->
   exiting:(Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t) list ->
   int
-(** Send the node's (already replaced) current tables for the bunch to all
-    {!destinations} as background messages; returns the number of messages
-    sent.  Re-running after a loss simply resends — idempotence makes that
-    safe. *)
+(** Send the node's (already replaced) current tables for the bunch to
+    all {!destinations} as background messages; returns the number of
+    messages sent.  Each destination independently gets either a delta
+    (when the sender knows which basis it holds) or a full table (first
+    contact, periodic rebase, or when the accumulated diff outgrew the
+    table).  Re-running after a loss simply resends — the cumulative
+    encoding keeps that safe.  Accounts [tables.delta_bytes] (actual
+    wire bytes) and [tables.full_bytes] (what full tables would have
+    cost) per send. *)

@@ -26,6 +26,24 @@ type intra_scion = {
   xn_owner_side : Ids.Node.t;
 }
 
+(* Match keys: exactly the fields the coverage predicates below compare.
+   Stub records also carry volatile detail — notably the target's address,
+   which changes whenever the target bunch is copied — so table journals,
+   delta messages and receiver mirrors all work at key granularity:
+   address churn costs no wire bytes and cannot perturb scion cleaning. *)
+
+type inter_key = Ids.Bunch.t * Ids.Uid.t * Ids.Node.t * Ids.Uid.t
+type intra_key = Ids.Bunch.t * Ids.Uid.t * Ids.Node.t
+
+let inter_stub_key s =
+  (s.is_src_bunch, s.is_src_uid, s.is_created_at, s.is_target_uid)
+
+let inter_scion_key s =
+  (s.xs_src_bunch, s.xs_src_uid, s.xs_src_node, s.xs_target_uid)
+
+let intra_stub_key s = (s.ns_bunch, s.ns_uid, s.ns_holder)
+let intra_scion_key ~holder s = (s.xn_bunch, s.xn_uid, holder)
+
 let inter_stub_matches stub scion =
   Ids.Bunch.equal stub.is_src_bunch scion.xs_src_bunch
   && Ids.Uid.equal stub.is_src_uid scion.xs_src_uid

@@ -51,6 +51,30 @@ type intra_scion = {
       (** the (then-)current owner holding the matching stub *)
 }
 
+(** {1 Match keys}
+
+    Exactly the fields {!inter_stub_matches}/{!intra_stub_matches}
+    compare.  Stub records also carry volatile detail (the target's
+    address changes whenever the target bunch is copied), so the delta
+    reachability tables and the cleaner's coverage checks work on keys:
+    [inter_stub_matches stub scion] iff
+    [inter_stub_key stub = inter_scion_key scion]. *)
+
+type inter_key =
+  Bmx_util.Ids.Bunch.t * Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t * Bmx_util.Ids.Uid.t
+(** source bunch, source uid, stub-holder node, target uid *)
+
+type intra_key = Bmx_util.Ids.Bunch.t * Bmx_util.Ids.Uid.t * Bmx_util.Ids.Node.t
+(** bunch, uid, scion-holder node *)
+
+val inter_stub_key : inter_stub -> inter_key
+val inter_scion_key : inter_scion -> inter_key
+val intra_stub_key : intra_stub -> intra_key
+
+val intra_scion_key : holder:Bmx_util.Ids.Node.t -> intra_scion -> intra_key
+(** The key of the stub that would cover this scion when held at
+    [holder]. *)
+
 val inter_stub_matches : inter_stub -> inter_scion -> bool
 (** Stub and scion of the same inter-bunch SSP? *)
 

@@ -29,6 +29,10 @@ type t = {
   homes : Ids.Node.t Ids.Bunch_tbl.t;
   uidgen : Ids.Uid.gen;
   addr_oracle : (Addr.t, Ids.Uid.t) Hashtbl.t;
+  owners : Ids.Node.t Ids.Uid_tbl.t;
+      (* cached owner per uid — a hint, validated against the directory
+         on every lookup (tests and crashes may flip [is_owner] without
+         going through the protocol) and repaired by scan on a miss *)
   tracer : Tracelog.t;
   evlog : Trace_event.log;
   mutable obs : Bmx_obs.Metrics.t option;
@@ -46,6 +50,7 @@ let create ~net ~registry ?(mode = Distributed) ?(update_policy = Lazy) () =
     homes = Ids.Bunch_tbl.create 8;
     uidgen = Ids.Uid.generator ();
     addr_oracle = Hashtbl.create 1024;
+    owners = Ids.Uid_tbl.create 1024;
     tracer = (let tr = Tracelog.create () in Tracelog.set_enabled tr false; tr);
     evlog = Trace_event.create_log ();
     obs = None;
@@ -121,6 +126,7 @@ let bunches t =
 
 let actor_prefix = function App -> "dsm.app" | Gc -> "dsm.gc"
 let bump t name = Stats.incr (stats t) name
+let note_owner t ~uid ~node = Ids.Uid_tbl.replace t.owners uid node
 
 (* ------------------------------------------------------------------ *)
 (* Allocation and the address oracle.                                  *)
@@ -129,6 +135,7 @@ let alloc t ~node ~bunch ~fields =
   let uid = Ids.Uid.fresh t.uidgen in
   let addr = Store.alloc (store t node) ~bunch ~uid ~fields in
   ignore (Directory.register_new_object (directory t node) ~uid);
+  note_owner t ~uid ~node;
   Hashtbl.replace t.addr_oracle addr uid;
   bump t "dsm.alloc";
   addr
@@ -139,7 +146,7 @@ let uid_of_addr t addr = Hashtbl.find_opt t.addr_oracle addr
 (* ------------------------------------------------------------------ *)
 (* Oracles.                                                            *)
 
-let owner_of t uid =
+let owner_scan t uid =
   Ids.Node_tbl.fold
     (fun node d acc ->
       match acc with
@@ -149,6 +156,26 @@ let owner_of t uid =
           | Some r when r.Directory.is_owner -> Some node
           | Some _ | None -> None))
     t.dirs None
+
+let owner_confirmed t uid node =
+  match Ids.Node_tbl.find_opt t.dirs node with
+  | None -> false
+  | Some d -> (
+      match Directory.find d uid with
+      | Some r -> r.Directory.is_owner
+      | None -> false)
+
+let owner_of t uid =
+  match Ids.Uid_tbl.find_opt t.owners uid with
+  | Some n when owner_confirmed t uid n -> Some n
+  | Some _ | None -> (
+      match owner_scan t uid with
+      | Some n ->
+          Ids.Uid_tbl.replace t.owners uid n;
+          Some n
+      | None ->
+          Ids.Uid_tbl.remove t.owners uid;
+          None)
 
 let replica_nodes t uid =
   Ids.Node_tbl.fold
@@ -293,7 +320,17 @@ let compute_updates t ~granter:g ~requested addr gobj =
                 else Some { lu_uid = u; old_addr = a; new_addr = cur }))
       (Heap_obj.pointers gobj)
   in
-  acquired @ referents
+  (* Coalesce per destination: several fields naming the same object must
+     not cost several piggybacked entries.  Last write wins, first
+     occurrence keeps its position. *)
+  let newest : (Ids.Uid.t, location_update) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun up ->
+      if not (Hashtbl.mem newest up.lu_uid) then order := up.lu_uid :: !order;
+      Hashtbl.replace newest up.lu_uid up)
+    (acquired @ referents);
+  List.rev_map (Hashtbl.find newest) !order
 
 (* Rewrite the pointer fields of a local object copy through the local
    forwarder chains (Figure 3 case (d): references to from-space forwarding
@@ -565,6 +602,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
           (* We were the owner all along (stale local state); revalidate. *)
           let r = Directory.ensure d_n ~uid ~prob_owner:n in
           r.Directory.is_owner <- true;
+          note_owner t ~uid ~node:n;
           invalidate_subtree t ~actor ~skip:n owner uid;
           r.Directory.state <- Directory.Write;
           r.Directory.held <- true;
@@ -627,6 +665,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
           ignore (install_granted t ~node:n ~gaddr gobj);
           r_n.Directory.state <- Directory.Write;
           r_n.Directory.is_owner <- true;
+          note_owner t ~uid ~node:n;
           r_n.Directory.held <- true;
           r_n.Directory.prob_owner <- n;
           r_n.Directory.copyset <- Ids.Node_set.empty;
@@ -751,7 +790,7 @@ let ptr_eq t ~node a b =
 let bunch_replica_nodes t bunch =
   Ids.Node_tbl.fold
     (fun node s acc ->
-      if Store.objects_of_bunch s bunch <> [] then node :: acc else acc)
+      if Store.has_objects_of_bunch s bunch then node :: acc else acc)
     t.stores []
   |> List.sort Ids.Node.compare
 
@@ -787,6 +826,7 @@ let adopt_ownership t ~node ~uid =
   | Some _ | None -> ());
   let r = Directory.ensure (directory t node) ~uid ~prob_owner:node in
   r.Directory.is_owner <- true;
+  note_owner t ~uid ~node;
   r.Directory.prob_owner <- node;
   (* Adopt with a READ state: other replicas may legitimately hold read
      tokens, and an owner may be in the downgraded-read state (§2.2).

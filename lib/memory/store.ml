@@ -11,6 +11,9 @@ type t = {
   active : Segment.t Ids.Bunch_tbl.t; (* current allocation segment per bunch *)
   uid_index : Addr.t Ids.Uid_tbl.t;
   known_addrs : Addr.t list ref Ids.Uid_tbl.t; (* newest first *)
+  by_bunch : (Addr.t, Heap_obj.t) Hashtbl.t Ids.Bunch_tbl.t;
+      (* live Object cells per bunch — kept in sync by install/remove so
+         per-bunch scans don't walk the whole cell table *)
 }
 
 let create ~registry ~node =
@@ -23,7 +26,23 @@ let create ~registry ~node =
     active = Ids.Bunch_tbl.create 8;
     uid_index = Ids.Uid_tbl.create 256;
     known_addrs = Ids.Uid_tbl.create 256;
+    by_bunch = Ids.Bunch_tbl.create 8;
   }
+
+let bunch_cells t bunch =
+  match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 64 in
+      Ids.Bunch_tbl.add t.by_bunch bunch h;
+      h
+
+(* Drop address [a] from the bunch index if it currently holds an object
+   there — called before any cell at [a] is overwritten or removed. *)
+let unindex_cell t a =
+  match Hashtbl.find_opt t.cells a with
+  | Some (Object obj) -> Hashtbl.remove (bunch_cells t obj.Heap_obj.bunch) a
+  | Some (Forwarder _) | None -> ()
 
 let node t = t.node
 let registry t = t.registry
@@ -90,7 +109,9 @@ let note_maps t a (obj : Heap_obj.t) =
         obj.Heap_obj.fields
 
 let install t a obj =
+  unindex_cell t a;
   Hashtbl.replace t.cells a (Object obj);
+  Hashtbl.replace (bunch_cells t obj.Heap_obj.bunch) a obj;
   Ids.Uid_tbl.replace t.uid_index obj.Heap_obj.uid a;
   (match Ids.Uid_tbl.find_opt t.known_addrs obj.Heap_obj.uid with
   | Some r -> if (match !r with a' :: _ -> not (Addr.equal a a') | [] -> true) then r := a :: !r
@@ -135,6 +156,7 @@ let set_forwarder t ~at ~target =
             Hashtbl.remove t.cells target
         | None -> ())
     | Some (Object _) | None -> ());
+    unindex_cell t at;
     Hashtbl.replace t.cells at (Forwarder target);
     match segment_at t at with
     | Some seg -> Segment.clear_object seg at
@@ -147,6 +169,7 @@ let remove t a =
       if Ids.Uid_tbl.find_opt t.uid_index obj.Heap_obj.uid = Some a then
         Ids.Uid_tbl.remove t.uid_index obj.Heap_obj.uid
   | Some (Forwarder _) | None -> ());
+  unindex_cell t a;
   Hashtbl.remove t.cells a;
   match segment_at t a with
   | Some seg -> Segment.clear_object seg a
@@ -222,13 +245,16 @@ let alloc t ~bunch ~uid ~fields =
       | None -> failwith "Store.alloc: object larger than a segment")
 
 let objects_of_bunch t bunch =
-  Hashtbl.fold
-    (fun a c acc ->
-      match c with
-      | Object obj when Ids.Bunch.equal obj.Heap_obj.bunch bunch -> (a, obj) :: acc
-      | Object _ | Forwarder _ -> acc)
-    t.cells []
-  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
+  | None -> []
+  | Some h ->
+      Hashtbl.fold (fun a obj acc -> (a, obj) :: acc) h []
+      |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+
+let has_objects_of_bunch t bunch =
+  match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
+  | None -> false
+  | Some h -> Hashtbl.length h > 0
 
 let addr_of_uid t uid = Ids.Uid_tbl.find_opt t.uid_index uid
 

@@ -89,7 +89,11 @@ val note_field_write : t -> obj_addr:Bmx_util.Addr.t -> index:int -> Value.t -> 
     [obj_addr] after a write. *)
 
 val objects_of_bunch : t -> Bmx_util.Ids.Bunch.t -> (Bmx_util.Addr.t * Heap_obj.t) list
-(** All local object copies (not forwarders) of the bunch, by address. *)
+(** All local object copies (not forwarders) of the bunch, by address.
+    Served from a per-bunch index — O(bunch), not O(store). *)
+
+val has_objects_of_bunch : t -> Bmx_util.Ids.Bunch.t -> bool
+(** Whether any local object copy of the bunch exists — O(1). *)
 
 val addr_of_uid : t -> Bmx_util.Ids.Uid.t -> Bmx_util.Addr.t option
 (** Current local address of the object with this uid, if cached. *)

@@ -41,6 +41,11 @@ type t = {
   handles : Addr.t array Ids.Node_tbl.t;
   rng : Rng.t;
   mutable rooted : (Ids.Node.t * int) list; (* (node, object index) *)
+  (* Memoized cluster-wide reachability (a full-graph traversal): the
+     legality check runs before every op, but only root churn and
+     pointer relinks change the uid graph — reads, data writes, token
+     transfers and collections all leave it intact. *)
+  mutable reach_cache : Ids.Uid_set.t option;
 }
 
 let cluster t = t.cluster
@@ -86,6 +91,7 @@ let setup cfg =
       handles = Ids.Node_tbl.create cfg.nodes;
       rng;
       rooted = [];
+      reach_cache = None;
     }
   in
   List.iter
@@ -114,8 +120,18 @@ let random_node t =
 (* A mutator can only name objects it can reach from a root: pointers come
    from roots or from fields of reachable objects.  The handle table is a
    testing convenience and must not resurrect unreachable objects. *)
+let invalidate_reachability t = t.reach_cache <- None
+
 let reachable_uid t uid =
-  Ids.Uid_set.mem uid (Bmx.Audit.union_reachable t.cluster)
+  let set =
+    match t.reach_cache with
+    | Some s -> s
+    | None ->
+        let s = Bmx.Audit.union_reachable t.cluster in
+        t.reach_cache <- Some s;
+        s
+  in
+  Ids.Uid_set.mem uid set
 
 let uid_of_handle t addr = Bmx_dsm.Protocol.uid_of_addr (Cluster.proto t.cluster) addr
 
@@ -141,7 +157,8 @@ let one_op t =
         Cluster.release c ~node a;
         set_handle t ~node i a;
         Cluster.add_root c ~node a;
-        t.rooted <- t.rooted @ [ (node, i) ]
+        t.rooted <- t.rooted @ [ (node, i) ];
+        invalidate_reachability t
     | [] -> ()
   end
   else if Rng.float t.rng 1.0 < t.cfg.write_prob then begin
@@ -157,7 +174,8 @@ let one_op t =
         | None -> false
       in
       if alive then Cluster.write c ~node a field (Value.Ref target)
-      else Cluster.write c ~node a field Value.nil
+      else Cluster.write c ~node a field Value.nil;
+      invalidate_reachability t
     end
     else
       Cluster.write c ~node a t.cfg.out_degree (Value.Data (Rng.int t.rng 1000));
@@ -172,6 +190,9 @@ let one_op t =
 
 let run_ops t ?ops () =
   let n = match ops with Some n -> n | None -> t.cfg.ops in
+  (* Callers may have mutated the cluster directly (crashes, manual
+     writes) since the last batch: trust nothing across the boundary. *)
+  invalidate_reachability t;
   for _ = 1 to n do
     (* An op may target an object that has legitimately died (its roots
        were all dropped and a collection ran): real mutators cannot name

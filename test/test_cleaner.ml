@@ -57,14 +57,20 @@ let test_stale_table_ignored () =
     {
       Scion_cleaner.tm_sender = 0;
       tm_bunch = b1;
-      tm_inter_stubs = [];
-      tm_intra_stubs = [];
-      tm_exiting = [];
+      tm_body =
+        Scion_cleaner.Full { fb_inter = []; fb_intra = []; fb_exiting = [] };
     }
   in
   (* First deliver with a high seq so the stream position advances. *)
   let real_stubs = Gc_state.inter_stubs gc ~node:0 ~bunch:b1 in
-  let full = { empty with Scion_cleaner.tm_inter_stubs = real_stubs } in
+  let full =
+    {
+      empty with
+      Scion_cleaner.tm_body =
+        Scion_cleaner.Full
+          { fb_inter = real_stubs; fb_intra = []; fb_exiting = [] };
+    }
+  in
   Scion_cleaner.receive gc ~at:1 ~seq:10 full;
   check_int "scion kept by fresh full table" 1
     (List.length (Gc_state.inter_scions gc ~node:1 ~bunch:b2));
