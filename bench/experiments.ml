@@ -532,7 +532,7 @@ let e13 () =
     List.iter (fun (a, o) -> Rvm.set disk a (a, o)) (Store.objects_of_bunch store b);
     if crash_mid then Rvm.crash_mid_commit disk else Rvm.commit disk;
     if not crash_mid then Rvm.crash disk;
-    Rvm.recover disk;
+    ignore (Rvm.recover disk);
     Rvm.cardinal disk
   in
   let committed = run false in

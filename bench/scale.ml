@@ -150,15 +150,74 @@ let result_json r =
       ("gc_token_acquires", Json.Int r.r_gc_token_acquires);
     ]
 
-let sweep_json results =
+let sweep_json ?(extra_configs = []) results =
   Json.Obj
     [
       ("experiment", Json.String "e20");
       ("unit", Json.String "ops_per_sec_wallclock");
-      ("configs", Json.List (List.map result_json results));
+      ("configs", Json.List (List.map result_json results @ extra_configs));
     ]
 
-let run_sweep ~configs ~json_path () =
+(* Partitioned configuration for the smoke gate (§5 under degradation):
+   split one node off mid-run, keep mutating and collecting on both
+   sides of the cut, heal, and count the cleaner cycles the delta-table
+   streams need before no further full-table resyncs happen.  The §5
+   property — the collector acquires no DSM token — must survive the
+   partition, and resync after heal must converge in a bounded number
+   of cycles rather than degenerating into perpetual full tables. *)
+let run_partitioned_config ~nodes ~objects_per_bunch ~ops =
+  let cfg =
+    {
+      Driver.default with
+      nodes;
+      bunches = nodes;
+      objects_per_bunch;
+      ops;
+      seed = 21;
+    }
+  in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  let stats = Cluster.stats c in
+  Driver.run_ops d ~ops:(ops / 2) ();
+  gc_wave c;
+  let lone = nodes - 1 in
+  let rest = List.filter (fun n -> n <> lone) (Cluster.nodes c) in
+  Cluster.partition c ~groups:[ [ lone ]; rest ];
+  Driver.run_ops d ~ops:(ops / 2) ();
+  gc_wave c;
+  gc_wave c;
+  Cluster.heal_all_links c;
+  ignore (Cluster.settle c);
+  let rounds = ref 0 and quiet = ref false in
+  while (not !quiet) && !rounds < 8 do
+    let before =
+      Stats.get stats "gc.cleaner.resyncs"
+      + Stats.get stats "gc.cleaner.full_sent"
+    in
+    gc_wave c;
+    incr rounds;
+    if
+      Stats.get stats "gc.cleaner.resyncs"
+      + Stats.get stats "gc.cleaner.full_sent"
+      = before
+    then quiet := true
+  done;
+  Json.Obj
+    [
+      ("nodes", Json.Int nodes);
+      ("objects_per_bunch", Json.Int objects_per_bunch);
+      ("ops", Json.Int ops);
+      ("partitioned", Json.Bool true);
+      ( "gc_token_acquires",
+        Json.Int
+          (Stats.get stats "dsm.gc.acquire_read"
+          + Stats.get stats "dsm.gc.acquire_write") );
+      ("heal_resync_rounds", Json.Int !rounds);
+      ("converged", Json.Bool !quiet);
+    ]
+
+let run_sweep ?(extra_configs = []) ~configs ~json_path () =
   let t =
     Table.create
       ~title:
@@ -201,7 +260,7 @@ let run_sweep ~configs ~json_path () =
         r)
       configs
   in
-  let json = sweep_json results in
+  let json = sweep_json ~extra_configs results in
   Printf.printf "BENCH %s\n" (Json.to_string json);
   (match json_path with
   | None -> ()
@@ -225,6 +284,10 @@ let e20 () =
       ]
     ~json_path:(Some "BENCH_SCALE.json") ()
 
-(* Miniature configuration for the @bench-smoke runtest alias. *)
+(* Miniature configuration for the @bench-smoke runtest alias, plus one
+   partitioned run gating the degraded-mode invariants. *)
 let e20_smoke () =
-  run_sweep ~configs:[ (3, 48, 400) ] ~json_path:None ()
+  run_sweep
+    ~extra_configs:
+      [ run_partitioned_config ~nodes:3 ~objects_per_bunch:48 ~ops:400 ]
+    ~configs:[ (3, 48, 400) ] ~json_path:None ()

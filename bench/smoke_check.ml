@@ -2,7 +2,10 @@
    e20-smoke run printed and fail the build if the run broke one of the
    tracked invariants — the collector must never touch the DSM token
    machinery (§5), and the steady-state delta encoding must not cost
-   more than full tables would have. *)
+   more than full tables would have.  The partitioned configuration
+   additionally gates the degraded mode: §5 must hold across a network
+   cut, and the delta-table streams must resynchronize within a bounded
+   number of cleaner cycles after heal. *)
 
 module Json = Bmx_obs.Json
 
@@ -48,6 +51,24 @@ let () =
       if tokens <> 0 then
         die "bench-smoke: %d-node run acquired %d GC tokens (must be 0)"
           nodes tokens;
+      if Json.member "partitioned" cfg = Some (Json.Bool true) then begin
+        (if Json.member "converged" cfg <> Some (Json.Bool true) then
+           die
+             "bench-smoke: %d-node partitioned run never stopped resyncing \
+              after heal"
+             nodes);
+        let rounds = int_member "heal_resync_rounds" cfg in
+        if rounds > 4 then
+          die
+            "bench-smoke: %d-node partitioned run took %d cleaner cycles to \
+             resync after heal (bound 4)"
+            nodes rounds;
+        Printf.printf
+          "bench-smoke: %d nodes partitioned ok — gc tokens 0, resynced %d \
+           cycle(s) after heal\n"
+          nodes rounds
+      end
+      else begin
       let delta = int_member "steady_delta_bytes" cfg in
       let full = int_member "steady_full_bytes" cfg in
       if delta > full then
@@ -59,5 +80,6 @@ let () =
         "bench-smoke: %d nodes ok — gc tokens 0, steady delta %dB <= full %dB \
          (%.1f%%)\n"
         nodes delta full
-        (if full = 0 then 0.0 else 100.0 *. float_of_int delta /. float_of_int full))
+        (if full = 0 then 0.0 else 100.0 *. float_of_int delta /. float_of_int full)
+      end)
     configs

@@ -121,7 +121,9 @@ let parse_fault_kinds fault_kinds =
     (String.split_on_char ',' fault_kinds)
 
 let run_workload nodes bunches objects ops seed mode collect ggc dump trace
-    emit_trace drop dup fault_kinds crashes =
+    emit_trace drop dup fault_kinds crashes partitions corrupt_disk =
+  (* Disk corruption is only observable through a crash/recover cycle. *)
+  let crashes = if corrupt_disk && crashes = 0 then 1 else crashes in
   let cfg =
     {
       Driver.default with
@@ -137,7 +139,8 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
   let c = Driver.cluster d in
   let net = Cluster.net c in
   if trace then Bmx_util.Tracelog.set_enabled (Cluster.tracer c) true;
-  if emit_trace <> None then Cluster.set_event_trace c true;
+  if emit_trace <> None || partitions > 0 || corrupt_disk then
+    Cluster.set_event_trace c true;
   let kinds = parse_fault_kinds fault_kinds in
   if drop > 0. || dup > 0. then
     List.iteri
@@ -145,18 +148,25 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
         Bmx_netsim.Net.set_fault net ~kind:k ~drop ~dup
           ~rng:(Rng.make (seed + 101 + i)))
       kinds;
-  (* With [crashes] > 0 the op stream is cut into chunks; between chunks
-     a victim node checkpoints its bunches (continuous RVM logging,
-     approximated), crashes, restarts and recovers from the image. *)
-  if crashes <= 0 then Driver.run_ops d ()
+  (* With [crashes] or [partitions] > 0 the op stream is cut into chunks;
+     between chunks either a victim node checkpoints its bunches
+     (continuous RVM logging, approximated), crashes, restarts and
+     recovers from the image, or one node is split off behind a network
+     cut, runs part of the workload degraded, and the cut heals. *)
+  let episodes = crashes + partitions in
+  (* Every address an fsck pass reported missing: an injected disk fault
+     may destroy the only copy of an object — honest loss — but anything
+     the final audit counts lost must appear in this set. *)
+  let fsck_named = ref Ids.Uid_set.empty in
+  if episodes <= 0 then Driver.run_ops d ()
   else begin
-    let crash_rng = Rng.make (seed + 77) in
-    let chunk = max 1 (ops / (crashes + 1)) in
+    let ev_rng = Rng.make (seed + 77) in
+    let chunk = max 1 (ops / (episodes + 1)) in
     let disks : (int * int, Bmx.Persist.disk) Hashtbl.t = Hashtbl.create 16 in
-    for cycle = 1 to crashes do
-      Driver.run_ops d ~ops:chunk ();
+    let crashes_left = ref crashes and parts_left = ref partitions in
+    let crash_cycle cycle =
       let victims = Cluster.live_nodes c in
-      let victim = List.nth victims (Rng.int crash_rng (List.length victims)) in
+      let victim = List.nth victims (Rng.int ev_rng (List.length victims)) in
       List.iter
         (fun bunch ->
           let disk =
@@ -169,6 +179,25 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
           in
           ignore (Bmx.Persist.checkpoint ~gc_roots:true c ~node:victim ~bunch disk))
         (Bmx_dsm.Protocol.bunches (Cluster.proto c));
+      if corrupt_disk then begin
+        let bunches = Bmx_dsm.Protocol.bunches (Cluster.proto c) in
+        let bunch = List.nth bunches (Rng.int ev_rng (List.length bunches)) in
+        match Hashtbl.find_opt disks (victim, bunch) with
+        | None -> ()
+        | Some disk ->
+            let len = Bmx_rvm.Rvm.log_length disk in
+            if len > 0 then begin
+              let fault =
+                match Rng.int ev_rng 3 with
+                | 0 -> Bmx.Persist.Flip_bits (Rng.int ev_rng len)
+                | 1 -> Bmx.Persist.Drop_record (Rng.int ev_rng len)
+                | _ -> Bmx.Persist.Truncate_mid_record
+              in
+              Bmx.Persist.corrupt_disk c ~node:victim disk fault;
+              Printf.printf "disk fault injected at N%d (bunch %d)\n" victim
+                bunch
+            end
+      end;
       Cluster.crash_node c ~node:victim;
       Cluster.restart_node c ~node:victim;
       let recovered =
@@ -179,9 +208,76 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
       in
       ignore (Cluster.settle c);
       Printf.printf "crash cycle %d: N%d crashed, %d objects recovered\n" cycle
-        victim recovered
+        victim recovered;
+      (* fsck the recovered images: anything the checkpoint promised but
+         recovery could not deliver must be re-fetched from a surviving
+         replica before the final audit counts it lost. *)
+      if corrupt_disk then
+        List.iter
+          (fun bunch ->
+            match Hashtbl.find_opt disks (victim, bunch) with
+            | None -> ()
+            | Some disk ->
+                let fsck = Bmx.Persist.verify_bunch c ~node:victim ~bunch disk in
+                List.iter
+                  (fun (addr, uid) ->
+                    (match uid with
+                    | Some u -> fsck_named := Ids.Uid_set.add u !fsck_named
+                    | None -> ());
+                    try ignore (Cluster.demand_fetch c ~node:victim addr)
+                    with Failure _ -> ())
+                  fsck.Bmx.Persist.f_missing;
+                if fsck.Bmx.Persist.f_missing <> [] then
+                  Printf.printf
+                    "fsck: N%d bunch %d — %d cell(s) lost to corruption, \
+                     re-fetched from surviving replicas\n"
+                    victim bunch
+                    (List.length fsck.Bmx.Persist.f_missing))
+          (Bmx_dsm.Protocol.bunches (Cluster.proto c))
+    in
+    let partition_cycle cycle =
+      let live = Cluster.live_nodes c in
+      let lone = List.nth live (Rng.int ev_rng (List.length live)) in
+      let rest = List.filter (fun n -> n <> lone) live in
+      Cluster.partition c ~groups:[ [ lone ]; rest ];
+      let tokens_before =
+        Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+        + Stats.get (Cluster.stats c) "dsm.gc.acquire_write"
+      in
+      (* Both sides keep computing and collecting: cross-partition token
+         operations are refused (and swallowed by the driver), the GC
+         needs no tokens at all. *)
+      Driver.run_ops d ~ops:(max 1 (chunk / 2)) ();
+      ignore (Cluster.gc_round c);
+      let tokens_during =
+        Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+        + Stats.get (Cluster.stats c) "dsm.gc.acquire_write"
+        - tokens_before
+      in
+      Cluster.heal_all_links c;
+      ignore (Cluster.settle c);
+      Printf.printf
+        "partition cycle %d: N%d split off, GC token acquires while \
+         partitioned: %d\n"
+        cycle lone tokens_during
+    in
+    for cycle = 1 to episodes do
+      Driver.run_ops d ~ops:chunk ();
+      let do_crash =
+        !crashes_left > 0
+        && (!parts_left = 0
+           || Rng.int ev_rng (!crashes_left + !parts_left) < !crashes_left)
+      in
+      if do_crash then begin
+        decr crashes_left;
+        crash_cycle cycle
+      end
+      else begin
+        decr parts_left;
+        partition_cycle cycle
+      end
     done;
-    Driver.run_ops d ~ops:(max 0 (ops - (crashes * chunk))) ()
+    Driver.run_ops d ~ops:(max 0 (ops - (episodes * chunk))) ()
   end;
   if drop > 0. || dup > 0. then begin
     Bmx_netsim.Net.clear_faults net;
@@ -241,7 +337,7 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
       (fun e -> Format.printf "%a@." Bmx_util.Tracelog.pp_event e)
       (Bmx_util.Tracelog.recent (Cluster.tracer c) 40)
   end;
-  match emit_trace with
+  (match emit_trace with
   | None -> ()
   | Some file ->
       let oc = open_out file in
@@ -253,7 +349,35 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
           incr count)
         (Cluster.events c);
       close_out oc;
-      Printf.printf "trace: %d typed events written to %s\n" !count file
+      Printf.printf "trace: %d typed events written to %s\n" !count file);
+  (* The fault knobs double as a CI gate.  A lint finding is always a
+     bug.  An injected disk fault may destroy the only copy of an object
+     — honest, reported loss — so under --corrupt-disk the audit gate is
+     the fsck honesty contract (everything lost is named) rather than
+     zero loss. *)
+  if partitions > 0 || corrupt_disk then begin
+    let vs = Bmx_check.Lint.check_all (Cluster.proto c) in
+    List.iter
+      (fun v -> Format.eprintf "%a@." Bmx_check.Lint.pp_violation v)
+      vs;
+    Printf.printf "lint: %s\n"
+      (if vs = [] then "clean"
+       else Printf.sprintf "%d violation(s)" (List.length vs));
+    let lost = Bmx.Audit.lost_objects c in
+    let silent = Ids.Uid_set.diff lost !fsck_named in
+    if corrupt_disk && not (Ids.Uid_set.is_empty lost) then
+      Printf.printf
+        "disk faults destroyed %d object(s) with no surviving replica (%d \
+         named by fsck, %d silent)\n"
+        (Ids.Uid_set.cardinal lost)
+        (Ids.Uid_set.cardinal (Ids.Uid_set.inter lost !fsck_named))
+        (Ids.Uid_set.cardinal silent);
+    let audit_ok =
+      if corrupt_disk then Ids.Uid_set.is_empty silent
+      else Bmx.Audit.check_safety c = Ok ()
+    in
+    if vs <> [] || not audit_ok then exit 1
+  end
 
 let workload_term dump_default =
   let nodes = Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~doc:"Cluster size") in
@@ -312,10 +436,32 @@ let workload_term dump_default =
             "Crash/checkpoint/recover cycles interleaved with the op stream \
              (a random live node each time)")
   in
+  let partitions =
+    Arg.(
+      value & opt int 0
+      & info [ "partitions" ]
+          ~doc:
+            "Partition/heal episodes interleaved with the op stream: a \
+             random node is split off behind a network cut, part of the \
+             workload runs degraded (GC token-free on both sides), then \
+             the cut heals.  Exits nonzero if the final lint or safety \
+             audit fails.")
+  in
+  let corrupt_disk =
+    Arg.(
+      value & flag
+      & info [ "corrupt-disk" ]
+          ~doc:
+            "Inject one random storage fault (bit flip, dropped or \
+             truncated record) into a victim's RVM log before each \
+             recovery; fsck the recovered image and re-fetch lost cells \
+             from surviving replicas.  Implies at least one crash cycle.  \
+             Exits nonzero if the final lint or safety audit fails.")
+  in
   Term.(
     const run_workload $ nodes $ bunches $ objects $ ops $ seed $ mode $ collect
     $ ggc $ const dump_default $ trace $ emit_trace $ drop $ dup $ fault_kinds
-    $ crashes)
+    $ crashes $ partitions $ corrupt_disk)
 
 let workload_cmd =
   Cmd.v

@@ -85,7 +85,7 @@ let () =
 
   (* The home site crashes... and recovers the design from stable store. *)
   Rvm.crash disk;
-  Rvm.recover disk;
+  ignore (Rvm.recover disk);
   let restored = Rvm.cardinal disk in
   Printf.printf "after crash+recovery: %d objects restored\n" restored;
   (match Bmx.Audit.check_safety c with

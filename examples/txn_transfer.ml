@@ -74,7 +74,7 @@ let () =
     + Stats.get (Cluster.stats c) "dsm.gc.acquire_write");
   (* The durable after-images survive a crash of the home site. *)
   Rvm.crash disk;
-  Rvm.recover disk;
+  ignore (Rvm.recover disk);
   Printf.printf "recovered %d durable account images from the RVM log\n"
     (Rvm.cardinal disk);
   match Bmx.Audit.check_safety c with

@@ -118,6 +118,22 @@ let restart_node t ~node =
   Net.set_up t.net node;
   record_ev t (Trace_event.Restart { node })
 
+(** {2 Network partitions} *)
+
+let cut_link t ~src ~dst = Net.cut_link t.net ~src ~dst
+let heal_link t ~src ~dst = Net.heal_link t.net ~src ~dst
+
+let partition t ~groups =
+  List.iter
+    (List.iter (fun n ->
+         if not (List.mem n (Protocol.nodes t.proto)) then
+           invalid_arg "Cluster.partition: unknown node"))
+    groups;
+  Net.partition t.net ~groups
+
+let heal_all_links t = Net.heal_all_links t.net
+let reachable t a b = Net.reachable t.net a b
+
 let new_bunch t ~home =
   check_alive t home "new_bunch";
   let b = t.next_bunch in

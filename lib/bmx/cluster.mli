@@ -88,6 +88,34 @@ val restart_node : t -> node:Bmx_util.Ids.Node.t -> unit
 val node_alive : t -> Bmx_util.Ids.Node.t -> bool
 val live_nodes : t -> Bmx_util.Ids.Node.t list
 
+(** {1 Network partitions}
+
+    Thin wrappers over the transport's link-cut model
+    ({!Bmx_netsim.Net.cut_link}): a cut link blackholes traffic without
+    either endpoint being down.  Both sides keep operating — GC keeps
+    collecting locally-owned objects, the cleaner quarantines tables
+    from unreachable senders — while cross-partition token operations
+    and ownership adoption are refused (split-brain safety) until the
+    partition heals.  Cuts and heals record [Link_cut] / [Link_heal]
+    trace events. *)
+
+val cut_link : t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> unit
+(** Sever the directed link [src → dst] only: cutting one direction
+    gives an asymmetric partition (payloads arrive, acknowledgements
+    die). *)
+
+val heal_link : t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> unit
+
+val partition : t -> groups:Bmx_util.Ids.Node.t list list -> unit
+(** Cut every directed link between nodes of different groups — a clean
+    symmetric split.  Nodes absent from every group keep all their
+    links.  Raises [Invalid_argument] on an unknown node. *)
+
+val heal_all_links : t -> unit
+
+val reachable : t -> Bmx_util.Ids.Node.t -> Bmx_util.Ids.Node.t -> bool
+(** Both endpoints up and neither direction cut. *)
+
 (** {1 Bunches} *)
 
 val new_bunch : t -> home:Bmx_util.Ids.Node.t -> Bmx_util.Ids.Bunch.t

@@ -123,6 +123,7 @@ let checkpoint ?gc_roots c ~node ~bunch disk =
 
 let restore c ~node disk =
   let proto = Cluster.proto c in
+  let net = Protocol.net proto in
   let store = Protocol.store proto node in
   let dir = Protocol.directory proto node in
   Rvm.fold disk ~init:0 ~f:(fun _key (addr, obj, claim, _owned) count ->
@@ -136,28 +137,55 @@ let restore c ~node disk =
         match Protocol.owner_of proto uid with
         | Some owner
           when (not (Ids.Node.equal owner node))
-               && not (Bmx_netsim.Net.is_down (Protocol.net proto) owner) ->
+               && not (Bmx_netsim.Net.is_down net owner) ->
             ignore (Directory.ensure dir ~uid ~prob_owner:owner);
-            Directory.add_entering
-              (Protocol.directory proto owner)
-              ~seq:
-                (Bmx_netsim.Net.current_seq (Protocol.net proto) ~src:node
-                   ~dst:owner)
-              ~uid ~from:node;
-            (* Re-join the owner's copyset: the restored copy must be
-               invalidated like any other when a write token moves. *)
-            (match Directory.find (Protocol.directory proto owner) uid with
-            | Some orec ->
-                orec.Directory.copyset <-
-                  Ids.Node_set.add node orec.Directory.copyset
-            | None -> ());
+            (* Re-register this replica with the owner: an entering
+               ownerPtr (protection) plus copyset membership (the
+               restored copy must be invalidated like any other when a
+               write token moves).  An owner on the far side of a
+               network cut cannot be told synchronously — the
+               registration rides the reliable scion-message channel
+               instead and lands when the partition heals; until then
+               the copy is a mere inconsistent replica and this node
+               makes no claim the owner could not know about. *)
+            let register () =
+              Directory.add_entering
+                (Protocol.directory proto owner)
+                ~seq:
+                  (Bmx_netsim.Net.current_seq net ~src:node ~dst:owner)
+                ~uid ~from:node;
+              match Directory.find (Protocol.directory proto owner) uid with
+              | Some orec ->
+                  orec.Directory.copyset <-
+                    Ids.Node_set.add node orec.Directory.copyset
+              | None -> ()
+            in
+            if Bmx_netsim.Net.reachable net node owner then register ()
+            else begin
+              Stats.incr (Cluster.stats c) "persist.deferred_registrations";
+              Bmx_netsim.Net.send net ~src:node ~dst:owner
+                ~kind:Bmx_netsim.Net.Scion_message ~bytes:24 (fun _seq ->
+                  register ())
+            end;
             false
-        | Some _ | None ->
+        | Some _ | None -> (
             (* Orphaned (no recorded owner survives, or the recorded owner
                is down): the recovered copy is the best surviving version,
-               so claim ownership through the protocol's recovery path. *)
-            Protocol.adopt_ownership proto ~node ~uid;
-            true
+               so claim ownership through the protocol's recovery path.
+               Adoption can still be refused when a {e surviving} replica
+               sits on the far side of a partition (split-brain guard):
+               come back as an unowned replica for now and let a
+               post-heal recovery pass adopt. *)
+            match Protocol.adopt_ownership proto ~node ~uid with
+            | () -> true
+            | exception Failure _ ->
+                Stats.incr (Cluster.stats c) "persist.adopt_deferred_partition";
+                ignore
+                  (Directory.ensure dir ~uid
+                     ~prob_owner:
+                       (Option.value (Protocol.owner_of proto uid)
+                          ~default:node));
+                false)
       in
       (* Owner-side protection comes back with the data: every persisted
          remote claim is re-registered as an entering ownerPtr, stamped
@@ -183,11 +211,90 @@ let restore c ~node disk =
       Cluster.add_root c ~node addr;
       count + 1)
 
+let record_ev c e =
+  let log = Protocol.evlog (Cluster.proto c) in
+  if Trace_event.enabled log then Trace_event.record log e
+
 let recover_node c ~node disks =
   if not (Cluster.node_alive c node) then
     invalid_arg "Persist.recover_node: restart the node first";
   List.fold_left
     (fun count disk ->
-      Rvm.recover disk;
+      let rep = Rvm.recover disk in
+      if not (Rvm.clean_report rep) then begin
+        Stats.incr (Cluster.stats c) ~by:rep.Rvm.r_dropped
+          "rvm.records_dropped";
+        Bmx_obs.Metrics.incr (Cluster.metrics c) ~node
+          ~by:rep.Rvm.r_corrupt "rvm.corrupt_records_dropped";
+        record_ev c
+          (Trace_event.Rvm_recover
+             {
+               node;
+               dropped = rep.Rvm.r_dropped;
+               lost = List.length rep.Rvm.r_lost;
+             })
+      end;
       count + restore c ~node disk)
     0 disks
+
+(* fsck for a bunch: cross-check the stable image against the node's
+   restored (or live) store.  Every persisted cell should be resolvable
+   locally — a missing one means recovery lost data the checkpoint had
+   promised durability for (e.g. an RVM log truncated past a corrupt
+   record), and the caller should re-fetch it from a surviving replica
+   before an audit counts it lost. *)
+type fsck = { f_checked : int; f_missing : (Addr.t * Ids.Uid.t option) list }
+
+let verify_bunch c ~node ~bunch disk =
+  let proto = Cluster.proto c in
+  let store = Protocol.store proto node in
+  let checked = ref 0 and missing = ref [] in
+  let seen = Hashtbl.create 16 in
+  let miss addr uid =
+    if not (Hashtbl.mem seen addr) then begin
+      Hashtbl.replace seen addr ();
+      missing := (addr, uid) :: !missing
+    end
+  in
+  Rvm.fold disk ~init:() ~f:(fun _key (addr, obj, _claims, _owned) () ->
+      if Ids.Bunch.equal obj.Heap_obj.bunch bunch then begin
+        incr checked;
+        if Store.addr_of_uid store obj.Heap_obj.uid = None then
+          miss addr (Some obj.Heap_obj.uid)
+      end);
+  (* Cells recovery truncated out of the image entirely no longer appear
+     in the fold above, but the recovery report still names their
+     addresses: each is missing unless something (a re-fetch from a
+     surviving replica, a later write-back) already put a copy back at
+     this node.  A per-bunch disk only ever logged this bunch's cells,
+     so no bunch filter is needed here. *)
+  (match Rvm.last_recovery disk with
+  | None -> ()
+  | Some rep ->
+      List.iter
+        (fun addr ->
+          incr checked;
+          if Store.resolve store addr = None then
+            miss addr (Protocol.uid_of_addr proto addr))
+        rep.Rvm.r_lost);
+  let missing = List.rev !missing in
+  record_ev c (Trace_event.Bunch_verified { node; missing = List.length missing });
+  { f_checked = !checked; f_missing = missing }
+
+type fault = Flip_bits of int | Drop_record of int | Truncate_mid_record
+
+let corrupt_disk c ~node disk fault =
+  let name =
+    match fault with
+    | Flip_bits index ->
+        Rvm.flip_bits disk ~index;
+        Printf.sprintf "flip_bits:%d" index
+    | Drop_record index ->
+        Rvm.drop_record disk ~index;
+        Printf.sprintf "drop_record:%d" index
+    | Truncate_mid_record ->
+        Rvm.truncate_mid_record disk;
+        "truncate_mid_record"
+  in
+  Stats.incr (Cluster.stats c) "rvm.faults_injected";
+  record_ev c (Trace_event.Disk_fault { node; fault = name })

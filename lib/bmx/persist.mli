@@ -58,12 +58,60 @@ val restore :
     single address space — after [Bmx_rvm.Rvm.recover] on the disk.
     Objects whose recorded owner is itself down are treated as orphans
     and adopted ({!Bmx_dsm.Protocol.adopt_ownership}): never block
-    recovery on a dead peer. *)
+    recovery on a dead peer.
+
+    Partition behaviour: an owner that is alive but on the far side of a
+    network cut cannot be registered with synchronously — the
+    entering/copyset registration is queued on the reliable channel and
+    lands on heal (stat [persist.deferred_registrations]).  Adoption
+    refused by the split-brain guard (a surviving replica is cut off)
+    leaves the object an unowned replica for a post-heal recovery pass
+    to adopt (stat [persist.adopt_deferred_partition]); recovery itself
+    never blocks on a partition. *)
 
 val recover_node :
   Cluster.t -> node:Bmx_util.Ids.Node.t -> disk list -> int
 (** Full recovery for a restarted node: [Bmx_rvm.Rvm.recover] each disk
-    (replaying committed log prefixes, discarding torn tails), then
-    {!restore} its contents.  Call after {!Cluster.restart_node};
-    raises [Invalid_argument] while the node is still down.  Returns
-    total objects restored. *)
+    (replaying committed log prefixes, discarding torn tails and
+    corrupted suffixes), then {!restore} its contents.  Call after
+    {!Cluster.restart_node}; raises [Invalid_argument] while the node is
+    still down.  Returns total objects restored.  A recovery that had to
+    drop records bumps [rvm.records_dropped], the
+    [rvm.corrupt_records_dropped] metric, and records an
+    [Rvm_recover] trace event. *)
+
+(** {1 fsck and storage fault injection} *)
+
+type fsck = {
+  f_checked : int;  (** persisted cells of the bunch examined *)
+  f_missing : (Bmx_util.Addr.t * Bmx_util.Ids.Uid.t option) list;
+      (** persisted (or persisted-then-truncated) cells with no
+          surviving local copy — data the checkpoint promised and
+          recovery could not deliver.  The uid is [None] when only the
+          recovery report still names the address (the log entry itself
+          is gone) and the cluster-wide address map cannot identify
+          it. *)
+}
+
+val verify_bunch :
+  Cluster.t ->
+  node:Bmx_util.Ids.Node.t ->
+  bunch:Bmx_util.Ids.Bunch.t ->
+  disk ->
+  fsck
+(** Cross-check the stable image against the node's store: every
+    persisted cell of the bunch must be locally resolvable, and every
+    address the last recovery truncated ({!Bmx_rvm.Rvm.last_recovery})
+    must have a copy back.  Records a [Bunch_verified] trace event.
+    Missing cells should be re-fetched from a surviving replica
+    ({!Cluster.demand_fetch}) before an audit counts them lost. *)
+
+type fault = Flip_bits of int | Drop_record of int | Truncate_mid_record
+(** Index positions are oldest-first, as in {!Bmx_rvm.Rvm.flip_bits}. *)
+
+val corrupt_disk :
+  Cluster.t -> node:Bmx_util.Ids.Node.t -> disk -> fault -> unit
+(** Inject one storage fault into the disk's log, recording a
+    [Disk_fault] trace event against [node] (the disk's host) and the
+    [rvm.faults_injected] stat — so the trace linter can demand that a
+    subsequent recovery acknowledged the damage. *)

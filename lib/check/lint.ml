@@ -13,6 +13,9 @@ type rule =
   | Dead_node_activity
   | Forwarder_cycle
   | Incomplete_trace
+  | Split_brain_ownership
+  | Partition_quarantine
+  | Checksum_recovery
 
 type violation = { rule : rule; detail : string }
 
@@ -26,6 +29,9 @@ let rule_to_string = function
   | Dead_node_activity -> "dead-node-activity"
   | Forwarder_cycle -> "forwarder-cycle"
   | Incomplete_trace -> "incomplete-trace"
+  | Split_brain_ownership -> "split-brain-ownership"
+  | Partition_quarantine -> "partition-quarantine"
+  | Checksum_recovery -> "checksum-recovery"
 
 let violation_to_string v =
   Printf.sprintf "[%s] %s" (rule_to_string v.rule) v.detail
@@ -56,6 +62,18 @@ let run events =
   let last_rel_delivered : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
   (* Nodes currently crashed (between their Crash and Restart events). *)
   let down : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  (* Directed links currently cut (between Link_cut and Link_heal). *)
+  let cut : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let partitioned a b =
+    Hashtbl.mem cut (a, b) || Hashtbl.mem cut (b, a)
+  in
+  (* Ownership as witnessed by the trace: write grants transfer it,
+     adoption re-seats it.  Partial — allocation is not traced — so the
+     split-brain rule only fires when the trace itself recorded who owned
+     the object last. *)
+  let owner_seen : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* Storage faults injected and not yet acknowledged by a recovery. *)
+  let faults : (int, (int * string) list ref) Hashtbl.t = Hashtbl.create 4 in
   let dead i node fmt =
     Printf.ksprintf
       (fun what ->
@@ -80,6 +98,15 @@ let run events =
              a token was minted from lost state. *)
           dead i granter "token grant of o%d (as granter)" uid;
           dead i requester "token grant of o%d (as requester)" uid;
+          (* No token crosses a partition: the protocol must refuse the
+             acquire while granter and requester cannot exchange
+             messages. *)
+          if granter <> requester && partitioned granter requester then
+            add Split_brain_ownership
+              "event %d: %s token of o%d granted N%d -> N%d across a cut \
+               link"
+              i (tok_str tok) uid granter requester;
+          if tok = E.Write then Hashtbl.replace owner_seen uid requester;
           Hashtbl.replace grants (requester, uid) (updates, ref false);
           if tok = E.Write then
             if Hashtbl.mem hooks (granter, requester, uid) then
@@ -131,6 +158,11 @@ let run events =
       | E.Msg_delivered { src; dst; kind; seq; rel = false } ->
           dead i src "%s message delivered from it (seq %d)" kind seq;
           dead i dst "%s message delivered to it (seq %d)" kind seq;
+          if Hashtbl.mem cut (src, dst) then
+            add Partition_quarantine
+              "event %d: %s message N%d -> N%d (seq %d) delivered over a cut \
+               link"
+              i kind src dst seq;
           (match Hashtbl.find_opt last_delivered (src, dst) with
           | Some s when seq < s ->
               add Fifo_order
@@ -142,6 +174,11 @@ let run events =
       | E.Msg_delivered { src; dst; kind; seq; rel = true } ->
           dead i src "reliable %s delivered from it (seq %d)" kind seq;
           dead i dst "reliable %s delivered to it (seq %d)" kind seq;
+          if Hashtbl.mem cut (src, dst) then
+            add Partition_quarantine
+              "event %d: reliable %s message N%d -> N%d (seq %d) delivered \
+               over a cut link"
+              i kind src dst seq;
           (match Hashtbl.find_opt last_rel_delivered (src, dst) with
           | Some s when seq <= s ->
               add Reliable_fifo
@@ -161,8 +198,61 @@ let run events =
              exempt from the background channel's FIFO; recovery-time
              accounting (ownership adoption) also records these. *)
           ()
-      | E.Crash { node } -> Hashtbl.replace down node ()
+      | E.Crash { node } ->
+          Hashtbl.replace down node ();
+          (* Ownership is volatile state and dies with the node: a later
+             adoption elsewhere is legitimate even if this node restarts
+             in between (its recovery re-establishes ownership — and
+             re-records it here — only via Owner_adopted/Grant_sent). *)
+          Hashtbl.iter
+            (fun uid owner -> if owner = node then Hashtbl.remove owner_seen uid)
+            (Hashtbl.copy owner_seen)
       | E.Restart { node } -> Hashtbl.remove down node
+      | E.Link_cut { src; dst } -> Hashtbl.replace cut (src, dst) ()
+      | E.Link_heal { src; dst } -> Hashtbl.remove cut (src, dst)
+      | E.Suspect _ ->
+          (* Transport failure-detector bookkeeping.  A crash clears the
+             crashed sender's suspect pairs, so a Suspect-off can
+             legitimately trail a Crash event — no dead-node check. *)
+          ()
+      | E.Owner_adopted { node; uid } ->
+          dead i node "ownership adoption of o%d" uid;
+          (match Hashtbl.find_opt owner_seen uid with
+          | Some prev
+            when prev <> node
+                 && (not (Hashtbl.mem down prev))
+                 && partitioned prev node ->
+              add Split_brain_ownership
+                "event %d: N%d adopted ownership of o%d while its last \
+                 recorded owner N%d is alive across a cut link — two owners \
+                 after heal"
+                i node uid prev
+          | Some _ | None -> ());
+          Hashtbl.replace owner_seen uid node
+      | E.Tables_processed { at; sender; bunch; seq = _ } ->
+          dead i at "reachability tables processed";
+          if Hashtbl.mem down sender then
+            add Partition_quarantine
+              "event %d: N%d processed reachability tables for b%d from \
+               crashed sender N%d — dead-sender quarantine bypassed"
+              i at bunch sender
+          else if partitioned sender at then
+            add Partition_quarantine
+              "event %d: N%d processed reachability tables for b%d from \
+               unreachable sender N%d — partition quarantine bypassed"
+              i at bunch sender
+      | E.Disk_fault { node; fault } -> (
+          (* The disk is independent of the node's volatile state: faults
+             may be injected while the node is down.  Each must later be
+             acknowledged by a recovery at that node. *)
+          match Hashtbl.find_opt faults node with
+          | Some l -> l := (i, fault) :: !l
+          | None -> Hashtbl.add faults node (ref [ (i, fault) ]))
+      | E.Rvm_recover { node; dropped = _; lost = _ } ->
+          dead i node "RVM recovery";
+          Hashtbl.remove faults node
+      | E.Bunch_verified { node; missing = _ } ->
+          dead i node "bunch verification"
       | E.Gc_begin { node; _ } -> dead i node "collection started"
       | E.Gc_end { node; _ } -> dead i node "collection finished"
       | E.Release { node; uid } -> dead i node "token release for o%d" uid
@@ -178,6 +268,16 @@ let run events =
          forwarded it to copy-set member N%d"
         i node uid peer)
     due;
+  Hashtbl.iter
+    (fun node l ->
+      List.iter
+        (fun (i, fault) ->
+          add Checksum_recovery
+            "event %d: storage fault '%s' injected at N%d's disk was never \
+             acknowledged by an RVM recovery at that node"
+            i fault node)
+        (List.rev !l))
+    faults;
   List.rev !out
 
 let check_log log =

@@ -32,7 +32,19 @@
       forwarding-pointer chain contains a cycle — every chain reaches an
       object or dangles into reclaimed space after finitely many hops.
     - {b Completeness}: an overflowed (truncated) log cannot be
-      certified. *)
+      certified.
+    - {b Split-brain ownership} (partitions): no token is granted across
+      a cut link, and no node adopts ownership of an object whose last
+      trace-recorded owner is alive on the far side of a cut — healing
+      must never reveal two owners.
+    - {b Partition quarantine} (partitions): no message is delivered
+      over a cut link, and the scion cleaner never processes
+      reachability tables from a sender that is crashed or unreachable
+      at processing time ([Tables_processed] is recorded only for
+      accepted messages).
+    - {b Checksum recovery} (storage faults): every injected disk fault
+      ([Disk_fault]) is eventually acknowledged by an RVM recovery
+      ([Rvm_recover]) at that node — damage is never silently ignored. *)
 
 type rule =
   | Gc_acquired_token
@@ -44,6 +56,9 @@ type rule =
   | Dead_node_activity
   | Forwarder_cycle
   | Incomplete_trace
+  | Split_brain_ownership
+  | Partition_quarantine
+  | Checksum_recovery
 
 type violation = { rule : rule; detail : string }
 

@@ -79,8 +79,21 @@ let create_inter_ssp t ~node ~src_obj ~src_addr:_ ~target_addr =
               then
                 match Protocol.owner_of proto target_uid with
                 | Some owner when not (Ids.Node.equal owner node) ->
-                    Net.record_rpc (Protocol.net proto) ~src:node ~dst:owner
-                      ~kind:Net.Scion_message ~bytes:24 ();
+                    (* Registration must never fail halfway through a
+                       store (the pointer would exist unprotected), so
+                       across a cut the synchronous exchange is replaced
+                       by a queued reliable registration: the entry is
+                       installed eagerly — protection can only err
+                       conservative — and the wire cost is accounted
+                       when the link heals. *)
+                    if Net.reachable (Protocol.net proto) node owner then
+                      Net.record_rpc (Protocol.net proto) ~src:node ~dst:owner
+                        ~kind:Net.Scion_message ~bytes:24 ()
+                    else begin
+                      bump t "gc.barrier.deferred_registrations";
+                      Net.send (Protocol.net proto) ~src:node ~dst:owner
+                        ~kind:Net.Scion_message ~bytes:24 (fun _seq -> ())
+                    end;
                     Bmx_dsm.Directory.add_entering
                       (Protocol.directory proto owner)
                       ~seq:(Net.current_seq (Protocol.net proto) ~src:node ~dst:owner)
@@ -132,8 +145,18 @@ let protect_uncached_target t ~node ~src_bunch ~target =
         match Protocol.owner_of proto uid with
         | Some owner when not (Ids.Node.equal owner node) ->
             bump t "gc.barrier.remote_target_registrations";
-            Net.record_rpc (Protocol.net proto) ~src:node ~dst:owner
-              ~kind:Net.Scion_message ~bytes:24 ();
+            (* As above: across a cut the registration rides the queued
+               reliable channel instead of a synchronous exchange, and
+               the (conservative) entry is installed eagerly so the
+               freshly written pointer is never left unprotected. *)
+            if Net.reachable (Protocol.net proto) node owner then
+              Net.record_rpc (Protocol.net proto) ~src:node ~dst:owner
+                ~kind:Net.Scion_message ~bytes:24 ()
+            else begin
+              bump t "gc.barrier.deferred_registrations";
+              Net.send (Protocol.net proto) ~src:node ~dst:owner
+                ~kind:Net.Scion_message ~bytes:24 (fun _seq -> ())
+            end;
             Bmx_dsm.Directory.add_entering
               (Protocol.directory proto owner)
               ~seq:(Net.current_seq (Protocol.net proto) ~src:node ~dst:owner)

@@ -574,6 +574,22 @@ let mirror_exiting t ~node ~sender ~bunch =
   | None -> []
   | Some m -> Hashtbl.fold (fun e () acc -> e :: acc) m.mi_exiting []
 
+let mirror_claims_target t ~node ~sender uid =
+  let ns = node_state t node in
+  Hashtbl.fold
+    (fun (s, _) m hit ->
+      hit
+      || Ids.Node.equal s sender
+         && Hashtbl.fold
+              (fun (_, _, _, target) () hit -> hit || Ids.Uid.equal target uid)
+              m.mi_inter false)
+    ns.mirrors false
+
+let mirror_inter_keys t ~node ~sender ~bunch =
+  match mirror_find t ~node ~sender ~bunch with
+  | None -> []
+  | Some m -> Hashtbl.fold (fun k () acc -> k :: acc) m.mi_inter []
+
 (* ------------------------------------------------------------------ *)
 
 let last_exiting t ~node ~bunch =

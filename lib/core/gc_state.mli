@@ -265,6 +265,23 @@ val mirror_exiting :
 (** The complete exiting list reassembled from fulls and deltas — what
     the entering reconciliation consumes. *)
 
+val mirror_claims_target :
+  t -> node:Bmx_util.Ids.Node.t -> sender:Bmx_util.Ids.Node.t
+  -> Bmx_util.Ids.Uid.t -> bool
+(** Does {e any} table mirrored from [sender] (whatever its source
+    bunch) still hold an inter-bunch stub targeting [uid]?  The entering
+    reconciliation uses this as a keep-alive: after the scion side of an
+    SSP dies with a crash, the recovered owner's only protection is a
+    checkpoint-restored entering entry, and that entry must not be
+    retired while the claimant's stub survives. *)
+
+val mirror_inter_keys :
+  t -> node:Bmx_util.Ids.Node.t -> sender:Bmx_util.Ids.Node.t
+  -> bunch:Bmx_util.Ids.Bunch.t -> Ssp.inter_key list
+(** Every inter-bunch stub key mirrored from [sender]'s copy of
+    [bunch] — the cleaner walks these to re-assert protection for
+    stub targets whose scion did not survive a crash. *)
+
 (** {1 Scion-cleaner FIFO state (§6.1)} *)
 
 val last_table_seq :

@@ -83,12 +83,47 @@ let fix_local_pointers t ~node =
 
 let run t ~node ~bunch =
   let proto = Gc_state.proto t in
+  let net = Protocol.net proto in
   let store = Protocol.store proto node in
   let replicas =
     List.filter
       (fun n -> not (Ids.Node.equal n node))
       (Protocol.bunch_replica_nodes proto bunch)
   in
+  (* §4.5 reuse waits for replies from every replica (and from each
+     object's owner).  A peer that is {e down} cannot object — its
+     volatile copies and tokens died with it — but a peer that is alive
+     on the far side of a network cut still holds live state and cannot
+     answer; evacuating or adopting ownership without it risks split
+     brain.  Refuse up front, before any evacuation, so the caller can
+     simply retry once the partition heals. *)
+  let involved_owners =
+    List.concat_map
+      (fun seg ->
+        if seg.Segment.role <> Segment.From_space then []
+        else
+          List.filter_map
+            (fun (_, cell) ->
+              match cell with
+              | Store.Forwarder _ -> None
+              | Store.Object obj -> Protocol.owner_of proto obj.Heap_obj.uid)
+            (Store.cells_in_range store seg.Segment.range))
+      (Store.segments_of_bunch store bunch)
+  in
+  let cut_off n =
+    (not (Ids.Node.equal n node))
+    && (not (Net.is_down net n))
+    && not (Net.reachable net node n)
+  in
+  (match List.find_opt cut_off (replicas @ involved_owners) with
+  | Some peer ->
+      bump t "gc.reclaim.deferred_partition";
+      failwith
+        (Format.asprintf
+           "Reclaim.run: peer %a unreachable (partition); from-space reuse \
+            deferred"
+           Ids.Node.pp peer)
+  | None -> ());
   let segments_freed = ref 0
   and bytes_freed = ref 0
   and forwarders_dropped = ref 0

@@ -118,9 +118,15 @@ let sync_mirror t ~at ~seq msg =
       end
 
 let receive t ~at ~seq msg =
+  let net = Protocol.net (Gc_state.proto t) in
   let sender_dead =
     (not (Ids.Node.equal msg.tm_sender at))
-    && Bmx_netsim.Net.is_down (Protocol.net (Gc_state.proto t)) msg.tm_sender
+    && Bmx_netsim.Net.is_down net msg.tm_sender
+  in
+  let sender_unreachable =
+    (not (Ids.Node.equal msg.tm_sender at))
+    && (not sender_dead)
+    && not (Net.reachable net msg.tm_sender at)
   in
   let fresh =
     match
@@ -135,11 +141,26 @@ let receive t ~at ~seq msg =
        (and thus objects) that the recovered node still needs; the next
        table the node sends after restart supersedes everything. *)
     bump t "gc.cleaner.quarantined_dead_sender"
+  else if sender_unreachable then
+    (* Partition quarantine: the sender is alive but cut off (e.g. an
+       asymmetric cut let the table through while the return path is
+       dark).  Processing it could require a resynchronising pull RPC we
+       cannot make, and any scion it retires could not be re-created by
+       a cross-cut Scion_message until heal — so cross-partition tables
+       wait.  Quarantine is free: the sender keeps rebroadcasting (its
+       recorded destination list never forgets an unreached peer), and
+       the post-heal table supersedes this one. *)
+    bump t "gc.cleaner.quarantined_unreachable"
   else if not fresh then bump t "gc.cleaner.stale_ignored"
   else begin
     Gc_state.record_table_seq t ~node:at ~sender:msg.tm_sender ~bunch:msg.tm_bunch
       ~seq;
     bump t "gc.cleaner.processed";
+    (let evlog = Protocol.evlog (Gc_state.proto t) in
+     if Trace_event.enabled evlog then
+       Trace_event.record evlog
+         (Trace_event.Tables_processed
+            { at; sender = msg.tm_sender; bunch = msg.tm_bunch; seq }));
     Bmx_util.Tracelog.recordf
       (Protocol.tracer (Gc_state.proto t))
       ~category:"cleaner" "N%d processed tables from N%d for B%d (seq %d)" at
@@ -209,9 +230,18 @@ let receive t ~at ~seq msg =
             Directory.entering_registration_seq dir ~uid ~from:msg.tm_sender
             >= seq
           in
+          (* Keep-alive across owner crashes: a checkpoint-restored
+             entering entry stands in for a scion that died with this
+             node.  The sender's exiting list never named such an
+             object — its claim rides in the inter-bunch stub tables —
+             so consult the stub mirrors before retiring the entry. *)
+          let stub_claimed =
+            Gc_state.mirror_claims_target t ~node:at ~sender:msg.tm_sender uid
+          in
           if belongs_to_bunch
              && (not (Ids.Uid_set.mem uid claimed))
-             && not registered_after_send
+             && (not registered_after_send)
+             && not stub_claimed
           then begin
             Directory.remove_entering dir ~uid ~from:msg.tm_sender;
             bump t "gc.cleaner.entering_removed"
@@ -221,6 +251,42 @@ let receive t ~at ~seq msg =
     Ids.Uid_set.iter
       (fun uid -> Directory.add_entering dir ~seq ~uid ~from:msg.tm_sender)
       claimed;
+    (* The dual of the §6.1 deletion test, needed only after a crash: a
+       mirrored stub whose matching scion no longer exists here (it was
+       volatile state of a previous incarnation) leaves its target owned
+       here with no root.  Re-assert protection as a conservative
+       entering entry; it is retired through the normal reconciliation
+       above once the claimant drops the stub.  Doing this on every
+       stub-table arrival makes the repair independent of the order the
+       sender's per-bunch tables land in. *)
+    List.iter
+      (fun ((_, _, _, target_uid) as key) ->
+        match Directory.find dir target_uid with
+        | Some r
+          when r.Directory.is_owner
+               && not
+                    (Ids.Node_set.mem msg.tm_sender
+                       (Directory.entering dir target_uid)) ->
+            let scion_here =
+              match Store.addr_of_uid store target_uid with
+              | None -> false
+              | Some a -> (
+                  match Store.resolve store a with
+                  | None -> false
+                  | Some (_, tobj) ->
+                      List.exists
+                        (fun s -> Ssp.inter_scion_key s = key)
+                        (Gc_state.inter_scions t ~node:at
+                           ~bunch:tobj.Heap_obj.bunch))
+            in
+            if not scion_here then begin
+              Directory.add_entering dir ~seq ~uid:target_uid
+                ~from:msg.tm_sender;
+              bump t "gc.cleaner.entering_reasserted"
+            end
+        | Some _ | None -> ())
+      (Gc_state.mirror_inter_keys t ~node:at ~sender:msg.tm_sender
+         ~bunch:msg.tm_bunch);
     Gc_state.sample_ssp_gauges t ~node:at
   end
 
@@ -267,11 +333,16 @@ let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
     |> List.filter (fun n -> not (Ids.Node.equal n node))
   in
   Gc_state.record_broadcast_dests t ~node ~bunch dests;
-  (* Peers that are down right now are deferred, not forgotten: they stay
-     in the recorded destination list, so the next round's rebroadcast
-     reaches them once they return — the same §6.1 loss-repair path that
-     covers dropped tables.  Never block on a dead peer. *)
-  let live_dests = List.filter (fun d -> not (Net.is_down net d)) dests in
+  (* Peers that are down or cut off right now are deferred, not
+     forgotten: they stay in the recorded destination list, so the next
+     round's rebroadcast reaches them once they return or the partition
+     heals — the same §6.1 loss-repair path that covers dropped tables.
+     (A deferred peer misses rounds, so its next table is a full one and
+     its mirror resynchronises via the existing basis-mismatch path.)
+     Never block on a dead or partitioned peer. *)
+  let live_dests = List.filter (fun d -> Net.reachable net node d) dests in
+  let deferred = List.length dests - List.length live_dests in
+  if deferred > 0 then bump t ~by:deferred "gc.cleaner.deferred_unreachable";
   Gc_state.note_exiting t ~node ~bunch exiting;
   let full_body =
     Full { fb_inter = new_inter; fb_intra = new_intra; fb_exiting = exiting }

@@ -435,6 +435,25 @@ let send_location_updates t ~src ~dst updates =
 (* ------------------------------------------------------------------ *)
 (* Invalidation of the read copy-set tree (write-token acquire).       *)
 
+(* Pre-flight for a write grant: every read-copy holder reachable from
+   [node] through the copyset tree must be invalidatable.  A holder
+   that is down lost its token with its volatile directory, so it needs
+   no invalidation; a holder that is {e alive but cut off} still holds
+   a live read token we cannot revoke — granting the write would leave
+   a reader and a writer coexisting across the partition.  The check
+   runs before any mutation so a refusal leaves no partial state. *)
+let rec invalidation_reachable t node uid =
+  match Directory.find (directory t node) uid with
+  | None -> true
+  | Some r ->
+      Ids.Node_set.for_all
+        (fun peer ->
+          Ids.Node.equal peer node
+          || Net.is_down t.net peer
+          || (Net.reachable t.net node peer
+             && invalidation_reachable t peer uid))
+        r.Directory.copyset
+
 let rec invalidate_subtree t ~actor ~skip node uid =
   let d = directory t node in
   match Directory.find d uid with
@@ -445,10 +464,15 @@ let rec invalidate_subtree t ~actor ~skip node uid =
       Ids.Node_set.iter
         (fun peer ->
           if not (Ids.Node.equal peer node) then begin
-            Net.record_rpc t.net ~src:node ~dst:peer ~kind:Net.Invalidate ();
-            ev t (Trace_event.Invalidate { src = node; dst = peer; uid });
-            trace t "dsm" "invalidate u%d at N%d (from N%d)" uid peer node;
-            bump t (actor_prefix actor ^ ".invalidations");
+            (* A dead peer's token died with its volatile directory: no
+               invalidation to send.  (Its possibly-cut link must not
+               make the walk raise mid-mutation either.) *)
+            if not (Net.is_down t.net peer) then begin
+              Net.record_rpc t.net ~src:node ~dst:peer ~kind:Net.Invalidate ();
+              ev t (Trace_event.Invalidate { src = node; dst = peer; uid });
+              trace t "dsm" "invalidate u%d at N%d (from N%d)" uid peer node;
+              bump t (actor_prefix actor ^ ".invalidations")
+            end;
             invalidate_subtree t ~actor ~skip peer uid
           end)
         grantees;
@@ -534,6 +558,13 @@ let acquire t ?(actor = App) ~node:n addr kind =
             | Some _ | None -> ())
         | Some _ | None -> ());
         let granter, _visited = find_read_granter t ~actor ~start:n uid in
+        (* Partition pre-flight: the grant is a synchronous round trip,
+           so an unreachable granter fails the acquire cleanly before
+           any directory state is touched. *)
+        if
+          (not (Ids.Node.equal granter n))
+          && not (Net.reachable t.net granter n)
+        then failwith "Protocol.acquire: granter unreachable (partition)";
         let g_dir = directory t granter in
         let g_rec =
           match Directory.find g_dir uid with
@@ -600,6 +631,9 @@ let acquire t ?(actor = App) ~node:n addr kind =
         let owner, visited = chase_owner t ~actor ~start:n uid in
         if Ids.Node.equal owner n then begin
           (* We were the owner all along (stale local state); revalidate. *)
+          if not (invalidation_reachable t owner uid) then
+            failwith
+              "Protocol.acquire: read-copy holder unreachable (partition)";
           let r = Directory.ensure d_n ~uid ~prob_owner:n in
           r.Directory.is_owner <- true;
           note_owner t ~uid ~node:n;
@@ -620,6 +654,16 @@ let acquire t ?(actor = App) ~node:n addr kind =
           in
           if o_rec.Directory.held then
             failwith "Protocol.acquire: write token held elsewhere";
+          (* Partition pre-flight, before any mutation: the grant and
+             ownership transfer need the owner round trip, and every
+             live read-copy holder must be invalidatable — refusing the
+             cross-partition write here is what guarantees healing never
+             finds two owners or a writer coexisting with readers. *)
+          if not (Net.reachable t.net owner n) then
+            failwith "Protocol.acquire: owner unreachable (partition)";
+          if not (invalidation_reachable t owner uid) then
+            failwith
+              "Protocol.acquire: read-copy holder unreachable (partition)";
           (* Invalidate every read copy (the requester keeps its cached
              data; it is about to receive the authoritative copy). *)
           invalidate_subtree t ~actor ~skip:n owner uid;
@@ -811,18 +855,47 @@ let adopt_ownership t ~node ~uid =
   if Store.addr_of_uid (store t node) uid = None then
     invalid_arg "Protocol.adopt_ownership: adopting node has no copy";
   let old_owner = owner_of t uid in
+  (* Split-brain guard: adoption is only legal when the recorded owner
+     is {e known} to have lost its token (crashed — volatile directory
+     gone), never when it is merely unreachable.  An owner on the far
+     side of a partition still holds live state; adopting here and
+     healing later would leave two owners of one cell.  Likewise every
+     surviving replica must be reachable, or its live read token could
+     not be re-registered in the rebuilt copyset — recovery of
+     ownership waits for heal instead (the caller retries). *)
+  (match old_owner with
+  | Some o
+    when (not (Ids.Node.equal o node)) && not (Net.is_down t.net o) ->
+      if not (Net.reachable t.net node o) then
+        failwith
+          "Protocol.adopt_ownership: recorded owner unreachable (partition?)"
+  | Some _ | None -> ());
+  List.iter
+    (fun n ->
+      if
+        (not (Ids.Node.equal n node))
+        && (not (Net.is_down t.net n))
+        && not (Net.reachable t.net node n)
+      then
+        failwith
+          "Protocol.adopt_ownership: surviving replica unreachable \
+           (partition?)")
+    (replica_nodes t uid);
   (match old_owner with
   | Some o when not (Ids.Node.equal o node) ->
       if Store.addr_of_uid (store t o) uid <> None then
         invalid_arg "Protocol.adopt_ownership: recorded owner still has a copy";
-      (* One exchange rewires the old owner's record towards us. *)
-      Net.record_rpc t.net ~src:node ~dst:o ~kind:Net.Token_request ();
-      Net.record_rpc t.net ~src:o ~dst:node ~kind:Net.Token_grant ();
-      (match Directory.find (directory t o) uid with
-      | Some r ->
-          r.Directory.is_owner <- false;
-          r.Directory.prob_owner <- node
-      | None -> ())
+      (* One exchange rewires the old owner's record towards us — only
+         meaningful (and only possible) while that node is up. *)
+      if not (Net.is_down t.net o) then begin
+        Net.record_rpc t.net ~src:node ~dst:o ~kind:Net.Token_request ();
+        Net.record_rpc t.net ~src:o ~dst:node ~kind:Net.Token_grant ();
+        match Directory.find (directory t o) uid with
+        | Some r ->
+            r.Directory.is_owner <- false;
+            r.Directory.prob_owner <- node
+        | None -> ()
+      end
   | Some _ | None -> ());
   let r = Directory.ensure (directory t node) ~uid ~prob_owner:node in
   r.Directory.is_owner <- true;
@@ -845,6 +918,7 @@ let adopt_ownership t ~node ~uid =
           Ids.Node_set.add n acc
         end)
       Ids.Node_set.empty (replica_nodes t uid);
+  ev t (Trace_event.Owner_adopted { node; uid });
   trace t "dsm" "ownership of u%d adopted by N%d" uid node
 
 let exiting_ownerptrs t ~node ~bunch =

@@ -216,8 +216,14 @@ val adopt_ownership : t -> node:Bmx_util.Ids.Node.t -> uid:Bmx_util.Ids.Uid.t ->
     ownership of an object whose recorded owner no longer caches it (the
     owner's replica died while this one survived — e.g. during from-space
     reuse, §4.5, or a crash, §8).  Accounts one exchange with the old
-    owner when one exists.  Raises [Invalid_argument] if the recorded
-    owner still has a copy, or if the adopting node has none. *)
+    owner when one exists and is up.  Raises [Invalid_argument] if the
+    recorded owner still has a copy, or if the adopting node has none.
+
+    Split-brain guard: raises [Failure] when the recorded owner — or any
+    surviving replica — is alive but unreachable from the adopting node
+    (network partition).  A merely-unreachable owner still holds live
+    token state; adopting would leave two owners after heal.  Callers
+    retry once the partition heals. *)
 
 val crash_node : t -> Bmx_util.Ids.Node.t -> unit
 (** Discard the node's volatile DSM state: its store (every cached

@@ -80,6 +80,11 @@ type 'p t = {
   unacked_tbl : (Ids.Node.t * Ids.Node.t, 'p unacked list ref) Hashtbl.t;
   rstates : (Ids.Node.t * Ids.Node.t, 'p rstate) Hashtbl.t;
   down : (Ids.Node.t, unit) Hashtbl.t;
+  (* Partition model: directed links whose transmissions blackhole, and
+     the sender-side failure detector derived from them. *)
+  cut : (Ids.Node.t * Ids.Node.t, unit) Hashtbl.t;
+  suspect : (Ids.Node.t * Ids.Node.t, unit) Hashtbl.t;
+  mutable suspect_after : int;
 }
 
 let create ~stats () =
@@ -100,20 +105,40 @@ let create ~stats () =
     unacked_tbl = Hashtbl.create 16;
     rstates = Hashtbl.create 16;
     down = Hashtbl.create 4;
+    cut = Hashtbl.create 8;
+    suspect = Hashtbl.create 8;
+    suspect_after = 6;
   }
 
 let stats t = t.stats
 let set_handler t f = t.handler <- Some f
 let set_evlog t l = t.evlog <- Some l
 
-let set_reliable t ?(rto = 4) ?(rto_max = 64) ?(max_attempts = 20) kinds =
-  if rto <= 0 || rto_max < rto || max_attempts < 1 then
+let set_reliable t ?(rto = 4) ?(rto_max = 64) ?(max_attempts = 20)
+    ?(suspect_after = 6) kinds =
+  if rto <= 0 || rto_max < rto || max_attempts < 1 || suspect_after < 1 then
     invalid_arg "Net.set_reliable: bad retransmission parameters";
   Hashtbl.reset t.reliable;
   List.iter (fun k -> Hashtbl.replace t.reliable k ()) kinds;
   t.rto <- rto;
   t.rto_max <- rto_max;
-  t.max_attempts <- max_attempts
+  t.max_attempts <- max_attempts;
+  t.suspect_after <- suspect_after
+
+let set_backoff t ?rto ?rto_max ?max_attempts ?suspect_after () =
+  let rto = Option.value ~default:t.rto rto in
+  let rto_max = Option.value ~default:t.rto_max rto_max in
+  let max_attempts = Option.value ~default:t.max_attempts max_attempts in
+  let suspect_after = Option.value ~default:t.suspect_after suspect_after in
+  if rto <= 0 || rto_max < rto || max_attempts < 1 || suspect_after < 1 then
+    invalid_arg "Net.set_backoff: bad retransmission parameters";
+  t.rto <- rto;
+  t.rto_max <- rto_max;
+  t.max_attempts <- max_attempts;
+  t.suspect_after <- suspect_after
+
+let backoff_ceiling t = t.rto_max
+let suspect_after t = t.suspect_after
 
 let reliable_kinds t = List.filter (Hashtbl.mem t.reliable) all_kinds
 let is_reliable t kind = Hashtbl.mem t.reliable kind
@@ -132,6 +157,86 @@ let ev_delivered t ~src ~dst ~kind ~seq ~rel =
   ev t
     (Trace_event.Msg_delivered
        { src; dst; kind = kind_to_string kind; seq; rel })
+
+(* ------------------------------------------------------------------ *)
+(* Network partitions.  A cut is a {e directed} link property: while
+   (src, dst) is cut every transmission from src to dst blackholes at
+   delivery time — deterministic, unlike the probabilistic fault dice —
+   and, for reliable traffic, the implicit ack of a delivered message
+   blackholes when the {e reverse} link is cut (asymmetric partition).
+   Cut links drop messages; they never forget them: reliable messages
+   stay in the sender's retransmission buffer and land after heal. *)
+
+let is_cut t ~src ~dst = Hashtbl.mem t.cut (src, dst)
+
+let reachable t a b =
+  (not (Hashtbl.mem t.down a))
+  && (not (Hashtbl.mem t.down b))
+  && (not (Hashtbl.mem t.cut (a, b)))
+  && not (Hashtbl.mem t.cut (b, a))
+
+(* The (src, dst) path is severed for reliable delivery: no ack can
+   complete the round trip, whatever the sender does. *)
+let severed t (src, dst) =
+  Hashtbl.mem t.down dst || Hashtbl.mem t.down src
+  || Hashtbl.mem t.cut (src, dst)
+  || Hashtbl.mem t.cut (dst, src)
+
+let cut_link t ~src ~dst =
+  if not (Hashtbl.mem t.cut (src, dst)) then begin
+    Hashtbl.replace t.cut (src, dst) ();
+    Stats.incr t.stats "net.cut.count";
+    ev t (Trace_event.Link_cut { src; dst })
+  end
+
+let heal_link t ~src ~dst =
+  if Hashtbl.mem t.cut (src, dst) then begin
+    Hashtbl.remove t.cut (src, dst);
+    Stats.incr t.stats "net.heal.count";
+    ev t (Trace_event.Link_heal { src; dst })
+  end
+
+let cut_pairs t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.cut [] |> List.sort compare
+
+let heal_all_links t =
+  List.iter (fun (src, dst) -> heal_link t ~src ~dst) (cut_pairs t)
+
+let partition t ~groups =
+  List.iteri
+    (fun i gi ->
+      List.iteri
+        (fun j gj ->
+          if i <> j then
+            List.iter
+              (fun src -> List.iter (fun dst -> cut_link t ~src ~dst) gj)
+              gi)
+        groups)
+    groups
+
+let is_suspect t ~src ~dst = Hashtbl.mem t.suspect (src, dst)
+
+let suspect_pairs t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.suspect [] |> List.sort compare
+
+let suspect_transition t ~src ~dst ~on =
+  Stats.incr t.stats "net.suspect_transitions";
+  (match t.obs with
+  | Some m -> Bmx_obs.Metrics.incr m ~node:src "net.suspect_transitions"
+  | None -> ());
+  ev t (Trace_event.Suspect { src; dst; on })
+
+let mark_suspect t (src, dst) =
+  if not (Hashtbl.mem t.suspect (src, dst)) then begin
+    Hashtbl.replace t.suspect (src, dst) ();
+    suspect_transition t ~src ~dst ~on:true
+  end
+
+let clear_suspect t (src, dst) =
+  if Hashtbl.mem t.suspect (src, dst) then begin
+    Hashtbl.remove t.suspect (src, dst);
+    suspect_transition t ~src ~dst ~on:false
+  end
 
 let next_seq t ~src ~dst =
   let key = (src, dst) in
@@ -244,7 +349,15 @@ let send t ~src ~dst ~kind ?(bytes = 64) payload =
 let record_rpc t ~src ~dst ~kind ?(bytes = 64) () =
   (* Synchronous exchange executed inline by the caller; it overtakes
      any queued background messages on the (src, dst) stream, so it gets
-     its own event kind rather than a sent/delivered pair. *)
+     its own event kind rather than a sent/delivered pair.  An RPC is a
+     round trip, so a cut in either direction makes it time out — the
+     caller sees the failure immediately instead of a silent half-run. *)
+  if Hashtbl.mem t.cut (src, dst) || Hashtbl.mem t.cut (dst, src) then begin
+    Stats.incr t.stats "net.rpc_unreachable";
+    failwith
+      (Printf.sprintf "Net.record_rpc: link %d-%d cut (%s)" src dst
+         (kind_to_string kind))
+  end;
   let seq = next_seq t ~src ~dst in
   ev t (Trace_event.Rpc { src; dst; kind = kind_to_string kind; seq });
   account t ~kind ~bytes
@@ -268,6 +381,17 @@ let ack t ~src ~dst ~upto =
       let keep, acked = List.partition (fun u -> u.u_env.rel > upto) !r in
       if acked <> [] then begin
         r := keep;
+        (* An ack is proof of a live round trip: the failure detector
+           stands down, and anything still outstanding on the pair is
+           re-armed at the base timeout for a prompt post-heal flush. *)
+        if Hashtbl.mem t.suspect (src, dst) then begin
+          clear_suspect t (src, dst);
+          List.iter
+            (fun u ->
+              u.u_interval <- t.rto;
+              u.u_due <- t.now)
+            keep
+        end;
         Stats.incr t.stats ~by:(List.length acked) "net.rel.acked";
         match t.obs with
         | None -> ()
@@ -299,6 +423,13 @@ let deliver t env =
        retried when (if) the node returns. *)
     Stats.incr t.stats ("net.down_dropped." ^ kind_to_string env.kind);
     Stats.incr t.stats "net.down_dropped.total"
+  end
+  else if Hashtbl.mem t.cut (env.src, env.dst) then begin
+    (* The directed link is cut: the transmission blackholes.  As with a
+       dead destination, reliable messages survive in the sender's
+       retransmission buffer and land after heal. *)
+    Stats.incr t.stats ("net.cut_dropped." ^ kind_to_string env.kind);
+    Stats.incr t.stats "net.cut_dropped.total"
   end
   else if env.rel = 0 then handoff t env
   else begin
@@ -345,8 +476,13 @@ let deliver t env =
     end;
     (* Only contiguously delivered prefixes are acknowledged: a crash of
        the receiver can lose buffered-but-unacked messages, never acked
-       ones. *)
-    ack t ~src:env.src ~dst:env.dst ~upto:(rs.r_next - 1)
+       ones.  When the reverse link is cut (asymmetric partition) the
+       payload was handed off but the ack blackholes: the sender keeps
+       retransmitting, the receiver suppresses the duplicates, and the
+       ack finally lands on the first post-heal copy. *)
+    if Hashtbl.mem t.cut (env.dst, env.src) then
+      Stats.incr t.stats "net.rel.ack_blackholed"
+    else ack t ~src:env.src ~dst:env.dst ~upto:(rs.r_next - 1)
   end
 
 let step t =
@@ -418,38 +554,63 @@ let tick ?(dt = 1) t =
   if dt <= 0 then invalid_arg "Net.tick: dt must be positive";
   t.now <- t.now + dt;
   let retransmitted = ref 0 in
+  let retransmit_one u ~interval =
+    u.u_attempts <- u.u_attempts + 1;
+    u.u_interval <- interval;
+    u.u_due <- t.now + interval;
+    incr retransmitted;
+    Stats.incr t.stats ("net.retransmit." ^ kind_to_string u.u_env.kind);
+    Stats.incr t.stats "net.retransmit.total";
+    ev t
+      (Trace_event.Msg_retransmit
+         {
+           src = u.u_env.src;
+           dst = u.u_env.dst;
+           kind = kind_to_string u.u_env.kind;
+           seq = u.u_env.seq;
+           attempt = u.u_attempts;
+         });
+    (* Retransmissions carry the original sequence number: the
+       receivers' logical clocks compare against send time, and
+       the reorder buffer restores handler-visible FIFO. *)
+    transmit t u.u_env ~bytes:u.u_bytes
+  in
   Hashtbl.iter
-    (fun _key r ->
+    (fun key r ->
+      (* While a pair is suspect only its oldest overdue message is
+         probed, at the backoff ceiling — a partitioned destination costs
+         one transmission per [rto_max] however deep the backlog. *)
+      let probe_sent = ref false in
       r :=
         List.filter
           (fun u ->
             if u.u_due > t.now then true
+            else if Hashtbl.mem t.suspect key then begin
+              if !probe_sent then u.u_due <- t.now + t.rto_max
+              else begin
+                probe_sent := true;
+                Stats.incr t.stats "net.rel.probes";
+                retransmit_one u ~interval:t.rto_max
+              end;
+              true
+            end
+            else if severed t key && u.u_attempts >= t.suspect_after then begin
+              (* Repeated timeouts against a severed path: stop spinning,
+                 switch to the slow probe.  Suspect messages are never
+                 abandoned — they deliver after heal or restart. *)
+              mark_suspect t key;
+              probe_sent := true;
+              Stats.incr t.stats "net.rel.probes";
+              retransmit_one u ~interval:t.rto_max;
+              true
+            end
             else if u.u_attempts >= t.max_attempts then begin
               Stats.incr t.stats "net.rel.abandoned";
               false
             end
             else begin
-              u.u_attempts <- u.u_attempts + 1;
               (* Exponential backoff, capped at [rto_max]. *)
-              u.u_interval <- min (u.u_interval * 2) t.rto_max;
-              u.u_due <- t.now + u.u_interval;
-              incr retransmitted;
-              Stats.incr t.stats
-                ("net.retransmit." ^ kind_to_string u.u_env.kind);
-              Stats.incr t.stats "net.retransmit.total";
-              ev t
-                (Trace_event.Msg_retransmit
-                   {
-                     src = u.u_env.src;
-                     dst = u.u_env.dst;
-                     kind = kind_to_string u.u_env.kind;
-                     seq = u.u_env.seq;
-                     attempt = u.u_attempts;
-                   });
-              (* Retransmissions carry the original sequence number: the
-                 receivers' logical clocks compare against send time, and
-                 the reorder buffer restores handler-visible FIFO. *)
-              transmit t u.u_env ~bytes:u.u_bytes;
+              retransmit_one u ~interval:(min (u.u_interval * 2) t.rto_max);
               true
             end)
           !r)
@@ -459,14 +620,20 @@ let tick ?(dt = 1) t =
 let settle ?(max_rounds = 10_000) t =
   let delivered = ref (drain t) in
   let next_due () =
+    (* Pairs whose path is severed (down node or cut link in either
+       direction) can make no progress however far the clock jumps:
+       ignore them so [settle] terminates during a partition instead of
+       probing it [max_rounds] times. *)
     Hashtbl.fold
-      (fun _ r acc ->
-        List.fold_left
-          (fun acc u ->
-            match acc with
-            | None -> Some u.u_due
-            | Some d -> Some (min d u.u_due))
-          acc !r)
+      (fun key r acc ->
+        if severed t key then acc
+        else
+          List.fold_left
+            (fun acc u ->
+              match acc with
+              | None -> Some u.u_due
+              | Some d -> Some (min d u.u_due))
+            acc !r)
       t.unacked_tbl None
   in
   let rounds = ref 0 in
@@ -510,7 +677,8 @@ let set_down t node =
     in
     Queue.clear t.queue;
     List.iter (fun e -> Queue.add e t.queue) (List.rev keep);
-    (* The node's own retransmission buffer is volatile. *)
+    (* The node's own retransmission buffer is volatile, and so is its
+       failure detector's opinion of its peers. *)
     Hashtbl.iter
       (fun (src, _) r ->
         if Ids.Node.equal src node && !r <> [] then begin
@@ -518,6 +686,10 @@ let set_down t node =
           r := []
         end)
       t.unacked_tbl;
+    List.iter
+      (fun (src, dst) ->
+        if Ids.Node.equal src node then clear_suspect t (src, dst))
+      (suspect_pairs t);
     (* Reorder buffers touching the node are volatile; roll the crashed
        sender's stream counters back to each receiver's contiguous
        high-water mark so post-restart sends resume gap-free. *)

@@ -149,12 +149,38 @@ val clear_faults : 'p t -> unit
     fault injection does to individual transmissions. *)
 
 val set_reliable :
-  'p t -> ?rto:int -> ?rto_max:int -> ?max_attempts:int -> kind list -> unit
+  'p t ->
+  ?rto:int ->
+  ?rto_max:int ->
+  ?max_attempts:int ->
+  ?suspect_after:int ->
+  kind list ->
+  unit
 (** Replace the set of reliable kinds.  [rto] (default 4) is the initial
     retransmission timeout in virtual-clock units, doubling per attempt
     up to [rto_max] (default 64); after [max_attempts] (default 20)
     transmissions a message is abandoned (counted in
-    [net.rel.abandoned]) — timeouts, never blocking. *)
+    [net.rel.abandoned]) — timeouts, never blocking.  [suspect_after]
+    (default 6) is the failure-detector threshold: that many fruitless
+    transmissions against a severed path (cut link or down node) flip
+    the pair into the {e suspect} state, see {!is_suspect}. *)
+
+val set_backoff :
+  'p t ->
+  ?rto:int ->
+  ?rto_max:int ->
+  ?max_attempts:int ->
+  ?suspect_after:int ->
+  unit ->
+  unit
+(** Adjust the retransmission-timer knobs without touching the reliable
+    kind set.  Omitted parameters keep their current values. *)
+
+val backoff_ceiling : 'p t -> int
+(** The current [rto_max] — the hard cap on the retransmission backoff
+    interval and the suspect-probe period. *)
+
+val suspect_after : 'p t -> int
 
 val reliable_kinds : 'p t -> kind list
 val is_reliable : 'p t -> kind -> bool
@@ -189,6 +215,53 @@ val set_down : 'p t -> Bmx_util.Ids.Node.t -> unit
 val set_up : 'p t -> Bmx_util.Ids.Node.t -> unit
 val is_down : 'p t -> Bmx_util.Ids.Node.t -> bool
 val down_nodes : 'p t -> Bmx_util.Ids.Node.t list
+
+(** {1 Network partitions}
+
+    A partition {e cuts} a set of directed links.  Transmissions over a
+    cut link blackhole deterministically (counted in
+    [net.cut_dropped.*]), unlike the probabilistic {!set_fault} dice.
+    Cutting only one direction models an asymmetric partition: payloads
+    still arrive but the implicit acknowledgement of a reliable delivery
+    blackholes on the cut reverse link ([net.rel.ack_blackholed]), so
+    the sender keeps retransmitting until heal.
+
+    Reliable messages to a cut destination are {e never} abandoned.
+    After [suspect_after] fruitless transmissions against a severed path
+    the sender's failure detector marks the pair {e suspect}
+    ([net.suspect_transitions], {!Bmx_util.Trace_event.Suspect}): only
+    the oldest unacknowledged message is re-sent, once per [rto_max], as
+    a probe.  The first acknowledgement after heal clears the suspicion
+    and re-arms the backlog at the base timeout, so healing floods
+    neither the virtual clock nor the queue.  [record_rpc] over a cut
+    link (either direction — an RPC is a round trip) raises [Failure]
+    so callers fail cleanly instead of silently half-running. *)
+
+val cut_link :
+  'p t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> unit
+
+val heal_link :
+  'p t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> unit
+
+val is_cut : 'p t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> bool
+
+val cut_pairs : 'p t -> (Bmx_util.Ids.Node.t * Bmx_util.Ids.Node.t) list
+(** Currently cut directed links, sorted. *)
+
+val partition : 'p t -> groups:Bmx_util.Ids.Node.t list list -> unit
+(** Cut every directed link between nodes of different groups — a
+    symmetric multi-way partition.  Links within a group are untouched. *)
+
+val heal_all_links : 'p t -> unit
+
+val reachable : 'p t -> Bmx_util.Ids.Node.t -> Bmx_util.Ids.Node.t -> bool
+(** Both nodes are up and the link between them is uncut in both
+    directions — a synchronous round trip can complete. *)
+
+val is_suspect :
+  'p t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> bool
+
+val suspect_pairs : 'p t -> (Bmx_util.Ids.Node.t * Bmx_util.Ids.Node.t) list
 
 val current_seq :
   'p t -> src:Bmx_util.Ids.Node.t -> dst:Bmx_util.Ids.Node.t -> int

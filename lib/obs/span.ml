@@ -42,6 +42,12 @@ let of_events timed =
     Hashtbl.create 64
   in
   let open_down : (Ids.Node.t, int) Hashtbl.t = Hashtbl.create 4 in
+  (* Cut links and suspect pairs open interval spans on the Net track:
+     [Link_cut]/[Link_heal] and [Suspect on]/[Suspect off] bracket them. *)
+  let open_cut : (Ids.Node.t * Ids.Node.t, int) Hashtbl.t = Hashtbl.create 8 in
+  let open_suspect : (Ids.Node.t * Ids.Node.t, int) Hashtbl.t =
+    Hashtbl.create 8
+  in
   List.iter
     (fun (ts, ev) ->
       match ev with
@@ -169,9 +175,56 @@ let of_events timed =
           emit
             { name = "down"; node; track = Net; ts = start;
               dur = Some (ts - start); args = [] }
+      | T.Link_cut { src; dst } -> Hashtbl.replace open_cut (src, dst) ts
+      | T.Link_heal { src; dst } ->
+          let start =
+            match Hashtbl.find_opt open_cut (src, dst) with
+            | Some s ->
+                Hashtbl.remove open_cut (src, dst);
+                s
+            | None -> ts
+          in
+          emit
+            { name = "partition"; node = src; track = Net; ts = start;
+              dur = Some (ts - start); args = [ ("dst", Json.Int dst) ] }
+      | T.Suspect { src; dst; on } ->
+          if on then Hashtbl.replace open_suspect (src, dst) ts
+          else
+            let start =
+              match Hashtbl.find_opt open_suspect (src, dst) with
+              | Some s ->
+                  Hashtbl.remove open_suspect (src, dst);
+                  s
+              | None -> ts
+            in
+            emit
+              { name = "suspect"; node = src; track = Net; ts = start;
+                dur = Some (ts - start); args = [ ("dst", Json.Int dst) ] }
+      | T.Rvm_recover { node; dropped; lost } ->
+          emit
+            {
+              name = "rvm.recover";
+              node;
+              track = Net;
+              ts;
+              dur = None;
+              args =
+                [ ("dropped", Json.Int dropped); ("lost", Json.Int lost) ];
+            }
+      | T.Disk_fault { node; fault } ->
+          emit
+            {
+              name = "disk.fault";
+              node;
+              track = Net;
+              ts;
+              dur = None;
+              args = [ ("fault", Json.String fault) ];
+            }
       | T.Release _ | T.Grant_sent _ | T.Hook_ssp _ | T.Invalidate _
       | T.Updates_applied _ | T.Forward_due _ | T.Copyset_forward _
-      | T.Rpc _ ->
+      | T.Rpc _ | T.Owner_adopted _ | T.Tables_processed _
+      | T.Bunch_verified _ ->
           ())
     timed;
   let unfinished name node track ts args =
@@ -197,5 +250,13 @@ let of_events timed =
   Hashtbl.iter
     (fun node ts -> unfinished "down" node Net ts [])
     open_down;
+  Hashtbl.iter
+    (fun (src, dst) ts ->
+      unfinished "partition" src Net ts [ ("dst", Json.Int dst) ])
+    open_cut;
+  Hashtbl.iter
+    (fun (src, dst) ts ->
+      unfinished "suspect" src Net ts [ ("dst", Json.Int dst) ])
+    open_suspect;
   List.sort (fun a b -> compare (a.ts, a.node, a.name) (b.ts, b.node, b.name))
     !spans

@@ -2,15 +2,44 @@ open Bmx_util
 
 type 'v record = Set of Addr.t * 'v | Delete of Addr.t | Commit
 
+(* A log entry as written to the simulated disk: the record plus the
+   integrity metadata recovery verifies — a per-record checksum and a
+   monotonically increasing slot number (a gap betrays a lost record
+   even when every surviving record checksums clean). *)
+type 'v entry = { e_seq : int; e_rec : 'v record; mutable e_chk : int }
+
+type report = {
+  r_scanned : int;
+  r_verified : int;
+  r_dropped : int;
+  r_corrupt : int;
+  r_lost : Addr.t list;
+}
+
+let clean_report = function
+  | { r_dropped = 0; r_corrupt = 0; r_lost = []; _ } -> true
+  | _ -> false
+
 type 'v t = {
   copy : 'v -> 'v;
   (* Volatile state. *)
   mutable image : (Addr.t, 'v) Hashtbl.t;
   mutable tx : 'v record list option; (* buffered records, reversed *)
   (* Stable state (the simulated disk). *)
-  stable_image : (Addr.t, 'v) Hashtbl.t;
-  mutable log : 'v record list; (* newest first *)
+  mutable stable_image : (Addr.t, 'v) Hashtbl.t;
+  mutable log : 'v entry list; (* newest first *)
+  mutable next_seq : int; (* next log slot number, never reused *)
+  mutable last_recovery : report option;
+      (* what the most recent [recover] had to drop — kept on the handle
+         so an fsck pass can still name truncated addresses after the
+         log entries themselves are gone *)
 }
+
+(* The checksum covers the slot number and the record bytes.  The stdlib
+   polymorphic hash stands in for a real CRC: fault injection corrupts
+   the stored bytes (modelled by perturbing the stored checksum), so
+   verification only needs mismatch detection, not collision strength. *)
+let digest seq rec_ = Hashtbl.hash (seq, Hashtbl.hash rec_)
 
 let create ~copy () =
   {
@@ -19,6 +48,8 @@ let create ~copy () =
     tx = None;
     stable_image = Hashtbl.create 64;
     log = [];
+    next_seq = 1;
+    last_recovery = None;
   }
 
 let begin_tx t =
@@ -41,13 +72,19 @@ let apply_record image copy = function
   | Delete a -> Hashtbl.remove image a
   | Commit -> ()
 
+let append_entry t rec_ =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.log <- { e_seq = seq; e_rec = rec_; e_chk = digest seq rec_ } :: t.log
+
 let commit t =
   let records = List.rev (buffered t) in
   t.tx <- None;
   List.iter (apply_record t.image t.copy) records;
   (* The append of data records plus the commit mark is the atomic step:
      recovery only honours commit-terminated prefixes. *)
-  t.log <- Commit :: List.rev_append records t.log
+  List.iter (append_entry t) records;
+  append_entry t Commit
 
 let abort t =
   ignore (buffered t);
@@ -78,12 +115,44 @@ let crash t =
 let crash_mid_commit t =
   let records = List.rev (buffered t) in
   (* Data records reached the log; the commit mark did not. *)
-  t.log <- List.rev_append records t.log;
+  List.iter (append_entry t) records;
   crash t
 
-let committed_records t =
+(* ----------------------------------------------------- fault injection *)
+
+(* Log positions are addressed oldest-first (position 0 is the oldest
+   surviving entry), matching how an operator would read the log file. *)
+let nth_newest_index t index =
+  let len = List.length t.log in
+  if index < 0 || index >= len then
+    invalid_arg "Rvm: fault index out of log bounds";
+  len - 1 - index
+
+let flip_bits t ~index =
+  let i = nth_newest_index t index in
+  let e = List.nth t.log i in
+  (* Bit rot in the stored record: the persisted bytes no longer match
+     the checksum that was computed when they were written. *)
+  e.e_chk <- e.e_chk lxor 0x2a
+
+let drop_record t ~index =
+  let i = nth_newest_index t index in
+  t.log <- List.filteri (fun j _ -> j <> i) t.log
+
+let truncate_mid_record t =
+  (* A torn physical write at the log tail: the newest entry is gone and
+     the partial overwrite mangled the one before it. *)
+  match t.log with
+  | [] -> ()
+  | [ _ ] -> t.log <- []
+  | _ :: (second :: _ as rest) ->
+      t.log <- rest;
+      second.e_chk <- second.e_chk lxor 0x55
+
+(* ----------------------------------------------------------- recovery *)
+
+let committed_of records =
   (* Oldest-first records belonging to commit-terminated transactions. *)
-  let oldest_first = List.rev t.log in
   (* [acc] and [pending] are newest-first; a trailing [pending] with no
      commit record is a torn tail and is dropped. *)
   let rec go acc pending = function
@@ -91,18 +160,100 @@ let committed_records t =
     | Commit :: rest -> go (pending @ acc) [] rest
     | r :: rest -> go acc (r :: pending) rest
   in
-  go [] [] oldest_first
+  go [] [] records
+
+let committed_records t =
+  committed_of (List.rev_map (fun e -> e.e_rec) t.log)
+
+let touched_addrs records =
+  List.filter_map
+    (function Set (a, _) | Delete a -> Some a | Commit -> None)
+    records
+  |> List.sort_uniq Addr.compare
 
 let recover t =
+  let oldest_first = List.rev t.log in
+  let scanned = List.length oldest_first in
+  (* Verify oldest-first: each entry must checksum clean and continue
+     the slot sequence.  The first failure makes every later record
+     boundary untrustworthy, so the whole suffix is unverifiable. *)
+  let rec verify kept prev_seq corrupt = function
+    | [] -> (List.rev kept, corrupt)
+    | e :: rest ->
+        let seq_ok =
+          match prev_seq with None -> true | Some p -> e.e_seq = p + 1
+        in
+        if seq_ok && e.e_chk = digest e.e_seq e.e_rec then
+          verify (e :: kept) (Some e.e_seq) corrupt rest
+        else ((List.rev kept), corrupt + 1 + List.length rest)
+  in
+  let verified, corrupt = verify [] None 0 oldest_first in
+  (* Truncate the surviving log to its last commit-terminated prefix:
+     an unverifiable suffix or torn tail must not leak into the
+     transaction that commits next. *)
+  let rec commit_prefix acc pending = function
+    | [] -> List.rev acc
+    | ({ e_rec = Commit; _ } as e) :: rest ->
+        commit_prefix (e :: pending @ acc) [] rest
+    | e :: rest -> commit_prefix acc (e :: pending) rest
+  in
+  let kept = commit_prefix [] [] verified in
+  (* Committed state the full log promised but the kept prefix lost:
+     the kept committed records are a prefix of the full log's, so the
+     difference is exactly the truncated committed suffix. *)
+  let all_committed =
+    committed_of (List.map (fun e -> e.e_rec) oldest_first)
+  in
+  let kept_committed = committed_of (List.map (fun e -> e.e_rec) kept) in
+  let rec drop_prefix n l =
+    if n = 0 then l
+    else match l with [] -> [] | _ :: rest -> drop_prefix (n - 1) rest
+  in
+  let lost =
+    touched_addrs (drop_prefix (List.length kept_committed) all_committed)
+  in
+  t.log <- List.rev kept;
+  (* Truncation rewinds the append point: the next entry must continue
+     the kept prefix's slot sequence, or the very next recovery would
+     see a gap where the dropped suffix used to be. *)
+  t.next_seq <- (match t.log with [] -> 1 | e :: _ -> e.e_seq + 1);
   let image = Hashtbl.create 64 in
   Hashtbl.iter (fun a v -> Hashtbl.replace image a (t.copy v)) t.stable_image;
-  List.iter (apply_record image t.copy) (committed_records t);
+  List.iter (apply_record image t.copy) kept_committed;
   t.image <- image;
-  t.tx <- None
+  t.tx <- None;
+  let report =
+    {
+      r_scanned = scanned;
+      r_verified = List.length verified;
+      r_dropped = scanned - List.length kept;
+      r_corrupt = corrupt;
+      r_lost = lost;
+    }
+  in
+  t.last_recovery <- Some report;
+  report
+
+let last_recovery t = t.last_recovery
 
 let checkpoint t =
   if in_tx t then failwith "Rvm.checkpoint: transaction open";
-  List.iter (apply_record t.stable_image t.copy) (committed_records t);
+  (* Stage the fold into a shadow image; installing the shadow and
+     truncating the log is the atomic step.  A crash mid-checkpoint
+     (see [crash_mid_checkpoint]) discards the half-written shadow and
+     leaves the old stable image plus the intact log — never a
+     half-applied stable image with the log already gone. *)
+  let shadow = Hashtbl.create (Hashtbl.length t.stable_image) in
+  Hashtbl.iter (fun a v -> Hashtbl.replace shadow a (t.copy v)) t.stable_image;
+  List.iter (apply_record shadow t.copy) (committed_records t);
+  t.stable_image <- shadow;
   t.log <- []
+
+let crash_mid_checkpoint t =
+  if in_tx t then failwith "Rvm.crash_mid_checkpoint: transaction open";
+  (* The shadow image was part-written when the crash struck: it is
+     discarded unreferenced.  The old stable image and the log are both
+     intact, so the checkpoint simply never happened. *)
+  crash t
 
 let log_length t = List.length t.log

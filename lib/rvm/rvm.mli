@@ -21,9 +21,32 @@
 
 type 'v t
 
+type report = {
+  r_scanned : int;  (** log entries examined by recovery *)
+  r_verified : int;  (** entries that checksummed clean in sequence *)
+  r_dropped : int;
+      (** entries truncated from the log: the unverifiable suffix plus
+          any verified-but-uncommitted torn tail *)
+  r_corrupt : int;
+      (** entries that failed verification (bad checksum or a slot-number
+          gap) — always [<= r_dropped] *)
+  r_lost : Bmx_util.Addr.t list;
+      (** addresses whose {e committed} latest state was truncated —
+          the data recovery had promised durability for and could not
+          deliver; empty unless the log was corrupted *)
+}
+(** What {!recover} found on the simulated disk.  A clean recovery (no
+    corruption, at worst a torn uncommitted tail) has [r_corrupt = 0]
+    and [r_lost = []]. *)
+
+val clean_report : report -> bool
+(** No records dropped, none corrupt, nothing lost. *)
+
 val create : copy:('v -> 'v) -> unit -> 'v t
 (** [copy] must produce an independent duplicate of a value: values are
-    copied on their way to the log and back, like bytes through a file. *)
+    copied on their way to the log and back, like bytes through a file.
+    Every log entry carries a per-record checksum and a monotonically
+    increasing slot number; {!recover} verifies both. *)
 
 (** {1 Transactions} *)
 
@@ -65,13 +88,50 @@ val crash_mid_commit : 'v t -> unit
     transaction reached the log and before the commit record did — the
     worst-case torn write. *)
 
-val recover : 'v t -> unit
-(** Rebuild the volatile image from the stable checkpoint plus every
-    committed log record.  Idempotent. *)
+val crash_mid_checkpoint : 'v t -> unit
+(** Crash in the middle of a {!checkpoint}: the half-written shadow
+    image is discarded, the old stable image and the log survive intact
+    — the checkpoint simply never happened.  (Checkpointing stages into
+    a shadow and installs it atomically; it never mutates the live
+    stable image in place, so there is no half-applied state to model.)
+    Raises [Failure] inside a transaction. *)
+
+val recover : 'v t -> report
+(** Verify the log oldest-first (checksums and slot-number contiguity),
+    truncate it to the last verifiable commit-terminated prefix, and
+    rebuild the volatile image from the stable checkpoint plus that
+    prefix.  The first unverifiable entry condemns the whole suffix
+    behind it — record boundaries past a corrupt record cannot be
+    trusted.  Idempotent on a clean log. *)
+
+val last_recovery : 'v t -> report option
+(** The report of the most recent {!recover} on this handle, if any.
+    Kept for fsck passes: truncated addresses ([r_lost]) can still be
+    named after the log entries themselves are gone. *)
 
 val checkpoint : 'v t -> unit
 (** RVM truncation: fold the committed log into the stable image and
-    clear the log.  Raises [Failure] inside a transaction. *)
+    clear the log.  Staged through a shadow image so a crash mid-way
+    (see {!crash_mid_checkpoint}) loses no committed state.  Raises
+    [Failure] inside a transaction. *)
+
+(** {1 Storage fault injection}
+
+    Faults address log entries oldest-first: position 0 is the oldest
+    surviving entry, [log_length t - 1] the newest.  All raise
+    [Invalid_argument] on an out-of-bounds position. *)
+
+val flip_bits : 'v t -> index:int -> unit
+(** Bit rot: corrupt the stored bytes of one log entry so its checksum
+    no longer verifies. *)
+
+val drop_record : 'v t -> index:int -> unit
+(** Lose one log entry outright; recovery detects the slot-number gap. *)
+
+val truncate_mid_record : 'v t -> unit
+(** A torn physical write at the log tail: the newest entry vanishes and
+    the partial overwrite mangles the entry before it.  No-op on an
+    empty log. *)
 
 val log_length : 'v t -> int
 (** Number of records currently in the stable log (data + commit marks). *)

@@ -74,6 +74,19 @@ type t =
   | Rpc of { src : Ids.Node.t; dst : Ids.Node.t; kind : string; seq : int }
   | Crash of { node : Ids.Node.t }
   | Restart of { node : Ids.Node.t }
+  | Link_cut of { src : Ids.Node.t; dst : Ids.Node.t }
+  | Link_heal of { src : Ids.Node.t; dst : Ids.Node.t }
+  | Suspect of { src : Ids.Node.t; dst : Ids.Node.t; on : bool }
+  | Owner_adopted of { node : Ids.Node.t; uid : Ids.Uid.t }
+  | Tables_processed of {
+      at : Ids.Node.t;
+      sender : Ids.Node.t;
+      bunch : Ids.Bunch.t;
+      seq : int;
+    }
+  | Disk_fault of { node : Ids.Node.t; fault : string }
+  | Rvm_recover of { node : Ids.Node.t; dropped : int; lost : int }
+  | Bunch_verified of { node : Ids.Node.t; missing : int }
 
 type log = {
   mutable log_enabled : bool;
@@ -179,6 +192,18 @@ let to_line = function
       Printf.sprintf "rpc %d %d %s %d" src dst kind seq
   | Crash { node } -> Printf.sprintf "crash %d" node
   | Restart { node } -> Printf.sprintf "restart %d" node
+  | Link_cut { src; dst } -> Printf.sprintf "link_cut %d %d" src dst
+  | Link_heal { src; dst } -> Printf.sprintf "link_heal %d %d" src dst
+  | Suspect { src; dst; on } ->
+      Printf.sprintf "suspect %d %d %s" src dst (bool_str on)
+  | Owner_adopted { node; uid } -> Printf.sprintf "owner_adopted %d %d" node uid
+  | Tables_processed { at; sender; bunch; seq } ->
+      Printf.sprintf "tables_processed %d %d %d %d" at sender bunch seq
+  | Disk_fault { node; fault } -> Printf.sprintf "disk_fault %d %s" node fault
+  | Rvm_recover { node; dropped; lost } ->
+      Printf.sprintf "rvm_recover %d %d %d" node dropped lost
+  | Bunch_verified { node; missing } ->
+      Printf.sprintf "bunch_verified %d %d" node missing
 
 exception Parse of string
 
@@ -274,6 +299,21 @@ let of_line line =
         Ok (Rpc { src = int s; dst = int d; kind = k; seq = int q })
     | [ "crash"; n ] -> Ok (Crash { node = int n })
     | [ "restart"; n ] -> Ok (Restart { node = int n })
+    | [ "link_cut"; s; d ] -> Ok (Link_cut { src = int s; dst = int d })
+    | [ "link_heal"; s; d ] -> Ok (Link_heal { src = int s; dst = int d })
+    | [ "suspect"; s; d; o ] ->
+        Ok (Suspect { src = int s; dst = int d; on = bool o })
+    | [ "owner_adopted"; n; u ] ->
+        Ok (Owner_adopted { node = int n; uid = int u })
+    | [ "tables_processed"; a; s; b; q ] ->
+        Ok
+          (Tables_processed
+             { at = int a; sender = int s; bunch = int b; seq = int q })
+    | [ "disk_fault"; n; f ] -> Ok (Disk_fault { node = int n; fault = f })
+    | [ "rvm_recover"; n; d; l ] ->
+        Ok (Rvm_recover { node = int n; dropped = int d; lost = int l })
+    | [ "bunch_verified"; n; m ] ->
+        Ok (Bunch_verified { node = int n; missing = int m })
     | w :: _ -> Error (Printf.sprintf "unknown or malformed event %S" w)
     | [] -> Error "empty line"
   with Parse m -> Error m

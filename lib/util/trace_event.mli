@@ -107,6 +107,41 @@ type t =
       (** the node lost its volatile state (store, tokens, channels) *)
   | Restart of { node : Ids.Node.t }
       (** the node rejoined; recovery from the persistent image follows *)
+  | Link_cut of { src : Ids.Node.t; dst : Ids.Node.t }
+      (** the directed link src→dst was cut: transmissions on it
+          blackhole (partition model, distinct from probabilistic loss) *)
+  | Link_heal of { src : Ids.Node.t; dst : Ids.Node.t }
+      (** the directed link src→dst was restored *)
+  | Suspect of { src : Ids.Node.t; dst : Ids.Node.t; on : bool }
+      (** the reliable layer's failure detector changed its opinion of
+          dst as seen from src: [on = true] enters the suspect state
+          (retransmissions collapse to a single slow probe), [on = false]
+          clears it (an ack got through) *)
+  | Owner_adopted of { node : Ids.Node.t; uid : Ids.Uid.t }
+      (** recovery re-seated ownership of [uid] at [node] (only legal
+          when the recorded owner is genuinely gone, not merely
+          unreachable — the split-brain lint checks this) *)
+  | Tables_processed of {
+      at : Ids.Node.t;
+      sender : Ids.Node.t;
+      bunch : Ids.Bunch.t;
+      seq : int;
+    }
+      (** the scion cleaner at [at] accepted and processed a reachability
+          tables message — quarantined (dead or unreachable sender) and
+          stale-seq messages are {e not} recorded, so the partition lint
+          can flag any processing that should have been quarantined *)
+  | Disk_fault of { node : Ids.Node.t; fault : string }
+      (** a storage fault was injected into the node's RVM log
+          ([flip_bits], [drop_record], [truncate_mid_record], ...) *)
+  | Rvm_recover of { node : Ids.Node.t; dropped : int; lost : int }
+      (** checksummed log recovery ran: [dropped] log records were behind
+          the last verifiable commit prefix, losing the latest state of
+          [lost] distinct addresses *)
+  | Bunch_verified of { node : Ids.Node.t; missing : int }
+      (** the fsck-style post-restore verification ran; [missing] objects
+          present on the checksummed disk image failed to make it into
+          the restored store *)
 
 type log
 

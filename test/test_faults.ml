@@ -31,7 +31,13 @@ let long_mode =
 let argv_without_long =
   Array.of_list (List.filter (fun a -> a <> "--long") (Array.to_list Sys.argv))
 
-let soak_seeds = if long_mode then 200 else 50
+(* BMX_SOAK_SEEDS overrides the seed count outright (CI shards and
+   bisection runs); --long/BMX_SOAK_LONG picks the bigger default. *)
+let soak_seeds =
+  match Sys.getenv_opt "BMX_SOAK_SEEDS" with
+  | Some s -> int_of_string s
+  | None -> if long_mode then 200 else 50
+
 let ops_per_seed = if long_mode then 250 else 120
 
 (* ------------------------------------------------------------- harness *)
@@ -195,7 +201,45 @@ let watch s op =
         (match Cluster.owner_of s.c ~uid with
         | Some o -> string_of_int o
         | None -> "-")
-        reach
+        reach;
+      let gc = Cluster.gc s.c in
+      List.iter
+        (fun n ->
+          let dir = Bmx_dsm.Protocol.directory proto n in
+          let ent =
+            Ids.Node_set.elements (Bmx_dsm.Directory.entering dir uid)
+          in
+          let prot =
+            List.concat_map
+              (fun b ->
+                List.filter_map
+                  (fun (sc : Bmx_gc.Ssp.inter_scion) ->
+                    if sc.Bmx_gc.Ssp.xs_target_uid = uid then
+                      Some (Printf.sprintf "x%d" sc.Bmx_gc.Ssp.xs_src_node)
+                    else None)
+                  (Bmx_gc.Gc_state.inter_scions gc ~node:n ~bunch:b)
+                @ List.filter_map
+                    (fun (sc : Bmx_gc.Ssp.intra_scion) ->
+                      if sc.Bmx_gc.Ssp.xn_uid = uid then
+                        Some (Printf.sprintf "n%d" sc.Bmx_gc.Ssp.xn_owner_side)
+                      else None)
+                    (Bmx_gc.Gc_state.intra_scions gc ~node:n ~bunch:b))
+              (Bmx_dsm.Protocol.bunches proto)
+          in
+          let exi =
+            List.concat_map
+              (fun b ->
+                List.filter_map
+                  (fun (u, tgt) ->
+                    if u = uid then Some (Printf.sprintf "->%d" tgt) else None)
+                  (Bmx_gc.Gc_state.current_exiting gc ~node:n ~bunch:b))
+              (Bmx_dsm.Protocol.bunches proto)
+          in
+          if ent <> [] || prot <> [] || exi <> [] then
+            Printf.eprintf "W   n%d ent=[%s] scion=[%s] exi=[%s]\n%!" n
+              (String.concat "," (List.map string_of_int ent))
+              (String.concat "," prot) (String.concat "," exi))
+        (Bmx_dsm.Protocol.nodes proto)
 
 let uid_str s a =
   match Bmx_dsm.Protocol.uid_of_addr (Cluster.proto s.c) a with
@@ -204,7 +248,7 @@ let uid_str s a =
 
 let step op s =
   let c = s.c in
-  match Rng.int s.rng 100 with
+  match Rng.int s.rng 112 with
   | r when r < 18 -> (
       (* Read access (weak: tolerates inconsistent copies). *)
       match pick_handle s with
@@ -307,14 +351,46 @@ let step op s =
         checkpoint_node s victim;
         Cluster.crash_node c ~node:victim
       end
-  | _ -> (
-      (* Restart + recover a down node, if any. *)
+  | r when r < 100 -> (
+      (* Restart + recover a down node, if any.  Recovery may run inside
+         a partition: adoption of cut-off objects is deferred and remote
+         registrations ride the reliable channel until heal. *)
       match Net.down_nodes (Cluster.net c) with
       | [] -> ()
       | down ->
           let victim = pick s down in
           dbg "OP %d recover %d" op victim;
           recover_one s victim)
+  | r when r < 106 ->
+      (* Partition: sometimes a clean two-group split, sometimes a single
+         directed cut (asymmetric — payloads one way, acks the other
+         die). *)
+      let ns = Cluster.nodes c in
+      if Rng.int s.rng 100 < 50 then begin
+        let a = pick s ns in
+        dbg "OP %d partition {%d} | rest" op a;
+        Cluster.partition c ~groups:[ [ a ]; List.filter (fun n -> n <> a) ns ]
+      end
+      else begin
+        let a = pick s ns in
+        let b = pick s (List.filter (fun n -> n <> a) ns) in
+        dbg "OP %d cut %d->%d" op a b;
+        Cluster.cut_link c ~src:a ~dst:b
+      end
+  | _ -> (
+      (* Heal: everything at once, or one random severed link. *)
+      match Net.cut_pairs (Cluster.net c) with
+      | [] -> ()
+      | pairs ->
+          if Rng.int s.rng 100 < 60 then begin
+            dbg "OP %d heal all" op;
+            Cluster.heal_all_links c
+          end
+          else begin
+            let src, dst = pick s pairs in
+            dbg "OP %d heal %d->%d" op src dst;
+            Cluster.heal_link c ~src ~dst
+          end)
 
 (* With BMX_SOAK_PARANOID the safety audit runs after every op, so a
    violation is pinned to the op that caused it instead of surfacing at
@@ -379,8 +455,11 @@ let soak_one seed =
       end
     end
   done;
-  (* The faults stop; every node comes back; the cluster settles. *)
+  (* The faults stop; partitions heal; every node comes back; the
+     cluster settles.  Heal first so recovery can register with (and
+     adopt past) peers that were merely cut off. *)
   Net.clear_faults (Cluster.net s.c);
+  Cluster.heal_all_links s.c;
   List.iter (fun n -> recover_one s n) (Net.down_nodes (Cluster.net s.c));
   ignore (Cluster.settle s.c);
   ignore (Cluster.collect_until_quiescent s.c ());

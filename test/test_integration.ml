@@ -161,7 +161,7 @@ let test_persistence_through_rvm () =
   Rvm.commit disk;
   (* Crash; recover; rebuild a fresh node's replica from the image. *)
   Rvm.crash disk;
-  Rvm.recover disk;
+  ignore (Rvm.recover disk);
   let c2 = Cluster.create ~nodes:1 () in
   let b2 = Cluster.new_bunch c2 ~home:0 in
   ignore b2;

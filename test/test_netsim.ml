@@ -106,6 +106,78 @@ let test_step_empty () =
   Net.set_handler net (fun _ -> ());
   check_bool "step on empty queue" false (Net.step net)
 
+(* ----------------------------------------------------------- partitions *)
+
+let test_cut_blackholes_until_heal () =
+  let net, stats = make () in
+  let count = ref 0 in
+  Net.set_handler net (fun _ -> incr count);
+  Net.cut_link net ~src:0 ~dst:1;
+  check_bool "link reported cut" true (Net.is_cut net ~src:0 ~dst:1);
+  check_bool "pair not reachable" false (Net.reachable net 0 1);
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "lost";
+  ignore (Net.drain net);
+  check_int "blackholed at delivery" 0 !count;
+  check_int "accounted as cut-dropped" 1
+    (Stats.get stats "net.cut_dropped.total");
+  Net.heal_link net ~src:0 ~dst:1;
+  check_bool "pair reachable again" true (Net.reachable net 0 1);
+  (* Unreliable traffic lost during the cut stays lost (§6.1 semantics);
+     new sends flow. *)
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "after";
+  ignore (Net.drain net);
+  check_int "post-heal traffic delivered" 1 !count
+
+let test_cut_is_directed () =
+  let net, _ = make () in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.cut_link net ~src:0 ~dst:1;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "forward";
+  Net.send net ~src:1 ~dst:0 ~kind:Net.Stub_table "reverse";
+  ignore (Net.drain net);
+  check
+    (Alcotest.list Alcotest.string)
+    "only the cut direction blackholes" [ "reverse" ] !seen
+
+let test_partition_groups () =
+  let net, _ = make () in
+  let count = ref 0 in
+  Net.set_handler net (fun _ -> incr count);
+  Net.partition net ~groups:[ [ 0; 1 ]; [ 2; 3 ] ];
+  check_bool "intra-group reachable" true (Net.reachable net 0 1);
+  check_bool "cross-group severed" false (Net.reachable net 0 2);
+  check_bool "severed both ways" false (Net.reachable net 3 1);
+  check_int "four directed pairs cut per side pair" 8
+    (List.length (Net.cut_pairs net));
+  Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table "in";
+  Net.send net ~src:0 ~dst:2 ~kind:Net.Stub_table "across";
+  ignore (Net.drain net);
+  check_int "only intra-group traffic flows" 1 !count;
+  Net.heal_all_links net;
+  check_int "no cut links left" 0 (List.length (Net.cut_pairs net));
+  Net.send net ~src:0 ~dst:2 ~kind:Net.Stub_table "healed";
+  ignore (Net.drain net);
+  check_int "cross-group flows after heal" 2 !count
+
+let test_rpc_refused_on_cut () =
+  let net, stats = make () in
+  Net.set_handler net (fun _ -> ());
+  Net.cut_link net ~src:1 ~dst:0;
+  (* An RPC needs both directions: a cut reverse path (the reply's) is
+     just as fatal as a cut forward path. *)
+  let refused =
+    try
+      Net.record_rpc net ~src:0 ~dst:1 ~kind:Net.Token_request ();
+      false
+    with Failure _ -> true
+  in
+  check_bool "rpc raises across a cut" true refused;
+  check_int "refusal accounted" 1 (Stats.get stats "net.rpc_unreachable");
+  Net.heal_link net ~src:1 ~dst:0;
+  Net.record_rpc net ~src:0 ~dst:1 ~kind:Net.Token_request ();
+  check_int "healed rpc accounted as sent" 1 (Net.sent net Net.Token_request)
+
 let test_kind_names_unique () =
   let names = List.map Net.kind_to_string Net.all_kinds in
   check_int "all kind names distinct" (List.length names)
@@ -132,5 +204,13 @@ let () =
           Alcotest.test_case "duplication" `Quick test_duplication;
           Alcotest.test_case "faults scoped by kind" `Quick test_fault_scoped_by_kind;
           Alcotest.test_case "step on empty" `Quick test_step_empty;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "cut blackholes until heal" `Quick
+            test_cut_blackholes_until_heal;
+          Alcotest.test_case "cut is directed" `Quick test_cut_is_directed;
+          Alcotest.test_case "partition groups" `Quick test_partition_groups;
+          Alcotest.test_case "rpc refused on cut" `Quick test_rpc_refused_on_cut;
         ] );
     ]

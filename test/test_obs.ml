@@ -155,6 +155,22 @@ let generated_events () =
       [ T.Rpc { src = 1; dst = 2; kind = "token_request"; seq = 5 } ];
       List.map (fun node -> T.Crash { node }) nodes;
       List.map (fun node -> T.Restart { node }) nodes;
+      List.map (fun dst -> T.Link_cut { src = 1; dst }) nodes;
+      List.map (fun dst -> T.Link_heal { src = 1; dst }) nodes;
+      cart (fun src on -> T.Suspect { src; dst = 2; on }) nodes bools;
+      cart (fun node uid -> T.Owner_adopted { node; uid }) nodes uids;
+      cart
+        (fun sender seq ->
+          T.Tables_processed { at = 0; sender; bunch = 3; seq })
+        nodes [ 1; 42 ];
+      List.map
+        (fun fault -> T.Disk_fault { node = 1; fault })
+        [ "flip_bits:0"; "truncate_mid_record" ];
+      cart
+        (fun node dropped -> T.Rvm_recover { node; dropped; lost = 1 })
+        nodes [ 0; 5 ];
+      cart (fun node missing -> T.Bunch_verified { node; missing }) nodes
+        [ 0; 2 ];
     ]
 
 let test_trace_roundtrip_all_constructors () =
@@ -177,7 +193,7 @@ let test_trace_roundtrip_all_constructors () =
          (fun e -> List.hd (String.split_on_char ' ' (T.to_line e)))
          events)
   in
-  check_int "all 19 constructors serialized" 19 (List.length heads)
+  check_int "all 27 constructors serialized" 27 (List.length heads)
 
 (* ----------------------------------------------------- virtual timestamps *)
 

@@ -60,7 +60,7 @@ let test_restore_after_reboot () =
   (* The disk crashes and recovers; a replacement node joins the cluster
      and restores the persistent state. *)
   Rvm.crash disk;
-  Rvm.recover disk;
+  ignore (Rvm.recover disk);
   let replacement = Cluster.add_node c in
   let n = Persist.restore c ~node:replacement disk in
   check_int "all cells restored" 5 n;

@@ -423,7 +423,7 @@ let prop_rvm_recover_equals_commit =
           Rvm.commit r)
         ops;
       Rvm.crash r;
-      Rvm.recover r;
+      ignore (Rvm.recover r);
       Hashtbl.length model = Rvm.cardinal r
       && Hashtbl.fold (fun a v acc -> acc && Rvm.get r a = Some v) model true)
 

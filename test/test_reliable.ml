@@ -129,6 +129,120 @@ let test_backoff_doubles_and_caps () =
   done;
   check_int "silent after abandonment" 0 !more
 
+(* -------------------------------------------- partitions and suspicion *)
+
+let test_partition_suspect_then_heal_flush () =
+  let net, stats = make ~rto:4 ~rto_max:32 ~max_attempts:8 [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.cut_link net ~src:0 ~dst:1;
+  Net.cut_link net ~src:1 ~dst:0;
+  List.iter
+    (fun p -> Net.send net ~src:0 ~dst:1 ~kind:Net.App_message p)
+    [ "p1"; "p2"; "p3" ];
+  ignore (Net.drain net);
+  (* Backoff reaches the suspect threshold (6 attempts at rto 4 capped
+     at 32) a little past t = 124. *)
+  for _ = 1 to 200 do
+    ignore (Net.tick net)
+  done;
+  (* A severed path must never look like sustained loss: the sender goes
+     suspect instead of abandoning, so nothing is given up no matter how
+     long the cut lasts. *)
+  check_bool "sender suspects the peer" true (Net.is_suspect net ~src:0 ~dst:1);
+  check_bool "suspicion recorded" true
+    (Stats.get stats "net.suspect_transitions" >= 1);
+  check_int "nothing abandoned" 0 (Stats.get stats "net.rel.abandoned");
+  check_int "backlog fully retained" 3 (Net.unacked_count net);
+  check (Alcotest.list Alcotest.string) "nothing delivered" [] !seen;
+  Net.heal_link net ~src:0 ~dst:1;
+  Net.heal_link net ~src:1 ~dst:0;
+  ignore (Net.settle net);
+  check
+    (Alcotest.list Alcotest.string)
+    "backlog flushed in order, exactly once" [ "p1"; "p2"; "p3" ]
+    (List.rev !seen);
+  check_bool "suspicion cleared by the ack" false
+    (Net.is_suspect net ~src:0 ~dst:1);
+  check_int "all acked" 0 (Net.unacked_count net)
+
+let test_long_partition_probe_rate_bounded () =
+  (* Regression for the heal-flood hazard: during a long cut the sender
+     must collapse to one probe per ceiling period per pair — not one
+     backoff timer per queued message — or healing releases a
+     retransmission flood and the virtual clock races ahead. *)
+  let net, stats = make ~rto:4 ~rto_max:32 ~max_attempts:8 [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.cut_link net ~src:0 ~dst:1;
+  Net.cut_link net ~src:1 ~dst:0;
+  let payloads = List.init 5 (fun i -> Printf.sprintf "m%d" i) in
+  List.iter (fun p -> Net.send net ~src:0 ~dst:1 ~kind:Net.App_message p) payloads;
+  ignore (Net.drain net);
+  let before = Stats.get stats "net.retransmit.total" in
+  for _ = 1 to 960 do
+    ignore (Net.tick net)
+  done;
+  let during = Stats.get stats "net.retransmit.total" - before in
+  (* 960 ticks / 32-tick ceiling = 30 probe slots; pre-suspect backoff
+     adds a few transmissions per message.  Well under the unsuspecting
+     5 * 30 = 150. *)
+  check_bool "probe rate bounded to the ceiling" true (during <= 60);
+  check_bool "probes accounted" true (Stats.get stats "net.rel.probes" > 0);
+  Net.heal_link net ~src:0 ~dst:1;
+  Net.heal_link net ~src:1 ~dst:0;
+  ignore (Net.settle net);
+  check
+    (Alcotest.list Alcotest.string)
+    "whole backlog lands post-heal, in order" payloads (List.rev !seen);
+  check_int "all acked" 0 (Net.unacked_count net)
+
+let test_settle_terminates_during_partition () =
+  let net, _ = make [ Net.App_message ] in
+  Net.set_handler net (fun _ -> ());
+  Net.cut_link net ~src:0 ~dst:1;
+  Net.cut_link net ~src:1 ~dst:0;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "stuck";
+  let before = Net.now net in
+  ignore (Net.settle net);
+  (* Settle must not spin its round budget waiting on a severed pair —
+     the message is undeliverable until an explicit heal. *)
+  check_bool "settle returns promptly" true (Net.now net - before < 1000);
+  check_int "message survives the settle" 1 (Net.unacked_count net)
+
+let test_backoff_knobs () =
+  let net, _ = make ~rto:4 ~rto_max:32 [ Net.App_message ] in
+  check_int "ceiling readable" 32 (Net.backoff_ceiling net);
+  check_int "suspect threshold default" 6 (Net.suspect_after net);
+  Net.set_backoff net ~rto_max:128 ~suspect_after:3 ();
+  check_int "ceiling raised" 128 (Net.backoff_ceiling net);
+  check_int "suspect threshold lowered" 3 (Net.suspect_after net)
+
+let test_asymmetric_cut_blackholes_acks () =
+  (* Payload direction open, ack direction cut: the receiver keeps
+     getting (and suppressing) retransmissions while the sender hears
+     nothing.  Healing the reverse link lets the next retransmission's
+     ack complete the exchange. *)
+  let net, stats = make ~rto:4 ~rto_max:32 [ Net.App_message ] in
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.cut_link net ~src:1 ~dst:0;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "a1";
+  ignore (Net.drain net);
+  check (Alcotest.list Alcotest.string) "payload delivered once" [ "a1" ] !seen;
+  check_int "ack blackholed" 1 (Stats.get stats "net.rel.ack_blackholed");
+  check_int "sender still waiting" 1 (Net.unacked_count net);
+  for _ = 1 to 40 do
+    ignore (Net.tick net)
+  done;
+  check (Alcotest.list Alcotest.string) "duplicates all suppressed" [ "a1" ]
+    !seen;
+  Net.heal_link net ~src:1 ~dst:0;
+  ignore (Net.settle net);
+  check_int "acked after reverse heal" 0 (Net.unacked_count net);
+  check (Alcotest.list Alcotest.string) "handler still saw it exactly once"
+    [ "a1" ] !seen
+
 (* ------------------------------------------------------- fault mixing *)
 
 let test_drop_and_dup_same_kind_semantics () =
@@ -307,6 +421,15 @@ let () =
         ] );
       ( "backoff",
         [
+          Alcotest.test_case "partition: suspect then heal-flush" `Quick
+            test_partition_suspect_then_heal_flush;
+          Alcotest.test_case "long partition: probe rate bounded" `Quick
+            test_long_partition_probe_rate_bounded;
+          Alcotest.test_case "settle terminates during partition" `Quick
+            test_settle_terminates_during_partition;
+          Alcotest.test_case "backoff knobs" `Quick test_backoff_knobs;
+          Alcotest.test_case "asymmetric cut blackholes acks" `Quick
+            test_asymmetric_cut_blackholes_acks;
           Alcotest.test_case "doubles, caps, abandons" `Quick
             test_backoff_doubles_and_caps;
         ] );

@@ -41,7 +41,7 @@ let test_crash_loses_volatile_recover_restores () =
   Rvm.commit r;
   Rvm.crash r;
   check_opt "volatile lost" None (Rvm.get r 4);
-  Rvm.recover r;
+  ignore (Rvm.recover r);
   check_opt "recovered from log" (Some "a") (Rvm.get r 4)
 
 let test_crash_mid_tx_invisible () =
@@ -53,7 +53,7 @@ let test_crash_mid_tx_invisible () =
   Rvm.set r 4 "doomed";
   Rvm.set r 8 "also doomed";
   Rvm.crash r;
-  Rvm.recover r;
+  ignore (Rvm.recover r);
   check_opt "committed survives" (Some "committed") (Rvm.get r 4);
   check_opt "uncommitted gone" None (Rvm.get r 8)
 
@@ -67,7 +67,7 @@ let test_torn_commit_ignored () =
   (* Crash after the data records reached the log, before the commit
      record: recovery must ignore the tail. *)
   Rvm.crash_mid_commit r;
-  Rvm.recover r;
+  ignore (Rvm.recover r);
   check_opt "torn tail ignored" (Some "safe") (Rvm.get r 4)
 
 let test_recover_idempotent () =
@@ -77,8 +77,8 @@ let test_recover_idempotent () =
   Rvm.delete r 4;
   Rvm.set r 4 "b";
   Rvm.commit r;
-  Rvm.recover r;
-  Rvm.recover r;
+  ignore (Rvm.recover r);
+  ignore (Rvm.recover r);
   check_opt "stable" (Some "b") (Rvm.get r 4)
 
 let test_checkpoint_truncates () =
@@ -90,7 +90,7 @@ let test_checkpoint_truncates () =
   Rvm.checkpoint r;
   check_int "log truncated" 0 (Rvm.log_length r);
   Rvm.crash r;
-  Rvm.recover r;
+  ignore (Rvm.recover r);
   check_opt "data survives via checkpoint image" (Some "a") (Rvm.get r 4)
 
 let test_delete_logged () =
@@ -102,7 +102,7 @@ let test_delete_logged () =
   Rvm.delete r 4;
   Rvm.commit r;
   Rvm.crash r;
-  Rvm.recover r;
+  ignore (Rvm.recover r);
   check_opt "delete replayed" None (Rvm.get r 4)
 
 let test_no_nested_tx () =
@@ -124,7 +124,7 @@ let test_values_copied () =
   Bytes.set v 0 'X';
   Rvm.commit r;
   Rvm.crash r;
-  Rvm.recover r;
+  ignore (Rvm.recover r);
   check_opt "copied at set time" (Some "abc")
     (Option.map Bytes.to_string (Rvm.get r 4))
 
@@ -143,7 +143,7 @@ let test_heap_image_recovery () =
   Rvm.set r 300 "obj1";
   Rvm.delete r 100;
   Rvm.crash r;
-  Rvm.recover r;
+  ignore (Rvm.recover r);
   check_opt "pre-GC state intact" (Some "obj1") (Rvm.get r 100);
   check_opt "to-space write invisible" None (Rvm.get r 300);
   (* Re-run the collection and commit this time. *)
@@ -152,9 +152,137 @@ let test_heap_image_recovery () =
   Rvm.delete r 100;
   Rvm.commit r;
   Rvm.crash r;
-  Rvm.recover r;
+  ignore (Rvm.recover r);
   check_opt "post-GC state durable" (Some "obj1") (Rvm.get r 300);
   check_opt "from-space slot gone" None (Rvm.get r 100)
+
+(* ------------------------------------------- corruption and shadow images *)
+
+(* One committed transaction per address, so losses are attributable. *)
+let commit_one r addr v =
+  Rvm.begin_tx r;
+  Rvm.set r addr v;
+  Rvm.commit r
+
+let test_clean_recovery_report () =
+  let r = make () in
+  commit_one r 4 "a";
+  commit_one r 8 "b";
+  let rep = Rvm.recover r in
+  check_bool "clean" true (Rvm.clean_report rep);
+  check_int "scanned all" (Rvm.log_length r) rep.Rvm.r_scanned;
+  check_int "nothing dropped" 0 rep.Rvm.r_dropped;
+  check_int "nothing lost" 0 (List.length rep.Rvm.r_lost)
+
+let test_flip_bits_truncates_suffix () =
+  let r = make () in
+  commit_one r 4 "a";
+  commit_one r 8 "b";
+  commit_one r 12 "c";
+  (* Corrupt the data record of the second commit (entries are [data;
+     commit] pairs, oldest first): recovery keeps only the first commit
+     and reports the latest state of 8 and 12 lost. *)
+  Rvm.flip_bits r ~index:2;
+  Rvm.crash r;
+  let rep = Rvm.recover r in
+  check_bool "not clean" false (Rvm.clean_report rep);
+  check_bool "corruption detected" true (rep.Rvm.r_corrupt > 0);
+  check_int "suffix dropped" 4 rep.Rvm.r_dropped;
+  check_bool "8 reported lost" true (List.mem 8 rep.Rvm.r_lost);
+  check_bool "12 reported lost" true (List.mem 12 rep.Rvm.r_lost);
+  check_opt "prefix survives" (Some "a") (Rvm.get r 4);
+  check_opt "corrupt commit gone" None (Rvm.get r 8);
+  check_opt "later commit gone too" None (Rvm.get r 12);
+  (* The log was physically truncated: a fresh commit then a second
+     recovery must not resurrect the condemned suffix. *)
+  commit_one r 16 "d";
+  let rep2 = Rvm.recover r in
+  check_bool "recovery after truncation clean" true (Rvm.clean_report rep2);
+  check_opt "new commit durable" (Some "d") (Rvm.get r 16);
+  check_opt "dropped data stays dropped" None (Rvm.get r 8)
+
+let test_drop_record_detected_by_gap () =
+  let r = make () in
+  commit_one r 4 "a";
+  commit_one r 8 "b";
+  Rvm.drop_record r ~index:2;
+  Rvm.crash r;
+  let rep = Rvm.recover r in
+  check_bool "gap detected" true (rep.Rvm.r_corrupt > 0);
+  check_opt "prefix survives" (Some "a") (Rvm.get r 4);
+  check_opt "torn commit dropped" None (Rvm.get r 8)
+
+let test_truncate_mid_record () =
+  let r = make () in
+  commit_one r 4 "a";
+  commit_one r 8 "b";
+  Rvm.truncate_mid_record r;
+  Rvm.crash r;
+  let rep = Rvm.recover r in
+  check_bool "not clean" false (Rvm.clean_report rep);
+  (* The torn write took the commit mark itself, so on disk the second
+     transaction reads as uncommitted: dropped (and its data record
+     counted corrupt), but not a broken durability promise. *)
+  check_bool "corruption detected" true (rep.Rvm.r_corrupt > 0);
+  (* The commit mark vanished before recovery even ran (scanned = 3
+     surviving entries); the mangled data record is the one dropped. *)
+  check_int "mangled record dropped" 1 rep.Rvm.r_dropped;
+  check_opt "torn commit gone" None (Rvm.get r 8);
+  check_opt "prefix survives" (Some "a") (Rvm.get r 4)
+
+let test_corruption_behind_checkpoint_harmless () =
+  let r = make () in
+  commit_one r 4 "a";
+  Rvm.checkpoint r;
+  commit_one r 8 "b";
+  (* The checkpointed state is in the stable image, not the log: only
+     post-checkpoint commits are exposed to log corruption. *)
+  Rvm.flip_bits r ~index:0;
+  Rvm.crash r;
+  let rep = Rvm.recover r in
+  check_bool "8 lost" true (List.mem 8 rep.Rvm.r_lost);
+  check_opt "checkpointed state intact" (Some "a") (Rvm.get r 4)
+
+let test_crash_mid_checkpoint_atomic () =
+  let r = make () in
+  commit_one r 4 "a";
+  Rvm.checkpoint r;
+  commit_one r 8 "b";
+  commit_one r 4 "a2";
+  let log_before = Rvm.log_length r in
+  check_bool "log non-empty before checkpoint" true (log_before > 0);
+  (* The interrupted checkpoint discards its shadow: old image + log
+     survive, so recovery sees exactly the pre-checkpoint state. *)
+  Rvm.crash_mid_checkpoint r;
+  check_int "log intact" log_before (Rvm.log_length r);
+  let rep = Rvm.recover r in
+  check_bool "clean" true (Rvm.clean_report rep);
+  check_opt "overwrite replayed" (Some "a2") (Rvm.get r 4);
+  check_opt "commit replayed" (Some "b") (Rvm.get r 8);
+  (* And a completed checkpoint afterwards works as usual. *)
+  Rvm.checkpoint r;
+  check_int "log truncated" 0 (Rvm.log_length r);
+  ignore (Rvm.recover r);
+  check_opt "image holds overwrite" (Some "a2") (Rvm.get r 4)
+
+let test_crash_mid_checkpoint_in_tx_rejected () =
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  Alcotest.check_raises "checkpoint inside tx"
+    (Failure "Rvm.crash_mid_checkpoint: transaction open") (fun () ->
+      Rvm.crash_mid_checkpoint r)
+
+let test_fault_bounds_checked () =
+  let r = make () in
+  commit_one r 4 "a";
+  let n = Rvm.log_length r in
+  Alcotest.check_raises "flip out of bounds"
+    (Invalid_argument "Rvm: fault index out of log bounds") (fun () ->
+      Rvm.flip_bits r ~index:n);
+  Alcotest.check_raises "drop out of bounds"
+    (Invalid_argument "Rvm: fault index out of log bounds") (fun () ->
+      Rvm.drop_record r ~index:n)
 
 let () =
   Alcotest.run "rvm"
@@ -176,5 +304,24 @@ let () =
           Alcotest.test_case "checkpoint truncates" `Quick test_checkpoint_truncates;
           Alcotest.test_case "deletes replayed" `Quick test_delete_logged;
           Alcotest.test_case "heap image recovery (E13)" `Quick test_heap_image_recovery;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "clean recovery report" `Quick
+            test_clean_recovery_report;
+          Alcotest.test_case "flip_bits truncates suffix" `Quick
+            test_flip_bits_truncates_suffix;
+          Alcotest.test_case "drop_record gap detected" `Quick
+            test_drop_record_detected_by_gap;
+          Alcotest.test_case "truncate mid record" `Quick
+            test_truncate_mid_record;
+          Alcotest.test_case "corruption behind checkpoint harmless" `Quick
+            test_corruption_behind_checkpoint_harmless;
+          Alcotest.test_case "crash mid-checkpoint atomic" `Quick
+            test_crash_mid_checkpoint_atomic;
+          Alcotest.test_case "mid-checkpoint crash needs no tx" `Quick
+            test_crash_mid_checkpoint_in_tx_rejected;
+          Alcotest.test_case "fault bounds checked" `Quick
+            test_fault_bounds_checked;
         ] );
     ]

@@ -129,7 +129,7 @@ let test_durable_commit () =
   Txn.commit ~durable:disk t;
   (* Crash the disk and recover: both after-images are there. *)
   Rvm.crash disk;
-  Rvm.recover disk;
+  ignore (Rvm.recover disk);
   check_int "both after-images durable" 2 (Rvm.cardinal disk);
   let values =
     Rvm.fold disk ~init:[] ~f:(fun _ (_, o) acc ->
