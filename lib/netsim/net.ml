@@ -604,7 +604,13 @@ let tick ?(dt = 1) t =
               retransmit_one u ~interval:t.rto_max;
               true
             end
-            else if u.u_attempts >= t.max_attempts then begin
+            else if u.u_attempts >= t.max_attempts && not (severed t key)
+            then begin
+              (* Abandonment is for sustained loss on a live path only: a
+                 severed path is the failure detector's business whatever
+                 the attempt count, even when [max_attempts] is below
+                 [suspect_after] — reliable messages to a cut or down
+                 destination are never abandoned. *)
               Stats.incr t.stats "net.rel.abandoned";
               false
             end

@@ -163,7 +163,10 @@ val set_reliable :
     [net.rel.abandoned]) — timeouts, never blocking.  [suspect_after]
     (default 6) is the failure-detector threshold: that many fruitless
     transmissions against a severed path (cut link or down node) flip
-    the pair into the {e suspect} state, see {!is_suspect}. *)
+    the pair into the {e suspect} state, see {!is_suspect}.  The
+    abandonment cap applies only to sustained loss on a live path —
+    messages against a severed path are never abandoned, whatever the
+    relative magnitudes of [max_attempts] and [suspect_after]. *)
 
 val set_backoff :
   'p t ->

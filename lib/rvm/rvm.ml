@@ -28,7 +28,17 @@ type 'v t = {
   (* Stable state (the simulated disk). *)
   mutable stable_image : (Addr.t, 'v) Hashtbl.t;
   mutable log : 'v entry list; (* newest first *)
-  mutable next_seq : int; (* next log slot number, never reused *)
+  (* Superblock metadata: tiny, written in place, not addressable by the
+     log fault API.  [next_seq]/[base_seq] anchor the slot sequence at
+     both ends of the log — without them a fault that removes a boundary
+     record leaves a contiguous-looking survivor log and the loss is
+     silent.  [tx_index] is a name journal: the commit slot and address
+     footprint of every committed transaction still in the log, enough
+     for recovery to say {e which} addresses a destroyed record covered
+     (never to restore their values). *)
+  mutable next_seq : int; (* next log slot number *)
+  mutable base_seq : int; (* slot the oldest log entry must carry *)
+  mutable tx_index : (int * Addr.t list) list; (* newest first *)
   mutable last_recovery : report option;
       (* what the most recent [recover] had to drop — kept on the handle
          so an fsck pass can still name truncated addresses after the
@@ -49,6 +59,8 @@ let create ~copy () =
     stable_image = Hashtbl.create 64;
     log = [];
     next_seq = 1;
+    base_seq = 1;
+    tx_index = [];
     last_recovery = None;
   }
 
@@ -77,6 +89,12 @@ let append_entry t rec_ =
   t.next_seq <- seq + 1;
   t.log <- { e_seq = seq; e_rec = rec_; e_chk = digest seq rec_ } :: t.log
 
+let touched_addrs records =
+  List.filter_map
+    (function Set (a, _) | Delete a -> Some a | Commit -> None)
+    records
+  |> List.sort_uniq Addr.compare
+
 let commit t =
   let records = List.rev (buffered t) in
   t.tx <- None;
@@ -84,7 +102,8 @@ let commit t =
   (* The append of data records plus the commit mark is the atomic step:
      recovery only honours commit-terminated prefixes. *)
   List.iter (append_entry t) records;
-  append_entry t Commit
+  append_entry t Commit;
+  t.tx_index <- (t.next_seq - 1, touched_addrs records) :: t.tx_index
 
 let abort t =
   ignore (buffered t);
@@ -165,29 +184,27 @@ let committed_of records =
 let committed_records t =
   committed_of (List.rev_map (fun e -> e.e_rec) t.log)
 
-let touched_addrs records =
-  List.filter_map
-    (function Set (a, _) | Delete a -> Some a | Commit -> None)
-    records
-  |> List.sort_uniq Addr.compare
-
 let recover t =
   let oldest_first = List.rev t.log in
   let scanned = List.length oldest_first in
+  (* Slots the superblock promised ([base_seq, next_seq)) but that are
+     physically absent from the log: boundary drops and torn-off tails
+     leave no entry behind, only this shortfall. *)
+  let missing = max 0 (t.next_seq - t.base_seq - scanned) in
   (* Verify oldest-first: each entry must checksum clean and continue
-     the slot sequence.  The first failure makes every later record
-     boundary untrustworthy, so the whole suffix is unverifiable. *)
+     the slot sequence.  The sequence is anchored at the head — the
+     first entry must carry [base_seq] — so a vanished oldest record can
+     never leave a contiguous-looking survivor suffix accepted as clean.
+     The first failure makes every later record boundary untrustworthy,
+     so the whole suffix is unverifiable. *)
   let rec verify kept prev_seq corrupt = function
     | [] -> (List.rev kept, corrupt)
     | e :: rest ->
-        let seq_ok =
-          match prev_seq with None -> true | Some p -> e.e_seq = p + 1
-        in
-        if seq_ok && e.e_chk = digest e.e_seq e.e_rec then
-          verify (e :: kept) (Some e.e_seq) corrupt rest
-        else ((List.rev kept), corrupt + 1 + List.length rest)
+        if e.e_seq = prev_seq + 1 && e.e_chk = digest e.e_seq e.e_rec then
+          verify (e :: kept) e.e_seq corrupt rest
+        else (List.rev kept, corrupt + 1 + List.length rest)
   in
-  let verified, corrupt = verify [] None 0 oldest_first in
+  let verified, corrupt = verify [] (t.base_seq - 1) 0 oldest_first in
   (* Truncate the surviving log to its last commit-terminated prefix:
      an unverifiable suffix or torn tail must not leak into the
      transaction that commits next. *)
@@ -198,25 +215,28 @@ let recover t =
     | e :: rest -> commit_prefix acc (e :: pending) rest
   in
   let kept = commit_prefix [] [] verified in
-  (* Committed state the full log promised but the kept prefix lost:
-     the kept committed records are a prefix of the full log's, so the
-     difference is exactly the truncated committed suffix. *)
-  let all_committed =
-    committed_of (List.map (fun e -> e.e_rec) oldest_first)
+  let kept_tail =
+    match kept with [] -> t.base_seq - 1 | _ :: _ -> (List.hd (List.rev kept)).e_seq
   in
-  let kept_committed = committed_of (List.map (fun e -> e.e_rec) kept) in
-  let rec drop_prefix n l =
-    if n = 0 then l
-    else match l with [] -> [] | _ :: rest -> drop_prefix (n - 1) rest
-  in
+  (* Committed transactions whose commit slot lies beyond the kept
+     prefix lost their latest state.  The tail anchor matters here: when
+     the newest entries were destroyed outright (say, a dropped commit
+     record) the surviving log alone reads as a torn uncommitted tail —
+     only the superblock shows the transaction had committed
+     ([next_seq] outruns the last surviving slot) and the name journal
+     still says which addresses it covered. *)
   let lost =
-    touched_addrs (drop_prefix (List.length kept_committed) all_committed)
+    List.filter (fun (cseq, _) -> cseq > kept_tail) t.tx_index
+    |> List.concat_map snd
+    |> List.sort_uniq Addr.compare
   in
   t.log <- List.rev kept;
+  t.tx_index <- List.filter (fun (cseq, _) -> cseq <= kept_tail) t.tx_index;
   (* Truncation rewinds the append point: the next entry must continue
      the kept prefix's slot sequence, or the very next recovery would
      see a gap where the dropped suffix used to be. *)
-  t.next_seq <- (match t.log with [] -> 1 | e :: _ -> e.e_seq + 1);
+  t.next_seq <- kept_tail + 1;
+  let kept_committed = committed_of (List.map (fun e -> e.e_rec) kept) in
   let image = Hashtbl.create 64 in
   Hashtbl.iter (fun a v -> Hashtbl.replace image a (t.copy v)) t.stable_image;
   List.iter (apply_record image t.copy) kept_committed;
@@ -227,7 +247,7 @@ let recover t =
       r_scanned = scanned;
       r_verified = List.length verified;
       r_dropped = scanned - List.length kept;
-      r_corrupt = corrupt;
+      r_corrupt = corrupt + missing;
       r_lost = lost;
     }
   in
@@ -247,7 +267,12 @@ let checkpoint t =
   Hashtbl.iter (fun a v -> Hashtbl.replace shadow a (t.copy v)) t.stable_image;
   List.iter (apply_record shadow t.copy) (committed_records t);
   t.stable_image <- shadow;
-  t.log <- []
+  t.log <- [];
+  (* Re-anchor the head: the next entry appended is the oldest the log
+     will hold, and the name journal only needs to cover what is still
+     exposed to log faults. *)
+  t.base_seq <- t.next_seq;
+  t.tx_index <- []
 
 let crash_mid_checkpoint t =
   if in_tx t then failwith "Rvm.crash_mid_checkpoint: transaction open";

@@ -29,11 +29,16 @@ type report = {
           any verified-but-uncommitted torn tail *)
   r_corrupt : int;
       (** entries that failed verification (bad checksum or a slot-number
-          gap) — always [<= r_dropped] *)
+          gap) plus slots the superblock says were written but that are
+          missing from the log outright (a record destroyed at either
+          log boundary leaves no entry to scan, only this shortfall) *)
   r_lost : Bmx_util.Addr.t list;
       (** addresses whose {e committed} latest state was truncated —
           the data recovery had promised durability for and could not
-          deliver; empty unless the log was corrupted *)
+          deliver; empty unless the log was corrupted.  Named from the
+          superblock's per-transaction address journal, so they are
+          complete even when the records themselves were destroyed
+          rather than merely unverifiable *)
 }
 (** What {!recover} found on the simulated disk.  A clean recovery (no
     corruption, at worst a torn uncommitted tail) has [r_corrupt = 0]
@@ -46,7 +51,12 @@ val create : copy:('v -> 'v) -> unit -> 'v t
 (** [copy] must produce an independent duplicate of a value: values are
     copied on their way to the log and back, like bytes through a file.
     Every log entry carries a per-record checksum and a monotonically
-    increasing slot number; {!recover} verifies both. *)
+    increasing slot number; {!recover} verifies both.  The handle also
+    models a tiny superblock — the append-slot counter, the expected
+    head slot, and a per-committed-transaction address journal (names
+    only, never values) — written in place and not addressable by the
+    fault API, which is what lets recovery detect and {e name} losses
+    at the log boundaries. *)
 
 (** {1 Transactions} *)
 
@@ -100,9 +110,15 @@ val recover : 'v t -> report
 (** Verify the log oldest-first (checksums and slot-number contiguity),
     truncate it to the last verifiable commit-terminated prefix, and
     rebuild the volatile image from the stable checkpoint plus that
-    prefix.  The first unverifiable entry condemns the whole suffix
-    behind it — record boundaries past a corrupt record cannot be
-    trusted.  Idempotent on a clean log. *)
+    prefix.  The slot sequence is anchored at both boundaries by the
+    superblock: the oldest surviving entry must carry the slot recorded
+    at the last truncation, and a newest slot short of the append
+    counter means tail records were destroyed — so losing a record at
+    either end of the log is detected, not just a mid-log gap, and the
+    affected transactions' addresses are reported in [r_lost].  The
+    first unverifiable entry condemns the whole suffix behind it —
+    record boundaries past a corrupt record cannot be trusted.
+    Idempotent on a clean log. *)
 
 val last_recovery : 'v t -> report option
 (** The report of the most recent {!recover} on this handle, if any.

@@ -416,8 +416,15 @@ let corruption_soak_one seed =
   | v :: _ ->
       Alcotest.failf "seed %d: linter: %s" seed (Lint.violation_to_string v)
 
+(* BMX_SOAK_SEEDS overrides the seed count, as in test_faults (CI
+   shards and bisection runs). *)
+let soak_seeds =
+  match Sys.getenv_opt "BMX_SOAK_SEEDS" with
+  | Some s -> int_of_string s
+  | None -> 12
+
 let test_corruption_soak () =
-  for seed = 1 to 12 do
+  for seed = 1 to soak_seeds do
     corruption_soak_one seed
   done
 
@@ -446,7 +453,6 @@ let () =
         [
           Alcotest.test_case "fsck and refetch" `Quick
             test_corruption_fsck_and_refetch;
-          Alcotest.test_case "corruption soak (12 seeds)" `Slow
-            test_corruption_soak;
+          Alcotest.test_case "corruption soak" `Slow test_corruption_soak;
         ] );
     ]

@@ -197,6 +197,31 @@ let test_long_partition_probe_rate_bounded () =
     "whole backlog lands post-heal, in order" payloads (List.rev !seen);
   check_int "all acked" 0 (Net.unacked_count net)
 
+let test_severed_path_outlives_small_attempt_cap () =
+  (* Regression: with [max_attempts] below [suspect_after], the
+     abandonment cap used to fire on a severed path before the failure
+     detector could take over — silently giving up a reliable message
+     the contract says is never abandoned and must land after heal. *)
+  let net, stats = make ~rto:4 ~rto_max:32 ~max_attempts:3 [ Net.App_message ] in
+  Net.set_backoff net ~suspect_after:6 ();
+  let seen = ref [] in
+  Net.set_handler net (fun env -> seen := env.Net.payload :: !seen);
+  Net.cut_link net ~src:0 ~dst:1;
+  Net.send net ~src:0 ~dst:1 ~kind:Net.App_message "survivor";
+  ignore (Net.drain net);
+  for _ = 1 to 400 do
+    ignore (Net.tick net)
+  done;
+  check_int "never abandoned" 0 (Stats.get stats "net.rel.abandoned");
+  check_bool "failure detector took over" true
+    (Net.is_suspect net ~src:0 ~dst:1);
+  check_int "backlog retained" 1 (Net.unacked_count net);
+  Net.heal_link net ~src:0 ~dst:1;
+  ignore (Net.settle net);
+  check (Alcotest.list Alcotest.string) "delivered after heal" [ "survivor" ]
+    !seen;
+  check_int "acked" 0 (Net.unacked_count net)
+
 let test_settle_terminates_during_partition () =
   let net, _ = make [ Net.App_message ] in
   Net.set_handler net (fun _ -> ());
@@ -427,6 +452,8 @@ let () =
             test_long_partition_probe_rate_bounded;
           Alcotest.test_case "settle terminates during partition" `Quick
             test_settle_terminates_during_partition;
+          Alcotest.test_case "severed path outlives small attempt cap" `Quick
+            test_severed_path_outlives_small_attempt_cap;
           Alcotest.test_case "backoff knobs" `Quick test_backoff_knobs;
           Alcotest.test_case "asymmetric cut blackholes acks" `Quick
             test_asymmetric_cut_blackholes_acks;

@@ -209,6 +209,7 @@ let test_drop_record_detected_by_gap () =
   Rvm.crash r;
   let rep = Rvm.recover r in
   check_bool "gap detected" true (rep.Rvm.r_corrupt > 0);
+  check_bool "8 named lost" true (List.mem 8 rep.Rvm.r_lost);
   check_opt "prefix survives" (Some "a") (Rvm.get r 4);
   check_opt "torn commit dropped" None (Rvm.get r 8)
 
@@ -220,15 +221,108 @@ let test_truncate_mid_record () =
   Rvm.crash r;
   let rep = Rvm.recover r in
   check_bool "not clean" false (Rvm.clean_report rep);
-  (* The torn write took the commit mark itself, so on disk the second
-     transaction reads as uncommitted: dropped (and its data record
-     counted corrupt), but not a broken durability promise. *)
   check_bool "corruption detected" true (rep.Rvm.r_corrupt > 0);
   (* The commit mark vanished before recovery even ran (scanned = 3
      surviving entries); the mangled data record is the one dropped. *)
   check_int "mangled record dropped" 1 rep.Rvm.r_dropped;
+  (* The torn write took the commit mark itself, so on disk the second
+     transaction reads as uncommitted — but the superblock's tail anchor
+     knows the commit slot was written, so the broken durability promise
+     is named, not silently demoted to an uncommitted torn tail. *)
+  check_bool "8 named lost" true (List.mem 8 rep.Rvm.r_lost);
   check_opt "torn commit gone" None (Rvm.get r 8);
   check_opt "prefix survives" (Some "a") (Rvm.get r 4)
+
+let test_drop_oldest_record_detected () =
+  (* Boundary fault at the log head: the oldest entry vanishes.  The
+     survivor suffix is contiguous, so only the head anchor (the
+     superblock's expected base slot) can betray the gap — an unanchored
+     scan would accept the suffix and report a clean recovery while a
+     committed Set is gone. *)
+  let r = make () in
+  commit_one r 4 "a";
+  commit_one r 8 "b";
+  Rvm.drop_record r ~index:0;
+  Rvm.crash r;
+  let rep = Rvm.recover r in
+  check_bool "not clean" false (Rvm.clean_report rep);
+  check_bool "head gap counted corrupt" true (rep.Rvm.r_corrupt > 0);
+  (* Record boundaries past the gap are untrustworthy: the whole log is
+     condemned, and the name journal still names both transactions. *)
+  check_bool "4 named lost" true (List.mem 4 rep.Rvm.r_lost);
+  check_bool "8 named lost" true (List.mem 8 rep.Rvm.r_lost);
+  check_opt "4 gone" None (Rvm.get r 4);
+  check_opt "8 gone" None (Rvm.get r 8)
+
+let test_drop_newest_commit_reports_loss () =
+  (* Boundary fault at the log tail: the newest entry — the commit mark
+     — vanishes.  On disk the last transaction now reads as a torn
+     uncommitted tail; the tail anchor (durable append counter) knows a
+     slot beyond the survivors was written, so the committed data is
+     reported lost instead of silently reverting. *)
+  let r = make () in
+  commit_one r 4 "a";
+  commit_one r 8 "b";
+  Rvm.drop_record r ~index:(Rvm.log_length r - 1);
+  Rvm.crash r;
+  let rep = Rvm.recover r in
+  check_bool "not clean" false (Rvm.clean_report rep);
+  check_bool "tail shortfall counted corrupt" true (rep.Rvm.r_corrupt > 0);
+  check_bool "8 named lost" true (List.mem 8 rep.Rvm.r_lost);
+  check_opt "prefix survives" (Some "a") (Rvm.get r 4);
+  check_opt "committed-but-torn tx gone" None (Rvm.get r 8)
+
+let test_truncate_one_entry_log_detected () =
+  (* truncate_mid_record on a 1-entry log empties it entirely: nothing
+     is left to scan, so only the slot-count shortfall against the
+     superblock can make the report unclean. *)
+  let r = make () in
+  Rvm.begin_tx r;
+  Rvm.set r 4 "a";
+  Rvm.crash_mid_commit r;
+  check_int "one torn entry on disk" 1 (Rvm.log_length r);
+  Rvm.truncate_mid_record r;
+  check_int "log emptied" 0 (Rvm.log_length r);
+  let rep = Rvm.recover r in
+  check_bool "not clean" false (Rvm.clean_report rep);
+  check_bool "missing slot counted corrupt" true (rep.Rvm.r_corrupt > 0);
+  (* The destroyed record was never committed: no durability promise
+     broken, nothing for the name journal to report. *)
+  check_int "nothing committed to lose" 0 (List.length rep.Rvm.r_lost)
+
+let test_truncate_two_entry_log_names_loss () =
+  (* Same torn tail, but the destroyed entries carried a committed
+     transaction: the name journal must still name its address even
+     though one record is gone and the other unverifiable. *)
+  let r = make () in
+  commit_one r 4 "a";
+  Rvm.truncate_mid_record r;
+  let rep = Rvm.recover r in
+  check_bool "not clean" false (Rvm.clean_report rep);
+  check_bool "4 named lost" true (List.mem 4 rep.Rvm.r_lost);
+  check_opt "4 gone" None (Rvm.get r 4)
+
+let test_head_anchor_follows_checkpoint () =
+  (* After a checkpoint the log restarts at a later slot: the head
+     anchor must move with it, both to catch a dropped oldest record in
+     the fresh log and to accept the fresh log as clean. *)
+  let r = make () in
+  commit_one r 4 "a";
+  Rvm.checkpoint r;
+  commit_one r 8 "b";
+  Rvm.drop_record r ~index:0;
+  Rvm.crash r;
+  let rep = Rvm.recover r in
+  check_bool "not clean" false (Rvm.clean_report rep);
+  check_bool "8 named lost" true (List.mem 8 rep.Rvm.r_lost);
+  check_opt "checkpointed state intact" (Some "a") (Rvm.get r 4);
+  check_opt "post-checkpoint commit gone" None (Rvm.get r 8);
+  (* Appends after the truncating recovery continue the anchored slot
+     sequence: a second recovery is clean. *)
+  commit_one r 12 "c";
+  let rep2 = Rvm.recover r in
+  check_bool "clean after re-anchored append" true (Rvm.clean_report rep2);
+  check_opt "new commit durable" (Some "c") (Rvm.get r 12)
 
 let test_corruption_behind_checkpoint_harmless () =
   let r = make () in
@@ -313,6 +407,16 @@ let () =
             test_flip_bits_truncates_suffix;
           Alcotest.test_case "drop_record gap detected" `Quick
             test_drop_record_detected_by_gap;
+          Alcotest.test_case "drop oldest record detected" `Quick
+            test_drop_oldest_record_detected;
+          Alcotest.test_case "drop newest commit reports loss" `Quick
+            test_drop_newest_commit_reports_loss;
+          Alcotest.test_case "truncate one-entry log detected" `Quick
+            test_truncate_one_entry_log_detected;
+          Alcotest.test_case "truncate two-entry log names loss" `Quick
+            test_truncate_two_entry_log_names_loss;
+          Alcotest.test_case "head anchor follows checkpoint" `Quick
+            test_head_anchor_follows_checkpoint;
           Alcotest.test_case "truncate mid record" `Quick
             test_truncate_mid_record;
           Alcotest.test_case "corruption behind checkpoint harmless" `Quick
