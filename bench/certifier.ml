@@ -1,0 +1,137 @@
+(* E23: happens-before certifier cost vs trace length.
+
+   The certifier (Bmx_check.Races.certify) replays the typed event log
+   three times — once with full vector clocks, twice more for the GC
+   erasure diff — so its cost must stay near-linear in the trace length
+   or it cannot gate CI soaks.  This experiment generates workload
+   traces of increasing length (same shape as the e20 smoke
+   configuration), times the linter replay and the certifier on the very
+   same event list, and reports both plus their ratio.  The certifier
+   carries the heavier analysis, but on the e20-smoke-sized trace it must
+   stay within 2x of the linter's wall-clock — that bound, and
+   near-linearity of ns/event across sizes, are the acceptance gates.
+
+   Output: a table plus one machine-readable "BENCH {...}" line. *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Driver = Bmx_workload.Driver
+module Json = Bmx_obs.Json
+module Lint = Bmx_check.Lint
+module Races = Bmx_check.Races
+
+let now_ns () = Monotonic_clock.now ()
+
+(* Wall-clock of [f ()], best of [reps] runs (first run also warms the
+   minor heap with the trace resident). *)
+let time ?(reps = 3) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = now_ns () in
+    ignore (f ());
+    let t1 = now_ns () in
+    let ms = Int64.to_float (Int64.sub t1 t0) /. 1e6 in
+    if ms < !best then best := ms
+  done;
+  !best
+
+let trace_of ~nodes ~objects_per_bunch ~ops =
+  let cfg =
+    {
+      Driver.default with
+      nodes;
+      bunches = nodes;
+      objects_per_bunch;
+      ops;
+      seed = 23;
+    }
+  in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  Cluster.set_event_trace c true;
+  Driver.run_ops d ~ops ();
+  ignore (Cluster.collect_until_quiescent c ());
+  ignore (Cluster.drain c);
+  Trace_event.events (Cluster.evlog c)
+
+type row = {
+  c_ops : int;
+  c_events : int;
+  c_lint_ms : float;
+  c_certify_ms : float;
+  c_ns_per_event : float;
+}
+
+let run_size ~nodes ~objects_per_bunch ~ops =
+  let events = trace_of ~nodes ~objects_per_bunch ~ops in
+  let n = List.length events in
+  let lint_ms = time (fun () -> Lint.run events) in
+  let cert = Races.certify events in
+  if not (Races.ok cert) then
+    failwith
+      (Printf.sprintf "e23: workload trace (%d ops) failed to certify" ops);
+  let certify_ms = time (fun () -> Races.certify events) in
+  {
+    c_ops = ops;
+    c_events = n;
+    c_lint_ms = lint_ms;
+    c_certify_ms = certify_ms;
+    c_ns_per_event = (if n = 0 then 0.0 else certify_ms *. 1e6 /. float_of_int n);
+  }
+
+let row_json r =
+  Json.Obj
+    [
+      ("ops", Json.Int r.c_ops);
+      ("events", Json.Int r.c_events);
+      ("lint_ms", Json.Float r.c_lint_ms);
+      ("certify_ms", Json.Float r.c_certify_ms);
+      ( "certify_over_lint",
+        Json.Float
+          (if r.c_lint_ms <= 0.0 then 0.0 else r.c_certify_ms /. r.c_lint_ms) );
+      ("certify_ns_per_event", Json.Float r.c_ns_per_event);
+    ]
+
+let e23 () =
+  let t =
+    Table.create
+      ~title:
+        "E23: happens-before certifier cost vs trace length — wall-clock of \
+         Races.certify against Lint.run on the same trace (near-linear \
+         ns/event is the scaling gate)"
+      ~columns:
+        [
+          "nodes"; "ops"; "events"; "lint ms"; "certify ms"; "x lint";
+          "ns/event";
+        ]
+  in
+  let rows =
+    List.map
+      (fun (nodes, objects_per_bunch, ops) ->
+        let r = run_size ~nodes ~objects_per_bunch ~ops in
+        Table.add_row t
+          [
+            string_of_int nodes;
+            string_of_int r.c_ops;
+            string_of_int r.c_events;
+            Printf.sprintf "%.2f" r.c_lint_ms;
+            Printf.sprintf "%.2f" r.c_certify_ms;
+            (if r.c_lint_ms <= 0.0 then "-"
+             else Printf.sprintf "%.2f" (r.c_certify_ms /. r.c_lint_ms));
+            Printf.sprintf "%.0f" r.c_ns_per_event;
+          ];
+        r)
+      (* First row is the e20-smoke shape — the ≤2x-of-the-linter
+         acceptance gate reads off that line. *)
+      [ (3, 48, 400); (4, 64, 800); (4, 64, 1600); (4, 64, 3200) ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "e23");
+        ("unit", Json.String "certify_ms_wallclock");
+        ("configs", Json.List (List.map row_json rows));
+      ]
+  in
+  Printf.printf "BENCH %s\n" (Json.to_string json);
+  [ t ]

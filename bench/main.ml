@@ -25,6 +25,7 @@ let experiments =
     ("e19", Experiments.e19);
     ("e20", Scale.e20);
     ("e20-smoke", Scale.e20_smoke);
+    ("e23", Certifier.e23);
     ("micro", Micro.run);
   ]
 

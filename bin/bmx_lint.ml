@@ -1,13 +1,14 @@
 (* bmx_lint — build-time layering lint (the @lint alias).
 
-   Scans the given directories (default: the collector layer, lib/core)
-   for calls into the DSM token API, which the collector must never
-   make (§5).  Exit status 1 on any finding. *)
+   Scans the given directories (default: the collector layer lib/core,
+   plus bin/ and bench/, which must go through the Cluster facade) for
+   calls into the DSM token API, which the collector must never make
+   (§5).  Exit status 1 on any finding. *)
 
 let () =
   let dirs =
     match List.tl (Array.to_list Sys.argv) with
-    | [] -> [ "lib/core" ]
+    | [] -> [ "lib/core"; "bin"; "bench" ]
     | dirs -> dirs
   in
   let findings = List.concat_map Bmx_check.Layering.scan_dir dirs in

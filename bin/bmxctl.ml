@@ -363,6 +363,20 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
     Printf.printf "lint: %s\n"
       (if vs = [] then "clean"
        else Printf.sprintf "%d violation(s)" (List.length vs));
+    let log = Cluster.evlog c in
+    let cert =
+      Bmx_check.Races.certify
+        ~overflowed:(Bmx_util.Trace_event.overflowed log)
+        (Bmx_util.Trace_event.events log)
+    in
+    List.iter
+      (fun f -> Format.eprintf "%a@." Bmx_check.Races.pp_finding f)
+      cert.Bmx_check.Races.findings;
+    Printf.printf "certify: %s\n"
+      (if Bmx_check.Races.ok cert then "clean"
+       else
+         Printf.sprintf "%d finding(s)"
+           (List.length cert.Bmx_check.Races.findings));
     let lost = Bmx.Audit.lost_objects c in
     let silent = Ids.Uid_set.diff lost !fsck_named in
     if corrupt_disk && not (Ids.Uid_set.is_empty lost) then
@@ -376,7 +390,7 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
       if corrupt_disk then Ids.Uid_set.is_empty silent
       else Bmx.Audit.check_safety c = Ok ()
     in
-    if vs <> [] || not audit_ok then exit 1
+    if vs <> [] || (not (Bmx_check.Races.ok cert)) || not audit_ok then exit 1
   end
 
 let workload_term dump_default =
@@ -540,6 +554,8 @@ let run_check trace_file nodes bunches objects ops seed mode =
         if bad > 0 then
           {
             Bmx_check.Lint.rule = Bmx_check.Lint.Incomplete_trace;
+            at = -1;
+            vnode = -1;
             detail =
               Printf.sprintf "%d line(s) of %s could not be parsed" bad file;
           }
@@ -616,6 +632,86 @@ let check_cmd =
         (const run_check $ trace_file $ nodes $ bunches $ objects $ ops $ seed
        $ mode))
 
+(* -------------------------------------------------------------- certify *)
+
+let run_certify trace_file json nodes bunches objects ops seed mode =
+  let cert =
+    match trace_file with
+    | Some file ->
+        let events, bad = load_trace file in
+        Printf.printf "certifying %d event(s) from %s\n" (List.length events)
+          file;
+        Bmx_check.Races.certify ~overflowed:(bad > 0) events
+    | None ->
+        let cfg =
+          {
+            Driver.default with
+            nodes;
+            bunches;
+            objects_per_bunch = objects;
+            ops;
+            seed;
+            mode;
+          }
+        in
+        let d = Driver.setup cfg in
+        let c = Driver.cluster d in
+        Cluster.set_event_trace c true;
+        Driver.run_ops d ();
+        ignore (Cluster.collect_until_quiescent c ());
+        ignore (Cluster.drain c);
+        let log = Cluster.evlog c in
+        Printf.printf
+          "workload: %d nodes, %d bunches, %d ops (seed %d); certifying %d \
+           event(s)\n"
+          nodes bunches ops seed
+          (Bmx_util.Trace_event.length log);
+        Bmx_check.Races.certify
+          ~overflowed:(Bmx_util.Trace_event.overflowed log)
+          (Bmx_util.Trace_event.events log)
+  in
+  if json then
+    print_endline (Bmx_obs.Json.to_string (Bmx_check.Races.to_json cert))
+  else print_string (Bmx_check.Races.to_text cert);
+  if Bmx_check.Races.ok cert then `Ok () else exit 1
+
+let certify_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Certify a saved trace (from 'workload --emit-trace') instead \
+                of running a workload")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the certificate as JSON")
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~doc:"Cluster size") in
+  let bunches = Arg.(value & opt int 4 & info [ "bunches"; "b" ] ~doc:"Bunch count") in
+  let objects =
+    Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Objects per bunch")
+  in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"Mutator operations") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed") in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Bmx_dsm.Protocol.Distributed
+      & info [ "mode" ] ~doc:"Copy-set mode: distributed or centralized")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Replay a typed event trace through the happens-before engine: \
+          vector-clock race detection, per-object read-mapping check, and \
+          the GC non-interference erasure theorem (§5).  Exits 1 unless the \
+          trace certifies clean")
+    Term.(
+      ret
+        (const run_certify $ trace_file $ json $ nodes $ bunches $ objects
+       $ ops $ seed $ mode))
+
 (* --------------------------------------------------------------- report *)
 
 let run_report nodes bunches objects ops seed mode ggc drop dup fault_kinds
@@ -653,6 +749,12 @@ let run_report nodes bunches objects ops seed mode ggc drop dup fault_kinds
       ~metrics:(Cluster.metrics c)
       (Bmx_util.Trace_event.timed_events (Cluster.evlog c))
   in
+  let cert =
+    Bmx_check.Races.certify
+      ~overflowed:(Bmx_util.Trace_event.overflowed (Cluster.evlog c))
+      (Cluster.events c)
+  in
+  let report = Bmx_obs.Report.with_certified report (Bmx_check.Races.ok cert) in
   Printf.printf "report: %d nodes, %d bunches, %d objects, %d ops (seed %d)\n\n"
     nodes bunches (bunches * objects) ops seed;
   print_string (Bmx_obs.Report.to_text report);
@@ -691,6 +793,13 @@ let run_report nodes bunches objects ops seed mode ggc drop dup fault_kinds
   if not (Bmx_obs.Report.ok report) then
     fail "gc.token_acquires = %d (non-interference violated)"
       (Bmx_obs.Report.gc_token_acquires report);
+  if not (Bmx_check.Races.ok cert) then begin
+    List.iter
+      (fun f -> Format.eprintf "%a@." Bmx_check.Races.pp_finding f)
+      cert.Bmx_check.Races.findings;
+    fail "happens-before certificate failed (%d finding(s))"
+      (List.length cert.Bmx_check.Races.findings)
+  end;
   match List.rev !failures with
   | [] -> `Ok ()
   | fs ->
@@ -836,6 +945,7 @@ let main =
       stats_cmd;
       oo7_cmd;
       check_cmd;
+      certify_cmd;
       explore_cmd;
       report_cmd;
     ]

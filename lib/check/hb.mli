@@ -1,0 +1,101 @@
+(** Vector-clock happens-before engine over the typed event trace.
+
+    This is the foundation the certifier ({!Races}) derives everything
+    from: data races, the per-object read mapping, and the GC
+    non-interference erasure theorem are all statements about the
+    partial order this module computes.
+
+    {2 Clock model}
+
+    Every node [n] carries an {e application} vector clock [C(n)] with
+    one component per node.  Component [C(n).(m)] counts the
+    App-classified events of node [m] that happen-before node [n]'s
+    latest event — GC-classified events are {e not counted} in any
+    component, which is what makes the erasure theorem checkable: if the
+    collector really is a passive observer, deleting its events cannot
+    move any application clock.
+
+    Each event is classified [App] or [Gc] (see below) and stamped:
+
+    - an App event at node [n] first joins its incoming edges into
+      [C(n)], then increments [C(n).(n)], and its timestamp is the
+      resulting [C(n)];
+    - a Gc event at node [n] joins [C(n)] and its incoming GC-side edges
+      into a parallel clock [G(n)] and takes that as its timestamp.  It
+      never writes back into any [C] — the collector may {e observe}
+      application progress but contributes no ordering to it.
+
+    {2 Edge catalog}
+
+    - {b Program order}: events at the same node are totally ordered (the
+      trace is recorded in execution order).  This subsumes the
+      crash→restart edge: a node's post-restart events follow its crash.
+    - {b Message edges}: [Msg_sent src→dst (kind, seq)] happens-before
+      the matching [Msg_delivered] (matched on [(src, dst, seq)] — per
+      the FIFO discipline sequence numbers are unique per stream —
+      reliable or not: a delivered payload carries causality either
+      way).  Application-kind messages edge [C(src) → C(dst)];
+      GC-kind messages ([scion_message], [stub_table],
+      [reclaim_request], [reclaim_reply], [refcount_op]) edge only
+      [G(src) → G(dst)].
+    - {b RPC edges}: a synchronous [Rpc] joins caller and callee clocks
+      in {e both} directions (the caller resumes only after the handler
+      returned).
+    - {b Token grant edges}: [Grant_sent {granter; requester; uid}]
+      snapshots [C(granter)]; the requester's matching [Acquire_done]
+      joins the snapshot — everything the granter did (including the
+      previous holder's writes it learned via the grant chain)
+      happens-before everything the new holder does under the token.
+    - {b Invalidation edges}: each [Invalidate {src; dst; uid}] joins the
+      invalidated reader's clock [C(dst)] into a per-object accumulator
+      (and joins src↔dst — the invalidation is a synchronous exchange);
+      a {e write} [Acquire_done] for the object then joins and clears the
+      accumulator.  This covers readers invalidated transitively through
+      the copy-set tree, whom the granter's own clock may not dominate.
+
+    {2 Classification}
+
+    [Acquire_*] and [*_obs] events carry their actor.  [Gc_begin],
+    [Gc_end] and [Tables_processed] are GC.  Messages and RPCs classify
+    by kind.  [Grant_sent], [Hook_ssp] and [Invalidate] inherit the
+    actor of the pending acquire for their object (acquires execute
+    synchronously, so at most one is in flight per object); [Release]
+    is GC iff the matching token was acquired by the GC.  Everything
+    else (crash, restart, links, recovery, disk faults) is App: those
+    are environment events the application timeline owns. *)
+
+type clock = int array
+(** One component per node; missing nodes read 0. *)
+
+type info = {
+  idx : int;  (** caller-supplied index of the event (trace position) *)
+  ev : Bmx_util.Trace_event.t;
+  actor : Bmx_util.Trace_event.actor;  (** classification, see above *)
+  clock : clock;  (** the event's vector timestamp *)
+}
+
+val leq : clock -> clock -> bool
+(** Pointwise [<=] — happens-before-or-equal for event timestamps. *)
+
+val node_span : Bmx_util.Trace_event.t array -> int
+(** [1 + ] the largest node id mentioned anywhere in the trace (at least
+    1), i.e. the clock width needed to replay it. *)
+
+val run :
+  ?nodes:int -> ?indices:int array -> Bmx_util.Trace_event.t array ->
+  info array
+(** Replay the engine over a trace.  [indices] supplies each event's
+    trace position (default: its array index) and is preserved in the
+    output, so a filtered trace keeps its original positions — that is
+    what the erasure check diffs on.  [nodes] defaults to {!node_span}
+    of the events.  Single pass, O(events × nodes). *)
+
+val scan :
+  ?nodes:int -> ?indices:int array -> Bmx_util.Trace_event.t array ->
+  (int -> Bmx_util.Trace_event.actor -> clock -> unit) -> unit
+(** Streaming {!run}: calls the callback with each event's index,
+    classification and timestamp instead of materialising an array.
+    The clock argument is a {e live view} of the engine's state — read
+    or compare it during the callback, never retain it.  Used by the
+    erasure check, which only compares timestamps and so skips {!run}'s
+    per-event snapshot allocation. *)

@@ -6,7 +6,17 @@ let pp_finding ppf f =
     f.file f.line f.path
 
 let forbidden_members = [ "acquire"; "release"; "demand_fetch"; "set_hooks" ]
-let sanctioned = [ ("invariants.ml", "set_hooks") ]
+
+(* (basename, member) pairs allowed to break the rule: the invariant
+   harness installs the §5 hook by design, and the e17 ablation measures
+   the cost of coarse-grain token traffic, so it drives the token API on
+   purpose. *)
+let sanctioned =
+  [
+    ("invariants.ml", "set_hooks");
+    ("experiments.ml", "acquire");
+    ("experiments.ml", "release");
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Comment / literal stripping.  Comments nest; strings inside comments

@@ -17,7 +17,7 @@ type rule =
   | Partition_quarantine
   | Checksum_recovery
 
-type violation = { rule : rule; detail : string }
+type violation = { rule : rule; at : int; vnode : int; detail : string }
 
 let rule_to_string = function
   | Gc_acquired_token -> "gc-acquired-token"
@@ -38,12 +38,28 @@ let violation_to_string v =
 
 let pp_violation ppf v = Format.pp_print_string ppf (violation_to_string v)
 
+(* Deterministic report order: trace position, then rule, then node, then
+   text; duplicates collapse.  End-of-trace emissions walk hashtables
+   whose iteration order is seeded per-process, so without this the same
+   trace could lint to differently-ordered (or repeated) findings. *)
+let compare_violation a b =
+  let c = Int.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.vnode b.vnode in
+      if c <> 0 then c else String.compare a.detail b.detail
+
+let normalize vs = List.sort_uniq compare_violation vs
+
 let tok_str = function E.Read -> "read" | E.Write -> "write"
 
 let run events =
   let out = ref [] in
-  let add rule fmt =
-    Printf.ksprintf (fun detail -> out := { rule; detail } :: !out) fmt
+  let add ~at ~vnode rule fmt =
+    Printf.ksprintf (fun detail -> out := { rule; at; vnode; detail } :: !out) fmt
   in
   (* Outstanding grants: (requester, uid) -> (piggybacked update count,
      "updates were applied at the requester" flag).  Acquires execute
@@ -78,15 +94,15 @@ let run events =
     Printf.ksprintf
       (fun what ->
         if Hashtbl.mem down node then
-          add Dead_node_activity "event %d: %s at/involving crashed N%d" i what
-            node)
+          add ~at:i ~vnode:node Dead_node_activity
+            "event %d: %s at/involving crashed N%d" i what node)
       fmt
   in
   List.iteri
     (fun i e ->
       match e with
       | E.Acquire_start { actor = E.Gc; node; uid; tok } ->
-          add Gc_acquired_token
+          add ~at:i ~vnode:node Gc_acquired_token
             "event %d: the collector acquired a %s token for o%d at N%d \
              (actor = Gc on the acquire path)"
             i (tok_str tok) uid node;
@@ -102,7 +118,7 @@ let run events =
              acquire while granter and requester cannot exchange
              messages. *)
           if granter <> requester && partitioned granter requester then
-            add Split_brain_ownership
+            add ~at:i ~vnode:granter Split_brain_ownership
               "event %d: %s token of o%d granted N%d -> N%d across a cut \
                link"
               i (tok_str tok) uid granter requester;
@@ -112,7 +128,7 @@ let run events =
             if Hashtbl.mem hooks (granter, requester, uid) then
               Hashtbl.remove hooks (granter, requester, uid)
             else
-              add Invariant3
+              add ~at:i ~vnode:granter Invariant3
                 "event %d: write grant of o%d (N%d -> N%d) sent without the \
                  SSP-creation hook having run"
                 i uid granter requester
@@ -128,14 +144,14 @@ let run events =
       | E.Acquire_done { actor = _; node; uid; tok; addr_valid } ->
           dead i node "%s acquire completion for o%d" (tok_str tok) uid;
           if not addr_valid then
-            add Invariant1
+            add ~at:i ~vnode:node Invariant1
               "event %d: %s acquire of o%d at N%d completed without a valid \
                local address"
               i (tok_str tok) uid node;
           (match Hashtbl.find_opt grants (node, uid) with
           | Some (updates, applied) ->
               if updates > 0 && not !applied then
-                add Invariant1
+                add ~at:i ~vnode:node Invariant1
                   "event %d: the grant for o%d carried %d location updates \
                    that N%d never applied before the acquire completed"
                   i uid updates node;
@@ -149,7 +165,7 @@ let run events =
           dead i src "%s message sent to N%d (seq %d)" kind dst seq;
           (match Hashtbl.find_opt last_sent (src, dst) with
           | Some s when seq <= s ->
-              add Fifo_order
+              add ~at:i ~vnode:src Fifo_order
                 "event %d: %s message N%d -> N%d sent with seq %d after seq \
                  %d on the same stream"
                 i kind src dst seq s
@@ -159,13 +175,13 @@ let run events =
           dead i src "%s message delivered from it (seq %d)" kind seq;
           dead i dst "%s message delivered to it (seq %d)" kind seq;
           if Hashtbl.mem cut (src, dst) then
-            add Partition_quarantine
+            add ~at:i ~vnode:dst Partition_quarantine
               "event %d: %s message N%d -> N%d (seq %d) delivered over a cut \
                link"
               i kind src dst seq;
           (match Hashtbl.find_opt last_delivered (src, dst) with
           | Some s when seq < s ->
-              add Fifo_order
+              add ~at:i ~vnode:dst Fifo_order
                 "event %d: %s message N%d -> N%d delivered with seq %d after \
                  seq %d — per-pair FIFO broken"
                 i kind src dst seq s
@@ -175,13 +191,13 @@ let run events =
           dead i src "reliable %s delivered from it (seq %d)" kind seq;
           dead i dst "reliable %s delivered to it (seq %d)" kind seq;
           if Hashtbl.mem cut (src, dst) then
-            add Partition_quarantine
+            add ~at:i ~vnode:dst Partition_quarantine
               "event %d: reliable %s message N%d -> N%d (seq %d) delivered \
                over a cut link"
               i kind src dst seq;
           (match Hashtbl.find_opt last_rel_delivered (src, dst) with
           | Some s when seq <= s ->
-              add Reliable_fifo
+              add ~at:i ~vnode:dst Reliable_fifo
                 "event %d: reliable %s message N%d -> N%d handed off with \
                  seq %d after seq %d — exactly-once in-order delivery broken"
                 i kind src dst seq s
@@ -222,7 +238,7 @@ let run events =
             when prev <> node
                  && (not (Hashtbl.mem down prev))
                  && partitioned prev node ->
-              add Split_brain_ownership
+              add ~at:i ~vnode:node Split_brain_ownership
                 "event %d: N%d adopted ownership of o%d while its last \
                  recorded owner N%d is alive across a cut link — two owners \
                  after heal"
@@ -232,12 +248,12 @@ let run events =
       | E.Tables_processed { at; sender; bunch; seq = _ } ->
           dead i at "reachability tables processed";
           if Hashtbl.mem down sender then
-            add Partition_quarantine
+            add ~at:i ~vnode:at Partition_quarantine
               "event %d: N%d processed reachability tables for b%d from \
                crashed sender N%d — dead-sender quarantine bypassed"
               i at bunch sender
           else if partitioned sender at then
-            add Partition_quarantine
+            add ~at:i ~vnode:at Partition_quarantine
               "event %d: N%d processed reachability tables for b%d from \
                unreachable sender N%d — partition quarantine bypassed"
               i at bunch sender
@@ -256,6 +272,8 @@ let run events =
       | E.Gc_begin { node; _ } -> dead i node "collection started"
       | E.Gc_end { node; _ } -> dead i node "collection finished"
       | E.Release { node; uid } -> dead i node "token release for o%d" uid
+      | E.Read_obs { node; uid; _ } -> dead i node "field read of o%d" uid
+      | E.Write_obs { node; uid; _ } -> dead i node "field write of o%d" uid
       | E.Invalidate { src; dst = _; uid } ->
           (* An invalidation *to* a dead node is legal — the message just
              evaporates at the dead host; one *from* a dead node is not. *)
@@ -263,7 +281,7 @@ let run events =
     events;
   Hashtbl.iter
     (fun (node, peer, uid) i ->
-      add Invariant2
+      add ~at:i ~vnode:node Invariant2
         "event %d: N%d installed new-location information for o%d but never \
          forwarded it to copy-set member N%d"
         i node uid peer)
@@ -272,19 +290,21 @@ let run events =
     (fun node l ->
       List.iter
         (fun (i, fault) ->
-          add Checksum_recovery
+          add ~at:i ~vnode:node Checksum_recovery
             "event %d: storage fault '%s' injected at N%d's disk was never \
              acknowledged by an RVM recovery at that node"
             i fault node)
         (List.rev !l))
     faults;
-  List.rev !out
+  normalize !out
 
 let check_log log =
   let vs = run (E.events log) in
   if E.overflowed log then
     {
       rule = Incomplete_trace;
+      at = -1;
+      vnode = -1;
       detail =
         Printf.sprintf
           "the event log overflowed after %d events; the trace cannot be \
@@ -325,6 +345,8 @@ let check_stores proto =
                 out :=
                   {
                     rule = Forwarder_cycle;
+                    at = -1;
+                    vnode = node;
                     detail =
                       Printf.sprintf
                         "N%d: forwarding-pointer cycle through %s" node
@@ -343,6 +365,6 @@ let check_stores proto =
           walk start)
         fwd)
     (Protocol.nodes proto);
-  List.rev !out
+  normalize !out
 
 let check_all proto = check_log (Protocol.evlog proto) @ check_stores proto

@@ -60,11 +60,24 @@ type rule =
   | Partition_quarantine
   | Checksum_recovery
 
-type violation = { rule : rule; detail : string }
+type violation = {
+  rule : rule;
+  at : int;  (** index of the triggering event in the trace, [-1] when the
+                 finding is not tied to one (truncation, store checks) *)
+  vnode : int;  (** primary node involved, [-1] when none *)
+  detail : string;
+}
 
 val rule_to_string : rule -> string
 val violation_to_string : violation -> string
 val pp_violation : Format.formatter -> violation -> unit
+
+val compare_violation : violation -> violation -> int
+(** Orders by trace position, then rule, then node, then text. *)
+
+val normalize : violation list -> violation list
+(** Sort by {!compare_violation} and drop duplicates — report order is
+    deterministic regardless of hashtable iteration order. *)
 
 val run : Bmx_util.Trace_event.t list -> violation list
 (** Replay the log; empty result means every checked invariant held. *)

@@ -1,0 +1,465 @@
+open Bmx_util
+module E = Trace_event
+module Json = Bmx_obs.Json
+
+type kind =
+  | Race
+  | Stale_read
+  | Phantom_version
+  | Gc_interference
+  | Erasure_broken
+  | Incomplete_trace
+
+type finding = {
+  kind : kind;
+  at : int;
+  node : int;
+  uid : int;
+  detail : string;
+}
+
+type t = {
+  events : int;
+  app_events : int;
+  gc_events : int;
+  reads : int;
+  writes : int;
+  weak_reads : int;
+  objects : int;
+  erasure_ok : bool;
+  findings : finding list;
+}
+
+let kind_to_string = function
+  | Race -> "race"
+  | Stale_read -> "stale-read"
+  | Phantom_version -> "phantom-version"
+  | Gc_interference -> "gc-interference"
+  | Erasure_broken -> "erasure-broken"
+  | Incomplete_trace -> "incomplete-trace"
+
+let finding_to_string f =
+  Printf.sprintf "[%s] %s" (kind_to_string f.kind) f.detail
+
+let pp_finding ppf f = Format.pp_print_string ppf (finding_to_string f)
+
+let compare_finding a b =
+  let c = Int.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.kind b.kind in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.node b.node in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.uid b.uid in
+        if c <> 0 then c else String.compare a.detail b.detail
+
+let normalize fs = List.sort_uniq compare_finding fs
+
+(* ------------------------------------------------------------------ *)
+(* Read mapping and race detection over annotated events.              *)
+
+type obj_state = {
+  (* Timestamp, version and node of the happens-before-maximal covered
+     write seen so far. *)
+  mutable last_write : (Hb.clock * int * int) option;
+  (* Version the next covered read must observe; [None] after an
+     ownership adoption until a write re-establishes the basis. *)
+  mutable expected : int option;
+  (* Per reader node, the join of its covered-read timestamps since the
+     last covered write — the fronts a new write must dominate. *)
+  fronts : (int, Hb.clock) Hashtbl.t;
+}
+
+type access_stats = {
+  mutable a_reads : int;
+  mutable a_writes : int;
+  mutable a_weak : int;
+}
+
+type map_state = {
+  m_objs : (int, obj_state) Hashtbl.t;
+  mutable m_out : finding list;
+  m_stats : access_stats option;
+}
+
+let map_create ?stats () =
+  { m_objs = Hashtbl.create 64; m_out = []; m_stats = stats }
+
+(* Replays one access-level event into the read-mapping state.  [clock]
+   may be a live engine view; [retain] must make it safe to store
+   ([Fun.id] when the caller already owns a private copy).  Processes
+   every access, GC-actor ones included: in the full replay a GC write
+   legitimately shifts the version basis, so that erasing it makes the
+   application-anchored findings diverge — which is exactly what the
+   erasure check trips on. *)
+let map_step st ~retain ~at ev (clock : Hb.clock) =
+  let add kind ~node ~uid fmt =
+    Printf.ksprintf
+      (fun detail -> st.m_out <- { kind; at; node; uid; detail } :: st.m_out)
+      fmt
+  in
+  let obj uid =
+    match Hashtbl.find_opt st.m_objs uid with
+    | Some o -> o
+    | None ->
+        let o =
+          { last_write = None; expected = None; fronts = Hashtbl.create 4 }
+        in
+        Hashtbl.add st.m_objs uid o;
+        o
+  in
+  let tally f = match st.m_stats with Some s -> f s | None -> () in
+  match ev with
+  | E.Write_obs { node; uid; version; covered; _ } ->
+      tally (fun s -> s.a_writes <- s.a_writes + 1);
+      let o = obj uid in
+      if covered then begin
+        (match o.last_write with
+        | Some (wvc, wver, wnode) when not (Hb.leq wvc clock) ->
+            add Race ~node ~uid
+              "event %d: write of o%d (v%d) at N%d unordered with the \
+               write of v%d at N%d — write-write race"
+              at uid version node wver wnode
+        | _ -> ());
+        Hashtbl.iter
+          (fun rnode front ->
+            if not (Hb.leq front clock) then
+              add Race ~node ~uid
+                "event %d: write of o%d (v%d) at N%d unordered with a \
+                 covered read at N%d — read-write race"
+                at uid version node rnode)
+          o.fronts
+      end;
+      (* Covered or not, the write moves the version basis: an
+         uncovered (token-less) write is reported as interference by
+         the caller, and erasing it must perturb the mapping. *)
+      o.last_write <- Some (retain clock, version, node);
+      o.expected <- Some version;
+      Hashtbl.reset o.fronts
+  | E.Read_obs { node; uid; version; covered; _ } ->
+      tally (fun s -> s.a_reads <- s.a_reads + 1);
+      if not covered then
+        tally (fun s -> s.a_weak <- s.a_weak + 1)
+      else begin
+        let o = obj uid in
+        (match o.last_write with
+        | Some (wvc, wver, wnode) when not (Hb.leq wvc clock) ->
+            add Race ~node ~uid
+              "event %d: covered read of o%d (v%d) at N%d unordered with \
+               the write of v%d at N%d — read-write race"
+              at uid version node wver wnode
+        | _ -> ());
+        (match o.expected with
+        | Some ver when version < ver ->
+            add Stale_read ~node ~uid
+              "event %d: covered read of o%d at N%d observed v%d but the \
+               happens-before-maximal write is v%d — stale read"
+              at uid node version ver
+        | Some ver when version > ver ->
+            add Phantom_version ~node ~uid
+              "event %d: covered read of o%d at N%d observed v%d, newer \
+               than any recorded write (v%d) — phantom version"
+              at uid node version ver
+        | Some _ | None -> ());
+        let front =
+          match Hashtbl.find_opt o.fronts node with
+          | Some f -> f
+          | None ->
+              let f = Array.make (Array.length clock) 0 in
+              Hashtbl.add o.fronts node f;
+              f
+        in
+        Array.iteri (fun k v -> if v > front.(k) then front.(k) <- v) clock
+      end
+  | E.Crash { node } ->
+      (* The node's tokens died with it: later writes legally skip
+         invalidating it, so its fronts must not accuse them. *)
+      Hashtbl.iter (fun _ o -> Hashtbl.remove o.fronts node) st.m_objs
+  | E.Owner_adopted { node = _; uid } ->
+      (* Recovery reseated ownership from a persistent image; the
+         version chain restarts at the next write.  (Honest
+         RVM-truncation staleness is checked by the recovery fsck,
+         not here.) *)
+      let o = obj uid in
+      o.last_write <- None;
+      o.expected <- None;
+      Hashtbl.reset o.fronts
+  | _ -> ()
+
+let read_map ?stats infos =
+  let st = map_create ?stats () in
+  Array.iter
+    (fun (i : Hb.info) -> map_step st ~retain:Fun.id ~at:i.idx i.ev i.clock)
+    infos;
+  (Hashtbl.length st.m_objs, st.m_out)
+
+(* ------------------------------------------------------------------ *)
+(* Certification.                                                      *)
+
+let erased_key (f : finding) = (f.kind, f.at, f.node, f.uid, f.detail)
+
+let certify ?(overflowed = false) events =
+  let evs = Array.of_list events in
+  let nodes = Hb.node_span evs in
+  let n = Array.length evs in
+  let stats = { a_reads = 0; a_writes = 0; a_weak = 0 } in
+  (* One streaming pass collects everything the erasure check and the
+     summary need: the read-mapping / race findings, direct interference
+     findings (the collector acquiring tokens, holding one at a read, or
+     writing a shared object), the app-event clock table, the erased
+     replay input positions, the App/Gc tallies, and whether any
+     GC-actor access exists at all.  Clocks are live engine views; the
+     only retained copies are the write timestamps the read mapping
+     stores and the flat app-clock matrix below. *)
+  let st = map_create ~stats () in
+  let interference = ref [] in
+  (* Clock of the app event at trace position i (row i of a flat
+     [n * nodes] matrix), valid iff [is_app.(i)] — the full replay's
+     indices are the positions 0..n-1. *)
+  let app_flat = Array.make (n * nodes) 0 in
+  let is_app = Array.make n false in
+  let app_pos = Array.make n 0 in
+  let app_events = ref 0 and gc_events = ref 0 in
+  let gc_access = ref false in
+  Hb.scan ~nodes evs (fun idx actor clock ->
+      let ev = evs.(idx) in
+      (match actor with
+      | E.App ->
+          Array.blit clock 0 app_flat (idx * nodes) nodes;
+          is_app.(idx) <- true;
+          app_pos.(!app_events) <- idx;
+          incr app_events
+      | E.Gc -> incr gc_events);
+      (match ev with
+      | E.Acquire_start { actor = E.Gc; node; uid; tok } ->
+          interference :=
+            {
+              kind = Gc_interference;
+              at = idx;
+              node;
+              uid;
+              detail =
+                Printf.sprintf
+                  "event %d: the collector acquired a %s token for o%d at N%d"
+                  idx
+                  (match tok with E.Read -> "read" | E.Write -> "write")
+                  uid node;
+            }
+            :: !interference
+      | E.Write_obs { actor = E.Gc; node; uid; version; _ } ->
+          gc_access := true;
+          interference :=
+            {
+              kind = Gc_interference;
+              at = idx;
+              node;
+              uid;
+              detail =
+                Printf.sprintf
+                  "event %d: the collector wrote o%d (v%d) at N%d — GC must \
+                   never mutate application-visible state"
+                  idx uid version node;
+            }
+            :: !interference
+      | E.Read_obs { actor = E.Gc; node; uid; covered; _ } ->
+          gc_access := true;
+          if covered then
+            interference :=
+              {
+                kind = Gc_interference;
+                at = idx;
+                node;
+                uid;
+                detail =
+                  Printf.sprintf
+                    "event %d: the collector read o%d at N%d under a held \
+                     token — GC reads must be token-free"
+                    idx uid node;
+              }
+              :: !interference
+      | _ -> ());
+      map_step st ~retain:Array.copy ~at:idx ev clock);
+  let objects = Hashtbl.length st.m_objs in
+  let full_findings = st.m_out in
+  let interference = List.rev !interference in
+  let clock_matches idx (clock : Hb.clock) =
+    is_app.(idx)
+    &&
+    let base = idx * nodes in
+    let same = ref true in
+    for k = 0 to nodes - 1 do
+      if app_flat.(base + k) <> clock.(k) then same := false
+    done;
+    !same
+  in
+  (* Erasure theorem: replay with every GC-classified event deleted and
+     diff the application clocks and application-anchored findings. *)
+  let indices = Array.sub app_pos 0 !app_events in
+  let erased_evs = Array.map (fun p -> evs.(p)) indices in
+  let reclassified idx =
+    Printf.sprintf "application event %d was reclassified by the erasure replay"
+      idx
+  in
+  let moved idx =
+    Printf.sprintf
+      "erasing GC events changed the vector clock of application event %d" idx
+  in
+  let clock_diff, map_diff =
+    if not !gc_access then begin
+      (* No GC-actor access events: once the clocks check out, the
+         erased replay would feed [read_map] exactly the same
+         access/crash/adoption sequence with identical timestamps, so
+         its findings are identical by construction — a streaming
+         (allocation-free) clock comparison is the whole theorem. *)
+      let diff = ref None in
+      (try
+         Hb.scan ~nodes ~indices erased_evs (fun idx actor clock ->
+             if actor <> E.App then begin
+               diff := Some (reclassified idx);
+               raise Exit
+             end;
+             if not (clock_matches idx clock) then begin
+               diff := Some (moved idx);
+               raise Exit
+             end)
+       with Exit -> ());
+      (!diff, None)
+    end
+    else begin
+      let erased = Hb.run ~nodes ~indices erased_evs in
+      let diff = ref None in
+      (try
+         Array.iter
+           (fun (i : Hb.info) ->
+             if i.actor <> E.App then begin
+               diff := Some (reclassified i.idx);
+               raise Exit
+             end;
+             if not (clock_matches i.idx i.clock) then begin
+               diff := Some (moved i.idx);
+               raise Exit
+             end)
+           erased
+       with Exit -> ());
+      let map_diff =
+        if !diff <> None then None
+        else begin
+          let _, erased_findings = read_map erased in
+          let app_anchored fs =
+            List.filter (fun f -> f.at >= 0 && f.at < n && is_app.(f.at)) fs
+            |> List.map erased_key
+            |> List.sort_uniq Stdlib.compare
+          in
+          if app_anchored full_findings = app_anchored erased_findings then
+            None
+          else
+            Some
+              "erasing GC events changed the application read mapping (races \
+               / stale reads differ between the two replays)"
+        end
+      in
+      (!diff, map_diff)
+    end
+  in
+  let erasure_findings =
+    match (clock_diff, map_diff) with
+    | Some d, _ | None, Some d ->
+        [ { kind = Erasure_broken; at = -1; node = -1; uid = -1; detail = d } ]
+    | None, None -> []
+  in
+  let incomplete =
+    if overflowed then
+      [
+        {
+          kind = Incomplete_trace;
+          at = -1;
+          node = -1;
+          uid = -1;
+          detail =
+            "the event log overflowed (or had unparseable lines); the trace \
+             cannot be certified";
+        };
+      ]
+    else []
+  in
+  {
+    events = n;
+    app_events = !app_events;
+    gc_events = !gc_events;
+    reads = stats.a_reads;
+    writes = stats.a_writes;
+    weak_reads = stats.a_weak;
+    objects;
+    erasure_ok = erasure_findings = [];
+    findings =
+      normalize (incomplete @ erasure_findings @ interference @ full_findings);
+  }
+
+let ok t = t.findings = []
+
+let count k t =
+  List.length (List.filter (fun f -> f.kind = k) t.findings)
+
+let races t = count Race t
+let stale_reads t = count Stale_read t
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "== happens-before certificate ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf "events:          %d (%d app, %d gc)\n" t.events
+       t.app_events t.gc_events);
+  Buffer.add_string buf
+    (Printf.sprintf "accesses:        %d reads (%d weak), %d writes on %d \
+                     object(s)\n"
+       t.reads t.weak_reads t.writes t.objects);
+  Buffer.add_string buf
+    (Printf.sprintf "races:           %d\n" (races t));
+  Buffer.add_string buf
+    (Printf.sprintf "stale reads:     %d\n" (stale_reads t));
+  Buffer.add_string buf
+    (Printf.sprintf "gc interference: %d\n" (count Gc_interference t));
+  Buffer.add_string buf
+    (Printf.sprintf "gc erasure:      %s\n"
+       (if t.erasure_ok then "unchanged (theorem holds)" else "BROKEN"));
+  Buffer.add_string buf
+    (if ok t then "verdict:         CERTIFIED\n"
+     else Printf.sprintf "verdict:         FAILED (%d finding(s))\n"
+            (List.length t.findings));
+  List.iter
+    (fun f -> Buffer.add_string buf (finding_to_string f ^ "\n"))
+    t.findings;
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ("events", Json.Int t.events);
+      ("app_events", Json.Int t.app_events);
+      ("gc_events", Json.Int t.gc_events);
+      ("reads", Json.Int t.reads);
+      ("weak_reads", Json.Int t.weak_reads);
+      ("writes", Json.Int t.writes);
+      ("objects", Json.Int t.objects);
+      ("races", Json.Int (races t));
+      ("stale_reads", Json.Int (stale_reads t));
+      ("gc_interference", Json.Int (count Gc_interference t));
+      ("erasure_ok", Json.Bool t.erasure_ok);
+      ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("kind", Json.String (kind_to_string f.kind));
+                   ("at", Json.Int f.at);
+                   ("node", Json.Int f.node);
+                   ("uid", Json.Int f.uid);
+                   ("detail", Json.String f.detail);
+                 ])
+             t.findings) );
+      ("ok", Json.Bool (ok t));
+    ]

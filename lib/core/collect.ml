@@ -304,7 +304,10 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
         let bunch = obj.Heap_obj.bunch in
         let seg = to_space bunch in
         let new_addr =
-          match Store.alloc_into store ~seg ~uid ~fields:(Array.copy obj.Heap_obj.fields) with
+          match
+            Store.alloc_into ~version:obj.Heap_obj.version store ~seg ~uid
+              ~fields:(Array.copy obj.Heap_obj.fields)
+          with
           | Some a -> a
           | None ->
               (* To-space overflow: grow the bunch with another segment. *)
@@ -312,8 +315,8 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
               Segment.set_role seg' Segment.To_space;
               Ids.Bunch_tbl.replace to_spaces bunch seg';
               (match
-                 Store.alloc_into store ~seg:seg' ~uid
-                   ~fields:(Array.copy obj.Heap_obj.fields)
+                 Store.alloc_into ~version:obj.Heap_obj.version store
+                   ~seg:seg' ~uid ~fields:(Array.copy obj.Heap_obj.fields)
                with
               | Some a -> a
               | None -> failwith "Collect: object larger than a segment")
@@ -346,7 +349,7 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
               | Value.Ref p when not (Addr.is_null p) ->
                   let p' = Store.current_addr store p in
                   if not (Addr.equal p p') then begin
-                    Heap_obj.set obj i (Value.Ref p');
+                    Heap_obj.fixup obj i (Value.Ref p');
                     Store.note_field_write store ~obj_addr:a ~index:i (Value.Ref p');
                     incr ref_updates;
                     bump t "gc.ref_updates"

@@ -19,10 +19,10 @@ let bump t name = Stats.incr (Gc_state.stats t) name
 (* Allocate a fresh copy of [fields] for [uid] at [node], guaranteed to
    land outside [range] — the whole point of the protocol is to empty that
    range, so an evacuation must never target it. *)
-let alloc_outside t ~node ~bunch ~uid ~fields ~range =
+let alloc_outside t ~node ~bunch ~uid ~version ~fields ~range =
   let proto = Gc_state.proto t in
   let store = Protocol.store proto node in
-  let candidate = Store.alloc store ~bunch ~uid ~fields in
+  let candidate = Store.alloc ~version store ~bunch ~uid ~fields in
   if not (Addr.Range.contains range candidate) then candidate
   else begin
     (* The node's active segment is the very range being reclaimed: retire
@@ -30,7 +30,7 @@ let alloc_outside t ~node ~bunch ~uid ~fields ~range =
     Store.remove store candidate;
     let seg = Store.fresh_segment store ~bunch () in
     Store.set_active_segment store ~bunch seg;
-    Store.alloc store ~bunch ~uid ~fields
+    Store.alloc ~version store ~bunch ~uid ~fields
   end
 
 (* The owner evacuates its local copy out of the address range the
@@ -50,6 +50,7 @@ let owner_evacuate t ~owner ~uid ~range =
             let bunch = obj.Heap_obj.bunch in
             let new_addr =
               alloc_outside t ~node:owner ~bunch ~uid
+                ~version:obj.Heap_obj.version
                 ~fields:(Array.copy obj.Heap_obj.fields) ~range
             in
             Store.set_forwarder store ~at:a ~target:new_addr;
@@ -75,7 +76,7 @@ let fix_local_pointers t ~node =
               | Value.Ref p when not (Addr.is_null p) ->
                   let p' = Store.current_addr store p in
                   if not (Addr.equal p p') then begin
-                    Heap_obj.set obj i (Value.Ref p');
+                    Heap_obj.fixup obj i (Value.Ref p');
                     Store.note_field_write store ~obj_addr ~index:i (Value.Ref p')
                   end
               | Value.Ref _ | Value.Data _ -> ())
@@ -140,6 +141,7 @@ let run t ~node ~bunch =
         let evacuate_locally uid (obj : Heap_obj.t) addr =
           let new_addr =
             alloc_outside t ~node ~bunch ~uid
+              ~version:obj.Heap_obj.version
               ~fields:(Array.copy obj.Heap_obj.fields) ~range
           in
           Store.set_forwarder store ~at:addr ~target:new_addr;

@@ -343,7 +343,7 @@ let fix_fields_through_forwarders t node obj_addr (obj : Heap_obj.t) =
       | Value.Ref a when not (Addr.is_null a) ->
           let a' = Store.current_addr s a in
           if not (Addr.equal a a') then begin
-            Heap_obj.set obj i (Value.Ref a');
+            Heap_obj.fixup obj i (Value.Ref a');
             Store.note_field_write s ~obj_addr ~index:i (Value.Ref a');
             bump t "dsm.ref_fixes"
           end
@@ -804,13 +804,24 @@ let resolve_local t node addr =
 
 let read_field t ?(weak = false) ~node addr index =
   let _, obj = resolve_local t node addr in
-  if not weak then begin
+  let covered =
     match Directory.find (directory t node) obj.Heap_obj.uid with
-    | Some r when r.Directory.state <> Directory.Invalid -> ()
-    | Some _ | None ->
-        failwith "Protocol.read_field: no read token (use ~weak for stale reads)"
-  end;
-  Heap_obj.get obj index
+    | Some r -> r.Directory.state <> Directory.Invalid
+    | None -> false
+  in
+  if (not weak) && not covered then
+    failwith "Protocol.read_field: no read token (use ~weak for stale reads)";
+  let v = Heap_obj.get obj index in
+  ev t
+    (Trace_event.Read_obs
+       {
+         actor = Trace_event.App;
+         node;
+         uid = obj.Heap_obj.uid;
+         version = obj.Heap_obj.version;
+         covered;
+       });
+  v
 
 let write_field_raw t ~node addr index v =
   let a, obj = resolve_local t node addr in
@@ -818,6 +829,15 @@ let write_field_raw t ~node addr index v =
   | Some r when r.Directory.state = Directory.Write && r.Directory.is_owner -> ()
   | Some _ | None -> failwith "Protocol.write_field_raw: no write token");
   Heap_obj.set obj index v;
+  ev t
+    (Trace_event.Write_obs
+       {
+         actor = Trace_event.App;
+         node;
+         uid = obj.Heap_obj.uid;
+         version = obj.Heap_obj.version;
+         covered = true;
+       });
   Store.note_field_write (store t node) ~obj_addr:a ~index v
 
 let ptr_eq t ~node a b =

@@ -7,7 +7,8 @@ type t = {
   mutable version : int;
 }
 
-let make ~uid ~bunch ~fields = { uid; bunch; fields; version = 0 }
+let make ?(version = 0) ~uid ~bunch ~fields () =
+  { uid; bunch; fields; version }
 let num_fields t = Array.length t.fields
 let header_bytes = 2 * Addr.word
 let size_bytes t = header_bytes + (num_fields t * Addr.word)
@@ -16,6 +17,8 @@ let get t i = t.fields.(i)
 let set t i v =
   t.fields.(i) <- v;
   t.version <- t.version + 1
+
+let fixup t i v = t.fields.(i) <- v
 
 let clone t =
   { uid = t.uid; bunch = t.bunch; fields = Array.copy t.fields; version = t.version }

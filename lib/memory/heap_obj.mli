@@ -15,10 +15,16 @@ type t = private {
 }
 
 val make :
+  ?version:int ->
   uid:Bmx_util.Ids.Uid.t ->
   bunch:Bmx_util.Ids.Bunch.t ->
   fields:Value.t array ->
+  unit ->
   t
+(** [version] defaults to 0 (a freshly allocated object).  Copies made
+    by the collector must pass the source's version: the version is the
+    object's mutator-visible write counter, and a GC copy is not a
+    write. *)
 
 val num_fields : t -> int
 
@@ -32,6 +38,13 @@ val get : t -> int -> Value.t
 
 val set : t -> int -> Value.t -> unit
 (** Writes the field and bumps [version]. *)
+
+val fixup : t -> int -> Value.t -> unit
+(** Writes the field {e without} bumping [version].  For GC/protocol
+    pointer retargeting (forwarder collapse, copy-forwarding) that
+    rewrites an address to an alias of the same object: the value the
+    mutator observes is unchanged, so the version — the mutator-visible
+    write counter used by the happens-before certifier — must not move. *)
 
 val clone : t -> t
 (** Deep copy (fresh field array), same uid — a new replica or a GC copy.

@@ -209,15 +209,15 @@ let note_field_write t ~obj_addr ~index v =
       if Segment.contains seg field_addr then
         Segment.note_pointer seg field_addr ~is_pointer:(Value.is_pointer v)
 
-let alloc_into t ~seg ~uid ~fields =
-  let obj = Heap_obj.make ~uid ~bunch:seg.Segment.bunch ~fields in
+let alloc_into ?version t ~seg ~uid ~fields =
+  let obj = Heap_obj.make ?version ~uid ~bunch:seg.Segment.bunch ~fields () in
   match Segment.alloc seg ~size:(Heap_obj.size_bytes obj) with
   | None -> None
   | Some a ->
       install t a obj;
       Some a
 
-let alloc t ~bunch ~uid ~fields =
+let alloc ?version t ~bunch ~uid ~fields =
   let seg =
     match Ids.Bunch_tbl.find_opt t.active bunch with
     | Some seg -> seg
@@ -234,13 +234,13 @@ let alloc t ~bunch ~uid ~fields =
         Ids.Bunch_tbl.replace t.active bunch seg;
         seg
   in
-  match alloc_into t ~seg ~uid ~fields with
+  match alloc_into ?version t ~seg ~uid ~fields with
   | Some a -> a
   | None ->
       (* Segment overflow: grow the bunch (§2.1). *)
       let seg = fresh_segment t ~bunch () in
       Ids.Bunch_tbl.replace t.active bunch seg;
-      (match alloc_into t ~seg ~uid ~fields with
+      (match alloc_into ?version t ~seg ~uid ~fields with
       | Some a -> a
       | None -> failwith "Store.alloc: object larger than a segment")
 

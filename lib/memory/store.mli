@@ -20,6 +20,7 @@ val node : t -> Bmx_util.Ids.Node.t
 val registry : t -> Registry.t
 
 val alloc :
+  ?version:int ->
   t ->
   bunch:Bmx_util.Ids.Bunch.t ->
   uid:Bmx_util.Ids.Uid.t ->
@@ -27,9 +28,12 @@ val alloc :
   Bmx_util.Addr.t
 (** Allocate a new object in the node's active segment for [bunch],
     growing the bunch with a fresh registry range on segment overflow.
-    Reference-map bits are set for pointer fields. *)
+    Reference-map bits are set for pointer fields.  [version] (default
+    0) seeds the object's write counter — GC copies pass the source's
+    so the copy is not mistaken for a write. *)
 
 val alloc_into :
+  ?version:int ->
   t -> seg:Segment.t -> uid:Bmx_util.Ids.Uid.t -> fields:Value.t array
   -> Bmx_util.Addr.t option
 (** Allocate directly into a specific segment (BGC copying into to-space). *)

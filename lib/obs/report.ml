@@ -2,6 +2,7 @@ type t = {
   spans : Span.t list;
   snap : Metrics.snapshot;
   gc_acquires : int;
+  certified : bool option;
 }
 
 let latency_family (s : Span.t) =
@@ -43,8 +44,11 @@ let of_events ~metrics timed =
       (match Metrics.get snap "gc.token_acquires" with
       | Some (Metrics.Counter c) -> c
       | _ -> 0);
+    certified = None;
   }
 
+let with_certified t verdict = { t with certified = Some verdict }
+let certified t = t.certified
 let spans t = t.spans
 let snapshot t = t.snap
 let gc_token_acquires t = t.gc_acquires
@@ -84,6 +88,15 @@ let to_text t =
        t.gc_acquires
        (if ok t then " (OK: GC never blocked on the consistency protocol)"
         else " (VIOLATION: the GC acquired tokens)"));
+  (match t.certified with
+  | None -> ()
+  | Some v ->
+      Buffer.add_string buf
+        (Printf.sprintf "certified:        %s\n"
+           (if v then
+              "yes (happens-before: no races, read mapping intact, GC \
+               erasure holds)"
+            else "NO (happens-before certificate failed)")));
   Buffer.contents buf
 
 let to_json t =
@@ -92,5 +105,7 @@ let to_json t =
       ("metrics", Metrics.to_json t.snap);
       ("spans", Json.Int (List.length t.spans));
       ("gc_token_acquires", Json.Int t.gc_acquires);
+      ( "certified",
+        match t.certified with None -> Json.Null | Some v -> Json.Bool v );
       ("ok", Json.Bool (ok t));
     ]

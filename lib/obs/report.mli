@@ -28,6 +28,15 @@ val gc_token_acquires : t -> int
 val ok : t -> bool
 (** [gc_token_acquires t = 0]. *)
 
+val with_certified : t -> bool -> t
+(** Attach the happens-before certifier's verdict ([Bmx_check.Races],
+    computed by the caller — the observability layer does not depend on
+    the checker).  Renders next to [gc.token_acquires] in {!to_text}
+    and as a ["certified"] field in {!to_json}. *)
+
+val certified : t -> bool option
+(** [None] when no certificate was attached. *)
+
 val latency : t -> string -> Metrics.summary option
 (** [latency t "token_acquire.read"] — the [latency.*] histogram. *)
 

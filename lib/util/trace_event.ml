@@ -87,6 +87,20 @@ type t =
   | Disk_fault of { node : Ids.Node.t; fault : string }
   | Rvm_recover of { node : Ids.Node.t; dropped : int; lost : int }
   | Bunch_verified of { node : Ids.Node.t; missing : int }
+  | Read_obs of {
+      actor : actor;
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      version : int;
+      covered : bool;
+    }
+  | Write_obs of {
+      actor : actor;
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      version : int;
+      covered : bool;
+    }
 
 type log = {
   mutable log_enabled : bool;
@@ -204,6 +218,12 @@ let to_line = function
       Printf.sprintf "rvm_recover %d %d %d" node dropped lost
   | Bunch_verified { node; missing } ->
       Printf.sprintf "bunch_verified %d %d" node missing
+  | Read_obs { actor; node; uid; version; covered } ->
+      Printf.sprintf "read_obs %s %d %d %d %s" (actor_str actor) node uid
+        version (bool_str covered)
+  | Write_obs { actor; node; uid; version; covered } ->
+      Printf.sprintf "write_obs %s %d %d %d %s" (actor_str actor) node uid
+        version (bool_str covered)
 
 exception Parse of string
 
@@ -314,6 +334,26 @@ let of_line line =
         Ok (Rvm_recover { node = int n; dropped = int d; lost = int l })
     | [ "bunch_verified"; n; m ] ->
         Ok (Bunch_verified { node = int n; missing = int m })
+    | [ "read_obs"; a; n; u; v; c ] ->
+        Ok
+          (Read_obs
+             {
+               actor = actor a;
+               node = int n;
+               uid = int u;
+               version = int v;
+               covered = bool c;
+             })
+    | [ "write_obs"; a; n; u; v; c ] ->
+        Ok
+          (Write_obs
+             {
+               actor = actor a;
+               node = int n;
+               uid = int u;
+               version = int v;
+               covered = bool c;
+             })
     | w :: _ -> Error (Printf.sprintf "unknown or malformed event %S" w)
     | [] -> Error "empty line"
   with Parse m -> Error m

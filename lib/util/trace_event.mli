@@ -142,6 +142,24 @@ type t =
       (** the fsck-style post-restore verification ran; [missing] objects
           present on the checksummed disk image failed to make it into
           the restored store *)
+  | Read_obs of {
+      actor : actor;
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      version : int;  (** object version observed by the read *)
+      covered : bool;
+          (** the reader held a valid token (directory state was not
+              [Invalid]) — [false] only for explicit [~weak] reads *)
+    }  (** a field read at access level, for the happens-before
+           certifier's read-mapping check ([Bmx_check.Races]) *)
+  | Write_obs of {
+      actor : actor;
+      node : Ids.Node.t;
+      uid : Ids.Uid.t;
+      version : int;  (** object version {e after} the write *)
+      covered : bool;
+    }  (** a field write at access level; semantic writes only — GC and
+           protocol pointer fixups ([Heap_obj.fixup]) are not recorded *)
 
 type log
 

@@ -191,6 +191,11 @@ let test_event_roundtrip () =
       E.Crash { node = 2 };
       E.Restart { node = 2 };
       E.Rpc { src = 1; dst = 0; kind = "token_grant"; seq = 13 };
+      E.Read_obs { actor = E.App; node = 1; uid = 9; version = 3; covered = true };
+      E.Read_obs
+        { actor = E.App; node = 2; uid = 9; version = 0; covered = false };
+      E.Write_obs
+        { actor = E.Gc; node = 0; uid = 7; version = 4; covered = true };
     ]
   in
   List.iter

@@ -19,10 +19,29 @@ module Persist = Bmx.Persist
 module Protocol = Bmx_dsm.Protocol
 module Value = Bmx_memory.Value
 module Lint = Bmx_check.Lint
+module Races = Bmx_check.Races
 module E = Trace_event
 
 let check_int = Alcotest.check Alcotest.int
 let check_bool = Alcotest.check Alcotest.bool
+
+(* BMX_CERTIFY=1 additionally runs the happens-before certifier
+   (races, read mapping, GC erasure) over each soak's event trace.
+   Opt-in: the certifier replays the whole log per seed, which the
+   quick CI loop does not want to pay for every soak. *)
+let certify_soaks = Sys.getenv_opt "BMX_CERTIFY" <> None
+
+let certify_trace ~seed c =
+  let log = Cluster.evlog c in
+  let cert =
+    Races.certify
+      ~overflowed:(Trace_event.overflowed log)
+      (Trace_event.events log)
+  in
+  if not (Races.ok cert) then
+    Alcotest.failf "seed %d: certifier: %s" seed
+      (String.concat "; "
+         (List.map Races.finding_to_string cert.Races.findings))
 
 let long_mode =
   Array.exists (fun a -> a = "--long") Sys.argv
@@ -479,6 +498,7 @@ let soak_one seed =
   | [] -> ()
   | v :: _ ->
       Alcotest.failf "seed %d: linter: %s" seed (Lint.violation_to_string v));
+  if certify_soaks then certify_trace ~seed s.c;
   check_int (name "wire empty") 0 (Net.pending (Cluster.net s.c));
   check_int (name "no unacked reliable messages") 0
     (Net.unacked_count (Cluster.net s.c))

@@ -22,7 +22,7 @@ let test_value () =
 (* -------------------------------------------------------------- Heap_obj *)
 
 let test_heap_obj_basics () =
-  let o = Heap_obj.make ~uid:1 ~bunch:0 ~fields:[| Value.Data 1; Value.Ref 64 |] in
+  let o = Heap_obj.make ~uid:1 ~bunch:0 ~fields:[| Value.Data 1; Value.Ref 64 |] () in
   check_int "num_fields" 2 (Heap_obj.num_fields o);
   check_int "size includes header" (8 + 8) (Heap_obj.size_bytes o);
   check_bool "get" true (Value.equal (Heap_obj.get o 1) (Value.Ref 64));
@@ -31,7 +31,7 @@ let test_heap_obj_basics () =
   check (Alcotest.list Alcotest.int) "pointers" [ 64 ] (Heap_obj.pointers o)
 
 let test_heap_obj_clone_overwrite () =
-  let o = Heap_obj.make ~uid:1 ~bunch:0 ~fields:[| Value.Data 1 |] in
+  let o = Heap_obj.make ~uid:1 ~bunch:0 ~fields:[| Value.Data 1 |] () in
   let o2 = Heap_obj.clone o in
   Heap_obj.set o2 0 (Value.Data 2);
   check_bool "clone is independent" true
@@ -39,7 +39,7 @@ let test_heap_obj_clone_overwrite () =
   Heap_obj.overwrite o ~from:o2;
   check_bool "overwrite copies fields" true
     (Value.equal (Heap_obj.get o 0) (Value.Data 2));
-  let other = Heap_obj.make ~uid:2 ~bunch:0 ~fields:[| Value.Data 0 |] in
+  let other = Heap_obj.make ~uid:2 ~bunch:0 ~fields:[| Value.Data 0 |] () in
   Alcotest.check_raises "uid mismatch" (Invalid_argument "Heap_obj.overwrite: uid mismatch")
     (fun () -> Heap_obj.overwrite o ~from:other)
 

@@ -24,6 +24,23 @@ module Protocol = Bmx_dsm.Protocol
 module Rvm = Bmx_rvm.Rvm
 module Value = Bmx_memory.Value
 module Lint = Bmx_check.Lint
+module Races = Bmx_check.Races
+
+(* BMX_CERTIFY=1 additionally replays each checked cluster's event
+   trace through the happens-before certifier, as in test_faults. *)
+let certify_soaks = Sys.getenv_opt "BMX_CERTIFY" <> None
+
+let certify_trace ?(ctx = "") c =
+  let log = Cluster.evlog c in
+  let cert =
+    Races.certify
+      ~overflowed:(Trace_event.overflowed log)
+      (Trace_event.events log)
+  in
+  if not (Races.ok cert) then
+    Alcotest.failf "%scertifier: %s" ctx
+      (String.concat "; "
+         (List.map Races.finding_to_string cert.Races.findings))
 
 let check = Alcotest.check
 let check_int = check Alcotest.int
@@ -44,9 +61,10 @@ let assert_clean ?(ctx = "") c =
   (match Audit.check_tokens c with
   | Ok () -> ()
   | Error m -> Alcotest.failf "%stoken audit: %s" ctx m);
-  match Lint.check_all (Cluster.proto c) with
+  (match Lint.check_all (Cluster.proto c) with
   | [] -> ()
-  | v :: _ -> Alcotest.failf "%slinter: %s" ctx (Lint.violation_to_string v)
+  | v :: _ -> Alcotest.failf "%slinter: %s" ctx (Lint.violation_to_string v));
+  if certify_soaks then certify_trace ~ctx c
 
 (* ------------------------------------------------- split-brain safety *)
 
@@ -411,10 +429,11 @@ let corruption_soak_one seed =
   (match Audit.check_tokens c with
   | Ok () -> ()
   | Error m -> Alcotest.failf "seed %d: token audit: %s" seed m);
-  match Lint.check_all (Cluster.proto c) with
+  (match Lint.check_all (Cluster.proto c) with
   | [] -> ()
   | v :: _ ->
-      Alcotest.failf "seed %d: linter: %s" seed (Lint.violation_to_string v)
+      Alcotest.failf "seed %d: linter: %s" seed (Lint.violation_to_string v));
+  if certify_soaks then certify_trace ~ctx:(Printf.sprintf "seed %d: " seed) c
 
 (* BMX_SOAK_SEEDS overrides the seed count, as in test_faults (CI
    shards and bisection runs). *)
