@@ -25,6 +25,7 @@ let experiments =
     ("e19", Experiments.e19);
     ("e20", Scale.e20);
     ("e20-smoke", Scale.e20_smoke);
+    ("e20-diag", Scale.e20_diag);
     ("e23", Certifier.e23);
     ("micro", Micro.run);
   ]
@@ -44,7 +45,7 @@ let () =
       print_newline ();
       (* The scalability sweep (e20) runs minutes and rewrites
          BENCH_SCALE.json — run it explicitly, not as part of "all". *)
-      let skip = [ "micro"; "e20"; "e20-smoke" ] in
+      let skip = [ "micro"; "e20"; "e20-smoke"; "e20-diag" ] in
       List.iter
         (fun (name, f) ->
           if not (List.mem name skip) then begin

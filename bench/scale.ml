@@ -38,6 +38,7 @@ type run_result = {
   r_delta_sent : int;
   r_resyncs : int;
   r_gc_token_acquires : int;
+  r_minor_words_per_op : float;
 }
 
 let now_ns () = Monotonic_clock.now ()
@@ -49,7 +50,7 @@ let gc_wave c =
   List.iter
     (fun bunch ->
       List.iter
-        (fun node -> ignore (Cluster.bgc c ~node ~bunch))
+        (fun node -> ignore (Cluster.bgc ~economical:true c ~node ~bunch))
         (Protocol.bunch_replica_nodes (Cluster.proto c) bunch))
     (Protocol.bunches (Cluster.proto c));
   ignore (Cluster.drain c)
@@ -69,9 +70,15 @@ let run_config ~nodes ~objects_per_bunch ~ops ~waves =
   let c = Driver.cluster d in
   Cluster.set_event_trace c true;
   let chunk = max 1 (ops / waves) in
+  (* OCaml-runtime allocation attributable to the mutator loop itself
+     (collector waves excluded): the flat-heap hot path is supposed to
+     allocate O(1) words per op, and the smoke gate holds it there. *)
+  let mutator_words = ref 0.0 in
   let t0 = now_ns () in
   for _ = 1 to waves do
+    let w0 = Gc.minor_words () in
     Driver.run_ops d ~ops:chunk ();
+    mutator_words := !mutator_words +. (Gc.minor_words () -. w0);
     gc_wave c
   done;
   ignore (Cluster.collect_until_quiescent c ());
@@ -114,6 +121,9 @@ let run_config ~nodes ~objects_per_bunch ~ops ~waves =
     r_gc_token_acquires =
       Stats.get stats "dsm.gc.acquire_read"
       + Stats.get stats "dsm.gc.acquire_write";
+    r_minor_words_per_op =
+      (let total = float_of_int (chunk * waves) in
+       if total <= 0.0 then 0.0 else !mutator_words /. total);
   }
 
 let summary_json = function
@@ -148,6 +158,7 @@ let result_json r =
       ("delta_msgs", Json.Int r.r_delta_sent);
       ("resyncs", Json.Int r.r_resyncs);
       ("gc_token_acquires", Json.Int r.r_gc_token_acquires);
+      ("minor_words_per_op", Json.Float r.r_minor_words_per_op);
     ]
 
 let sweep_json ?(extra_configs = []) results =
@@ -236,6 +247,7 @@ let run_sweep ?(extra_configs = []) ~configs ~json_path () =
           "steady delta B";
           "steady full B";
           "gc tokens";
+          "alloc w/op";
         ]
   in
   let results =
@@ -256,6 +268,7 @@ let run_sweep ?(extra_configs = []) ~configs ~json_path () =
             string_of_int r.r_steady_delta_bytes;
             string_of_int r.r_steady_full_bytes;
             string_of_int r.r_gc_token_acquires;
+            Printf.sprintf "%.0f" r.r_minor_words_per_op;
           ];
         r)
       configs
@@ -271,8 +284,10 @@ let run_sweep ?(extra_configs = []) ~configs ~json_path () =
       close_out oc);
   [ t ]
 
-(* Full sweep: the largest configuration is 20× the default
-   objects-per-bunch and 2× the default node count. *)
+(* Full sweep: the largest configuration is 64× the default
+   objects-per-bunch and 4× the default node count (65536 objects) —
+   feasible only because the driver's legality memo and the collectors'
+   copy paths are no longer superlinear in the heap. *)
 let e20 () =
   run_sweep
     ~configs:
@@ -281,8 +296,63 @@ let e20 () =
         (4, 320, 3000);
         (6, 640, 4000);
         (8, 1280, 5000);
+        (16, 4096, 8000);
       ]
     ~json_path:(Some "BENCH_SCALE.json") ()
+
+(* Phase timing at one configuration, with Perfcount deltas — the
+   HACKING.md profiling recipe packaged as a command
+   (`dune exec bench/main.exe -- e20-diag [nodes objs_per_bunch]`).
+   Prints where a sweep leg's wall-clock goes: setup, mutator chunk,
+   one collector wave, one full gc_round, quiescence.  Counters name
+   the culprit when one of those is superlinear in the heap. *)
+let e20_diag_at ~nodes ~objects_per_bunch =
+  let module P = Perfcount in
+  let phase name f =
+    let before = P.snapshot () in
+    let t0 = now_ns () in
+    let r = f () in
+    let ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
+    let d = P.diff ~before ~after:(P.snapshot ()) in
+    Printf.printf
+      "%-22s %9.1f ms  gc_objs=%-9d gc_tbl=%-9d store_cells=%-9d        flat_words=%-10d reach=%-8d obs=%d
+%!"
+      name ms d.P.s_gc_objects_touched d.P.s_gc_table_entries
+      d.P.s_store_cells_touched d.P.s_flat_words_copied
+      d.P.s_reach_nodes_touched d.P.s_obs_sample_work;
+    r
+  in
+  Printf.printf "--- e20-diag: %d nodes x %d objs/bunch ---
+%!" nodes
+    objects_per_bunch;
+  let cfg =
+    {
+      Driver.default with
+      nodes;
+      bunches = nodes;
+      objects_per_bunch;
+      seed = 20;
+    }
+  in
+  let d = phase "setup" (fun () -> Driver.setup cfg) in
+  let c = Driver.cluster d in
+  Cluster.set_event_trace c true;
+  phase "mutate 2000 ops" (fun () -> Driver.run_ops d ~ops:2000 ());
+  phase "gc_wave (replicas)" (fun () -> gc_wave c);
+  phase "gc_round (all nodes)" (fun () -> ignore (Cluster.gc_round c));
+  phase "gc_round again" (fun () -> ignore (Cluster.gc_round c));
+  phase "quiescence" (fun () -> ignore (Cluster.collect_until_quiescent c ()));
+  let net = Cluster.net c in
+  Printf.printf "net: %d msgs, %d bytes, %d events
+%!"
+    (Net.total_messages net) (Net.total_bytes net)
+    (List.length (Trace_event.events (Cluster.evlog c)))
+
+let e20_diag () =
+  List.iter
+    (fun (nodes, objects_per_bunch) -> e20_diag_at ~nodes ~objects_per_bunch)
+    [ (8, 1280); (16, 4096) ];
+  []
 
 (* Miniature configuration for the @bench-smoke runtest alias, plus one
    partitioned run gating the degraded-mode invariants. *)

@@ -5,7 +5,14 @@
    more than full tables would have.  The partitioned configuration
    additionally gates the degraded mode: §5 must hold across a network
    cut, and the delta-table streams must resynchronize within a bounded
-   number of cleaner cycles after heal. *)
+   number of cleaner cycles after heal.
+
+   Two performance gates ride along, locking in the flat-heap hot path:
+   a wall-clock throughput floor (the pre-flat-heap driver managed ~155
+   ops/sec at 8x1280; even the miniature smoke configuration must clear
+   ten times that) and an OCaml-runtime allocation budget per mutator
+   op (the legality memo, handle table and op dispatch are flat arrays
+   and bitmaps; only Rng.float boxing and a few option cells remain). *)
 
 module Json = Bmx_obs.Json
 
@@ -16,6 +23,27 @@ let int_member name obj =
   | Some (Json.Int i) -> i
   | Some _ -> die "bench-smoke: %S is not an integer" name
   | None -> die "bench-smoke: missing field %S" name
+
+let float_member name obj =
+  match Json.member name obj with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | Some _ -> die "bench-smoke: %S is not a number" name
+  | None -> die "bench-smoke: missing field %S" name
+
+(* 10x the seed driver's 8x1280 wall-clock throughput. *)
+let ops_per_sec_floor = 1550.0
+
+(* Minor words allocated per mutator op, measured across the whole
+   workload batch.  An op is a token acquire + field access + release
+   through the full DSM protocol simulation (messages, trace events),
+   which legitimately allocates a few hundred words; the driver's own
+   bookkeeping — legality memo, rooted set, node/handle lookup — is flat
+   arrays and bitmaps and contributes almost nothing.  What matters is
+   that the figure is a heap-size-independent constant (the complexity
+   tests compare it across heap sizes); the budget here catches a
+   reintroduced per-op traversal, not ordinary message allocation. *)
+let minor_words_per_op_budget = 1024.0
 
 let () =
   let path = Sys.argv.(1) in
@@ -69,6 +97,18 @@ let () =
           nodes rounds
       end
       else begin
+      let ops_per_sec = float_member "ops_per_sec" cfg in
+      if ops_per_sec < ops_per_sec_floor then
+        die
+          "bench-smoke: %d-node run managed %.0f ops/sec (floor %.0f — the \
+           superlinear legality memo is back?)"
+          nodes ops_per_sec ops_per_sec_floor;
+      let words_per_op = float_member "minor_words_per_op" cfg in
+      if words_per_op > minor_words_per_op_budget then
+        die
+          "bench-smoke: %d-node run allocated %.0f minor words per op \
+           (budget %.0f — a hot path regained a per-op allocation?)"
+          nodes words_per_op minor_words_per_op_budget;
       let delta = int_member "steady_delta_bytes" cfg in
       let full = int_member "steady_full_bytes" cfg in
       if delta > full then
@@ -77,9 +117,11 @@ let () =
            full-table bytes (%d)"
           nodes delta full;
       Printf.printf
-        "bench-smoke: %d nodes ok — gc tokens 0, steady delta %dB <= full %dB \
+        "bench-smoke: %d nodes ok — gc tokens 0, %.0f ops/sec (floor %.0f), \
+         %.0f alloc words/op (budget %.0f), steady delta %dB <= full %dB \
          (%.1f%%)\n"
-        nodes delta full
+        nodes ops_per_sec ops_per_sec_floor words_per_op
+        minor_words_per_op_budget delta full
         (if full = 0 then 0.0 else 100.0 *. float_of_int delta /. float_of_int full)
       end)
     configs

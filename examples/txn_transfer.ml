@@ -26,7 +26,9 @@ let () =
         Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1000 |])
   in
   Array.iter (fun a -> Cluster.add_root c ~node:0 a) accounts;
-  let disk = Rvm.create ~copy:(fun (a, o) -> (a, Bmx_memory.Heap_obj.clone o)) () in
+  let disk =
+    Rvm.create ~copy:(fun (a, im) -> (a, Bmx_memory.Heap_obj.image_copy im)) ()
+  in
 
   let committed = ref 0 and aborted = ref 0 and conflicts = ref 0 in
   for k = 1 to n_transfers do

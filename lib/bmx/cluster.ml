@@ -181,26 +181,33 @@ let add_root t ~node addr =
   check_alive t node "add_root";
   Gc_state.add_root t.gc ~node addr
 
-let remove_root t ~node addr =
+let remove_root_checked t ~node addr =
   (* The collector rewrites stack roots through forwarders at each local
      collection (§4.4), so the caller's remembered address may be an
      older name for the same object: match by identity, exact address
      first. *)
   let roots = Gc_state.roots t.gc ~node in
-  if List.exists (Addr.equal addr) roots then Gc_state.remove_root t.gc ~node addr
+  if List.exists (Addr.equal addr) roots then begin
+    Gc_state.remove_root t.gc ~node addr;
+    true
+  end
   else
     match Protocol.uid_of_addr t.proto addr with
-    | None -> ()
+    | None -> false
     | Some uid -> (
         let same_object r = Protocol.uid_of_addr t.proto r = Some uid in
         match List.find_opt same_object roots with
-        | Some r -> Gc_state.remove_root t.gc ~node r
-        | None -> ())
+        | Some r ->
+            Gc_state.remove_root t.gc ~node r;
+            true
+        | None -> false)
+
+let remove_root t ~node addr = ignore (remove_root_checked t ~node addr)
 let roots t ~node = Gc_state.roots t.gc ~node
 
-let bgc t ~node ~bunch =
+let bgc ?economical t ~node ~bunch =
   check_alive t node "bgc";
-  Bgc.run t.gc ~node ~bunch
+  Bgc.run ?economical t.gc ~node ~bunch
 
 let ggc t ~node =
   check_alive t node "ggc";
@@ -241,7 +248,10 @@ let gc_round t =
       in
       List.iter
         (fun node ->
-          let r = Bgc.run t.gc ~node ~bunch in
+          (* Economical: clean pairs are skipped and garbage-free traces
+             do not evacuate — what makes the confirming empty rounds of
+             [collect_until_quiescent] O(1) instead of O(heap). *)
+          let r = Bgc.run ~economical:true t.gc ~node ~bunch in
           reclaimed := !reclaimed + r.Bmx_gc.Collect.r_reclaimed)
         nodes)
     (Protocol.bunches t.proto);

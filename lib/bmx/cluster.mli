@@ -165,13 +165,24 @@ val remove_root : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> unit
     collections rewrite stack roots through forwarders, so the caller's
     remembered address may be an older name for the rooted object). *)
 
+val remove_root_checked :
+  t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t -> bool
+(** Like {!remove_root}, but reports whether a root was actually found
+    and removed — callers mirroring the root set (the workload driver's
+    incremental legality memo) must not assume a silent no-op
+    succeeded. *)
+
 val roots : t -> node:Bmx_util.Ids.Node.t -> Bmx_util.Addr.t list
 
 (** {1 Garbage collection} *)
 
 val bgc :
-  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t
-  -> Bmx_gc.Collect.report
+  ?economical:bool -> t -> node:Bmx_util.Ids.Node.t
+  -> bunch:Bmx_util.Ids.Bunch.t -> Bmx_gc.Collect.report
+(** One local collection.  [?economical] (default false) enables the
+    skip-if-clean / no-evacuation-without-garbage fast path described at
+    {!Bmx_gc.Bgc.run}; [gc_round] and {!collect_until_quiescent} always
+    collect economically. *)
 
 val ggc : t -> node:Bmx_util.Ids.Node.t -> Bmx_gc.Collect.report
 

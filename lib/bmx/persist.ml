@@ -5,11 +5,11 @@ module Heap_obj = Bmx_memory.Heap_obj
 module Rvm = Bmx_rvm.Rvm
 module Directory = Bmx_dsm.Directory
 
-type disk = (Addr.t * Heap_obj.t * Ids.Node.t list * bool) Rvm.t
+type disk = (Addr.t * Heap_obj.image * Ids.Node.t list * bool) Rvm.t
 
 let create_disk () =
   Rvm.create
-    ~copy:(fun (a, o, claims, owned) -> (a, Heap_obj.clone o, claims, owned))
+    ~copy:(fun (a, im, claims, owned) -> (a, Heap_obj.image_copy im, claims, owned))
     ()
 
 (* The GC protection metadata is itself recoverable data (§8): for each
@@ -116,7 +116,7 @@ let checkpoint ?gc_roots c ~node ~bunch disk =
         | Some r -> r.Directory.is_owner
         | None -> false
       in
-      Rvm.set disk a (a, Heap_obj.clone obj, claim, owned))
+      Rvm.set disk a (a, Heap_obj.to_image obj, claim, owned))
     cells;
   Rvm.commit disk;
   List.length cells
@@ -126,8 +126,8 @@ let restore c ~node disk =
   let net = Protocol.net proto in
   let store = Protocol.store proto node in
   let dir = Protocol.directory proto node in
-  Rvm.fold disk ~init:0 ~f:(fun _key (addr, obj, claim, _owned) count ->
-      let obj = Heap_obj.clone obj in
+  Rvm.fold disk ~init:0 ~f:(fun _key (addr, im, claim, _owned) count ->
+      let obj = Heap_obj.of_image ~heap:(Store.arena store) im in
       let uid = obj.Heap_obj.uid in
       Store.install store addr obj;
       (* If the object still has a live owner elsewhere (only this node's
@@ -260,11 +260,11 @@ let verify_bunch c ~node ~bunch disk =
       missing := (addr, uid) :: !missing
     end
   in
-  Rvm.fold disk ~init:() ~f:(fun _key (addr, obj, _claims, _owned) () ->
-      if Ids.Bunch.equal obj.Heap_obj.bunch bunch then begin
+  Rvm.fold disk ~init:() ~f:(fun _key (addr, im, _claims, _owned) () ->
+      if Ids.Bunch.equal im.Heap_obj.im_bunch bunch then begin
         incr checked;
-        if Store.addr_of_uid store obj.Heap_obj.uid = None then
-          miss addr (Some obj.Heap_obj.uid)
+        if Store.addr_of_uid store im.Heap_obj.im_uid = None then
+          miss addr (Some im.Heap_obj.im_uid)
       end);
   (* Cells recovery truncated out of the image entirely no longer appear
      in the fold above, but the recovery report still names their

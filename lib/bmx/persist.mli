@@ -15,9 +15,11 @@
     reachability needs a GC in the first place (§1). *)
 
 type disk =
-  (Bmx_util.Addr.t * Bmx_memory.Heap_obj.t * Bmx_util.Ids.Node.t list * bool)
+  (Bmx_util.Addr.t * Bmx_memory.Heap_obj.image * Bmx_util.Ids.Node.t list * bool)
   Bmx_rvm.Rvm.t
-(** One recoverable cell: address, object, the remote nodes claiming the
+(** One recoverable cell: address, object snapshot (a plain-value
+    {!Bmx_memory.Heap_obj.image}, never an arena handle — the RVM
+    checksums hash the stored value), the remote nodes claiming the
     object at checkpoint time (entering-ownerPtr registrations plus the
     stub side of its scions), and whether this node owned the object.
     The GC protection metadata is itself recoverable data (§8): without

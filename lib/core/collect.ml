@@ -99,7 +99,8 @@ let trace t ~node ~in_set ~root_addrs ~root_uids =
   while not (Queue.is_empty pending) do
     let a, obj = Queue.take pending in
     ignore a;
-    List.iter
+    Perfcount.(counters.gc_objects_touched <- counters.gc_objects_touched + 1);
+    Heap_obj.iter_pointers obj
       (fun target ->
         match Store.resolve store target with
         | Some (_, tobj) ->
@@ -149,14 +150,18 @@ let trace t ~node ~in_set ~root_addrs ~root_uids =
                 if hint <> None then bump t "gc.trace.remote_intra_refs";
                 add_edge ~src_bunch:obj.Heap_obj.bunch ~src_uid:obj.Heap_obj.uid
                   ~target_uid:tuid ~hint))
-      (Heap_obj.pointers obj)
   done;
   (live, !edges)
 
 (* ------------------------------------------------------------------ *)
 (* Root computation (§4.1).                                            *)
 
-let collect_roots t ~node ~in_set ~group_mode ~include_intra_scions =
+(* Both §4.1 root sets in one pass: the full one and the one without
+   intra-bunch scions (the §6.2 exiting-ownerPtr trace).  They share
+   every component except the intra-scion contribution, so computing
+   them together halves the per-collection root work — which is the
+   dominant non-trace cost at large heaps. *)
+let collect_roots t ~node ~in_set ~group_mode =
   let proto = Gc_state.proto t in
   let store = Protocol.store proto node in
   let registry = Protocol.registry proto in
@@ -193,15 +198,15 @@ let collect_roots t ~node ~in_set ~group_mode ~include_intra_scions =
           if not internal then add_uid s.Ssp.xs_target_uid)
         (Gc_state.inter_scions t ~node ~bunch:b))
     bunches;
-  (* Intra-bunch scions (skipped for the second, exiting-ownerPtr pass of
-     §6.2). *)
-  if include_intra_scions then
-    List.iter
-      (fun b ->
-        List.iter
-          (fun (s : Ssp.intra_scion) -> add_uid s.Ssp.xn_uid)
-          (Gc_state.intra_scions t ~node ~bunch:b))
-      bunches;
+  (* Intra-bunch scions — excluded from the second, exiting-ownerPtr
+     root set of §6.2. *)
+  let uids_no_intra = !root_uids in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (s : Ssp.intra_scion) -> add_uid s.Ssp.xn_uid)
+        (Gc_state.intra_scions t ~node ~bunch:b))
+    bunches;
   (* Entering ownerPtrs: remote replicas still reference these locally
      owned objects. *)
   List.iter
@@ -213,12 +218,26 @@ let collect_roots t ~node ~in_set ~group_mode ~include_intra_scions =
           | Some _ | None -> ())
       | None -> ())
     (Directory.entering_uids dir);
-  (!root_addrs, Ids.Uid_set.elements !root_uids)
+  (* Entering ownerPtrs contribute addresses only, so [uids_no_intra] —
+     snapshotted before the intra-scion block — is the complete §6.2
+     uid root set. *)
+  (!root_addrs, Ids.Uid_set.elements !root_uids, Ids.Uid_set.elements uids_no_intra)
 
 (* ------------------------------------------------------------------ *)
 (* The collection itself.                                              *)
 
-let run t ~node ~bunches ~group_mode ?(copy = true) () =
+let phase_timing = Sys.getenv_opt "BMX_GC_PHASE_TIMING" <> None
+
+let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
+  let pt_last = ref (Sys.time ()) in
+  let pt name =
+    if phase_timing then begin
+      let now = Sys.time () in
+      Printf.eprintf "  [gc-phase] %-18s %8.2f ms\n%!" name
+        ((now -. !pt_last) *. 1e3);
+      pt_last := now
+    end
+  in
   let proto = Gc_state.proto t in
   let store = Protocol.store proto node in
   let dir = Protocol.directory proto node in
@@ -230,12 +249,42 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
     Trace_event.record evlog
       (Trace_event.Gc_begin { node; group = group_mode; bunches });
 
+  (* Roots and the full trace. *)
+  let root_addrs, root_uids, root_uids_no_intra =
+    collect_roots t ~node ~in_set ~group_mode
+  in
+  pt "roots";
+  let live, edges = trace t ~node ~in_set ~root_addrs ~root_uids in
+  pt "trace";
+
+  (* Second trace without the intra-bunch scions: objects reachable only
+     through an intra-bunch scion must not contribute exiting ownerPtrs,
+     or the cross-replica cycle of §6.2 would never be reclaimed. *)
+  let live_no_intra, _ =
+    trace t ~node ~in_set ~root_addrs ~root_uids:root_uids_no_intra
+  in
+  pt "trace2";
+
+  (* Economical mode: evacuation exists to reclaim the from-space, so
+     when the trace proves there is nothing to reclaim — every local
+     cell of the collected bunches is live — relocating the survivors
+     would only manufacture forwarders and location-update traffic that
+     keeps the whole cluster's dirtiness epochs churning.  Skip the flip
+     and leave the spaces alone; the moment garbage appears the next
+     collection evacuates as usual. *)
+  let local_cells =
+    List.fold_left (fun acc b -> acc + Store.bunch_object_count store b) 0 bunches
+  in
+  let do_copy =
+    copy && ((not economical) || local_cells > Ids.Uid_tbl.length live)
+  in
+
   (* Flip: allocation spaces of the collected bunches become from-space.
      The to-space segments are created lazily at the first copy; their
      addresses come fresh from the registry, so concurrent BGCs on other
      replicas can never collide (§4.2).  A non-copying (mark-and-sweep)
      collection leaves the spaces alone. *)
-  if copy then
+  if do_copy then
     List.iter
       (fun b ->
         List.iter
@@ -245,20 +294,6 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
             | Segment.From_space | Segment.Free -> ())
           (Store.segments_of_bunch store b))
       bunches;
-
-  (* Roots and the full trace. *)
-  let root_addrs, root_uids =
-    collect_roots t ~node ~in_set ~group_mode ~include_intra_scions:true
-  in
-  let live, edges = trace t ~node ~in_set ~root_addrs ~root_uids in
-
-  (* Second trace without the intra-bunch scions: objects reachable only
-     through an intra-bunch scion must not contribute exiting ownerPtrs,
-     or the cross-replica cycle of §6.2 would never be reclaimed. *)
-  let root_addrs2, root_uids2 =
-    collect_roots t ~node ~in_set ~group_mode ~include_intra_scions:false
-  in
-  let live_no_intra, _ = trace t ~node ~in_set ~root_addrs:root_addrs2 ~root_uids:root_uids2 in
 
   (* Copy phase: evacuate locally-owned live objects; merely note the
      others.  The iteration order is by uid for determinism. *)
@@ -300,24 +335,18 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
         | Some seg -> seg.Segment.role = Segment.From_space
         | None -> false
       in
-      if copy && owned && in_from_space then begin
+      if do_copy && owned && in_from_space then begin
         let bunch = obj.Heap_obj.bunch in
         let seg = to_space bunch in
         let new_addr =
-          match
-            Store.alloc_into ~version:obj.Heap_obj.version store ~seg ~uid
-              ~fields:(Array.copy obj.Heap_obj.fields)
-          with
+          match Store.alloc_clone store ~seg ~of_:obj with
           | Some a -> a
           | None ->
               (* To-space overflow: grow the bunch with another segment. *)
               let seg' = Store.fresh_segment store ~bunch () in
               Segment.set_role seg' Segment.To_space;
               Ids.Bunch_tbl.replace to_spaces bunch seg';
-              (match
-                 Store.alloc_into ~version:obj.Heap_obj.version store
-                   ~seg:seg' ~uid ~fields:(Array.copy obj.Heap_obj.fields)
-               with
+              (match Store.alloc_clone store ~seg:seg' ~of_:obj with
               | Some a -> a
               | None -> failwith "Collect: object larger than a segment")
         in
@@ -332,6 +361,7 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
         if not owned then bump t "gc.objects_scanned_in_place"
       end)
     live_arr;
+  pt "copy";
 
   (* Reference updating (§4.4): rewrite pointer fields of every live local
      copy through the local forwarder chains — strictly local, no token. *)
@@ -343,20 +373,17 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
       match Store.resolve store addr with
       | None -> ()
       | Some (a, obj) ->
-          Array.iteri
-            (fun i v ->
-              match v with
-              | Value.Ref p when not (Addr.is_null p) ->
-                  let p' = Store.current_addr store p in
-                  if not (Addr.equal p p') then begin
-                    Heap_obj.fixup obj i (Value.Ref p');
-                    Store.note_field_write store ~obj_addr:a ~index:i (Value.Ref p');
-                    incr ref_updates;
-                    bump t "gc.ref_updates"
-                  end
-              | Value.Ref _ | Value.Data _ -> ())
-            obj.Heap_obj.fields)
+          Perfcount.(counters.gc_objects_touched <- counters.gc_objects_touched + 1);
+          Heap_obj.iteri_pointers obj (fun i p ->
+              let p' = Store.current_addr store p in
+              if not (Addr.equal p p') then begin
+                Heap_obj.fixup obj i (Value.Ref p');
+                Store.note_field_write store ~obj_addr:a ~index:i (Value.Ref p');
+                incr ref_updates;
+                bump t "gc.ref_updates"
+              end))
     live;
+  pt "ref_update";
 
   (* Reclamation: local replicas of the collected bunches that the trace
      did not reach are garbage here. *)
@@ -374,6 +401,7 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
           end)
         (Store.objects_of_bunch store b))
     bunches;
+  pt "reclaim";
 
   (* Scion roots for objects with no local copy (the reference was
      created here without the target ever being cached): they cannot be
@@ -498,6 +526,7 @@ let run t ~node ~bunches ~group_mode ?(copy = true) () =
       exiting_total := !exiting_total + List.length exiting;
       tables_sent := !tables_sent + sent)
     bunches;
+  pt "stub_tables+bcast";
 
   (* The to-space becomes the new allocation space. *)
   Ids.Bunch_tbl.iter

@@ -41,6 +41,7 @@ type report = {
 val pp_report : Format.formatter -> report -> unit
 
 val run :
+  ?economical:bool ->
   Gc_state.t ->
   node:Bmx_util.Ids.Node.t ->
   bunches:Bmx_util.Ids.Bunch.t list ->

@@ -119,11 +119,13 @@ let t_key_decr tb k =
   | Some c -> Hashtbl.replace tb.key_count k (c - 1)
 
 let t_add tb item =
-  if not (Hashtbl.mem tb.members item) then begin
+  if Hashtbl.mem tb.members item then false
+  else begin
     tb.view <- item :: tb.view;
     Hashtbl.replace tb.members item ();
     t_index_add tb item;
-    t_key_incr tb (tb.key_of item)
+    t_key_incr tb (tb.key_of item);
+    true
   end
 
 let t_remove_pred tb pred =
@@ -214,6 +216,11 @@ type mirror = {
 (* ------------------------------------------------------------------ *)
 
 type node_state = {
+  mutable gc_version : int;
+      (* per-node component of the BGC dirtiness epoch: bumped on root
+         and scion changes (the collection's inputs), not on the
+         bookkeeping a collection writes about itself *)
+  last_bgc : int Ids.Bunch_tbl.t; (* composite epoch after last BGC *)
   mutable roots : Addr.t list;
   inter_stubs : (Ssp.inter_stub, Ssp.inter_key) table Ids.Bunch_tbl.t;
       (* by source bunch *)
@@ -279,6 +286,8 @@ let node_state t node =
   | None ->
       let ns =
         {
+          gc_version = 0;
+          last_bgc = Ids.Bunch_tbl.create 8;
           roots = [];
           inter_stubs = Ids.Bunch_tbl.create 8;
           intra_stubs = Ids.Bunch_tbl.create 8;
@@ -307,21 +316,39 @@ let crash_node t ~node =
 
 let add_root t ~node a =
   let ns = node_state t node in
+  ns.gc_version <- ns.gc_version + 1;
   ns.roots <- a :: ns.roots
 
 let remove_root t ~node a =
   let ns = node_state t node in
+  let found = ref false in
   let rec drop_one = function
     | [] -> []
-    | x :: rest -> if Addr.equal x a then rest else x :: drop_one rest
+    | x :: rest ->
+        if Addr.equal x a then begin
+          found := true;
+          rest
+        end
+        else x :: drop_one rest
   in
-  ns.roots <- drop_one ns.roots
+  let roots' = drop_one ns.roots in
+  if !found then begin
+    ns.gc_version <- ns.gc_version + 1;
+    ns.roots <- roots'
+  end
 
 let roots t ~node = (node_state t node).roots
 
 let set_roots t ~node roots =
   let ns = node_state t node in
-  ns.roots <- roots
+  if
+    not
+      (List.length roots = List.length ns.roots
+      && List.for_all2 Addr.equal roots ns.roots)
+  then begin
+    ns.gc_version <- ns.gc_version + 1;
+    ns.roots <- roots
+  end
 
 let find_table make tbl bunch =
   match Ids.Bunch_tbl.find_opt tbl bunch with
@@ -338,15 +365,14 @@ let inter_stubs t ~node ~bunch = tbl_view (node_state t node).inter_stubs bunch
 let intra_stubs t ~node ~bunch = tbl_view (node_state t node).intra_stubs bunch
 
 let add_inter_stub t ~node (s : Ssp.inter_stub) =
-  t_add
-    (find_table make_inter_stub_table (node_state t node).inter_stubs
-       s.Ssp.is_src_bunch)
-    s
+  let ns = node_state t node in
+  if t_add (find_table make_inter_stub_table ns.inter_stubs s.Ssp.is_src_bunch) s
+  then ns.gc_version <- ns.gc_version + 1
 
 let add_intra_stub t ~node (s : Ssp.intra_stub) =
-  t_add
-    (find_table make_intra_stub_table (node_state t node).intra_stubs s.Ssp.ns_bunch)
-    s
+  let ns = node_state t node in
+  if t_add (find_table make_intra_stub_table ns.intra_stubs s.Ssp.ns_bunch) s
+  then ns.gc_version <- ns.gc_version + 1
 
 let replace_stub_tables t ~node ~bunch ~inter ~intra =
   let ns = node_state t node in
@@ -357,16 +383,18 @@ let inter_scions t ~node ~bunch = tbl_view (node_state t node).inter_scions bunc
 let intra_scions t ~node ~bunch = tbl_view (node_state t node).intra_scions bunch
 
 let add_inter_scion t ~node (s : Ssp.inter_scion) =
-  t_add
-    (find_table make_inter_scion_table (node_state t node).inter_scions
-       s.Ssp.xs_target_bunch)
-    s
+  let ns = node_state t node in
+  if
+    t_add
+      (find_table make_inter_scion_table ns.inter_scions s.Ssp.xs_target_bunch)
+      s
+  then ns.gc_version <- ns.gc_version + 1
 
 let add_intra_scion t ~node (s : Ssp.intra_scion) =
-  t_add
-    (find_table make_intra_scion_table (node_state t node).intra_scions
-       s.Ssp.xn_bunch)
-    s
+  let ns = node_state t node in
+  if
+    t_add (find_table make_intra_scion_table ns.intra_scions s.Ssp.xn_bunch) s
+  then ns.gc_version <- ns.gc_version + 1
 
 let remove_in_table tbl bunch pred =
   match Ids.Bunch_tbl.find_opt tbl bunch with
@@ -374,10 +402,43 @@ let remove_in_table tbl bunch pred =
   | Some tb -> t_remove_pred tb pred
 
 let remove_inter_scions t ~node ~bunch pred =
-  remove_in_table (node_state t node).inter_scions bunch pred
+  let ns = node_state t node in
+  let n = remove_in_table ns.inter_scions bunch pred in
+  if n > 0 then ns.gc_version <- ns.gc_version + 1;
+  n
 
 let remove_intra_scions t ~node ~bunch pred =
-  remove_in_table (node_state t node).intra_scions bunch pred
+  let ns = node_state t node in
+  let n = remove_in_table ns.intra_scions bunch pred in
+  if n > 0 then ns.gc_version <- ns.gc_version + 1;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* BGC dirtiness epoch (economical collection).
+
+   The composite epoch folds every input a local collection reads: the
+   store (objects, forwarders, field writes), the directory (records,
+   ownership, entering entries) and the per-node GC state (roots,
+   scions).  A (node, bunch) pair whose epoch is unchanged since the end
+   of its previous collection would recompute exactly the same live set
+   and tables — the collection is skipped outright.  Crash/restart wipes
+   the per-node state, so a recovering node always collects for real. *)
+
+let dirty_epoch t ~node =
+  let ns = node_state t node in
+  ns.gc_version
+  + Bmx_memory.Store.mut_version (Bmx_dsm.Protocol.store t.proto node)
+  + Bmx_dsm.Directory.mut_version (Bmx_dsm.Protocol.directory t.proto node)
+
+let bgc_clean t ~node ~bunch =
+  let ns = node_state t node in
+  match Ids.Bunch_tbl.find_opt ns.last_bgc bunch with
+  | Some e -> e = dirty_epoch t ~node
+  | None -> false
+
+let note_bgc_epoch t ~node ~bunch =
+  let ns = node_state t node in
+  Ids.Bunch_tbl.replace ns.last_bgc bunch (dirty_epoch t ~node)
 
 let has_inter_scions_from t ~node ~bunch ~src =
   match Ids.Bunch_tbl.find_opt (node_state t node).inter_scions bunch with
@@ -633,11 +694,24 @@ let sample_ssp_gauges t ~node =
   | Some m ->
       let ns = node_state t node in
       let set name v = Bmx_obs.Metrics.set_gauge m ~node name v in
+      (* [tbl_total] folds over per-bunch tables — O(bunches), never
+         O(entries), and bunches don't grow with the heap. *)
+      Bmx_util.Perfcount.counters.Bmx_util.Perfcount.obs_sample_work <-
+        Bmx_util.Perfcount.counters.Bmx_util.Perfcount.obs_sample_work
+        + Ids.Bunch_tbl.length ns.inter_stubs
+        + Ids.Bunch_tbl.length ns.intra_stubs
+        + Ids.Bunch_tbl.length ns.inter_scions
+        + Ids.Bunch_tbl.length ns.intra_scions;
       set "gc.stubs.inter" (tbl_total ns.inter_stubs);
       set "gc.stubs.intra" (tbl_total ns.intra_stubs);
       set "gc.scion_table.inter" (tbl_total ns.inter_scions);
       set "gc.scion_table.intra" (tbl_total ns.intra_scions)
 
+(* Sampled at every GC / cleaner completion: must stay O(1) in the heap.
+   The store maintains object, byte and segment counters on
+   install/remove, so no iteration happens here — the complexity tests
+   assert via [Perfcount.obs_sample_work] that sampling cost does not
+   scale with the object population. *)
 let sample_node_gauges t ~node =
   match t.obs with
   | None -> ()
@@ -645,11 +719,11 @@ let sample_node_gauges t ~node =
       let store = Bmx_dsm.Protocol.store t.proto node in
       let module Store = Bmx_memory.Store in
       let set name v = Bmx_obs.Metrics.set_gauge m ~node name v in
+      Bmx_util.Perfcount.counters.Bmx_util.Perfcount.obs_sample_work <-
+        Bmx_util.Perfcount.counters.Bmx_util.Perfcount.obs_sample_work + 3;
       set "gc.heap.objects" (Store.object_count store);
-      set "gc.heap.segments"
-        (List.fold_left
-           (fun acc b -> acc + List.length (Store.segments_of_bunch store b))
-           0 (Store.mapped_bunches store));
+      set "gc.heap.bytes" (Store.objects_bytes store);
+      set "gc.heap.segments" (Store.segment_count store);
       sample_ssp_gauges t ~node
 
 let pp_node t ppf node =

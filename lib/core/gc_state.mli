@@ -18,14 +18,33 @@ val set_metrics : t -> Bmx_obs.Metrics.t -> unit
 
 val metrics : t -> Bmx_obs.Metrics.t option
 
-val sample_node_gauges : t -> node:Bmx_util.Ids.Node.t -> unit
-(** Refresh the per-node occupancy gauges after a collection:
+val sample_node_gauges : t -> node:Bmx_util.Ids.Node.t -> unit(** Refresh the per-node occupancy gauges after a collection:
     [gc.heap.objects], [gc.heap.segments], [gc.stubs.inter/intra] and
     [gc.scion_table.inter/intra].  No-op without {!set_metrics}. *)
 
 val sample_ssp_gauges : t -> node:Bmx_util.Ids.Node.t -> unit
 (** Refresh just the stub/scion-table gauges (the cleaner calls this
     after pruning tables outside any collection). *)
+
+val dirty_epoch : t -> node:Bmx_util.Ids.Node.t -> int
+(** Composite mutation epoch of everything a local collection at [node]
+    reads: store content, directory records/ownership/entering entries,
+    GC roots and scion tables.  Monotone within a node's lifetime;
+    deliberately NOT advanced by the bookkeeping a collection writes
+    about itself (stub tables, exiting journals, broadcast bases), so a
+    collection leaves the epoch where its own copies/reclaims put it. *)
+
+val bgc_clean : t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> bool
+(** Whether the epoch is unchanged since the end of the last recorded
+    collection of [bunch] at [node] — in which case collecting again
+    would recompute the identical live set, reclaim nothing, and
+    rebroadcast identical tables. *)
+
+val note_bgc_epoch :
+  t -> node:Bmx_util.Ids.Node.t -> bunch:Bmx_util.Ids.Bunch.t -> unit
+(** Record the current epoch as the post-collection state of
+    [bunch]@[node]; pairs with {!bgc_clean}. *)
+
 
 val node_state : t -> Bmx_util.Ids.Node.t -> node_state
 (** Created lazily per node. *)

@@ -50,8 +50,8 @@ let owner_evacuate t ~owner ~uid ~range =
             let bunch = obj.Heap_obj.bunch in
             let new_addr =
               alloc_outside t ~node:owner ~bunch ~uid
-                ~version:obj.Heap_obj.version
-                ~fields:(Array.copy obj.Heap_obj.fields) ~range
+                ~version:(Heap_obj.version obj)
+                ~fields:(Heap_obj.fields_copy obj) ~range
             in
             Store.set_forwarder store ~at:a ~target:new_addr;
             Protocol.register_copy_location proto ~uid ~addr:new_addr;
@@ -70,17 +70,12 @@ let fix_local_pointers t ~node =
       match cell with
       | Store.Forwarder _ -> ()
       | Store.Object obj ->
-          Array.iteri
-            (fun i v ->
-              match v with
-              | Value.Ref p when not (Addr.is_null p) ->
-                  let p' = Store.current_addr store p in
-                  if not (Addr.equal p p') then begin
-                    Heap_obj.fixup obj i (Value.Ref p');
-                    Store.note_field_write store ~obj_addr ~index:i (Value.Ref p')
-                  end
-              | Value.Ref _ | Value.Data _ -> ())
-            obj.Heap_obj.fields)
+          Heap_obj.iteri_pointers obj (fun i p ->
+              let p' = Store.current_addr store p in
+              if not (Addr.equal p p') then begin
+                Heap_obj.fixup obj i (Value.Ref p');
+                Store.note_field_write store ~obj_addr ~index:i (Value.Ref p')
+              end))
 
 let run t ~node ~bunch =
   let proto = Gc_state.proto t in
@@ -141,8 +136,8 @@ let run t ~node ~bunch =
         let evacuate_locally uid (obj : Heap_obj.t) addr =
           let new_addr =
             alloc_outside t ~node ~bunch ~uid
-              ~version:obj.Heap_obj.version
-              ~fields:(Array.copy obj.Heap_obj.fields) ~range
+              ~version:(Heap_obj.version obj)
+              ~fields:(Heap_obj.fields_copy obj) ~range
           in
           Store.set_forwarder store ~at:addr ~target:new_addr;
           Protocol.register_copy_location proto ~uid ~addr:new_addr

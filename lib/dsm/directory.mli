@@ -36,6 +36,18 @@ type t
 val create : node:Bmx_util.Ids.Node.t -> t
 val node : t -> Bmx_util.Ids.Node.t
 
+val mut_version : t -> int
+(** Mutation epoch: advances on any change that can alter what a local
+    collection computes (records appearing/disappearing, ownership
+    moves, entering membership).  Token-state churn does not advance
+    it.  The economical BGC compares this against the value seen after
+    its previous run to decide whether collecting again can possibly
+    find new garbage. *)
+
+val touch : t -> unit
+(** Advance {!mut_version}.  The protocol calls this when it rewrites
+    [is_owner]/[prob_owner] on a record in place. *)
+
 val find : t -> Bmx_util.Ids.Uid.t -> record option
 
 val ensure :
@@ -68,6 +80,17 @@ val entering : t -> Bmx_util.Ids.Uid.t -> Bmx_util.Ids.Node_set.t
 
 val entering_uids : t -> Bmx_util.Ids.Uid.t list
 (** Objects with at least one entering ownerPtr (local GC roots). *)
+
+val is_entering_from :
+  t -> uid:Bmx_util.Ids.Uid.t -> from:Bmx_util.Ids.Node.t -> bool
+(** O(1): does [from] hold an entering entry for [uid]? *)
+
+val entering_uids_from :
+  t -> from:Bmx_util.Ids.Node.t -> Bmx_util.Ids.Uid.t list
+(** Objects with an entering entry originating at [from], sorted.  The
+    scion cleaner reconciles exactly one sender per table message; this
+    keeps that walk proportional to the sender's entries, not the
+    node's whole entering set. *)
 
 val iter : t -> (record -> unit) -> unit
 val records : t -> record list

@@ -337,18 +337,13 @@ let compute_updates t ~granter:g ~requested addr gobj =
    pointers are retargeted to to-space directly). *)
 let fix_fields_through_forwarders t node obj_addr (obj : Heap_obj.t) =
   let s = store t node in
-  Array.iteri
-    (fun i v ->
-      match v with
-      | Value.Ref a when not (Addr.is_null a) ->
-          let a' = Store.current_addr s a in
-          if not (Addr.equal a a') then begin
-            Heap_obj.fixup obj i (Value.Ref a');
-            Store.note_field_write s ~obj_addr ~index:i (Value.Ref a');
-            bump t "dsm.ref_fixes"
-          end
-      | Value.Ref _ | Value.Data _ -> ())
-    obj.Heap_obj.fields
+  Heap_obj.iteri_pointers obj (fun i a ->
+      let a' = Store.current_addr s a in
+      if not (Addr.equal a a') then begin
+        Heap_obj.fixup obj i (Value.Ref a');
+        Store.note_field_write s ~obj_addr ~index:i (Value.Ref a');
+        bump t "dsm.ref_fixes"
+      end)
 
 let rec apply_location_updates t ~node updates =
   let s = store t node in
@@ -619,10 +614,12 @@ let acquire t ?(actor = App) ~node:n addr kind =
         ignore (install_granted t ~node:n ~gaddr gobj);
         r_n.Directory.state <- Directory.Read;
         r_n.Directory.held <- true;
-        if not r_n.Directory.is_owner then
+        if not r_n.Directory.is_owner then begin
           r_n.Directory.prob_owner <-
             (if g_rec.Directory.is_owner then granter
              else g_rec.Directory.prob_owner);
+          Directory.touch d_n
+        end;
         (* Invariant 1 completes before the acquire returns. *)
         apply_location_updates t ~node:n updates;
         ev_done ();
@@ -636,6 +633,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
               "Protocol.acquire: read-copy holder unreachable (partition)";
           let r = Directory.ensure d_n ~uid ~prob_owner:n in
           r.Directory.is_owner <- true;
+          Directory.touch d_n;
           note_owner t ~uid ~node:n;
           invalidate_subtree t ~actor ~skip:n owner uid;
           r.Directory.state <- Directory.Write;
@@ -705,10 +703,12 @@ let acquire t ?(actor = App) ~node:n addr kind =
           o_rec.Directory.is_owner <- false;
           o_rec.Directory.prob_owner <- n;
           o_rec.Directory.copyset <- Ids.Node_set.empty;
+          Directory.touch (directory t owner);
           let r_n = Directory.ensure d_n ~uid ~prob_owner:n in
           ignore (install_granted t ~node:n ~gaddr gobj);
           r_n.Directory.state <- Directory.Write;
           r_n.Directory.is_owner <- true;
+          Directory.touch d_n;
           note_owner t ~uid ~node:n;
           r_n.Directory.held <- true;
           r_n.Directory.prob_owner <- n;
@@ -723,7 +723,8 @@ let acquire t ?(actor = App) ~node:n addr kind =
               if not (Ids.Node.equal v n) then begin
                 (match Directory.find (directory t v) uid with
                 | Some rv when not rv.Directory.is_owner ->
-                    rv.Directory.prob_owner <- n
+                    rv.Directory.prob_owner <- n;
+                    Directory.touch (directory t v)
                 | Some _ | None -> ());
                 if Store.addr_of_uid (store t v) uid <> None then
                   Directory.add_entering d_n
@@ -818,7 +819,7 @@ let read_field t ?(weak = false) ~node addr index =
          actor = Trace_event.App;
          node;
          uid = obj.Heap_obj.uid;
-         version = obj.Heap_obj.version;
+         version = Heap_obj.version obj;
          covered;
        });
   v
@@ -835,7 +836,7 @@ let write_field_raw t ~node addr index v =
          actor = Trace_event.App;
          node;
          uid = obj.Heap_obj.uid;
-         version = obj.Heap_obj.version;
+         version = Heap_obj.version obj;
          covered = true;
        });
   Store.note_field_write (store t node) ~obj_addr:a ~index v
@@ -913,14 +914,16 @@ let adopt_ownership t ~node ~uid =
         match Directory.find (directory t o) uid with
         | Some r ->
             r.Directory.is_owner <- false;
-            r.Directory.prob_owner <- node
+            r.Directory.prob_owner <- node;
+            Directory.touch (directory t o)
         | None -> ()
       end
   | Some _ | None -> ());
   let r = Directory.ensure (directory t node) ~uid ~prob_owner:node in
   r.Directory.is_owner <- true;
-  note_owner t ~uid ~node;
   r.Directory.prob_owner <- node;
+  Directory.touch (directory t node);
+  note_owner t ~uid ~node;
   (* Adopt with a READ state: other replicas may legitimately hold read
      tokens, and an owner may be in the downgraded-read state (§2.2).
      The adopted copy is the best surviving version of the data. *)

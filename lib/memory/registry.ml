@@ -2,27 +2,49 @@ open Bmx_util
 
 type entry = { range : Addr.Range.t; bunch : Ids.Bunch.t; origin : Ids.Node.t }
 
+module Addr_map = Map.Make (struct
+  type t = Addr.t
+
+  let compare = Addr.compare
+end)
+
 type t = {
   mutable next : Addr.t;
   mutable entries : entry list; (* newest first *)
+  mutable by_lo : entry Addr_map.t;
+      (* keyed by range.lo — ranges are carved sequentially and never
+         overlap, so the entry containing an address (if any) is the one
+         with the greatest lo <= address.  [find] is a floor lookup,
+         O(log segments); the old list scan was O(segments) and sat
+         under every root scan, trace step and field-write map note,
+         which made whole-cluster collections superlinear in heap size
+         as evacuations appended segments round after round. *)
   by_bunch : entry list ref Ids.Bunch_tbl.t;
 }
 
 let create ?(first_addr = Addr.page_size) () =
-  { next = Addr.align_up first_addr; entries = []; by_bunch = Ids.Bunch_tbl.create 16 }
+  {
+    next = Addr.align_up first_addr;
+    entries = [];
+    by_lo = Addr_map.empty;
+    by_bunch = Ids.Bunch_tbl.create 16;
+  }
 
 let alloc_range t ~bunch ~origin ?(bytes = Segment.default_bytes) () =
   let range = Addr.Range.make ~lo:t.next ~size:(Addr.align_up bytes) in
   t.next <- range.Addr.Range.hi;
   let e = { range; bunch; origin } in
   t.entries <- e :: t.entries;
+  t.by_lo <- Addr_map.add range.Addr.Range.lo e t.by_lo;
   (match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
   | Some r -> r := e :: !r
   | None -> Ids.Bunch_tbl.add t.by_bunch bunch (ref [ e ]));
   range
 
 let find t a =
-  List.find_opt (fun e -> Addr.Range.contains e.range a) t.entries
+  match Addr_map.find_last_opt (fun lo -> Addr.compare lo a <= 0) t.by_lo with
+  | Some (_, e) when Addr.Range.contains e.range a -> Some e
+  | Some _ | None -> None
 
 let bunch_of_addr t a = Option.map (fun e -> e.bunch) (find t a)
 

@@ -5,6 +5,7 @@ type cell = Object of Heap_obj.t | Forwarder of Addr.t
 type t = {
   node : Ids.Node.t;
   registry : Registry.t;
+  arena : Flatheap.t; (* flat backing store for objects this store allocates *)
   cells : (Addr.t, cell) Hashtbl.t;
   segments : (Addr.t, Segment.t) Hashtbl.t; (* keyed by range.lo *)
   seg_order : Addr.t list ref Ids.Bunch_tbl.t; (* range.lo per bunch, oldest first *)
@@ -14,12 +15,25 @@ type t = {
   by_bunch : (Addr.t, Heap_obj.t) Hashtbl.t Ids.Bunch_tbl.t;
       (* live Object cells per bunch — kept in sync by install/remove so
          per-bunch scans don't walk the whole cell table *)
+  slot_rc : (int, int) Hashtbl.t;
+      (* arena slot -> number of cells holding it.  During an object move
+         the same slot transiently sits at two addresses (installed at the
+         new one before the old becomes a forwarder): the slot is freed
+         back to its arena only when the last cell lets go. *)
+  mutable objects : int; (* Object cells — O(1) [object_count] *)
+  mutable objects_bytes : int; (* their total [size_bytes] — O(1) gauges *)
+  mutable version : int;
+      (* bumped on every semantic mutation (install/remove/forward/field
+         write) — NOT on reads or path compression.  The economical BGC
+         skips a collection whose node state shows the same composite
+         version as its previous run. *)
 }
 
 let create ~registry ~node =
   {
     node;
     registry;
+    arena = Flatheap.create ~initial_words:4096 ();
     cells = Hashtbl.create 256;
     segments = Hashtbl.create 16;
     seg_order = Ids.Bunch_tbl.create 8;
@@ -27,7 +41,35 @@ let create ~registry ~node =
     uid_index = Ids.Uid_tbl.create 256;
     known_addrs = Ids.Uid_tbl.create 256;
     by_bunch = Ids.Bunch_tbl.create 8;
+    slot_rc = Hashtbl.create 256;
+    objects = 0;
+    objects_bytes = 0;
+    version = 0;
   }
+
+let mut_version t = t.version
+let touch t = t.version <- t.version + 1
+
+let arena t = t.arena
+
+(* Arena ids and slot bases are both small; 20 bits of id over 44 bits of
+   base keys a slot across arenas without allocating a tuple. *)
+let slot_key (o : Heap_obj.t) = (Flatheap.id o.Heap_obj.heap lsl 44) lor o.Heap_obj.base
+
+let rc_incr t o =
+  let k = slot_key o in
+  match Hashtbl.find_opt t.slot_rc k with
+  | Some n -> Hashtbl.replace t.slot_rc k (n + 1)
+  | None -> Hashtbl.add t.slot_rc k 1
+
+let rc_decr t o =
+  let k = slot_key o in
+  match Hashtbl.find_opt t.slot_rc k with
+  | Some n when n > 1 -> Hashtbl.replace t.slot_rc k (n - 1)
+  | Some _ ->
+      Hashtbl.remove t.slot_rc k;
+      Heap_obj.free o
+  | None -> () (* installed before this store tracked slots; leak, don't raise *)
 
 let bunch_cells t bunch =
   match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
@@ -37,11 +79,17 @@ let bunch_cells t bunch =
       Ids.Bunch_tbl.add t.by_bunch bunch h;
       h
 
-(* Drop address [a] from the bunch index if it currently holds an object
-   there — called before any cell at [a] is overwritten or removed. *)
+(* Let go of the cell currently at [a] (about to be overwritten, removed
+   or turned into a forwarder): drop it from the bunch index, keep the
+   O(1) object/byte counters honest, and release the arena slot if this
+   was its last cell. *)
 let unindex_cell t a =
   match Hashtbl.find_opt t.cells a with
-  | Some (Object obj) -> Hashtbl.remove (bunch_cells t obj.Heap_obj.bunch) a
+  | Some (Object obj) ->
+      Hashtbl.remove (bunch_cells t obj.Heap_obj.bunch) a;
+      t.objects <- t.objects - 1;
+      t.objects_bytes <- t.objects_bytes - Heap_obj.size_bytes obj;
+      rc_decr t obj
   | Some (Forwarder _) | None -> ()
 
 let node t = t.node
@@ -101,15 +149,23 @@ let note_maps t a (obj : Heap_obj.t) =
   | None -> ()
   | Some seg ->
       Bitmap.set seg.Segment.object_map a;
-      Array.iteri
-        (fun i v ->
-          let field_addr = Addr.add a (Heap_obj.header_bytes + (i * Addr.word)) in
-          if Segment.contains seg field_addr then
-            Segment.note_pointer seg field_addr ~is_pointer:(Value.is_pointer v))
-        obj.Heap_obj.fields
+      let n = Heap_obj.num_fields obj in
+      for i = 0 to n - 1 do
+        let field_addr = Addr.add a (Heap_obj.header_bytes + (i * Addr.word)) in
+        if Segment.contains seg field_addr then
+          Segment.note_pointer seg field_addr
+            ~is_pointer:(Value.raw_is_pointer (Heap_obj.get_raw obj i))
+      done
 
 let install t a obj =
+  (* Claim the new slot before letting go of the old cell: when [a] is
+     re-installed with the handle it already holds, decr-then-incr would
+     free the slot out from under us. *)
+  touch t;
+  rc_incr t obj;
   unindex_cell t a;
+  t.objects <- t.objects + 1;
+  t.objects_bytes <- t.objects_bytes + Heap_obj.size_bytes obj;
   Hashtbl.replace t.cells a (Object obj);
   Hashtbl.replace (bunch_cells t obj.Heap_obj.bunch) a obj;
   Ids.Uid_tbl.replace t.uid_index obj.Heap_obj.uid a;
@@ -134,7 +190,11 @@ let set_forwarder t ~at ~target =
      duplicated location update replays it).  The incoming link is the
      newest information, so break the stale orientation: re-point every
      hop of the back-chain at [target] and make [target] the endpoint. *)
-  if not (Addr.equal at target) then begin
+  if
+    (not (Addr.equal at target))
+    && Hashtbl.find_opt t.cells at <> Some (Forwarder target)
+  then begin
+    touch t;
     (match Hashtbl.find_opt t.cells target with
     | Some (Forwarder _) ->
         let rec back_chain a acc fuel =
@@ -164,6 +224,7 @@ let set_forwarder t ~at ~target =
   end
 
 let remove t a =
+  if Hashtbl.mem t.cells a then touch t;
   (match Hashtbl.find_opt t.cells a with
   | Some (Object obj) ->
       if Ids.Uid_tbl.find_opt t.uid_index obj.Heap_obj.uid = Some a then
@@ -200,6 +261,7 @@ let resolve t a =
 let current_addr t a = match resolve t a with Some (a', _) -> a' | None -> a
 
 let note_field_write t ~obj_addr ~index v =
+  touch t;
   match segment_at t obj_addr with
   | None -> ()
   | Some seg ->
@@ -210,11 +272,23 @@ let note_field_write t ~obj_addr ~index v =
         Segment.note_pointer seg field_addr ~is_pointer:(Value.is_pointer v)
 
 let alloc_into ?version t ~seg ~uid ~fields =
-  let obj = Heap_obj.make ?version ~uid ~bunch:seg.Segment.bunch ~fields () in
-  match Segment.alloc seg ~size:(Heap_obj.size_bytes obj) with
+  let size = Heap_obj.header_bytes + (Array.length fields * Addr.word) in
+  match Segment.alloc seg ~size with
   | None -> None
   | Some a ->
+      let obj =
+        Heap_obj.make ?version ~heap:t.arena ~uid ~bunch:seg.Segment.bunch ~fields ()
+      in
       install t a obj;
+      Some a
+
+(* The collector's copy primitive: allocate segment space and blit the
+   object's raw words into a fresh arena slot — no boxed field array. *)
+let alloc_clone t ~seg ~of_ =
+  match Segment.alloc seg ~size:(Heap_obj.size_bytes of_) with
+  | None -> None
+  | Some a ->
+      install t a (Heap_obj.clone ~heap:t.arena of_);
       Some a
 
 let alloc ?version t ~bunch ~uid ~fields =
@@ -251,6 +325,11 @@ let objects_of_bunch t bunch =
       Hashtbl.fold (fun a obj acc -> (a, obj) :: acc) h []
       |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
 
+let bunch_object_count t bunch =
+  match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
+  | None -> 0
+  | Some h -> Hashtbl.length h
+
 let has_objects_of_bunch t bunch =
   match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
   | None -> false
@@ -260,12 +339,21 @@ let addr_of_uid t uid = Ids.Uid_tbl.find_opt t.uid_index uid
 
 let address_history t uid =
   match Ids.Uid_tbl.find_opt t.known_addrs uid with Some r -> !r | None -> []
-let iter t f = Hashtbl.iter f t.cells
+let iter t f =
+  Hashtbl.iter
+    (fun a c ->
+      Perfcount.(counters.store_cells_touched <- counters.store_cells_touched + 1);
+      f a c)
+    t.cells
 
-let object_count t =
-  Hashtbl.fold
-    (fun _ c acc -> match c with Object _ -> acc + 1 | Forwarder _ -> acc)
-    t.cells 0
+let iter_objects_of_bunch t bunch f =
+  match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
+  | None -> ()
+  | Some h -> Hashtbl.iter f h
+
+let object_count t = t.objects
+let objects_bytes t = t.objects_bytes
+let segment_count t = Hashtbl.length t.segments
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>store %a: %d objects, %d cells@]" Ids.Node.pp t.node

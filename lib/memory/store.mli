@@ -19,6 +19,14 @@ val create : registry:Registry.t -> node:Bmx_util.Ids.Node.t -> t
 val node : t -> Bmx_util.Ids.Node.t
 val registry : t -> Registry.t
 
+val arena : t -> Flatheap.t
+(** The flat arena backing this store's own allocations.  Objects shipped
+    to another node are cloned into the {e receiver}'s arena
+    ([Heap_obj.clone ~heap]); a store's cells may still reference foreign
+    arenas transiently.  Slots are released when the last cell referring
+    to them is removed or forwarded — holding a [Heap_obj.t] across such
+    an event and then using it raises (the slot generation check). *)
+
 val alloc :
   ?version:int ->
   t ->
@@ -37,6 +45,12 @@ val alloc_into :
   t -> seg:Segment.t -> uid:Bmx_util.Ids.Uid.t -> fields:Value.t array
   -> Bmx_util.Addr.t option
 (** Allocate directly into a specific segment (BGC copying into to-space). *)
+
+val alloc_clone :
+  t -> seg:Segment.t -> of_:Heap_obj.t -> Bmx_util.Addr.t option
+(** Copy an existing object (same uid, bunch taken from the source, fields
+    and version blitted raw) into [seg] and this store's arena — the
+    collectors' copy primitive; no boxed field array is materialized. *)
 
 val segment_at : t -> Bmx_util.Addr.t -> Segment.t option
 (** The local segment view containing the address, if mapped. *)
@@ -109,5 +123,35 @@ val address_history : t -> Bmx_util.Ids.Uid.t -> Bmx_util.Addr.t list
     the second entry is where its peers may still believe it lives. *)
 
 val iter : t -> (Bmx_util.Addr.t -> cell -> unit) -> unit
+(** Whole-table iteration.  Bumps [Perfcount.store_cells_touched] per
+    cell, so the complexity tests catch any hot path that full-scans. *)
+
+val iter_objects_of_bunch :
+  t -> Bmx_util.Ids.Bunch.t -> (Bmx_util.Addr.t -> Heap_obj.t -> unit) -> unit
+(** Unordered, allocation-free variant of {!objects_of_bunch}. *)
+
+val mut_version : t -> int
+(** Mutation epoch: advances on install/remove/forward/field-write —
+    every semantic change to the store's contents — and never on reads
+    or forwarder path compression.  The economical BGC skips a
+    collection whose inputs show the same composite version as its
+    previous run. *)
+
+val touch : t -> unit
+(** Advance {!mut_version} (for callers that mutate object fields
+    directly rather than through the store). *)
+
+val bunch_object_count : t -> Bmx_util.Ids.Bunch.t -> int
+(** O(1): live object cells of the bunch (the [objects_of_bunch] list
+    length without building the list). *)
+
 val object_count : t -> int
+(** Number of local object copies — O(1), maintained by install/remove. *)
+
+val objects_bytes : t -> int
+(** Total [Heap_obj.size_bytes] of local object copies — O(1). *)
+
+val segment_count : t -> int
+(** Locally mapped segments — O(1). *)
+
 val pp : Format.formatter -> t -> unit

@@ -9,6 +9,20 @@ let equal v1 v2 =
   | Data x, Data y -> Int.equal x y
   | Ref _, Data _ | Data _, Ref _ -> false
 
+(* Raw tagged-int encoding for the flat arena (Flatheap): data words get
+   a low tag bit of 1, pointers a tag bit of 0 so the nil pointer
+   (Addr.null = 0) encodes as the all-zero word — freshly allocated slots
+   are valid objects full of nil.  Data decodes with [asr] to keep the
+   sign. *)
+let to_raw = function
+  | Data n -> (n lsl 1) lor 1
+  | Ref a -> a lsl 1
+
+let of_raw r = if r land 1 = 1 then Data (r asr 1) else Ref (r lsr 1)
+let raw_nil = 0
+let raw_is_pointer r = r land 1 = 0 && r <> 0
+let raw_addr r = r lsr 1
+
 let pp ppf = function
   | Ref a when Bmx_util.Addr.is_null a -> Format.pp_print_string ppf "nil"
   | Ref a -> Format.fprintf ppf "&%a" Bmx_util.Addr.pp a

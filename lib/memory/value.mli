@@ -17,3 +17,24 @@ val is_pointer : t -> bool
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {2 Raw tagged-int encoding}
+
+    The flat arena ({!Flatheap}) stores fields as native ints: data words
+    carry a low tag bit of 1, pointer words a tag bit of 0, so
+    [to_raw nil = 0] and a zero-filled slot reads back as all-nil.
+    Data survives the round trip with its sign ([asr] decode); addresses
+    must fit 62 bits (they are small ints throughout). *)
+
+val to_raw : t -> int
+val of_raw : int -> t
+
+val raw_nil : int
+(** [to_raw nil = 0]. *)
+
+val raw_is_pointer : int -> bool
+(** [raw_is_pointer (to_raw v) = is_pointer v] — non-nil pointers only. *)
+
+val raw_addr : int -> Bmx_util.Addr.t
+(** Address of a raw pointer word.  Meaningful only when
+    [raw_is_pointer] holds (or for nil, where it returns [Addr.null]). *)

@@ -115,7 +115,7 @@ let commit ?durable t =
       Ids.Uid_tbl.iter
         (fun _uid a ->
           match Store.resolve (Protocol.store (proto t) t.node) a with
-          | Some (a', obj) -> Rvm.set disk a' (a', Heap_obj.clone obj)
+          | Some (a', obj) -> Rvm.set disk a' (a', Heap_obj.to_image obj)
           | None -> ())
         t.write_set;
       Rvm.commit disk);

@@ -56,7 +56,7 @@ val current : t -> Bmx_util.Addr.t -> Bmx_util.Addr.t
     (tokens may have moved it here; use this for handles across GCs). *)
 
 val commit :
-  ?durable:(Bmx_util.Addr.t * Bmx_memory.Heap_obj.t) Bmx_rvm.Rvm.t -> t -> unit
+  ?durable:(Bmx_util.Addr.t * Bmx_memory.Heap_obj.image) Bmx_rvm.Rvm.t -> t -> unit
 (** Make the transaction's effects visible: release every token.  With
     [durable], the write-set's after-images are first logged into the
     recoverable store within a single RVM transaction. *)

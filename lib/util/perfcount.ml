@@ -1,0 +1,99 @@
+(* Hot-path work counters (the "counter-instrumented build").
+
+   Wall-clock profiles say *that* a configuration is slow; these counters
+   say *why*: each subsystem bumps a named counter for every unit of work
+   whose growth with heap size would make a per-op path superlinear.  The
+   counters are plain mutable ints on a global record — one add and one
+   store per bump, no allocation, no branching on an "enabled" flag — so
+   they stay on in production builds and the complexity tests
+   (test_perf_model.ml) can assert per-op work budgets mechanically.
+
+   The profiling recipe lives in HACKING.md ("Performance"): snapshot,
+   run a workload slice, diff, divide by ops, compare two heap sizes.
+   Any counter whose per-op value grows with the heap is the superlinear
+   path to kill. *)
+
+type t = {
+  (* driver legality memo (lib/workload/driver.ml + reach.ml) *)
+  mutable memo_invalidations : int;  (* removal epochs: root drops, edge overwrites *)
+  mutable memo_full_rebuilds : int;  (* from-scratch BFS over the mirror graph *)
+  mutable memo_resyncs : int;  (* full mirror re-extractions from the cluster *)
+  mutable reach_nodes_touched : int;  (* graph nodes visited by queries/rebuilds *)
+  (* collector (lib/core/collect.ml) *)
+  mutable gc_objects_touched : int;  (* objects marked, copied or field-scanned *)
+  mutable gc_table_entries : int;  (* stub/scion/exiting entries visited *)
+  (* memory (lib/memory/store.ml, flatheap.ml) *)
+  mutable store_cells_touched : int;  (* cells visited by whole-table iteration *)
+  mutable flat_words_copied : int;  (* raw words blitted by GC copies *)
+  (* observability (lib/core/gc_state.ml) *)
+  mutable obs_sample_work : int;  (* cells/segments visited while sampling gauges *)
+}
+
+let counters = {
+  memo_invalidations = 0;
+  memo_full_rebuilds = 0;
+  memo_resyncs = 0;
+  reach_nodes_touched = 0;
+  gc_objects_touched = 0;
+  gc_table_entries = 0;
+  store_cells_touched = 0;
+  flat_words_copied = 0;
+  obs_sample_work = 0;
+}
+
+type snapshot = {
+  s_memo_invalidations : int;
+  s_memo_full_rebuilds : int;
+  s_memo_resyncs : int;
+  s_reach_nodes_touched : int;
+  s_gc_objects_touched : int;
+  s_gc_table_entries : int;
+  s_store_cells_touched : int;
+  s_flat_words_copied : int;
+  s_obs_sample_work : int;
+}
+
+let snapshot () = {
+  s_memo_invalidations = counters.memo_invalidations;
+  s_memo_full_rebuilds = counters.memo_full_rebuilds;
+  s_memo_resyncs = counters.memo_resyncs;
+  s_reach_nodes_touched = counters.reach_nodes_touched;
+  s_gc_objects_touched = counters.gc_objects_touched;
+  s_gc_table_entries = counters.gc_table_entries;
+  s_store_cells_touched = counters.store_cells_touched;
+  s_flat_words_copied = counters.flat_words_copied;
+  s_obs_sample_work = counters.obs_sample_work;
+}
+
+let diff ~before ~after = {
+  s_memo_invalidations = after.s_memo_invalidations - before.s_memo_invalidations;
+  s_memo_full_rebuilds = after.s_memo_full_rebuilds - before.s_memo_full_rebuilds;
+  s_memo_resyncs = after.s_memo_resyncs - before.s_memo_resyncs;
+  s_reach_nodes_touched = after.s_reach_nodes_touched - before.s_reach_nodes_touched;
+  s_gc_objects_touched = after.s_gc_objects_touched - before.s_gc_objects_touched;
+  s_gc_table_entries = after.s_gc_table_entries - before.s_gc_table_entries;
+  s_store_cells_touched = after.s_store_cells_touched - before.s_store_cells_touched;
+  s_flat_words_copied = after.s_flat_words_copied - before.s_flat_words_copied;
+  s_obs_sample_work = after.s_obs_sample_work - before.s_obs_sample_work;
+}
+
+let reset () =
+  counters.memo_invalidations <- 0;
+  counters.memo_full_rebuilds <- 0;
+  counters.memo_resyncs <- 0;
+  counters.reach_nodes_touched <- 0;
+  counters.gc_objects_touched <- 0;
+  counters.gc_table_entries <- 0;
+  counters.store_cells_touched <- 0;
+  counters.flat_words_copied <- 0;
+  counters.obs_sample_work <- 0
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>memo: invalidations=%d rebuilds=%d resyncs=%d reach-touched=%d@,\
+     gc: objects=%d table-entries=%d@,\
+     memory: cells=%d words-copied=%d@,\
+     obs: sample-work=%d@]"
+    s.s_memo_invalidations s.s_memo_full_rebuilds s.s_memo_resyncs
+    s.s_reach_nodes_touched s.s_gc_objects_touched s.s_gc_table_entries
+    s.s_store_cells_touched s.s_flat_words_copied s.s_obs_sample_work

@@ -1,0 +1,44 @@
+(** Hot-path work counters (the counter-instrumented build).
+
+    Each subsystem bumps a field of {!counters} for every unit of work
+    whose growth with heap size would make a per-op path superlinear:
+    graph nodes visited by the driver's legality memo, objects touched by
+    a collection, cells visited by whole-store iteration, work done while
+    sampling gauges.  Increments are plain int stores — no allocation —
+    so the counters stay on everywhere and the empirical-complexity tests
+    (test_perf_model.ml) can assert per-op budgets.
+
+    See HACKING.md "Performance" for the profiling recipe. *)
+
+type t = {
+  mutable memo_invalidations : int;
+  mutable memo_full_rebuilds : int;
+  mutable memo_resyncs : int;
+  mutable reach_nodes_touched : int;
+  mutable gc_objects_touched : int;
+  mutable gc_table_entries : int;
+  mutable store_cells_touched : int;
+  mutable flat_words_copied : int;
+  mutable obs_sample_work : int;
+}
+
+val counters : t
+(** The global instance.  Bump fields directly:
+    [Perfcount.(counters.reach_nodes_touched <- counters.reach_nodes_touched + 1)]. *)
+
+type snapshot = {
+  s_memo_invalidations : int;
+  s_memo_full_rebuilds : int;
+  s_memo_resyncs : int;
+  s_reach_nodes_touched : int;
+  s_gc_objects_touched : int;
+  s_gc_table_entries : int;
+  s_store_cells_touched : int;
+  s_flat_words_copied : int;
+  s_obs_sample_work : int;
+}
+
+val snapshot : unit -> snapshot
+val diff : before:snapshot -> after:snapshot -> snapshot
+val reset : unit -> unit
+val pp : Format.formatter -> snapshot -> unit

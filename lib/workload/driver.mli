@@ -3,7 +3,16 @@
     The driver models the applications of §1: several nodes repeatedly
     acquire tokens, read and update shared objects, relink references
     (through the write barrier) and occasionally drop or add roots.  It is
-    the engine behind experiments E5, E6 and E8. *)
+    the engine behind experiments E5, E6 and E8.
+
+    Every op is gated by a legality check — a mutator can only name
+    objects still reachable from some root.  That check is served by an
+    {e incremental} reachability mirror ({!Reach}) kept exact across root
+    churn and pointer relinks, so the per-op cost does not grow with the
+    heap; [full_rescan_legality] switches back to the memoized
+    from-scratch recomputation ({!Bmx.Audit.union_reachable}) as the slow
+    reference implementation (both modes draw identically from the RNG,
+    so they execute the same op sequence). *)
 
 type config = {
   nodes : int;
@@ -18,6 +27,9 @@ type config = {
   seed : int;
   mode : Bmx_dsm.Protocol.mode;
   update_policy : Bmx_dsm.Protocol.update_policy;
+  full_rescan_legality : bool;
+      (** use the old full-traversal legality memo instead of the
+          incremental mirror (complexity-test baseline; default false) *)
 }
 
 val default : config
@@ -26,14 +38,19 @@ type t
 
 val setup : config -> t
 (** Build the cluster and its object population; replicate a working set
-    on every node; drain. *)
+    on every node; drain; seed the legality mirror from cluster truth. *)
 
 val cluster : t -> Bmx.Cluster.t
 val objects : t -> Bmx_util.Addr.t array
 val config : t -> config
 
-val run_ops : t -> ?ops:int -> unit -> unit
-(** Execute mutator operations (default: [config.ops]). *)
+val run_ops : t -> ?resync_first:bool -> ?ops:int -> unit -> unit
+(** Execute mutator operations (default: [config.ops]).  [resync_first]
+    (default [true]) re-extracts the legality mirror from cluster truth
+    before the batch — callers may have crashed nodes or written objects
+    directly since the last one.  Pass [false] only when nothing but
+    driver ops touched the cluster, e.g. to measure steady-state per-op
+    cost. *)
 
 val handle : t -> node:Bmx_util.Ids.Node.t -> int -> Bmx_util.Addr.t
 (** The address under which the node's mutator currently knows object
@@ -41,3 +58,9 @@ val handle : t -> node:Bmx_util.Ids.Node.t -> int -> Bmx_util.Addr.t
 
 val live_roots : t -> int
 (** Roots currently held across all nodes. *)
+
+val check_memo : t -> (unit, string) result
+(** Compare the incremental legality mirror object-by-object against the
+    from-scratch oracle ({!Bmx.Audit.union_reachable}); [Error] names the
+    first divergent indexes.  Always [Ok] under [full_rescan_legality]
+    (there is no mirror to diverge). *)

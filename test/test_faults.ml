@@ -99,15 +99,15 @@ let stable_view s =
         (fun (n, _) disk ->
           if n = node then
             Bmx_rvm.Rvm.fold disk ~init:()
-              ~f:(fun _ (_, (o : Bmx_memory.Heap_obj.t), _, owned) () ->
-                let uid = o.Bmx_memory.Heap_obj.uid in
+              ~f:(fun _ (_, (im : Bmx_memory.Heap_obj.image), _, owned) () ->
+                let uid = im.Bmx_memory.Heap_obj.im_uid in
                 let cell =
                   {
                     Bmx.Audit.sc_owned = owned;
                     sc_targets =
                       List.filter_map
                         (Bmx_dsm.Protocol.uid_of_addr proto)
-                        (Bmx_memory.Heap_obj.pointers o);
+                        (Bmx_memory.Heap_obj.image_pointers im);
                   }
                 in
                 (* An owned image outranks a stale-replica image of the

@@ -27,7 +27,7 @@ let test_heap_obj_basics () =
   check_int "size includes header" (8 + 8) (Heap_obj.size_bytes o);
   check_bool "get" true (Value.equal (Heap_obj.get o 1) (Value.Ref 64));
   Heap_obj.set o 0 (Value.Data 9);
-  check_int "version bumped" 1 o.Heap_obj.version;
+  check_int "version bumped" 1 (Heap_obj.version o);
   check (Alcotest.list Alcotest.int) "pointers" [ 64 ] (Heap_obj.pointers o)
 
 let test_heap_obj_clone_overwrite () =
@@ -126,14 +126,18 @@ let test_store_forwarders () =
   let obj = match Store.cell s a with Some (Store.Object o) -> o | _ -> assert false in
   let seg = List.hd (Store.segments_of_bunch s 0) in
   ignore seg;
-  let c = Store.alloc s ~bunch:0 ~uid:1 ~fields:(Array.copy obj.Heap_obj.fields) in
+  (* Copy the fields out before forwarding [a]: turning the cell into a
+     forwarder releases the arena slot, so the handle must not be used
+     afterwards. *)
+  let fields = Heap_obj.fields_copy obj in
+  let c = Store.alloc s ~bunch:0 ~uid:1 ~fields in
   Store.set_forwarder s ~at:a ~target:c;
   check_int "resolve follows forwarder" c
     (match Store.resolve s a with Some (a', _) -> a' | None -> -1);
   check_int "current_addr" c (Store.current_addr s a);
   check_int "unforwarded unchanged" b (Store.current_addr s b);
   (* Chains: c forwarded again to d. *)
-  let d = Store.alloc s ~bunch:0 ~uid:1 ~fields:(Array.copy obj.Heap_obj.fields) in
+  let d = Store.alloc s ~bunch:0 ~uid:1 ~fields in
   Store.set_forwarder s ~at:c ~target:d;
   check_int "chain followed" d (Store.current_addr s a);
   check (Alcotest.list Alcotest.int) "history newest first" [ d; c; a ]

@@ -1,0 +1,183 @@
+(* Empirical complexity model: the per-op work of the driver's hot path,
+   measured through the Perfcount counter harness at two heap sizes, must
+   not grow with the heap.  This is the lock on the flat-heap refactor —
+   wall-clock floors live in the bench smoke gate; here we assert the
+   *counts* that make the wall-clock follow.
+
+   Method (also the HACKING.md "Performance" recipe): set up a workload,
+   warm it with one resynced batch, then snapshot Perfcount / diff
+   around a steady-state batch and divide by ops.  Do it at a baseline
+   heap and at an 8x heap; every per-op figure must stay within a small
+   constant factor, nowhere near the 8x a linear-in-heap path would show.
+
+   Mutation checks (hand-applied breakages that make this file fail):
+   - forcing [full_rescan_legality] into the incremental path (or
+     resurrecting the Audit.union_reachable call per invalidation):
+     [memo_full_rebuilds] stops being 0 and reach-work explodes with the
+     heap — "per-op reach work is heap-size independent" fails exactly
+     the way the pre-flat-heap driver did (the sibling test below runs
+     the old path deliberately and shows the counters catching it);
+   - a Store.iter sneaking into the mutator path: store_cells_touched
+     per op is no longer ~0;
+   - reverting the rooted-set ring buffer to the O(roots) list append
+     does not move these counters but re-blows the allocation test:
+     minor words per op scales with live roots, which scale with the
+     heap;
+   - reverting gauge sampling to heap iteration makes
+     [obs_sample_work] per collection scale with objects_per_bunch:
+     "gauge sampling is heap-size independent" fails. *)
+
+open Bmx_util
+module Cluster = Bmx.Cluster
+module Driver = Bmx_workload.Driver
+module P = Perfcount
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+
+let steady_cfg objects_per_bunch =
+  {
+    Driver.default with
+    nodes = 4;
+    bunches = 4;
+    objects_per_bunch;
+    root_churn_prob = 0.05;
+    relink_prob = 0.4;
+    seed = 11;
+  }
+
+(* Steady-state per-op counter deltas over [ops] driver ops. *)
+let measure ?(full_rescan = false) ~objects_per_bunch ~ops () =
+  let cfg = { (steady_cfg objects_per_bunch) with full_rescan_legality = full_rescan } in
+  let d = Driver.setup cfg in
+  (* Warm: one resynced batch so lazily-built state exists. *)
+  Driver.run_ops d ~ops:200 ();
+  let before = P.snapshot () in
+  let w0 = Gc.minor_words () in
+  Driver.run_ops d ~resync_first:false ~ops ();
+  let words = Gc.minor_words () -. w0 in
+  let delta = P.diff ~before ~after:(P.snapshot ()) in
+  (d, delta, words /. float_of_int ops)
+
+let per_op delta field ops = float_of_int (field delta) /. float_of_int ops
+
+let test_reach_work_heap_independent () =
+  let ops = 1500 in
+  let _, small, _ = measure ~objects_per_bunch:64 ~ops () in
+  let _, big, _ = measure ~objects_per_bunch:512 ~ops () in
+  (* The incremental mirror never falls back to a from-scratch rebuild. *)
+  check_int "no full rebuilds (small)" 0 small.P.s_memo_full_rebuilds;
+  check_int "no full rebuilds (8x heap)" 0 big.P.s_memo_full_rebuilds;
+  check_int "no batch resyncs measured" 0 big.P.s_memo_resyncs;
+  (* No store-wide iteration inside the mutator loop. *)
+  check_int "no store scans (small)" 0 small.P.s_store_cells_touched;
+  check_int "no store scans (8x heap)" 0 big.P.s_store_cells_touched;
+  let s = per_op small P.(fun d -> d.s_reach_nodes_touched) ops in
+  let b = per_op big P.(fun d -> d.s_reach_nodes_touched) ops in
+  if b > 25.0 then
+    Alcotest.failf "reach work per op too high at 8x heap: %.2f nodes" b;
+  if b > (4.0 *. s) +. 8.0 then
+    Alcotest.failf
+      "reach work per op scales with the heap: %.2f (baseline) -> %.2f (8x)" s b
+
+let test_allocation_heap_independent () =
+  let ops = 1500 in
+  let _, _, w_small = measure ~objects_per_bunch:64 ~ops () in
+  let _, _, w_big = measure ~objects_per_bunch:512 ~ops () in
+  if w_big > 1024.0 then
+    Alcotest.failf "allocation per op over budget at 8x heap: %.0f words" w_big;
+  if w_big > (2.5 *. w_small) +. 64.0 then
+    Alcotest.failf
+      "allocation per op scales with the heap: %.0f -> %.0f words" w_small w_big
+
+(* The deliberate mutation, kept runnable: the pre-flat-heap legality
+   path (memoized full traversals) through the same workload.  The
+   counter harness must *see* it — this is what guards the guards. *)
+let test_full_rescan_baseline_is_visible () =
+  let ops = 300 in
+  let _, slow, _ = measure ~full_rescan:true ~objects_per_bunch:64 ~ops () in
+  if slow.P.s_memo_full_rebuilds < 5 then
+    Alcotest.failf
+      "expected the full-rescan baseline to rebuild the memo repeatedly, saw %d"
+      slow.P.s_memo_full_rebuilds;
+  check_int "the incremental mirror stays out of the baseline's way" 0
+    slow.P.s_reach_nodes_touched
+
+let test_gauge_sampling_heap_independent () =
+  let sample_work objects_per_bunch =
+    let cfg = steady_cfg objects_per_bunch in
+    let d = Driver.setup cfg in
+    let c = Driver.cluster d in
+    Driver.run_ops d ~ops:100 ();
+    let bunch = List.hd (Bmx_dsm.Protocol.bunches (Cluster.proto c)) in
+    let node = List.hd (Cluster.nodes c) in
+    let before = P.snapshot () in
+    ignore (Cluster.bgc c ~node ~bunch);
+    (P.diff ~before ~after:(P.snapshot ())).P.s_obs_sample_work
+  in
+  let small = sample_work 64 in
+  let big = sample_work 512 in
+  if small <= 0 then
+    Alcotest.failf "gauge sampling not instrumented (work=%d)" small;
+  if big > 2 * small then
+    Alcotest.failf
+      "gauge sampling scales with the heap: %d (baseline) -> %d (8x)" small big
+
+let test_quiescent_rounds_are_constant_work () =
+  (* Economical-mode convergence: once [collect_until_quiescent] returns,
+     the cluster is structurally clean — every (node, bunch) pair's dirty
+     epoch matches its last BGC — so one more [gc_round] must be skips
+     all the way down: no objects traced, no table entries reconciled.
+     Mutation checks (hand-applied breakages that make this fail):
+     - bumping Store/Directory mutation epochs on reads or on a BGC's
+       own bookkeeping writes (e.g. dropping the duplicate-forwarder
+       guard in Store.set_forwarder) re-dirties peers forever:
+       [skipped_clean] stays 0 and the post-quiescence round traces the
+       whole heap again;
+     - removing the cleaner's empty-delta fast path does not break the
+       skip counter but resurfaces as [gc_table_entries] > 0 here
+       whenever a straggler message drains late. *)
+  let cfg = steady_cfg 128 in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  Driver.run_ops d ~ops:400 ();
+  ignore (Cluster.collect_until_quiescent c ());
+  let stats = Cluster.stats c in
+  let skipped0 = Stats.get stats "gc.bgc.skipped_clean" in
+  let before = P.snapshot () in
+  ignore (Cluster.gc_round c);
+  let delta = P.diff ~before ~after:(P.snapshot ()) in
+  if Stats.get stats "gc.bgc.skipped_clean" <= skipped0 then
+    Alcotest.fail "post-quiescence gc_round skipped no clean (node, bunch) pair";
+  check_int "post-quiescence round traces no objects" 0
+    delta.P.s_gc_objects_touched;
+  check_int "post-quiescence round reconciles no table entries" 0
+    delta.P.s_gc_table_entries
+
+let test_memo_exact_after_measurement () =
+  (* The speed must not come from drift: after a steady-state run the
+     mirror still equals the from-scratch oracle. *)
+  let d, _, _ = measure ~objects_per_bunch:128 ~ops:1000 () in
+  match Driver.check_memo d with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "memo diverged: %s" msg
+
+let () =
+  Alcotest.run "perf_model"
+    [
+      ( "complexity",
+        [
+          Alcotest.test_case "per-op reach work is heap-size independent"
+            `Quick test_reach_work_heap_independent;
+          Alcotest.test_case "per-op allocation is heap-size independent"
+            `Quick test_allocation_heap_independent;
+          Alcotest.test_case "counter harness sees the full-rescan baseline"
+            `Quick test_full_rescan_baseline_is_visible;
+          Alcotest.test_case "gauge sampling is heap-size independent" `Quick
+            test_gauge_sampling_heap_independent;
+          Alcotest.test_case "post-quiescence rounds do constant work"
+            `Quick test_quiescent_rounds_are_constant_work;
+          Alcotest.test_case "memo stays exact after measurement" `Quick
+            test_memo_exact_after_measurement;
+        ] );
+    ]

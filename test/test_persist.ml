@@ -110,7 +110,7 @@ let test_crash_mid_commit_recovers_last_checkpoint () =
     match
       Bmx_memory.Store.resolve (Bmx_dsm.Protocol.store (Cluster.proto c) 0) a
     with
-    | Some (_, o) -> Bmx_memory.Heap_obj.clone o
+    | Some (_, o) -> Bmx_memory.Heap_obj.to_image o
     | None -> Alcotest.fail "fresh cell must resolve"
   in
   Rvm.begin_tx disk;

@@ -366,7 +366,7 @@ let ref_maps_consistent w =
                         in
                         if bit <> Bmx_memory.Value.is_pointer v then ok := false
                       end)
-                    obj.Bmx_memory.Heap_obj.fields)))
+                    (Bmx_memory.Heap_obj.fields_copy obj))))
     (Cluster.nodes w.cluster);
   !ok
 

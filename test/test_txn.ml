@@ -122,7 +122,9 @@ let test_bgc_during_open_txn () =
 
 let test_durable_commit () =
   let c, _, x, y = setup () in
-  let disk = Rvm.create ~copy:(fun (a, o) -> (a, Bmx_memory.Heap_obj.clone o)) () in
+  let disk =
+    Rvm.create ~copy:(fun (a, im) -> (a, Bmx_memory.Heap_obj.image_copy im)) ()
+  in
   let t = Txn.begin_ c ~node:1 in
   Txn.write t x 0 (Value.Data 111);
   Txn.write t y 0 (Value.Data 222);
@@ -132,8 +134,11 @@ let test_durable_commit () =
   ignore (Rvm.recover disk);
   check_int "both after-images durable" 2 (Rvm.cardinal disk);
   let values =
-    Rvm.fold disk ~init:[] ~f:(fun _ (_, o) acc ->
-        (match Bmx_memory.Heap_obj.get o 0 with Value.Data v -> v | _ -> -1) :: acc)
+    Rvm.fold disk ~init:[] ~f:(fun _ (_, im) acc ->
+        (match im.Bmx_memory.Heap_obj.im_fields.(0) with
+        | Value.Data v -> v
+        | _ -> -1)
+        :: acc)
     |> List.sort compare
   in
   check (Alcotest.list Alcotest.int) "values" [ 111; 222 ] values
