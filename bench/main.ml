@@ -27,6 +27,7 @@ let experiments =
     ("e20-smoke", Scale.e20_smoke);
     ("e20-diag", Scale.e20_diag);
     ("e23", Certifier.e23);
+    ("e24", Scale.e24);
     ("micro", Micro.run);
   ]
 

@@ -39,6 +39,7 @@ type run_result = {
   r_resyncs : int;
   r_gc_token_acquires : int;
   r_minor_words_per_op : float;
+  r_components : (Net.Component.t * int) list;
 }
 
 let now_ns () = Monotonic_clock.now ()
@@ -69,6 +70,10 @@ let run_config ~nodes ~objects_per_bunch ~ops ~waves =
   let d = Driver.setup cfg in
   let c = Driver.cluster d in
   Cluster.set_event_trace c true;
+  (* Continuous sampling stays ON during the measured loop: the
+     @bench-smoke throughput/allocation floors double as the
+     observer-effect budget for the telemetry path. *)
+  let ts = Cluster.enable_timeseries c in
   let chunk = max 1 (ops / waves) in
   (* OCaml-runtime allocation attributable to the mutator loop itself
      (collector waves excluded): the flat-heap hot path is supposed to
@@ -93,6 +98,7 @@ let run_config ~nodes ~objects_per_bunch ~ops ~waves =
     Driver.run_ops d ~ops:20 ();
     gc_wave c
   done;
+  Bmx_obs.Timeseries.freeze ts;
   let report =
     Bmx_obs.Report.of_events
       ~metrics:(Cluster.metrics c)
@@ -124,6 +130,10 @@ let run_config ~nodes ~objects_per_bunch ~ops ~waves =
     r_minor_words_per_op =
       (let total = float_of_int (chunk * waves) in
        if total <= 0.0 then 0.0 else !mutator_words /. total);
+    r_components =
+      List.map
+        (fun comp -> (comp, Net.component_bytes net comp))
+        Net.Component.all;
   }
 
 let summary_json = function
@@ -159,6 +169,12 @@ let result_json r =
       ("resyncs", Json.Int r.r_resyncs);
       ("gc_token_acquires", Json.Int r.r_gc_token_acquires);
       ("minor_words_per_op", Json.Float r.r_minor_words_per_op);
+      ( "components",
+        Json.Obj
+          (List.map
+             (fun (comp, bytes) ->
+               (Net.Component.to_string comp, Json.Int bytes))
+             r.r_components) );
     ]
 
 let sweep_json ?(extra_configs = []) results =
@@ -320,6 +336,21 @@ let e20_diag_at ~nodes ~objects_per_bunch =
       name ms d.P.s_gc_objects_touched d.P.s_gc_table_entries
       d.P.s_store_cells_touched d.P.s_flat_words_copied
       d.P.s_reach_nodes_touched d.P.s_obs_sample_work;
+    let pn =
+      d.P.s_gc_ns_trace + d.P.s_gc_ns_flip + d.P.s_gc_ns_copy
+      + d.P.s_gc_ns_scan + d.P.s_gc_ns_reconcile
+    in
+    if pn > 0 then
+      Printf.printf
+        "%-22s %12s gc-phase-ms: trace=%.1f flip=%.1f copy=%.1f scan=%.1f \
+         reconcile=%.1f\n\
+         %!"
+        "" ""
+        (float_of_int d.P.s_gc_ns_trace /. 1e6)
+        (float_of_int d.P.s_gc_ns_flip /. 1e6)
+        (float_of_int d.P.s_gc_ns_copy /. 1e6)
+        (float_of_int d.P.s_gc_ns_scan /. 1e6)
+        (float_of_int d.P.s_gc_ns_reconcile /. 1e6);
     r
   in
   Printf.printf "--- e20-diag: %d nodes x %d objs/bunch ---
@@ -361,3 +392,68 @@ let e20_smoke () =
     ~extra_configs:
       [ run_partitioned_config ~nodes:3 ~objects_per_bunch:48 ~ops:400 ]
     ~configs:[ (3, 48, 400) ] ~json_path:None ()
+
+(* E24: per-component wire attribution across a node sweep — the
+   scaling shape gate.  Every message kind is totally mapped to a
+   component (dsm / gc-cleaner / gc-bgc / registry / rvm / app); a
+   3-point sweep widening only the cluster checks that gc-cleaner
+   traffic grows with sharing (it is O(inter-node references), which the
+   sweep increases) while no other component's per-node bytes grow
+   superlinearly in N.  Exits nonzero when a component breaks its
+   scaling contract — this is how an accidental O(N) broadcast sneaks
+   into a "background" path gets caught. *)
+let e24 () =
+  let point nodes =
+    let cfg =
+      {
+        Driver.default with
+        nodes;
+        bunches = nodes;
+        objects_per_bunch = 48;
+        ops = 400;
+        seed = 24;
+      }
+    in
+    let d = Driver.setup cfg in
+    let c = Driver.cluster d in
+    let ts = Cluster.enable_timeseries c in
+    Driver.run_ops d ();
+    for _ = 1 to 3 do
+      gc_wave c
+    done;
+    ignore (Cluster.collect_until_quiescent c ());
+    Bmx_obs.Timeseries.freeze ts;
+    Net.scaling_point (Cluster.net c) ~nodes
+  in
+  let sweep = [ 3; 4; 6 ] in
+  let points = List.map point sweep in
+  let rows, ok = Net.scaling_check points in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E24: per-component wire scaling — bytes/node across a %s-node \
+            sweep (gc-cleaner must grow with sharing; nothing else \
+            superlinear in N)"
+           (String.concat "/" (List.map string_of_int sweep)))
+      ~columns:
+        [ "component"; "B/node first"; "B/node last"; "growth"; "verdict" ]
+  in
+  List.iter
+    (fun (r : Net.scaling_row) ->
+      Table.add_row t
+        [
+          Net.Component.to_string r.Net.sr_component;
+          Printf.sprintf "%.0f" r.Net.sr_first_per_node;
+          Printf.sprintf "%.0f" r.Net.sr_last_per_node;
+          Printf.sprintf "%.2f" r.Net.sr_growth;
+          (if r.Net.sr_ok then "ok" else "FAIL")
+          ^ (if r.Net.sr_note = "" then "" else " — " ^ r.Net.sr_note);
+        ])
+    rows;
+  if not ok then begin
+    Table.print t;
+    prerr_endline "e24: per-component scaling check failed";
+    exit 1
+  end;
+  [ t ]

@@ -120,8 +120,27 @@ let parse_fault_kinds fault_kinds =
         | None -> failwith (Printf.sprintf "unknown message kind %S" s))
     (String.split_on_char ',' fault_kinds)
 
+let sanitize_reason s =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.') as c -> c | _ -> '-')
+    s
+
+let write_flight_dumps dir f =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iteri
+    (fun i (d : Bmx_obs.Flight.dump) ->
+      let file =
+        Filename.concat dir
+          (Printf.sprintf "flight-%02d-%s.trace" i (sanitize_reason d.reason))
+      in
+      let oc = open_out file in
+      output_string oc d.Bmx_obs.Flight.text;
+      close_out oc;
+      Printf.printf "flight: %s -> %s\n" d.Bmx_obs.Flight.reason file)
+    (Bmx_obs.Flight.dumps f)
+
 let run_workload nodes bunches objects ops seed mode collect ggc dump trace
-    emit_trace drop dup fault_kinds crashes partitions corrupt_disk =
+    emit_trace flight_dir drop dup fault_kinds crashes partitions corrupt_disk =
   (* Disk corruption is only observable through a crash/recover cycle. *)
   let crashes = if corrupt_disk && crashes = 0 then 1 else crashes in
   let cfg =
@@ -139,8 +158,13 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
   let c = Driver.cluster d in
   let net = Cluster.net c in
   if trace then Bmx_util.Tracelog.set_enabled (Cluster.tracer c) true;
-  if emit_trace <> None || partitions > 0 || corrupt_disk then
-    Cluster.set_event_trace c true;
+  if emit_trace <> None || flight_dir <> None || partitions > 0 || corrupt_disk
+  then Cluster.set_event_trace c true;
+  let flight =
+    match flight_dir with
+    | None -> None
+    | Some _ -> Some (Cluster.enable_flight c)
+  in
   let kinds = parse_fault_kinds fault_kinds in
   if drop > 0. || dup > 0. then
     List.iteri
@@ -350,6 +374,23 @@ let run_workload nodes bunches objects ops seed mode collect ggc dump trace
         (Cluster.events c);
       close_out oc;
       Printf.printf "trace: %d typed events written to %s\n" !count file);
+  (* Flight post-mortems: automatic trips (GC token acquire, truncating
+     RVM recovery) already fired live; end-of-run analysis trips — a lint
+     rule firing, the audit finding loss — are added here, then every
+     dump becomes an artifact replayable through check/certify. *)
+  (match (flight, flight_dir) with
+  | Some f, Some dir ->
+      let vs = Bmx_check.Lint.check_all (Cluster.proto c) in
+      List.iter
+        (fun (v : Bmx_check.Lint.violation) ->
+          Bmx_obs.Flight.trip f (Bmx_check.Lint.rule_to_string v.rule))
+        vs;
+      let lost = Bmx.Audit.lost_objects c in
+      if not (Ids.Uid_set.is_empty lost) then
+        Bmx_obs.Flight.trip f
+          (Printf.sprintf "audit-loss:%d" (Ids.Uid_set.cardinal lost));
+      write_flight_dumps dir f
+  | _ -> ());
   (* The fault knobs double as a CI gate.  A lint finding is always a
      bug.  An injected disk fault may destroy the only copy of an object
      — honest, reported loss — so under --corrupt-disk the audit gate is
@@ -421,6 +462,16 @@ let workload_term dump_default =
       & info [ "emit-trace" ] ~docv:"FILE"
           ~doc:"Write the typed event trace to $(docv) for 'bmxctl check'")
   in
+  let flight_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"DIR"
+          ~doc:
+            "Attach the flight recorder and write every dump (auto trips \
+             plus end-of-run lint/audit trips) as a replayable trace \
+             artifact under $(docv)")
+  in
   let drop =
     Arg.(
       value & opt float 0.
@@ -474,8 +525,8 @@ let workload_term dump_default =
   in
   Term.(
     const run_workload $ nodes $ bunches $ objects $ ops $ seed $ mode $ collect
-    $ ggc $ const dump_default $ trace $ emit_trace $ drop $ dup $ fault_kinds
-    $ crashes $ partitions $ corrupt_disk)
+    $ ggc $ const dump_default $ trace $ emit_trace $ flight_dir $ drop $ dup
+    $ fault_kinds $ crashes $ partitions $ corrupt_disk)
 
 let workload_cmd =
   Cmd.v
@@ -532,8 +583,9 @@ let load_trace file =
   (try
      while true do
        incr lineno;
-       let line = input_line ic in
-       if String.trim line <> "" then
+       let line = String.trim (input_line ic) in
+       (* '#' lines are flight-recorder headers (reason, metrics snapshot). *)
+       if line <> "" && line.[0] <> '#' then
          match Bmx_util.Trace_event.of_line line with
          | Ok e -> events := e :: !events
          | Error m ->
@@ -715,7 +767,7 @@ let certify_cmd =
 (* --------------------------------------------------------------- report *)
 
 let run_report nodes bunches objects ops seed mode ggc drop dup fault_kinds
-    perfetto selfcheck =
+    perfetto selfcheck since until series =
   let cfg =
     {
       Driver.default with
@@ -730,6 +782,7 @@ let run_report nodes bunches objects ops seed mode ggc drop dup fault_kinds
   let d = Driver.setup cfg in
   let c = Driver.cluster d in
   Cluster.set_event_trace c true;
+  let ts = Cluster.enable_timeseries c in
   let net = Cluster.net c in
   if drop > 0. || dup > 0. then
     List.iteri
@@ -744,6 +797,9 @@ let run_report nodes bunches objects ops seed mode ggc drop dup fault_kinds
     List.iter (fun node -> ignore (Cluster.ggc c ~node)) (Cluster.nodes c);
   (* Flush the reliable streams so message-flight spans close. *)
   ignore (Cluster.settle c);
+  (* Stop sampling before the exit-time bulk report pass so its observes
+     don't pollute the final window. *)
+  Bmx_obs.Timeseries.freeze ts;
   let report =
     Bmx_obs.Report.of_events
       ~metrics:(Cluster.metrics c)
@@ -758,13 +814,65 @@ let run_report nodes bunches objects ops seed mode ggc drop dup fault_kinds
   Printf.printf "report: %d nodes, %d bunches, %d objects, %d ops (seed %d)\n\n"
     nodes bunches (bunches * objects) ops seed;
   print_string (Bmx_obs.Report.to_text report);
+  (* Continuous-series window queries: --since/--until select a half-open
+     virtual-time interval in µsteps; defaults cover the retained ring. *)
+  (if since <> None || until <> None then
+     match Bmx_obs.Timeseries.span ts with
+     | None -> print_endline "\nwindow query: no windows retained"
+     | Some (lo, hi) ->
+         let since = Option.value since ~default:lo
+         and until = Option.value until ~default:hi in
+         Printf.printf "\n--- window [%d, %d) of [%d, %d) µsteps (%d windows)\n"
+           since until lo hi
+           (Bmx_obs.Timeseries.closed_windows ts);
+         List.iter
+           (fun comp ->
+             let cn = Bmx_netsim.Net.Component.to_string comp in
+             let msgs =
+               Bmx_obs.Timeseries.counter_sum ts ~since ~until
+                 ("net.comp.msgs." ^ cn)
+             and bytes =
+               Bmx_obs.Timeseries.counter_sum ts ~since ~until
+                 ("net.comp.bytes." ^ cn)
+             in
+             if msgs > 0 || bytes > 0 then
+               Printf.printf "  %-12s %6d msg(s) %10d byte(s)\n" cn msgs bytes)
+           Bmx_netsim.Net.Component.all;
+         List.iter
+           (fun name ->
+             let series = "latency." ^ name in
+             let n =
+               Bmx_obs.Timeseries.sample_count ts ~since ~until series
+             in
+             if n > 0 then
+               let p q = Bmx_obs.Timeseries.percentile ts ~since ~until series q in
+               Printf.printf
+                 "  %-26s n=%-6d p50=%.0f p99=%.0f p999=%.0f µsteps\n" series n
+                 (p 50.) (p 99.) (p 99.9))
+           [
+             "token_acquire.read";
+             "token_acquire.write";
+             "token_acquire.gc";
+             "gc.pause";
+           ]);
+  (match series with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Bmx_obs.Timeseries.to_jsonl ts);
+      close_out oc;
+      Printf.printf "series: %d window(s) written to %s\n"
+        (Bmx_obs.Timeseries.closed_windows ts)
+        file);
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
   (match perfetto with
   | None -> ()
   | Some file ->
       let spans = Bmx_obs.Report.spans report in
-      Bmx_obs.Perfetto.write_file file spans;
+      Bmx_obs.Perfetto.write_file
+        ~extra:(Bmx_obs.Timeseries.perfetto_counters ts)
+        file spans;
       Printf.printf "perfetto: %d span(s) written to %s\n" (List.length spans)
         file;
       if selfcheck then begin
@@ -857,6 +965,32 @@ let report_cmd =
             "Re-parse the Perfetto JSON and require latency samples; exit 1 \
              on any failure (used by the @report smoke alias)")
   in
+  let since =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "since" ] ~docv:"µSTEP"
+          ~doc:
+            "Window-query start (virtual µsteps, inclusive); prints \
+             per-component traffic and latency percentiles over the \
+             continuous series restricted to the interval")
+  in
+  let until =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "until" ] ~docv:"µSTEP"
+          ~doc:"Window-query end (virtual µsteps, exclusive)")
+  in
+  let series =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series" ] ~docv:"FILE"
+          ~doc:
+            "Write the continuous virtual-time series (one JSON object \
+             per window) to $(docv)")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
@@ -867,7 +1001,100 @@ let report_cmd =
     Term.(
       ret
         (const run_report $ nodes $ bunches $ objects $ ops $ seed $ mode $ ggc
-       $ drop $ dup $ fault_kinds $ perfetto $ selfcheck))
+       $ drop $ dup $ fault_kinds $ perfetto $ selfcheck $ since $ until
+       $ series))
+
+(* ---------------------------------------------------------------- watch *)
+
+let run_watch nodes bunches objects ops seed mode every =
+  let cfg =
+    {
+      Driver.default with
+      nodes;
+      bunches;
+      objects_per_bunch = objects;
+      ops;
+      seed;
+      mode;
+    }
+  in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  Cluster.set_event_trace c true;
+  let ts = Cluster.enable_timeseries c in
+  let w = Bmx_obs.Timeseries.window ts in
+  Printf.printf "watch: %d nodes, %d ops (seed %d); one row per %d window(s) \
+                 of %d µsteps\n"
+    nodes ops seed every w;
+  Printf.printf "%12s %8s %10s %6s %12s %12s\n" "t1/µstep" "msgs" "bytes" "gcs"
+    "p99.acq" "p99.pause";
+  Bmx_obs.Timeseries.on_window ts (fun ts ->
+      let n = Bmx_obs.Timeseries.closed_windows ts in
+      if n mod every = 0 then
+        match Bmx_obs.Timeseries.span ts with
+        | None -> ()
+        | Some (_, hi) ->
+            let since = hi - (every * w) and until = hi in
+            let sum prefix =
+              List.fold_left
+                (fun acc comp ->
+                  acc
+                  + Bmx_obs.Timeseries.counter_sum ts ~since ~until
+                      (prefix ^ Bmx_netsim.Net.Component.to_string comp))
+                0 Bmx_netsim.Net.Component.all
+            in
+            let p99 series =
+              if Bmx_obs.Timeseries.sample_count ts ~since ~until series > 0
+              then
+                Printf.sprintf "%.0f"
+                  (Bmx_obs.Timeseries.percentile ts ~since ~until series 99.)
+              else "-"
+            in
+            let gcs =
+              Bmx_obs.Timeseries.sample_count ts ~since ~until
+                "latency.gc.pause"
+            in
+            Printf.printf "%12d %8d %10d %6d %12s %12s\n" until
+              (sum "net.comp.msgs.") (sum "net.comp.bytes.") gcs
+              (p99 "latency.token_acquire.write")
+              (p99 "latency.gc.pause"));
+  Driver.run_ops d ();
+  ignore (Cluster.collect_until_quiescent c ());
+  ignore (Cluster.settle c);
+  Bmx_obs.Timeseries.freeze ts;
+  Printf.printf "watch: %d window(s) closed, gc token acquires %d\n"
+    (Bmx_obs.Timeseries.closed_windows ts)
+    (Stats.get (Cluster.stats c) "dsm.gc.acquire_read"
+    + Stats.get (Cluster.stats c) "dsm.gc.acquire_write")
+
+let watch_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~doc:"Cluster size") in
+  let bunches = Arg.(value & opt int 4 & info [ "bunches"; "b" ] ~doc:"Bunch count") in
+  let objects =
+    Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Objects per bunch")
+  in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"Mutator operations") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed") in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Bmx_dsm.Protocol.Distributed
+      & info [ "mode" ] ~doc:"Copy-set mode: distributed or centralized")
+  in
+  let every =
+    Arg.(
+      value & opt int 10
+      & info [ "every" ]
+          ~doc:"Print one dashboard row per $(docv) closed windows" ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Run a workload with continuous sampling on and print a live text \
+          dashboard — per-component traffic, collections and p99 latencies \
+          per window of virtual time — as the run advances")
+    Term.(
+      const run_watch $ nodes $ bunches $ objects $ ops $ seed $ mode $ every)
 
 (* -------------------------------------------------------------- explore *)
 
@@ -948,6 +1175,7 @@ let main =
       certify_cmd;
       explore_cmd;
       report_cmd;
+      watch_cmd;
     ]
 
 let () = exit (Cmd.eval main)

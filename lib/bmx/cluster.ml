@@ -20,6 +20,8 @@ type t = {
   rng : Rng.t;
   mutable next_node : int;
   mutable next_bunch : int;
+  mutable timeseries : Bmx_obs.Timeseries.t option;
+  mutable flight : Bmx_obs.Flight.t option;
 }
 
 (* The kinds carried reliably by default: the two that mutate remote
@@ -59,6 +61,8 @@ let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) ?(trace_events = false
       rng = Rng.make seed;
       next_node = 0;
       next_bunch = 0;
+      timeseries = None;
+      flight = None;
     }
   in
   for _ = 1 to nodes do
@@ -67,6 +71,34 @@ let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) ?(trace_events = false
   done;
   t
 
+let enable_timeseries ?window ?slots ?reservoir t =
+  match t.timeseries with
+  | Some ts -> ts
+  | None ->
+      let ts =
+        Bmx_obs.Timeseries.create ?window ?slots ?reservoir ~metrics:t.obs ()
+      in
+      Bmx_obs.Timeseries.attach ts (Protocol.evlog t.proto);
+      (* The event tap only sees recorded events; the tick hook keeps
+         windows closing on virtual time even through quiet stretches
+         (or with event recording off). *)
+      Net.set_tick_hook t.net (fun now ->
+          Bmx_obs.Timeseries.note ts (now * Trace_event.quantum));
+      t.timeseries <- Some ts;
+      ts
+
+let timeseries t = t.timeseries
+
+let enable_flight ?per_node ?max_dumps t =
+  match t.flight with
+  | Some f -> f
+  | None ->
+      let f = Bmx_obs.Flight.create ?per_node ?max_dumps ~metrics:t.obs () in
+      Bmx_obs.Flight.attach f (Protocol.evlog t.proto);
+      t.flight <- Some f;
+      f
+
+let flight t = t.flight
 let proto t = t.proto
 let gc t = t.gc
 let net t = t.net

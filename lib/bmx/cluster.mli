@@ -46,6 +46,22 @@ val metrics : t -> Bmx_obs.Metrics.t
     copyset/grant histograms ({!Bmx_dsm.Protocol.set_metrics}) and
     per-node GC occupancy gauges ({!Bmx_gc.Gc_state.set_metrics}). *)
 
+val enable_timeseries :
+  ?window:int -> ?slots:int -> ?reservoir:int -> t -> Bmx_obs.Timeseries.t
+(** Start continuous sampling: a {!Bmx_obs.Timeseries} attached to the
+    cluster metrics registry and event log, with window closes driven by
+    the network's virtual clock ({!Bmx_netsim.Net.set_tick_hook}).
+    Idempotent — returns the existing series on later calls. *)
+
+val timeseries : t -> Bmx_obs.Timeseries.t option
+
+val enable_flight :
+  ?per_node:int -> ?max_dumps:int -> t -> Bmx_obs.Flight.t
+(** Attach a {!Bmx_obs.Flight} recorder to the event log (with the
+    cluster metrics registry for dump snapshots).  Idempotent. *)
+
+val flight : t -> Bmx_obs.Flight.t option
+
 val tracer : t -> Bmx_util.Tracelog.t
 (** The shared structured event trace (disabled by default); enable with
     {!Bmx_util.Tracelog.set_enabled} to record token grants, ownership

@@ -42,7 +42,8 @@ let node_span events =
       | E.Rvm_recover { node; _ }
       | E.Bunch_verified { node; _ }
       | E.Read_obs { node; _ }
-      | E.Write_obs { node; _ } ->
+      | E.Write_obs { node; _ }
+      | E.Gc_phase { node; _ } ->
           see node
       | E.Grant_sent { granter; requester; _ }
       | E.Hook_ssp { granter; requester; _ } ->
@@ -244,7 +245,9 @@ let exec ~copy ?nodes ?indices events emit =
         | E.Msg_suppressed { dst; kind; _ } | E.Msg_buffered { dst; kind; _ }
           ->
             if gc_kind kind then (E.Gc, gstep dst) else (E.App, step dst)
-        | E.Gc_begin { node; _ } | E.Gc_end { node; _ } -> (E.Gc, gstep node)
+        | E.Gc_begin { node; _ } | E.Gc_end { node; _ } | E.Gc_phase { node; _ }
+          ->
+            (E.Gc, gstep node)
         | E.Tables_processed { at; _ } -> (E.Gc, gstep at)
         | E.Read_obs { actor; node; _ } | E.Write_obs { actor; node; _ } -> (
             match actor with

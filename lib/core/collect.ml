@@ -226,17 +226,48 @@ let collect_roots t ~node ~in_set ~group_mode =
 (* ------------------------------------------------------------------ *)
 (* The collection itself.                                              *)
 
-let phase_timing = Sys.getenv_opt "BMX_GC_PHASE_TIMING" <> None
+(* Per-phase wall-clock accounting (trace / flip / copy / scan /
+   cleaner-reconcile): every boundary adds to the matching
+   Perfcount.gc_ns_* counter; run emits the totals as per-node
+   gc.phase.<name> histograms (µs) and, when the event log is on, as
+   Gc_phase trace events (Perfetto slices).  This replaces the old
+   BMX_GC_PHASE_TIMING stderr hack — see HACKING.md "GC phase
+   profiling" for the e20-diag recipe. *)
+type phase = P_trace | P_flip | P_copy | P_scan | P_reconcile
+
+let phase_name = function
+  | P_trace -> "trace"
+  | P_flip -> "flip"
+  | P_copy -> "copy"
+  | P_scan -> "scan"
+  | P_reconcile -> "cleaner-reconcile"
+
+let charge_phase_ns phase ns =
+  Perfcount.(
+    match phase with
+    | P_trace -> counters.gc_ns_trace <- counters.gc_ns_trace + ns
+    | P_flip -> counters.gc_ns_flip <- counters.gc_ns_flip + ns
+    | P_copy -> counters.gc_ns_copy <- counters.gc_ns_copy + ns
+    | P_scan -> counters.gc_ns_scan <- counters.gc_ns_scan + ns
+    | P_reconcile -> counters.gc_ns_reconcile <- counters.gc_ns_reconcile + ns)
+
+let all_phases = [ P_trace; P_flip; P_copy; P_scan; P_reconcile ]
 
 let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
   let pt_last = ref (Sys.time ()) in
-  let pt name =
-    if phase_timing then begin
-      let now = Sys.time () in
-      Printf.eprintf "  [gc-phase] %-18s %8.2f ms\n%!" name
-        ((now -. !pt_last) *. 1e3);
-      pt_last := now
-    end
+  let phase_s = [| 0.; 0.; 0.; 0.; 0. |] in
+  let phase_idx = function
+    | P_trace -> 0
+    | P_flip -> 1
+    | P_copy -> 2
+    | P_scan -> 3
+    | P_reconcile -> 4
+  in
+  let pt phase =
+    let now = Sys.time () in
+    let i = phase_idx phase in
+    phase_s.(i) <- phase_s.(i) +. (now -. !pt_last);
+    pt_last := now
   in
   let proto = Gc_state.proto t in
   let store = Protocol.store proto node in
@@ -253,9 +284,9 @@ let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
   let root_addrs, root_uids, root_uids_no_intra =
     collect_roots t ~node ~in_set ~group_mode
   in
-  pt "roots";
+  pt P_trace;
   let live, edges = trace t ~node ~in_set ~root_addrs ~root_uids in
-  pt "trace";
+  pt P_trace;
 
   (* Second trace without the intra-bunch scions: objects reachable only
      through an intra-bunch scion must not contribute exiting ownerPtrs,
@@ -263,7 +294,7 @@ let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
   let live_no_intra, _ =
     trace t ~node ~in_set ~root_addrs ~root_uids:root_uids_no_intra
   in
-  pt "trace2";
+  pt P_trace;
 
   (* Economical mode: evacuation exists to reclaim the from-space, so
      when the trace proves there is nothing to reclaim — every local
@@ -294,6 +325,7 @@ let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
             | Segment.From_space | Segment.Free -> ())
           (Store.segments_of_bunch store b))
       bunches;
+  pt P_flip;
 
   (* Copy phase: evacuate locally-owned live objects; merely note the
      others.  The iteration order is by uid for determinism. *)
@@ -361,7 +393,7 @@ let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
         if not owned then bump t "gc.objects_scanned_in_place"
       end)
     live_arr;
-  pt "copy";
+  pt P_copy;
 
   (* Reference updating (§4.4): rewrite pointer fields of every live local
      copy through the local forwarder chains — strictly local, no token. *)
@@ -383,7 +415,7 @@ let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
                 bump t "gc.ref_updates"
               end))
     live;
-  pt "ref_update";
+  pt P_scan;
 
   (* Reclamation: local replicas of the collected bunches that the trace
      did not reach are garbage here. *)
@@ -401,7 +433,7 @@ let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
           end)
         (Store.objects_of_bunch store b))
     bunches;
-  pt "reclaim";
+  pt P_scan;
 
   (* Scion roots for objects with no local copy (the reference was
      created here without the target ever being cached): they cannot be
@@ -526,7 +558,7 @@ let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
       exiting_total := !exiting_total + List.length exiting;
       tables_sent := !tables_sent + sent)
     bunches;
-  pt "stub_tables+bcast";
+  pt P_reconcile;
 
   (* The to-space becomes the new allocation space. *)
   Ids.Bunch_tbl.iter
@@ -542,6 +574,22 @@ let run ?(economical = false) t ~node ~bunches ~group_mode ?(copy = true) () =
     node
     (String.concat "," (List.map Ids.Bunch.to_string bunches))
     (Ids.Uid_tbl.length live) !copied !reclaimed;
+  (* Surface the per-phase wall-clock totals of this collection. *)
+  List.iter
+    (fun phase ->
+      let s = phase_s.(phase_idx phase) in
+      charge_phase_ns phase (int_of_float (s *. 1e9));
+      let us = int_of_float (s *. 1e6) in
+      (match Gc_state.metrics t with
+      | Some m ->
+          Bmx_obs.Metrics.observe m ~node
+            ("gc.phase." ^ phase_name phase)
+            (float_of_int us)
+      | None -> ());
+      if Trace_event.enabled evlog then
+        Trace_event.record evlog
+          (Trace_event.Gc_phase { node; phase = phase_name phase; us }))
+    all_phases;
   if Trace_event.enabled evlog then
     Trace_event.record evlog
       (Trace_event.Gc_end

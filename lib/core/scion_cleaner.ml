@@ -135,7 +135,7 @@ let sync_mirror t ~at ~seq msg =
         Mirror_rewritten
       end
 
-let receive t ~at ~seq msg =
+let receive_untimed t ~at ~seq msg =
   let net = Protocol.net (Gc_state.proto t) in
   let sender_dead =
     (not (Ids.Node.equal msg.tm_sender at))
@@ -493,6 +493,17 @@ let receive t ~at ~seq msg =
     Gc_state.sample_ssp_gauges t ~node:at
     end
   end
+
+(* Cleaner merges run both inline (a node processing its own tables) and
+   at message delivery, possibly long after the emitting collection; the
+   timer here attributes that work to the reconcile phase wherever it
+   lands. *)
+let receive t ~at ~seq msg =
+  let t0 = Sys.time () in
+  receive_untimed t ~at ~seq msg;
+  let ns = int_of_float ((Sys.time () -. t0) *. 1e9) in
+  Perfcount.counters.Perfcount.gc_ns_reconcile <-
+    Perfcount.counters.Perfcount.gc_ns_reconcile + ns
 
 let destinations t ~node ~bunch ~old_inter ~new_inter ~old_intra ~new_intra
     ~exiting =

@@ -601,7 +601,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
              });
         obs_observe t ~node:granter "dsm.grant.updates" (List.length updates);
         if updates <> [] then
-          Net.record_piggyback t.net ~kind:Net.Token_grant
+          Net.record_piggyback t.net ~src:granter ~kind:Net.Token_grant
             ~bytes:(List.length updates * update_bytes);
         trace t "dsm" "read grant u%d: N%d -> N%d (%d updates)" uid granter n
           (List.length updates);
@@ -692,7 +692,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
                });
           obs_observe t ~node:owner "dsm.grant.updates" (List.length updates);
           if updates <> [] then
-            Net.record_piggyback t.net ~kind:Net.Token_grant
+            Net.record_piggyback t.net ~src:owner ~kind:Net.Token_grant
               ~bytes:(List.length updates * update_bytes);
           (* Ownership transfer: the old owner keeps an inconsistent copy
              (Figure 1: o3 marked "i" at N2) and its ownerPtr now exits

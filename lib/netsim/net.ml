@@ -35,6 +35,52 @@ let all_kinds =
     App_message;
   ]
 
+(* Wire attribution: every message kind belongs to exactly one component
+   — [of_kind] is an exhaustive match, so an unmapped new kind is a
+   build-time error, and the shard-scaling gate can say which
+   component's traffic grows with what. *)
+module Component = struct
+  type t = Dsm | Gc_cleaner | Gc_bgc | Registry | Rvm | App
+
+  let of_kind = function
+    | Token_request | Token_grant | Invalidate | Object_fetch -> Dsm
+    | Scion_message | Stub_table -> Gc_cleaner
+    | Reclaim_request | Reclaim_reply | Refcount_op -> Gc_bgc
+    | Addr_update -> Registry
+    | App_message -> App
+  (* Rvm never appears here: recoverable virtual memory is node-local
+     (log + disk image); it is listed so reports show its wire share is
+     zero by construction, not by omission. *)
+
+  let to_string = function
+    | Dsm -> "dsm"
+    | Gc_cleaner -> "gc-cleaner"
+    | Gc_bgc -> "gc-bgc"
+    | Registry -> "registry"
+    | Rvm -> "rvm"
+    | App -> "app"
+
+  let all = [ Dsm; Gc_cleaner; Gc_bgc; Registry; Rvm; App ]
+end
+
+(* Pre-interned metric names: the per-message accounting path must not
+   build strings. *)
+let comp_bytes_key = function
+  | Component.Dsm -> "net.comp.bytes.dsm"
+  | Component.Gc_cleaner -> "net.comp.bytes.gc-cleaner"
+  | Component.Gc_bgc -> "net.comp.bytes.gc-bgc"
+  | Component.Registry -> "net.comp.bytes.registry"
+  | Component.Rvm -> "net.comp.bytes.rvm"
+  | Component.App -> "net.comp.bytes.app"
+
+let comp_msgs_key = function
+  | Component.Dsm -> "net.comp.msgs.dsm"
+  | Component.Gc_cleaner -> "net.comp.msgs.gc-cleaner"
+  | Component.Gc_bgc -> "net.comp.msgs.gc-bgc"
+  | Component.Registry -> "net.comp.msgs.registry"
+  | Component.Rvm -> "net.comp.msgs.rvm"
+  | Component.App -> "net.comp.msgs.app"
+
 type 'p envelope = {
   src : Ids.Node.t;
   dst : Ids.Node.t;
@@ -85,6 +131,8 @@ type 'p t = {
   cut : (Ids.Node.t * Ids.Node.t, unit) Hashtbl.t;
   suspect : (Ids.Node.t * Ids.Node.t, unit) Hashtbl.t;
   mutable suspect_after : int;
+  (* Observer of virtual-time advance (the periodic sampler). *)
+  mutable tick_hook : (int -> unit) option;
 }
 
 let create ~stats () =
@@ -108,6 +156,7 @@ let create ~stats () =
     cut = Hashtbl.create 8;
     suspect = Hashtbl.create 8;
     suspect_after = 6;
+    tick_hook = None;
   }
 
 let stats t = t.stats
@@ -266,14 +315,34 @@ let rstate t key =
       Hashtbl.add t.rstates key rs;
       rs
 
-let account_bytes t ~kind ~bytes =
-  Stats.incr t.stats ~by:bytes ("net.bytes." ^ kind_to_string kind);
-  Stats.incr t.stats ~by:bytes "net.bytes.total"
+(* Per-(component, node) byte/message series feed the continuous
+   sampler; cluster-wide totals ride along unlabelled. *)
+let comp_account_bytes t ~src ~kind ~bytes =
+  match t.obs with
+  | None -> ()
+  | Some m ->
+      let key = comp_bytes_key (Component.of_kind kind) in
+      Bmx_obs.Metrics.incr m ~by:bytes key;
+      Bmx_obs.Metrics.incr m ~node:src ~by:bytes key
 
-let account t ~kind ~bytes =
+let comp_account_msg t ~src ~kind =
+  match t.obs with
+  | None -> ()
+  | Some m ->
+      let key = comp_msgs_key (Component.of_kind kind) in
+      Bmx_obs.Metrics.incr m key;
+      Bmx_obs.Metrics.incr m ~node:src key
+
+let account_bytes t ~src ~kind ~bytes =
+  Stats.incr t.stats ~by:bytes ("net.bytes." ^ kind_to_string kind);
+  Stats.incr t.stats ~by:bytes "net.bytes.total";
+  comp_account_bytes t ~src ~kind ~bytes
+
+let account t ~src ~kind ~bytes =
   Stats.incr t.stats ("net.sent." ^ kind_to_string kind);
   Stats.incr t.stats "net.sent.total";
-  account_bytes t ~kind ~bytes
+  comp_account_msg t ~src ~kind;
+  account_bytes t ~src ~kind ~bytes
 
 (* Put one copy of [env] on the wire: roll the fault dice, account the
    bytes of every copy actually enqueued.  Used for reliable transmissions
@@ -286,17 +355,17 @@ let transmit t env ~bytes =
         Stats.incr t.stats "net.dropped.total"
       end
       else begin
-        account_bytes t ~kind:env.kind ~bytes;
+        account_bytes t ~src:env.src ~kind:env.kind ~bytes;
         Queue.add env t.queue;
         if Rng.float rng 1.0 < dup then begin
           Stats.incr t.stats ("net.duplicated." ^ kind_to_string env.kind);
           Stats.incr t.stats "net.duplicated.total";
-          account_bytes t ~kind:env.kind ~bytes;
+          account_bytes t ~src:env.src ~kind:env.kind ~bytes;
           Queue.add env t.queue
         end
       end
   | None ->
-      account_bytes t ~kind:env.kind ~bytes;
+      account_bytes t ~src:env.src ~kind:env.kind ~bytes;
       Queue.add env t.queue
 
 let send t ~src ~dst ~kind ?(bytes = 64) payload =
@@ -308,6 +377,7 @@ let send t ~src ~dst ~kind ?(bytes = 64) payload =
     (* One logical send, however many transmissions it takes. *)
     Stats.incr t.stats ("net.sent." ^ kind_to_string kind);
     Stats.incr t.stats "net.sent.total";
+    comp_account_msg t ~src ~kind;
     let u =
       {
         u_env = env;
@@ -332,17 +402,17 @@ let send t ~src ~dst ~kind ?(bytes = 64) payload =
           Stats.incr t.stats "net.dropped.total"
         end
         else begin
-          account t ~kind ~bytes;
+          account t ~src ~kind ~bytes;
           Queue.add env t.queue;
           if Rng.float rng 1.0 < dup then begin
             Stats.incr t.stats ("net.duplicated." ^ kind_to_string kind);
             Stats.incr t.stats "net.duplicated.total";
-            account t ~kind ~bytes;
+            account t ~src ~kind ~bytes;
             Queue.add env t.queue
           end
         end
     | None ->
-        account t ~kind ~bytes;
+        account t ~src ~kind ~bytes;
         Queue.add env t.queue
   end
 
@@ -360,13 +430,14 @@ let record_rpc t ~src ~dst ~kind ?(bytes = 64) () =
   end;
   let seq = next_seq t ~src ~dst in
   ev t (Trace_event.Rpc { src; dst; kind = kind_to_string kind; seq });
-  account t ~kind ~bytes
+  account t ~src ~kind ~bytes
 
-let record_piggyback t ~kind ~bytes =
+let record_piggyback t ~src ~kind ~bytes =
   Stats.incr t.stats ("net.piggyback." ^ kind_to_string kind);
   Stats.incr t.stats ~by:bytes ("net.bytes." ^ kind_to_string kind);
   Stats.incr t.stats ~by:bytes "net.bytes.total";
-  Stats.incr t.stats ~by:bytes "net.bytes.piggyback"
+  Stats.incr t.stats ~by:bytes "net.bytes.piggyback";
+  comp_account_bytes t ~src ~kind ~bytes
 
 (* Cumulative acknowledgement: everything on the (src, dst) stream up to
    reliable index [upto] has been handed to the handler; retire the
@@ -550,9 +621,12 @@ let set_metrics t m =
   Bmx_obs.Metrics.gauge_fn m "net.pending" (fun () -> Queue.length t.queue);
   Bmx_obs.Metrics.gauge_fn m "net.vclock" (fun () -> t.now)
 
+let set_tick_hook t f = t.tick_hook <- Some f
+
 let tick ?(dt = 1) t =
   if dt <= 0 then invalid_arg "Net.tick: dt must be positive";
   t.now <- t.now + dt;
+  (match t.tick_hook with None -> () | Some f -> f t.now);
   let retransmitted = ref 0 in
   let retransmit_one u ~interval =
     u.u_attempts <- u.u_attempts + 1;
@@ -728,3 +802,101 @@ let clear_faults t = Hashtbl.reset t.faults
 let sent t kind = Stats.get t.stats ("net.sent." ^ kind_to_string kind)
 let total_messages t = Stats.get t.stats "net.sent.total"
 let total_bytes t = Stats.get t.stats "net.bytes.total"
+
+let component_bytes t comp =
+  List.fold_left
+    (fun acc k ->
+      if Component.of_kind k = comp then
+        acc + Stats.get t.stats ("net.bytes." ^ kind_to_string k)
+      else acc)
+    0 all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Scaling gate over a node sweep. *)
+
+type scaling_point = { sp_nodes : int; sp_bytes : (Component.t * int) list }
+
+let scaling_point t ~nodes =
+  {
+    sp_nodes = nodes;
+    sp_bytes = List.map (fun c -> (c, component_bytes t c)) Component.all;
+  }
+
+type scaling_row = {
+  sr_component : Component.t;
+  sr_first_per_node : float;
+  sr_last_per_node : float;
+  sr_growth : float;
+  sr_ok : bool;
+  sr_note : string;
+}
+
+let scaling_check ?(floor = 1024) ?(bound = 1.5) points =
+  if List.length points < 3 then
+    invalid_arg "Net.scaling_check: need at least 3 sweep points";
+  let points =
+    List.sort (fun a b -> compare a.sp_nodes b.sp_nodes) points
+  in
+  let first = List.hd points in
+  let last = List.nth points (List.length points - 1) in
+  if first.sp_nodes >= last.sp_nodes then
+    invalid_arg "Net.scaling_check: sweep points must span distinct node counts";
+  let bytes_of p c =
+    match List.assoc_opt c p.sp_bytes with Some b -> b | None -> 0
+  in
+  let rows =
+    List.map
+      (fun c ->
+        let b0 = bytes_of first c and b1 = bytes_of last c in
+        let per0 = float_of_int b0 /. float_of_int first.sp_nodes in
+        let per1 = float_of_int b1 /. float_of_int last.sp_nodes in
+        let growth = if per0 > 0. then per1 /. per0 else 0. in
+        match c with
+        | Component.Gc_cleaner ->
+            (* Cleaner traffic is O(sharing): widening the sweep adds
+               cross-node references, so its total must grow — but it is
+               exempt from the per-node bound. *)
+            if b1 <= floor && b0 <= floor then
+              {
+                sr_component = c;
+                sr_first_per_node = per0;
+                sr_last_per_node = per1;
+                sr_growth = growth;
+                sr_ok = false;
+                sr_note = "cleaner traffic below floor — sweep saw no sharing";
+              }
+            else
+              {
+                sr_component = c;
+                sr_first_per_node = per0;
+                sr_last_per_node = per1;
+                sr_growth = growth;
+                sr_ok = b1 > b0;
+                sr_note =
+                  (if b1 > b0 then "grows with sharing (exempt from bound)"
+                   else "cleaner traffic failed to grow with sharing");
+              }
+        | _ ->
+            if b1 <= floor then
+              {
+                sr_component = c;
+                sr_first_per_node = per0;
+                sr_last_per_node = per1;
+                sr_growth = growth;
+                sr_ok = true;
+                sr_note = "below floor (skipped)";
+              }
+            else
+              {
+                sr_component = c;
+                sr_first_per_node = per0;
+                sr_last_per_node = per1;
+                sr_growth = growth;
+                sr_ok = growth <= bound;
+                sr_note =
+                  (if growth <= bound then "per-node traffic bounded"
+                   else "per-node traffic grows with N — superlinear total");
+              })
+      Component.all
+  in
+  (rows, List.for_all (fun r -> r.sr_ok) rows)

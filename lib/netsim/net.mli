@@ -37,6 +37,20 @@ val kind_to_string : kind -> string
 val pp_kind : Format.formatter -> kind -> unit
 val all_kinds : kind list
 
+(** Wire attribution: every message kind maps to exactly one component
+    ([Component.of_kind] is an exhaustive match — adding a kind without
+    classifying it is a build-time error).  [Rvm] is listed but owns no
+    wire traffic by construction (recoverable virtual memory is
+    node-local), so reports can show its share is zero rather than
+    unaccounted. *)
+module Component : sig
+  type t = Dsm | Gc_cleaner | Gc_bgc | Registry | Rvm | App
+
+  val of_kind : kind -> t
+  val to_string : t -> string
+  val all : t list
+end
+
 type 'p envelope = {
   src : Bmx_util.Ids.Node.t;
   dst : Bmx_util.Ids.Node.t;
@@ -71,7 +85,14 @@ val set_metrics : 'p t -> Bmx_obs.Metrics.t -> unit
     [net.unacked_reliable], [net.pending] and [net.vclock] (sampled at
     snapshot time), and feeds the per-sender [net.rel.attempts]
     histogram — transmissions per acknowledged reliable message — as
-    acks retire them. *)
+    acks retire them.  Once attached, every transmission also bumps the
+    per-component series [net.comp.bytes.<component>] and
+    [net.comp.msgs.<component>], both cluster-wide and labelled with the
+    sending node (pre-interned names — no per-message allocation). *)
+
+val set_tick_hook : 'p t -> (int -> unit) -> unit
+(** Observer of virtual-time advance, called with the new [now] on every
+    {!tick} — the periodic sampler's clock source. *)
 
 val send :
   'p t ->
@@ -93,9 +114,10 @@ val record_rpc :
   unit
 (** Account for one synchronous message executed inline by the caller. *)
 
-val record_piggyback : 'p t -> kind:kind -> bytes:int -> unit
+val record_piggyback :
+  'p t -> src:Bmx_util.Ids.Node.t -> kind:kind -> bytes:int -> unit
 (** Account for GC payload bytes piggybacked onto an existing message of
-    [kind]; adds no message count. *)
+    [kind] sent by [src]; adds no message count. *)
 
 val step : 'p t -> bool
 (** Deliver the oldest pending message (globally).  Returns [false] if the
@@ -272,6 +294,36 @@ val current_seq :
     message was ever sent).  Receivers use it as a logical clock: state
     registered during a synchronous exchange is newer than any message of
     the same stream sent before it. *)
+
+val component_bytes : 'p t -> Component.t -> int
+(** Total wire bytes attributed to a component so far (payload plus
+    piggyback, every transmitted copy). *)
+
+type scaling_point = { sp_nodes : int; sp_bytes : (Component.t * int) list }
+
+val scaling_point : 'p t -> nodes:int -> scaling_point
+(** Snapshot this network's per-component byte totals as one sweep
+    point. *)
+
+type scaling_row = {
+  sr_component : Component.t;
+  sr_first_per_node : float;  (** bytes/node at the smallest sweep point *)
+  sr_last_per_node : float;  (** bytes/node at the largest sweep point *)
+  sr_growth : float;  (** last-per-node / first-per-node *)
+  sr_ok : bool;
+  sr_note : string;
+}
+
+val scaling_check :
+  ?floor:int -> ?bound:float -> scaling_point list -> scaling_row list * bool
+(** Assert the shard-scaling property over a sweep of ≥ 3 node counts:
+    gc-cleaner traffic must grow with sharing (its total is O(sharing),
+    exempt from the per-node bound), while every other component's
+    per-node traffic must not grow by more than [bound] (default 1.5×)
+    from the smallest to the largest point — i.e. no component is
+    silently superlinear in N.  Components whose total stays under
+    [floor] bytes (default 1024) are skipped.  Raises [Invalid_argument]
+    on fewer than 3 points or a degenerate sweep. *)
 
 val sent : 'p t -> kind -> int
 (** Total messages of [kind] accounted so far (sent + rpc, not drops). *)

@@ -1,0 +1,163 @@
+(* Flight recorder: bounded per-node rings over the typed event stream.
+
+   Every red gate should ship its own reproduction slice.  The recorder
+   taps the Trace_event log, keeps the last N events per node (so one
+   chatty node cannot evict a quiet node's history), and on a trigger
+   dumps the merged slice plus a metrics snapshot as a text artifact:
+   '#'-prefixed header lines (reason, trip time, metrics JSON) followed
+   by plain Trace_event.to_line lines — the slice feeds straight back
+   into `bmxctl check --trace` / `certify --trace`, which skip '#'.
+
+   Triggers: automatic on the §5 alarm (a GC-actor token acquire) and on
+   truncating RVM recovery; external via [trip] for lint findings and
+   audit loss, wired in bmxctl. *)
+
+open Bmx_util
+module T = Trace_event
+
+type ring = {
+  buf : (int * T.t) option array;
+  mutable next : int;  (* next write position *)
+  mutable count : int;  (* total writes ever *)
+}
+
+type dump = { reason : string; at : int; text : string }
+
+type t = {
+  per_node : int;
+  max_dumps : int;
+  metrics : Metrics.t option;
+  rings : (Ids.Node.t, ring) Hashtbl.t;
+  mutable dumps_rev : dump list;
+  mutable n_dumps : int;
+  mutable last_ts : int;
+  mutable on_dump : (dump -> unit) option;
+}
+
+let create ?(per_node = 256) ?(max_dumps = 4) ?metrics () =
+  if per_node <= 0 then invalid_arg "Flight.create: per_node";
+  {
+    per_node;
+    max_dumps;
+    metrics;
+    rings = Hashtbl.create 8;
+    dumps_rev = [];
+    n_dumps = 0;
+    last_ts = 0;
+    on_dump = None;
+  }
+
+let set_on_dump t f = t.on_dump <- Some f
+let dumps t = List.rev t.dumps_rev
+
+(* Attribution is total over the event type on purpose: a new
+   constructor must decide here which node's history it belongs to
+   (both, for pair events) or the build breaks. *)
+let nodes_of_event = function
+  | T.Acquire_start { node; _ }
+  | T.Acquire_done { node; _ }
+  | T.Release { node; _ }
+  | T.Updates_applied { node; _ }
+  | T.Forward_due { node; _ }
+  | T.Gc_begin { node; _ }
+  | T.Gc_end { node; _ }
+  | T.Gc_phase { node; _ }
+  | T.Crash { node }
+  | T.Restart { node }
+  | T.Owner_adopted { node; _ }
+  | T.Disk_fault { node; _ }
+  | T.Rvm_recover { node; _ }
+  | T.Bunch_verified { node; _ }
+  | T.Read_obs { node; _ }
+  | T.Write_obs { node; _ } ->
+      (node, None)
+  | T.Grant_sent { granter; requester; _ } -> (granter, Some requester)
+  | T.Hook_ssp { granter; requester; _ } -> (granter, Some requester)
+  | T.Invalidate { src; dst; _ }
+  | T.Copyset_forward { src; dst; _ }
+  | T.Msg_sent { src; dst; _ }
+  | T.Msg_delivered { src; dst; _ }
+  | T.Msg_retransmit { src; dst; _ }
+  | T.Msg_suppressed { src; dst; _ }
+  | T.Msg_buffered { src; dst; _ }
+  | T.Rpc { src; dst; _ }
+  | T.Link_cut { src; dst }
+  | T.Link_heal { src; dst }
+  | T.Suspect { src; dst; _ } ->
+      (src, Some dst)
+  | T.Tables_processed { at; sender; _ } -> (at, Some sender)
+
+let ring_of t node =
+  match Hashtbl.find_opt t.rings node with
+  | Some r -> r
+  | None ->
+      let r = { buf = Array.make t.per_node None; next = 0; count = 0 } in
+      Hashtbl.add t.rings node r;
+      r
+
+let push r entry =
+  r.buf.(r.next) <- Some entry;
+  r.next <- (r.next + 1) mod Array.length r.buf;
+  r.count <- r.count + 1
+
+(* ---------------------------------------------------------- dumping *)
+
+let slice t =
+  (* Merge every ring; duplicates (pair events recorded on both ends)
+     collapse by timestamp — µstep stamps are strictly increasing, so a
+     timestamp identifies an event. *)
+  let all = ref [] in
+  Hashtbl.iter
+    (fun _ r ->
+      Array.iter (function None -> () | Some e -> all := e :: !all) r.buf)
+    t.rings;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !all in
+  let rec dedup = function
+    | (ta, _) :: ((tb, _) :: _ as rest) when ta = tb -> dedup rest
+    | e :: rest -> e :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let trip t ?at reason =
+  if t.n_dumps < t.max_dumps then begin
+    let at = match at with Some a -> a | None -> t.last_ts in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Printf.sprintf "# flight reason=%s\n" reason);
+    Buffer.add_string buf (Printf.sprintf "# at=%d\n" at);
+    (match t.metrics with
+    | None -> ()
+    | Some m ->
+        Buffer.add_string buf
+          ("# metrics=" ^ Json.to_string (Metrics.to_json (Metrics.snapshot m))
+         ^ "\n"));
+    List.iter
+      (fun (_, e) ->
+        Buffer.add_string buf (T.to_line e);
+        Buffer.add_char buf '\n')
+      (slice t);
+    let d = { reason; at; text = Buffer.contents buf } in
+    t.dumps_rev <- d :: t.dumps_rev;
+    t.n_dumps <- t.n_dumps + 1;
+    match t.on_dump with None -> () | Some f -> f d
+  end
+
+(* ---------------------------------------------------------- recording *)
+
+let record t ts e =
+  t.last_ts <- ts;
+  let a, b = nodes_of_event e in
+  push (ring_of t a) (ts, e);
+  (match b with
+  | Some b when b <> a -> push (ring_of t b) (ts, e)
+  | _ -> ());
+  (* Automatic triggers: the §5 alarm and truncating recovery. *)
+  match e with
+  | T.Acquire_start { actor = T.Gc; node; uid; _ } ->
+      trip t ~at:ts
+        (Printf.sprintf "gc-token-acquire:n%d:o%d" node uid)
+  | T.Rvm_recover { node; dropped; lost } when dropped > 0 || lost > 0 ->
+      trip t ~at:ts (Printf.sprintf "rvm-truncation:n%d" node)
+  | _ -> ()
+
+let attach t log = T.add_tap log (fun ts e -> record t ts e)

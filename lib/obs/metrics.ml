@@ -8,9 +8,25 @@ type cell =
   | C_gauge_fn of (unit -> int) ref
   | C_histo of Stats.Summary.t
 
-type t = { cells : (key, cell) Hashtbl.t }
+type t = {
+  cells : (key, cell) Hashtbl.t;
+  (* Bumped whenever a new cell is registered; the periodic sampler
+     caches direct refs to the cells and uses this to notice when its
+     cache went stale, so steady-state sampling never rebuilds lists. *)
+  mutable generation : int;
+  (* Live histogram-sample observer (the timeseries layer): called once
+     per [observe] so windowed reservoirs see raw samples at the right
+     virtual time, which a summary snapshot could never recover. *)
+  mutable observer : (string -> Ids.Node.t option -> float -> unit) option;
+}
 
-let create () = { cells = Hashtbl.create 64 }
+let create () = { cells = Hashtbl.create 64; generation = 0; observer = None }
+let generation t = t.generation
+let set_observer t f = t.observer <- f
+
+let add_cell t key cell =
+  t.generation <- t.generation + 1;
+  Hashtbl.add t.cells key cell
 
 let wrong_kind name what =
   invalid_arg (Printf.sprintf "Metrics: %S already registered as a %s" name what)
@@ -20,31 +36,49 @@ let incr t ?node ?(by = 1) name =
   match Hashtbl.find_opt t.cells key with
   | Some (C_counter r) -> r := !r + by
   | Some _ -> wrong_kind name "non-counter"
-  | None -> Hashtbl.add t.cells key (C_counter (ref by))
+  | None -> add_cell t key (C_counter (ref by))
 
 let set_gauge t ?node name v =
   let key = (name, node) in
   match Hashtbl.find_opt t.cells key with
   | Some (C_gauge r) -> r := v
   | Some _ -> wrong_kind name "non-gauge"
-  | None -> Hashtbl.add t.cells key (C_gauge (ref v))
+  | None -> add_cell t key (C_gauge (ref v))
 
 let gauge_fn t ?node name f =
   let key = (name, node) in
   match Hashtbl.find_opt t.cells key with
   | Some (C_gauge_fn r) -> r := f
   | Some _ -> wrong_kind name "non-gauge"
-  | None -> Hashtbl.add t.cells key (C_gauge_fn (ref f))
+  | None -> add_cell t key (C_gauge_fn (ref f))
 
 let observe t ?node name x =
   let key = (name, node) in
-  match Hashtbl.find_opt t.cells key with
+  (match Hashtbl.find_opt t.cells key with
   | Some (C_histo s) -> Stats.Summary.add s x
   | Some _ -> wrong_kind name "non-histogram"
   | None ->
       let s = Stats.Summary.create ~seed:(Hashtbl.hash key) () in
       Stats.Summary.add s x;
-      Hashtbl.add t.cells key (C_histo s)
+      add_cell t key (C_histo s));
+  match t.observer with None -> () | Some f -> f name node x
+
+(* ------------------------------------------------- sampling sources *)
+
+type source =
+  | S_counter of int ref
+  | S_gauge of int ref
+  | S_gauge_fn of (unit -> int) ref
+
+let sources t =
+  Hashtbl.fold
+    (fun key cell acc ->
+      match cell with
+      | C_counter r -> (key, S_counter r) :: acc
+      | C_gauge r -> (key, S_gauge r) :: acc
+      | C_gauge_fn f -> (key, S_gauge_fn f) :: acc
+      | C_histo _ -> acc)
+    t.cells []
 
 (* ---------------------------------------------------------- snapshots *)
 

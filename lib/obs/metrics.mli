@@ -34,6 +34,32 @@ val observe : t -> ?node:Ids.Node.t -> string -> float -> unit
 (** Add a sample to a histogram (created on first use, with a seed
     derived from the name and node so runs are deterministic). *)
 
+(** {1 Continuous sampling}
+
+    The periodic sampler ({!Timeseries}) must not rebuild association
+    lists per window, so instead of {!snapshot} it caches direct cell
+    references obtained from {!sources} and refreshes the cache only
+    when {!generation} moves (a new cell was registered).  Raw histogram
+    samples reach it live through {!set_observer}. *)
+
+val generation : t -> int
+(** Bumped each time a new cell (any kind) is registered. *)
+
+type source =
+  | S_counter of int ref
+  | S_gauge of int ref
+  | S_gauge_fn of (unit -> int) ref
+
+val sources : t -> ((string * Ids.Node.t option) * source) list
+(** Direct references to every counter/gauge cell, unsorted; histograms
+    are excluded (their raw samples flow through the observer).  Reading
+    through the returned refs allocates nothing. *)
+
+val set_observer :
+  t -> (string -> Ids.Node.t option -> float -> unit) option -> unit
+(** Install (or clear) the live histogram-sample observer, called as
+    [f name node sample] on every {!observe}.  At most one observer. *)
+
 (** {1 Snapshots} *)
 
 type summary = {

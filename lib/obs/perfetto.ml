@@ -46,7 +46,7 @@ let span_event (s : Span.t) =
   | None ->
       Json.Obj (("ph", Json.String "i") :: ("s", Json.String "t") :: common)
 
-let to_json spans =
+let to_json ?(extra = []) spans =
   let nodes =
     List.fold_left
       (fun acc (s : Span.t) -> Ids.Node_set.add s.Span.node acc)
@@ -56,14 +56,14 @@ let to_json spans =
   Json.Obj
     [
       ( "traceEvents",
-        Json.List (metadata_events nodes @ List.map span_event spans) );
+        Json.List (metadata_events nodes @ List.map span_event spans @ extra) );
       ("displayTimeUnit", Json.String "ms");
     ]
 
-let to_string spans = Json.to_string (to_json spans)
+let to_string ?extra spans = Json.to_string (to_json ?extra spans)
 
-let write_file path spans =
+let write_file ?extra path spans =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string spans))
+    (fun () -> output_string oc (to_string ?extra spans))

@@ -221,6 +221,19 @@ let of_events timed =
               dur = None;
               args = [ ("fault", Json.String fault) ];
             }
+      | T.Gc_phase { node; phase; us } ->
+          (* Wall-clock phase cost pinned at its virtual-time completion
+             point; the duration is real microseconds, not µsteps, so it
+             rides along as an arg on an instant slice. *)
+          emit
+            {
+              name = "gc.phase." ^ phase;
+              node;
+              track = Gc;
+              ts;
+              dur = None;
+              args = [ ("wall_us", Json.Int us) ];
+            }
       | T.Release _ | T.Grant_sent _ | T.Hook_ssp _ | T.Invalidate _
       | T.Updates_applied _ | T.Forward_due _ | T.Copyset_forward _
       | T.Rpc _ | T.Owner_adopted _ | T.Tables_processed _

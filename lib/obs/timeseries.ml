@@ -1,0 +1,627 @@
+(* Virtual-time metric series: the continuous half of bmx_obs.
+
+   End-of-run reports (report.ml) answer "what happened overall"; this
+   module answers "what was happening at virtual time T".  It slices the
+   run into fixed-width windows of virtual µsteps (Trace_event
+   timestamps, anchored to Net.now) and keeps a bounded ring of them:
+
+   - counters and gauges come from the shared Metrics registry, read at
+     each window close through cached cell references (never through
+     Metrics.snapshot — the sampling path must stay allocation-bounded
+     and heap-size-independent, see Perfcount.obs_sample_work);
+   - latency.* histograms are derived live from the typed Trace_event
+     stream (acquire start/done, gc begin/end, msg sent/delivered),
+     mirroring Report's families, into per-window bounded reservoirs
+     (Vitter's algorithm R with a private deterministic Rng per series)
+     so p50/p99/p999 are queryable over any window interval;
+   - any other Metrics.observe samples reach the windows through the
+     registry's observer hook.
+
+   Windows export as JSONL (one window per line, re-parseable) and as
+   Perfetto "C" counter-track events. *)
+
+open Bmx_util
+module T = Trace_event
+
+type key = string * Ids.Node.t option
+
+(* A numeric column: one counter or gauge cell of the registry.  For
+   counters [prev] holds the cumulative value at the previous close, so
+   each window stores the per-window delta (a flow); gauges store the
+   level at close. *)
+type ncol = {
+  nkey : key;
+  nsrc : Metrics.source;
+  mutable prev : int;
+  nis_counter : bool;
+}
+
+type hcol = { hkey : key; hrng : Rng.t }
+
+(* Per-window reservoir of one histogram column.  [hn] counts samples
+   offered; the stored prefix is [min hn (Array.length hsamples)]. *)
+type hwin = { mutable hn : int; mutable hsamples : float array }
+
+type slot = {
+  mutable t0 : int;
+  mutable used : bool;  (* closed and queryable (vs in-progress/recycled) *)
+  mutable nvals : int array;  (* per numeric column, value at close *)
+  mutable hwins : hwin array;  (* per histogram column *)
+}
+
+type t = {
+  window : int;
+  reservoir : int;
+  metrics : Metrics.t option;
+  mutable gen : int;  (* Metrics.generation mirrored by the column cache *)
+  mutable ncols : ncol array;
+  nindex : (key, int) Hashtbl.t;
+  mutable hcols : hcol array;
+  hindex : (key, int) Hashtbl.t;
+  slots : slot array;
+  mutable cur : int;
+  mutable cur_t0 : int;  (* -1 until the first event/note arrives *)
+  mutable frozen : bool;
+  mutable closed : int;
+  mutable on_window : (t -> unit) option;
+  (* open-interval state for live latency derivation *)
+  open_acq : (T.actor * Ids.Node.t * Ids.Uid.t * T.tok, int) Hashtbl.t;
+  open_gc : (Ids.Node.t, int) Hashtbl.t;
+  open_msg : (Ids.Node.t * Ids.Node.t * string * int, int) Hashtbl.t;
+  msg_keys : (string, key) Hashtbl.t;  (* kind -> interned latency key *)
+  seed : int;
+}
+
+let default_window = T.quantum
+let default_slots = 512
+let default_reservoir = 128
+
+let create ?(window = default_window) ?(slots = default_slots)
+    ?(reservoir = default_reservoir) ?metrics ?(seed = 0x5e11e5) () =
+  if window <= 0 then invalid_arg "Timeseries.create: window";
+  if slots <= 0 then invalid_arg "Timeseries.create: slots";
+  if reservoir <= 0 then invalid_arg "Timeseries.create: reservoir";
+  {
+    window;
+    reservoir;
+    metrics;
+    gen = -1;
+    ncols = [||];
+    nindex = Hashtbl.create 64;
+    hcols = [||];
+    hindex = Hashtbl.create 16;
+    slots =
+      Array.init slots (fun _ ->
+          { t0 = 0; used = false; nvals = [||]; hwins = [||] });
+    cur = 0;
+    cur_t0 = -1;
+    frozen = false;
+    closed = 0;
+    on_window = None;
+    open_acq = Hashtbl.create 32;
+    open_gc = Hashtbl.create 8;
+    open_msg = Hashtbl.create 64;
+    msg_keys = Hashtbl.create 16;
+    seed;
+  }
+
+let window t = t.window
+let closed_windows t = t.closed
+let on_window t f = t.on_window <- Some f
+
+(* ------------------------------------------------------- column cache *)
+
+let source_value = function
+  | Metrics.S_counter r | Metrics.S_gauge r -> !r
+  | Metrics.S_gauge_fn f -> ( try !f () with _ -> 0)
+
+(* Re-mirror the registry's cells when its generation moved.  Existing
+   columns keep their position (and their counter baseline); new cells
+   append in sorted-key order so identical runs build identical column
+   layouts regardless of hash-table iteration. *)
+let refresh_cols t =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      let g = Metrics.generation m in
+      if g <> t.gen then begin
+        t.gen <- g;
+        let fresh =
+          Metrics.sources m
+          |> List.filter (fun (key, _) -> not (Hashtbl.mem t.nindex key))
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        if fresh <> [] then begin
+          let n = Array.length t.ncols in
+          let add =
+            Array.of_list
+              (List.map
+                 (fun (nkey, nsrc) ->
+                   {
+                     nkey;
+                     nsrc;
+                     (* baseline now: a counter that predates its column
+                        must not dump its whole history into the first
+                        window it appears in *)
+                     prev = source_value nsrc;
+                     nis_counter =
+                       (match nsrc with
+                       | Metrics.S_counter _ -> true
+                       | _ -> false);
+                   })
+                 fresh)
+          in
+          t.ncols <- Array.append t.ncols add;
+          Array.iteri
+            (fun i c -> Hashtbl.replace t.nindex c.nkey (n + i))
+            add
+        end
+      end
+
+let hcol_index t key =
+  match Hashtbl.find_opt t.hindex key with
+  | Some i -> i
+  | None ->
+      let i = Array.length t.hcols in
+      let hrng = Rng.make (t.seed lxor Hashtbl.hash key) in
+      t.hcols <- Array.append t.hcols [| { hkey = key; hrng } |];
+      Hashtbl.replace t.hindex key i;
+      i
+
+(* --------------------------------------------------------- the clock *)
+
+let align t ts = ts - (ts mod t.window)
+
+let reset_slot s ~t0 =
+  s.t0 <- t0;
+  s.used <- false;
+  Array.iter (fun hw -> hw.hn <- 0) s.hwins
+
+let close_current t =
+  refresh_cols t;
+  let s = t.slots.(t.cur) in
+  let n = Array.length t.ncols in
+  if Array.length s.nvals < n then s.nvals <- Array.make n 0;
+  for i = 0 to n - 1 do
+    let c = t.ncols.(i) in
+    let v = source_value c.nsrc in
+    if c.nis_counter then begin
+      s.nvals.(i) <- v - c.prev;
+      c.prev <- v
+    end
+    else s.nvals.(i) <- v
+  done;
+  Perfcount.(
+    counters.obs_sample_work <-
+      counters.obs_sample_work + n + Array.length t.hcols);
+  s.used <- true;
+  t.closed <- t.closed + 1;
+  match t.on_window with None -> () | Some f -> f t
+
+let advance t =
+  close_current t;
+  t.cur <- (t.cur + 1) mod Array.length t.slots;
+  t.cur_t0 <- t.cur_t0 + t.window;
+  reset_slot t.slots.(t.cur) ~t0:t.cur_t0
+
+let note t ts =
+  if not t.frozen then begin
+    if t.cur_t0 < 0 then begin
+      t.cur_t0 <- align t ts;
+      t.slots.(t.cur).t0 <- t.cur_t0
+    end;
+    while ts >= t.cur_t0 + t.window do
+      advance t
+    done
+  end
+
+let freeze t =
+  if not t.frozen then begin
+    if t.cur_t0 >= 0 then close_current t;
+    t.frozen <- true;
+    match t.metrics with None -> () | Some m -> Metrics.set_observer m None
+  end
+
+(* ------------------------------------------------------ observations *)
+
+let observe t ts key x =
+  if not t.frozen then begin
+    note t ts;
+    let i = hcol_index t key in
+    let s = t.slots.(t.cur) in
+    if Array.length s.hwins <= i then begin
+      let n = Array.length s.hwins in
+      let grown =
+        Array.init (Array.length t.hcols) (fun j ->
+            if j < n then s.hwins.(j)
+            else { hn = 0; hsamples = Array.make t.reservoir 0. })
+      in
+      s.hwins <- grown
+    end;
+    let hw = s.hwins.(i) in
+    hw.hn <- hw.hn + 1;
+    let cap = Array.length hw.hsamples in
+    if hw.hn <= cap then hw.hsamples.(hw.hn - 1) <- x
+    else begin
+      let j = Rng.int t.hcols.(i).hrng hw.hn in
+      if j < cap then hw.hsamples.(j) <- x
+    end
+  end
+
+(* Live latency families, mirroring Report: token_acquire.{gc,read,write},
+   gc.pause, msg.<kind>. *)
+let lat_acquire_gc : key = ("latency.token_acquire.gc", None)
+let lat_acquire_read : key = ("latency.token_acquire.read", None)
+let lat_acquire_write : key = ("latency.token_acquire.write", None)
+let lat_gc_pause : key = ("latency.gc.pause", None)
+
+let msg_key t kind =
+  match Hashtbl.find_opt t.msg_keys kind with
+  | Some k -> k
+  | None ->
+      let k = ("latency.msg." ^ kind, None) in
+      Hashtbl.replace t.msg_keys kind k;
+      k
+
+let event t ts e =
+  if not t.frozen then begin
+    note t ts;
+    match e with
+    | T.Acquire_start { actor; node; uid; tok } ->
+        Hashtbl.replace t.open_acq (actor, node, uid, tok) ts
+    | T.Acquire_done { actor; node; uid; tok; _ } -> (
+        let k = (actor, node, uid, tok) in
+        match Hashtbl.find_opt t.open_acq k with
+        | None -> ()
+        | Some start ->
+            Hashtbl.remove t.open_acq k;
+            let fam =
+              match (actor, tok) with
+              | T.Gc, _ -> lat_acquire_gc
+              | T.App, T.Read -> lat_acquire_read
+              | T.App, T.Write -> lat_acquire_write
+            in
+            observe t ts fam (float_of_int (ts - start)))
+    | T.Gc_begin { node; _ } -> Hashtbl.replace t.open_gc node ts
+    | T.Gc_end { node; _ } -> (
+        match Hashtbl.find_opt t.open_gc node with
+        | None -> ()
+        | Some start ->
+            Hashtbl.remove t.open_gc node;
+            observe t ts lat_gc_pause (float_of_int (ts - start)))
+    | T.Msg_sent { src; dst; kind; seq; _ } ->
+        Hashtbl.replace t.open_msg (src, dst, kind, seq) ts
+    | T.Msg_delivered { src; dst; kind; seq; _ } -> (
+        let k = (src, dst, kind, seq) in
+        match Hashtbl.find_opt t.open_msg k with
+        | None -> ()
+        | Some start ->
+            Hashtbl.remove t.open_msg k;
+            observe t ts (msg_key t kind) (float_of_int (ts - start)))
+    | _ -> ()
+  end
+
+let attach t log =
+  T.add_tap log (fun ts e -> event t ts e);
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      Metrics.set_observer m
+        (Some
+           (fun name node x ->
+             (* Samples observed outside the event stream land at the
+                current window position. *)
+             let ts = if t.cur_t0 < 0 then 0 else t.cur_t0 in
+             observe t ts ((name, node) : key) x))
+
+(* ------------------------------------------------------------ queries *)
+
+let used_slots t =
+  let l = ref [] in
+  Array.iter (fun s -> if s.used then l := s :: !l) t.slots;
+  List.sort (fun a b -> compare a.t0 b.t0) !l
+
+let span t =
+  match used_slots t with
+  | [] -> None
+  | first :: _ as l ->
+      let last = List.nth l (List.length l - 1) in
+      Some (first.t0, last.t0 + t.window)
+
+let overlapping t ~since ~until =
+  List.filter
+    (fun s -> s.t0 < until && s.t0 + t.window > since)
+    (used_slots t)
+
+let counter_sum t ?node ~since ~until name =
+  match Hashtbl.find_opt t.nindex (name, node) with
+  | None -> 0
+  | Some i ->
+      List.fold_left
+        (fun acc s -> if i < Array.length s.nvals then acc + s.nvals.(i) else acc)
+        0
+        (overlapping t ~since ~until)
+
+let gauge_last t ?node ~since ~until name =
+  match Hashtbl.find_opt t.nindex (name, node) with
+  | None -> None
+  | Some i ->
+      List.fold_left
+        (fun acc s ->
+          if i < Array.length s.nvals then Some s.nvals.(i) else acc)
+        None
+        (overlapping t ~since ~until)
+
+let stored hw = Stdlib.min hw.hn (Array.length hw.hsamples)
+
+let gather t ?node ~since ~until name =
+  match Hashtbl.find_opt t.hindex (name, node) with
+  | None -> [||]
+  | Some i ->
+      let slots = overlapping t ~since ~until in
+      let total =
+        List.fold_left
+          (fun acc s ->
+            if i < Array.length s.hwins then acc + stored s.hwins.(i) else acc)
+          0 slots
+      in
+      let out = Array.make total 0. in
+      let pos = ref 0 in
+      List.iter
+        (fun s ->
+          if i < Array.length s.hwins then begin
+            let hw = s.hwins.(i) in
+            let k = stored hw in
+            Array.blit hw.hsamples 0 out !pos k;
+            pos := !pos + k
+          end)
+        slots;
+      out
+
+let sample_count t ?node ~since ~until name =
+  match Hashtbl.find_opt t.hindex (name, node) with
+  | None -> 0
+  | Some i ->
+      List.fold_left
+        (fun acc s ->
+          if i < Array.length s.hwins then acc + s.hwins.(i).hn else acc)
+        0
+        (overlapping t ~since ~until)
+
+(* Same round-to-nearest-rank estimator as Stats.Summary.percentile, so
+   a merged window interval that saw every sample reproduces the
+   whole-run reservoir exactly. *)
+let percentile_of arr p =
+  let len = Array.length arr in
+  if len = 0 then 0.
+  else begin
+    let arr = Array.copy arr in
+    Array.sort Float.compare arr;
+    let rank = p /. 100. *. float_of_int (len - 1) in
+    let lo = int_of_float (Float.round rank) in
+    arr.(Stdlib.max 0 (Stdlib.min (len - 1) lo))
+  end
+
+let percentile t ?node ~since ~until name p =
+  percentile_of (gather t ?node ~since ~until name) p
+
+let histo_names t =
+  Array.to_list (Array.map (fun h -> h.hkey) t.hcols)
+
+let numeric_names t =
+  Array.to_list (Array.map (fun c -> c.nkey) t.ncols)
+
+(* ------------------------------------------------------------- export *)
+
+let key_fields (name, node) =
+  ("name", Json.String name)
+  ::
+  (match node with None -> [] | Some n -> [ ("node", Json.Int n) ])
+
+let window_json t s =
+  let numeric pred =
+    let l = ref [] in
+    for i = Array.length s.nvals - 1 downto 0 do
+      if i < Array.length t.ncols && pred t.ncols.(i) then
+        l :=
+          Json.Obj (key_fields t.ncols.(i).nkey @ [ ("v", Json.Int s.nvals.(i)) ])
+          :: !l
+    done;
+    !l
+  in
+  let histos =
+    let l = ref [] in
+    for i = Array.length s.hwins - 1 downto 0 do
+      if i < Array.length t.hcols then begin
+        let hw = s.hwins.(i) in
+        if hw.hn > 0 then
+          l :=
+            Json.Obj
+              (key_fields t.hcols.(i).hkey
+              @ [
+                  ("n", Json.Int hw.hn);
+                  ( "samples",
+                    Json.List
+                      (List.init (stored hw) (fun j ->
+                           Json.Float hw.hsamples.(j))) );
+                ])
+            :: !l
+      end
+    done;
+    !l
+  in
+  Json.Obj
+    [
+      ("t0", Json.Int s.t0);
+      ("t1", Json.Int (s.t0 + t.window));
+      ("counters", Json.List (numeric (fun c -> c.nis_counter)));
+      ("gauges", Json.List (numeric (fun c -> not c.nis_counter)));
+      ("histos", Json.List histos);
+    ]
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Json.to_string (window_json t s));
+      Buffer.add_char buf '\n')
+    (used_slots t);
+  Buffer.contents buf
+
+(* Rebuild a frozen, queryable series from its own JSONL.  Columns are
+   keyed by (name, node); values missing from a line read as absent
+   (shorter per-slot arrays), matching how a live series grows. *)
+let of_jsonl text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match Json.parse line with
+        | Error e -> err "bad JSONL line: %s" e
+        | Ok j -> go (j :: acc) rest)
+  in
+  match go [] lines with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty timeseries"
+  | Ok (first :: _ as windows) -> (
+      let int_m name j =
+        match Json.member name j with Some (Json.Int i) -> Some i | _ -> None
+      in
+      match (int_m "t0" first, int_m "t1" first) with
+      | Some t0, Some t1 when t1 > t0 ->
+          let w = t1 - t0 in
+          let t =
+            create ~window:w ~slots:(Stdlib.max 1 (List.length windows)) ()
+          in
+          let nkind : (key, bool) Hashtbl.t = Hashtbl.create 32 in
+          let ncol_index key is_counter =
+            match Hashtbl.find_opt t.nindex key with
+            | Some i -> i
+            | None ->
+                let i = Array.length t.ncols in
+                Hashtbl.replace nkind key is_counter;
+                t.ncols <-
+                  Array.append t.ncols
+                    [|
+                      {
+                        nkey = key;
+                        nsrc = Metrics.S_gauge (ref 0);
+                        prev = 0;
+                        nis_counter = is_counter;
+                      };
+                    |];
+                Hashtbl.replace t.nindex key i;
+                i
+          in
+          let key_of j =
+            match Json.member "name" j with
+            | Some (Json.String name) ->
+                let node =
+                  match Json.member "node" j with
+                  | Some (Json.Int n) -> Some n
+                  | _ -> None
+                in
+                Some ((name, node) : key)
+            | _ -> None
+          in
+          let ok = ref true in
+          List.iteri
+            (fun wi j ->
+              let s = t.slots.(wi) in
+              s.t0 <- (match int_m "t0" j with Some v -> v | None -> 0);
+              s.used <- true;
+              let load_numeric field is_counter =
+                match Json.member field j with
+                | Some (Json.List l) ->
+                    List.iter
+                      (fun entry ->
+                        match (key_of entry, int_m "v" entry) with
+                        | Some key, Some v ->
+                            let i = ncol_index key is_counter in
+                            if Array.length s.nvals <= i then begin
+                              let old = s.nvals in
+                              s.nvals <- Array.make (i + 1) 0;
+                              Array.blit old 0 s.nvals 0 (Array.length old)
+                            end;
+                            s.nvals.(i) <- v
+                        | _ -> ok := false)
+                      l
+                | _ -> ()
+              in
+              load_numeric "counters" true;
+              load_numeric "gauges" false;
+              (match Json.member "histos" j with
+              | Some (Json.List l) ->
+                  List.iter
+                    (fun entry ->
+                      match (key_of entry, int_m "n" entry) with
+                      | Some key, Some n -> (
+                          let i = hcol_index t key in
+                          if Array.length s.hwins <= i then begin
+                            let old = s.hwins in
+                            s.hwins <-
+                              Array.init (i + 1) (fun j ->
+                                  if j < Array.length old then old.(j)
+                                  else { hn = 0; hsamples = [||] })
+                          end;
+                          match Json.member "samples" entry with
+                          | Some (Json.List samples) ->
+                              let arr =
+                                Array.of_list
+                                  (List.filter_map
+                                     (function
+                                       | Json.Float f -> Some f
+                                       | Json.Int i -> Some (float_of_int i)
+                                       | _ -> None)
+                                     samples)
+                              in
+                              s.hwins.(i) <- { hn = n; hsamples = arr }
+                          | _ -> ok := false)
+                      | _ -> ok := false)
+                    l
+              | _ -> ());
+              t.closed <- t.closed + 1)
+            windows;
+          t.frozen <- true;
+          if !ok then Ok t else Error "malformed series entry"
+      | _ -> err "first window lacks t0/t1")
+
+(* Perfetto counter tracks: one "C" event per numeric column per window
+   (node-labelled series go to their node's process, cluster-wide to
+   pid 0). *)
+let perfetto_counters ?names t =
+  let wanted (name, _) =
+    match names with None -> true | Some l -> List.mem name l
+  in
+  List.concat_map
+    (fun s ->
+      let l = ref [] in
+      for i = Array.length s.nvals - 1 downto 0 do
+        if i < Array.length t.ncols && wanted t.ncols.(i).nkey then begin
+          let name, node = t.ncols.(i).nkey in
+          l :=
+            Json.Obj
+              [
+                ("ph", Json.String "C");
+                ("pid", Json.Int (match node with Some n -> n | None -> 0));
+                ("name", Json.String name);
+                ("ts", Json.Int s.t0);
+                ("args", Json.Obj [ ("value", Json.Int s.nvals.(i)) ]);
+              ]
+            :: !l
+        end
+      done;
+      !l)
+    (used_slots t)
+
+(* Offline replay: rebuild latency series (and window structure) from a
+   timed event trace — bmxctl report --since/--until uses this when all
+   it has is a trace file. *)
+let replay ?window ?slots ?reservoir timed =
+  let t = create ?window ?slots ?reservoir () in
+  List.iter (fun (ts, e) -> event t ts e) timed;
+  freeze t;
+  t

@@ -25,8 +25,16 @@ type t = {
   (* memory (lib/memory/store.ml, flatheap.ml) *)
   mutable store_cells_touched : int;  (* cells visited by whole-table iteration *)
   mutable flat_words_copied : int;  (* raw words blitted by GC copies *)
-  (* observability (lib/core/gc_state.ml) *)
+  (* observability (lib/core/gc_state.ml, lib/obs/timeseries.ml) *)
   mutable obs_sample_work : int;  (* cells/segments visited while sampling gauges *)
+  (* collector phase timers (lib/core/collect.ml, scion_cleaner.ml).
+     Nanoseconds of wall clock per phase; a timer is two Sys.time reads
+     around the phase body, so the fields stay plain mutable ints. *)
+  mutable gc_ns_trace : int;  (* root enumeration + reachability trace *)
+  mutable gc_ns_flip : int;  (* space flip / forwarding setup *)
+  mutable gc_ns_copy : int;  (* live-object evacuation *)
+  mutable gc_ns_scan : int;  (* reference update + reclamation scan *)
+  mutable gc_ns_reconcile : int;  (* stub/scion table emission + cleaner merge *)
 }
 
 let counters = {
@@ -39,6 +47,11 @@ let counters = {
   store_cells_touched = 0;
   flat_words_copied = 0;
   obs_sample_work = 0;
+  gc_ns_trace = 0;
+  gc_ns_flip = 0;
+  gc_ns_copy = 0;
+  gc_ns_scan = 0;
+  gc_ns_reconcile = 0;
 }
 
 type snapshot = {
@@ -51,6 +64,11 @@ type snapshot = {
   s_store_cells_touched : int;
   s_flat_words_copied : int;
   s_obs_sample_work : int;
+  s_gc_ns_trace : int;
+  s_gc_ns_flip : int;
+  s_gc_ns_copy : int;
+  s_gc_ns_scan : int;
+  s_gc_ns_reconcile : int;
 }
 
 let snapshot () = {
@@ -63,6 +81,11 @@ let snapshot () = {
   s_store_cells_touched = counters.store_cells_touched;
   s_flat_words_copied = counters.flat_words_copied;
   s_obs_sample_work = counters.obs_sample_work;
+  s_gc_ns_trace = counters.gc_ns_trace;
+  s_gc_ns_flip = counters.gc_ns_flip;
+  s_gc_ns_copy = counters.gc_ns_copy;
+  s_gc_ns_scan = counters.gc_ns_scan;
+  s_gc_ns_reconcile = counters.gc_ns_reconcile;
 }
 
 let diff ~before ~after = {
@@ -75,6 +98,11 @@ let diff ~before ~after = {
   s_store_cells_touched = after.s_store_cells_touched - before.s_store_cells_touched;
   s_flat_words_copied = after.s_flat_words_copied - before.s_flat_words_copied;
   s_obs_sample_work = after.s_obs_sample_work - before.s_obs_sample_work;
+  s_gc_ns_trace = after.s_gc_ns_trace - before.s_gc_ns_trace;
+  s_gc_ns_flip = after.s_gc_ns_flip - before.s_gc_ns_flip;
+  s_gc_ns_copy = after.s_gc_ns_copy - before.s_gc_ns_copy;
+  s_gc_ns_scan = after.s_gc_ns_scan - before.s_gc_ns_scan;
+  s_gc_ns_reconcile = after.s_gc_ns_reconcile - before.s_gc_ns_reconcile;
 }
 
 let reset () =
@@ -86,14 +114,22 @@ let reset () =
   counters.gc_table_entries <- 0;
   counters.store_cells_touched <- 0;
   counters.flat_words_copied <- 0;
-  counters.obs_sample_work <- 0
+  counters.obs_sample_work <- 0;
+  counters.gc_ns_trace <- 0;
+  counters.gc_ns_flip <- 0;
+  counters.gc_ns_copy <- 0;
+  counters.gc_ns_scan <- 0;
+  counters.gc_ns_reconcile <- 0
 
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>memo: invalidations=%d rebuilds=%d resyncs=%d reach-touched=%d@,\
      gc: objects=%d table-entries=%d@,\
      memory: cells=%d words-copied=%d@,\
-     obs: sample-work=%d@]"
+     obs: sample-work=%d@,\
+     gc-phase-ns: trace=%d flip=%d copy=%d scan=%d reconcile=%d@]"
     s.s_memo_invalidations s.s_memo_full_rebuilds s.s_memo_resyncs
     s.s_reach_nodes_touched s.s_gc_objects_touched s.s_gc_table_entries
     s.s_store_cells_touched s.s_flat_words_copied s.s_obs_sample_work
+    s.s_gc_ns_trace s.s_gc_ns_flip s.s_gc_ns_copy s.s_gc_ns_scan
+    s.s_gc_ns_reconcile

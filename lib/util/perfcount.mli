@@ -20,6 +20,15 @@ type t = {
   mutable store_cells_touched : int;
   mutable flat_words_copied : int;
   mutable obs_sample_work : int;
+  mutable gc_ns_trace : int;
+  mutable gc_ns_flip : int;
+  mutable gc_ns_copy : int;
+  mutable gc_ns_scan : int;
+  mutable gc_ns_reconcile : int;
+      (** [gc_ns_*]: wall-clock nanoseconds spent in each collector phase
+          (trace / flip / copy / scan / cleaner-reconcile) — the
+          metrics-backed replacement for the old BMX_GC_PHASE_TIMING
+          stderr hack. *)
 }
 
 val counters : t
@@ -36,6 +45,11 @@ type snapshot = {
   s_store_cells_touched : int;
   s_flat_words_copied : int;
   s_obs_sample_work : int;
+  s_gc_ns_trace : int;
+  s_gc_ns_flip : int;
+  s_gc_ns_copy : int;
+  s_gc_ns_scan : int;
+  s_gc_ns_reconcile : int;
 }
 
 val snapshot : unit -> snapshot

@@ -101,6 +101,7 @@ type t =
       version : int;
       covered : bool;
     }
+  | Gc_phase of { node : Ids.Node.t; phase : string; us : int }
 
 type log = {
   mutable log_enabled : bool;
@@ -110,6 +111,7 @@ type log = {
   mutable over : bool;
   mutable clock : unit -> int;
   mutable last_ts : int;
+  mutable taps : (int -> t -> unit) list;
 }
 
 let quantum = 1000
@@ -124,11 +126,17 @@ let create_log ?(capacity = 1_000_000) () =
     over = false;
     clock = (fun () -> 0);
     last_ts = 0;
+    taps = [];
   }
 
 let enabled l = l.log_enabled
 let set_enabled l b = l.log_enabled <- b
 let set_clock l f = l.clock <- f
+
+(* Taps see every recorded event (timestamped) as it happens — the
+   continuous-observability layer (timeseries sampler, flight recorder)
+   hangs off here rather than polling the log. *)
+let add_tap l f = l.taps <- l.taps @ [ f ]
 
 let record l e =
   if l.log_enabled then begin
@@ -140,7 +148,10 @@ let record l e =
       let ts = Stdlib.max (l.last_ts + 1) (l.clock () * quantum) in
       l.last_ts <- ts;
       l.rev <- (ts, e) :: l.rev;
-      l.count <- l.count + 1
+      l.count <- l.count + 1;
+      match l.taps with
+      | [] -> ()
+      | taps -> List.iter (fun f -> f ts e) taps
     end
   end
 
@@ -224,6 +235,8 @@ let to_line = function
   | Write_obs { actor; node; uid; version; covered } ->
       Printf.sprintf "write_obs %s %d %d %d %s" (actor_str actor) node uid
         version (bool_str covered)
+  | Gc_phase { node; phase; us } ->
+      Printf.sprintf "gc_phase %d %s %d" node phase us
 
 exception Parse of string
 
@@ -354,6 +367,8 @@ let of_line line =
                version = int v;
                covered = bool c;
              })
+    | [ "gc_phase"; n; p; u ] ->
+        Ok (Gc_phase { node = int n; phase = p; us = int u })
     | w :: _ -> Error (Printf.sprintf "unknown or malformed event %S" w)
     | [] -> Error "empty line"
   with Parse m -> Error m

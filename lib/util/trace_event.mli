@@ -160,6 +160,12 @@ type t =
       covered : bool;
     }  (** a field write at access level; semantic writes only — GC and
            protocol pointer fixups ([Heap_obj.fixup]) are not recorded *)
+  | Gc_phase of { node : Ids.Node.t; phase : string; us : int }
+      (** a collector phase (trace / flip / copy / scan /
+          cleaner-reconcile) completed at [node], having consumed [us]
+          wall-clock microseconds — the first-class replacement for the
+          BMX_GC_PHASE_TIMING stderr hack.  GC-side for the
+          happens-before certifier: erasure deletes it. *)
 
 type log
 
@@ -181,6 +187,13 @@ val quantum : int
     [max (previous + 1) (clock () * quantum)]: timestamps are strictly
     increasing, anchored to the clock, and the slack between ticks counts
     intervening events — a deterministic measure of protocol work. *)
+
+val add_tap : log -> (int -> t -> unit) -> unit
+(** Register a live observer called as [f ts event] for every event the
+    log actually records (enabled, under capacity), after it is appended.
+    Taps fire in registration order and cannot be removed — they are
+    wired once per cluster.  The continuous-observability layer (the
+    timeseries sampler and the flight recorder) attaches here. *)
 
 val record : log -> t -> unit
 val events : log -> t list

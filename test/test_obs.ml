@@ -171,6 +171,17 @@ let generated_events () =
         nodes [ 0; 5 ];
       cart (fun node missing -> T.Bunch_verified { node; missing }) nodes
         [ 0; 2 ];
+      cart
+        (fun actor covered ->
+          T.Read_obs { actor; node = 1; uid = 4; version = 3; covered })
+        acts bools;
+      cart
+        (fun actor covered ->
+          T.Write_obs { actor; node = 2; uid = 6; version = 8; covered })
+        acts bools;
+      cart
+        (fun node us -> T.Gc_phase { node; phase = "trace"; us })
+        nodes [ 0; 1234 ];
     ]
 
 let test_trace_roundtrip_all_constructors () =
@@ -193,7 +204,7 @@ let test_trace_roundtrip_all_constructors () =
          (fun e -> List.hd (String.split_on_char ' ' (T.to_line e)))
          events)
   in
-  check_int "all 27 constructors serialized" 27 (List.length heads)
+  check_int "all 30 constructors serialized" 30 (List.length heads)
 
 (* ----------------------------------------------------- virtual timestamps *)
 

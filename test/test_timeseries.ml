@@ -1,0 +1,323 @@
+(* Continuous telemetry: virtual-time series windows and the flight
+   recorder.
+
+   The series tests pin the contract that makes window queries trustable:
+   merged window reservoirs reproduce the whole-run Stats.Summary
+   estimator exactly whenever nothing evicted (same round-to-nearest-rank
+   rule), JSONL export is a fixed point through of_jsonl, and eviction
+   under pressure is deterministic per seed.  The flight tests pin the
+   auto triggers (§5 alarm, truncating recovery), the ring/dump bounds,
+   and that a dump slice replays through the lint and happens-before
+   certifiers — clean slices come back clean, a §5 violation slice names
+   Gc_acquired_token. *)
+
+open Bmx_util
+module T = Trace_event
+module Ts = Bmx_obs.Timeseries
+module Flight = Bmx_obs.Flight
+module Metrics = Bmx_obs.Metrics
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_string = check Alcotest.string
+
+(* ------------------------------------------------------------- series *)
+
+(* Deterministic sample stream: spread over [windows] windows of [w]
+   µsteps, [per] samples each, values drawn from a private Rng. *)
+let feed_samples ts ~w ~windows ~per =
+  let rng = Rng.make 99 in
+  let all = ref [] in
+  for win = 0 to windows - 1 do
+    for k = 0 to per - 1 do
+      let at = (win * w) + (k * w / per) in
+      let v = float_of_int (Rng.int rng 10_000) in
+      Ts.observe ts at ("latency.test", None) v;
+      all := v :: !all
+    done
+  done;
+  Ts.freeze ts;
+  List.rev !all
+
+let test_percentiles_match_summary_oracle () =
+  (* 5 windows x 50 samples: under the per-window reservoir cap (128)
+     and the whole-run Summary cap (1024), so neither side evicts and
+     both must agree exactly at every percentile. *)
+  let w = 1000 in
+  let ts = Ts.create ~window:w () in
+  let samples = feed_samples ts ~w ~windows:5 ~per:50 in
+  let oracle = Stats.Summary.create () in
+  List.iter (Stats.Summary.add oracle) samples;
+  check_int "all samples offered" 250
+    (Ts.sample_count ts ~since:0 ~until:(5 * w) "latency.test");
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "p%g equals whole-run reservoir" p)
+        (Stats.Summary.percentile oracle p)
+        (Ts.percentile ts ~since:0 ~until:(5 * w) "latency.test" p))
+    [ 0.; 50.; 90.; 99.; 99.9; 100. ]
+
+let test_window_restriction () =
+  (* Window k carries only the value k: an interval query must see
+     exactly the windows it overlaps. *)
+  let w = 100 in
+  let ts = Ts.create ~window:w () in
+  for win = 0 to 3 do
+    for _ = 1 to 10 do
+      Ts.observe ts (win * w) ("latency.test", None) (float_of_int win)
+    done
+  done;
+  Ts.freeze ts;
+  check (Alcotest.float 0.0) "single window" 2.
+    (Ts.percentile ts ~since:200 ~until:300 "latency.test" 50.);
+  check_int "interval sample count" 20
+    (Ts.sample_count ts ~since:100 ~until:300 "latency.test");
+  check (Alcotest.float 0.0) "two-window max" 2.
+    (Ts.percentile ts ~since:100 ~until:300 "latency.test" 100.)
+
+let test_counter_windows () =
+  (* Counters sample as per-window deltas of the shared registry. *)
+  let m = Metrics.create () in
+  let ts = Ts.create ~window:100 ~metrics:m () in
+  Ts.note ts 0;
+  Metrics.incr m ~by:0 "ops";
+  (* Close window 0: the new cell registers with its baseline here. *)
+  Ts.note ts 100;
+  Metrics.incr m ~by:20 "ops";
+  Ts.note ts 200;
+  Metrics.incr m ~by:5 "ops";
+  Ts.note ts 300;
+  Metrics.set_gauge m "level" 42;
+  Ts.freeze ts;
+  check_int "window 1 delta" 20 (Ts.counter_sum ts ~since:100 ~until:200 "ops");
+  check_int "window 2 delta" 5 (Ts.counter_sum ts ~since:200 ~until:300 "ops");
+  check_int "total" 25 (Ts.counter_sum ts ~since:0 ~until:400 "ops");
+  check (Alcotest.option Alcotest.int) "gauge level at last close" (Some 42)
+    (Ts.gauge_last ts ~since:0 ~until:400 "level")
+
+let test_jsonl_round_trip () =
+  let m = Metrics.create () in
+  let ts = Ts.create ~window:100 ~metrics:m () in
+  Ts.note ts 0;
+  Metrics.incr m ~by:0 "ops";
+  Ts.note ts 100;
+  Metrics.incr m ~by:7 "ops";
+  Metrics.set_gauge m ~node:2 "depth" 3;
+  for k = 0 to 9 do
+    Ts.observe ts (100 + (k * 10)) ("latency.test", None) (float_of_int k)
+  done;
+  Ts.note ts 300;
+  Ts.freeze ts;
+  let text = Ts.to_jsonl ts in
+  match Ts.of_jsonl text with
+  | Error m -> Alcotest.failf "of_jsonl: %s" m
+  | Ok ts2 ->
+      check_string "to_jsonl is a fixed point" text (Ts.to_jsonl ts2);
+      check_int "counter survives" 7
+        (Ts.counter_sum ts2 ~since:0 ~until:400 "ops");
+      check (Alcotest.option Alcotest.int) "node-labelled gauge survives"
+        (Some 3)
+        (Ts.gauge_last ts2 ~since:0 ~until:400 ~node:2 "depth");
+      check_int "samples survive" 10
+        (Ts.sample_count ts2 ~since:0 ~until:400 "latency.test");
+      check (Alcotest.float 0.0) "percentiles survive"
+        (Ts.percentile ts ~since:0 ~until:400 "latency.test" 90.)
+        (Ts.percentile ts2 ~since:0 ~until:400 "latency.test" 90.)
+
+let test_eviction_deterministic_per_seed () =
+  (* 400 samples into a 16-slot reservoir: heavy eviction.  Identical
+     seeds must retain identical samples (and so identical JSONL). *)
+  let run seed =
+    let ts = Ts.create ~window:1000 ~reservoir:16 ~seed () in
+    ignore (feed_samples ts ~w:1000 ~windows:2 ~per:200);
+    Ts.to_jsonl ts
+  in
+  check_string "same seed, same series" (run 1) (run 1);
+  check_int "offered count independent of eviction" 400
+    (match Ts.of_jsonl (run 1) with
+    | Ok ts -> Ts.sample_count ts ~since:0 ~until:2000 "latency.test"
+    | Error _ -> -1)
+
+let test_replay_matches_live () =
+  (* The offline replay of a timed trace builds the same latency series
+     a live tap would have. *)
+  let timed =
+    [
+      (10, T.Acquire_start { actor = T.App; node = 0; uid = 1; tok = T.Read });
+      ( 25,
+        T.Acquire_done
+          { actor = T.App; node = 0; uid = 1; tok = T.Read; addr_valid = true }
+      );
+      (40, T.Gc_begin { node = 1; group = false; bunches = [ 0 ] });
+      (1200, T.Gc_end { node = 1; group = false; live = 3; reclaimed = 1 });
+      ( 1300,
+        T.Msg_sent { src = 0; dst = 1; kind = "stub_table"; seq = 1; rel = false }
+      );
+      ( 1450,
+        T.Msg_delivered
+          { src = 0; dst = 1; kind = "stub_table"; seq = 1; rel = false } );
+    ]
+  in
+  let live = Ts.create ~window:1000 () in
+  List.iter (fun (ts, e) -> Ts.event live ts e) timed;
+  Ts.freeze live;
+  let offline = Ts.replay ~window:1000 timed in
+  check_string "replay equals live tap" (Ts.to_jsonl live) (Ts.to_jsonl offline);
+  check (Alcotest.float 0.0) "acquire latency derived" 15.
+    (Ts.percentile offline ~since:0 ~until:2000 "latency.token_acquire.read" 50.);
+  check (Alcotest.float 0.0) "gc pause derived" 1160.
+    (Ts.percentile offline ~since:0 ~until:2000 "latency.gc.pause" 50.);
+  check (Alcotest.float 0.0) "msg flight derived" 150.
+    (Ts.percentile offline ~since:0 ~until:2000 "latency.msg.stub_table" 50.)
+
+(* ------------------------------------------------------------- flight *)
+
+(* A lint-clean, certifier-clean event slice: an App acquire/release with
+   a valid address, one FIFO-respecting message, one collection. *)
+let benign_events =
+  [
+    (1, T.Acquire_start { actor = T.App; node = 0; uid = 1; tok = T.Read });
+    ( 2,
+      T.Acquire_done
+        { actor = T.App; node = 0; uid = 1; tok = T.Read; addr_valid = true } );
+    (3, T.Release { node = 0; uid = 1 });
+    (4, T.Msg_sent { src = 0; dst = 1; kind = "stub_table"; seq = 1; rel = false });
+    ( 5,
+      T.Msg_delivered
+        { src = 0; dst = 1; kind = "stub_table"; seq = 1; rel = false } );
+    (6, T.Gc_begin { node = 1; group = false; bunches = [ 0 ] });
+    (7, T.Gc_end { node = 1; group = false; live = 2; reclaimed = 0 });
+  ]
+
+let slice_events dump =
+  String.split_on_char '\n' dump.Flight.text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match T.of_line line with
+           | Ok e -> Some e
+           | Error m -> Alcotest.failf "unparseable dump line %S: %s" line m)
+
+let test_auto_trip_on_gc_token_acquire () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3 "some.counter";
+  let f = Flight.create ~metrics:m () in
+  List.iter (fun (ts, e) -> Flight.record f ts e) benign_events;
+  check_int "no dump before the alarm" 0 (List.length (Flight.dumps f));
+  (* The §5 alarm: the collector entered the token-acquire path. *)
+  Flight.record f 8
+    (T.Acquire_start { actor = T.Gc; node = 1; uid = 7; tok = T.Read });
+  match Flight.dumps f with
+  | [ d ] ->
+      check_string "trip reason names node and object" "gc-token-acquire:n1:o7"
+        d.Flight.reason;
+      check_int "tripped at the alarm event" 8 d.Flight.at;
+      check_bool "metrics snapshot embedded" true
+        (let re = "# metrics=" in
+         let rec find i =
+           i + String.length re <= String.length d.Flight.text
+           && (String.sub d.Flight.text i (String.length re) = re
+              || find (i + 1))
+         in
+         find 0);
+      (* The slice replays through the linter and names the finding. *)
+      let events = slice_events d in
+      let vs = Bmx_check.Lint.run events in
+      check_bool "lint names gc-acquired-token" true
+        (List.exists
+           (fun v -> v.Bmx_check.Lint.rule = Bmx_check.Lint.Gc_acquired_token)
+           vs)
+  | ds -> Alcotest.failf "expected exactly one dump, got %d" (List.length ds)
+
+let test_auto_trip_on_truncating_recovery () =
+  let f = Flight.create () in
+  Flight.record f 1 (T.Crash { node = 2 });
+  Flight.record f 2 (T.Restart { node = 2 });
+  (* A clean recovery must not trip... *)
+  Flight.record f 3 (T.Rvm_recover { node = 2; dropped = 0; lost = 0 });
+  check_int "clean recovery is quiet" 0 (List.length (Flight.dumps f));
+  (* ...a truncating one must. *)
+  Flight.record f 4 (T.Rvm_recover { node = 2; dropped = 3; lost = 1 });
+  match Flight.dumps f with
+  | [ d ] -> check_string "reason" "rvm-truncation:n2" d.Flight.reason
+  | ds -> Alcotest.failf "expected exactly one dump, got %d" (List.length ds)
+
+let test_clean_slice_replays_clean () =
+  let f = Flight.create () in
+  List.iter (fun (ts, e) -> Flight.record f ts e) benign_events;
+  Flight.trip f "external:test";
+  match Flight.dumps f with
+  | [ d ] ->
+      let events = slice_events d in
+      check_int "whole slice retained" (List.length benign_events)
+        (List.length events);
+      check_int "lint clean" 0 (List.length (Bmx_check.Lint.run events));
+      let cert = Bmx_check.Races.certify ~overflowed:false events in
+      check_bool "certifier clean" true (Bmx_check.Races.ok cert)
+  | ds -> Alcotest.failf "expected exactly one dump, got %d" (List.length ds)
+
+let test_ring_and_dump_bounds () =
+  let f = Flight.create ~per_node:4 ~max_dumps:2 () in
+  for i = 1 to 20 do
+    Flight.record f i (T.Release { node = 0; uid = i })
+  done;
+  Flight.trip f "first";
+  Flight.trip f "second";
+  Flight.trip f "third (dropped)";
+  let ds = Flight.dumps f in
+  check_int "max_dumps bounds a trip storm" 2 (List.length ds);
+  let d = List.hd ds in
+  let events = slice_events d in
+  check_int "ring keeps only the last per_node events" 4 (List.length events);
+  (* The retained slice is the most recent suffix. *)
+  check_bool "latest event present" true
+    (List.exists (function T.Release { uid = 20; _ } -> true | _ -> false) events)
+
+let test_pair_events_land_in_both_rings () =
+  let f = Flight.create ~per_node:4 () in
+  (* 8 node-0-only events overflow node 0's ring; the pair event with
+     node 5 survives in node 5's ring. *)
+  Flight.record f 1
+    (T.Msg_sent { src = 0; dst = 5; kind = "stub_table"; seq = 1; rel = false });
+  for i = 2 to 9 do
+    Flight.record f i (T.Release { node = 0; uid = i })
+  done;
+  Flight.trip f "pair";
+  let events = slice_events (List.hd (Flight.dumps f)) in
+  check_bool "peer ring preserved the pair event" true
+    (List.exists (function T.Msg_sent _ -> true | _ -> false) events)
+
+let () =
+  Alcotest.run "timeseries"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "window percentiles match Summary oracle" `Quick
+            test_percentiles_match_summary_oracle;
+          Alcotest.test_case "interval queries respect windows" `Quick
+            test_window_restriction;
+          Alcotest.test_case "counter deltas and gauge levels" `Quick
+            test_counter_windows;
+          Alcotest.test_case "JSONL round trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "eviction deterministic per seed" `Quick
+            test_eviction_deterministic_per_seed;
+          Alcotest.test_case "offline replay matches live tap" `Quick
+            test_replay_matches_live;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "auto trip on GC token acquire" `Quick
+            test_auto_trip_on_gc_token_acquire;
+          Alcotest.test_case "auto trip on truncating recovery" `Quick
+            test_auto_trip_on_truncating_recovery;
+          Alcotest.test_case "clean slice replays clean" `Quick
+            test_clean_slice_replays_clean;
+          Alcotest.test_case "ring and dump bounds" `Quick
+            test_ring_and_dump_bounds;
+          Alcotest.test_case "pair events land in both rings" `Quick
+            test_pair_events_land_in_both_rings;
+        ] );
+    ]
