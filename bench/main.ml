@@ -26,6 +26,8 @@ let experiments =
     ("e20", Scale.e20);
     ("e20-smoke", Scale.e20_smoke);
     ("e20-diag", Scale.e20_diag);
+    ("e22", Scale.e22);
+    ("e22-smoke", Scale.e22_smoke);
     ("e23", Certifier.e23);
     ("e24", Scale.e24);
     ("micro", Micro.run);
@@ -46,7 +48,9 @@ let () =
       print_newline ();
       (* The scalability sweep (e20) runs minutes and rewrites
          BENCH_SCALE.json — run it explicitly, not as part of "all". *)
-      let skip = [ "micro"; "e20"; "e20-smoke"; "e20-diag" ] in
+      let skip =
+        [ "micro"; "e20"; "e20-smoke"; "e20-diag"; "e22"; "e22-smoke" ]
+      in
       List.iter
         (fun (name, f) ->
           if not (List.mem name skip) then begin

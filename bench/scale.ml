@@ -82,7 +82,13 @@ let run_config ~nodes ~objects_per_bunch ~ops ~waves =
   let t0 = now_ns () in
   for _ = 1 to waves do
     let w0 = Gc.minor_words () in
-    Driver.run_ops d ~ops:chunk ();
+    (* [resync_first:false]: between batches only driver ops and
+       collector waves ran, and collections preserve the object graph
+       (forwarders move copies, never edges), so the O(population)
+       mirror re-extraction is pure overhead here.  Billing it to the
+       mutator was what made words/op grow with the heap across the
+       sweep (641 → 3738 from the 4×64 to the 16×4096 leg). *)
+    Driver.run_ops d ~resync_first:false ~ops:chunk ();
     mutator_words := !mutator_words +. (Gc.minor_words () -. w0);
     gc_wave c
   done;
@@ -95,7 +101,7 @@ let run_config ~nodes ~objects_per_bunch ~ops ~waves =
   (* Steady state: light churn between cleaner cycles.  With delta
      tables, Stub_table bytes here are O(churn), not O(table). *)
   for _ = 1 to 4 do
-    Driver.run_ops d ~ops:20 ();
+    Driver.run_ops d ~resync_first:false ~ops:20 ();
     gc_wave c
   done;
   Bmx_obs.Timeseries.freeze ts;
@@ -135,6 +141,42 @@ let run_config ~nodes ~objects_per_bunch ~ops ~waves =
         (fun comp -> (comp, Net.component_bytes net comp))
         Net.Component.all;
   }
+
+(* BENCH_SCALE.json holds one JSON object per line, one per experiment
+   (e20's throughput sweep, e22's sharded-registry sweep).  Rewriting an
+   experiment replaces its own line and preserves the others, so the
+   committed artifact can be regenerated piecemeal in either order. *)
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let upsert_json_line ~path ~experiment json =
+  let tag = Printf.sprintf "\"experiment\":%S" experiment in
+  let existing =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | l -> go (if String.length l = 0 then acc else l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let ls = go [] in
+      close_in ic;
+      ls
+    end
+    else []
+  in
+  let kept = List.filter (fun l -> not (contains_substring l tag)) existing in
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    kept;
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc
 
 let summary_json = function
   | None -> Json.Null
@@ -293,11 +335,7 @@ let run_sweep ?(extra_configs = []) ~configs ~json_path () =
   Printf.printf "BENCH %s\n" (Json.to_string json);
   (match json_path with
   | None -> ()
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Json.to_string json);
-      output_string oc "\n";
-      close_out oc);
+  | Some path -> upsert_json_line ~path ~experiment:"e20" json);
   [ t ]
 
 (* Full sweep: the largest configuration is 64× the default
@@ -326,16 +364,18 @@ let e20_diag_at ~nodes ~objects_per_bunch =
   let module P = Perfcount in
   let phase name f =
     let before = P.snapshot () in
+    let w0 = Gc.minor_words () in
     let t0 = now_ns () in
     let r = f () in
     let ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
+    let minor = Gc.minor_words () -. w0 in
     let d = P.diff ~before ~after:(P.snapshot ()) in
     Printf.printf
-      "%-22s %9.1f ms  gc_objs=%-9d gc_tbl=%-9d store_cells=%-9d        flat_words=%-10d reach=%-8d obs=%d
+      "%-22s %9.1f ms  gc_objs=%-9d gc_tbl=%-9d store_cells=%-9d        flat_words=%-10d reach=%-8d obs=%-8d minor_kw=%.0f
 %!"
       name ms d.P.s_gc_objects_touched d.P.s_gc_table_entries
       d.P.s_store_cells_touched d.P.s_flat_words_copied
-      d.P.s_reach_nodes_touched d.P.s_obs_sample_work;
+      d.P.s_reach_nodes_touched d.P.s_obs_sample_work (minor /. 1000.0);
     let pn =
       d.P.s_gc_ns_trace + d.P.s_gc_ns_flip + d.P.s_gc_ns_copy
       + d.P.s_gc_ns_scan + d.P.s_gc_ns_reconcile
@@ -369,6 +409,8 @@ let e20_diag_at ~nodes ~objects_per_bunch =
   let c = Driver.cluster d in
   Cluster.set_event_trace c true;
   phase "mutate 2000 ops" (fun () -> Driver.run_ops d ~ops:2000 ());
+  phase "mutate (no resync)" (fun () ->
+      Driver.run_ops d ~resync_first:false ~ops:2000 ());
   phase "gc_wave (replicas)" (fun () -> gc_wave c);
   phase "gc_round (all nodes)" (fun () -> ignore (Cluster.gc_round c));
   phase "gc_round again" (fun () -> ignore (Cluster.gc_round c));
@@ -392,6 +434,284 @@ let e20_smoke () =
     ~extra_configs:
       [ run_partitioned_config ~nodes:3 ~objects_per_bunch:48 ~ops:400 ]
     ~configs:[ (3, 48, 400) ] ~json_path:None ()
+
+(* E22: sharded-registry scaling sweep — nodes × shards, with a fixed
+   per-node working set.
+
+   The point of sharding the registry and partitioning the location
+   service is that no component's per-node traffic grows with N.  This
+   sweep holds objects-per-bunch, per-node ops and the driver's locality
+   window constant while widening the cluster to 16/32/64 nodes over a
+   fixed shard count, then runs {!Net.scaling_check} over the points —
+   including the per-shard rows, so a single hot shard soaking up an
+   O(N) stream fails the gate even when the cluster-wide average looks
+   flat.  Exits nonzero on a scaling violation or on any GC token
+   acquire. *)
+
+module Registry = Bmx_memory.Registry
+module Persist = Bmx.Persist
+
+type e22_result = {
+  s_nodes : int;
+  s_shards : int;
+  s_ops : int;
+  s_elapsed_ms : float;
+  s_ops_per_sec : float;
+  s_messages : int;
+  s_bytes : int;
+  s_gc_token_acquires : int;
+  s_point : Net.scaling_point;
+  s_shard_bytes : (int * (Net.Component.t * int) list) list;
+  s_shard_msgs : (int * (Net.Component.t * int) list) list;
+}
+
+let e22_point ~nodes ~shards ~ops_per_node ~waves =
+  let ops = ops_per_node * nodes in
+  let cfg =
+    {
+      Driver.default with
+      nodes;
+      bunches = nodes;
+      objects_per_bunch = 96;
+      ops;
+      seed = 22;
+      shards;
+      locality = 3;
+    }
+  in
+  let d = Driver.setup cfg in
+  let c = Driver.cluster d in
+  let stats = Cluster.stats c in
+  let chunk = max 1 (ops / waves) in
+  let t0 = now_ns () in
+  for _ = 1 to waves do
+    Driver.run_ops d ~resync_first:false ~ops:chunk ();
+    gc_wave c
+  done;
+  let elapsed_ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
+  let net = Cluster.net c in
+  {
+    s_nodes = nodes;
+    s_shards = shards;
+    s_ops = ops;
+    s_elapsed_ms = elapsed_ms;
+    s_ops_per_sec =
+      (if elapsed_ms <= 0.0 then 0.0
+       else float_of_int ops /. (elapsed_ms /. 1000.0));
+    s_messages = Net.total_messages net;
+    s_bytes = Net.total_bytes net;
+    s_gc_token_acquires =
+      Stats.get stats "dsm.gc.acquire_read"
+      + Stats.get stats "dsm.gc.acquire_write";
+    s_point = Net.scaling_point net ~nodes;
+    s_shard_bytes = Net.shard_components net;
+    s_shard_msgs = Net.shard_component_msgs net;
+  }
+
+let shard_rows_json rows =
+  Json.Obj
+    (List.map
+       (fun (s, comps) ->
+         ( Printf.sprintf "s%d" s,
+           Json.Obj
+             (List.map
+                (fun (comp, v) -> (Net.Component.to_string comp, Json.Int v))
+                comps) ))
+       rows)
+
+let e22_result_json r =
+  Json.Obj
+    [
+      ("nodes", Json.Int r.s_nodes);
+      ("shards", Json.Int r.s_shards);
+      ("ops", Json.Int r.s_ops);
+      ("elapsed_ms", Json.Float r.s_elapsed_ms);
+      ("ops_per_sec", Json.Float r.s_ops_per_sec);
+      ("messages", Json.Int r.s_messages);
+      ("bytes", Json.Int r.s_bytes);
+      ("bytes_per_node", Json.Float (float_of_int r.s_bytes /. float_of_int r.s_nodes));
+      ("gc_token_acquires", Json.Int r.s_gc_token_acquires);
+      ("shard_bytes", shard_rows_json r.s_shard_bytes);
+      ("shard_msgs", shard_rows_json r.s_shard_msgs);
+      ( "components",
+        Json.Obj
+          (List.map
+             (fun (comp, bytes) -> (Net.Component.to_string comp, Json.Int bytes))
+             r.s_point.Net.sp_bytes) );
+    ]
+
+let scaling_rows_table ~title rows =
+  let t =
+    Table.create ~title
+      ~columns:
+        [ "component"; "shard"; "B/node first"; "B/node last"; "growth"; "verdict" ]
+  in
+  List.iter
+    (fun (r : Net.scaling_row) ->
+      Table.add_row t
+        [
+          Net.Component.to_string r.Net.sr_component;
+          (match r.Net.sr_shard with
+          | None -> "all"
+          | Some s -> Printf.sprintf "s%d (hottest)" s);
+          Printf.sprintf "%.0f" r.Net.sr_first_per_node;
+          Printf.sprintf "%.0f" r.Net.sr_last_per_node;
+          Printf.sprintf "%.2f" r.Net.sr_growth;
+          (if r.Net.sr_ok then "ok" else "FAIL")
+          ^ (if r.Net.sr_note = "" then "" else " — " ^ r.Net.sr_note);
+        ])
+    rows;
+  t
+
+let run_e22 ~sweep ~shards ~ops_per_node ~json_path ~extra_json =
+  let results =
+    List.map (fun nodes -> e22_point ~nodes ~shards ~ops_per_node ~waves:4) sweep
+  in
+  let points = List.map (fun r -> r.s_point) results in
+  let rows, scaling_ok = Net.scaling_check points in
+  let tokens = List.fold_left (fun a r -> a + r.s_gc_token_acquires) 0 results in
+  let summary =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E22: sharded registry + partitioned location service — %s nodes \
+            over %d shard(s), fixed per-node working set (locality window 3)"
+           (String.concat "/" (List.map string_of_int sweep))
+           shards)
+      ~columns:
+        [ "nodes"; "shards"; "ops"; "ms"; "ops/sec"; "msgs"; "B/node"; "gc tokens" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row summary
+        [
+          string_of_int r.s_nodes;
+          string_of_int r.s_shards;
+          string_of_int r.s_ops;
+          Printf.sprintf "%.1f" r.s_elapsed_ms;
+          Printf.sprintf "%.0f" r.s_ops_per_sec;
+          string_of_int r.s_messages;
+          Printf.sprintf "%.0f" (float_of_int r.s_bytes /. float_of_int r.s_nodes);
+          string_of_int r.s_gc_token_acquires;
+        ])
+    results;
+  let growth =
+    scaling_rows_table
+      ~title:
+        "E22: per-component per-node growth, cluster-wide and hottest-shard \
+         rows (gc-cleaner exempt; everything else must stay flat)"
+      rows
+  in
+  let json =
+    Json.Obj
+      ([
+         ("experiment", Json.String "e22");
+         ("unit", Json.String "bytes_per_node_flat");
+         ("scaling_ok", Json.Bool scaling_ok);
+         ("gc_token_acquires", Json.Int tokens);
+         ("configs", Json.List (List.map e22_result_json results));
+       ]
+      @ extra_json)
+  in
+  Printf.printf "BENCH %s\n" (Json.to_string json);
+  (match json_path with
+  | None -> ()
+  | Some path -> upsert_json_line ~path ~experiment:"e22" json);
+  if not scaling_ok then begin
+    Table.print summary;
+    Table.print growth;
+    prerr_endline "e22: per-component scaling check failed";
+    exit 1
+  end;
+  if tokens <> 0 then begin
+    prerr_endline "e22: collector acquired DSM tokens";
+    exit 1
+  end;
+  [ summary; growth ]
+
+let e22 () =
+  run_e22 ~sweep:[ 16; 32; 64 ] ~shards:8 ~ops_per_node:60
+    ~json_path:(Some "BENCH_SCALE.json") ~extra_json:[]
+
+(* @scale-smoke: a small 3-point sweep gating the no-growth contract and
+   tokens=0, plus a shard crash/recovery convergence check — the shard
+   service dies mid-run with journals attached, mutation continues
+   degraded, recovery replays the journal, fsck must be clean, and a
+   collector wave plus fresh carves must succeed afterwards. *)
+let e22_smoke () =
+  let crash_recovery_json =
+    let nodes = 16 and shards = 2 in
+    let cfg =
+      {
+        Driver.default with
+        nodes;
+        bunches = nodes;
+        objects_per_bunch = 32;
+        ops = 400;
+        seed = 23;
+        shards;
+        locality = 3;
+      }
+    in
+    let d = Driver.setup cfg in
+    let c = Driver.cluster d in
+    Cluster.set_event_trace c true;
+    let reg = Protocol.registry (Cluster.proto c) in
+    let disks = Persist.attach_shard_journals c in
+    Driver.run_ops d ~ops:200 ();
+    let victim = 0 in
+    Cluster.crash_shard c ~shard:victim;
+    (* Degraded window: mutation continues (ops never carve), and the
+       service being down is observable as a refused carve. *)
+    let refused =
+      match
+        Registry.alloc_range reg ~bunch:victim ~origin:0 ()
+      with
+      | exception Failure _ -> true
+      | _ -> false
+    in
+    Driver.run_ops d ~resync_first:false ~ops:100 ();
+    let owner = Registry.shard_owner reg victim in
+    let replayed = Persist.recover_shard c ~shard:victim ~node:owner disks.(victim) in
+    let fsck = Persist.verify_shard c ~shard:victim disks.(victim) in
+    (* Convergence: the recovered shard serves carves again and a full
+       collector wave (whose to-space carves route through it) runs. *)
+    let carved =
+      match Registry.alloc_range reg ~bunch:victim ~origin:0 () with
+      | _ -> true
+      | exception Failure _ -> false
+    in
+    gc_wave c;
+    Driver.run_ops d ~resync_first:false ~ops:100 ();
+    let lint =
+      Bmx_check.Lint.check_log (Cluster.evlog c)
+      |> List.filter (fun v ->
+             v.Bmx_check.Lint.rule = Bmx_check.Lint.Shard_ownership)
+    in
+    let ok =
+      refused && carved && fsck.Persist.s_missing = [] && lint = []
+      && Registry.shard_up reg victim
+    in
+    if not ok then begin
+      Printf.eprintf
+        "e22-smoke: shard crash/recovery failed — refused=%b carved=%b \
+         fsck_missing=%d lint=%d up=%b\n"
+        refused carved
+        (List.length fsck.Persist.s_missing)
+        (List.length lint)
+        (Registry.shard_up reg victim);
+      exit 1
+    end;
+    Json.Obj
+      [
+        ("shard_crash_recovery", Json.Bool ok);
+        ("journal_replayed", Json.Int replayed);
+        ("fsck_checked", Json.Int fsck.Persist.s_checked);
+        ("fsck_missing", Json.Int (List.length fsck.Persist.s_missing));
+      ]
+  in
+  run_e22 ~sweep:[ 8; 12; 16 ] ~shards:2 ~ops_per_node:25 ~json_path:None
+    ~extra_json:[ ("crash_recovery", crash_recovery_json) ]
 
 (* E24: per-component wire attribution across a node sweep — the
    scaling shape gate.  Every message kind is totally mapped to a

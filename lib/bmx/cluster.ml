@@ -32,12 +32,12 @@ type t = {
    simulator and need no retransmission. *)
 let default_reliable = [ Net.Scion_message; Net.Addr_update ]
 
-let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) ?(trace_events = false)
-    ?(reliable = default_reliable) () =
+let create ?(nodes = 3) ?(shards = 1) ?mode ?update_policy ?(seed = 42)
+    ?(trace_events = false) ?(reliable = default_reliable) () =
   let stats = Stats.create_registry () in
   let net = Net.create ~stats () in
   Net.set_reliable net reliable;
-  let registry = Registry.create () in
+  let registry = Registry.create ~shards () in
   let proto = Protocol.create ~net ~registry ?mode ?update_policy () in
   Net.set_evlog net (Protocol.evlog proto);
   Trace_event.set_enabled (Protocol.evlog proto) trace_events;
@@ -50,6 +50,13 @@ let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) ?(trace_events = false
   Net.set_metrics net obs;
   Protocol.set_metrics proto obs;
   Gc_state.set_metrics gc obs;
+  (* Registry occupancy rides the maintained O(1) gauge — sampling must
+     never fold over segments (Perfcount.obs_sample_work stays flat as
+     ranges are carved; test_registry asserts it). *)
+  Bmx_obs.Metrics.gauge_fn obs "registry.bytes" (fun () ->
+      Perfcount.counters.Perfcount.obs_sample_work <-
+        Perfcount.counters.Perfcount.obs_sample_work + 1;
+      Registry.total_bytes registry);
   Net.set_handler net (fun env -> env.Net.payload env.Net.seq);
   let t =
     {
@@ -69,6 +76,36 @@ let create ?(nodes = 3) ?mode ?update_policy ?(seed = 42) ?(trace_events = false
     Protocol.add_node proto t.next_node;
     t.next_node <- t.next_node + 1
   done;
+  (* Deterministic initial shard placement: shard s is owned by node
+     s mod nodes, so with shards = nodes every bunch's home shard sits at
+     the bunch's home node and level-1 location consults stay local. *)
+  let record_ev e =
+    let log = Protocol.evlog proto in
+    if Trace_event.enabled log then Trace_event.record log e
+  in
+  for s = 0 to shards - 1 do
+    if nodes > 0 then Registry.set_shard_owner registry s (s mod nodes);
+    record_ev
+      (Trace_event.Shard_adopted { shard = s; node = Registry.shard_owner registry s })
+  done;
+  (* Every carve is traced as applied by the shard's owner — the
+     Shard_ownership lint replays these against the adoption history.
+     Under a fail-stop owner crash the lowest-id live node carves as
+     regent (safe because fail-stop is globally agreed — unlike a
+     partition, where adoption rules apply instead); the lint tolerates
+     a non-owner carve only while the recorded owner is down. *)
+  Registry.add_on_alloc registry (fun ~shard _entry ->
+      let owner = Registry.shard_owner registry shard in
+      let node =
+        if Net.is_down net owner then
+          match
+            List.find_opt (fun n -> not (Net.is_down net n)) (Protocol.nodes proto)
+          with
+          | Some n -> n
+          | None -> owner
+        else owner
+      in
+      record_ev (Trace_event.Shard_alloc { shard; node }));
   t
 
 let enable_timeseries ?window ?slots ?reservoir t =
@@ -149,6 +186,47 @@ let restart_node t ~node =
     invalid_arg "Cluster.restart_node: node is not down";
   Net.set_up t.net node;
   record_ev t (Trace_event.Restart { node })
+
+(* A node crash (above) loses DSM/GC volatile state but not the registry
+   service: under fail-stop a regent node carves on the owner's behalf
+   (see the on-alloc trace hook in [create]).  The interesting registry
+   failure is the shard service itself — its cursor lives in an RVM
+   journal, so taking it down forces a replay-and-verify recovery
+   ([Persist.recover_shard]) and possibly a split-brain-checked adoption
+   ({!adopt_shard}).  While a shard is down its allocations fail
+   ([Failure], which the workload driver degrades on); lookups keep
+   answering out of the immutable-entry read cache. *)
+let crash_shard t ~shard =
+  let reg = Protocol.registry t.proto in
+  if shard < 0 || shard >= Registry.num_shards reg then
+    invalid_arg "Cluster.crash_shard: unknown shard";
+  if not (Registry.shard_up reg shard) then
+    failwith (Printf.sprintf "Cluster.crash_shard: shard %d already down" shard);
+  Registry.crash_shard reg shard
+
+(* Move a (typically crashed) shard's ownership to a survivor, with the
+   same split-brain discipline as object-ownership adoption (PR 5): while
+   the recorded owner is alive but unreachable, adoption is refused —
+   healing must never reveal two nodes carving the same region. *)
+let adopt_shard t ~shard ~node =
+  check_alive t node "adopt_shard";
+  let reg = Protocol.registry t.proto in
+  if shard < 0 || shard >= Registry.num_shards reg then
+    invalid_arg "Cluster.adopt_shard: unknown shard";
+  let prev = Registry.shard_owner reg shard in
+  if
+    (not (Ids.Node.equal prev node))
+    && (not (Net.is_down t.net prev))
+    && not (Net.reachable t.net prev node)
+  then
+    failwith
+      (Printf.sprintf
+         "Cluster.adopt_shard: shard %d's recorded owner N%d is alive but \
+          unreachable — refusing split-brain adoption"
+         shard prev);
+  Registry.set_shard_owner reg shard node;
+  Registry.revive_shard reg shard;
+  record_ev t (Trace_event.Shard_adopted { shard; node })
 
 (** {2 Network partitions} *)
 

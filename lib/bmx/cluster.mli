@@ -19,6 +19,7 @@ val default_reliable : Bmx_netsim.Net.kind list
 
 val create :
   ?nodes:int ->
+  ?shards:int ->
   ?mode:Bmx_dsm.Protocol.mode ->
   ?update_policy:Bmx_dsm.Protocol.update_policy ->
   ?seed:int ->
@@ -26,14 +27,17 @@ val create :
   ?reliable:Bmx_netsim.Net.kind list ->
   unit ->
   t
-(** A cluster of [nodes] (default 3) with ids [0 .. nodes-1].  [mode]
-    selects distributed (default) or centralized copy-sets; [seed] feeds
-    the deterministic generators.  [trace_events] (default [false])
-    turns on the typed event log from the first operation so the whole
-    run can be replayed through the trace linter.  [reliable] (default
-    {!default_reliable}) selects the message kinds carried with
-    acknowledgement + retransmission semantics; pass [[]] for the bare
-    §6.1 transport. *)
+(** A cluster of [nodes] (default 3) with ids [0 .. nodes-1].  [shards]
+    (default 1) partitions the segment registry by address range
+    ({!Bmx_memory.Registry}); shard [s] starts owned by node
+    [s mod nodes], so with [shards = nodes] each bunch's home shard is
+    its home node.  [mode] selects distributed (default) or centralized
+    copy-sets; [seed] feeds the deterministic generators.
+    [trace_events] (default [false]) turns on the typed event log from
+    the first operation so the whole run can be replayed through the
+    trace linter.  [reliable] (default {!default_reliable}) selects the
+    message kinds carried with acknowledgement + retransmission
+    semantics; pass [[]] for the bare §6.1 transport. *)
 
 val proto : t -> Bmx_dsm.Protocol.t
 val gc : t -> Bmx_gc.Gc_state.t
@@ -103,6 +107,28 @@ val restart_node : t -> node:Bmx_util.Ids.Node.t -> unit
 
 val node_alive : t -> Bmx_util.Ids.Node.t -> bool
 val live_nodes : t -> Bmx_util.Ids.Node.t list
+
+val crash_shard : t -> shard:int -> unit
+(** Take a registry shard's allocation service down (the BMX-server
+    daemon dying, as opposed to {!crash_node}'s loss of a node's DSM/GC
+    volatile state — a crashed {e node}'s shards keep carving through a
+    fail-stop regent, see {!create}).  While the shard is down,
+    allocations routed to it raise [Failure]; lookups keep answering
+    from the immutable-entry read cache.  Recovery is
+    [Bmx.Persist.recover_shard] (journal replay + verify) followed by
+    {!adopt_shard}, or {!adopt_shard} alone when the index is intact.
+    Raises [Failure] if already down, [Invalid_argument] on an unknown
+    shard. *)
+
+val adopt_shard : t -> shard:int -> node:Bmx_util.Ids.Node.t -> unit
+(** Re-seat a registry shard's ownership at [node] (typically after its
+    owner crashed) and bring its allocation service back up.  Refuses
+    with [Failure] — the PR 5 split-brain rule applied to shards —
+    while the recorded owner is alive but unreachable from [node]:
+    healing must never reveal two nodes carving the same address
+    region.  Records a [Shard_adopted] trace event.  Replaying the
+    shard's durable journal into the index is {!Bmx.Persist.recover_shard}'s
+    job; adoption only moves ownership. *)
 
 (** {1 Network partitions}
 

@@ -156,8 +156,11 @@ let restore c ~node disk =
                 ~uid ~from:node;
               match Directory.find (Protocol.directory proto owner) uid with
               | Some orec ->
+                  let was = Ids.Node_set.cardinal orec.Directory.copyset in
                   orec.Directory.copyset <-
-                    Ids.Node_set.add node orec.Directory.copyset
+                    Ids.Node_set.add node orec.Directory.copyset;
+                  Protocol.copyset_changed proto ~was
+                    ~now:(Ids.Node_set.cardinal orec.Directory.copyset)
               | None -> ()
             in
             if Bmx_netsim.Net.reachable net node owner then register ()
@@ -284,6 +287,121 @@ let verify_bunch c ~node ~bunch disk =
   let missing = List.rev !missing in
   record_ev c (Trace_event.Bunch_verified { node; missing = List.length missing });
   { f_checked = !checked; f_missing = missing }
+
+(* ------------------------------------------------------------------ *)
+(* Registry shard journals.                                            *)
+(*                                                                     *)
+(* A shard's durable state is tiny and append-mostly: the carves it    *)
+(* has handed out (the cursor is their maximum [hi]).  Each carve is   *)
+(* one committed RVM transaction keyed by the range's low address, so  *)
+(* the write-ahead image is exactly the shard's slice of the range     *)
+(* index and recovery is a replay through [Registry.restore_entry].    *)
+(* ------------------------------------------------------------------ *)
+
+module Registry = Bmx_memory.Registry
+
+type shard_disk = (Addr.t * Addr.t * Ids.Bunch.t * Ids.Node.t) Rvm.t
+
+let create_shard_disk () : shard_disk = Rvm.create ~copy:(fun c -> c) ()
+
+let journal_entry (disk : shard_disk) (e : Registry.entry) =
+  let lo = e.Registry.range.Addr.Range.lo in
+  Rvm.begin_tx disk;
+  Rvm.set disk lo (lo, e.Registry.range.Addr.Range.hi, e.Registry.bunch, e.Registry.origin);
+  Rvm.commit disk
+
+let checkpoint_shard c ~shard (disk : shard_disk) =
+  let reg = Protocol.registry (Cluster.proto c) in
+  let entries = Registry.shard_entries reg shard in
+  let keep = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Registry.entry) -> Hashtbl.replace keep e.Registry.range.Addr.Range.lo ())
+    entries;
+  let stale =
+    Rvm.fold disk ~init:[] ~f:(fun lo _ acc ->
+        if Hashtbl.mem keep lo then acc else lo :: acc)
+  in
+  Rvm.begin_tx disk;
+  List.iter (Rvm.delete disk) stale;
+  List.iter
+    (fun (e : Registry.entry) ->
+      let lo = e.Registry.range.Addr.Range.lo in
+      Rvm.set disk lo
+        (lo, e.Registry.range.Addr.Range.hi, e.Registry.bunch, e.Registry.origin))
+    entries;
+  Rvm.commit disk;
+  List.length entries
+
+let attach_shard_journals c =
+  let reg = Protocol.registry (Cluster.proto c) in
+  let disks = Array.init (Registry.num_shards reg) (fun _ -> create_shard_disk ()) in
+  (* Snapshot what is already carved, then journal every later carve as
+     it happens. *)
+  Array.iteri (fun s disk -> ignore (checkpoint_shard c ~shard:s disk)) disks;
+  Registry.add_on_alloc reg (fun ~shard e -> journal_entry disks.(shard) e);
+  disks
+
+let recover_shard c ~shard ~node (disk : shard_disk) =
+  let reg = Protocol.registry (Cluster.proto c) in
+  let rep = Rvm.recover disk in
+  if not (Rvm.clean_report rep) then begin
+    Stats.incr (Cluster.stats c) ~by:rep.Rvm.r_dropped "rvm.records_dropped";
+    Bmx_obs.Metrics.incr (Cluster.metrics c) ~node ~by:rep.Rvm.r_corrupt
+      "rvm.corrupt_records_dropped"
+  end;
+  (* As in {!recover_node}: the Checksum_recovery lint pairs an injected
+     Disk_fault with this acknowledgement even when nothing was wrong. *)
+  record_ev c
+    (Trace_event.Rvm_recover
+       { node; dropped = rep.Rvm.r_dropped; lost = List.length rep.Rvm.r_lost });
+  let installed =
+    Rvm.fold disk ~init:0 ~f:(fun _lo (lo, hi, bunch, origin) count ->
+        let e =
+          {
+            Registry.range = Addr.Range.make ~lo ~size:(hi - lo);
+            bunch;
+            origin;
+          }
+        in
+        if Registry.restore_entry reg ~shard e then count + 1 else count)
+  in
+  (* Seat ownership and bring the allocation service back up through the
+     cluster's adoption path, so the split-brain guard and the
+     [Shard_adopted] trace both apply. *)
+  Cluster.adopt_shard c ~shard ~node;
+  installed
+
+type shard_fsck = { s_checked : int; s_missing : Addr.t list }
+
+let verify_shard c ~shard (disk : shard_disk) =
+  let reg = Protocol.registry (Cluster.proto c) in
+  let entries = Registry.shard_entries reg shard in
+  let in_index = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Registry.entry) ->
+      Hashtbl.replace in_index e.Registry.range.Addr.Range.lo ())
+    entries;
+  let checked = ref 0 and missing = ref [] in
+  let in_journal = Hashtbl.create 16 in
+  Rvm.fold disk ~init:() ~f:(fun _key (lo, _hi, _bunch, _origin) () ->
+      Hashtbl.replace in_journal lo ();
+      incr checked;
+      if not (Hashtbl.mem in_index lo) then missing := lo :: !missing);
+  (* The index is an in-memory cache that survives service crashes, so a
+     journal record lost to corruption never leaves a hole the process
+     can feel — which is precisely why fsck must surface it: after a
+     host loss the journal would have been the only copy. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let lo = e.Registry.range.Addr.Range.lo in
+      incr checked;
+      if not (Hashtbl.mem in_journal lo) then missing := lo :: !missing)
+    entries;
+  let missing = List.sort_uniq compare !missing in
+  record_ev c
+    (Trace_event.Bunch_verified { node = Registry.shard_owner reg shard;
+                                  missing = List.length missing });
+  { s_checked = !checked; s_missing = missing }
 
 type fault = Flip_bits of int | Drop_record of int | Truncate_mid_record
 

@@ -108,12 +108,78 @@ val verify_bunch :
     Missing cells should be re-fetched from a surviving replica
     ({!Cluster.demand_fetch}) before an audit counts them lost. *)
 
+(** {1 Registry shard journals}
+
+    A registry shard's durable state is its slice of the range index
+    (the allocation cursor is the maximum [hi] of its carves).  Every
+    carve is one committed RVM transaction keyed by the range's low
+    address; recovery replays the journal through
+    {!Bmx_memory.Registry.restore_entry} and re-seats ownership through
+    {!Cluster.adopt_shard}, so the split-brain rule applies to shard
+    recovery exactly as to object adoption. *)
+
+type shard_disk =
+  (Bmx_util.Addr.t * Bmx_util.Addr.t * Bmx_util.Ids.Bunch.t
+  * Bmx_util.Ids.Node.t)
+  Bmx_rvm.Rvm.t
+(** One journaled carve: [(lo, hi, bunch, origin)], keyed by [lo]. *)
+
+val create_shard_disk : unit -> shard_disk
+
+val attach_shard_journals : Cluster.t -> shard_disk array
+(** One journal per registry shard: snapshot the carves already handed
+    out, then write-ahead every later carve as one committed transaction
+    (via {!Bmx_memory.Registry.add_on_alloc}).  Attach once, at cluster
+    setup or any quiescent point. *)
+
+val checkpoint_shard : Cluster.t -> shard:int -> shard_disk -> int
+(** Rewrite the journal from the shard's current index slice in one RVM
+    transaction (retiring records the index no longer has — it never
+    does today, ranges being immutable, but the checkpoint does not rely
+    on that).  Returns the number of carves persisted.  This is also the
+    repair path after {!verify_shard} reports journal loss: the
+    surviving index re-seeds the durable image. *)
+
+val recover_shard :
+  Cluster.t -> shard:int -> node:Bmx_util.Ids.Node.t -> shard_disk -> int
+(** Full shard recovery: [Bmx_rvm.Rvm.recover] the journal (recording an
+    [Rvm_recover] trace event at [node], and the damage stats when the
+    log was hurt), replay every surviving carve into the index
+    ({!Bmx_memory.Registry.restore_entry} — idempotent against the
+    entries the cluster-wide read cache already has; raises [Failure] if
+    journal and cache disagree on a range), then seat [node] as owner
+    and bring the allocation service up via {!Cluster.adopt_shard} —
+    which can refuse (split-brain) if the recorded owner is alive across
+    a cut.  Returns the number of carves the replay actually installed
+    (0 when the cache already had them all). *)
+
+type shard_fsck = {
+  s_checked : int;
+      (** cross-check probes run: journal records examined against the
+          index plus index entries examined against the journal *)
+  s_missing : Bmx_util.Addr.t list;
+      (** range low addresses present on exactly one side — journal
+          records the index lost (impossible today), or index entries
+          the journal lost (dropped/truncated records).  The in-memory
+          index masks journal loss while the process lives, which is
+          precisely why fsck must surface it: after a host loss the
+          journal would have been the only copy. *)
+}
+
+val verify_shard : Cluster.t -> shard:int -> shard_disk -> shard_fsck
+(** fsck for a shard journal: symmetric difference between the journal's
+    records and the shard's index slice.  Records a [Bunch_verified]
+    trace event against the shard's owner.  A non-empty [s_missing]
+    after fault injection is the {e honest} outcome; repair with
+    {!checkpoint_shard} and re-verify. *)
+
 type fault = Flip_bits of int | Drop_record of int | Truncate_mid_record
 (** Index positions are oldest-first, as in {!Bmx_rvm.Rvm.flip_bits}. *)
 
 val corrupt_disk :
-  Cluster.t -> node:Bmx_util.Ids.Node.t -> disk -> fault -> unit
-(** Inject one storage fault into the disk's log, recording a
-    [Disk_fault] trace event against [node] (the disk's host) and the
-    [rvm.faults_injected] stat — so the trace linter can demand that a
-    subsequent recovery acknowledged the damage. *)
+  Cluster.t -> node:Bmx_util.Ids.Node.t -> _ Bmx_rvm.Rvm.t -> fault -> unit
+(** Inject one storage fault into the disk's log — a heap {!disk} or a
+    {!shard_disk} — recording a [Disk_fault] trace event against [node]
+    (the disk's host) and the [rvm.faults_injected] stat, so the trace
+    linter can demand that a subsequent recovery acknowledged the
+    damage. *)

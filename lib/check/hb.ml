@@ -41,6 +41,8 @@ let node_span events =
       | E.Disk_fault { node; _ }
       | E.Rvm_recover { node; _ }
       | E.Bunch_verified { node; _ }
+      | E.Shard_alloc { node; _ }
+      | E.Shard_adopted { node; _ }
       | E.Read_obs { node; _ }
       | E.Write_obs { node; _ }
       | E.Gc_phase { node; _ } ->
@@ -260,7 +262,9 @@ let exec ~copy ?nodes ?indices events emit =
         | E.Owner_adopted { node; _ } -> (E.App, step node)
         | E.Disk_fault { node; _ }
         | E.Rvm_recover { node; _ }
-        | E.Bunch_verified { node; _ } ->
+        | E.Bunch_verified { node; _ }
+        | E.Shard_alloc { node; _ }
+        | E.Shard_adopted { node; _ } ->
             (E.App, step node)
         | E.Link_cut { src; _ } | E.Link_heal { src; _ } | E.Suspect { src; _ }
           ->

@@ -16,6 +16,7 @@ type rule =
   | Split_brain_ownership
   | Partition_quarantine
   | Checksum_recovery
+  | Shard_ownership
 
 type violation = { rule : rule; at : int; vnode : int; detail : string }
 
@@ -32,6 +33,7 @@ let rule_to_string = function
   | Split_brain_ownership -> "split-brain-ownership"
   | Partition_quarantine -> "partition-quarantine"
   | Checksum_recovery -> "checksum-recovery"
+  | Shard_ownership -> "shard-ownership"
 
 let violation_to_string v =
   Printf.sprintf "[%s] %s" (rule_to_string v.rule) v.detail
@@ -88,6 +90,11 @@ let run events =
      split-brain rule only fires when the trace itself recorded who owned
      the object last. *)
   let owner_seen : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* Registry-shard ownership as witnessed by the trace: adoptions
+     re-seat it, allocations must come from it.  Partial knowledge, same
+     idiom as [owner_seen] — shard ownership is durable (journalled), so
+     a crash does not erase what the trace recorded. *)
+  let shard_owner_seen : (int, int) Hashtbl.t = Hashtbl.create 8 in
   (* Storage faults injected and not yet acknowledged by a recovery. *)
   let faults : (int, (int * string) list ref) Hashtbl.t = Hashtbl.create 4 in
   let dead i node fmt =
@@ -269,6 +276,35 @@ let run events =
           Hashtbl.remove faults node
       | E.Bunch_verified { node; missing = _ } ->
           dead i node "bunch verification"
+      | E.Shard_adopted { shard; node } ->
+          dead i node "registry shard %d adoption" shard;
+          (match Hashtbl.find_opt shard_owner_seen shard with
+          | Some prev
+            when prev <> node
+                 && (not (Hashtbl.mem down prev))
+                 && partitioned prev node ->
+              add ~at:i ~vnode:node Shard_ownership
+                "event %d: N%d adopted registry shard %d while its last \
+                 recorded owner N%d is alive across a cut link — two shard \
+                 owners after heal"
+                i node shard prev
+          | Some _ | None -> ());
+          Hashtbl.replace shard_owner_seen shard node
+      | E.Shard_alloc { shard; node } ->
+          dead i node "range carved from registry shard %d" shard;
+          (* A non-owner carve is the fail-stop regency, legal only while
+             the recorded owner is down — everyone agrees a crashed node
+             is gone, unlike a partition, where carving for an absent
+             owner would be exactly the two-writers split-brain. *)
+          (match Hashtbl.find_opt shard_owner_seen shard with
+          | Some owner when owner <> node && not (Hashtbl.mem down owner) ->
+              add ~at:i ~vnode:node Shard_ownership
+                "event %d: N%d carved a range from registry shard %d whose \
+                 recorded owner N%d is alive — registry mutation applied by \
+                 a non-owning node"
+                i node shard owner
+          | Some _ -> ()
+          | None -> Hashtbl.replace shard_owner_seen shard node)
       | E.Gc_begin { node; _ } -> dead i node "collection started"
       | E.Gc_end { node; _ } -> dead i node "collection finished"
       | E.Gc_phase { node; phase; _ } ->

@@ -44,7 +44,14 @@
       accepted messages).
     - {b Checksum recovery} (storage faults): every injected disk fault
       ([Disk_fault]) is eventually acknowledged by an RVM recovery
-      ([Rvm_recover]) at that node — damage is never silently ignored. *)
+      ([Rvm_recover]) at that node — damage is never silently ignored.
+    - {b Shard ownership} (registry sharding): every segment range is
+      carved by the owning node of its registry shard — a [Shard_alloc]
+      applied by any other node is a registry mutation from a non-owning
+      replica — and no node adopts a shard whose last trace-recorded
+      owner is alive on the far side of a cut link.  Partial knowledge,
+      like split-brain ownership: the rule only fires when the trace
+      recorded who owned the shard. *)
 
 type rule =
   | Gc_acquired_token
@@ -59,6 +66,7 @@ type rule =
   | Split_brain_ownership
   | Partition_quarantine
   | Checksum_recovery
+  | Shard_ownership
 
 type violation = {
   rule : rule;

@@ -48,7 +48,7 @@ let on_write_transfer t ~granter ~requester ~uid =
                    piggybacks the stub-creation request on the grant. *)
                 Gc_state.add_intra_scion t ~node:granter scion;
                 Net.record_piggyback (Protocol.net proto) ~src:granter
-                  ~kind:Net.Token_grant ~bytes:24
+                  ~kind:Net.Token_grant ~bytes:24 ()
               end
               else
                 (* The stub holder is a third node (the granter itself only

@@ -2,6 +2,7 @@ open Bmx_util
 module Net = Bmx_netsim.Net
 module Protocol = Bmx_dsm.Protocol
 module Store = Bmx_memory.Store
+module Registry = Bmx_memory.Registry
 module Heap_obj = Bmx_memory.Heap_obj
 module Directory = Bmx_dsm.Directory
 
@@ -123,6 +124,7 @@ let sync_mirror t ~at ~seq msg =
           Net.record_rpc (Protocol.net proto) ~src:at ~dst:sender
             ~kind:Net.Stub_table
             ~bytes:(full_bytes_of ~inter ~intra ~exiting)
+            ~shard:(Registry.shard_of_bunch (Protocol.registry proto) bunch)
             ();
         let basis =
           match Gc_state.dest_basis t ~node:sender ~bunch ~dest:at with
@@ -534,6 +536,9 @@ let full_period = 64
 let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
   let proto = Gc_state.proto t in
   let net = Protocol.net proto in
+  (* Table exchanges are per-bunch, and a bunch's segments all come from
+     one registry shard — route and account them against it. *)
+  let shard = Registry.shard_of_bunch (Protocol.registry proto) bunch in
   let new_inter = Gc_state.inter_stubs t ~node ~bunch in
   let new_intra = Gc_state.intra_stubs t ~node ~bunch in
   let dests =
@@ -607,8 +612,8 @@ let broadcast t ~node ~bunch ~old_inter ~old_intra ~exiting =
     (match body with
     | Full _ -> bump t "gc.cleaner.full_sent"
     | Delta _ -> bump t "gc.cleaner.delta_sent");
-    Net.send net ~src:node ~dst ~kind:Net.Stub_table ~bytes:wire (fun seq ->
-        receive t ~at:dst ~seq msg);
+    Net.send net ~src:node ~dst ~kind:Net.Stub_table ~bytes:wire ~shard
+      (fun seq -> receive t ~at:dst ~seq msg);
     (* The transport seq just stamped on this pair is the basis the next
        round's delta to this peer will name; the receiver's mirror
        records the same number when it processes the message. *)

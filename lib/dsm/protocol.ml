@@ -36,6 +36,13 @@ type t = {
   tracer : Tracelog.t;
   evlog : Trace_event.log;
   mutable obs : Bmx_obs.Metrics.t option;
+  mutable copyset_hist : int array;
+      (* [copyset_hist.(c)] = directory records, across every node, whose
+         copyset has cardinality [c] (c >= 1; empty copysets untracked) *)
+  mutable copyset_max : int;
+      (* top nonzero histogram index — the largest live copyset, read by
+         the continuous sampler once per closed window, so it must be
+         O(1): a full directory scan here dominated the e20 sweep *)
 }
 
 let create ~net ~registry ?(mode = Distributed) ?(update_policy = Lazy) () =
@@ -54,7 +61,32 @@ let create ~net ~registry ?(mode = Distributed) ?(update_policy = Lazy) () =
     tracer = (let tr = Tracelog.create () in Tracelog.set_enabled tr false; tr);
     evlog = Trace_event.create_log ();
     obs = None;
+    copyset_hist = Array.make 8 0;
+    copyset_max = 0;
   }
+
+(* Every copyset write reports its before/after cardinality here (record
+   removal reports [~now:0]); the histogram's top index is then the exact
+   cluster-wide maximum, maintained in O(1) amortized. *)
+let copyset_changed t ~was ~now =
+  if was <> now then begin
+    let h =
+      if now < Array.length t.copyset_hist then t.copyset_hist
+      else begin
+        let g = Array.make (2 * (now + 1)) 0 in
+        Array.blit t.copyset_hist 0 g 0 (Array.length t.copyset_hist);
+        t.copyset_hist <- g;
+        g
+      end
+    in
+    if was > 0 then h.(was) <- h.(was) - 1;
+    if now > 0 then h.(now) <- h.(now) + 1;
+    if now > t.copyset_max then t.copyset_max <- now
+    else
+      while t.copyset_max > 0 && h.(t.copyset_max) = 0 do
+        t.copyset_max <- t.copyset_max - 1
+      done
+  end
 
 let set_hooks t hooks = t.hooks <- hooks
 let tracer t = t.tracer
@@ -65,15 +97,12 @@ let set_metrics t m =
   Bmx_obs.Metrics.gauge_fn m "dsm.oracle.entries" (fun () ->
       Hashtbl.length t.addr_oracle);
   (* Largest copyset across every directory — how widely the most shared
-     object has spread (§2.2). *)
-  Bmx_obs.Metrics.gauge_fn m "dsm.copyset.max" (fun () ->
-      Ids.Node_tbl.fold
-        (fun _node dir acc ->
-          List.fold_left
-            (fun acc r ->
-              Stdlib.max acc (Ids.Node_set.cardinal r.Directory.copyset))
-            acc (Directory.records dir))
-        t.dirs 0)
+     object has spread (§2.2).  Served from the cardinality histogram in
+     O(1): the continuous sampler reads this once per closed window, and
+     the previous full directory scan (materialise + sort every record
+     list) cost ~500k minor words per sample at the e20 sweep's largest
+     leg and dominated the measured loop's allocation. *)
+  Bmx_obs.Metrics.gauge_fn m "dsm.copyset.max" (fun () -> t.copyset_max)
 
 let obs_observe t ?node name v =
   match t.obs with
@@ -123,6 +152,13 @@ let bunch_home t bunch =
 let bunches t =
   Ids.Bunch_tbl.fold (fun b _ acc -> b :: acc) t.homes []
   |> List.sort Ids.Bunch.compare
+
+(* The registry shard whose region carved this address, if any.  All
+   location traffic about the address — oracle consults, grants and
+   their piggybacked updates, copy-set forwards — is labelled with it,
+   so the wire attribution can show location load staying partitioned
+   instead of funnelling through one authority. *)
+let shard_of t addr = Registry.shard_of_addr t.registry addr
 
 let actor_prefix = function App -> "dsm.app" | Gc -> "dsm.gc"
 let bump t name = Stats.incr (stats t) name
@@ -186,20 +222,40 @@ let replica_nodes t uid =
 
 (* Resolve an address to the identity of the object it names, from the
    point of view of node [n].  Normally the local store knows; otherwise
-   the address oracle (standing in for the BMX-server's bunch directory,
-   §8) answers, and we account one request to the bunch's home node. *)
+   the location service answers, two-level: the first hop is the owner
+   of the address's registry shard (O(1) arithmetic routing — the shard
+   owner's BMX-server holds the directory slice for its own regions),
+   which returns the identity and a probable-owner hint; only if that
+   owner is down does the consult fall back to the bunch's home node,
+   the pre-sharding single authority.  Either way the answer itself
+   comes from the address oracle, which stands in for both levels'
+   BMX-server state (§8). *)
 let locate t n addr =
   match Store.resolve (store t n) addr with
   | Some (_, obj) -> obj.Heap_obj.uid
   | None -> (
       match Hashtbl.find_opt t.addr_oracle addr with
       | Some uid ->
-          (match Registry.bunch_of_addr t.registry addr with
-          | Some bunch when Ids.Bunch_tbl.mem t.homes bunch ->
-              let home = bunch_home t bunch in
+          let consult_bunch_home () =
+            match Registry.bunch_of_addr t.registry addr with
+            | Some bunch when Ids.Bunch_tbl.mem t.homes bunch ->
+                let home = bunch_home t bunch in
+                if not (Ids.Node.equal home n) then
+                  Net.record_rpc t.net ~src:n ~dst:home ~kind:Net.Object_fetch
+                    ()
+            | Some _ | None -> ()
+          in
+          (match shard_of t addr with
+          | Some shard
+            when Registry.shard_up t.registry shard
+                 && not (Net.is_down t.net (Registry.shard_owner t.registry shard))
+                 && Net.reachable t.net n (Registry.shard_owner t.registry shard)
+            ->
+              let home = Registry.shard_owner t.registry shard in
               if not (Ids.Node.equal home n) then
-                Net.record_rpc t.net ~src:n ~dst:home ~kind:Net.Object_fetch ()
-          | Some _ | None -> ());
+                Net.record_rpc t.net ~src:n ~dst:home ~kind:Net.Object_fetch
+                  ~shard ()
+          | Some _ | None -> consult_bunch_home ());
           uid
       | None ->
           failwith
@@ -418,13 +474,20 @@ let rec apply_location_updates t ~node updates =
               ev t (Trace_event.Copyset_forward { src = node; dst = peer; uid = lu_uid });
               Net.send t.net ~src:node ~dst:peer ~kind:Net.Addr_update
                 ~bytes:update_bytes
+                ?shard:(shard_of t up.new_addr)
                 (fun _seq -> apply_location_updates t ~node:peer [ up ]))
             r.Directory.copyset)
     changed
 
 let send_location_updates t ~src ~dst updates =
+  (* A batch is routed as one message; label it with the shard of the
+     lead update (the acquired object — referent updates ride along). *)
+  let shard =
+    match updates with [] -> None | up :: _ -> shard_of t up.new_addr
+  in
   Net.send t.net ~src ~dst ~kind:Net.Addr_update
     ~bytes:(List.length updates * update_bytes)
+    ?shard
     (fun _seq -> apply_location_updates t ~node:dst updates)
 
 (* ------------------------------------------------------------------ *)
@@ -456,6 +519,7 @@ let rec invalidate_subtree t ~actor ~skip node uid =
   | Some r ->
       let grantees = r.Directory.copyset in
       r.Directory.copyset <- Ids.Node_set.empty;
+      copyset_changed t ~was:(Ids.Node_set.cardinal grantees) ~now:0;
       Ids.Node_set.iter
         (fun peer ->
           if not (Ids.Node.equal peer node) then begin
@@ -572,9 +636,11 @@ let acquire t ?(actor = App) ~node:n addr kind =
           g_rec.Directory.state <- Directory.Read;
         if g_rec.Directory.state <> Directory.Read then
           failwith "Protocol.acquire: granter has no valid copy";
+        let cs_was = Ids.Node_set.cardinal g_rec.Directory.copyset in
         g_rec.Directory.copyset <- Ids.Node_set.add n g_rec.Directory.copyset;
-        obs_observe t ~node:granter "dsm.copyset.size"
-          (Ids.Node_set.cardinal g_rec.Directory.copyset);
+        let cs_now = Ids.Node_set.cardinal g_rec.Directory.copyset in
+        copyset_changed t ~was:cs_was ~now:cs_now;
+        obs_observe t ~node:granter "dsm.copyset.size" cs_now;
         Directory.add_entering g_dir
           ~seq:(Net.current_seq t.net ~src:n ~dst:granter)
           ~uid ~from:n;
@@ -589,7 +655,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
         in
         let updates = compute_updates t ~granter ~requested:addr gaddr gobj in
         Net.record_rpc t.net ~src:granter ~dst:n ~kind:Net.Token_grant
-          ~bytes:(grant_bytes gobj updates) ();
+          ~bytes:(grant_bytes gobj updates) ?shard:(shard_of t gaddr) ();
         ev t
           (Trace_event.Grant_sent
              {
@@ -602,7 +668,8 @@ let acquire t ?(actor = App) ~node:n addr kind =
         obs_observe t ~node:granter "dsm.grant.updates" (List.length updates);
         if updates <> [] then
           Net.record_piggyback t.net ~src:granter ~kind:Net.Token_grant
-            ~bytes:(List.length updates * update_bytes);
+            ~bytes:(List.length updates * update_bytes)
+            ?shard:(shard_of t gaddr) ();
         trace t "dsm" "read grant u%d: N%d -> N%d (%d updates)" uid granter n
           (List.length updates);
         let r_n =
@@ -680,7 +747,7 @@ let acquire t ?(actor = App) ~node:n addr kind =
           in
           let updates = compute_updates t ~granter:owner ~requested:addr gaddr gobj in
           Net.record_rpc t.net ~src:owner ~dst:n ~kind:Net.Token_grant
-            ~bytes:(grant_bytes gobj updates) ();
+            ~bytes:(grant_bytes gobj updates) ?shard:(shard_of t gaddr) ();
           ev t
             (Trace_event.Grant_sent
                {
@@ -693,7 +760,8 @@ let acquire t ?(actor = App) ~node:n addr kind =
           obs_observe t ~node:owner "dsm.grant.updates" (List.length updates);
           if updates <> [] then
             Net.record_piggyback t.net ~src:owner ~kind:Net.Token_grant
-              ~bytes:(List.length updates * update_bytes);
+              ~bytes:(List.length updates * update_bytes)
+              ?shard:(shard_of t gaddr) ();
           (* Ownership transfer: the old owner keeps an inconsistent copy
              (Figure 1: o3 marked "i" at N2) and its ownerPtr now exits
              towards the new owner. *)
@@ -702,6 +770,9 @@ let acquire t ?(actor = App) ~node:n addr kind =
           o_rec.Directory.state <- Directory.Invalid;
           o_rec.Directory.is_owner <- false;
           o_rec.Directory.prob_owner <- n;
+          copyset_changed t
+            ~was:(Ids.Node_set.cardinal o_rec.Directory.copyset)
+            ~now:0;
           o_rec.Directory.copyset <- Ids.Node_set.empty;
           Directory.touch (directory t owner);
           let r_n = Directory.ensure d_n ~uid ~prob_owner:n in
@@ -712,6 +783,9 @@ let acquire t ?(actor = App) ~node:n addr kind =
           note_owner t ~uid ~node:n;
           r_n.Directory.held <- true;
           r_n.Directory.prob_owner <- n;
+          copyset_changed t
+            ~was:(Ids.Node_set.cardinal r_n.Directory.copyset)
+            ~now:0;
           r_n.Directory.copyset <- Ids.Node_set.empty;
           Directory.add_entering d_n
             ~seq:(Net.current_seq t.net ~src:owner ~dst:n)
@@ -763,9 +837,10 @@ let demand_fetch t ?(actor = App) ~node:n addr =
         | None -> failwith "Protocol.demand_fetch: supplier has no copy"
       in
       let updates = compute_updates t ~granter:supplier ~requested:addr gaddr gobj in
-      Net.record_rpc t.net ~src:n ~dst:supplier ~kind:Net.Object_fetch ();
+      Net.record_rpc t.net ~src:n ~dst:supplier ~kind:Net.Object_fetch
+        ?shard:(shard_of t gaddr) ();
       Net.record_rpc t.net ~src:supplier ~dst:n ~kind:Net.Token_grant
-        ~bytes:(grant_bytes gobj updates) ();
+        ~bytes:(grant_bytes gobj updates) ?shard:(shard_of t gaddr) ();
       (* The fetched copy carries no token: it is inconsistent from the
          start, exactly like an invalidated replica. *)
       let r_n = Directory.ensure (directory t n) ~uid ~prob_owner:supplier in
@@ -859,7 +934,15 @@ let bunch_replica_nodes t bunch =
     t.stores []
   |> List.sort Ids.Node.compare
 
-let forget_replica t ~node ~uid = Directory.forget (directory t node) uid
+let forget_replica t ~node ~uid =
+  let d = directory t node in
+  (match Directory.find d uid with
+  | Some r ->
+      copyset_changed t
+        ~was:(Ids.Node_set.cardinal r.Directory.copyset)
+        ~now:0
+  | None -> ());
+  Directory.forget d uid
 
 let crash_node t node =
   (* The node's volatile DSM state — its cached copies and its directory,
@@ -869,6 +952,12 @@ let crash_node t node =
      nodes keep their possibly-stale records about the crashed node, the
      same way they would across a real crash. *)
   ignore (store t node);
+  (* Drain the dying directory's copysets from the histogram before the
+     records vanish. *)
+  Directory.iter (directory t node) (fun r ->
+      copyset_changed t
+        ~was:(Ids.Node_set.cardinal r.Directory.copyset)
+        ~now:0);
   Ids.Node_tbl.replace t.stores node (Store.create ~registry:t.registry ~node);
   Ids.Node_tbl.replace t.dirs node (Directory.create ~node)
 
@@ -932,6 +1021,7 @@ let adopt_ownership t ~node ~uid =
      from the replicas that survive (one query per live node), or a
      later write grant would skip invalidating their read tokens.
      Nodes that are down re-register themselves when they recover. *)
+  let cs_was = Ids.Node_set.cardinal r.Directory.copyset in
   r.Directory.copyset <-
     List.fold_left
       (fun acc n ->
@@ -941,6 +1031,8 @@ let adopt_ownership t ~node ~uid =
           Ids.Node_set.add n acc
         end)
       Ids.Node_set.empty (replica_nodes t uid);
+  copyset_changed t ~was:cs_was
+    ~now:(Ids.Node_set.cardinal r.Directory.copyset);
   ev t (Trace_event.Owner_adopted { node; uid });
   trace t "dsm" "ownership of u%d adopted by N%d" uid node
 

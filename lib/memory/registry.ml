@@ -8,43 +8,116 @@ module Addr_map = Map.Make (struct
   let compare = Addr.compare
 end)
 
-type t = {
+(* Each shard owns a fixed, contiguous slice of the single address space
+   and carves ranges sequentially inside it.  The slice boundaries are
+   arithmetic — shard k covers [first_lo + k*region_bytes,
+   first_lo + (k+1)*region_bytes) — so routing an address to its shard is
+   one subtraction and one division, O(1), before the per-shard floor
+   lookup.  A shard's authoritative state is its allocation cursor and
+   entry set, held by the owning node's BMX-server; the [by_lo] index is
+   a cluster-wide read cache.  Because ranges are immutable once handed
+   out (never freed, never moved), the cache can never go stale: lookups
+   keep answering while the owner is down, and only new allocations
+   fail. *)
+type shard = {
+  shard_id : int;
+  region : Addr.Range.t;
   mutable next : Addr.t;
-  mutable entries : entry list; (* newest first *)
   mutable by_lo : entry Addr_map.t;
-      (* keyed by range.lo — ranges are carved sequentially and never
-         overlap, so the entry containing an address (if any) is the one
-         with the greatest lo <= address.  [find] is a floor lookup,
-         O(log segments); the old list scan was O(segments) and sat
-         under every root scan, trace step and field-write map note,
-         which made whole-cluster collections superlinear in heap size
-         as evacuations appended segments round after round. *)
-  by_bunch : entry list ref Ids.Bunch_tbl.t;
+  mutable bytes : int;  (** O(1) maintained gauge: bytes carved here *)
+  mutable owner : Ids.Node.t;
+  mutable up : bool;
 }
 
-let create ?(first_addr = Addr.page_size) () =
+type t = {
+  shards : shard array;
+  region_bytes : int;
+  first_lo : Addr.t;
+  by_bunch : entry list ref Ids.Bunch_tbl.t;
+  mutable total : int;  (** O(1) maintained gauge: sum of shard bytes *)
+  mutable on_alloc : (shard:int -> entry -> unit) list;
+}
+
+(* 2^40 bytes per shard: far beyond any simulated heap, and small enough
+   that 4096 shards still fit in a 63-bit OCaml int with headroom. *)
+let default_region_bytes = 1 lsl 40
+
+let create ?(shards = 1) ?(first_addr = Addr.page_size) () =
+  if shards < 1 || shards > 4096 then
+    invalid_arg "Registry.create: shards must be in [1, 4096]";
+  let first_lo = Addr.align_up first_addr in
+  let region_bytes = default_region_bytes in
+  let mk k =
+    let lo = first_lo + (k * region_bytes) in
+    {
+      shard_id = k;
+      region = Addr.Range.make ~lo ~size:region_bytes;
+      next = lo;
+      by_lo = Addr_map.empty;
+      bytes = 0;
+      owner = 0;
+      up = true;
+    }
+  in
   {
-    next = Addr.align_up first_addr;
-    entries = [];
-    by_lo = Addr_map.empty;
+    shards = Array.init shards mk;
+    region_bytes;
+    first_lo;
     by_bunch = Ids.Bunch_tbl.create 16;
+    total = 0;
+    on_alloc = [];
   }
 
-let alloc_range t ~bunch ~origin ?(bytes = Segment.default_bytes) () =
-  let range = Addr.Range.make ~lo:t.next ~size:(Addr.align_up bytes) in
-  t.next <- range.Addr.Range.hi;
-  let e = { range; bunch; origin } in
-  t.entries <- e :: t.entries;
-  t.by_lo <- Addr_map.add range.Addr.Range.lo e t.by_lo;
-  (match Ids.Bunch_tbl.find_opt t.by_bunch bunch with
+let num_shards t = Array.length t.shards
+
+let shard_of_addr t a =
+  if a < t.first_lo then None
+  else
+    let k = (a - t.first_lo) / t.region_bytes in
+    if k < Array.length t.shards then Some k else None
+
+let shard_of_bunch t bunch = bunch mod Array.length t.shards
+let shard_owner t k = t.shards.(k).owner
+let shard_up t k = t.shards.(k).up
+let shard_bytes t k = t.shards.(k).bytes
+let shard_region t k = t.shards.(k).region
+let set_shard_owner t k node = t.shards.(k).owner <- node
+let crash_shard t k = t.shards.(k).up <- false
+let revive_shard t k = t.shards.(k).up <- true
+let add_on_alloc t f = t.on_alloc <- f :: t.on_alloc
+
+let index_bunch t e =
+  match Ids.Bunch_tbl.find_opt t.by_bunch e.bunch with
   | Some r -> r := e :: !r
-  | None -> Ids.Bunch_tbl.add t.by_bunch bunch (ref [ e ]));
+  | None -> Ids.Bunch_tbl.add t.by_bunch e.bunch (ref [ e ])
+
+let alloc_range t ~bunch ~origin ?(bytes = Segment.default_bytes) () =
+  let s = t.shards.(shard_of_bunch t bunch) in
+  if not s.up then
+    failwith (Printf.sprintf "registry shard %d down: cannot allocate" s.shard_id);
+  let size = Addr.align_up bytes in
+  if s.next + size > s.region.Addr.Range.hi then
+    failwith (Printf.sprintf "registry shard %d region exhausted" s.shard_id);
+  let range = Addr.Range.make ~lo:s.next ~size in
+  s.next <- range.Addr.Range.hi;
+  let e = { range; bunch; origin } in
+  s.by_lo <- Addr_map.add range.Addr.Range.lo e s.by_lo;
+  s.bytes <- s.bytes + size;
+  t.total <- t.total + size;
+  index_bunch t e;
+  List.iter (fun f -> f ~shard:s.shard_id e) t.on_alloc;
   range
 
 let find t a =
-  match Addr_map.find_last_opt (fun lo -> Addr.compare lo a <= 0) t.by_lo with
-  | Some (_, e) when Addr.Range.contains e.range a -> Some e
-  | Some _ | None -> None
+  match shard_of_addr t a with
+  | None -> None
+  | Some k -> (
+      let s = t.shards.(k) in
+      match
+        Addr_map.find_last_opt (fun lo -> Addr.compare lo a <= 0) s.by_lo
+      with
+      | Some (_, e) when Addr.Range.contains e.range a -> Some e
+      | Some _ | None -> None)
 
 let bunch_of_addr t a = Option.map (fun e -> e.bunch) (find t a)
 
@@ -53,5 +126,30 @@ let entries_of_bunch t bunch =
   | Some r -> List.rev !r
   | None -> []
 
-let total_bytes t =
-  List.fold_left (fun acc e -> acc + Addr.Range.size e.range) 0 t.entries
+let shard_entries t k =
+  List.rev (Addr_map.fold (fun _ e acc -> e :: acc) t.shards.(k).by_lo [])
+
+let total_bytes t = t.total
+
+let restore_entry t ~shard e =
+  let s = t.shards.(shard) in
+  if not (Addr.Range.contains s.region e.range.Addr.Range.lo) then
+    invalid_arg "Registry.restore_entry: range outside shard region";
+  match Addr_map.find_opt e.range.Addr.Range.lo s.by_lo with
+  | Some cached ->
+      (* The read cache survived; recovery just confirms the journal and
+         re-establishes the cursor past everything it promised. *)
+      if
+        cached.range.Addr.Range.hi <> e.range.Addr.Range.hi
+        || not (Ids.Bunch.equal cached.bunch e.bunch)
+      then failwith "Registry.restore_entry: journal disagrees with index";
+      if s.next < e.range.Addr.Range.hi then s.next <- e.range.Addr.Range.hi;
+      false
+  | None ->
+      s.by_lo <- Addr_map.add e.range.Addr.Range.lo e s.by_lo;
+      let size = Addr.Range.size e.range in
+      s.bytes <- s.bytes + size;
+      t.total <- t.total + size;
+      if s.next < e.range.Addr.Range.hi then s.next <- e.range.Addr.Range.hi;
+      index_bunch t e;
+      true

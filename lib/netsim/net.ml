@@ -61,6 +61,26 @@ module Component = struct
     | App -> "app"
 
   let all = [ Dsm; Gc_cleaner; Gc_bgc; Registry; Rvm; App ]
+
+  (* Dense index for per-shard accounting arrays (no hashing, no
+     allocation on the per-message path). *)
+  let index = function
+    | Dsm -> 0
+    | Gc_cleaner -> 1
+    | Gc_bgc -> 2
+    | Registry -> 3
+    | Rvm -> 4
+    | App -> 5
+
+  let of_index = function
+    | 0 -> Dsm
+    | 1 -> Gc_cleaner
+    | 2 -> Gc_bgc
+    | 3 -> Registry
+    | 4 -> Rvm
+    | _ -> App
+
+  let count = 6
 end
 
 (* Pre-interned metric names: the per-message accounting path must not
@@ -133,6 +153,14 @@ type 'p t = {
   mutable suspect_after : int;
   (* Observer of virtual-time advance (the periodic sampler). *)
   mutable tick_hook : (int -> unit) option;
+  (* Per-shard wire attribution: shard -> Component.index -> total.
+     Grown on demand; counts logical sends (retransmissions are a
+     transport artifact, not a routing decision). *)
+  mutable shard_b : int array array;
+  mutable shard_m : int array array;
+  (* Lazily interned "<comp key>.s<shard>" metric names (bytes, msgs):
+     the accounting path must not build strings. *)
+  shard_keys : (int, string array * string array) Hashtbl.t;
 }
 
 let create ~stats () =
@@ -157,6 +185,9 @@ let create ~stats () =
     suspect = Hashtbl.create 8;
     suspect_after = 6;
     tick_hook = None;
+    shard_b = [||];
+    shard_m = [||];
+    shard_keys = Hashtbl.create 8;
   }
 
 let stats t = t.stats
@@ -333,6 +364,73 @@ let comp_account_msg t ~src ~kind =
       Bmx_obs.Metrics.incr m key;
       Bmx_obs.Metrics.incr m ~node:src key
 
+let shard_row rows shard =
+  if shard < Array.length rows then rows.(shard)
+  else invalid_arg "Net: shard accounting row missing"
+
+let ensure_shard_rows t shard =
+  if shard >= Array.length t.shard_b then begin
+    let n = max (shard + 1) (2 * Array.length t.shard_b) in
+    let grow old =
+      Array.init n (fun i ->
+          if i < Array.length old then old.(i)
+          else Array.make Component.count 0)
+    in
+    t.shard_b <- grow t.shard_b;
+    t.shard_m <- grow t.shard_m
+  end
+
+let shard_metric_keys t shard =
+  match Hashtbl.find_opt t.shard_keys shard with
+  | Some ks -> ks
+  | None ->
+      let suffix = ".s" ^ string_of_int shard in
+      let ks =
+        ( Array.init Component.count (fun i ->
+              comp_bytes_key (Component.of_index i) ^ suffix),
+          Array.init Component.count (fun i ->
+              comp_msgs_key (Component.of_index i) ^ suffix) )
+      in
+      Hashtbl.add t.shard_keys shard ks;
+      ks
+
+(* The per-shard series reach the metric registry as callback gauges
+   over the dense rows, registered once per shard: a counter increment
+   here would pay the continuous sampler's tap on every labelled send,
+   and the shard label rides the hottest path in the system. *)
+let register_shard_gauges t shard =
+  match t.obs with
+  | None -> ()
+  | Some m ->
+      if not (Hashtbl.mem t.shard_keys shard) then begin
+        let bkeys, mkeys = shard_metric_keys t shard in
+        for ci = 0 to Component.count - 1 do
+          Bmx_obs.Metrics.gauge_fn m bkeys.(ci) (fun () ->
+              (shard_row t.shard_b shard).(ci));
+          Bmx_obs.Metrics.gauge_fn m mkeys.(ci) (fun () ->
+              (shard_row t.shard_m shard).(ci))
+        done
+      end
+
+(* One logical send routed via a registry shard: label the component
+   series with the shard so a hot shard can't hide in a flat total. *)
+let shard_account t ~kind ~shard ~bytes ~count_msg =
+  if shard < 0 then invalid_arg "Net: negative shard label";
+  ensure_shard_rows t shard;
+  register_shard_gauges t shard;
+  let ci = Component.index (Component.of_kind kind) in
+  let brow = shard_row t.shard_b shard in
+  brow.(ci) <- brow.(ci) + bytes;
+  if count_msg then begin
+    let mrow = shard_row t.shard_m shard in
+    mrow.(ci) <- mrow.(ci) + 1
+  end
+
+let shard_account_opt t ~kind ~shard ~bytes ?(count_msg = true) () =
+  match shard with
+  | None -> ()
+  | Some s -> shard_account t ~kind ~shard:s ~bytes ~count_msg
+
 let account_bytes t ~src ~kind ~bytes =
   Stats.incr t.stats ~by:bytes ("net.bytes." ^ kind_to_string kind);
   Stats.incr t.stats ~by:bytes "net.bytes.total";
@@ -368,7 +466,8 @@ let transmit t env ~bytes =
       account_bytes t ~src:env.src ~kind:env.kind ~bytes;
       Queue.add env t.queue
 
-let send t ~src ~dst ~kind ?(bytes = 64) payload =
+let send t ~src ~dst ~kind ?(bytes = 64) ?shard payload =
+  shard_account_opt t ~kind ~shard ~bytes ();
   let seq = next_seq t ~src ~dst in
   if Hashtbl.mem t.reliable kind then begin
     ev_sent t ~src ~dst ~kind ~seq ~rel:true;
@@ -416,7 +515,7 @@ let send t ~src ~dst ~kind ?(bytes = 64) payload =
         Queue.add env t.queue
   end
 
-let record_rpc t ~src ~dst ~kind ?(bytes = 64) () =
+let record_rpc t ~src ~dst ~kind ?(bytes = 64) ?shard () =
   (* Synchronous exchange executed inline by the caller; it overtakes
      any queued background messages on the (src, dst) stream, so it gets
      its own event kind rather than a sent/delivered pair.  An RPC is a
@@ -428,11 +527,13 @@ let record_rpc t ~src ~dst ~kind ?(bytes = 64) () =
       (Printf.sprintf "Net.record_rpc: link %d-%d cut (%s)" src dst
          (kind_to_string kind))
   end;
+  shard_account_opt t ~kind ~shard ~bytes ();
   let seq = next_seq t ~src ~dst in
   ev t (Trace_event.Rpc { src; dst; kind = kind_to_string kind; seq });
   account t ~src ~kind ~bytes
 
-let record_piggyback t ~src ~kind ~bytes =
+let record_piggyback t ~src ~kind ~bytes ?shard () =
+  shard_account_opt t ~kind ~shard ~bytes ();
   Stats.incr t.stats ("net.piggyback." ^ kind_to_string kind);
   Stats.incr t.stats ~by:bytes ("net.bytes." ^ kind_to_string kind);
   Stats.incr t.stats ~by:bytes "net.bytes.total";
@@ -616,6 +717,11 @@ let unacked_count t =
 
 let set_metrics t m =
   t.obs <- Some m;
+  (* Shards labelled before the registry was attached registered no
+     gauges; catch them up now. *)
+  for shard = 0 to Array.length t.shard_b - 1 do
+    register_shard_gauges t shard
+  done;
   (* Occupancy levels read lazily at snapshot time — no hot-path cost. *)
   Bmx_obs.Metrics.gauge_fn m "net.unacked_reliable" (fun () -> unacked_count t);
   Bmx_obs.Metrics.gauge_fn m "net.pending" (fun () -> Queue.length t.queue);
@@ -811,19 +917,44 @@ let component_bytes t comp =
       else acc)
     0 all_kinds
 
+let shard_rows_to_list rows =
+  Array.to_list rows
+  |> List.mapi (fun shard row ->
+         let comps =
+           List.filter_map
+             (fun c ->
+               let v = row.(Component.index c) in
+               if v > 0 then Some (c, v) else None)
+             Component.all
+         in
+         (shard, comps))
+  |> List.filter (fun (_, comps) -> comps <> [])
+
+let shard_components t = shard_rows_to_list t.shard_b
+let shard_component_msgs t = shard_rows_to_list t.shard_m
+
 (* ------------------------------------------------------------------ *)
 (* Scaling gate over a node sweep. *)
 
-type scaling_point = { sp_nodes : int; sp_bytes : (Component.t * int) list }
+type scaling_point = {
+  sp_nodes : int;
+  sp_bytes : (Component.t * int) list;
+  sp_shards : (int * (Component.t * int) list) list;
+}
 
 let scaling_point t ~nodes =
   {
     sp_nodes = nodes;
     sp_bytes = List.map (fun c -> (c, component_bytes t c)) Component.all;
+    sp_shards = shard_components t;
   }
 
 type scaling_row = {
   sr_component : Component.t;
+  sr_shard : int option;
+      (* [None]: the component's cluster-wide total.  [Some s]: the
+         hottest-shard row — s is the shard carrying the most bytes of
+         this component at the widest sweep point. *)
   sr_first_per_node : float;
   sr_last_per_node : float;
   sr_growth : float;
@@ -859,6 +990,7 @@ let scaling_check ?(floor = 1024) ?(bound = 1.5) points =
             if b1 <= floor && b0 <= floor then
               {
                 sr_component = c;
+                sr_shard = None;
                 sr_first_per_node = per0;
                 sr_last_per_node = per1;
                 sr_growth = growth;
@@ -868,6 +1000,7 @@ let scaling_check ?(floor = 1024) ?(bound = 1.5) points =
             else
               {
                 sr_component = c;
+                sr_shard = None;
                 sr_first_per_node = per0;
                 sr_last_per_node = per1;
                 sr_growth = growth;
@@ -880,6 +1013,7 @@ let scaling_check ?(floor = 1024) ?(bound = 1.5) points =
             if b1 <= floor then
               {
                 sr_component = c;
+                sr_shard = None;
                 sr_first_per_node = per0;
                 sr_last_per_node = per1;
                 sr_growth = growth;
@@ -889,6 +1023,7 @@ let scaling_check ?(floor = 1024) ?(bound = 1.5) points =
             else
               {
                 sr_component = c;
+                sr_shard = None;
                 sr_first_per_node = per0;
                 sr_last_per_node = per1;
                 sr_growth = growth;
@@ -899,4 +1034,60 @@ let scaling_check ?(floor = 1024) ?(bound = 1.5) points =
               })
       Component.all
   in
+  (* Hottest-shard rows: when the sweep carries per-shard attribution at
+     both ends, a component's flat total is not enough — one overloaded
+     shard can absorb the growth while the sum stays bounded.  For each
+     component with shard data, gate the single hottest shard's per-node
+     traffic by the same bound.  The cleaner keeps its exemption. *)
+  let shard_bytes_of p s c =
+    match List.assoc_opt s p.sp_shards with
+    | None -> 0
+    | Some comps -> ( match List.assoc_opt c comps with Some b -> b | None -> 0)
+  in
+  let shard_rows =
+    if first.sp_shards = [] || last.sp_shards = [] then []
+    else
+      List.filter_map
+        (fun c ->
+          if c = Component.Gc_cleaner then None
+          else
+            let hottest =
+              List.fold_left
+                (fun acc (s, comps) ->
+                  let b =
+                    match List.assoc_opt c comps with Some b -> b | None -> 0
+                  in
+                  match acc with
+                  | Some (_, best) when best >= b -> acc
+                  | _ -> if b > 0 then Some (s, b) else acc)
+                None last.sp_shards
+            in
+            match hottest with
+            | None -> None
+            | Some (s, b1) ->
+                if b1 <= floor then None
+                else
+                  let b0 = shard_bytes_of first s c in
+                  let per0 = float_of_int b0 /. float_of_int first.sp_nodes in
+                  let per1 = float_of_int b1 /. float_of_int last.sp_nodes in
+                  let growth = if per0 > 0. then per1 /. per0 else 0. in
+                  let ok = per0 > 0. && growth <= bound in
+                  Some
+                    {
+                      sr_component = c;
+                      sr_shard = Some s;
+                      sr_first_per_node = per0;
+                      sr_last_per_node = per1;
+                      sr_growth = growth;
+                      sr_ok = ok;
+                      sr_note =
+                        (if ok then "hottest shard bounded"
+                         else if per0 = 0. then
+                           "hottest shard absent at first point — \
+                            shard layout changed across the sweep"
+                         else "hottest shard's per-node traffic grows with N");
+                    })
+        Component.all
+  in
+  let rows = rows @ shard_rows in
   (rows, List.for_all (fun r -> r.sr_ok) rows)

@@ -100,9 +100,13 @@ val send :
   dst:Bmx_util.Ids.Node.t ->
   kind:kind ->
   ?bytes:int ->
+  ?shard:int ->
   'p ->
   unit
-(** Enqueue a background message.  Subject to fault injection. *)
+(** Enqueue a background message.  Subject to fault injection.  [shard]
+    labels the message with the registry shard whose routing decided its
+    destination; labelled traffic feeds {!shard_components} and the
+    per-shard [net.comp.*.s<k>] metric series. *)
 
 val record_rpc :
   'p t ->
@@ -110,14 +114,23 @@ val record_rpc :
   dst:Bmx_util.Ids.Node.t ->
   kind:kind ->
   ?bytes:int ->
+  ?shard:int ->
   unit ->
   unit
-(** Account for one synchronous message executed inline by the caller. *)
+(** Account for one synchronous message executed inline by the caller.
+    [shard] as in {!send}. *)
 
 val record_piggyback :
-  'p t -> src:Bmx_util.Ids.Node.t -> kind:kind -> bytes:int -> unit
+  'p t ->
+  src:Bmx_util.Ids.Node.t ->
+  kind:kind ->
+  bytes:int ->
+  ?shard:int ->
+  unit ->
+  unit
 (** Account for GC payload bytes piggybacked onto an existing message of
-    [kind] sent by [src]; adds no message count. *)
+    [kind] sent by [src]; adds no message count.  [shard] as in
+    {!send}. *)
 
 val step : 'p t -> bool
 (** Deliver the oldest pending message (globally).  Returns [false] if the
@@ -299,14 +312,35 @@ val component_bytes : 'p t -> Component.t -> int
 (** Total wire bytes attributed to a component so far (payload plus
     piggyback, every transmitted copy). *)
 
-type scaling_point = { sp_nodes : int; sp_bytes : (Component.t * int) list }
+val shard_components : 'p t -> (int * (Component.t * int) list) list
+(** Per-registry-shard wire bytes by component, for sends that carried a
+    shard label (ascending shard id, zero rows omitted).  Shard labels
+    count logical sends: retransmissions are a transport artifact, not a
+    routing decision, so they appear in [component_bytes] but not
+    here. *)
+
+val shard_component_msgs : 'p t -> (int * (Component.t * int) list) list
+(** Like {!shard_components}, counting logical messages instead of
+    bytes (piggybacks add bytes but no message). *)
+
+type scaling_point = {
+  sp_nodes : int;
+  sp_bytes : (Component.t * int) list;
+  sp_shards : (int * (Component.t * int) list) list;
+      (** per-shard attribution at this point ({!shard_components});
+          empty when nothing was shard-labelled *)
+}
 
 val scaling_point : 'p t -> nodes:int -> scaling_point
-(** Snapshot this network's per-component byte totals as one sweep
-    point. *)
+(** Snapshot this network's per-component byte totals (flat and
+    per-shard) as one sweep point. *)
 
 type scaling_row = {
   sr_component : Component.t;
+  sr_shard : int option;
+      (** [None] for the component's cluster-wide row; [Some s] for the
+          hottest-shard row, where [s] carried the most bytes of this
+          component at the widest point *)
   sr_first_per_node : float;  (** bytes/node at the smallest sweep point *)
   sr_last_per_node : float;  (** bytes/node at the largest sweep point *)
   sr_growth : float;  (** last-per-node / first-per-node *)
@@ -322,7 +356,10 @@ val scaling_check :
     per-node traffic must not grow by more than [bound] (default 1.5×)
     from the smallest to the largest point — i.e. no component is
     silently superlinear in N.  Components whose total stays under
-    [floor] bytes (default 1024) are skipped.  Raises [Invalid_argument]
+    [floor] bytes (default 1024) are skipped.  When the sweep carries
+    per-shard attribution at both ends, each component's single hottest
+    shard is held to the same per-node bound — a flat total must not
+    hide one shard absorbing all the growth.  Raises [Invalid_argument]
     on fewer than 3 points or a degenerate sweep. *)
 
 val sent : 'p t -> kind -> int

@@ -68,6 +68,8 @@ let nodes_of_event = function
   | T.Disk_fault { node; _ }
   | T.Rvm_recover { node; _ }
   | T.Bunch_verified { node; _ }
+  | T.Shard_alloc { node; _ }
+  | T.Shard_adopted { node; _ }
   | T.Read_obs { node; _ }
   | T.Write_obs { node; _ } ->
       (node, None)

@@ -237,7 +237,8 @@ let of_events timed =
       | T.Release _ | T.Grant_sent _ | T.Hook_ssp _ | T.Invalidate _
       | T.Updates_applied _ | T.Forward_due _ | T.Copyset_forward _
       | T.Rpc _ | T.Owner_adopted _ | T.Tables_processed _
-      | T.Bunch_verified _ | T.Read_obs _ | T.Write_obs _ ->
+      | T.Bunch_verified _ | T.Shard_alloc _ | T.Shard_adopted _
+      | T.Read_obs _ | T.Write_obs _ ->
           ())
     timed;
   let unfinished name node track ts args =

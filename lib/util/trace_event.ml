@@ -87,6 +87,8 @@ type t =
   | Disk_fault of { node : Ids.Node.t; fault : string }
   | Rvm_recover of { node : Ids.Node.t; dropped : int; lost : int }
   | Bunch_verified of { node : Ids.Node.t; missing : int }
+  | Shard_alloc of { shard : int; node : Ids.Node.t }
+  | Shard_adopted of { shard : int; node : Ids.Node.t }
   | Read_obs of {
       actor : actor;
       node : Ids.Node.t;
@@ -227,6 +229,9 @@ let to_line = function
   | Disk_fault { node; fault } -> Printf.sprintf "disk_fault %d %s" node fault
   | Rvm_recover { node; dropped; lost } ->
       Printf.sprintf "rvm_recover %d %d %d" node dropped lost
+  | Shard_alloc { shard; node } -> Printf.sprintf "shard_alloc %d %d" shard node
+  | Shard_adopted { shard; node } ->
+      Printf.sprintf "shard_adopted %d %d" shard node
   | Bunch_verified { node; missing } ->
       Printf.sprintf "bunch_verified %d %d" node missing
   | Read_obs { actor; node; uid; version; covered } ->
@@ -345,6 +350,10 @@ let of_line line =
     | [ "disk_fault"; n; f ] -> Ok (Disk_fault { node = int n; fault = f })
     | [ "rvm_recover"; n; d; l ] ->
         Ok (Rvm_recover { node = int n; dropped = int d; lost = int l })
+    | [ "shard_alloc"; s; n ] ->
+        Ok (Shard_alloc { shard = int s; node = int n })
+    | [ "shard_adopted"; s; n ] ->
+        Ok (Shard_adopted { shard = int s; node = int n })
     | [ "bunch_verified"; n; m ] ->
         Ok (Bunch_verified { node = int n; missing = int m })
     | [ "read_obs"; a; n; u; v; c ] ->

@@ -142,6 +142,14 @@ type t =
       (** the fsck-style post-restore verification ran; [missing] objects
           present on the checksummed disk image failed to make it into
           the restored store *)
+  | Shard_alloc of { shard : int; node : Ids.Node.t }
+      (** a segment range was carved from registry shard [shard], applied
+          by [node] — which must be the shard's owner; the
+          [Shard_ownership] lint flags any other applier *)
+  | Shard_adopted of { shard : int; node : Ids.Node.t }
+      (** registry shard [shard]'s ownership was (re-)established at
+          [node]: initial placement, post-restart recovery, or
+          split-brain-checked adoption by a survivor *)
   | Read_obs of {
       actor : actor;
       node : Ids.Node.t;

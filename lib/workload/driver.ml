@@ -17,6 +17,8 @@ type config = {
   mode : Bmx_dsm.Protocol.mode;
   update_policy : Bmx_dsm.Protocol.update_policy;
   full_rescan_legality : bool;
+  shards : int;
+  locality : int;
 }
 
 let default =
@@ -34,6 +36,8 @@ let default =
     mode = Bmx_dsm.Protocol.Distributed;
     update_policy = Bmx_dsm.Protocol.Lazy;
     full_rescan_legality = false;
+    shards = 1;
+    locality = 0;
   }
 
 type t = {
@@ -198,7 +202,7 @@ let resync t =
 
 let setup cfg =
   let c =
-    Cluster.create ~nodes:cfg.nodes ~mode:cfg.mode
+    Cluster.create ~nodes:cfg.nodes ~shards:cfg.shards ~mode:cfg.mode
       ~update_policy:cfg.update_policy ~seed:cfg.seed ()
   in
   let rng = Rng.make (cfg.seed * 31) in
@@ -211,7 +215,8 @@ let setup cfg =
   (* Each bunch's population is created at its home node; edges through
      the barrier. *)
   let objects =
-    Graphgen.random_graph c ~rng ~node:node_arr.(0) ~bunches
+    Graphgen.random_graph ~window:cfg.locality c ~rng ~node:node_arr.(0)
+      ~bunches
       ~objects:(cfg.bunches * cfg.objects_per_bunch)
       ~out_degree:cfg.out_degree ~cross_bunch_prob:cfg.cross_bunch_prob
   in
@@ -266,10 +271,31 @@ let setup cfg =
 
 let random_node t = t.node_arr.(Rng.int t.rng (Array.length t.node_arr))
 
+(* Locality window: node [n] works on objects of bunches
+   [n .. n+locality-1] (mod bunches).  Objects are laid out round-robin
+   (object [i] lives in bunch [i mod bunches]), so a window pick is pure
+   index arithmetic.  A fixed window keeps the per-node working set
+   constant as the cluster grows — the property the e22 scaling sweep
+   depends on for flat per-node traffic. *)
+let pick_local t node =
+  let nb = t.cfg.bunches in
+  let per = max 1 (Array.length t.objects / nb) in
+  let w = Rng.int t.rng (min t.cfg.locality nb) in
+  let b = (node + w) mod nb in
+  min (Array.length t.objects - 1) ((Rng.int t.rng per * nb) + b)
+
 let one_op t =
   let c = t.cluster in
-  let i = Rng.int t.rng (Array.length t.objects) in
-  let node = random_node t in
+  (* locality = 0 keeps the historical draw order (object then node) so
+     existing seeded runs replay identically. *)
+  let i, node =
+    if t.cfg.locality <= 0 then
+      let i = Rng.int t.rng (Array.length t.objects) in
+      (i, random_node t)
+    else
+      let node = random_node t in
+      (pick_local t node, node)
+  in
   let addr = handle t ~node i in
   let incremental = not t.cfg.full_rescan_legality in
   if not (legal t i addr) then () else
@@ -293,7 +319,10 @@ let one_op t =
     let a = Cluster.acquire_write c ~node addr in
     set_handle t ~node i a;
     if Rng.float t.rng 1.0 < t.cfg.relink_prob && t.cfg.out_degree > 0 then begin
-      let j = Rng.int t.rng (Array.length t.objects) in
+      let j =
+        if t.cfg.locality <= 0 then Rng.int t.rng (Array.length t.objects)
+        else pick_local t node
+      in
       let field = Rng.int t.rng t.cfg.out_degree in
       let target = handle t ~node j in
       let alive = legal t j target in

@@ -30,6 +30,14 @@ type config = {
   full_rescan_legality : bool;
       (** use the old full-traversal legality memo instead of the
           incremental mirror (complexity-test baseline; default false) *)
+  shards : int;  (** registry shards for the cluster (default 1) *)
+  locality : int;
+      (** when positive, node [n] only operates on objects of bunches
+          [n .. n+locality-1] (mod bunches) — a fixed per-node working
+          set, so per-node traffic stays flat as nodes are added (the
+          scaling sweeps).  [0] (default) keeps the historical
+          uniform-random behaviour, drawing from the RNG in the same
+          order as before the knob existed. *)
 }
 
 val default : config

@@ -55,7 +55,8 @@ let cross_bunch_ring c ~node ~bunches ~len =
   Cluster.release c ~node first;
   first
 
-let random_graph c ~rng ~node ~bunches ~objects ~out_degree ~cross_bunch_prob =
+let random_graph ?(window = 0) c ~rng ~node ~bunches ~objects ~out_degree
+    ~cross_bunch_prob =
   let bunch_arr = Array.of_list bunches in
   let nb = Array.length bunch_arr in
   if nb = 0 then invalid_arg "Graphgen.random_graph: no bunches";
@@ -72,7 +73,18 @@ let random_graph c ~rng ~node ~bunches ~objects ~out_degree ~cross_bunch_prob =
       for f = 0 to out_degree - 1 do
         (* Prefer a same-bunch target unless the coin says cross-bunch. *)
         let want_cross = Rng.float rng 1.0 < cross_bunch_prob in
-        let pick () = Rng.int rng objects in
+        let pick () =
+          if window <= 0 then Rng.int rng objects
+          else begin
+            (* Edges stay within the bunch window [i mod nb,
+               i mod nb + window): neighbouring bunches only, so the
+               graph's cross-bunch structure does not densify as more
+               bunches are added (scaling sweeps). *)
+            let per = max 1 (objects / nb) in
+            let b = ((i mod nb) + Rng.int rng (min window nb)) mod nb in
+            min (objects - 1) ((Rng.int rng per * nb) + b)
+          end
+        in
         let rec target tries =
           let j = pick () in
           if tries = 0 then j

@@ -44,6 +44,7 @@ val cross_bunch_ring :
     be mapped at [node]. *)
 
 val random_graph :
+  ?window:int ->
   Bmx.Cluster.t ->
   rng:Bmx_util.Rng.t ->
   node:Bmx_util.Ids.Node.t ->
@@ -55,4 +56,9 @@ val random_graph :
 (** [objects] objects spread round-robin over [bunches], each with
     [out_degree] reference fields; each edge targets a uniform random
     object, preferring the same bunch except with [cross_bunch_prob].
-    Returns all objects (callers typically root a subset). *)
+    With [window > 0] (default 0 = unlimited) every edge from an object
+    of bunch [b] stays within bunches [b .. b+window-1] (mod bunches):
+    neighbouring bunches only, so cross-bunch structure does not densify
+    as bunches are added — the scaling sweeps pair this with
+    [Driver.config.locality].  Returns all objects (callers typically
+    root a subset). *)

@@ -324,6 +324,61 @@ let test_demand_fetch_idempotent () =
     (Bmx_netsim.Net.total_messages (Cluster.net c));
   check_int "same address" a1 a1'
 
+(* The O(1) dsm.copyset.max gauge is a histogram maintained at every
+   copyset mutation site; drive a workload through grants, invalidations,
+   ownership transfers, reclaims and a crash, and after each phase check
+   the cached maximum against a brute-force directory scan. *)
+let test_copyset_max_gauge () =
+  let c = Cluster.create ~nodes:4 ~seed:7 () in
+  let proto = Cluster.proto c in
+  let scan () =
+    let best = ref 0 in
+    List.iter
+      (fun n ->
+        Directory.iter (Protocol.directory proto n) (fun r ->
+            let k = Ids.Node_set.cardinal r.Directory.copyset in
+            if k > !best then best := k))
+      (Protocol.nodes proto);
+    !best
+  in
+  let gauge () =
+    match
+      Bmx_obs.Metrics.get
+        (Bmx_obs.Metrics.snapshot (Cluster.metrics c))
+        "dsm.copyset.max"
+    with
+    | Some (Bmx_obs.Metrics.Gauge v) -> v
+    | _ -> Alcotest.fail "dsm.copyset.max gauge missing"
+  in
+  let agree phase = check_int ("gauge = scan " ^ phase) (scan ()) (gauge ()) in
+  let b = Cluster.new_bunch c ~home:0 in
+  let a = Cluster.alloc c ~node:0 ~bunch:b [| Value.Data 1; Value.nil |] in
+  Cluster.add_root c ~node:0 a;
+  agree "after alloc";
+  (* Spread read copies: copyset of the owner grows to 3. *)
+  List.iter
+    (fun n ->
+      let a' = Cluster.acquire_read c ~node:n a in
+      Cluster.release c ~node:n a')
+    [ 1; 2; 3 ];
+  agree "after read spread";
+  (* A write invalidates every reader: max collapses. *)
+  let a' = Cluster.acquire_write c ~node:1 a in
+  Cluster.write c ~node:1 a' 0 (Value.Data 2);
+  Cluster.release c ~node:1 a';
+  agree "after write invalidation";
+  (* Regrow, then crash the owner: its directory (and copysets) die. *)
+  List.iter
+    (fun n ->
+      let a' = Cluster.acquire_read c ~node:n a in
+      Cluster.release c ~node:n a')
+    [ 0; 2 ];
+  agree "after regrow";
+  Cluster.crash_node c ~node:1;
+  agree "after owner crash";
+  ignore (Cluster.drain c);
+  agree "after drain"
+
 let () =
   Alcotest.run "dsm"
     [
@@ -367,5 +422,10 @@ let () =
           Alcotest.test_case "fetch carries location updates" `Quick
             test_demand_fetch_carries_updates;
           Alcotest.test_case "fetch is idempotent" `Quick test_demand_fetch_idempotent;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "copyset.max gauge stays exact" `Quick
+            test_copyset_max_gauge;
         ] );
     ]

@@ -17,6 +17,7 @@ module Net = Bmx_netsim.Net
 module Cluster = Bmx.Cluster
 module Persist = Bmx.Persist
 module Protocol = Bmx_dsm.Protocol
+module Registry = Bmx_memory.Registry
 module Value = Bmx_memory.Value
 module Lint = Bmx_check.Lint
 module Races = Bmx_check.Races
@@ -66,11 +67,19 @@ type soak = {
   rng : Rng.t;
   mutable objs : (Addr.t * int) list;  (** (address, bunch) *)
   disks : (int * int, Persist.disk) Hashtbl.t;  (** (node, bunch) -> disk *)
+  shard_disks : Persist.shard_disk array;  (** per-shard carve journals *)
   mutable skipped : int;  (** ops refused because a needed peer was down *)
 }
 
 let live s = Cluster.live_nodes s.c
 let pick s xs = List.nth xs (Rng.int s.rng (List.length xs))
+let registry s = Protocol.registry (Cluster.proto s.c)
+
+let shard_ids s = List.init (Registry.num_shards (registry s)) Fun.id
+let up_shards s = List.filter (Registry.shard_up (registry s)) (shard_ids s)
+
+let down_shards s =
+  List.filter (fun sh -> not (Registry.shard_up (registry s) sh)) (shard_ids s)
 
 let owner_alive s addr =
   match Bmx_dsm.Protocol.uid_of_addr (Cluster.proto s.c) addr with
@@ -165,8 +174,20 @@ let recover_one s node =
 let setup seed =
   let rng = Rng.make (seed * 7919) in
   let nodes = 3 + Rng.int rng 2 in
-  let c = Cluster.create ~nodes ~seed ~trace_events:true () in
-  let s = { c; rng; objs = []; disks = Hashtbl.create 16; skipped = 0 } in
+  let shards = 1 + Rng.int rng 3 in
+  let c = Cluster.create ~nodes ~shards ~seed ~trace_events:true () in
+  let s =
+    {
+      c;
+      rng;
+      objs = [];
+      disks = Hashtbl.create 16;
+      (* Attach before any bunch exists: the journals snapshot nothing
+         and then record every carve the run makes. *)
+      shard_disks = Persist.attach_shard_journals c;
+      skipped = 0;
+    }
+  in
   let n_bunches = 2 + Rng.int rng 2 in
   let bunches =
     List.init n_bunches (fun i -> Cluster.new_bunch c ~home:(i mod nodes))
@@ -267,7 +288,7 @@ let uid_str s a =
 
 let step op s =
   let c = s.c in
-  match Rng.int s.rng 112 with
+  match Rng.int s.rng 124 with
   | r when r < 18 -> (
       (* Read access (weak: tolerates inconsistent copies). *)
       match pick_handle s with
@@ -323,12 +344,17 @@ let step op s =
       if bunches <> [] then begin
         let b = pick s bunches in
         let home = Protocol.bunch_home (Cluster.proto c) b in
-        let a = Cluster.alloc c ~node:home ~bunch:b [| Value.Data 1; Value.nil |] in
-        dbg "OP %d alloc %s b%d @%d" op (uid_str s a) b home;
-        if Rng.int s.rng 100 < 70 then begin
-          Cluster.add_root c ~node:home a;
-          s.objs <- (a, b) :: s.objs
-        end
+        (* A full segment forces a carve, which the bunch's registry
+           shard refuses while crashed — degrade, don't corrupt. *)
+        attempt s (fun () ->
+            let a =
+              Cluster.alloc c ~node:home ~bunch:b [| Value.Data 1; Value.nil |]
+            in
+            dbg "OP %d alloc %s b%d @%d" op (uid_str s a) b home;
+            if Rng.int s.rng 100 < 70 then begin
+              Cluster.add_root c ~node:home a;
+              s.objs <- (a, b) :: s.objs
+            end)
       end
   | r when r < 62 -> (
       (* Root churn: drop a root anywhere, or root a still-reachable
@@ -348,9 +374,15 @@ let step op s =
             Cluster.add_root c ~node a
         | Some _ | None -> ())
   | r when r < 72 ->
-      (* Collection pressure: a full round, skipping dead nodes. *)
-      dbg "OP %d gc_round" op;
-      ignore (Cluster.gc_round c)
+      (* Collection pressure: a full round, skipping dead nodes.  The
+         collector carves to-space segments, so it holds off while any
+         registry shard is down — a BGC dying mid-copy on a refused
+         carve would be a worse failure mode than a postponed wave. *)
+      if down_shards s = [] then begin
+        dbg "OP %d gc_round" op;
+        ignore (Cluster.gc_round c)
+      end
+      else s.skipped <- s.skipped + 1
   | r when r < 82 ->
       (* Let time pass: timers fire, retransmissions roll the dice. *)
       dbg "OP %d tick+drain" op;
@@ -396,7 +428,7 @@ let step op s =
         dbg "OP %d cut %d->%d" op a b;
         Cluster.cut_link c ~src:a ~dst:b
       end
-  | _ -> (
+  | r when r < 112 -> (
       (* Heal: everything at once, or one random severed link. *)
       match Net.cut_pairs (Cluster.net c) with
       | [] -> ()
@@ -410,6 +442,28 @@ let step op s =
             dbg "OP %d heal %d->%d" op src dst;
             Cluster.heal_link c ~src ~dst
           end)
+  | r when r < 118 -> (
+      (* Registry-service fault: fail-stop a shard.  Lookups keep
+         answering out of the immutable-entry read cache; only carves
+         at that shard refuse until recovery. *)
+      match up_shards s with
+      | [] -> ()
+      | ups ->
+          let sh = pick s ups in
+          dbg "OP %d crash-shard %d" op sh;
+          Cluster.crash_shard c ~shard:sh)
+  | _ -> (
+      (* Shard recovery: replay the carve journal at a live node, which
+         adopts ownership.  Under a partition the split-brain guard may
+         refuse the adoption — counted as a skip, retried later. *)
+      match down_shards s with
+      | [] -> ()
+      | downs ->
+          let sh = pick s downs in
+          let node = pick s (live s) in
+          dbg "OP %d recover-shard %d @%d" op sh node;
+          attempt s (fun () ->
+              ignore (Persist.recover_shard c ~shard:sh ~node s.shard_disks.(sh))))
 
 (* With BMX_SOAK_PARANOID the safety audit runs after every op, so a
    violation is pinned to the op that caused it instead of surfacing at
@@ -480,6 +534,14 @@ let soak_one seed =
   Net.clear_faults (Cluster.net s.c);
   Cluster.heal_all_links s.c;
   List.iter (fun n -> recover_one s n) (Net.down_nodes (Cluster.net s.c));
+  (* Registry shards come back too (everything is healed, so adoption
+     cannot hit the split-brain guard) — the quiescing collector below
+     needs every shard serving carves. *)
+  List.iter
+    (fun sh ->
+      let node = pick s (live s) in
+      ignore (Persist.recover_shard s.c ~shard:sh ~node s.shard_disks.(sh)))
+    (down_shards s);
   ignore (Cluster.settle s.c);
   ignore (Cluster.collect_until_quiescent s.c ());
   ignore (Cluster.settle s.c);
@@ -499,6 +561,17 @@ let soak_one seed =
   | v :: _ ->
       Alcotest.failf "seed %d: linter: %s" seed (Lint.violation_to_string v));
   if certify_soaks then certify_trace ~seed s.c;
+  (* Per-shard fsck honesty: every carve the journals witnessed must be
+     present in the registry index — a shard crash/recovery cycle that
+     silently dropped a range would surface here as a hole. *)
+  Array.iteri
+    (fun sh disk ->
+      let fsck = Persist.verify_shard s.c ~shard:sh disk in
+      check_int
+        (Printf.sprintf "seed %d: shard %d fsck holes" seed sh)
+        0
+        (List.length fsck.Persist.s_missing))
+    s.shard_disks;
   check_int (name "wire empty") 0 (Net.pending (Cluster.net s.c));
   check_int (name "no unacked reliable messages") 0
     (Net.unacked_count (Cluster.net s.c))

@@ -56,7 +56,7 @@ let test_accounting () =
   Net.set_handler net (fun _ -> ());
   Net.send net ~src:0 ~dst:1 ~kind:Net.Stub_table ~bytes:100 "x";
   Net.record_rpc net ~src:1 ~dst:0 ~kind:Net.Token_grant ~bytes:50 ();
-  Net.record_piggyback net ~src:1 ~kind:Net.Token_grant ~bytes:24;
+  Net.record_piggyback net ~src:1 ~kind:Net.Token_grant ~bytes:24 ();
   check_int "sent stub_table" 1 (Net.sent net Net.Stub_table);
   check_int "sent grant" 1 (Net.sent net Net.Token_grant);
   check_int "total messages" 2 (Net.total_messages net);

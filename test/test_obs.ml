@@ -171,6 +171,8 @@ let generated_events () =
         nodes [ 0; 5 ];
       cart (fun node missing -> T.Bunch_verified { node; missing }) nodes
         [ 0; 2 ];
+      cart (fun shard node -> T.Shard_alloc { shard; node }) [ 0; 7 ] nodes;
+      cart (fun shard node -> T.Shard_adopted { shard; node }) [ 0; 7 ] nodes;
       cart
         (fun actor covered ->
           T.Read_obs { actor; node = 1; uid = 4; version = 3; covered })
@@ -204,7 +206,7 @@ let test_trace_roundtrip_all_constructors () =
          (fun e -> List.hd (String.split_on_char ' ' (T.to_line e)))
          events)
   in
-  check_int "all 30 constructors serialized" 30 (List.length heads)
+  check_int "all 32 constructors serialized" 32 (List.length heads)
 
 (* ----------------------------------------------------- virtual timestamps *)
 
